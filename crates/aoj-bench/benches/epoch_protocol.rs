@@ -1,0 +1,57 @@
+//! Benchmarks of the epoch-protocol state machine: per-tuple handling in
+//! the stable phase vs mid-migration (the non-blocking overhead the paper
+//! trades for availability).
+
+use aoj_core::epoch::EpochJoiner;
+use aoj_core::mapping::{GridAssignment, Mapping, Step};
+use aoj_core::migration::plan_step;
+use aoj_core::predicate::Predicate;
+use aoj_core::tuple::{Rel, Tuple};
+use aoj_joinalg::index_for;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn make_joiner() -> EpochJoiner {
+    EpochJoiner::new(&|| index_for(&Predicate::Equi), 4)
+}
+
+fn bench_stable_data(c: &mut Criterion) {
+    c.bench_function("epoch_stable_on_data", |b| {
+        let mut j = make_joiner();
+        let mut sink = |_: &Tuple, _: &Tuple| {};
+        for i in 0..10_000u64 {
+            let rel = if i % 2 == 0 { Rel::R } else { Rel::S };
+            j.on_data(0, Tuple::new(rel, i, (i % 500) as i64, i), &mut sink);
+        }
+        let mut i = 10_000u64;
+        b.iter(|| {
+            i += 1;
+            let rel = if i % 2 == 0 { Rel::R } else { Rel::S };
+            black_box(j.on_data(0, Tuple::new(rel, i, (i % 500) as i64, i), &mut sink))
+        });
+    });
+}
+
+fn bench_migrating_data(c: &mut Criterion) {
+    c.bench_function("epoch_migrating_on_data_new_epoch", |b| {
+        let mut j = make_joiner();
+        let mut sink = |_: &Tuple, _: &Tuple| {};
+        for i in 0..10_000u64 {
+            let rel = if i % 2 == 0 { Rel::R } else { Rel::S };
+            j.on_data(0, Tuple::new(rel, i, (i % 500) as i64, i), &mut sink);
+        }
+        // Enter a migration: one signal received, three outstanding.
+        let assign = GridAssignment::initial(Mapping::new(2, 2));
+        let plan = plan_step(&assign, Step::HalveRows);
+        j.on_signal(0, 1, plan.specs[0]);
+        let mut i = 10_000u64;
+        b.iter(|| {
+            i += 1;
+            let rel = if i % 2 == 0 { Rel::R } else { Rel::S };
+            // New-epoch tuples probe µ ∪ Δ′ and Keep(τ ∪ Δ): the costly path.
+            black_box(j.on_data(1, Tuple::new(rel, i, (i % 500) as i64, i), &mut sink))
+        });
+    });
+}
+
+criterion_group!(benches, bench_stable_data, bench_migrating_data);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Benchmarks of the local non-blocking join algorithms: insert+probe
+//! throughput of the hash, band and nested-loop indexes.
+
+use aoj_core::index::JoinIndex;
+use aoj_core::predicate::Predicate;
+use aoj_core::tuple::{Rel, Tuple};
+use aoj_joinalg::{BandIndex, NestedLoopIndex, SymmetricHashIndex};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn prefill(idx: &mut dyn JoinIndex, n: u64, key_space: i64) {
+    for i in 0..n {
+        let rel = if i % 2 == 0 { Rel::R } else { Rel::S };
+        idx.insert(Tuple::new(rel, i, (i as i64 * 37) % key_space, i));
+    }
+}
+
+fn bench_insert_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("insert_probe_10k_state");
+    g.bench_function("symmetric_hash_equi", |b| {
+        let mut idx = SymmetricHashIndex::new();
+        prefill(&mut idx, 10_000, 1000);
+        let mut i = 10_000u64;
+        b.iter(|| {
+            i += 1;
+            let t = Tuple::new(Rel::S, i, (i as i64 * 31) % 1000, i);
+            let stats = idx.probe_count(&t);
+            idx.insert(t);
+            black_box(stats)
+        });
+    });
+    g.bench_function("btree_band_w2", |b| {
+        let mut idx = BandIndex::new(2);
+        prefill(&mut idx, 10_000, 1000);
+        let mut i = 10_000u64;
+        b.iter(|| {
+            i += 1;
+            let t = Tuple::new(Rel::S, i, (i as i64 * 31) % 1000, i);
+            let stats = idx.probe_count(&t);
+            idx.insert(t);
+            black_box(stats)
+        });
+    });
+    g.bench_function("nested_loop_theta_1k_state", |b| {
+        // Nested loop is O(state); keep state smaller.
+        let mut idx = NestedLoopIndex::new(Predicate::NotEqual);
+        prefill(&mut idx, 1_000, 100);
+        let mut i = 1_000u64;
+        b.iter(|| {
+            i += 1;
+            let t = Tuple::new(Rel::S, i, (i as i64 * 31) % 100, i);
+            black_box(idx.probe_count(&t))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert_probe);
+criterion_main!(benches);

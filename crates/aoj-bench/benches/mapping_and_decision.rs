@@ -1,0 +1,60 @@
+//! Microbenchmarks of the control-plane hot path: the per-tuple work of
+//! Alg. 1 + Alg. 2 (observe, threshold check, optimal mapping search) must
+//! be cheap enough to run on every routed tuple.
+
+use aoj_core::decision::{DecisionConfig, MigrationDecider};
+use aoj_core::ilf::optimal_mapping;
+use aoj_core::mapping::Mapping;
+use aoj_core::ticket::partition;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_optimal_mapping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimal_mapping_search");
+    for j in [16u32, 64, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(j), &j, |b, &j| {
+            let mut r = 1u64;
+            b.iter(|| {
+                r = r.wrapping_mul(6364136223846793005).wrapping_add(1);
+                black_box(optimal_mapping(j, r % (1 << 30), (r >> 32) % (1 << 30)))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_decider_observe(c: &mut Criterion) {
+    c.bench_function("decider_observe_per_tuple", |b| {
+        let mut d = MigrationDecider::new(
+            64,
+            Mapping::square(64),
+            DecisionConfig {
+                epsilon_num: 1,
+                epsilon_den: 1,
+                min_total: 0,
+            },
+        );
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(d.observe(i % 3 == 0, 64))
+        });
+    });
+}
+
+fn bench_ticket_partition(c: &mut Criterion) {
+    c.bench_function("ticket_partition", |b| {
+        let mut t = 0x9E37_79B9_7F4A_7C15u64;
+        b.iter(|| {
+            t = t.wrapping_mul(6364136223846793005).wrapping_add(1);
+            black_box(partition(t, 64))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_optimal_mapping,
+    bench_decider_observe,
+    bench_ticket_partition
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Benchmarks of migration planning (Lemma 4.4): plan construction and
+//! per-tuple state classification, at various cluster sizes.
+
+use aoj_core::mapping::{GridAssignment, Mapping, Step};
+use aoj_core::migration::plan_step;
+use aoj_core::tuple::{Rel, Tuple};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_plan_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan_step");
+    for j in [16u32, 64, 256, 1024] {
+        let assign = GridAssignment::initial(Mapping::square(j));
+        g.bench_with_input(BenchmarkId::from_parameter(j), &assign, |b, assign| {
+            b.iter(|| black_box(plan_step(assign, Step::HalveRows)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let assign = GridAssignment::initial(Mapping::new(8, 8));
+    let plan = plan_step(&assign, Step::HalveRows);
+    let spec = plan.specs[13];
+    c.bench_function("classify_tuple", |b| {
+        let mut t = 1u64;
+        b.iter(|| {
+            t = t.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let tuple = Tuple::new(if t & 1 == 0 { Rel::R } else { Rel::S }, t, 0, t);
+            black_box(spec.classify(&tuple))
+        });
+    });
+}
+
+fn bench_apply_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grid_relabel");
+    for j in [64u32, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(j), &j, |b, &j| {
+            b.iter_batched(
+                || GridAssignment::initial(Mapping::square(j)),
+                |mut a| {
+                    a.apply_step(Step::HalveRows);
+                    black_box(a)
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_plan_step, bench_classify, bench_apply_step);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! `reproduce` — regenerate every table and figure of the paper's
+//! evaluation section (§5) on the simulated cluster.
+//!
+//! ```text
+//! cargo run --release -p aoj-bench --bin reproduce -- <experiment>
+//! ```
+//!
+//! Experiments: `table2`, `fig6a`..`fig6d`, `fig6`, `fig7a`..`fig7d`,
+//! `fig7`, `fig8a`..`fig8d`, `fig8`, `ablation-migration`,
+//! `ablation-epsilon`, `ablation-elastic`, `ablation-groups`, `ablations`,
+//! or `all`.
+
+use aoj_bench::experiments::{ablation, fig6, fig7, fig8, table2};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(|s| s.as_str()).unwrap_or("all");
+    let start = std::time::Instant::now();
+    match what {
+        "table2" => table2::run_table2(),
+        "fig6a" => fig6::run_fig6a(),
+        "fig6b" => fig6::run_fig6b(),
+        "fig6c" => fig6::run_fig6c(),
+        "fig6d" => fig6::run_fig6d(),
+        "fig6" => fig6::run_fig6(),
+        "fig7a" => fig7::run_fig7a(),
+        "fig7b" => fig7::run_fig7b(),
+        "fig7c" => fig7::run_fig7c(),
+        "fig7d" => fig7::run_fig7d(),
+        "fig7" => fig7::run_fig7(),
+        "fig8a" => fig8::run_fig8a(),
+        "fig8b" => fig8::run_fig8b(),
+        "fig8c" => fig8::run_fig8c(),
+        "fig8d" => fig8::run_fig8d(),
+        "fig8" => fig8::run_fig8(),
+        "ablation-migration" => ablation::run_ablation_migration(),
+        "ablation-epsilon" => ablation::run_ablation_epsilon(),
+        "ablation-blocking" => ablation::run_ablation_blocking(),
+        "ablation-elastic" => ablation::run_ablation_elastic(),
+        "ablation-groups" => ablation::run_ablation_groups(),
+        "ablations" => ablation::run_ablations(),
+        "all" => {
+            table2::run_table2();
+            fig6::run_fig6();
+            fig7::run_fig7();
+            fig8::run_fig8();
+            ablation::run_ablations();
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`; see --help in the module docs");
+            std::process::exit(1);
+        }
+    }
+    eprintln!("\n[reproduce {what}: {:.1}s wall clock]", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,307 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * locality-aware vs naive (full-repartition) migration volume;
+//! * the ε optimality/communication trade-off of Theorem 4.2;
+//! * elastic expansion (Theorem 4.3) — cost vs capacity trajectory;
+//! * arbitrary `J` via group decomposition (§4.2.2) — storage balance and
+//!   work distribution.
+
+use aoj_core::decision::DecisionConfig;
+use aoj_core::elastic::{plan_expansion, should_expand};
+use aoj_core::groups::GroupSet;
+use aoj_core::ilf::{ilf, optimal_ilf};
+use aoj_core::mapping::{GridAssignment, Mapping, Step};
+use aoj_core::migration::{naive_moved_tuples, plan_step};
+use aoj_core::ticket::{mix64, partition, TicketGen};
+use aoj_core::tuple::{Rel, Tuple};
+use aoj_datagen::queries::fluct_join;
+use aoj_datagen::stream::fluctuating;
+use aoj_datagen::zipf::Skew;
+use aoj_operators::{human_bytes, OperatorKind, RunConfig, SourcePacing};
+
+use super::common::*;
+
+/// Locality-aware (Lemma 4.4) vs naive migration volume, across grids.
+pub fn run_ablation_migration() {
+    banner("Ablation: locality-aware (Lemma 4.4) vs naive full-repartition migration volume");
+    let mut table = Table::new(&["from", "to", "state/joiner", "locality (tuples)", "naive (tuples)", "saving"]);
+    for (n, m) in [(8u32, 8u32), (4, 16), (16, 4), (8, 2)] {
+        let mapping = Mapping::new(n, m);
+        let assign = GridAssignment::initial(mapping);
+        let step = if n >= 2 { Step::HalveRows } else { Step::HalveCols };
+        let plan = plan_step(&assign, step);
+        // Build balanced synthetic state: `per` tuples of each relation
+        // per partition.
+        let per = 1_000u64;
+        let mut gen = TicketGen::new(7);
+        let mut per_machine = vec![(0u64, 0u64); mapping.j() as usize];
+        let mut locality = 0u64;
+        for i in 0..per * mapping.n as u64 {
+            let t = Tuple::new(Rel::R, i, 0, gen.next());
+            let row = partition(t.ticket, mapping.n);
+            for mach in assign.machines_for_row(row) {
+                per_machine[mach].0 += 1;
+                if plan.specs[mach].is_migrated(&t) {
+                    locality += 1;
+                }
+            }
+        }
+        for i in 0..per * mapping.m as u64 {
+            let t = Tuple::new(Rel::S, i, 0, gen.next());
+            let col = partition(t.ticket, mapping.m);
+            for mach in assign.machines_for_col(col) {
+                per_machine[mach].1 += 1;
+                if plan.specs[mach].is_migrated(&t) {
+                    locality += 1;
+                }
+            }
+        }
+        let naive = naive_moved_tuples(&assign, step, &per_machine);
+        let state = per_machine[0].0 + per_machine[0].1;
+        table.row(vec![
+            format!("({n},{m})"),
+            format!("({},{})", plan.to.n, plan.to.m),
+            state.to_string(),
+            locality.to_string(),
+            naive.to_string(),
+            format!("{:.1}x", naive as f64 / locality.max(1) as f64),
+        ]);
+    }
+    table.print();
+    println!("  the exchange moves only the coarsening relation; naive reshuffling moves ~everything.");
+}
+
+/// The ε trade-off (Theorem 4.2): measured worst ILF ratio and migration
+/// traffic across ε.
+pub fn run_ablation_epsilon() {
+    banner("Ablation: epsilon trade-off (Theorem 4.2): ratio bound (3+2e)/(3+e), cost O(1/e)");
+    let d = db(8, Skew::Z0);
+    let w = fluct_join(&d);
+    let arrivals = fluctuating(&w, 4, SEED);
+    let mut table = Table::new(&[
+        "epsilon", "bound", "measured max ILF/ILF*", "migrations", "migration bytes",
+    ]);
+    // Pace below capacity: Theorem 4.2's tracking bound presumes arrivals
+    // are flow-controlled relative to processing (§4.3.2).
+    let sat = run_operator(OperatorKind::Dynamic, &w, &arrivals, 64, u64::MAX);
+    let pace = SourcePacing::per_second((sat.throughput * 0.5) as u64);
+    for (num, den) in [(1u32, 1u32), (1, 2), (1, 4), (1, 8)] {
+        let mut cfg = RunConfig::new(64, OperatorKind::Dynamic);
+        let total_bytes: u64 = arrivals.iter().map(|(_, i)| i.bytes as u64).sum();
+        cfg.decision = DecisionConfig {
+            epsilon_num: num,
+            epsilon_den: den,
+            min_total: total_bytes / 100,
+        };
+        cfg.pacing = pace;
+        let report = aoj_operators::run(&arrivals, &w.predicate, w.name, &cfg);
+        let warmup = arrivals.len() as u64 / 20;
+        let cfg_eps = cfg.decision;
+        table.row(vec![
+            format!("{}/{}", num, den),
+            format!("{:.4}", cfg_eps.competitive_ratio()),
+            format!("{:.4}", report.max_competitive_ratio(warmup)),
+            report.migrations.to_string(),
+            human_bytes(report.migration_bytes),
+        ]);
+    }
+    table.print();
+    println!("  smaller epsilon: tighter tracking (lower measured ratio), more migrations/traffic.");
+}
+
+/// Elastic expansion (Theorem 4.3): simulate a growing stream against a
+/// per-joiner capacity target, expanding 4x at checkpoints.
+pub fn run_ablation_elastic() {
+    banner("Ablation: elastic expansion (Fig 5 / Theorem 4.3) - state-level simulation");
+    let capacity_m = 4_000u64; // per-joiner tuple target
+    let mut assign = GridAssignment::initial(Mapping::new(2, 2));
+    let mut gen = TicketGen::new(99);
+    let mut state: Vec<Vec<Tuple>> = vec![Vec::new(); 4];
+    let mut total_sent = 0u64;
+    let mut total_tuples = 0u64;
+    let mut total_copies = 0u64;
+    let mut table = Table::new(&["arrivals", "J", "mapping", "max/joiner", "expansion cost (tuples)"]);
+    for chunk in 0..48u64 {
+        // Stream in a chunk of balanced R/S tuples; expansion checkpoints
+        // come between chunks (the paper checks at migration checkpoints).
+        for i in 0..1_000u64 {
+            let seq = chunk * 1_000 + i;
+            let rel = if seq % 2 == 0 { Rel::R } else { Rel::S };
+            let t = Tuple::new(rel, seq, 0, gen.next());
+            total_tuples += 1;
+            let mp = assign.mapping();
+            match rel {
+                Rel::R => {
+                    let row = partition(t.ticket, mp.n);
+                    for mach in assign.machines_for_row(row).collect::<Vec<_>>() {
+                        state[mach].push(t);
+                        total_copies += 1;
+                    }
+                }
+                Rel::S => {
+                    let col = partition(t.ticket, mp.m);
+                    for mach in assign.machines_for_col(col).collect::<Vec<_>>() {
+                        state[mach].push(t);
+                        total_copies += 1;
+                    }
+                }
+            }
+        }
+        let max_per = state.iter().map(|s| s.len() as u64).max().unwrap_or(0);
+        let mut cost = 0u64;
+        if should_expand(max_per, capacity_m) {
+            let plan = plan_expansion(&assign);
+            let old_j = state.len();
+            let mut next: Vec<Vec<Tuple>> = vec![Vec::new(); old_j * 4];
+            for (k, tuples) in state.iter().enumerate() {
+                let spec = plan.specs[k];
+                for t in tuples {
+                    let d = spec.destinations(t);
+                    cost += d.sends() as u64;
+                    if d.keep {
+                        next[k].push(*t);
+                    }
+                    if d.to_01 {
+                        next[spec.children[0]].push(*t);
+                    }
+                    if d.to_10 {
+                        next[spec.children[1]].push(*t);
+                    }
+                    if d.to_11 {
+                        next[spec.children[2]].push(*t);
+                    }
+                }
+            }
+            state = next;
+            assign.apply_expansion();
+            total_sent += cost;
+        }
+        let mp = assign.mapping();
+        if cost > 0 || chunk % 8 == 7 {
+            table.row(vec![
+                total_tuples.to_string(),
+                mp.j().to_string(),
+                format!("({},{})", mp.n, mp.m),
+                state.iter().map(|s| s.len()).max().unwrap_or(0).to_string(),
+                cost.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    // Theorem 4.3's amortised charge is per unit of *received joiner
+    // input* (time units are max(dR/n, dS/m) per joiner, summed = routed
+    // copies), so the right denominator is copies, not raw arrivals.
+    println!(
+        "  expansion traffic {} tuples / {} routed copies = {:.2} per unit of joiner input\n  \
+         (Theorem 4.3 amortised bound at e=1: 8 per unit)",
+        total_sent,
+        total_copies,
+        total_sent as f64 / total_copies as f64,
+    );
+}
+
+/// Arbitrary `J` via groups (§4.2.2): storage proportionality and work
+/// balance for J = 20 = 16 + 4.
+pub fn run_ablation_groups() {
+    banner("Ablation: arbitrary J via power-of-two groups (J=20=16+4, Fig 4)");
+    let j = 20u32;
+    let g = GroupSet::decompose(j);
+    println!("  groups: {:?}", (0..g.count()).map(|i| g.size(i)).collect::<Vec<_>>());
+    // Storage proportionality.
+    let n = 400_000u64;
+    let mut stored = vec![0u64; g.count()];
+    for i in 0..n {
+        stored[g.storage_group(mix64(i))] += 1;
+    }
+    let mut table = Table::new(&["group", "machines", "stored share", "expected"]);
+    for i in 0..g.count() {
+        table.row(vec![
+            i.to_string(),
+            g.size(i).to_string(),
+            format!("{:.3}", stored[i] as f64 / n as f64),
+            format!("{:.3}", g.size(i) as f64 / j as f64),
+        ]);
+    }
+    table.print();
+    // ILF competitiveness: the grouped scheme's storage vs a true power of
+    // two (the 3.75 bound of §4.2.2).
+    let (r, s) = (100_000u64, 100_000u64);
+    let maps = g.optimal_mappings(r, s);
+    let mut worst_group_ilf: f64 = 0.0;
+    for (i, mp) in maps.iter().enumerate() {
+        // Each group stores its proportional share.
+        let share = g.size(i) as f64 / j as f64;
+        let gr = (r as f64 * share) as u64;
+        let gs = (s as f64 * share) as u64;
+        worst_group_ilf = worst_group_ilf.max(ilf(gr, gs, *mp));
+    }
+    let ideal = optimal_ilf(32, r, s).min(optimal_ilf(16, r, s));
+    println!(
+        "  worst per-group ILF {:.0} vs ideal-power-of-two {:.0} => ratio {:.2} (bound 3.75)",
+        worst_group_ilf,
+        ideal,
+        worst_group_ilf / ideal
+    );
+    // End-to-end: the full grouped dataflow operator on the EQ5 workload,
+    // exact output included.
+    let d = db(2, Skew::Z0);
+    let w = aoj_datagen::queries::eq5(&d);
+    let arrivals = arrivals_of(&w);
+    let expected = aoj_datagen::queries::reference_match_count(&w);
+    let report = aoj_operators::run_grouped(&arrivals, &w.predicate, 20, SEED);
+    println!(
+        "  dataflow run on J=20: {} matches (reference {}), exec {:.3}s, per-group stored {:?}",
+        report.matches,
+        expected,
+        report.exec_time.as_secs_f64(),
+        report.stored_per_group.iter().map(|b| human_bytes(*b)).collect::<Vec<_>>(),
+    );
+    assert_eq!(report.matches, expected, "grouped operator must be exact");
+}
+
+/// Blocking (Flux-style) vs non-blocking (Alg. 3) migration: same output,
+/// radically different latency and throughput behaviour during
+/// migrations — what the eventually-consistent protocol buys (§4.3).
+pub fn run_ablation_blocking() {
+    banner("Ablation: blocking (Flux-style) vs non-blocking (Alg. 3) migrations");
+    let d = db(8, Skew::Z0);
+    let w = fluct_join(&d);
+    let arrivals = fluctuating(&w, 4, SEED);
+    // Pace at a sustainable rate so latency reflects protocol behaviour,
+    // not raw queueing.
+    let sat = run_operator(OperatorKind::Dynamic, &w, &arrivals, 64, u64::MAX);
+    let pace = SourcePacing::per_second((sat.throughput * 0.5) as u64);
+    let mut table = Table::new(&[
+        "protocol", "matches", "migrations", "avg latency (ms)", "max latency (ms)", "exec (s)",
+    ]);
+    for blocking in [false, true] {
+        let mut cfg = RunConfig::new(64, OperatorKind::Dynamic);
+        cfg.decision = warmup_decision(&arrivals);
+        cfg.pacing = pace;
+        cfg.blocking_migrations = blocking;
+        let report = aoj_operators::run(&arrivals, &w.predicate, w.name, &cfg);
+        table.row(vec![
+            if blocking { "blocking".into() } else { "non-blocking (Alg 3)".to_string() },
+            report.matches.to_string(),
+            report.migrations.to_string(),
+            format!("{:.2}", report.avg_latency_us / 1000.0),
+            format!("{:.2}", report.max_latency_us as f64 / 1000.0),
+            format!("{:.3}", report.exec_secs()),
+        ]);
+    }
+    table.print();
+    println!(
+        "  identical output; the blocking baseline stalls every tuple that arrives\n  \
+         mid-migration, inflating both average and worst-case latency. The gap grows\n  \
+         with state size: real deployments relocate GBs, not the scaled-down MBs here."
+    );
+}
+
+/// All ablations.
+pub fn run_ablations() {
+    run_ablation_migration();
+    run_ablation_epsilon();
+    run_ablation_blocking();
+    run_ablation_elastic();
+    run_ablation_groups();
+}

@@ -1,0 +1,10 @@
+//! Experiment modules, one per paper artifact (see DESIGN.md §4).
+
+pub mod ablation;
+pub mod common;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod table2;
+
+pub use common::*;

@@ -1,0 +1,16 @@
+//! # aoj-bench — regenerating the paper's evaluation
+//!
+//! One module per table/figure of §5 (see DESIGN.md §4 for the index), a
+//! [`bin/reproduce`](../src/bin/reproduce.rs) CLI that prints the same
+//! rows/series the paper reports, and criterion microbenchmarks under
+//! `benches/`.
+//!
+//! Scale: experiments run the paper's dataset sizes through
+//! [`aoj_datagen::ScaledGb`] (row counts reduced ~1000x, ratios intact)
+//! on the simulated cluster. Absolute numbers are simulation units; the
+//! *shapes* — who wins, by what factor, where the crossovers are — are
+//! the reproduction targets, recorded in EXPERIMENTS.md.
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,251 @@
+//! Elastic expansion (§4.2.2 "Elasticity", Fig. 5, Theorem 4.3).
+//!
+//! Rather than over-provisioning joiners up front, the operator starts
+//! small and **expands**: at a migration checkpoint, if every joiner stores
+//! more than `M/2` tuples (for a per-joiner capacity target `M`), each
+//! joiner splits into four — the mapping goes `(n, m) → (2n, 2m)` — and
+//! redistributes its state along both ticket axes. Each parent transmits at
+//! most twice its stored state (Theorem 4.3: amortised cost `8/ε`), the
+//! `n : m` ratio is unchanged, so the ILF competitive ratio is unaffected.
+
+use crate::mapping::{GridAssignment, GridPos, Mapping};
+use crate::ticket::refine_bit;
+use crate::tuple::{Rel, Tuple};
+
+/// Where a parent's stored tuple lives after a ×4 expansion.
+///
+/// Children are indexed by `(a, b)`: `a` is the tuple-row refinement bit,
+/// `b` the column bit. Child `(0,0)` is the parent itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExpandDestinations {
+    /// Keep on the parent (child (0,0))?
+    pub keep: bool,
+    /// Send to child (0,1)?
+    pub to_01: bool,
+    /// Send to child (1,0)?
+    pub to_10: bool,
+    /// Send to child (1,1)?
+    pub to_11: bool,
+}
+
+impl ExpandDestinations {
+    /// Number of copies transmitted over the network.
+    pub fn sends(&self) -> u32 {
+        self.to_01 as u32 + self.to_10 as u32 + self.to_11 as u32
+    }
+}
+
+/// One parent machine's role in an expansion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExpandSpec {
+    /// The parent machine.
+    pub machine: usize,
+    /// Parent's grid position before expansion.
+    pub old_pos: GridPos,
+    /// Machine ids of children `(0,1)`, `(1,0)`, `(1,1)` (the parent stays
+    /// as child `(0,0)` at grid `(2·row, 2·col)`).
+    pub children: [usize; 3],
+    /// Row partition count before expansion (granularity of the R bit).
+    pub n_before: u32,
+    /// Column partition count before expansion (granularity of the S bit).
+    pub m_before: u32,
+}
+
+impl ExpandSpec {
+    /// Classify a stored tuple: which machines need it after expansion.
+    ///
+    /// An R tuple with row-bit `a` belongs to the new row `2i + a`, which
+    /// spans children `(a, 0)` and `(a, 1)`; an S tuple with column-bit `b`
+    /// belongs to new column `2j + b`, spanning `(0, b)` and `(1, b)` —
+    /// exactly the transfer pattern of Fig. 5.
+    pub fn destinations(&self, t: &Tuple) -> ExpandDestinations {
+        match t.rel {
+            Rel::R => {
+                let a = refine_bit(t.ticket, self.n_before);
+                if a == 0 {
+                    // Rows (0, *): parent keeps, child (0,1) needs a copy.
+                    ExpandDestinations { keep: true, to_01: true, to_10: false, to_11: false }
+                } else {
+                    // Rows (1, *): children (1,0) and (1,1).
+                    ExpandDestinations { keep: false, to_01: false, to_10: true, to_11: true }
+                }
+            }
+            Rel::S => {
+                let b = refine_bit(t.ticket, self.m_before);
+                if b == 0 {
+                    ExpandDestinations { keep: true, to_01: false, to_10: true, to_11: false }
+                } else {
+                    ExpandDestinations { keep: false, to_01: true, to_10: false, to_11: true }
+                }
+            }
+        }
+    }
+}
+
+/// A complete expansion plan: every parent splits in four.
+#[derive(Clone, Debug)]
+pub struct ExpansionPlan {
+    /// Mapping before expansion.
+    pub from: Mapping,
+    /// Mapping after: `(2n, 2m)`.
+    pub to: Mapping,
+    /// Per-parent roles, indexed by machine id.
+    pub specs: Vec<ExpandSpec>,
+}
+
+/// Expansion trigger (§ Elasticity): after a migration checkpoint, expand
+/// if the per-joiner state exceeds half the capacity target `M`.
+pub fn should_expand(max_tuples_per_joiner: u64, capacity_m: u64) -> bool {
+    max_tuples_per_joiner > capacity_m / 2
+}
+
+/// Build the expansion plan for the current assignment. Child machine ids
+/// follow [`GridAssignment::apply_expansion`]'s deterministic allocation.
+pub fn plan_expansion(assign: &GridAssignment) -> ExpansionPlan {
+    let from = assign.mapping();
+    let to = Mapping::new(from.n * 2, from.m * 2);
+    let old_j = from.j() as usize;
+    let specs = (0..old_j)
+        .map(|machine| ExpandSpec {
+            machine,
+            old_pos: assign.pos_of(machine),
+            children: [
+                old_j + 3 * machine,
+                old_j + 3 * machine + 1,
+                old_j + 3 * machine + 2,
+            ],
+            n_before: from.n,
+            m_before: from.m,
+        })
+        .collect();
+    ExpansionPlan { from, to, specs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ticket::{partition, TicketGen};
+
+    #[test]
+    fn trigger_threshold() {
+        assert!(!should_expand(50, 100));
+        assert!(should_expand(51, 100));
+        assert!(!should_expand(0, 0));
+    }
+
+    #[test]
+    fn destinations_match_fig5() {
+        let spec = ExpandSpec {
+            machine: 0,
+            old_pos: GridPos { row: 0, col: 0 },
+            children: [4, 5, 6],
+            n_before: 2,
+            m_before: 2,
+        };
+        // R with bit 0 (ticket leading bits 0...): keep + (0,1).
+        let r0 = Tuple::new(Rel::R, 0, 0, 0);
+        let d = spec.destinations(&r0);
+        assert!(d.keep && d.to_01 && !d.to_10 && !d.to_11);
+        assert_eq!(d.sends(), 1);
+        // R with bit 1 at granularity 2: bit index 1 of the ticket.
+        let r1 = Tuple::new(Rel::R, 1, 0, 1 << 62);
+        let d = spec.destinations(&r1);
+        assert!(!d.keep && !d.to_01 && d.to_10 && d.to_11);
+        assert_eq!(d.sends(), 2);
+        // S with bit 0: keep + (1,0); S with bit 1: (0,1) + (1,1).
+        let s0 = Tuple::new(Rel::S, 2, 0, 0);
+        let d = spec.destinations(&s0);
+        assert!(d.keep && !d.to_01 && d.to_10 && !d.to_11);
+        let s1 = Tuple::new(Rel::S, 3, 0, 1 << 62);
+        let d = spec.destinations(&s1);
+        assert!(!d.keep && d.to_01 && !d.to_10 && d.to_11);
+    }
+
+    #[test]
+    fn expansion_cost_is_at_most_twice_stored_state() {
+        // Theorem 4.3's premise: each parent transmits <= 2x its state.
+        let assign = GridAssignment::initial(Mapping::new(2, 2));
+        let plan = plan_expansion(&assign);
+        let mut gen = TicketGen::new(11);
+        let spec = plan.specs[0];
+        let mut stored = 0u64;
+        let mut sent = 0u64;
+        for i in 0..10_000u64 {
+            let rel = if i % 2 == 0 { Rel::R } else { Rel::S };
+            let t = Tuple::new(rel, i, 0, gen.next());
+            stored += 1;
+            sent += spec.destinations(&t).sends() as u64;
+        }
+        assert!(sent <= 2 * stored, "sent {sent} > 2x stored {stored}");
+        // And it's not far below either (~1.5x in expectation).
+        assert!(sent as f64 >= 1.4 * stored as f64);
+    }
+
+    #[test]
+    fn expanded_state_satisfies_grid_invariant() {
+        // Simulate state on a (2,2) grid, expand to (4,4), verify every
+        // child holds exactly its partition of R and S.
+        let mut assign = GridAssignment::initial(Mapping::new(2, 2));
+        let mut gen = TicketGen::new(21);
+        let from = assign.mapping();
+        let mut state: Vec<Vec<Tuple>> = vec![Vec::new(); 4];
+        let mut universe = Vec::new();
+        for i in 0..2_000u64 {
+            let rel = if i % 2 == 0 { Rel::R } else { Rel::S };
+            let t = Tuple::new(rel, i, 0, gen.next());
+            universe.push(t);
+            match rel {
+                Rel::R => {
+                    let row = partition(t.ticket, from.n);
+                    for mach in assign.machines_for_row(row) {
+                        state[mach].push(t);
+                    }
+                }
+                Rel::S => {
+                    let col = partition(t.ticket, from.m);
+                    for mach in assign.machines_for_col(col) {
+                        state[mach].push(t);
+                    }
+                }
+            }
+        }
+        let plan = plan_expansion(&assign);
+        let mut next: Vec<Vec<Tuple>> = vec![Vec::new(); 16];
+        for (k, tuples) in state.iter().enumerate() {
+            let spec = plan.specs[k];
+            for t in tuples {
+                let d = spec.destinations(t);
+                if d.keep {
+                    next[k].push(*t);
+                }
+                if d.to_01 {
+                    next[spec.children[0]].push(*t);
+                }
+                if d.to_10 {
+                    next[spec.children[1]].push(*t);
+                }
+                if d.to_11 {
+                    next[spec.children[2]].push(*t);
+                }
+            }
+        }
+        assign.apply_expansion();
+        let to = assign.mapping();
+        assert_eq!(to, Mapping::new(4, 4));
+        for k in 0..16 {
+            let pos = assign.pos_of(k);
+            let mut expected: Vec<u64> = universe
+                .iter()
+                .filter(|t| match t.rel {
+                    Rel::R => partition(t.ticket, to.n) == pos.row,
+                    Rel::S => partition(t.ticket, to.m) == pos.col,
+                })
+                .map(|t| t.seq)
+                .collect();
+            let mut actual: Vec<u64> = next[k].iter().map(|t| t.seq).collect();
+            expected.sort_unstable();
+            actual.sort_unstable();
+            assert_eq!(actual, expected, "machine {k} at {pos:?}");
+        }
+    }
+}

@@ -1,0 +1,566 @@
+//! The eventually consistent, non-blocking migration protocol
+//! (Alg. 3, §4.3.1).
+//!
+//! Blocking state relocation stalls the stream for as long as the transfer
+//! takes — unacceptable for operators holding full history. Instead, the
+//! operator divides execution into **epochs**: every mapping change
+//! increments the epoch, reshufflers tag tuples with the epoch they route
+//! under, and joiners reason about four tuple sets:
+//!
+//! * `τ` — state received before the migration decision,
+//! * `Δ` — tuples tagged with the *old* epoch arriving during migration
+//!   (routed under the old mapping by reshufflers that had not yet heard),
+//! * `Δ′` — tuples tagged with the *new* epoch (already routed correctly),
+//! * `µ` — state copies received from the exchange partner.
+//!
+//! Lemma 4.6 decomposes the correct output into seven joins; Alg. 3
+//! computes each exactly once while tuples keep flowing:
+//!
+//! | event                   | joins emitted                                 |
+//! |-------------------------|-----------------------------------------------|
+//! | old-epoch tuple `t`     | `{t} ⋈ (τ ∪ Δ)`; if `t ∈ Keep`: `{t} ⋈ Δ′`    |
+//! | new-epoch tuple `t`     | `{t} ⋈ (µ ∪ Δ′)`; `{t} ⋈ Keep(τ ∪ Δ)`         |
+//! | migration tuple `t`     | `{t} ⋈ Δ′`                                    |
+//!
+//! Old-epoch tuples of the coarsening relation are additionally forwarded
+//! to the partner (they are part of the exchanged state). When a joiner has
+//! received the epoch-change signal from **every** reshuffler (FIFO
+//! channels ⇒ no more old-epoch tuples can arrive) and the partner's
+//! end-of-state marker, it *finalises*: discards are dropped and
+//! `τ ← Keep(τ∪Δ) ∪ µ ∪ Δ′` — the state is consistent with the new mapping
+//! (Theorem 4.5).
+//!
+//! The ordering contract this module demands from its host (satisfied by
+//! `aoj-simnet`'s channels and message classes):
+//!
+//! 1. per-channel FIFO between any two tasks *within a message class*;
+//! 2. a reshuffler's epoch signal travels in the same class/channel as its
+//!    data tuples;
+//! 3. the partner's end marker travels in the same class/channel as
+//!    migration state.
+
+use crate::index::{JoinIndex, ProbeStats};
+use crate::migration::MachineStepSpec;
+use crate::tuple::{Rel, Tuple};
+
+/// Epoch counter. The system starts in epoch 0; each migration increments.
+pub type Epoch = u32;
+
+/// Outcome of feeding one data tuple to the joiner.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DataOutcome {
+    /// Probe statistics accumulated across all sets probed.
+    pub stats: ProbeStats,
+    /// The caller must forward a copy of the tuple to the exchange partner
+    /// (old-epoch tuple of the coarsening relation, Alg. 3 line 19–20).
+    pub forward_to_partner: bool,
+}
+
+/// Outcome of an epoch-change signal.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SignalOutcome {
+    /// First signal of this migration: the caller must ship
+    /// [`EpochJoiner::migration_snapshot`] to the partner (Alg. 3 line 3).
+    pub start_migration: bool,
+    /// All reshufflers have signalled: the caller must send the
+    /// end-of-state marker to the partner.
+    pub all_signals: bool,
+}
+
+/// Result of finalising a migration (for cost accounting).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FinalizeSummary {
+    /// Tuples dropped (the `Discard` class).
+    pub discarded: u64,
+    /// Tuples merged into the new `τ` from `Δ`, `µ` and `Δ′`.
+    pub merged: u64,
+}
+
+/// Per-joiner state machine implementing Alg. 3 over pluggable
+/// [`JoinIndex`] state.
+pub struct EpochJoiner {
+    epoch: Epoch,
+    migrating: bool,
+    new_epoch: Epoch,
+    spec: Option<MachineStepSpec>,
+    signals: Vec<bool>,
+    signals_remaining: usize,
+    partner_done: bool,
+    n_reshufflers: usize,
+
+    tau: Box<dyn JoinIndex>,
+    delta: Box<dyn JoinIndex>,
+    delta_prime: Box<dyn JoinIndex>,
+    mu: Box<dyn JoinIndex>,
+
+    /// Total matches emitted by this joiner (diagnostics / reports).
+    pub matches_emitted: u64,
+}
+
+impl EpochJoiner {
+    /// Create a joiner with empty state. `make_index` builds one
+    /// [`JoinIndex`] per tuple set; `n_reshufflers` is the number of
+    /// epoch-change signals to expect per migration.
+    pub fn new(
+        make_index: &dyn Fn() -> Box<dyn JoinIndex>,
+        n_reshufflers: usize,
+    ) -> EpochJoiner {
+        EpochJoiner {
+            epoch: 0,
+            migrating: false,
+            new_epoch: 0,
+            spec: None,
+            signals: vec![false; n_reshufflers],
+            signals_remaining: 0,
+            partner_done: false,
+            n_reshufflers,
+            tau: make_index(),
+            delta: make_index(),
+            delta_prime: make_index(),
+            mu: make_index(),
+            matches_emitted: 0,
+        }
+    }
+
+    /// Current (finalised) epoch.
+    #[inline]
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// True while a migration is in flight.
+    #[inline]
+    pub fn is_migrating(&self) -> bool {
+        self.migrating
+    }
+
+    /// Stored tuples across all four sets.
+    pub fn stored_tuples(&self) -> usize {
+        self.tau.len() + self.delta.len() + self.delta_prime.len() + self.mu.len()
+    }
+
+    /// Stored tuples of one relation across all four sets.
+    pub fn stored_tuples_rel(&self, rel: Rel) -> usize {
+        self.tau.len_rel(rel)
+            + self.delta.len_rel(rel)
+            + self.delta_prime.len_rel(rel)
+            + self.mu.len_rel(rel)
+    }
+
+    /// Stored bytes across all four sets (the joiner's ILF contribution).
+    pub fn stored_bytes(&self) -> u64 {
+        self.tau.bytes() + self.delta.bytes() + self.delta_prime.bytes() + self.mu.bytes()
+    }
+
+    /// Set sizes `[τ, Δ, Δ′, µ]` (diagnostics).
+    pub fn set_sizes(&self) -> [usize; 4] {
+        [
+            self.tau.len(),
+            self.delta.len(),
+            self.delta_prime.len(),
+            self.mu.len(),
+        ]
+    }
+
+    fn emit(incoming: &Tuple, stored: &Tuple, out: &mut dyn FnMut(&Tuple, &Tuple)) {
+        // Normalise output pairs to (r, s).
+        if incoming.rel == Rel::R {
+            out(incoming, stored);
+        } else {
+            out(stored, incoming);
+        }
+    }
+
+    /// Feed a data tuple tagged with `tag` by its reshuffler.
+    ///
+    /// Panics if the protocol invariants are violated (a tag more than one
+    /// epoch away, or an old-epoch tuple after all signals) — Theorem 4.6
+    /// guarantees these cannot happen under a compliant host.
+    pub fn on_data(
+        &mut self,
+        tag: Epoch,
+        t: Tuple,
+        out: &mut dyn FnMut(&Tuple, &Tuple),
+    ) -> DataOutcome {
+        let mut outcome = DataOutcome::default();
+        let mut matches = 0u64;
+        if !self.migrating {
+            assert_eq!(tag, self.epoch, "stable joiner got tuple from epoch {tag}");
+            let mut cb = |stored: &Tuple| {
+                matches += 1;
+                Self::emit(&t, stored, out);
+            };
+            outcome.stats += self.tau.probe(&t, &mut cb);
+            self.tau.insert(t);
+        } else if tag == self.epoch {
+            // Old-epoch tuple: Alg. 3 HandleTuple1, lines 15–20.
+            assert!(
+                self.signals_remaining > 0,
+                "old-epoch tuple after all reshuffler signals (FIFO violation)"
+            );
+            let spec = self.spec.expect("migrating implies spec");
+            {
+                let mut cb = |stored: &Tuple| {
+                    matches += 1;
+                    Self::emit(&t, stored, out);
+                };
+                // {t} ⋈ (τ ∪ Δ)
+                outcome.stats += self.tau.probe(&t, &mut cb);
+                outcome.stats += self.delta.probe(&t, &mut cb);
+            }
+            let class = spec.classify(&t);
+            if class.kept() {
+                // t ∈ Keep(Δ): {t} ⋈ Δ′
+                let mut cb = |stored: &Tuple| {
+                    matches += 1;
+                    Self::emit(&t, stored, out);
+                };
+                outcome.stats += self.delta_prime.probe(&t, &mut cb);
+            }
+            outcome.forward_to_partner = class.migrated();
+            self.delta.insert(t);
+        } else {
+            // New-epoch tuple: Alg. 3 lines 12–14 / 24–26.
+            assert_eq!(
+                tag, self.new_epoch,
+                "tuple from epoch {tag} while migrating {} -> {}",
+                self.epoch, self.new_epoch
+            );
+            let spec = self.spec.expect("migrating implies spec");
+            {
+                // {t} ⋈ (µ ∪ Δ′)
+                let mut cb = |stored: &Tuple| {
+                    matches += 1;
+                    Self::emit(&t, stored, out);
+                };
+                outcome.stats += self.mu.probe(&t, &mut cb);
+                outcome.stats += self.delta_prime.probe(&t, &mut cb);
+            }
+            {
+                // {t} ⋈ Keep(τ ∪ Δ)
+                let mut filter = |stored: &Tuple| spec.is_kept(stored);
+                let mut cb = |stored: &Tuple| {
+                    matches += 1;
+                    Self::emit(&t, stored, out);
+                };
+                outcome.stats += self.tau.probe_filtered(&t, &mut filter, &mut cb);
+                outcome.stats += self.delta.probe_filtered(&t, &mut filter, &mut cb);
+            }
+            self.delta_prime.insert(t);
+        }
+        self.matches_emitted += matches;
+        outcome
+    }
+
+    /// An epoch-change signal from reshuffler `from`, carrying the new
+    /// epoch index and this machine's migration role.
+    pub fn on_signal(
+        &mut self,
+        from: usize,
+        new_epoch: Epoch,
+        spec: MachineStepSpec,
+    ) -> SignalOutcome {
+        let mut outcome = SignalOutcome::default();
+        if !self.migrating {
+            assert_eq!(
+                new_epoch,
+                self.epoch + 1,
+                "signal must advance the epoch by one"
+            );
+            self.migrating = true;
+            self.new_epoch = new_epoch;
+            self.spec = Some(spec);
+            self.signals.iter_mut().for_each(|s| *s = false);
+            self.signals_remaining = self.n_reshufflers;
+            outcome.start_migration = true;
+        } else {
+            assert_eq!(new_epoch, self.new_epoch, "overlapping migrations");
+            debug_assert_eq!(self.spec, Some(spec));
+        }
+        assert!(!self.signals[from], "duplicate signal from reshuffler {from}");
+        self.signals[from] = true;
+        self.signals_remaining -= 1;
+        outcome.all_signals = self.signals_remaining == 0;
+        outcome
+    }
+
+    /// The state to ship to the partner when the migration starts: copies
+    /// of all stored tuples of the coarsening relation (Alg. 3 line 3,
+    /// "Send τ for migration"). The tuples stay in `τ` — the exchange keeps
+    /// both halves (Lemma 4.4).
+    pub fn migration_snapshot(&self) -> Vec<Tuple> {
+        let spec = self.spec.expect("snapshot requires an active migration");
+        let mut snap = Vec::new();
+        self.tau.for_each(&mut |t| {
+            if t.rel == spec.exchange_rel {
+                snap.push(*t);
+            }
+        });
+        snap
+    }
+
+    /// A migration tuple received from the partner (Alg. 3 lines 10–11 /
+    /// 22–23): `{t} ⋈ Δ′`, then `µ ← µ ∪ {t}`.
+    ///
+    /// May legitimately arrive before this joiner's own first signal (the
+    /// partner heard about the migration first); `µ` is phase-independent.
+    pub fn on_migration_tuple(
+        &mut self,
+        t: Tuple,
+        out: &mut dyn FnMut(&Tuple, &Tuple),
+    ) -> ProbeStats {
+        let mut matches = 0u64;
+        let stats = {
+            let mut cb = |stored: &Tuple| {
+                matches += 1;
+                Self::emit(&t, stored, out);
+            };
+            self.delta_prime.probe(&t, &mut cb)
+        };
+        self.mu.insert(t);
+        self.matches_emitted += matches;
+        stats
+    }
+
+    /// The partner's end-of-state marker arrived: all of `µ` is in.
+    pub fn on_partner_done(&mut self) {
+        assert!(!self.partner_done, "duplicate end-of-state marker");
+        self.partner_done = true;
+    }
+
+    /// True when the migration can be finalised: every reshuffler has
+    /// signalled and the partner's state is fully received.
+    pub fn ready_to_finalize(&self) -> bool {
+        self.migrating && self.signals_remaining == 0 && self.partner_done
+    }
+
+    /// Finalise (Alg. 3 FinalizeMigration): drop discards and merge
+    /// `Keep(τ∪Δ) ∪ µ ∪ Δ′` into the new `τ`. Returns counts for cost
+    /// accounting. The caller then acks the controller.
+    pub fn finalize(&mut self) -> FinalizeSummary {
+        assert!(self.ready_to_finalize(), "finalize called early");
+        let spec = self.spec.take().expect("migrating implies spec");
+        let mut summary = FinalizeSummary::default();
+
+        // Drop discards still sitting in τ.
+        let dropped = self.tau.extract(&mut |t| !spec.is_kept(t));
+        summary.discarded += dropped.len() as u64;
+
+        // Δ: keep survivors, drop the rest.
+        for t in self.delta.drain() {
+            if spec.is_kept(&t) {
+                self.tau.insert(t);
+                summary.merged += 1;
+            } else {
+                summary.discarded += 1;
+            }
+        }
+        // µ and Δ′ belong wholesale.
+        for t in self.mu.drain() {
+            self.tau.insert(t);
+            summary.merged += 1;
+        }
+        for t in self.delta_prime.drain() {
+            self.tau.insert(t);
+            summary.merged += 1;
+        }
+
+        self.epoch = self.new_epoch;
+        self.migrating = false;
+        self.partner_done = false;
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::VecIndex;
+    use crate::mapping::{GridAssignment, Mapping, Step};
+    use crate::migration::plan_step;
+    use crate::predicate::Predicate;
+    use crate::ticket::TicketGen;
+
+    fn make_joiner(n_reshufflers: usize) -> EpochJoiner {
+        EpochJoiner::new(&|| Box::new(VecIndex::new(Predicate::Equi)), n_reshufflers)
+    }
+
+    fn collect_pairs(out: &mut Vec<(u64, u64)>) -> impl FnMut(&Tuple, &Tuple) + '_ {
+        |r: &Tuple, s: &Tuple| out.push((r.seq, s.seq))
+    }
+
+    #[test]
+    fn stable_phase_is_symmetric_hash_join() {
+        let mut j = make_joiner(1);
+        let mut pairs = Vec::new();
+        let r = Tuple::new(Rel::R, 1, 5, 0);
+        let s = Tuple::new(Rel::S, 2, 5, 0);
+        j.on_data(0, r, &mut collect_pairs(&mut pairs));
+        j.on_data(0, s, &mut collect_pairs(&mut pairs));
+        assert_eq!(pairs, vec![(1, 2)]);
+        assert_eq!(j.stored_tuples(), 2);
+        assert_eq!(j.matches_emitted, 1);
+    }
+
+    /// Build a two-joiner world mid-migration: (2,1) -> (1,2). Machine 0
+    /// and machine 1 are partners exchanging R; S refines from 1 part to 2.
+    fn mid_migration_pair() -> (EpochJoiner, EpochJoiner, crate::migration::MigrationPlan) {
+        let assign = GridAssignment::initial(Mapping::new(2, 1));
+        let plan = plan_step(&assign, Step::HalveRows);
+        let a = make_joiner(2);
+        let b = make_joiner(2);
+        (a, b, plan)
+    }
+
+    #[test]
+    fn signal_protocol_tracks_start_and_completion() {
+        let (mut a, _b, plan) = mid_migration_pair();
+        let s0 = a.on_signal(0, 1, plan.specs[0]);
+        assert!(s0.start_migration);
+        assert!(!s0.all_signals);
+        assert!(a.is_migrating());
+        let s1 = a.on_signal(1, 1, plan.specs[0]);
+        assert!(!s1.start_migration);
+        assert!(s1.all_signals);
+        assert!(!a.ready_to_finalize());
+        a.on_partner_done();
+        assert!(a.ready_to_finalize());
+        let summary = a.finalize();
+        assert_eq!(summary, FinalizeSummary::default());
+        assert_eq!(a.epoch(), 1);
+        assert!(!a.is_migrating());
+    }
+
+    #[test]
+    fn old_epoch_r_tuple_is_forwarded_and_joined() {
+        let (mut a, _b, plan) = mid_migration_pair();
+        let mut pairs = Vec::new();
+        // Pre-migration state: one S tuple in τ.
+        let s_old = Tuple::new(Rel::S, 1, 7, 0); // refine_bit(0, 1) == 0
+        a.on_data(0, s_old, &mut collect_pairs(&mut pairs));
+        // Migration starts.
+        a.on_signal(0, 1, plan.specs[0]);
+        // Old-epoch R tuple arrives: joins τ∪Δ (the S tuple), forwarded.
+        let r_old = Tuple::new(Rel::R, 2, 7, 0);
+        let outcome = a.on_data(0, r_old, &mut collect_pairs(&mut pairs));
+        assert!(outcome.forward_to_partner, "coarsening-relation Δ tuple must migrate");
+        assert_eq!(pairs, vec![(2, 1)]);
+    }
+
+    #[test]
+    fn new_epoch_tuple_joins_keep_but_not_discard() {
+        let (mut a, _b, plan) = mid_migration_pair();
+        let spec = plan.specs[0];
+        assert_eq!(spec.keep_bit, 0, "machine 0 at row 0 keeps bit 0");
+        let mut pairs = Vec::new();
+        // τ holds two S tuples: one kept (bit 0) and one discarded (bit 1).
+        let s_keep = Tuple::new(Rel::S, 1, 7, 0); // refine_bit = 0
+        let s_drop = Tuple::new(Rel::S, 2, 7, 1 << 63); // refine_bit = 1
+        a.on_data(0, s_keep, &mut collect_pairs(&mut pairs));
+        a.on_data(0, s_drop, &mut collect_pairs(&mut pairs));
+        a.on_signal(0, 1, spec);
+        // New-epoch R tuple: joins µ ∪ Δ′ (empty) and Keep(τ∪Δ) = {s_keep}.
+        let r_new = Tuple::new(Rel::R, 3, 7, 0);
+        a.on_data(1, r_new, &mut collect_pairs(&mut pairs));
+        assert_eq!(pairs, vec![(3, 1)], "must join the kept S tuple only");
+    }
+
+    #[test]
+    fn migration_tuples_join_delta_prime_only() {
+        let (mut a, _b, plan) = mid_migration_pair();
+        let mut pairs = Vec::new();
+        a.on_signal(0, 1, plan.specs[0]);
+        // Δ′ gets an S tuple.
+        let s_new = Tuple::new(Rel::S, 1, 9, 0);
+        a.on_data(1, s_new, &mut collect_pairs(&mut pairs));
+        assert!(pairs.is_empty());
+        // Partner's R state arrives: joins Δ′.
+        let r_mu = Tuple::new(Rel::R, 2, 9, u64::MAX);
+        a.on_migration_tuple(r_mu, &mut collect_pairs(&mut pairs));
+        assert_eq!(pairs, vec![(2, 1)]);
+        // A second Δ′ S tuple must see µ.
+        let s_new2 = Tuple::new(Rel::S, 3, 9, 0);
+        a.on_data(1, s_new2, &mut collect_pairs(&mut pairs));
+        assert_eq!(pairs, vec![(2, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn migration_tuple_before_any_signal_is_buffered_in_mu() {
+        let (mut a, _b, plan) = mid_migration_pair();
+        let mut pairs = Vec::new();
+        // Partner was faster: its state arrives while a is still stable.
+        let r_mu = Tuple::new(Rel::R, 1, 4, u64::MAX);
+        a.on_migration_tuple(r_mu, &mut collect_pairs(&mut pairs));
+        assert!(pairs.is_empty());
+        assert_eq!(a.set_sizes(), [0, 0, 0, 1]);
+        a.on_partner_done();
+        // Now the signals arrive and the migration completes.
+        a.on_signal(0, 1, plan.specs[0]);
+        a.on_signal(1, 1, plan.specs[0]);
+        assert!(a.ready_to_finalize());
+        let summary = a.finalize();
+        assert_eq!(summary.merged, 1);
+        // µ became part of τ: a new S tuple in epoch 1 joins it.
+        let s = Tuple::new(Rel::S, 2, 4, 0);
+        a.on_data(1, s, &mut collect_pairs(&mut pairs));
+        assert_eq!(pairs, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn finalize_discards_wrong_bit_tuples() {
+        let (mut a, _b, plan) = mid_migration_pair();
+        let spec = plan.specs[0];
+        let mut sink = Vec::new();
+        let s_keep = Tuple::new(Rel::S, 1, 7, 0);
+        let s_drop = Tuple::new(Rel::S, 2, 7, 1 << 63);
+        a.on_data(0, s_keep, &mut collect_pairs(&mut sink));
+        a.on_data(0, s_drop, &mut collect_pairs(&mut sink));
+        a.on_signal(0, 1, spec);
+        // Old-epoch S arrivals during migration, one of each class.
+        let s_keep2 = Tuple::new(Rel::S, 3, 7, 1); // bit 0
+        let s_drop2 = Tuple::new(Rel::S, 4, 7, (1 << 63) | 1); // bit 1
+        a.on_data(0, s_keep2, &mut collect_pairs(&mut sink));
+        a.on_data(0, s_drop2, &mut collect_pairs(&mut sink));
+        a.on_signal(1, 1, spec);
+        a.on_partner_done();
+        let summary = a.finalize();
+        assert_eq!(summary.discarded, 2);
+        assert_eq!(summary.merged, 1); // s_keep2 from Δ
+        assert_eq!(a.stored_tuples(), 2); // s_keep + s_keep2
+    }
+
+    #[test]
+    #[should_panic(expected = "old-epoch tuple after all reshuffler signals")]
+    fn old_epoch_after_all_signals_is_a_protocol_violation() {
+        let (mut a, _b, plan) = mid_migration_pair();
+        a.on_signal(0, 1, plan.specs[0]);
+        a.on_signal(1, 1, plan.specs[0]);
+        let mut sink = |_: &Tuple, _: &Tuple| {};
+        a.on_data(0, Tuple::new(Rel::R, 1, 1, 0), &mut sink);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate signal")]
+    fn duplicate_signals_panic() {
+        let (mut a, _b, plan) = mid_migration_pair();
+        a.on_signal(0, 1, plan.specs[0]);
+        a.on_signal(0, 1, plan.specs[0]);
+    }
+
+    #[test]
+    fn snapshot_contains_only_exchange_relation() {
+        let (mut a, _b, plan) = mid_migration_pair();
+        let mut sink = |_: &Tuple, _: &Tuple| {};
+        let mut gen = TicketGen::new(3);
+        for i in 0..10 {
+            let rel = if i % 2 == 0 { Rel::R } else { Rel::S };
+            a.on_data(0, Tuple::new(rel, i, i as i64, gen.next()), &mut sink);
+        }
+        a.on_signal(0, 1, plan.specs[0]);
+        let snap = a.migration_snapshot();
+        assert_eq!(snap.len(), 5);
+        assert!(snap.iter().all(|t| t.rel == Rel::R));
+        // Snapshot does not remove: τ still holds everything.
+        assert_eq!(a.set_sizes()[0], 10);
+    }
+}

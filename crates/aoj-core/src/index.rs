@@ -1,0 +1,287 @@
+//! The local join-state abstraction.
+//!
+//! §3.2: "Any flavor of non-blocking join algorithm can be independently
+//! adopted at each joiner task." [`JoinIndex`] is that plug-in point: a
+//! two-sided tuple store that supports the insert/probe pattern of local
+//! non-blocking joins plus the bulk operations migrations need (drain,
+//! filtered extraction, iteration). `aoj-joinalg` provides indexed
+//! implementations (symmetric hash, B-tree band, nested loop);
+//! [`VecIndex`] here is the obvious-by-inspection reference used by tests
+//! and by the epoch-protocol correctness proofs.
+
+use crate::predicate::Predicate;
+use crate::tuple::{Rel, Tuple};
+
+/// Statistics from one probe: how many index entries were scanned and how
+/// many satisfied the predicate. Feeds the CPU cost model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Index entries examined.
+    pub candidates: u64,
+    /// Matches found (after the optional filter).
+    pub matches: u64,
+}
+
+impl std::ops::Add for ProbeStats {
+    type Output = ProbeStats;
+    fn add(self, rhs: ProbeStats) -> ProbeStats {
+        ProbeStats {
+            candidates: self.candidates + rhs.candidates,
+            matches: self.matches + rhs.matches,
+        }
+    }
+}
+
+impl std::ops::AddAssign for ProbeStats {
+    fn add_assign(&mut self, rhs: ProbeStats) {
+        *self = *self + rhs;
+    }
+}
+
+/// A two-sided store of R and S tuples supporting insert-probe joins and
+/// the bulk state operations used by migrations.
+pub trait JoinIndex {
+    /// Insert a tuple into its relation's side.
+    fn insert(&mut self, t: Tuple);
+
+    /// Find matches between `t` and stored tuples of the *opposite*
+    /// relation, but only those stored tuples accepted by `filter`;
+    /// `on_match` is invoked once per match. Returns scan statistics.
+    ///
+    /// The filter is how the epoch protocol joins against `Keep(τ ∪ Δ)`
+    /// without physically splitting the τ index mid-migration.
+    fn probe_filtered(
+        &mut self,
+        t: &Tuple,
+        filter: &mut dyn FnMut(&Tuple) -> bool,
+        on_match: &mut dyn FnMut(&Tuple),
+    ) -> ProbeStats;
+
+    /// Unfiltered probe.
+    fn probe(&mut self, t: &Tuple, on_match: &mut dyn FnMut(&Tuple)) -> ProbeStats {
+        self.probe_filtered(t, &mut |_| true, on_match)
+    }
+
+    /// Probe counting matches only.
+    fn probe_count(&mut self, t: &Tuple) -> ProbeStats {
+        self.probe_filtered(t, &mut |_| true, &mut |_| {})
+    }
+
+    /// Number of stored tuples, both sides.
+    fn len(&self) -> usize;
+
+    /// True if no tuples are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stored tuples of one relation.
+    fn len_rel(&self, rel: Rel) -> usize;
+
+    /// Total stored payload bytes.
+    fn bytes(&self) -> u64;
+
+    /// Remove and return all tuples.
+    fn drain(&mut self) -> Vec<Tuple>;
+
+    /// Remove and return the tuples for which `pred` is true (discards and
+    /// migration extraction).
+    fn extract(&mut self, pred: &mut dyn FnMut(&Tuple) -> bool) -> Vec<Tuple>;
+
+    /// Visit every stored tuple.
+    fn for_each(&self, f: &mut dyn FnMut(&Tuple));
+
+    /// Collect every stored tuple (testing convenience).
+    fn snapshot(&self) -> Vec<Tuple> {
+        let mut v = Vec::with_capacity(self.len());
+        self.for_each(&mut |t| v.push(*t));
+        v
+    }
+}
+
+/// Reference [`JoinIndex`]: two plain vectors and a linear scan per probe.
+/// O(|state|) probes, but trivially correct for any predicate — the
+/// yardstick the optimised indexes are tested against.
+pub struct VecIndex {
+    predicate: Predicate,
+    r: Vec<Tuple>,
+    s: Vec<Tuple>,
+    bytes: u64,
+}
+
+impl VecIndex {
+    /// Create an empty store joining with `predicate`.
+    pub fn new(predicate: Predicate) -> VecIndex {
+        VecIndex {
+            predicate,
+            r: Vec::new(),
+            s: Vec::new(),
+            bytes: 0,
+        }
+    }
+
+    fn side(&self, rel: Rel) -> &Vec<Tuple> {
+        match rel {
+            Rel::R => &self.r,
+            Rel::S => &self.s,
+        }
+    }
+}
+
+impl JoinIndex for VecIndex {
+    fn insert(&mut self, t: Tuple) {
+        self.bytes += t.bytes as u64;
+        match t.rel {
+            Rel::R => self.r.push(t),
+            Rel::S => self.s.push(t),
+        }
+    }
+
+    fn probe_filtered(
+        &mut self,
+        t: &Tuple,
+        filter: &mut dyn FnMut(&Tuple) -> bool,
+        on_match: &mut dyn FnMut(&Tuple),
+    ) -> ProbeStats {
+        let mut stats = ProbeStats::default();
+        let others = self.side(t.rel.other());
+        stats.candidates = others.len() as u64;
+        for other in others {
+            if self.predicate.matches_pair(t, other) && filter(other) {
+                stats.matches += 1;
+                on_match(other);
+            }
+        }
+        stats
+    }
+
+    fn len(&self) -> usize {
+        self.r.len() + self.s.len()
+    }
+
+    fn len_rel(&self, rel: Rel) -> usize {
+        self.side(rel).len()
+    }
+
+    fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn drain(&mut self) -> Vec<Tuple> {
+        self.bytes = 0;
+        let mut out = std::mem::take(&mut self.r);
+        out.append(&mut self.s);
+        out
+    }
+
+    fn extract(&mut self, pred: &mut dyn FnMut(&Tuple) -> bool) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        for side in [&mut self.r, &mut self.s] {
+            let mut i = 0;
+            while i < side.len() {
+                if pred(&side[i]) {
+                    out.push(side.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        for t in &out {
+            self.bytes -= t.bytes as u64;
+        }
+        out
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&Tuple)) {
+        for t in &self.r {
+            f(t);
+        }
+        for t in &self.s {
+            f(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(seq: u64, key: i64) -> Tuple {
+        Tuple::new(Rel::R, seq, key, seq.wrapping_mul(0x9E3779B97F4A7C15))
+    }
+    fn s(seq: u64, key: i64) -> Tuple {
+        Tuple::new(Rel::S, seq, key, seq.wrapping_mul(0x9E3779B97F4A7C15))
+    }
+
+    #[test]
+    fn insert_probe_symmetric_hash_pattern() {
+        let mut idx = VecIndex::new(Predicate::Equi);
+        assert_eq!(idx.probe_count(&r(0, 5)).matches, 0);
+        idx.insert(r(0, 5));
+        idx.insert(r(1, 6));
+        let stats = idx.probe_count(&s(2, 5));
+        assert_eq!(stats.matches, 1);
+        assert_eq!(stats.candidates, 2);
+        idx.insert(s(2, 5));
+        // R probe sees the stored S tuple.
+        assert_eq!(idx.probe_count(&r(3, 5)).matches, 1);
+    }
+
+    #[test]
+    fn filtered_probe_restricts_matches() {
+        let mut idx = VecIndex::new(Predicate::Equi);
+        idx.insert(r(0, 1));
+        idx.insert(r(1, 1));
+        let mut only_even_seq = |t: &Tuple| t.seq % 2 == 0;
+        let stats = idx.probe_filtered(&s(5, 1), &mut only_even_seq, &mut |_| {});
+        assert_eq!(stats.matches, 1);
+        assert_eq!(stats.candidates, 2);
+    }
+
+    #[test]
+    fn extract_removes_and_updates_bytes() {
+        let mut idx = VecIndex::new(Predicate::Equi);
+        for i in 0..10 {
+            idx.insert(r(i, i as i64));
+        }
+        let total = idx.bytes();
+        let removed = idx.extract(&mut |t| t.key < 5);
+        assert_eq!(removed.len(), 5);
+        assert_eq!(idx.len(), 5);
+        assert_eq!(idx.bytes(), total - removed.iter().map(|t| t.bytes as u64).sum::<u64>());
+    }
+
+    #[test]
+    fn drain_empties() {
+        let mut idx = VecIndex::new(Predicate::CrossProduct);
+        idx.insert(r(0, 0));
+        idx.insert(s(1, 0));
+        let all = idx.drain();
+        assert_eq!(all.len(), 2);
+        assert!(idx.is_empty());
+        assert_eq!(idx.bytes(), 0);
+    }
+
+    #[test]
+    fn len_rel_counts_sides() {
+        let mut idx = VecIndex::new(Predicate::Equi);
+        idx.insert(r(0, 0));
+        idx.insert(r(1, 0));
+        idx.insert(s(2, 0));
+        assert_eq!(idx.len_rel(Rel::R), 2);
+        assert_eq!(idx.len_rel(Rel::S), 1);
+        assert_eq!(idx.snapshot().len(), 3);
+    }
+
+    #[test]
+    fn on_match_receives_partners() {
+        let mut idx = VecIndex::new(Predicate::Band { width: 1 });
+        idx.insert(s(0, 10));
+        idx.insert(s(1, 11));
+        idx.insert(s(2, 13));
+        let mut partners = Vec::new();
+        idx.probe(&r(3, 11), &mut |t| partners.push(t.key));
+        partners.sort();
+        assert_eq!(partners, vec![10, 11]);
+    }
+}

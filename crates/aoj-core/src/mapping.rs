@@ -1,0 +1,435 @@
+//! The grid-layout `(n,m)`-mapping scheme (§3.1, §3.4) and its evolution
+//! under migrations.
+//!
+//! A join between streams R and S is a join-matrix; `J = n · m` joiners
+//! each own one congruent rectangle: the joiner at grid position `(i, j)`
+//! stores partition `Ri` and partition `Sj` and evaluates `Ri ⋈θ Sj`.
+//! Every matrix cell is covered by exactly one joiner, so results are
+//! complete and duplicate-free by construction.
+//!
+//! [`GridAssignment`] tracks which *physical machine* sits at which grid
+//! position. Migrations relabel positions **locality-aware** (Fig. 3): when
+//! `(n, m) → (n/2, 2m)`, machine `(i, j)` moves to `(i/2, 2j + (i mod 2))`,
+//! so it keeps all its R state, exchanges R with a single partner, and
+//! deterministically discards half its S state — the minimal-relocation
+//! scheme of Lemma 4.4.
+
+use crate::tuple::Rel;
+
+/// An `(n, m)`-mapping: R is split into `n` row partitions and S into `m`
+/// column partitions; `n · m = J`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Mapping {
+    /// Number of R partitions (rows).
+    pub n: u32,
+    /// Number of S partitions (columns).
+    pub m: u32,
+}
+
+impl Mapping {
+    /// Create a mapping. Both dimensions must be non-zero powers of two.
+    pub fn new(n: u32, m: u32) -> Mapping {
+        assert!(n.is_power_of_two() && m.is_power_of_two(), "(n,m) must be powers of two");
+        Mapping { n, m }
+    }
+
+    /// Total joiners `J = n · m`.
+    #[inline]
+    pub fn j(&self) -> u32 {
+        self.n * self.m
+    }
+
+    /// The most square mapping for `j` joiners: `(2^⌊e/2⌋, 2^⌈e/2⌉)` where
+    /// `j = 2^e`. This is the paper's **StaticMid** scheme `(√J, √J)`.
+    pub fn square(j: u32) -> Mapping {
+        assert!(j.is_power_of_two(), "J must be a power of two");
+        let e = j.trailing_zeros();
+        Mapping::new(1 << (e / 2), 1 << (e - e / 2))
+    }
+
+    /// `(n/2, 2m)` if `n ≥ 2`.
+    pub fn halve_rows(&self) -> Option<Mapping> {
+        (self.n >= 2).then(|| Mapping::new(self.n / 2, self.m * 2))
+    }
+
+    /// `(2n, m/2)` if `m ≥ 2`.
+    pub fn halve_cols(&self) -> Option<Mapping> {
+        (self.m >= 2).then(|| Mapping::new(self.n * 2, self.m / 2))
+    }
+
+    /// Partition count along `rel`'s axis: `n` for R, `m` for S.
+    #[inline]
+    pub fn parts(&self, rel: Rel) -> u32 {
+        match rel {
+            Rel::R => self.n,
+            Rel::S => self.m,
+        }
+    }
+
+    /// Replication factor of `rel`: how many joiners hold each partition
+    /// (`m` for R, `n` for S).
+    #[inline]
+    pub fn replication(&self, rel: Rel) -> u32 {
+        match rel {
+            Rel::R => self.m,
+            Rel::S => self.n,
+        }
+    }
+}
+
+/// A single adaptivity step. Lemma 4.2 proves the optimum never moves more
+/// than one step per decision under Alg. 2 with ε = 1; larger jumps are
+/// executed as chains of steps.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Step {
+    /// `(n, m) → (n/2, 2m)`: R partitions coarsen (pairwise exchange),
+    /// S partitions refine (deterministic discard).
+    HalveRows,
+    /// `(n, m) → (2n, m/2)`: S coarsens, R refines.
+    HalveCols,
+}
+
+impl Step {
+    /// The relation whose partitions merge; its state is *exchanged*
+    /// between partner joiners.
+    pub fn coarsens(self) -> Rel {
+        match self {
+            Step::HalveRows => Rel::R,
+            Step::HalveCols => Rel::S,
+        }
+    }
+
+    /// The relation whose partitions split; each joiner *discards* the half
+    /// that no longer belongs to it.
+    pub fn refines(self) -> Rel {
+        self.coarsens().other()
+    }
+
+    /// Apply to a mapping.
+    pub fn apply(self, mapping: Mapping) -> Option<Mapping> {
+        match self {
+            Step::HalveRows => mapping.halve_rows(),
+            Step::HalveCols => mapping.halve_cols(),
+        }
+    }
+}
+
+/// The chain of steps leading from `from` to `to` (same `J`). Empty if the
+/// mappings are equal.
+pub fn steps_between(from: Mapping, to: Mapping) -> Vec<Step> {
+    assert_eq!(from.j(), to.j(), "steps_between requires equal J");
+    let mut steps = Vec::new();
+    let mut cur = from;
+    while cur.n > to.n {
+        steps.push(Step::HalveRows);
+        cur = cur.halve_rows().expect("n > to.n >= 1");
+    }
+    while cur.m > to.m {
+        steps.push(Step::HalveCols);
+        cur = cur.halve_cols().expect("m > to.m >= 1");
+    }
+    debug_assert_eq!(cur, to);
+    steps
+}
+
+/// A position in the grid.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct GridPos {
+    /// Row = R partition index owned.
+    pub row: u32,
+    /// Column = S partition index owned.
+    pub col: u32,
+}
+
+/// Which physical machine sits at which grid position. Evolves under
+/// migrations with the locality-aware relabelling of Fig. 3.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GridAssignment {
+    mapping: Mapping,
+    /// machine index → grid position
+    pos: Vec<GridPos>,
+    /// row-major grid cell → machine index
+    machine: Vec<u32>,
+}
+
+impl GridAssignment {
+    /// The canonical initial assignment: machine `k` sits at
+    /// `(k / m, k mod m)`.
+    pub fn initial(mapping: Mapping) -> GridAssignment {
+        let j = mapping.j() as usize;
+        let mut pos = Vec::with_capacity(j);
+        let mut machine = vec![0u32; j];
+        for k in 0..j as u32 {
+            let p = GridPos {
+                row: k / mapping.m,
+                col: k % mapping.m,
+            };
+            pos.push(p);
+            machine[(p.row * mapping.m + p.col) as usize] = k;
+        }
+        GridAssignment { mapping, pos, machine }
+    }
+
+    /// Current mapping.
+    #[inline]
+    pub fn mapping(&self) -> Mapping {
+        self.mapping
+    }
+
+    /// Number of machines.
+    #[inline]
+    pub fn j(&self) -> u32 {
+        self.mapping.j()
+    }
+
+    /// Grid position of a machine.
+    #[inline]
+    pub fn pos_of(&self, machine: usize) -> GridPos {
+        self.pos[machine]
+    }
+
+    /// Machine at a grid position.
+    #[inline]
+    pub fn machine_at(&self, row: u32, col: u32) -> usize {
+        debug_assert!(row < self.mapping.n && col < self.mapping.m);
+        self.machine[(row * self.mapping.m + col) as usize] as usize
+    }
+
+    /// Machines holding R partition `row` (the whole grid row).
+    pub fn machines_for_row(&self, row: u32) -> impl Iterator<Item = usize> + '_ {
+        (0..self.mapping.m).map(move |c| self.machine_at(row, c))
+    }
+
+    /// Machines holding S partition `col` (the whole grid column).
+    pub fn machines_for_col(&self, col: u32) -> impl Iterator<Item = usize> + '_ {
+        (0..self.mapping.n).map(move |r| self.machine_at(r, col))
+    }
+
+    /// New grid position of the machine currently at `p` after `step`.
+    pub fn relabel(p: GridPos, step: Step) -> GridPos {
+        match step {
+            Step::HalveRows => GridPos {
+                row: p.row >> 1,
+                col: (p.col << 1) | (p.row & 1),
+            },
+            Step::HalveCols => GridPos {
+                row: (p.row << 1) | (p.col & 1),
+                col: p.col >> 1,
+            },
+        }
+    }
+
+    /// The exchange partner (Lemma 4.4) of the machine at `p`: the sibling
+    /// that owns the other half of the merged partition.
+    pub fn partner_pos(p: GridPos, step: Step) -> GridPos {
+        match step {
+            Step::HalveRows => GridPos { row: p.row ^ 1, col: p.col },
+            Step::HalveCols => GridPos { row: p.row, col: p.col ^ 1 },
+        }
+    }
+
+    /// Apply a migration step, relabelling every machine in place.
+    pub fn apply_step(&mut self, step: Step) {
+        let new_mapping = step.apply(self.mapping).expect("mapping cannot shrink below 1");
+        let mut machine = vec![0u32; new_mapping.j() as usize];
+        for (k, p) in self.pos.iter_mut().enumerate() {
+            let np = Self::relabel(*p, step);
+            *p = np;
+            machine[(np.row * new_mapping.m + np.col) as usize] = k as u32;
+        }
+        self.mapping = new_mapping;
+        self.machine = machine;
+    }
+
+    /// Apply an elastic ×4 expansion (§"Elasticity", Fig. 5): the mapping
+    /// becomes `(2n, 2m)`; the machine previously at `(i, j)` stays at
+    /// `(2i, 2j)` and three fresh machines fill the other three children.
+    /// Fresh machine indices are allocated from `old_j ..` in a fixed
+    /// deterministic order: for old machine `k`, children `(a, b) ≠ (0, 0)`
+    /// get indices `old_j + 3k`, `old_j + 3k + 1`, `old_j + 3k + 2` for
+    /// `(0,1)`, `(1,0)`, `(1,1)` respectively.
+    pub fn apply_expansion(&mut self) {
+        let old_j = self.j() as usize;
+        let new_mapping = Mapping::new(self.mapping.n * 2, self.mapping.m * 2);
+        let mut pos = self.pos.clone();
+        pos.resize(old_j * 4, GridPos { row: 0, col: 0 });
+        let mut machine = vec![0u32; new_mapping.j() as usize];
+        for k in 0..old_j {
+            let p = self.pos[k];
+            let children = [
+                (k, GridPos { row: 2 * p.row, col: 2 * p.col }),
+                (old_j + 3 * k, GridPos { row: 2 * p.row, col: 2 * p.col + 1 }),
+                (old_j + 3 * k + 1, GridPos { row: 2 * p.row + 1, col: 2 * p.col }),
+                (old_j + 3 * k + 2, GridPos { row: 2 * p.row + 1, col: 2 * p.col + 1 }),
+            ];
+            for (idx, cp) in children {
+                pos[idx] = cp;
+                machine[(cp.row * new_mapping.m + cp.col) as usize] = idx as u32;
+            }
+        }
+        self.mapping = new_mapping;
+        self.pos = pos;
+        self.machine = machine;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_mapping() {
+        assert_eq!(Mapping::square(16), Mapping::new(4, 4));
+        assert_eq!(Mapping::square(64), Mapping::new(8, 8));
+        assert_eq!(Mapping::square(32), Mapping::new(4, 8));
+        assert_eq!(Mapping::square(1), Mapping::new(1, 1));
+    }
+
+    #[test]
+    fn halving_bounds() {
+        let m = Mapping::new(1, 8);
+        assert!(m.halve_rows().is_none());
+        assert_eq!(m.halve_cols(), Some(Mapping::new(2, 4)));
+    }
+
+    #[test]
+    fn parts_and_replication() {
+        let m = Mapping::new(2, 8);
+        assert_eq!(m.parts(Rel::R), 2);
+        assert_eq!(m.parts(Rel::S), 8);
+        assert_eq!(m.replication(Rel::R), 8);
+        assert_eq!(m.replication(Rel::S), 2);
+        assert_eq!(m.j(), 16);
+    }
+
+    #[test]
+    fn steps_between_chains() {
+        let from = Mapping::new(8, 2);
+        let to = Mapping::new(1, 16);
+        let steps = steps_between(from, to);
+        assert_eq!(steps, vec![Step::HalveRows; 3]);
+        let mut cur = from;
+        for s in steps {
+            cur = s.apply(cur).unwrap();
+        }
+        assert_eq!(cur, to);
+
+        assert!(steps_between(from, from).is_empty());
+        assert_eq!(
+            steps_between(Mapping::new(2, 8), Mapping::new(8, 2)),
+            vec![Step::HalveCols; 2]
+        );
+    }
+
+    #[test]
+    fn initial_assignment_is_row_major_bijection() {
+        let a = GridAssignment::initial(Mapping::new(4, 4));
+        for k in 0..16 {
+            let p = a.pos_of(k);
+            assert_eq!(a.machine_at(p.row, p.col), k);
+        }
+        assert_eq!(a.pos_of(5), GridPos { row: 1, col: 1 });
+    }
+
+    #[test]
+    fn relabel_matches_fig3() {
+        // Fig. 3 migrates (8,2) -> (4,4). Machine at (i, j) moves to
+        // (i/2, 2j + i%2); partners are (i^1, j).
+        let p = GridPos { row: 5, col: 1 };
+        let np = GridAssignment::relabel(p, Step::HalveRows);
+        assert_eq!(np, GridPos { row: 2, col: 3 });
+        let partner = GridAssignment::partner_pos(p, Step::HalveRows);
+        assert_eq!(partner, GridPos { row: 4, col: 1 });
+        // Partner lands on the sibling column of the same new row.
+        let npp = GridAssignment::relabel(partner, Step::HalveRows);
+        assert_eq!(npp, GridPos { row: 2, col: 2 });
+    }
+
+    #[test]
+    fn apply_step_remains_bijective() {
+        let mut a = GridAssignment::initial(Mapping::new(8, 2));
+        a.apply_step(Step::HalveRows);
+        assert_eq!(a.mapping(), Mapping::new(4, 4));
+        let mut seen = vec![false; 16];
+        for r in 0..4 {
+            for c in 0..4 {
+                let k = a.machine_at(r, c);
+                assert!(!seen[k], "machine {k} appears twice");
+                seen[k] = true;
+                assert_eq!(a.pos_of(k), GridPos { row: r, col: c });
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn partners_merge_to_same_row() {
+        let a = GridAssignment::initial(Mapping::new(8, 2));
+        for k in 0..16 {
+            let p = a.pos_of(k);
+            let partner = GridAssignment::partner_pos(p, Step::HalveRows);
+            let np = GridAssignment::relabel(p, Step::HalveRows);
+            let npp = GridAssignment::relabel(partner, Step::HalveRows);
+            assert_eq!(np.row, npp.row, "partners must share the merged row");
+            assert_ne!(np.col, npp.col, "partners must own complementary cols");
+        }
+    }
+
+    #[test]
+    fn long_step_chains_stay_bijective() {
+        let mut a = GridAssignment::initial(Mapping::new(8, 8));
+        for step in [
+            Step::HalveRows,
+            Step::HalveRows,
+            Step::HalveCols,
+            Step::HalveCols,
+            Step::HalveCols,
+            Step::HalveRows,
+        ] {
+            a.apply_step(step);
+            let mp = a.mapping();
+            let mut seen = vec![false; mp.j() as usize];
+            for r in 0..mp.n {
+                for c in 0..mp.m {
+                    let k = a.machine_at(r, c);
+                    assert!(!seen[k]);
+                    seen[k] = true;
+                }
+            }
+        }
+        // (8,8) →HR (4,16) →HR (2,32) →HC (4,16) →HC (8,8) →HC (16,4)
+        // →HR (8,8).
+        assert_eq!(a.mapping(), Mapping::new(8, 8));
+    }
+
+    #[test]
+    fn expansion_quadruples_grid() {
+        let mut a = GridAssignment::initial(Mapping::new(2, 2));
+        a.apply_expansion();
+        assert_eq!(a.mapping(), Mapping::new(4, 4));
+        // Old machine 0 was at (0,0); it stays at (0,0) and its children
+        // occupy (0,1), (1,0), (1,1) with indices 4,5,6.
+        assert_eq!(a.machine_at(0, 0), 0);
+        assert_eq!(a.machine_at(0, 1), 4);
+        assert_eq!(a.machine_at(1, 0), 5);
+        assert_eq!(a.machine_at(1, 1), 6);
+        // Bijectivity.
+        let mut seen = vec![false; 16];
+        for r in 0..4 {
+            for c in 0..4 {
+                let k = a.machine_at(r, c);
+                assert!(!seen[k]);
+                seen[k] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn row_and_col_iterators() {
+        let a = GridAssignment::initial(Mapping::new(2, 4));
+        let row0: Vec<usize> = a.machines_for_row(0).collect();
+        assert_eq!(row0, vec![0, 1, 2, 3]);
+        let col2: Vec<usize> = a.machines_for_col(2).collect();
+        assert_eq!(col2, vec![2, 6]);
+    }
+}

@@ -1,0 +1,122 @@
+//! The stream tuple model.
+//!
+//! The operator is *content-insensitive* (§3.2): routing never looks at a
+//! tuple's attributes, only at a uniformly random **ticket** drawn when the
+//! tuple enters the operator. The ticket's leading bits name the tuple's
+//! partition at every power-of-two granularity simultaneously (see
+//! [`crate::ticket`]), which is what makes the paper's deterministic
+//! discard/exchange migration possible without any coordination.
+
+/// Which input stream a tuple belongs to. The paper joins two streams,
+/// `R` and `S`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Rel {
+    /// The left stream (rows of the join matrix).
+    R,
+    /// The right stream (columns of the join matrix).
+    S,
+}
+
+impl Rel {
+    /// The opposite stream.
+    #[inline]
+    pub fn other(self) -> Rel {
+        match self {
+            Rel::R => Rel::S,
+            Rel::S => Rel::R,
+        }
+    }
+
+    /// `0` for `R`, `1` for `S`; handy for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Rel::R => 0,
+            Rel::S => 1,
+        }
+    }
+}
+
+/// A stream tuple as seen by the operator.
+///
+/// Real attribute payloads are irrelevant to the operator's behaviour; what
+/// matters is the join key (and an auxiliary attribute for richer
+/// predicates), the wire size, and the routing ticket. Keeping the struct
+/// `Copy` and 40 bytes wide keeps joiner state compact.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Tuple {
+    /// Global arrival sequence number assigned by the source; doubles as a
+    /// unique id and as the arrival timestamp for latency accounting.
+    pub seq: u64,
+    /// Owning stream.
+    pub rel: Rel,
+    /// Join key (e.g. `orderkey`, `shipdate` as days, a supplier key…).
+    pub key: i64,
+    /// Secondary attribute available to theta predicates.
+    pub aux: i32,
+    /// Simulated payload size in bytes.
+    pub bytes: u32,
+    /// Uniformly random routing ticket; leading bits define the tuple's
+    /// partition at every power-of-two granularity (see [`crate::ticket`]).
+    pub ticket: u64,
+}
+
+impl Tuple {
+    /// Convenience constructor used throughout tests and generators.
+    pub fn new(rel: Rel, seq: u64, key: i64, ticket: u64) -> Tuple {
+        Tuple {
+            seq,
+            rel,
+            key,
+            aux: 0,
+            bytes: 64,
+            ticket,
+        }
+    }
+
+    /// Builder-style payload size override.
+    pub fn with_bytes(mut self, bytes: u32) -> Tuple {
+        self.bytes = bytes;
+        self
+    }
+
+    /// Builder-style auxiliary attribute override.
+    pub fn with_aux(mut self, aux: i32) -> Tuple {
+        self.aux = aux;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_other_is_involution() {
+        assert_eq!(Rel::R.other(), Rel::S);
+        assert_eq!(Rel::S.other(), Rel::R);
+        assert_eq!(Rel::R.other().other(), Rel::R);
+    }
+
+    #[test]
+    fn rel_index() {
+        assert_eq!(Rel::R.index(), 0);
+        assert_eq!(Rel::S.index(), 1);
+    }
+
+    #[test]
+    fn tuple_is_compact() {
+        // The joiner stores millions of these; keep them within 40 bytes.
+        assert!(std::mem::size_of::<Tuple>() <= 40);
+    }
+
+    #[test]
+    fn builders() {
+        let t = Tuple::new(Rel::R, 7, -3, 0xdead).with_bytes(100).with_aux(5);
+        assert_eq!(t.seq, 7);
+        assert_eq!(t.key, -3);
+        assert_eq!(t.bytes, 100);
+        assert_eq!(t.aux, 5);
+        assert_eq!(t.ticket, 0xdead);
+    }
+}

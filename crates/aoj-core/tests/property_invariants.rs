@@ -1,0 +1,185 @@
+//! Property-based tests (proptest) over the core data structures: the
+//! invariants the paper's proofs rest on must hold for *arbitrary* inputs,
+//! not just the hand-picked cases of the unit tests.
+
+use aoj_core::ilf::{continuous_lower_bound, effective_cardinalities, ilf, optimal_ilf, optimal_mapping};
+use aoj_core::mapping::{GridAssignment, Mapping, Step};
+use aoj_core::migration::{plan_step, StateClass};
+use aoj_core::ticket::{partition, refine_bit};
+use aoj_core::tuple::{Rel, Tuple};
+use proptest::prelude::*;
+
+/// Strategy: a power-of-two J between 2 and 256 split into (n, m).
+fn mapping_strategy() -> impl Strategy<Value = Mapping> {
+    (1u32..=8, 0u32..=8).prop_filter_map("n*m must be 2..=256", |(e, k)| {
+        if k <= e && e <= 8 && e >= 1 {
+            Some(Mapping::new(1 << k, 1 << (e - k)))
+        } else {
+            None
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Ticket partitions nest: partition at 2p refines partition at p.
+    #[test]
+    fn ticket_partitions_nest(ticket in any::<u64>(), bits in 0u32..8) {
+        let p = 1u32 << bits;
+        prop_assert_eq!(
+            partition(ticket, 2 * p),
+            partition(ticket, p) * 2 + refine_bit(ticket, p)
+        );
+    }
+
+    /// The optimal mapping really is optimal: no other factorisation has
+    /// a smaller ILF.
+    #[test]
+    fn optimal_mapping_minimises_ilf(
+        j_exp in 1u32..=8,
+        r in 1u64..1_000_000,
+        s in 1u64..1_000_000,
+    ) {
+        let j = 1u32 << j_exp;
+        let best = optimal_mapping(j, r, s);
+        for k in 0..=j_exp {
+            let other = Mapping::new(1 << k, 1 << (j_exp - k));
+            prop_assert!(ilf(r, s, best) <= ilf(r, s, other) + 1e-9);
+        }
+    }
+
+    /// Theorem 3.2: within the ratio assumption, the grid optimum is
+    /// within 1.07x of the continuous lower bound.
+    #[test]
+    fn grid_semi_perimeter_bound(
+        j_exp in 1u32..=8,
+        r in 1u64..1_000_000,
+        s in 1u64..1_000_000,
+    ) {
+        let j = 1u32 << j_exp;
+        let ratio = r.max(s) as f64 / r.min(s) as f64;
+        prop_assume!(ratio < j as f64);
+        let opt = optimal_ilf(j, r, s);
+        let bound = continuous_lower_bound(j, r, s);
+        prop_assert!(opt <= 1.07 * bound + 1e-6, "opt {} vs 1.07x bound {}", opt, bound);
+    }
+
+    /// Lemma 4.1 at the optimum: the two per-joiner shares are within 2x
+    /// of each other (ratio assumption permitting).
+    #[test]
+    fn optimal_mapping_is_balanced(
+        j_exp in 1u32..=8,
+        r in 1u64..1_000_000,
+        s in 1u64..1_000_000,
+    ) {
+        let j = 1u32 << j_exp;
+        prop_assume!(r.max(s) <= r.min(s) * j as u64);
+        let mp = optimal_mapping(j, r, s);
+        let rn = r as f64 / mp.n as f64;
+        let sm = s as f64 / mp.m as f64;
+        prop_assert!(rn <= 2.0 * sm + 1e-9);
+        prop_assert!(sm <= 2.0 * rn + 1e-9);
+    }
+
+    /// Padding keeps the effective ratio within J and inflates the volume
+    /// by at most (1 + 1/J).
+    #[test]
+    fn padding_invariants(j_exp in 1u32..=8, r in 0u64..1_000_000, s in 0u64..1_000_000) {
+        let j = 1u32 << j_exp;
+        let (re, se) = effective_cardinalities(j, r, s);
+        prop_assert!(re >= 1 && se >= 1);
+        prop_assert!(re.max(se) <= re.min(se) * j as u64 + j as u64);
+        let total = (r + s) as f64;
+        prop_assert!((re + se) as f64 <= total * (1.0 + 1.0 / j as f64) + 2.0);
+    }
+
+    /// Grid relabelling is a bijection after any step, and partners merge
+    /// into sibling cells.
+    #[test]
+    fn relabelling_is_bijective(mapping in mapping_strategy(), halve_rows in any::<bool>()) {
+        let step = if halve_rows { Step::HalveRows } else { Step::HalveCols };
+        prop_assume!(step.apply(mapping).is_some());
+        let mut assign = GridAssignment::initial(mapping);
+        assign.apply_step(step);
+        let mp = assign.mapping();
+        let mut seen = vec![false; mp.j() as usize];
+        for row in 0..mp.n {
+            for col in 0..mp.m {
+                let k = assign.machine_at(row, col);
+                prop_assert!(!seen[k]);
+                seen[k] = true;
+            }
+        }
+    }
+
+    /// Migration classification is a partition: every tuple is exactly one
+    /// of Keep / KeepAndMigrate / Discard, coarsening tuples always
+    /// migrate, and partner keep-bits complement.
+    #[test]
+    fn migration_classification_partitions_state(
+        mapping in mapping_strategy(),
+        halve_rows in any::<bool>(),
+        ticket in any::<u64>(),
+        is_r in any::<bool>(),
+    ) {
+        let step = if halve_rows { Step::HalveRows } else { Step::HalveCols };
+        prop_assume!(step.apply(mapping).is_some());
+        let assign = GridAssignment::initial(mapping);
+        let plan = plan_step(&assign, step);
+        let rel = if is_r { Rel::R } else { Rel::S };
+        let t = Tuple::new(rel, 0, 0, ticket);
+        for spec in &plan.specs {
+            let class = spec.classify(&t);
+            if rel == step.coarsens() {
+                prop_assert_eq!(class, StateClass::KeepAndMigrate);
+            } else {
+                prop_assert!(matches!(class, StateClass::Keep | StateClass::Discard));
+                // The partner keeps exactly the complement.
+                let partner = &plan.specs[spec.partner];
+                let partner_class = partner.classify(&t);
+                prop_assert_ne!(
+                    class == StateClass::Keep,
+                    partner_class == StateClass::Keep,
+                    "partners must keep complementary halves"
+                );
+            }
+        }
+    }
+
+    /// After a migration step, the union of kept state across a partner
+    /// pair covers the merged partition exactly once per new owner.
+    #[test]
+    fn exchange_covers_merged_partition(
+        mapping in mapping_strategy(),
+        tickets in prop::collection::vec(any::<u64>(), 1..50),
+    ) {
+        prop_assume!(mapping.n >= 2);
+        let assign = GridAssignment::initial(mapping);
+        let plan = plan_step(&assign, Step::HalveRows);
+        // For every R tuple and every new grid cell, exactly one of the
+        // machines mapped there must own it post-migration.
+        let mut next = assign.clone();
+        next.apply_step(Step::HalveRows);
+        let np = next.mapping();
+        for (i, ticket) in tickets.iter().enumerate() {
+            let _t = Tuple::new(Rel::R, i as u64, 0, *ticket);
+            let new_row = partition(*ticket, np.n);
+            for col in 0..np.m {
+                let machine = next.machine_at(new_row, col);
+                let spec = &plan.specs[machine];
+                // The machine ends up with the tuple either because it kept
+                // it (it held the tuple's old row) or because its partner
+                // exchanged it over.
+                let old_row = partition(*ticket, mapping.n);
+                let had_it = spec.old_pos.row == old_row;
+                let partner_had_it = plan.specs[spec.partner].old_pos.row == old_row;
+                prop_assert!(
+                    had_it || partner_had_it,
+                    "machine {} at new ({},{}) can't obtain tuple with old row {}",
+                    machine, new_row, col, old_row
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! B-tree-indexed band join: the paper's joiners "use balanced binary
+//! trees for band joins" (§5). A probe for key `k` with band width `w`
+//! scans the opposite tree over `[k − w, k + w]`.
+
+use std::collections::BTreeMap;
+
+use aoj_core::index::{JoinIndex, ProbeStats};
+use aoj_core::tuple::{Rel, Tuple};
+
+/// Tree-indexed [`JoinIndex`] for **band joins** `|r.key − s.key| ≤ width`.
+pub struct BandIndex {
+    width: i64,
+    r: BTreeMap<i64, Vec<Tuple>>,
+    s: BTreeMap<i64, Vec<Tuple>>,
+    r_len: usize,
+    s_len: usize,
+    bytes: u64,
+}
+
+impl BandIndex {
+    /// Create an empty index for half-width `width` (inclusive).
+    pub fn new(width: i64) -> BandIndex {
+        assert!(width >= 0);
+        BandIndex {
+            width,
+            r: BTreeMap::new(),
+            s: BTreeMap::new(),
+            r_len: 0,
+            s_len: 0,
+            bytes: 0,
+        }
+    }
+
+    /// The band half-width.
+    pub fn width(&self) -> i64 {
+        self.width
+    }
+
+    fn side(&self, rel: Rel) -> &BTreeMap<i64, Vec<Tuple>> {
+        match rel {
+            Rel::R => &self.r,
+            Rel::S => &self.s,
+        }
+    }
+}
+
+impl JoinIndex for BandIndex {
+    fn insert(&mut self, t: Tuple) {
+        self.bytes += t.bytes as u64;
+        match t.rel {
+            Rel::R => {
+                self.r_len += 1;
+                self.r.entry(t.key).or_default().push(t);
+            }
+            Rel::S => {
+                self.s_len += 1;
+                self.s.entry(t.key).or_default().push(t);
+            }
+        }
+    }
+
+    fn probe_filtered(
+        &mut self,
+        t: &Tuple,
+        filter: &mut dyn FnMut(&Tuple) -> bool,
+        on_match: &mut dyn FnMut(&Tuple),
+    ) -> ProbeStats {
+        let mut stats = ProbeStats::default();
+        let lo = t.key.saturating_sub(self.width);
+        let hi = t.key.saturating_add(self.width);
+        for (_, bucket) in self.side(t.rel.other()).range(lo..=hi) {
+            stats.candidates += bucket.len() as u64;
+            for other in bucket {
+                if filter(other) {
+                    stats.matches += 1;
+                    on_match(other);
+                }
+            }
+        }
+        stats
+    }
+
+    fn len(&self) -> usize {
+        self.r_len + self.s_len
+    }
+
+    fn len_rel(&self, rel: Rel) -> usize {
+        match rel {
+            Rel::R => self.r_len,
+            Rel::S => self.s_len,
+        }
+    }
+
+    fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn drain(&mut self) -> Vec<Tuple> {
+        let mut out = Vec::with_capacity(self.len());
+        for (_, bucket) in std::mem::take(&mut self.r) {
+            out.extend(bucket);
+        }
+        for (_, bucket) in std::mem::take(&mut self.s) {
+            out.extend(bucket);
+        }
+        self.r_len = 0;
+        self.s_len = 0;
+        self.bytes = 0;
+        out
+    }
+
+    fn extract(&mut self, pred: &mut dyn FnMut(&Tuple) -> bool) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        for side in [&mut self.r, &mut self.s] {
+            side.retain(|_, bucket| {
+                let mut i = 0;
+                while i < bucket.len() {
+                    if pred(&bucket[i]) {
+                        out.push(bucket.swap_remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+                !bucket.is_empty()
+            });
+        }
+        for t in &out {
+            self.bytes -= t.bytes as u64;
+            match t.rel {
+                Rel::R => self.r_len -= 1,
+                Rel::S => self.s_len -= 1,
+            }
+        }
+        out
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&Tuple)) {
+        for bucket in self.r.values() {
+            for t in bucket {
+                f(t);
+            }
+        }
+        for bucket in self.s.values() {
+            for t in bucket {
+                f(t);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(seq: u64, key: i64) -> Tuple {
+        Tuple::new(Rel::R, seq, key, seq)
+    }
+    fn s(seq: u64, key: i64) -> Tuple {
+        Tuple::new(Rel::S, seq, key, seq)
+    }
+
+    #[test]
+    fn band_probe_scans_inclusive_range() {
+        let mut idx = BandIndex::new(1);
+        idx.insert(s(1, 9));
+        idx.insert(s(2, 10));
+        idx.insert(s(3, 11));
+        idx.insert(s(4, 12));
+        let mut keys = Vec::new();
+        let stats = idx.probe(&r(5, 10), &mut |t| keys.push(t.key));
+        keys.sort_unstable();
+        assert_eq!(keys, vec![9, 10, 11]);
+        assert_eq!(stats.matches, 3);
+        assert_eq!(stats.candidates, 3, "range scan touches only the band");
+    }
+
+    #[test]
+    fn zero_width_behaves_like_equi() {
+        let mut idx = BandIndex::new(0);
+        idx.insert(s(1, 5));
+        idx.insert(s(2, 6));
+        assert_eq!(idx.probe_count(&r(3, 5)).matches, 1);
+    }
+
+    #[test]
+    fn saturating_bounds_at_extremes() {
+        let mut idx = BandIndex::new(10);
+        idx.insert(s(1, i64::MAX - 3));
+        assert_eq!(idx.probe_count(&r(2, i64::MAX)).matches, 1);
+        idx.insert(s(3, i64::MIN + 2));
+        assert_eq!(idx.probe_count(&r(4, i64::MIN)).matches, 1);
+    }
+
+    #[test]
+    fn extract_and_drain_keep_counts_consistent() {
+        let mut idx = BandIndex::new(2);
+        for i in 0..50u64 {
+            idx.insert(if i % 2 == 0 { r(i, i as i64) } else { s(i, i as i64) });
+        }
+        assert_eq!(idx.len(), 50);
+        let removed = idx.extract(&mut |t| t.key % 5 == 0);
+        assert_eq!(idx.len() + removed.len(), 50);
+        assert_eq!(
+            idx.bytes(),
+            (50 - removed.len() as u64) * 64,
+            "byte gauge must track removals"
+        );
+        let rest = idx.drain();
+        assert_eq!(rest.len() + removed.len(), 50);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn len_rel_tracks_sides() {
+        let mut idx = BandIndex::new(1);
+        idx.insert(r(1, 1));
+        idx.insert(r(2, 2));
+        idx.insert(s(3, 3));
+        assert_eq!(idx.len_rel(Rel::R), 2);
+        assert_eq!(idx.len_rel(Rel::S), 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! Predicate-driven index selection: the choice the paper's joiners make
+//! (§5: hashmaps for equi-joins, balanced trees for band joins, scans for
+//! everything else).
+
+use aoj_core::index::JoinIndex;
+use aoj_core::predicate::Predicate;
+
+use crate::band::BandIndex;
+use crate::nested_loop::NestedLoopIndex;
+use crate::symmetric_hash::SymmetricHashIndex;
+
+/// The best [`JoinIndex`] implementation for `predicate`:
+///
+/// * [`Predicate::Equi`] → [`SymmetricHashIndex`] (O(1) probes),
+/// * [`Predicate::Band`] → [`BandIndex`] (O(log n + band) probes),
+/// * everything else → [`NestedLoopIndex`] (O(n) probes — the price of
+///   arbitrary theta predicates).
+pub fn index_for(predicate: &Predicate) -> Box<dyn JoinIndex> {
+    match predicate {
+        Predicate::Equi => Box::new(SymmetricHashIndex::new()),
+        Predicate::Band { width } => Box::new(BandIndex::new(*width)),
+        other => Box::new(NestedLoopIndex::new(other.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aoj_core::tuple::{Rel, Tuple};
+
+    #[test]
+    fn factory_picks_working_indexes() {
+        for (pred, key_r, key_s, expect) in [
+            (Predicate::Equi, 5i64, 5i64, 1u64),
+            (Predicate::Equi, 5, 6, 0),
+            (Predicate::Band { width: 2 }, 5, 7, 1),
+            (Predicate::Band { width: 2 }, 5, 8, 0),
+            (Predicate::NotEqual, 5, 6, 1),
+            (Predicate::NotEqual, 5, 5, 0),
+            (Predicate::LessThan, 5, 6, 1),
+            (Predicate::CrossProduct, 1, 999, 1),
+        ] {
+            let mut idx = index_for(&pred);
+            idx.insert(Tuple::new(Rel::R, 1, key_r, 0));
+            let got = idx.probe_count(&Tuple::new(Rel::S, 2, key_s, 0)).matches;
+            assert_eq!(got, expect, "predicate {pred:?} keys ({key_r},{key_s})");
+        }
+    }
+}

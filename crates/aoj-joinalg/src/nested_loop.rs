@@ -1,0 +1,107 @@
+//! Nested-loop fallback for arbitrary theta predicates: no index can serve
+//! a black-box `θ(r, s)`, so probes scan the opposite relation linearly —
+//! the price of full predicate generality the join-matrix model is built
+//! to support.
+
+use aoj_core::index::{JoinIndex, ProbeStats, VecIndex};
+use aoj_core::predicate::Predicate;
+use aoj_core::tuple::{Rel, Tuple};
+
+/// Linear-scan [`JoinIndex`] for **any** predicate. Wraps the reference
+/// [`VecIndex`] (same semantics) under the production-facing name.
+pub struct NestedLoopIndex {
+    inner: VecIndex,
+}
+
+impl NestedLoopIndex {
+    /// Create an empty index joining with `predicate`.
+    pub fn new(predicate: Predicate) -> NestedLoopIndex {
+        NestedLoopIndex {
+            inner: VecIndex::new(predicate),
+        }
+    }
+}
+
+impl JoinIndex for NestedLoopIndex {
+    fn insert(&mut self, t: Tuple) {
+        self.inner.insert(t);
+    }
+
+    fn probe_filtered(
+        &mut self,
+        t: &Tuple,
+        filter: &mut dyn FnMut(&Tuple) -> bool,
+        on_match: &mut dyn FnMut(&Tuple),
+    ) -> ProbeStats {
+        self.inner.probe_filtered(t, filter, on_match)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn len_rel(&self, rel: Rel) -> usize {
+        self.inner.len_rel(rel)
+    }
+
+    fn bytes(&self) -> u64 {
+        self.inner.bytes()
+    }
+
+    fn drain(&mut self) -> Vec<Tuple> {
+        self.inner.drain()
+    }
+
+    fn extract(&mut self, pred: &mut dyn FnMut(&Tuple) -> bool) -> Vec<Tuple> {
+        self.inner.extract(pred)
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&Tuple)) {
+        self.inner.for_each(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn arbitrary_theta_predicate() {
+        // Join on "same parity and r.aux < s.aux" — no index could serve it.
+        let p = Predicate::Theta(Arc::new(|r: &Tuple, s: &Tuple| {
+            (r.key % 2 == s.key % 2) && r.aux < s.aux
+        }));
+        let mut idx = NestedLoopIndex::new(p);
+        idx.insert(Tuple::new(Rel::R, 1, 2, 0).with_aux(5));
+        idx.insert(Tuple::new(Rel::R, 2, 4, 0).with_aux(50));
+        let probe = Tuple::new(Rel::S, 3, 8, 0).with_aux(10);
+        let stats = idx.probe_count(&probe);
+        assert_eq!(stats.matches, 1, "only the aux<10 tuple matches");
+        assert_eq!(stats.candidates, 2, "nested loop scans everything");
+    }
+
+    #[test]
+    fn not_equal_predicate() {
+        let mut idx = NestedLoopIndex::new(Predicate::NotEqual);
+        for i in 0..5 {
+            idx.insert(Tuple::new(Rel::S, i, i as i64, 0));
+        }
+        assert_eq!(idx.probe_count(&Tuple::new(Rel::R, 9, 3, 0)).matches, 4);
+    }
+
+    #[test]
+    fn bulk_operations_delegate() {
+        let mut idx = NestedLoopIndex::new(Predicate::CrossProduct);
+        for i in 0..10 {
+            idx.insert(Tuple::new(if i % 2 == 0 { Rel::R } else { Rel::S }, i, 0, i));
+        }
+        assert_eq!(idx.len(), 10);
+        assert_eq!(idx.len_rel(Rel::R), 5);
+        assert_eq!(idx.bytes(), 640);
+        let odd_tickets = idx.extract(&mut |t| t.ticket % 2 == 1);
+        assert_eq!(odd_tickets.len(), 5);
+        assert_eq!(idx.drain().len(), 5);
+        assert!(idx.is_empty());
+    }
+}

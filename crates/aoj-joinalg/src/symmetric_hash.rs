@@ -1,0 +1,214 @@
+//! The local half of the symmetric hash join (Wilschut & Apers [42]):
+//! one hash index per relation, keyed by the join key. Each arriving tuple
+//! probes the opposite index and is inserted into its own — fully
+//! pipelined, never blocking.
+
+use std::collections::HashMap;
+
+use aoj_core::index::{JoinIndex, ProbeStats};
+use aoj_core::tuple::{Rel, Tuple};
+
+/// Hash-indexed [`JoinIndex`] for **equi-joins** (`r.key == s.key`).
+#[derive(Default)]
+pub struct SymmetricHashIndex {
+    r: HashMap<i64, Vec<Tuple>>,
+    s: HashMap<i64, Vec<Tuple>>,
+    r_len: usize,
+    s_len: usize,
+    bytes: u64,
+}
+
+impl SymmetricHashIndex {
+    /// Create an empty index.
+    pub fn new() -> SymmetricHashIndex {
+        SymmetricHashIndex::default()
+    }
+
+    fn side_mut(&mut self, rel: Rel) -> &mut HashMap<i64, Vec<Tuple>> {
+        match rel {
+            Rel::R => &mut self.r,
+            Rel::S => &mut self.s,
+        }
+    }
+
+    fn side(&self, rel: Rel) -> &HashMap<i64, Vec<Tuple>> {
+        match rel {
+            Rel::R => &self.r,
+            Rel::S => &self.s,
+        }
+    }
+}
+
+impl JoinIndex for SymmetricHashIndex {
+    fn insert(&mut self, t: Tuple) {
+        self.bytes += t.bytes as u64;
+        match t.rel {
+            Rel::R => self.r_len += 1,
+            Rel::S => self.s_len += 1,
+        }
+        self.side_mut(t.rel).entry(t.key).or_default().push(t);
+    }
+
+    fn probe_filtered(
+        &mut self,
+        t: &Tuple,
+        filter: &mut dyn FnMut(&Tuple) -> bool,
+        on_match: &mut dyn FnMut(&Tuple),
+    ) -> ProbeStats {
+        let mut stats = ProbeStats::default();
+        if let Some(bucket) = self.side(t.rel.other()).get(&t.key) {
+            stats.candidates = bucket.len() as u64;
+            for other in bucket {
+                if filter(other) {
+                    stats.matches += 1;
+                    on_match(other);
+                }
+            }
+        }
+        stats
+    }
+
+    fn len(&self) -> usize {
+        self.r_len + self.s_len
+    }
+
+    fn len_rel(&self, rel: Rel) -> usize {
+        match rel {
+            Rel::R => self.r_len,
+            Rel::S => self.s_len,
+        }
+    }
+
+    fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn drain(&mut self) -> Vec<Tuple> {
+        let mut out = Vec::with_capacity(self.len());
+        for (_, bucket) in self.r.drain() {
+            out.extend(bucket);
+        }
+        for (_, bucket) in self.s.drain() {
+            out.extend(bucket);
+        }
+        self.r_len = 0;
+        self.s_len = 0;
+        self.bytes = 0;
+        out
+    }
+
+    fn extract(&mut self, pred: &mut dyn FnMut(&Tuple) -> bool) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        for rel in [Rel::R, Rel::S] {
+            let side = match rel {
+                Rel::R => &mut self.r,
+                Rel::S => &mut self.s,
+            };
+            side.retain(|_, bucket| {
+                let mut i = 0;
+                while i < bucket.len() {
+                    if pred(&bucket[i]) {
+                        out.push(bucket.swap_remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+                !bucket.is_empty()
+            });
+        }
+        for t in &out {
+            self.bytes -= t.bytes as u64;
+            match t.rel {
+                Rel::R => self.r_len -= 1,
+                Rel::S => self.s_len -= 1,
+            }
+        }
+        out
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&Tuple)) {
+        for bucket in self.r.values() {
+            for t in bucket {
+                f(t);
+            }
+        }
+        for bucket in self.s.values() {
+            for t in bucket {
+                f(t);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(seq: u64, key: i64) -> Tuple {
+        Tuple::new(Rel::R, seq, key, seq)
+    }
+    fn s(seq: u64, key: i64) -> Tuple {
+        Tuple::new(Rel::S, seq, key, seq)
+    }
+
+    #[test]
+    fn probe_hits_only_equal_keys() {
+        let mut idx = SymmetricHashIndex::new();
+        idx.insert(r(1, 10));
+        idx.insert(r(2, 11));
+        idx.insert(r(3, 10));
+        let stats = idx.probe_count(&s(4, 10));
+        assert_eq!(stats.matches, 2);
+        assert_eq!(stats.candidates, 2, "only the bucket is scanned");
+        assert_eq!(idx.probe_count(&s(5, 99)).matches, 0);
+    }
+
+    #[test]
+    fn probe_is_symmetric() {
+        let mut idx = SymmetricHashIndex::new();
+        idx.insert(s(1, 7));
+        assert_eq!(idx.probe_count(&r(2, 7)).matches, 1);
+        assert_eq!(idx.probe_count(&s(3, 7)).matches, 0, "same side never matches");
+    }
+
+    #[test]
+    fn bookkeeping_through_insert_extract_drain() {
+        let mut idx = SymmetricHashIndex::new();
+        for i in 0..100u64 {
+            idx.insert(if i % 2 == 0 { r(i, (i / 4) as i64) } else { s(i, (i / 4) as i64) });
+        }
+        assert_eq!(idx.len(), 100);
+        assert_eq!(idx.len_rel(Rel::R), 50);
+        assert_eq!(idx.bytes(), 100 * 64);
+        let removed = idx.extract(&mut |t| t.seq < 10);
+        assert_eq!(removed.len(), 10);
+        assert_eq!(idx.len(), 90);
+        assert_eq!(idx.bytes(), 90 * 64);
+        let rest = idx.drain();
+        assert_eq!(rest.len(), 90);
+        assert!(idx.is_empty());
+        assert_eq!(idx.bytes(), 0);
+    }
+
+    #[test]
+    fn filter_applies_after_key_match() {
+        let mut idx = SymmetricHashIndex::new();
+        idx.insert(r(1, 5));
+        idx.insert(r(2, 5));
+        let mut f = |t: &Tuple| t.seq == 2;
+        let stats = idx.probe_filtered(&s(9, 5), &mut f, &mut |_| {});
+        assert_eq!(stats.matches, 1);
+        assert_eq!(stats.candidates, 2);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let mut idx = SymmetricHashIndex::new();
+        idx.insert(r(1, 1));
+        idx.insert(s(2, 2));
+        let mut n = 0;
+        idx.for_each(&mut |_| n += 1);
+        assert_eq!(n, 2);
+        assert_eq!(idx.snapshot().len(), 2);
+    }
+}

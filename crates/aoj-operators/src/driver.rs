@@ -1,0 +1,456 @@
+//! The experiment driver: assembles an operator on the simulated cluster,
+//! streams a workload through it, and produces a [`RunReport`].
+//!
+//! Topology (per §3.2 and Fig. 1c): `J` machines, each hosting one
+//! reshuffler task and one joiner task; reshuffler 0 doubles as the
+//! controller; one extra machine hosts the stream source.
+
+use aoj_core::competitive::CompetitiveTracker;
+use aoj_core::decision::DecisionConfig;
+use aoj_core::ilf::optimal_mapping;
+use aoj_core::mapping::{GridAssignment, Mapping};
+use aoj_core::predicate::Predicate;
+use aoj_core::ticket::TicketGen;
+use aoj_core::tuple::Rel;
+use aoj_datagen::stream::Arrivals;
+use aoj_joinalg::SpillGauge;
+use aoj_simnet::{CostModel, NetworkConfig, Sim, SimConfig, SimTime, TaskId};
+
+use crate::joiner_task::JoinerTask;
+use crate::messages::OpMsg;
+use crate::report::RunReport;
+use crate::reshuffler::{ControlEvent, ControllerState, ProgressRecorder, ProgressSample, ReshufflerTask};
+use crate::shj::{ShjJoiner, ShjReshuffler};
+use crate::source::{SourcePacing, SourceTask};
+
+/// The four operators of §5.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OperatorKind {
+    /// The paper's adaptive operator, starting at `(√J, √J)`.
+    Dynamic,
+    /// Fixed `(√J, √J)` mapping.
+    StaticMid,
+    /// Fixed oracle-optimal mapping (requires knowing stream sizes ahead
+    /// of time — "practically unattainable in an online setting").
+    StaticOpt,
+    /// Content-sensitive parallel symmetric hash join (equi-joins only).
+    Shj,
+}
+
+impl OperatorKind {
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            OperatorKind::Dynamic => "Dynamic",
+            OperatorKind::StaticMid => "StaticMid",
+            OperatorKind::StaticOpt => "StaticOpt",
+            OperatorKind::Shj => "SHJ",
+        }
+    }
+}
+
+/// Configuration of one run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Number of joiners (machines). Power of two for grid operators.
+    pub j: u32,
+    /// Which operator to run.
+    pub kind: OperatorKind,
+    /// Alg. 2 parameters (ε, warm-up) — `min_total` is in *bytes*.
+    pub decision: DecisionConfig,
+    /// Source pacing.
+    pub pacing: SourcePacing,
+    /// Per-joiner RAM budget in bytes (`u64::MAX` = in-memory).
+    pub ram_budget: u64,
+    /// Disk-tier cost multiplier.
+    pub spill_penalty: u64,
+    /// CPU cost model.
+    pub cost: CostModel,
+    /// Network parameters.
+    pub network: NetworkConfig,
+    /// Seed for ticket draws.
+    pub seed: u64,
+    /// Progress sample spacing in sequence numbers.
+    pub sample_every: u64,
+    /// Flow-control window: max tuple copies in flight between the source
+    /// and the joiners (0 disables backpressure). Defaults to `64 × J`.
+    pub window_copies: u64,
+    /// Run migrations in the blocking, Flux-style mode (§4.3's strawman):
+    /// joiners stall new data until state relocation completes. Used by
+    /// the `ablation-blocking` experiment; the paper's operator is
+    /// non-blocking.
+    pub blocking_migrations: bool,
+}
+
+impl RunConfig {
+    /// Sensible defaults for `j` joiners: saturating source, in-memory,
+    /// ε = 1, no warm-up gate.
+    pub fn new(j: u32, kind: OperatorKind) -> RunConfig {
+        RunConfig {
+            j,
+            kind,
+            decision: DecisionConfig::default(),
+            pacing: SourcePacing::saturating(),
+            ram_budget: u64::MAX,
+            spill_penalty: 20,
+            cost: CostModel::default(),
+            network: NetworkConfig::default(),
+            seed: 0x5EED_0001,
+            sample_every: 0, // derived from input size when 0
+            window_copies: 64 * j as u64,
+            blocking_migrations: false,
+        }
+    }
+
+    /// Builder: set the Alg. 2 warm-up in tuples, converted to bytes with
+    /// the workload's mean tuple size by [`run`].
+    pub fn with_ram_budget(mut self, bytes: u64) -> RunConfig {
+        self.ram_budget = bytes;
+        self
+    }
+}
+
+/// Run `kind` over the arrival sequence and return the report.
+pub fn run(arrivals: &Arrivals, predicate: &Predicate, workload_name: &str, cfg: &RunConfig) -> RunReport {
+    match cfg.kind {
+        OperatorKind::Shj => run_shj(arrivals, workload_name, cfg),
+        _ => run_grid(arrivals, predicate, workload_name, cfg),
+    }
+}
+
+/// Total bytes per relation in an arrival sequence.
+pub fn stream_bytes(arrivals: &Arrivals) -> (u64, u64) {
+    let mut r = 0u64;
+    let mut s = 0u64;
+    for (rel, item) in arrivals {
+        match rel {
+            Rel::R => r += item.bytes as u64,
+            Rel::S => s += item.bytes as u64,
+        }
+    }
+    (r, s)
+}
+
+fn sample_every(cfg: &RunConfig, total: usize) -> u64 {
+    if cfg.sample_every > 0 {
+        cfg.sample_every
+    } else {
+        (total as u64 / 200).max(1)
+    }
+}
+
+fn run_grid(
+    arrivals: &Arrivals,
+    predicate: &Predicate,
+    workload_name: &str,
+    cfg: &RunConfig,
+) -> RunReport {
+    assert!(cfg.j.is_power_of_two(), "grid operators need a power-of-two J");
+    let initial = match cfg.kind {
+        OperatorKind::Dynamic | OperatorKind::StaticMid => Mapping::square(cfg.j),
+        OperatorKind::StaticOpt => {
+            let (r, s) = stream_bytes(arrivals);
+            optimal_mapping(cfg.j, r.max(1), s.max(1))
+        }
+        OperatorKind::Shj => unreachable!(),
+    };
+    let adaptive = cfg.kind == OperatorKind::Dynamic;
+
+    let mut sim: Sim<OpMsg> = Sim::new(SimConfig {
+        network: cfg.network,
+        machine: Default::default(),
+        deadline: None,
+    });
+    sim.metrics_mut().sample_spacing = sample_every(cfg, arrivals.len());
+    let j = cfg.j as usize;
+    let mut machines: Vec<_> = (0..j).map(|_| sim.add_machine()).collect();
+    // The source stands in for J parallel upstream feeds (previous query
+    // stages), not a single NIC: scale its egress accordingly so the
+    // operator, not the feed, is the bottleneck.
+    let mut src_net = cfg.network;
+    src_net.bytes_per_us = src_net.bytes_per_us.saturating_mul(cfg.j as u64);
+    machines.push(sim.add_machine_with_network(src_net));
+    let reshuffler_ids: Vec<TaskId> = (0..j).map(TaskId).collect();
+    let joiner_ids: Vec<TaskId> = (j..2 * j).map(TaskId).collect();
+    let source_id = TaskId(2 * j);
+
+    for i in 0..j {
+        let controller = if i == 0 {
+            Some(ControllerState::new(
+                cfg.j,
+                initial,
+                cfg.decision,
+                adaptive,
+                sample_every(cfg, arrivals.len()),
+            ))
+        } else {
+            None
+        };
+        let task = ReshufflerTask {
+            index: i,
+            epoch: 0,
+            assign: GridAssignment::initial(initial),
+            joiner_tasks: joiner_ids.clone(),
+            reshuffler_tasks: reshuffler_ids.clone(),
+            tickets: TicketGen::new(cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9)),
+            cost: cfg.cost,
+            controller,
+            source: source_id,
+            blocking: cfg.blocking_migrations,
+            stalled: false,
+            stall_buffer: Vec::new(),
+            routed: 0,
+        };
+        let id = sim.add_task(machines[i], Box::new(task));
+        debug_assert_eq!(id, reshuffler_ids[i]);
+    }
+    for i in 0..j {
+        let task = JoinerTask::new(
+            i,
+            predicate.clone(),
+            j,
+            joiner_ids.clone(),
+            reshuffler_ids[0],
+            source_id,
+            machines[i],
+            SpillGauge::new(cfg.ram_budget, cfg.spill_penalty),
+            cfg.cost,
+        );
+        let id = sim.add_task(machines[i], Box::new(task));
+        debug_assert_eq!(id, joiner_ids[i]);
+    }
+    let src = SourceTask::new(
+        arrivals.clone(),
+        reshuffler_ids.clone(),
+        cfg.pacing,
+        cfg.window_copies,
+    );
+    let id = sim.add_task(machines[j], Box::new(src));
+    debug_assert_eq!(id, source_id);
+    sim.start_timer_at(SimTime::ZERO, source_id, SourceTask::TICK);
+
+    let end = sim.run();
+
+    // Collect joiner-side stats.
+    let mut matches = 0u64;
+    let mut lat_sum = 0u64;
+    let mut lat_count = 0u64;
+    let mut lat_max = 0u64;
+    let mut migration_bytes = 0u64;
+    for &jid in &joiner_ids {
+        let jt = sim.task_ref::<JoinerTask>(jid);
+        matches += jt.matches;
+        lat_sum += jt.latency.sum_us;
+        lat_count += jt.latency.count;
+        lat_max = lat_max.max(jt.latency.max_us);
+        migration_bytes += jt.migration_bytes_in;
+    }
+    let controller = sim.task_ref::<ReshufflerTask>(reshuffler_ids[0]);
+    let ctrl = controller.controller.as_ref().expect("reshuffler 0 is the controller");
+    let events = ctrl.events.clone();
+    // The routing-side samples drive the competitive trace (they map to
+    // arrival prefixes); the processing-side timeline below drives the
+    // ILF/progress figures.
+    let routing_samples = ctrl.recorder.samples.clone();
+    let samples: Vec<ProgressSample> = sim
+        .metrics()
+        .progress
+        .iter()
+        .map(|p| ProgressSample {
+            seq: p.processed,
+            at: p.at,
+            max_stored_bytes: p.max_stored,
+            total_stored_bytes: p.total_stored,
+        })
+        .collect();
+    let final_mapping = controller.assign.mapping();
+    let migrations = events
+        .iter()
+        .filter(|e| matches!(e, ControlEvent::Complete { .. }))
+        .count() as u64;
+
+    let metrics = sim.metrics();
+    let total_storage: u64 = metrics.total_stored_bytes();
+    let max_ilf = metrics.max_stored_bytes();
+    let max_spilled = metrics
+        .machines()
+        .iter()
+        .map(|m| m.spilled_bytes)
+        .max()
+        .unwrap_or(0);
+
+    let competitive = competitive_trace(cfg.j, arrivals, &events, &routing_samples, initial);
+
+    RunReport {
+        operator: cfg.kind.label(),
+        workload: workload_name.to_string(),
+        j: cfg.j,
+        input_tuples: arrivals.len() as u64,
+        exec_time: end.since(SimTime::ZERO),
+        matches,
+        throughput: arrivals.len() as f64 / end.as_secs_f64().max(1e-9),
+        max_ilf_bytes: max_ilf,
+        avg_ilf_bytes: total_storage as f64 / cfg.j as f64,
+        total_storage_bytes: total_storage,
+        network_bytes: metrics.total_bytes_sent(),
+        network_messages: metrics.total_messages(),
+        migration_bytes,
+        migrations,
+        max_spilled_bytes: max_spilled,
+        avg_latency_us: if lat_count == 0 { 0.0 } else { lat_sum as f64 / lat_count as f64 },
+        max_latency_us: lat_max,
+        final_mapping,
+        samples,
+        events,
+        competitive,
+    }
+}
+
+fn run_shj(arrivals: &Arrivals, workload_name: &str, cfg: &RunConfig) -> RunReport {
+    let mut sim: Sim<OpMsg> = Sim::new(SimConfig {
+        network: cfg.network,
+        machine: Default::default(),
+        deadline: None,
+    });
+    sim.metrics_mut().sample_spacing = sample_every(cfg, arrivals.len());
+    let j = cfg.j as usize;
+    let mut machines: Vec<_> = (0..j).map(|_| sim.add_machine()).collect();
+    let mut src_net = cfg.network;
+    src_net.bytes_per_us = src_net.bytes_per_us.saturating_mul(cfg.j as u64);
+    machines.push(sim.add_machine_with_network(src_net));
+    let reshuffler_ids: Vec<TaskId> = (0..j).map(TaskId).collect();
+    let joiner_ids: Vec<TaskId> = (j..2 * j).map(TaskId).collect();
+
+    let source_id = TaskId(2 * j);
+    for i in 0..j {
+        let task = ShjReshuffler {
+            joiner_tasks: joiner_ids.clone(),
+            cost: cfg.cost,
+            source: source_id,
+            routed: 0,
+            recorder: (i == 0).then(|| ProgressRecorder::new(sample_every(cfg, arrivals.len()))),
+        };
+        sim.add_task(machines[i], Box::new(task));
+    }
+    for i in 0..j {
+        let task = ShjJoiner::new(
+            machines[i],
+            cfg.cost,
+            SpillGauge::new(cfg.ram_budget, cfg.spill_penalty),
+            source_id,
+        );
+        sim.add_task(machines[i], Box::new(task));
+    }
+    let src = SourceTask::new(
+        arrivals.clone(),
+        reshuffler_ids.clone(),
+        cfg.pacing,
+        cfg.window_copies,
+    );
+    let id = sim.add_task(machines[j], Box::new(src));
+    debug_assert_eq!(id, source_id);
+    sim.start_timer_at(SimTime::ZERO, source_id, SourceTask::TICK);
+
+    let end = sim.run();
+
+    let mut matches = 0u64;
+    let mut lat_sum = 0u64;
+    let mut lat_count = 0u64;
+    let mut lat_max = 0u64;
+    for &jid in &joiner_ids {
+        let jt = sim.task_ref::<ShjJoiner>(jid);
+        matches += jt.matches;
+        lat_sum += jt.latency.sum_us;
+        lat_count += jt.latency.count;
+        lat_max = lat_max.max(jt.latency.max_us);
+    }
+    let samples: Vec<ProgressSample> = sim
+        .metrics()
+        .progress
+        .iter()
+        .map(|p| ProgressSample {
+            seq: p.processed,
+            at: p.at,
+            max_stored_bytes: p.max_stored,
+            total_stored_bytes: p.total_stored,
+        })
+        .collect();
+    let metrics = sim.metrics();
+    let max_spilled = metrics
+        .machines()
+        .iter()
+        .map(|m| m.spilled_bytes)
+        .max()
+        .unwrap_or(0);
+
+    RunReport {
+        operator: OperatorKind::Shj.label(),
+        workload: workload_name.to_string(),
+        j: cfg.j,
+        input_tuples: arrivals.len() as u64,
+        exec_time: end.since(SimTime::ZERO),
+        matches,
+        throughput: arrivals.len() as f64 / end.as_secs_f64().max(1e-9),
+        max_ilf_bytes: metrics.max_stored_bytes(),
+        avg_ilf_bytes: metrics.total_stored_bytes() as f64 / cfg.j as f64,
+        total_storage_bytes: metrics.total_stored_bytes(),
+        network_bytes: metrics.total_bytes_sent(),
+        network_messages: metrics.total_messages(),
+        migration_bytes: 0,
+        migrations: 0,
+        max_spilled_bytes: max_spilled,
+        avg_latency_us: if lat_count == 0 { 0.0 } else { lat_sum as f64 / lat_count as f64 },
+        max_latency_us: lat_max,
+        final_mapping: Mapping::new(1, 1),
+        samples,
+        events: Vec::new(),
+        competitive: Vec::new(),
+    }
+}
+
+/// Reconstruct the `ILF/ILF*` trace (Fig. 8c) offline: at every progress
+/// sample, the true cardinalities come from the arrival prefix and the
+/// operator's mapping from the controller's decision log.
+fn competitive_trace(
+    j: u32,
+    arrivals: &Arrivals,
+    events: &[ControlEvent],
+    samples: &[crate::reshuffler::ProgressSample],
+    initial: Mapping,
+) -> Vec<aoj_core::competitive::RatioSample> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    // Prefix counts of R/S at each seq.
+    let mut prefix: Vec<(u64, u64)> = Vec::with_capacity(arrivals.len() + 1);
+    let (mut r, mut s) = (0u64, 0u64);
+    prefix.push((0, 0));
+    for (rel, _) in arrivals {
+        match rel {
+            Rel::R => r += 1,
+            Rel::S => s += 1,
+        }
+        prefix.push((r, s));
+    }
+    let mut tracker = CompetitiveTracker::new(j, 0);
+    for sample in samples {
+        let mut mapping = initial;
+        let mut migrating = false;
+        for e in events {
+            match e {
+                ControlEvent::Decide { at, to, .. } if *at <= sample.at => {
+                    mapping = *to;
+                    migrating = true;
+                }
+                ControlEvent::Complete { at, .. } if *at <= sample.at => {
+                    migrating = false;
+                }
+                _ => {}
+            }
+        }
+        let idx = (sample.seq as usize + 1).min(prefix.len() - 1);
+        let (r, s) = prefix[idx];
+        tracker.record(sample.seq, r, s, mapping, migrating);
+    }
+    tracker.samples().to_vec()
+}

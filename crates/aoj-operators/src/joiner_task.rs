@@ -1,0 +1,277 @@
+//! The joiner task: one per machine, hosting the epoch-protocol state
+//! machine over a pluggable local join index, with spill-aware cost
+//! accounting and latency sampling.
+
+use aoj_core::epoch::EpochJoiner;
+use aoj_core::index::ProbeStats;
+use aoj_core::migration::MachineStepSpec;
+use aoj_core::predicate::Predicate;
+use aoj_core::tuple::Tuple;
+use aoj_joinalg::{index_for, SpillGauge};
+use aoj_simnet::{Ctx, MachineId, Process, SimDuration, TaskId};
+
+use crate::messages::OpMsg;
+
+/// How many tuples ride in one migration batch message.
+pub const MIG_BATCH_TUPLES: usize = 64;
+
+/// Latency statistics kept by each joiner (sum/count/max over per-arrival
+/// samples; the paper reports averages in Fig. 7b).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencyStats {
+    /// Sum of sampled latencies in microseconds.
+    pub sum_us: u64,
+    /// Number of samples.
+    pub count: u64,
+    /// Maximum sampled latency.
+    pub max_us: u64,
+}
+
+impl LatencyStats {
+    /// Record one latency sample.
+    pub fn record(&mut self, us: u64) {
+        self.sum_us += us;
+        self.count += 1;
+        if us > self.max_us {
+            self.max_us = us;
+        }
+    }
+
+    /// Average latency in microseconds (0 when no samples).
+    pub fn avg_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+}
+
+/// The joiner task.
+pub struct JoinerTask {
+    /// This joiner's machine index within the operator (grid identity).
+    pub index: usize,
+    /// Epoch-protocol state machine over the local join index.
+    pub epoch: EpochJoiner,
+    /// RAM budget gauge (the BerkeleyDB tier of §5).
+    pub gauge: SpillGauge,
+    /// Task ids of all joiners (for migration sends), by machine index.
+    pub joiner_tasks: Vec<TaskId>,
+    /// The controller's task id (for acks).
+    pub controller: TaskId,
+    /// The source task (flow-control credit returns).
+    pub source: TaskId,
+    /// This task's machine (for storage metrics).
+    pub machine: MachineId,
+    /// CPU cost model.
+    pub cost: aoj_simnet::CostModel,
+    /// Matches emitted by this joiner.
+    pub matches: u64,
+    /// Latency samples.
+    pub latency: LatencyStats,
+    /// Tuples received as migration state.
+    pub migration_tuples_in: u64,
+    /// Payload bytes received as migration state.
+    pub migration_bytes_in: u64,
+    /// Migration spec of the in-flight migration (for partner routing).
+    current_spec: Option<MachineStepSpec>,
+    /// Outgoing migration batch under construction.
+    out_batch: Vec<Tuple>,
+    /// Set when the end-of-state marker must be sent after the batch.
+    pending_done: bool,
+    /// Flow-control credits accumulated but not yet returned.
+    unacked_credits: u32,
+}
+
+impl JoinerTask {
+    /// Build a joiner for `predicate` with the given wiring.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        index: usize,
+        predicate: Predicate,
+        n_reshufflers: usize,
+        joiner_tasks: Vec<TaskId>,
+        controller: TaskId,
+        source: TaskId,
+        machine: MachineId,
+        gauge: SpillGauge,
+        cost: aoj_simnet::CostModel,
+    ) -> JoinerTask {
+        let p = predicate.clone();
+        JoinerTask {
+            index,
+            epoch: EpochJoiner::new(&move || index_for(&p), n_reshufflers),
+            gauge,
+            joiner_tasks,
+            controller,
+            source,
+            machine,
+            cost,
+            matches: 0,
+            latency: LatencyStats::default(),
+            migration_tuples_in: 0,
+            migration_bytes_in: 0,
+            current_spec: None,
+            out_batch: Vec::new(),
+            pending_done: false,
+            unacked_credits: 0,
+        }
+    }
+
+    /// Batch size for credit returns: small enough to keep the source's
+    /// window fresh, large enough not to double the message count.
+    const CREDIT_BATCH: u32 = 8;
+
+    fn return_credit(&mut self, ctx: &mut Ctx<'_, OpMsg>) {
+        self.unacked_credits += 1;
+        if self.unacked_credits >= Self::CREDIT_BATCH {
+            ctx.send(self.source, OpMsg::ProcessedCopies { n: self.unacked_credits });
+            self.unacked_credits = 0;
+        }
+    }
+
+    /// Price probe + store work through the spill gauge.
+    fn work_cost(&self, stats: ProbeStats, stored: bool) -> SimDuration {
+        let base = self.cost.probe_cost(stats.candidates, stats.matches)
+            + if stored {
+                self.cost.store_cost(false)
+            } else {
+                SimDuration::ZERO
+            };
+        SimDuration::from_micros(self.gauge.effective_cost(base.as_micros()))
+    }
+
+    fn flush_batch(&mut self, ctx: &mut Ctx<'_, OpMsg>, force: bool) {
+        let partner = match self.current_spec {
+            Some(spec) => self.joiner_tasks[spec.partner],
+            None => return,
+        };
+        if !self.out_batch.is_empty() && (force || self.out_batch.len() >= MIG_BATCH_TUPLES) {
+            let tuples = std::mem::take(&mut self.out_batch);
+            ctx.send(partner, OpMsg::MigBatch { tuples });
+        }
+        if force && self.pending_done {
+            self.pending_done = false;
+            ctx.send(partner, OpMsg::MigDone);
+        }
+    }
+
+    fn refresh_storage_metrics(&mut self, ctx: &mut Ctx<'_, OpMsg>) {
+        let bytes = self.epoch.stored_bytes();
+        self.gauge.set_stored(bytes);
+        ctx.metrics().set_stored(self.machine, bytes);
+        if self.gauge.is_spilling() {
+            // Gauge high-water is authoritative; mirror into sim metrics.
+            let spilled = self.gauge.spilled_bytes();
+            let mm = ctx.metrics().machine_mut(self.machine);
+            if spilled > mm.spilled_bytes {
+                mm.spilled_bytes = spilled;
+            }
+        }
+    }
+
+    fn maybe_finalize(&mut self, ctx: &mut Ctx<'_, OpMsg>) -> SimDuration {
+        if !self.epoch.ready_to_finalize() {
+            return SimDuration::ZERO;
+        }
+        let summary = self.epoch.finalize();
+        self.current_spec = None;
+        let epoch = self.epoch.epoch();
+        ctx.send(
+            self.controller,
+            OpMsg::Ack {
+                joiner: self.index,
+                epoch,
+            },
+        );
+        self.refresh_storage_metrics(ctx);
+        // Merging moved sets into τ re-indexes those tuples.
+        SimDuration::from_micros((summary.merged + summary.discarded) * self.cost.store_us / 4)
+    }
+}
+
+impl Process<OpMsg> for JoinerTask {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, OpMsg>, _from: TaskId, msg: OpMsg) -> SimDuration {
+        match msg {
+            OpMsg::Data { tag, t, arrived, .. } => {
+                let mut matches = 0u64;
+                let outcome = self.epoch.on_data(tag, t, &mut |_, _| matches += 1);
+                self.matches += matches;
+                if matches > 0 {
+                    self.latency.record(ctx.now().since(arrived).as_micros());
+                }
+                if outcome.forward_to_partner {
+                    self.out_batch.push(t);
+                    self.flush_batch(ctx, false);
+                }
+                self.refresh_storage_metrics(ctx);
+                let now = ctx.now();
+                ctx.metrics().note_data_processed(1, now);
+                self.return_credit(ctx);
+                SimDuration::from_micros(self.cost.recv_overhead_us)
+                    + self.work_cost(outcome.stats, true)
+            }
+            OpMsg::Signal {
+                from_reshuffler,
+                new_epoch,
+                spec,
+            } => {
+                let so = self.epoch.on_signal(from_reshuffler, new_epoch, spec);
+                let mut cost = SimDuration::from_micros(self.cost.control_us);
+                if so.start_migration {
+                    self.current_spec = Some(spec);
+                    let snapshot = self.epoch.migration_snapshot();
+                    // Serialising the snapshot costs CPU proportional to
+                    // its size; transmission time is paid by the NIC.
+                    cost += SimDuration::from_micros(
+                        snapshot.len() as u64 * self.cost.store_us / 4,
+                    );
+                    self.out_batch.extend(snapshot);
+                    self.flush_batch(ctx, false);
+                }
+                if so.all_signals {
+                    self.pending_done = true;
+                    self.flush_batch(ctx, true);
+                }
+                cost + self.maybe_finalize(ctx)
+            }
+            OpMsg::MigBatch { tuples } => {
+                let n = tuples.len() as u64;
+                let mut stats = ProbeStats::default();
+                let mut matches = 0u64;
+                for t in tuples {
+                    self.migration_tuples_in += 1;
+                    self.migration_bytes_in += t.bytes as u64;
+                    stats += self.epoch.on_migration_tuple(t, &mut |_, _| matches += 1);
+                }
+                self.matches += matches;
+                self.refresh_storage_metrics(ctx);
+                // Probe work plus one store per batched tuple, all through
+                // the spill gauge.
+                let base = self.cost.probe_cost(stats.candidates, stats.matches)
+                    + SimDuration::from_micros(n * self.cost.store_us);
+                SimDuration::from_micros(self.gauge.effective_cost(base.as_micros()))
+            }
+            OpMsg::MigDone => {
+                self.epoch.on_partner_done();
+                SimDuration::from_micros(self.cost.control_us) + self.maybe_finalize(ctx)
+            }
+            other => panic!("joiner received unexpected message {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_track_avg_and_max() {
+        let mut l = LatencyStats::default();
+        l.record(10);
+        l.record(30);
+        assert_eq!(l.avg_us(), 20.0);
+        assert_eq!(l.max_us, 30);
+        assert_eq!(LatencyStats::default().avg_us(), 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # aoj-operators — the paper's dataflow operators on the simulated cluster
+//!
+//! Wires the algorithmic core (`aoj-core`) and the local join algorithms
+//! (`aoj-joinalg`) onto the deterministic cluster simulator
+//! (`aoj-simnet`), reproducing the four operators of the paper's
+//! evaluation (§5):
+//!
+//! * **Dynamic** — the adaptive operator: `J` reshufflers + `J` joiners,
+//!   controller = reshuffler 0, Alg. 1 statistics, Alg. 2 decisions, the
+//!   non-blocking epoch protocol of Alg. 3, locality-aware exchanges;
+//! * **StaticMid** — fixed `(√J, √J)` grid;
+//! * **StaticOpt** — fixed oracle-optimal grid (knows stream sizes ahead
+//!   of time);
+//! * **SHJ** — content-sensitive parallel symmetric hash join.
+//!
+//! [`driver::run`] executes one configured run and returns a
+//! [`report::RunReport`] carrying every quantity the paper's tables and
+//! figures plot.
+
+pub mod driver;
+pub mod grouped;
+pub mod joiner_task;
+pub mod messages;
+pub mod report;
+pub mod reshuffler;
+pub mod shj;
+pub mod source;
+
+pub use driver::{run, OperatorKind, RunConfig};
+pub use grouped::{run_grouped, GroupedReport};
+pub use messages::OpMsg;
+pub use report::{human_bytes, RunReport};
+pub use source::SourcePacing;

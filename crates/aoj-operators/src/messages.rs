@@ -1,0 +1,172 @@
+//! The operator's message vocabulary and its mapping onto the simulator's
+//! scheduling classes.
+//!
+//! Class assignment is load-bearing for protocol correctness (see
+//! `aoj_core::epoch`): an epoch-change [`OpMsg::Signal`] must stay FIFO
+//! with the data tuples its reshuffler routed earlier, so it travels in
+//! the `Data` class; the partner's [`OpMsg::MigDone`] marker must stay
+//! FIFO with the migrated state, so it travels in the `Migration` class
+//! (which the machine services at twice the data rate, §4.3.2).
+
+use aoj_core::epoch::Epoch;
+use aoj_core::mapping::Step;
+use aoj_core::migration::MachineStepSpec;
+use aoj_core::tuple::{Rel, Tuple};
+use aoj_simnet::{MsgClass, SimMessage, SimTime};
+
+/// Per-tuple wire overhead added on top of the payload bytes.
+const TUPLE_HEADER_BYTES: u64 = 16;
+
+/// Messages exchanged by sources, reshufflers, joiners and the controller.
+#[derive(Clone, Debug)]
+pub enum OpMsg {
+    /// Source → reshuffler: a raw stream tuple entering the operator.
+    Ingest {
+        /// Which relation.
+        rel: Rel,
+        /// Join key.
+        key: i64,
+        /// Secondary attribute.
+        aux: i32,
+        /// Payload size in bytes.
+        bytes: u32,
+        /// Global arrival sequence number.
+        seq: u64,
+    },
+    /// Reshuffler → joiner: a routed, epoch-tagged tuple.
+    Data {
+        /// The epoch the routing reshuffler was in.
+        tag: Epoch,
+        /// The tuple (ticket already assigned).
+        t: Tuple,
+        /// When the tuple entered the operator (latency accounting).
+        arrived: SimTime,
+        /// Whether the receiving joiner stores this tuple. Always true in
+        /// single-group operators; in the §4.2.2 grouped operator a tuple
+        /// is stored in exactly one group and probe-only elsewhere.
+        store: bool,
+    },
+    /// Controller → reshuffler: adopt a new mapping (broadcast).
+    MappingChange {
+        /// The epoch being entered.
+        new_epoch: Epoch,
+        /// The single migration step to apply.
+        step: Step,
+    },
+    /// Controller → reshuffler: all joiners finalised the migration.
+    /// Only used by the blocking baseline, which stalls routing until
+    /// relocation ends and then redirects buffered tuples (§4.3 step iv).
+    MigrationComplete {
+        /// The epoch whose migration finished.
+        epoch: Epoch,
+    },
+    /// Reshuffler → joiner: epoch-change signal (travels behind the
+    /// reshuffler's earlier data).
+    Signal {
+        /// Index of the signalling reshuffler.
+        from_reshuffler: usize,
+        /// The epoch being entered.
+        new_epoch: Epoch,
+        /// The receiving joiner's role in the migration.
+        spec: MachineStepSpec,
+    },
+    /// Joiner → partner joiner: a batch of exchanged state.
+    MigBatch {
+        /// The tuples (all of the coarsening relation).
+        tuples: Vec<Tuple>,
+    },
+    /// Joiner → partner joiner: no more state will follow.
+    MigDone,
+    /// Joiner → controller: migration finalised locally.
+    Ack {
+        /// The acknowledging joiner (machine index).
+        joiner: usize,
+        /// The epoch whose migration finished.
+        epoch: Epoch,
+    },
+    /// Reshuffler → source: `n` tuple copies entered joiner queues
+    /// (credit-based flow control; Storm's bounded spout-pending).
+    RoutedCopies {
+        /// Copies fanned out for one ingested tuple.
+        n: u32,
+    },
+    /// Joiner → source: `n` tuple copies were fully processed (credits
+    /// returned; batched to limit message overhead).
+    ProcessedCopies {
+        /// Copies processed since the last credit return.
+        n: u32,
+    },
+}
+
+impl SimMessage for OpMsg {
+    fn bytes(&self) -> u64 {
+        match self {
+            OpMsg::Ingest { bytes, .. } => *bytes as u64 + TUPLE_HEADER_BYTES,
+            OpMsg::Data { t, .. } => t.bytes as u64 + TUPLE_HEADER_BYTES,
+            OpMsg::MappingChange { .. } => 24,
+            OpMsg::MigrationComplete { .. } => 16,
+            OpMsg::Signal { .. } => 48,
+            OpMsg::MigBatch { tuples } => {
+                tuples.iter().map(|t| t.bytes as u64).sum::<u64>()
+                    + TUPLE_HEADER_BYTES * tuples.len() as u64
+            }
+            OpMsg::MigDone => 8,
+            OpMsg::Ack { .. } => 16,
+            OpMsg::RoutedCopies { .. } | OpMsg::ProcessedCopies { .. } => 12,
+        }
+    }
+
+    fn class(&self) -> MsgClass {
+        match self {
+            OpMsg::Ingest { .. } | OpMsg::Data { .. } | OpMsg::Signal { .. } => MsgClass::Data,
+            OpMsg::MigBatch { .. } | OpMsg::MigDone => MsgClass::Migration,
+            OpMsg::MappingChange { .. }
+            | OpMsg::MigrationComplete { .. }
+            | OpMsg::Ack { .. }
+            | OpMsg::RoutedCopies { .. }
+            | OpMsg::ProcessedCopies { .. } => MsgClass::Control,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_preserve_protocol_ordering() {
+        // Signals must share the Data class with routed tuples.
+        let sig = OpMsg::Signal {
+            from_reshuffler: 0,
+            new_epoch: 1,
+            spec: dummy_spec(),
+        };
+        let data = OpMsg::Data {
+            tag: 0,
+            t: Tuple::new(Rel::R, 0, 0, 0),
+            arrived: SimTime::ZERO,
+            store: true,
+        };
+        assert_eq!(sig.class(), data.class());
+        // The end marker must share the Migration class with state batches.
+        assert_eq!(
+            OpMsg::MigDone.class(),
+            OpMsg::MigBatch { tuples: vec![] }.class()
+        );
+        assert_eq!(OpMsg::MigDone.class(), MsgClass::Migration);
+    }
+
+    #[test]
+    fn batch_bytes_sum_payloads() {
+        let t = Tuple::new(Rel::R, 0, 0, 0).with_bytes(100);
+        let m = OpMsg::MigBatch { tuples: vec![t, t, t] };
+        assert_eq!(m.bytes(), 3 * (100 + 16));
+    }
+
+    fn dummy_spec() -> MachineStepSpec {
+        use aoj_core::mapping::{GridAssignment, Mapping, Step};
+        use aoj_core::migration::plan_step;
+        let a = GridAssignment::initial(Mapping::new(2, 1));
+        plan_step(&a, Step::HalveRows).specs[0]
+    }
+}

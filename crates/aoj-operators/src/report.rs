@@ -1,0 +1,131 @@
+//! Post-run reporting: everything the paper's tables and figures plot,
+//! extracted from one simulated run.
+
+use aoj_core::competitive::RatioSample;
+use aoj_core::mapping::Mapping;
+use aoj_simnet::SimDuration;
+
+use crate::reshuffler::{ControlEvent, ProgressSample};
+
+/// The measurements of one operator run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Operator label ("Dynamic", "StaticMid", …).
+    pub operator: &'static str,
+    /// Workload label ("EQ5", …).
+    pub workload: String,
+    /// Joiners used.
+    pub j: u32,
+    /// Total input tuples.
+    pub input_tuples: u64,
+    /// Virtual execution time (source start to quiescence).
+    pub exec_time: SimDuration,
+    /// Join matches emitted.
+    pub matches: u64,
+    /// Average throughput, tuples per virtual second.
+    pub throughput: f64,
+    /// Final maximum per-joiner stored bytes (the paper's max ILF).
+    pub max_ilf_bytes: u64,
+    /// Final average per-joiner stored bytes.
+    pub avg_ilf_bytes: f64,
+    /// Final cluster-wide stored bytes (Fig. 6b's right axis).
+    pub total_storage_bytes: u64,
+    /// Total network traffic (payload bytes sent).
+    pub network_bytes: u64,
+    /// Total network messages.
+    pub network_messages: u64,
+    /// Bytes of state moved by migrations.
+    pub migration_bytes: u64,
+    /// Number of completed migrations (epochs entered).
+    pub migrations: u64,
+    /// Peak spilled bytes on the worst machine (0 = fully in memory).
+    pub max_spilled_bytes: u64,
+    /// Average match latency in microseconds (paper Fig. 7b).
+    pub avg_latency_us: f64,
+    /// Maximum sampled latency.
+    pub max_latency_us: u64,
+    /// Final mapping the operator ran with.
+    pub final_mapping: Mapping,
+    /// Progress timeline (ILF growth, execution-time progress).
+    pub samples: Vec<ProgressSample>,
+    /// Controller decision/completion log.
+    pub events: Vec<ControlEvent>,
+    /// `ILF/ILF*` trace (adaptive runs; empty otherwise).
+    pub competitive: Vec<RatioSample>,
+}
+
+impl RunReport {
+    /// Execution time in seconds.
+    pub fn exec_secs(&self) -> f64 {
+        self.exec_time.as_secs_f64()
+    }
+
+    /// Did any machine overflow its RAM budget? (Table 2's `*` marker.)
+    pub fn overflowed(&self) -> bool {
+        self.max_spilled_bytes > 0
+    }
+
+    /// The progress sample closest below `frac` (0..=1) of total
+    /// processing, for timeline figures (6a, 6c, 8d).
+    pub fn sample_at_fraction(&self, frac: f64) -> Option<&ProgressSample> {
+        let total = self.samples.last()?.seq as f64;
+        let target = (frac * total) as u64;
+        self.samples.iter().take_while(|s| s.seq <= target).last()
+    }
+
+    /// Worst `ILF/ILF*` ratio after `warmup` tuples.
+    pub fn max_competitive_ratio(&self, warmup: u64) -> f64 {
+        self.competitive
+            .iter()
+            .filter(|s| s.tuples >= warmup)
+            .map(|s| s.ratio())
+            .fold(1.0, f64::max)
+    }
+
+    /// One-line summary for harness output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<10} {:<6} J={:<3} time={:>9.3}s thpt={:>12.0} t/s maxILF={:>9} \
+             storage={:>10} migs={} lat={:>7.2}ms{}",
+            self.operator,
+            self.workload,
+            self.j,
+            self.exec_secs(),
+            self.throughput,
+            human_bytes(self.max_ilf_bytes),
+            human_bytes(self.total_storage_bytes),
+            self.migrations,
+            self.avg_latency_us / 1000.0,
+            if self.overflowed() { " *SPILL*" } else { "" }
+        )
+    }
+}
+
+/// Human-readable byte counts for harness output.
+pub fn human_bytes(b: u64) -> String {
+    const KB: u64 = 1 << 10;
+    const MB: u64 = 1 << 20;
+    const GB: u64 = 1 << 30;
+    if b >= GB {
+        format!("{:.2}GB", b as f64 / GB as f64)
+    } else if b >= MB {
+        format!("{:.2}MB", b as f64 / MB as f64)
+    } else if b >= KB {
+        format!("{:.1}KB", b as f64 / KB as f64)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_bytes_formats() {
+        assert_eq!(human_bytes(512), "512B");
+        assert_eq!(human_bytes(2048), "2.0KB");
+        assert_eq!(human_bytes(3 << 20), "3.00MB");
+        assert_eq!(human_bytes(5 << 30), "5.00GB");
+    }
+}

@@ -1,0 +1,350 @@
+//! The reshuffler task — and the controller, which is reshuffler 0 with
+//! extra duties (§3.2: "One task among the reshufflers, referred to as the
+//! controller, is assigned the additional responsibility of monitoring
+//! global data statistics and triggering adaptivity changes").
+//!
+//! Every reshuffler keeps its own view of the epoch and grid assignment;
+//! the controller additionally runs Alg. 1 (scaled statistics) + Alg. 2
+//! (migration decisions) and gates migrations on joiner acks.
+
+use aoj_core::decision::{Decision, DecisionConfig, MigrationDecider};
+use aoj_core::epoch::Epoch;
+use aoj_core::mapping::{steps_between, GridAssignment, Mapping};
+use aoj_core::migration::plan_step;
+use aoj_core::ticket::{partition, TicketGen};
+use aoj_core::tuple::{Rel, Tuple};
+use aoj_simnet::{Ctx, Process, SimDuration, SimTime, TaskId};
+
+use crate::messages::OpMsg;
+
+/// A controller-side event, for post-run analysis (Fig. 8c's migration
+/// shading, EXPERIMENTS.md narratives).
+#[derive(Clone, Copy, Debug)]
+pub enum ControlEvent {
+    /// A migration decision was taken.
+    Decide {
+        /// Global sequence number of the triggering tuple.
+        seq: u64,
+        /// Virtual time of the decision.
+        at: SimTime,
+        /// Mapping before.
+        from: Mapping,
+        /// Mapping after this step.
+        to: Mapping,
+        /// The epoch entered.
+        epoch: Epoch,
+    },
+    /// All joiners acked the migration.
+    Complete {
+        /// Virtual time of the last ack.
+        at: SimTime,
+        /// The epoch whose migration completed.
+        epoch: Epoch,
+    },
+}
+
+/// A periodic sample of cluster state taken by the controller while
+/// routing (progress timelines for Figs. 6a/6c).
+#[derive(Clone, Copy, Debug)]
+pub struct ProgressSample {
+    /// Global sequence number at the sample.
+    pub seq: u64,
+    /// Virtual time.
+    pub at: SimTime,
+    /// Max per-machine stored bytes (the ILF of the fullest joiner).
+    pub max_stored_bytes: u64,
+    /// Total stored bytes across the cluster.
+    pub total_stored_bytes: u64,
+}
+
+/// Periodic progress sampling shared by all operator flavours.
+#[derive(Clone, Debug)]
+pub struct ProgressRecorder {
+    /// Collected samples.
+    pub samples: Vec<ProgressSample>,
+    every: u64,
+    next_at: u64,
+}
+
+impl ProgressRecorder {
+    /// Sample roughly every `every` sequence numbers.
+    pub fn new(every: u64) -> ProgressRecorder {
+        ProgressRecorder {
+            samples: Vec::new(),
+            every: every.max(1),
+            next_at: 0,
+        }
+    }
+
+    /// Record a sample if `seq` crossed the sampling boundary.
+    pub fn maybe_sample(&mut self, seq: u64, ctx: &mut Ctx<'_, OpMsg>) {
+        if seq < self.next_at {
+            return;
+        }
+        self.next_at = seq + self.every;
+        let (max_b, total_b) = {
+            let m = ctx.metrics();
+            (m.max_stored_bytes(), m.total_stored_bytes())
+        };
+        self.samples.push(ProgressSample {
+            seq,
+            at: ctx.now(),
+            max_stored_bytes: max_b,
+            total_stored_bytes: total_b,
+        });
+    }
+}
+
+/// Controller state carried by reshuffler 0.
+pub struct ControllerState {
+    /// Alg. 2 state over scaled estimates.
+    pub decider: MigrationDecider,
+    /// Whether the controller may trigger migrations (false for the
+    /// Static operators, which still sample and count).
+    pub adaptive: bool,
+    /// True while a migration is in flight (gates decisions).
+    pub in_flight: bool,
+    /// Acks still awaited for the in-flight migration.
+    pub acks_pending: usize,
+    /// The target mapping the controller is stepping towards (multi-step
+    /// chains are executed one epoch at a time).
+    pub target: Option<Mapping>,
+    /// Decision/completion log.
+    pub events: Vec<ControlEvent>,
+    /// Progress sampling.
+    pub recorder: ProgressRecorder,
+    /// Last global sequence number observed.
+    pub last_seq: u64,
+}
+
+/// The reshuffler task.
+pub struct ReshufflerTask {
+    /// This reshuffler's index (0 = controller).
+    pub index: usize,
+    /// Epoch this reshuffler routes under.
+    pub epoch: Epoch,
+    /// Grid assignment this reshuffler routes with.
+    pub assign: GridAssignment,
+    /// Joiner task ids by machine index.
+    pub joiner_tasks: Vec<TaskId>,
+    /// Reshuffler task ids (for controller broadcasts).
+    pub reshuffler_tasks: Vec<TaskId>,
+    /// Ticket generator (independent per reshuffler).
+    pub tickets: TicketGen,
+    /// Cost model.
+    pub cost: aoj_simnet::CostModel,
+    /// Controller duties, present on reshuffler 0 of adaptive operators.
+    pub controller: Option<ControllerState>,
+    /// The source task (flow-control credit reports).
+    pub source: TaskId,
+    /// Blocking-migration baseline (§4.3 steps i–iv): stall routing while
+    /// a migration is in flight and redirect buffered tuples afterwards.
+    /// The paper's operator is non-blocking; this mode exists for the
+    /// ablation that quantifies what Alg. 3 buys.
+    pub blocking: bool,
+    /// True while this reshuffler is stalling (blocking mode only).
+    pub stalled: bool,
+    /// Tuples buffered while stalled: (rel, key, aux, bytes, seq, arrived).
+    pub stall_buffer: Vec<(Rel, i64, i32, u32, u64, SimTime)>,
+    /// Tuples routed by this reshuffler.
+    pub routed: u64,
+}
+
+impl ControllerState {
+    /// Fresh controller state for `j` joiners starting at `initial`.
+    pub fn new(j: u32, initial: Mapping, cfg: DecisionConfig, adaptive: bool, sample_every: u64) -> Self {
+        ControllerState {
+            decider: MigrationDecider::new(j, initial, cfg),
+            adaptive,
+            in_flight: false,
+            acks_pending: 0,
+            target: None,
+            events: Vec::new(),
+            recorder: ProgressRecorder::new(sample_every),
+            last_seq: 0,
+        }
+    }
+}
+
+impl ReshufflerTask {
+    #[allow(clippy::too_many_arguments)]
+    fn route(
+        &mut self,
+        ctx: &mut Ctx<'_, OpMsg>,
+        rel: Rel,
+        key: i64,
+        aux: i32,
+        bytes: u32,
+        seq: u64,
+        arrived: SimTime,
+    ) -> u32 {
+        let ticket = self.tickets.next();
+        let t = Tuple {
+            seq,
+            rel,
+            key,
+            aux,
+            bytes,
+            ticket,
+        };
+        let mp = self.assign.mapping();
+        let copies = match rel {
+            Rel::R => {
+                let row = partition(ticket, mp.n);
+                for c in 0..mp.m {
+                    let mach = self.assign.machine_at(row, c);
+                    ctx.send(self.joiner_tasks[mach], OpMsg::Data { tag: self.epoch, t, arrived, store: true });
+                }
+                mp.m
+            }
+            Rel::S => {
+                let col = partition(ticket, mp.m);
+                for r in 0..mp.n {
+                    let mach = self.assign.machine_at(r, col);
+                    ctx.send(self.joiner_tasks[mach], OpMsg::Data { tag: self.epoch, t, arrived, store: true });
+                }
+                mp.n
+            }
+        };
+        self.routed += 1;
+        copies
+    }
+
+    /// Controller: evaluate Alg. 2 and, when due, broadcast the next
+    /// migration step (one step per epoch; chains continue after acks).
+    fn maybe_trigger(&mut self, ctx: &mut Ctx<'_, OpMsg>) {
+        let Some(ctrl) = self.controller.as_mut() else {
+            return;
+        };
+        if !ctrl.adaptive || ctrl.in_flight {
+            return;
+        }
+        let current = self.assign.mapping();
+        // Continue an unfinished multi-step chain first.
+        let target = match ctrl.target {
+            Some(t) if t != current => Some(t),
+            _ => {
+                ctrl.target = None;
+                match ctrl.decider.check() {
+                    Decision::Migrate(t) => Some(t),
+                    Decision::Stay => None,
+                }
+            }
+        };
+        let Some(target) = target else {
+            return;
+        };
+        let step = steps_between(current, target)[0];
+        let next = step.apply(current).expect("valid step");
+        ctrl.target = if next == target { None } else { Some(target) };
+        ctrl.decider.set_current(next);
+        ctrl.in_flight = true;
+        ctrl.acks_pending = self.assign.j() as usize;
+        let new_epoch = self.epoch + 1;
+        ctrl.events.push(ControlEvent::Decide {
+            seq: ctrl.last_seq,
+            at: ctx.now(),
+            from: current,
+            to: next,
+            epoch: new_epoch,
+        });
+        for &r in &self.reshuffler_tasks {
+            ctx.send(r, OpMsg::MappingChange { new_epoch, step });
+        }
+    }
+}
+
+impl Process<OpMsg> for ReshufflerTask {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, OpMsg>, _from: TaskId, msg: OpMsg) -> SimDuration {
+        match msg {
+            OpMsg::Ingest { rel, key, aux, bytes, seq } => {
+                // Alg. 1 lines 3/5 ("scaled increment"): the controller
+                // sees ~1/J of the uniformly shuffled stream and scales
+                // its local sample by J to estimate global cardinalities
+                // — no statistics channel, no synchronisation. Units are
+                // bytes so the unequal-tuple-size generalisation (§4.2.2)
+                // comes for free.
+                if let Some(ctrl) = self.controller.as_mut() {
+                    let scale = self.assign.j() as u64;
+                    ctrl.decider.observe_only(rel == Rel::R, bytes as u64 * scale);
+                    ctrl.last_seq = seq;
+                    ctrl.recorder.maybe_sample(seq, ctx);
+                }
+                if self.stalled {
+                    // Blocking baseline: hold the tuple until relocation
+                    // completes; its latency clock keeps running.
+                    self.stall_buffer.push((rel, key, aux, bytes, seq, ctx.now()));
+                    return SimDuration::from_micros(1);
+                }
+                let arrived = ctx.now();
+                let copies = self.route(ctx, rel, key, aux, bytes, seq, arrived);
+                ctx.send(self.source, OpMsg::RoutedCopies { n: copies });
+                self.maybe_trigger(ctx);
+                SimDuration::from_micros(
+                    self.cost.recv_overhead_us + copies as u64 * self.cost.store_us / 2,
+                )
+            }
+            OpMsg::MappingChange { new_epoch, step } => {
+                assert_eq!(new_epoch, self.epoch + 1, "reshuffler skipped an epoch");
+                let plan = plan_step(&self.assign, step);
+                self.assign.apply_step(step);
+                self.epoch = new_epoch;
+                for (mach, &jt) in self.joiner_tasks.iter().enumerate() {
+                    ctx.send(
+                        jt,
+                        OpMsg::Signal {
+                            from_reshuffler: self.index,
+                            new_epoch,
+                            spec: plan.specs[mach],
+                        },
+                    );
+                }
+                if self.blocking {
+                    self.stalled = true;
+                }
+                SimDuration::from_micros(self.cost.control_us * 2)
+            }
+            OpMsg::MigrationComplete { epoch } => {
+                assert_eq!(epoch, self.epoch, "stale completion broadcast");
+                self.stalled = false;
+                // §4.3 step (iv): redirect buffered tuples to their new
+                // locations (now routed under the new mapping).
+                let buffered = std::mem::take(&mut self.stall_buffer);
+                let mut copies_total = 0u32;
+                for (rel, key, aux, bytes, seq, arrived) in buffered {
+                    copies_total += self.route(ctx, rel, key, aux, bytes, seq, arrived);
+                }
+                if copies_total > 0 {
+                    ctx.send(self.source, OpMsg::RoutedCopies { n: copies_total });
+                }
+                SimDuration::from_micros(
+                    self.cost.control_us + copies_total as u64 * self.cost.store_us / 2,
+                )
+            }
+            OpMsg::Ack { joiner: _, epoch } => {
+                let now_mapping = self.assign.mapping();
+                let ctrl = self
+                    .controller
+                    .as_mut()
+                    .expect("only the controller receives acks");
+                assert!(ctrl.in_flight, "ack without in-flight migration");
+                assert_eq!(epoch, self.epoch, "stale ack");
+                ctrl.acks_pending -= 1;
+                if ctrl.acks_pending == 0 {
+                    ctrl.in_flight = false;
+                    ctrl.events.push(ControlEvent::Complete { at: ctx.now(), epoch });
+                    let _ = now_mapping;
+                    if self.blocking {
+                        for &r in &self.reshuffler_tasks {
+                            ctx.send(r, OpMsg::MigrationComplete { epoch });
+                        }
+                    }
+                    // Chain to the next step / re-evaluate immediately.
+                    self.maybe_trigger(ctx);
+                }
+                SimDuration::from_micros(self.cost.control_us)
+            }
+            other => panic!("reshuffler received unexpected message {other:?}"),
+        }
+    }
+}

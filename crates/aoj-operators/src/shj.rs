@@ -1,0 +1,160 @@
+//! The parallel symmetric hash join baseline (§5 "Operators", item iv):
+//! the classic content-sensitive scheme of Schneider & DeWitt/Graefe.
+//! Reshufflers partition *on the join key* — each tuple goes to exactly
+//! one joiner, `hash(key) mod J` — so there is no replication, but skewed
+//! keys pile onto few machines, which is precisely what Table 2
+//! demonstrates. Only valid for equi-joins.
+
+use aoj_core::index::{JoinIndex, ProbeStats};
+use aoj_core::ticket::mix64;
+use aoj_core::tuple::Tuple;
+use aoj_joinalg::{SpillGauge, SymmetricHashIndex};
+use aoj_simnet::{Ctx, MachineId, Process, SimDuration, TaskId};
+
+use crate::joiner_task::LatencyStats;
+use crate::messages::OpMsg;
+use crate::reshuffler::ProgressRecorder;
+
+/// SHJ's reshuffler: key-hash routing, no statistics, no epochs.
+pub struct ShjReshuffler {
+    /// Joiner task ids by machine index.
+    pub joiner_tasks: Vec<TaskId>,
+    /// Cost model.
+    pub cost: aoj_simnet::CostModel,
+    /// The source task (flow-control credit reports).
+    pub source: TaskId,
+    /// Tuples routed.
+    pub routed: u64,
+    /// Progress sampling (reshuffler 0 only).
+    pub recorder: Option<ProgressRecorder>,
+}
+
+impl Process<OpMsg> for ShjReshuffler {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, OpMsg>, _from: TaskId, msg: OpMsg) -> SimDuration {
+        match msg {
+            OpMsg::Ingest { rel, key, aux, bytes, seq } => {
+                if let Some(rec) = self.recorder.as_mut() {
+                    rec.maybe_sample(seq, ctx);
+                }
+                let j = self.joiner_tasks.len() as u64;
+                let dst = (mix64(key as u64) % j) as usize;
+                let t = Tuple {
+                    seq,
+                    rel,
+                    key,
+                    aux,
+                    bytes,
+                    ticket: mix64(seq),
+                };
+                let arrived = ctx.now();
+                ctx.send(self.joiner_tasks[dst], OpMsg::Data { tag: 0, t, arrived, store: true });
+                ctx.send(self.source, OpMsg::RoutedCopies { n: 1 });
+                self.routed += 1;
+                SimDuration::from_micros(self.cost.recv_overhead_us + self.cost.store_us / 2)
+            }
+            other => panic!("SHJ reshuffler received unexpected message {other:?}"),
+        }
+    }
+}
+
+/// SHJ's joiner: a plain local symmetric hash join with spill accounting.
+pub struct ShjJoiner {
+    /// Local hash state.
+    pub index: SymmetricHashIndex,
+    /// RAM gauge.
+    pub gauge: SpillGauge,
+    /// Machine for metrics.
+    pub machine: MachineId,
+    /// Cost model.
+    pub cost: aoj_simnet::CostModel,
+    /// The source task (credit returns).
+    pub source: TaskId,
+    /// Matches emitted.
+    pub matches: u64,
+    /// Latency samples.
+    pub latency: LatencyStats,
+    /// Credits accumulated but not yet returned.
+    unacked_credits: u32,
+}
+
+impl ShjJoiner {
+    /// Build an SHJ joiner.
+    pub fn new(
+        machine: MachineId,
+        cost: aoj_simnet::CostModel,
+        gauge: SpillGauge,
+        source: TaskId,
+    ) -> ShjJoiner {
+        ShjJoiner {
+            index: SymmetricHashIndex::new(),
+            gauge,
+            machine,
+            cost,
+            source,
+            matches: 0,
+            latency: LatencyStats::default(),
+            unacked_credits: 0,
+        }
+    }
+}
+
+impl Process<OpMsg> for ShjJoiner {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, OpMsg>, _from: TaskId, msg: OpMsg) -> SimDuration {
+        match msg {
+            OpMsg::Data { t, arrived, .. } => {
+                let mut matches = 0u64;
+                let stats: ProbeStats = self.index.probe(&t, &mut |_| matches += 1);
+                self.index.insert(t);
+                self.matches += matches;
+                if matches > 0 {
+                    self.latency.record(ctx.now().since(arrived).as_micros());
+                }
+                let bytes = self.index.bytes();
+                self.gauge.set_stored(bytes);
+                ctx.metrics().set_stored(self.machine, bytes);
+                let now = ctx.now();
+                ctx.metrics().note_data_processed(1, now);
+                self.unacked_credits += 1;
+                if self.unacked_credits >= 8 {
+                    ctx.send(self.source, OpMsg::ProcessedCopies { n: self.unacked_credits });
+                    self.unacked_credits = 0;
+                }
+                if self.gauge.is_spilling() {
+                    let spilled = self.gauge.spilled_bytes();
+                    let mm = ctx.metrics().machine_mut(self.machine);
+                    if spilled > mm.spilled_bytes {
+                        mm.spilled_bytes = spilled;
+                    }
+                }
+                let base = self.cost.recv_overhead_us
+                    + (self.cost.probe_cost(stats.candidates, stats.matches)
+                        + self.cost.store_cost(false))
+                    .as_micros();
+                SimDuration::from_micros(
+                    self.cost.recv_overhead_us
+                        + self
+                            .gauge
+                            .effective_cost(base - self.cost.recv_overhead_us),
+                )
+            }
+            other => panic!("SHJ joiner received unexpected message {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_hash_routing_is_deterministic_per_key() {
+        // Same key → same joiner, both relations: required for SHJ
+        // correctness.
+        let j = 16u64;
+        for key in 0..1000i64 {
+            let a = mix64(key as u64) % j;
+            let b = mix64(key as u64) % j;
+            assert_eq!(a, b);
+        }
+    }
+}

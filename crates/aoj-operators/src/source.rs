@@ -1,0 +1,185 @@
+//! The stream source: feeds the pre-generated arrival sequence into the
+//! reshufflers at a configurable rate, round-robin (§3.2: "An incoming
+//! tuple to the operator is randomly routed to a reshuffler task").
+
+use aoj_core::tuple::Rel;
+use aoj_datagen::queries::StreamItem;
+use aoj_simnet::{Ctx, Process, SimDuration, TaskId};
+
+use crate::messages::OpMsg;
+
+/// Emission pacing.
+#[derive(Clone, Copy, Debug)]
+pub struct SourcePacing {
+    /// Tuples emitted per timer tick.
+    pub burst: u32,
+    /// Virtual time between ticks.
+    pub interval: SimDuration,
+}
+
+impl SourcePacing {
+    /// Emit as fast as the simulation allows (saturating the joiners, as
+    /// the paper configures for throughput/runtime experiments).
+    pub fn saturating() -> SourcePacing {
+        SourcePacing {
+            burst: 64,
+            interval: SimDuration::from_micros(1),
+        }
+    }
+
+    /// Approximately `rate` tuples per virtual second.
+    pub fn per_second(rate: u64) -> SourcePacing {
+        let burst = 16u32;
+        let interval = SimDuration::from_micros((1_000_000 * burst as u64 / rate.max(1)).max(1));
+        SourcePacing { burst, interval }
+    }
+}
+
+/// The source task: timer-paced emission under credit-based flow control.
+///
+/// The paper's substrate (Storm) bounds the number of un-processed tuples
+/// a spout may have outstanding; without that backpressure, a saturating
+/// source would queue the whole stream ahead of the operator and epoch
+/// signals — which travel FIFO behind data — would take the entire backlog
+/// to propagate. Reshufflers report fanned-out copies, joiners return
+/// credits as they process; emission pauses while
+/// `routed − processed ≥ window_copies`.
+pub struct SourceTask {
+    /// The full arrival sequence (relation + item per tuple).
+    pub arrivals: Vec<(Rel, StreamItem)>,
+    /// Next arrival to emit.
+    pub cursor: usize,
+    /// Reshuffler task ids (round-robin targets).
+    pub reshufflers: Vec<TaskId>,
+    /// Pacing.
+    pub pacing: SourcePacing,
+    /// Maximum tuple copies in flight (0 disables flow control).
+    pub window_copies: u64,
+    /// Copies fanned out so far (reported by reshufflers).
+    pub routed_copies: u64,
+    /// Tuples routed so far (one [`OpMsg::RoutedCopies`] per ingest).
+    pub routed_tuples: u64,
+    /// Copies fully processed so far (reported by joiners).
+    pub processed_copies: u64,
+    /// True while an emission tick is scheduled.
+    tick_pending: bool,
+}
+
+impl SourceTask {
+    /// Timer key used for emission ticks.
+    pub const TICK: u64 = 1;
+
+    /// Build a source with the given window.
+    pub fn new(
+        arrivals: Vec<(Rel, StreamItem)>,
+        reshufflers: Vec<TaskId>,
+        pacing: SourcePacing,
+        window_copies: u64,
+    ) -> SourceTask {
+        SourceTask {
+            arrivals,
+            cursor: 0,
+            reshufflers,
+            pacing,
+            window_copies,
+            routed_copies: 0,
+            routed_tuples: 0,
+            processed_copies: 0,
+            tick_pending: true, // the driver schedules the first tick
+        }
+    }
+
+    fn window_open(&self) -> bool {
+        if self.window_copies == 0 {
+            return true;
+        }
+        // Gate 1: copies sitting in joiner queues (routed − processed).
+        let copies_ok =
+            self.routed_copies.saturating_sub(self.processed_copies) < self.window_copies;
+        // Gate 2: emitted-but-unrouted ingests — a busy reshuffler must not
+        // accumulate an unbounded backlog, or delivery-order skew between
+        // tuples would grow past any fixed horizon (this is what Storm's
+        // spout-pending bounds: emission-to-ack, not routing-to-ack).
+        // Sized at a full window so it only binds on pathological routing
+        // backlogs, not on the steady-state credit round trip.
+        let tuple_window = self.window_copies.max(32);
+        let unrouted_ok = (self.cursor as u64).saturating_sub(self.routed_tuples) < tuple_window;
+        copies_ok && unrouted_ok
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_, OpMsg>) {
+        for _ in 0..self.pacing.burst {
+            if self.cursor >= self.arrivals.len() || !self.window_open() {
+                break;
+            }
+            let (rel, item) = self.arrivals[self.cursor];
+            let seq = self.cursor as u64;
+            let dst = self.reshufflers[self.cursor % self.reshufflers.len()];
+            ctx.send(
+                dst,
+                OpMsg::Ingest {
+                    rel,
+                    key: item.key,
+                    aux: item.aux,
+                    bytes: item.bytes,
+                    seq,
+                },
+            );
+            self.cursor += 1;
+        }
+        if self.cursor < self.arrivals.len() && self.window_open() {
+            if !self.tick_pending {
+                self.tick_pending = true;
+            }
+            ctx.schedule(self.pacing.interval, Self::TICK);
+        } else {
+            self.tick_pending = false;
+        }
+    }
+}
+
+impl Process<OpMsg> for SourceTask {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, OpMsg>, _from: TaskId, msg: OpMsg) -> SimDuration {
+        match msg {
+            OpMsg::RoutedCopies { n } => {
+                self.routed_copies += n as u64;
+                self.routed_tuples += 1;
+                // Routing progress may have re-opened the tuple gate.
+                if !self.tick_pending {
+                    self.pump(ctx);
+                }
+            }
+            OpMsg::ProcessedCopies { n } => {
+                self.processed_copies += n as u64;
+                // Credits may have re-opened the window.
+                if !self.tick_pending {
+                    self.pump(ctx);
+                }
+            }
+            other => panic!("source received unexpected message {other:?}"),
+        }
+        SimDuration::ZERO
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, OpMsg>, _key: u64) -> SimDuration {
+        self.tick_pending = false;
+        self.pump(ctx);
+        SimDuration::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pacing_constructors() {
+        let s = SourcePacing::saturating();
+        assert!(s.burst >= 1);
+        let p = SourcePacing::per_second(1_000_000);
+        // 16 tuples per 16us = 1M/s.
+        assert_eq!(p.interval.as_micros(), 16);
+        let slow = SourcePacing::per_second(1);
+        assert!(slow.interval.as_micros() >= 1_000_000);
+    }
+}

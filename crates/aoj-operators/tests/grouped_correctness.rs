@@ -1,0 +1,116 @@
+//! Correctness and balance of the §4.2.2 grouped operator on arbitrary
+//! (non-power-of-two) cluster sizes.
+
+use aoj_core::predicate::Predicate;
+use aoj_core::tuple::{Rel, Tuple};
+use aoj_datagen::queries::{StreamItem, Workload};
+use aoj_datagen::stream::{interleave, Arrivals};
+use aoj_operators::run_grouped;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn reference_matches(arrivals: &Arrivals, predicate: &Predicate) -> u64 {
+    let mut count = 0u64;
+    for (i, (rel_a, a)) in arrivals.iter().enumerate() {
+        if *rel_a != Rel::R {
+            continue;
+        }
+        let rt = Tuple::new(Rel::R, i as u64, a.key, 0).with_aux(a.aux);
+        for (j, (rel_b, b)) in arrivals.iter().enumerate() {
+            if *rel_b != Rel::S {
+                continue;
+            }
+            let st = Tuple::new(Rel::S, j as u64, b.key, 0).with_aux(b.aux);
+            if predicate.matches(&rt, &st) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+fn workload(nr: usize, ns: usize, key_space: i64, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut item = |_: usize| StreamItem {
+        key: rng.gen_range(0..key_space),
+        aux: 0,
+        bytes: 64,
+    };
+    Workload {
+        name: "grouped",
+        predicate: Predicate::Equi,
+        r_items: (0..nr).map(&mut item).collect(),
+        s_items: (0..ns).map(&mut item).collect(),
+    }
+}
+
+#[test]
+fn grouped_operator_is_exact_on_non_power_of_two_clusters() {
+    for j in [3u32, 5, 6, 20, 22] {
+        let w = workload(400, 1200, 40, j as u64);
+        let arrivals = interleave(&w, j as u64 + 9);
+        let expected = reference_matches(&arrivals, &w.predicate);
+        let report = run_grouped(&arrivals, &w.predicate, j, 0xDEC0);
+        assert_eq!(report.matches, expected, "J={j} diverged");
+    }
+}
+
+#[test]
+fn grouped_equals_reference_for_band_joins() {
+    let mut w = workload(300, 900, 60, 77);
+    w.predicate = Predicate::Band { width: 2 };
+    let arrivals = interleave(&w, 5);
+    let expected = reference_matches(&arrivals, &w.predicate);
+    let report = run_grouped(&arrivals, &w.predicate, 12, 0xBAAD);
+    assert_eq!(report.matches, expected);
+}
+
+#[test]
+fn storage_is_proportional_to_group_sizes() {
+    // §4.2.2: group g stores (J_g / J) of the *base* tuples; stored bytes
+    // additionally multiply by each group's own replication factors
+    // (an R base tuple stored in g occupies m_g machines). Expected byte
+    // share of group g is therefore
+    //   (J_g/J) * (R_bytes * m_g + S_bytes * n_g), normalised.
+    use aoj_core::groups::GroupSet;
+    let w = workload(2000, 6000, 64, 1);
+    let arrivals = interleave(&w, 2);
+    let report = run_grouped(&arrivals, &w.predicate, 20, 0x57);
+    assert_eq!(report.group_sizes, vec![16, 4]);
+    let groups = GroupSet::decompose(20);
+    let (r_bytes, s_bytes) = (2000u64 * 64, 6000u64 * 64);
+    let mappings = groups.optimal_mappings(r_bytes, s_bytes);
+    let expected: Vec<f64> = (0..groups.count())
+        .map(|g| {
+            groups.size(g) as f64 / 20.0
+                * (r_bytes as f64 * mappings[g].m as f64 + s_bytes as f64 * mappings[g].n as f64)
+        })
+        .collect();
+    let expected_share0 = expected[0] / (expected[0] + expected[1]);
+    let total: u64 = report.stored_per_group.iter().sum();
+    let share0 = report.stored_per_group[0] as f64 / total as f64;
+    assert!(
+        (share0 - expected_share0).abs() < 0.03,
+        "group 0 byte share {share0:.3}, expected {expected_share0:.3}"
+    );
+}
+
+#[test]
+fn grouped_runs_are_deterministic() {
+    let w = workload(500, 1000, 30, 9);
+    let arrivals = interleave(&w, 3);
+    let a = run_grouped(&arrivals, &w.predicate, 11, 7);
+    let b = run_grouped(&arrivals, &w.predicate, 11, 7);
+    assert_eq!(a.matches, b.matches);
+    assert_eq!(a.exec_time, b.exec_time);
+}
+
+#[test]
+fn power_of_two_grouped_degenerates_to_single_group() {
+    let w = workload(300, 900, 25, 4);
+    let arrivals = interleave(&w, 8);
+    let expected = reference_matches(&arrivals, &w.predicate);
+    let report = run_grouped(&arrivals, &w.predicate, 16, 3);
+    assert_eq!(report.group_sizes, vec![16]);
+    assert_eq!(report.matches, expected);
+}

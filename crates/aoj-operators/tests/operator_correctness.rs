@@ -1,0 +1,260 @@
+//! End-to-end operator correctness over the simulated cluster: every
+//! operator must emit exactly the reference number of join matches, for
+//! every workload shape, including runs where the Dynamic operator
+//! migrates repeatedly while data is in flight.
+
+use aoj_core::mapping::Mapping;
+use aoj_core::predicate::Predicate;
+use aoj_core::tuple::{Rel, Tuple};
+use aoj_datagen::queries::{StreamItem, Workload};
+use aoj_datagen::stream::{fluctuating, interleave, Arrivals};
+use aoj_operators::{run, OperatorKind, RunConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Reference match count straight off the arrival list.
+fn reference_matches(arrivals: &Arrivals, predicate: &Predicate) -> u64 {
+    let rs: Vec<&StreamItem> = arrivals
+        .iter()
+        .filter(|(rel, _)| *rel == Rel::R)
+        .map(|(_, i)| i)
+        .collect();
+    let ss: Vec<&StreamItem> = arrivals
+        .iter()
+        .filter(|(rel, _)| *rel == Rel::S)
+        .map(|(_, i)| i)
+        .collect();
+    let mut count = 0u64;
+    for r in &rs {
+        let rt = Tuple::new(Rel::R, 0, r.key, 0).with_aux(r.aux);
+        for s in &ss {
+            let st = Tuple::new(Rel::S, 1, s.key, 0).with_aux(s.aux);
+            if predicate.matches(&rt, &st) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+fn synthetic_workload(nr: usize, ns: usize, key_space: i64, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut item = |_: usize| StreamItem {
+        key: rng.gen_range(0..key_space),
+        aux: 0,
+        bytes: 64,
+    };
+    Workload {
+        name: "synthetic",
+        predicate: Predicate::Equi,
+        r_items: (0..nr).map(&mut item).collect(),
+        s_items: (0..ns).map(&mut item).collect(),
+    }
+}
+
+#[test]
+fn dynamic_is_exact_on_lopsided_equi_join() {
+    // 40:1 stream ratio forces the square start to walk to an edge
+    // mapping mid-stream; output must still be exact.
+    let w = synthetic_workload(100, 4000, 64, 11);
+    let arrivals = interleave(&w, 22);
+    let expected = reference_matches(&arrivals, &w.predicate);
+    let cfg = RunConfig::new(16, OperatorKind::Dynamic);
+    let report = run(&arrivals, &w.predicate, w.name, &cfg);
+    assert!(report.migrations > 0, "lopsided input must trigger migrations");
+    assert_eq!(report.matches, expected);
+}
+
+#[test]
+fn dynamic_is_exact_under_fluctuation() {
+    // The §5.4 sawtooth: migrations in both directions, repeatedly.
+    let w = synthetic_workload(3000, 3000, 48, 5);
+    let arrivals = fluctuating(&w, 4, 0);
+    let expected = reference_matches(&arrivals, &w.predicate);
+    let cfg = RunConfig::new(16, OperatorKind::Dynamic);
+    let report = run(&arrivals, &w.predicate, w.name, &cfg);
+    assert!(
+        report.migrations >= 2,
+        "fluctuation must trigger repeated migrations, got {}",
+        report.migrations
+    );
+    assert_eq!(report.matches, expected);
+}
+
+#[test]
+fn dynamic_is_exact_on_band_join() {
+    let mut w = synthetic_workload(400, 2400, 100, 77);
+    w.predicate = Predicate::Band { width: 2 };
+    let arrivals = interleave(&w, 3);
+    let expected = reference_matches(&arrivals, &w.predicate);
+    let cfg = RunConfig::new(8, OperatorKind::Dynamic);
+    let report = run(&arrivals, &w.predicate, w.name, &cfg);
+    assert_eq!(report.matches, expected);
+}
+
+#[test]
+fn static_operators_are_exact() {
+    let w = synthetic_workload(300, 2000, 50, 3);
+    let arrivals = interleave(&w, 9);
+    let expected = reference_matches(&arrivals, &w.predicate);
+    for kind in [OperatorKind::StaticMid, OperatorKind::StaticOpt] {
+        let cfg = RunConfig::new(16, kind);
+        let report = run(&arrivals, &w.predicate, w.name, &cfg);
+        assert_eq!(report.matches, expected, "{kind:?}");
+        assert_eq!(report.migrations, 0, "{kind:?} must never migrate");
+    }
+}
+
+#[test]
+fn shj_is_exact_for_equi_joins() {
+    let w = synthetic_workload(500, 1500, 40, 8);
+    let arrivals = interleave(&w, 4);
+    let expected = reference_matches(&arrivals, &w.predicate);
+    let cfg = RunConfig::new(16, OperatorKind::Shj);
+    let report = run(&arrivals, &w.predicate, w.name, &cfg);
+    assert_eq!(report.matches, expected);
+}
+
+#[test]
+fn all_operators_agree_with_each_other() {
+    let w = synthetic_workload(800, 1600, 32, 13);
+    let arrivals = interleave(&w, 6);
+    let expected = reference_matches(&arrivals, &w.predicate);
+    for kind in [
+        OperatorKind::Dynamic,
+        OperatorKind::StaticMid,
+        OperatorKind::StaticOpt,
+        OperatorKind::Shj,
+    ] {
+        let report = run(&arrivals, &w.predicate, w.name, &RunConfig::new(8, kind));
+        assert_eq!(report.matches, expected, "{kind:?} diverged");
+    }
+}
+
+#[test]
+fn dynamic_converges_to_optimal_mapping() {
+    let w = synthetic_workload(50, 6400, 64, 21);
+    let arrivals = interleave(&w, 2);
+    let cfg = RunConfig::new(16, OperatorKind::Dynamic);
+    let report = run(&arrivals, &w.predicate, w.name, &cfg);
+    // |S| >> |R|: the optimum is (1, 16) and Dynamic must reach it.
+    assert_eq!(report.final_mapping, Mapping::new(1, 16));
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let w = synthetic_workload(400, 1200, 30, 17);
+    let arrivals = interleave(&w, 1);
+    let cfg = RunConfig::new(8, OperatorKind::Dynamic);
+    let a = run(&arrivals, &w.predicate, w.name, &cfg);
+    let b = run(&arrivals, &w.predicate, w.name, &cfg);
+    assert_eq!(a.matches, b.matches);
+    assert_eq!(a.exec_time, b.exec_time);
+    assert_eq!(a.migrations, b.migrations);
+    assert_eq!(a.network_bytes, b.network_bytes);
+}
+
+#[test]
+fn dynamic_lowers_ilf_versus_static_mid() {
+    // The headline effect: on a lopsided stream, the adaptive operator's
+    // per-joiner storage is far below the square grid's.
+    let w = synthetic_workload(100, 6400, 64, 31);
+    let arrivals = interleave(&w, 12);
+    let dynamic = run(
+        &arrivals,
+        &w.predicate,
+        w.name,
+        &RunConfig::new(16, OperatorKind::Dynamic),
+    );
+    let static_mid = run(
+        &arrivals,
+        &w.predicate,
+        w.name,
+        &RunConfig::new(16, OperatorKind::StaticMid),
+    );
+    assert!(
+        (dynamic.max_ilf_bytes as f64) < 0.6 * static_mid.max_ilf_bytes as f64,
+        "dynamic ILF {} should be well below static-mid {}",
+        dynamic.max_ilf_bytes,
+        static_mid.max_ilf_bytes
+    );
+    assert_eq!(dynamic.matches, static_mid.matches);
+}
+
+#[test]
+fn migration_traffic_is_bounded_by_amortized_cost() {
+    // Theorem 4.2 (ε = 1): amortised migration cost per input tuple is
+    // constant. Check total exchanged bytes stay within a small multiple
+    // of the input volume.
+    let w = synthetic_workload(2000, 2000, 64, 41);
+    let arrivals = fluctuating(&w, 4, 0);
+    let cfg = RunConfig::new(16, OperatorKind::Dynamic);
+    let report = run(&arrivals, &w.predicate, w.name, &cfg);
+    let input_bytes: u64 = arrivals.iter().map(|(_, i)| i.bytes as u64).sum();
+    assert!(report.migrations >= 2);
+    assert!(
+        report.migration_bytes < 8 * input_bytes,
+        "migration bytes {} exceed the amortised bound vs input {}",
+        report.migration_bytes,
+        input_bytes
+    );
+}
+
+#[test]
+fn competitive_ratio_stays_within_bound_after_warmup() {
+    let w = synthetic_workload(4000, 4000, 64, 51);
+    let arrivals = fluctuating(&w, 4, 0);
+    let mut cfg = RunConfig::new(16, OperatorKind::Dynamic);
+    // Theorem 4.6's premise is that input arrives no faster than joiners
+    // process (the paper's Storm deployment has backpressure; migrations
+    // are serviced at twice the data rate). A saturating source would let
+    // the whole stream race ahead of in-flight migrations, which no
+    // adaptive scheme could track. Pace the source below capacity.
+    cfg.pacing = aoj_operators::SourcePacing::per_second(150_000);
+    let report = run(&arrivals, &w.predicate, w.name, &cfg);
+    // Skip the warm-up third; allow slack for the decentralised estimate
+    // noise (the theorem assumes exact cardinalities).
+    let max_ratio = report.max_competitive_ratio(arrivals.len() as u64 / 3);
+    assert!(
+        max_ratio <= 1.25 * 1.15,
+        "ILF/ILF* = {max_ratio} exceeds 1.25 plus estimator slack"
+    );
+}
+
+#[test]
+fn blocking_migrations_are_exact_but_spike_latency() {
+    // The §4.3 strawman: stall routing during state relocation, redirect
+    // afterwards. Output must still be exact; the cost is a latency spike
+    // on every tuple that waited out the migration.
+    let w = synthetic_workload(2000, 2000, 64, 61);
+    let arrivals = fluctuating(&w, 4, 0);
+    let expected = reference_matches(&arrivals, &w.predicate);
+
+    let rate = 150_000;
+    let mut nonblocking = RunConfig::new(16, OperatorKind::Dynamic);
+    nonblocking.pacing = aoj_operators::SourcePacing::per_second(rate);
+    let nb = run(&arrivals, &w.predicate, w.name, &nonblocking);
+
+    let mut blocking = nonblocking.clone();
+    blocking.blocking_migrations = true;
+    let b = run(&arrivals, &w.predicate, w.name, &blocking);
+
+    assert_eq!(nb.matches, expected, "non-blocking output");
+    assert_eq!(b.matches, expected, "blocking output");
+    assert!(nb.migrations >= 2 && b.migrations >= 2);
+    // With backpressure, part of the stall manifests as throttled
+    // admission rather than queued latency; the worst-case latency of
+    // tuples already inside the operator still rises markedly.
+    assert!(
+        b.max_latency_us as f64 > 1.3 * nb.max_latency_us as f64,
+        "blocking should spike worst-case latency (blocking {} vs non-blocking {})",
+        b.max_latency_us,
+        nb.max_latency_us
+    );
+    assert!(
+        b.avg_latency_us > nb.avg_latency_us,
+        "blocking should raise average latency ({} vs {})",
+        b.avg_latency_us,
+        nb.avg_latency_us
+    );
+}

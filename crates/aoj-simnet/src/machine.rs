@@ -1,0 +1,172 @@
+//! Simulated machines: a CPU serving per-class message queues under a
+//! weighted policy, and an egress NIC.
+
+use std::collections::VecDeque;
+
+use crate::network::Nic;
+use crate::task::{MsgClass, TaskId};
+use crate::time::SimTime;
+
+/// Identifies a machine in the cluster.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MachineId(pub usize);
+
+impl MachineId {
+    /// The raw index of this machine.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Per-machine knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// How many `Migration`-class messages are serviced for every
+    /// `Data`-class message while both queues are backlogged. The paper
+    /// fixes this to 2 (§4.3.2): "We set the joiners to process migrated
+    /// tuples at twice the rate of processing new incoming tuples."
+    pub migration_weight: u32,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            migration_weight: 2,
+        }
+    }
+}
+
+/// A queued message awaiting CPU service.
+pub(crate) struct Queued<M> {
+    pub from: TaskId,
+    pub to: TaskId,
+    pub msg: M,
+}
+
+/// Internal machine state.
+pub(crate) struct Machine<M> {
+    pub cfg: MachineConfig,
+    pub nic: Nic,
+    /// CPU is busy until this time.
+    pub busy_until: SimTime,
+    /// True if a `ProcessNext` event is already scheduled.
+    pub scheduled: bool,
+    pub control_q: VecDeque<Queued<M>>,
+    pub data_q: VecDeque<Queued<M>>,
+    pub migration_q: VecDeque<Queued<M>>,
+    /// Counts migration-class messages served since the last data-class
+    /// message, implementing the 2:1 weighted service.
+    pub migration_credit: u32,
+}
+
+impl<M> Machine<M> {
+    pub fn new(cfg: MachineConfig) -> Self {
+        Machine {
+            cfg,
+            nic: Nic::default(),
+            busy_until: SimTime::ZERO,
+            scheduled: false,
+            control_q: VecDeque::new(),
+            data_q: VecDeque::new(),
+            migration_q: VecDeque::new(),
+            migration_credit: 0,
+        }
+    }
+
+    pub fn enqueue(&mut self, class: MsgClass, item: Queued<M>) {
+        match class {
+            MsgClass::Control => self.control_q.push_back(item),
+            MsgClass::Data => self.data_q.push_back(item),
+            MsgClass::Migration => self.migration_q.push_back(item),
+        }
+    }
+
+    pub fn queue_len(&self) -> usize {
+        self.control_q.len() + self.data_q.len() + self.migration_q.len()
+    }
+
+    /// Pick the next message to service. Control preempts everything;
+    /// migration is served `migration_weight` times per data message while
+    /// both queues are non-empty; otherwise whichever queue has work.
+    pub fn pop_next(&mut self) -> Option<Queued<M>> {
+        if let Some(item) = self.control_q.pop_front() {
+            return Some(item);
+        }
+        let has_data = !self.data_q.is_empty();
+        let has_mig = !self.migration_q.is_empty();
+        match (has_mig, has_data) {
+            (false, false) => None,
+            (true, false) => self.migration_q.pop_front(),
+            (false, true) => {
+                self.migration_credit = 0;
+                self.data_q.pop_front()
+            }
+            (true, true) => {
+                if self.migration_credit < self.cfg.migration_weight {
+                    self.migration_credit += 1;
+                    self.migration_q.pop_front()
+                } else {
+                    self.migration_credit = 0;
+                    self.data_q.pop_front()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(n: usize) -> Queued<u32> {
+        Queued {
+            from: TaskId(0),
+            to: TaskId(0),
+            msg: n as u32,
+        }
+    }
+
+    #[test]
+    fn weighted_service_is_two_to_one() {
+        let mut m: Machine<u32> = Machine::new(MachineConfig::default());
+        for i in 0..6 {
+            m.enqueue(MsgClass::Migration, q(100 + i));
+        }
+        for i in 0..3 {
+            m.enqueue(MsgClass::Data, q(i));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| m.pop_next().map(|x| x.msg)).collect();
+        // Pattern M,M,D repeated.
+        assert_eq!(order, vec![100, 101, 0, 102, 103, 1, 104, 105, 2]);
+    }
+
+    #[test]
+    fn control_preempts() {
+        let mut m: Machine<u32> = Machine::new(MachineConfig::default());
+        m.enqueue(MsgClass::Data, q(1));
+        m.enqueue(MsgClass::Migration, q(2));
+        m.enqueue(MsgClass::Control, q(3));
+        assert_eq!(m.pop_next().unwrap().msg, 3);
+    }
+
+    #[test]
+    fn drains_single_class() {
+        let mut m: Machine<u32> = Machine::new(MachineConfig::default());
+        for i in 0..4 {
+            m.enqueue(MsgClass::Data, q(i));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| m.pop_next().map(|x| x.msg)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn migration_only_drains_fifo() {
+        let mut m: Machine<u32> = Machine::new(MachineConfig::default());
+        for i in 0..4 {
+            m.enqueue(MsgClass::Migration, q(i));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| m.pop_next().map(|x| x.msg)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Metrics collected by the simulator and by the tasks running on it.
+//!
+//! The paper's evaluation plots are all derived from these counters:
+//! execution time (the virtual clock at drain), per-machine busy time and
+//! storage (ILF, Figs 6a/6b/7c), message and byte counts (network traffic,
+//! §3.3), and spill volume (the starred "overflow to disk" entries of
+//! Table 2).
+
+use crate::machine::MachineId;
+use crate::time::{SimDuration, SimTime};
+
+/// A point on the cluster-wide progress timeline, recorded by worker
+/// tasks as they process data items (see [`Metrics::note_data_processed`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ProgressPoint {
+    /// Data items processed across the cluster when the point was taken.
+    pub processed: u64,
+    /// Virtual time.
+    pub at: SimTime,
+    /// Maximum per-machine stored bytes at that instant.
+    pub max_stored: u64,
+    /// Total stored bytes across the cluster.
+    pub total_stored: u64,
+}
+
+/// Counters for one machine.
+#[derive(Clone, Debug, Default)]
+pub struct MachineMetrics {
+    /// Messages that arrived at this machine.
+    pub messages_in: u64,
+    /// Messages sent from this machine.
+    pub messages_out: u64,
+    /// Payload bytes received.
+    pub bytes_in: u64,
+    /// Payload bytes sent.
+    pub bytes_out: u64,
+    /// Total virtual CPU time consumed by handlers on this machine.
+    pub busy: SimDuration,
+    /// Bytes of operator state currently held (reported by tasks).
+    pub stored_bytes: u64,
+    /// High-water mark of `stored_bytes`.
+    pub peak_stored_bytes: u64,
+    /// Bytes of state that live beyond the RAM budget (simulated spill).
+    pub spilled_bytes: u64,
+}
+
+/// Global metric sink. Tasks may update the per-machine storage gauges via
+/// [`Ctx::metrics`](crate::Ctx::metrics); the simulator maintains the rest.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    per_machine: Vec<MachineMetrics>,
+    /// Total events processed (diagnostics).
+    pub events: u64,
+    /// Virtual time of the last processed event.
+    pub last_event_at: SimTime,
+    /// Data items processed cluster-wide (maintained by worker tasks).
+    pub data_processed: u64,
+    /// Progress timeline, sampled every `sample_spacing` processed items.
+    pub progress: Vec<ProgressPoint>,
+    /// Sampling spacing for the progress timeline (0 disables sampling).
+    pub sample_spacing: u64,
+    next_sample_at: u64,
+}
+
+impl Metrics {
+    pub(crate) fn add_machine(&mut self) {
+        self.per_machine.push(MachineMetrics::default());
+    }
+
+    /// Metrics for machine `m`.
+    pub fn machine(&self, m: MachineId) -> &MachineMetrics {
+        &self.per_machine[m.index()]
+    }
+
+    /// All machines, indexable by `MachineId::index`.
+    pub fn machines(&self) -> &[MachineMetrics] {
+        &self.per_machine
+    }
+
+    /// Mutable access for tasks that maintain storage gauges.
+    pub fn machine_mut(&mut self, m: MachineId) -> &mut MachineMetrics {
+        &mut self.per_machine[m.index()]
+    }
+
+    /// Record that a task on `m` now stores `bytes` of operator state.
+    pub fn set_stored(&mut self, m: MachineId, bytes: u64) {
+        let mm = &mut self.per_machine[m.index()];
+        mm.stored_bytes = bytes;
+        if bytes > mm.peak_stored_bytes {
+            mm.peak_stored_bytes = bytes;
+        }
+    }
+
+    /// Record simulated spill volume on machine `m`.
+    pub fn add_spilled(&mut self, m: MachineId, bytes: u64) {
+        self.per_machine[m.index()].spilled_bytes += bytes;
+    }
+
+    /// Total bytes sent across the cluster.
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.per_machine.iter().map(|m| m.bytes_out).sum()
+    }
+
+    /// Total messages sent across the cluster.
+    pub fn total_messages(&self) -> u64 {
+        self.per_machine.iter().map(|m| m.messages_out).sum()
+    }
+
+    /// Total operator state currently stored across the cluster.
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.per_machine.iter().map(|m| m.stored_bytes).sum()
+    }
+
+    /// Maximum per-machine stored bytes (the paper's "maximum ILF per
+    /// machine", Fig 6a).
+    pub fn max_stored_bytes(&self) -> u64 {
+        self.per_machine
+            .iter()
+            .map(|m| m.stored_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum per-machine busy time; the makespan lower bound.
+    pub fn max_busy(&self) -> SimDuration {
+        self.per_machine
+            .iter()
+            .map(|m| m.busy)
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Record `n` data items processed at virtual time `at`, sampling the
+    /// progress timeline when the spacing boundary is crossed. Called by
+    /// worker tasks from their handlers; this is the simulator's
+    /// omniscient measurement plane, not part of the distributed
+    /// algorithm.
+    pub fn note_data_processed(&mut self, n: u64, at: SimTime) {
+        self.data_processed += n;
+        if self.sample_spacing > 0 && self.data_processed >= self.next_sample_at {
+            self.next_sample_at = self.data_processed + self.sample_spacing;
+            let point = ProgressPoint {
+                processed: self.data_processed,
+                at,
+                max_stored: self.max_stored_bytes(),
+                total_stored: self.total_stored_bytes(),
+            };
+            self.progress.push(point);
+        }
+    }
+
+    pub(crate) fn on_arrive(&mut self, m: MachineId, bytes: u64) {
+        let mm = &mut self.per_machine[m.index()];
+        mm.messages_in += 1;
+        mm.bytes_in += bytes;
+    }
+
+    pub(crate) fn on_send(&mut self, m: MachineId, bytes: u64) {
+        let mm = &mut self.per_machine[m.index()];
+        mm.messages_out += 1;
+        mm.bytes_out += bytes;
+    }
+
+    pub(crate) fn on_busy(&mut self, m: MachineId, d: SimDuration) {
+        self.per_machine[m.index()].busy += d;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_gauges_track_peak() {
+        let mut m = Metrics::default();
+        m.add_machine();
+        m.add_machine();
+        m.set_stored(MachineId(0), 100);
+        m.set_stored(MachineId(0), 40);
+        m.set_stored(MachineId(1), 70);
+        assert_eq!(m.machine(MachineId(0)).stored_bytes, 40);
+        assert_eq!(m.machine(MachineId(0)).peak_stored_bytes, 100);
+        assert_eq!(m.total_stored_bytes(), 110);
+        assert_eq!(m.max_stored_bytes(), 70);
+    }
+
+    #[test]
+    fn traffic_counters_accumulate() {
+        let mut m = Metrics::default();
+        m.add_machine();
+        m.on_send(MachineId(0), 10);
+        m.on_send(MachineId(0), 5);
+        m.on_arrive(MachineId(0), 7);
+        assert_eq!(m.machine(MachineId(0)).messages_out, 2);
+        assert_eq!(m.machine(MachineId(0)).bytes_out, 15);
+        assert_eq!(m.machine(MachineId(0)).bytes_in, 7);
+        assert_eq!(m.total_bytes_sent(), 15);
+        assert_eq!(m.total_messages(), 2);
+    }
+
+    #[test]
+    fn busy_max_is_per_machine() {
+        let mut m = Metrics::default();
+        m.add_machine();
+        m.add_machine();
+        m.on_busy(MachineId(0), SimDuration::from_micros(5));
+        m.on_busy(MachineId(0), SimDuration::from_micros(5));
+        m.on_busy(MachineId(1), SimDuration::from_micros(7));
+        assert_eq!(m.max_busy().as_micros(), 10);
+    }
+}

@@ -1,0 +1,275 @@
+//! The simulation driver: owns machines, tasks, the event queue and the
+//! metrics, and runs events to quiescence.
+
+use std::any::Any;
+
+use crate::config::SimConfig;
+use crate::event::{EventKind, EventQueue};
+use crate::machine::{Machine, MachineId, Queued};
+use crate::metrics::Metrics;
+use crate::task::{Ctx, Effect, MsgClass, Process, SimMessage, TaskId};
+use crate::time::SimTime;
+
+/// Work items queued at a machine: either an arrived message or a fired
+/// timer waiting for the CPU. Timers are serviced with control priority.
+enum Work<M> {
+    Msg(M),
+    Timer(u64),
+}
+
+/// The simulator. See the crate docs for the model.
+pub struct Sim<M: SimMessage> {
+    cfg: SimConfig,
+    /// Per-machine network parameters (defaults to `cfg.network`).
+    machine_network: Vec<crate::network::NetworkConfig>,
+    machines: Vec<Machine<Work<M>>>,
+    tasks: Vec<Option<Box<dyn Process<M>>>>,
+    task_machine: Vec<MachineId>,
+    queue: EventQueue<M>,
+    metrics: Metrics,
+    now: SimTime,
+    stopped: bool,
+}
+
+impl<M: SimMessage + 'static> Sim<M> {
+    /// Create an empty cluster.
+    pub fn new(cfg: SimConfig) -> Self {
+        Sim {
+            cfg,
+            machine_network: Vec::new(),
+            machines: Vec::new(),
+            tasks: Vec::new(),
+            task_machine: Vec::new(),
+            queue: EventQueue::new(),
+            metrics: Metrics::default(),
+            now: SimTime::ZERO,
+            stopped: false,
+        }
+    }
+
+    /// Add a machine to the cluster.
+    pub fn add_machine(&mut self) -> MachineId {
+        self.add_machine_with_network(self.cfg.network)
+    }
+
+    /// Add a machine with its own network parameters (e.g. a source stage
+    /// that models `J` parallel upstream feeds rather than one NIC).
+    pub fn add_machine_with_network(
+        &mut self,
+        network: crate::network::NetworkConfig,
+    ) -> MachineId {
+        let id = MachineId(self.machines.len());
+        self.machines.push(Machine::new(self.cfg.machine));
+        self.machine_network.push(network);
+        self.metrics.add_machine();
+        id
+    }
+
+    /// Register a task hosted on `machine`.
+    pub fn add_task(&mut self, machine: MachineId, task: Box<dyn Process<M>>) -> TaskId {
+        assert!(machine.index() < self.machines.len(), "unknown machine");
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(Some(task));
+        self.task_machine.push(machine);
+        id
+    }
+
+    /// The machine hosting `task`.
+    pub fn machine_of(&self, task: TaskId) -> MachineId {
+        self.task_machine[task.index()]
+    }
+
+    /// Number of registered tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Inject a message from outside the simulation (e.g. bootstrap), to be
+    /// delivered at the current virtual time without paying network costs.
+    pub fn inject(&mut self, from: TaskId, to: TaskId, msg: M) {
+        let at = self.now;
+        self.queue.push(at, EventKind::Arrive { from, to, msg });
+    }
+
+    /// Inject a message arriving at an explicit virtual time.
+    pub fn inject_at(&mut self, at: SimTime, from: TaskId, to: TaskId, msg: M) {
+        self.queue.push(at, EventKind::Arrive { from, to, msg });
+    }
+
+    /// Schedule a timer for `task` at an explicit virtual time (bootstrap
+    /// helper for sources).
+    pub fn start_timer_at(&mut self, at: SimTime, task: TaskId, key: u64) {
+        self.queue.push(at, EventKind::Timer { task, key });
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable access to the metrics (drivers may reset gauges between
+    /// measurement windows).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Mutable access to a task by concrete type. Panics if the id is wrong
+    /// or the type does not match — these are programming errors in the
+    /// experiment driver, not recoverable conditions.
+    pub fn task_mut<T: Process<M> + Any>(&mut self, id: TaskId) -> &mut T {
+        let boxed = self.tasks[id.index()]
+            .as_mut()
+            .expect("task is currently executing");
+        boxed.as_any_mut().downcast_mut::<T>().expect("task type mismatch")
+    }
+
+    /// Shared access to a task by concrete type.
+    pub fn task_ref<T: Process<M> + Any>(&self, id: TaskId) -> &T {
+        let boxed = self.tasks[id.index()]
+            .as_ref()
+            .expect("task is currently executing");
+        boxed.as_any().downcast_ref::<T>().expect("task type mismatch")
+    }
+
+    /// Run until quiescence (empty event queue), a task calls
+    /// [`Ctx::stop`], or the configured deadline passes. Returns the final
+    /// virtual time.
+    pub fn run(&mut self) -> SimTime {
+        while let Some(ev) = self.queue.pop() {
+            if self.stopped {
+                break;
+            }
+            if let Some(deadline) = self.cfg.deadline {
+                if ev.at > deadline {
+                    self.now = deadline;
+                    break;
+                }
+            }
+            self.now = ev.at;
+            self.metrics.events += 1;
+            self.metrics.last_event_at = ev.at;
+            match ev.kind {
+                EventKind::Arrive { from, to, msg } => {
+                    let m = self.task_machine[to.index()];
+                    self.metrics.on_arrive(m, msg.bytes());
+                    let class = msg.class();
+                    self.enqueue_work(
+                        m,
+                        class,
+                        Queued {
+                            from,
+                            to,
+                            msg: Work::Msg(msg),
+                        },
+                    );
+                }
+                EventKind::ProcessNext { machine } => {
+                    self.process_next(machine);
+                }
+                EventKind::Timer { task, key } => {
+                    let m = self.task_machine[task.index()];
+                    self.enqueue_work(
+                        m,
+                        MsgClass::Control,
+                        Queued {
+                            from: task,
+                            to: task,
+                            msg: Work::Timer(key),
+                        },
+                    );
+                }
+            }
+        }
+        self.now
+    }
+
+    fn enqueue_work(&mut self, m: MachineId, class: MsgClass, item: Queued<Work<M>>) {
+        let machine = &mut self.machines[m.index()];
+        machine.enqueue(class, item);
+        if !machine.scheduled {
+            machine.scheduled = true;
+            let start = if machine.busy_until > self.now {
+                machine.busy_until
+            } else {
+                self.now
+            };
+            self.queue.push(start, EventKind::ProcessNext { machine: m });
+        }
+    }
+
+    fn process_next(&mut self, mid: MachineId) {
+        let machine = &mut self.machines[mid.index()];
+        let item = match machine.pop_next() {
+            Some(item) => item,
+            None => {
+                machine.scheduled = false;
+                return;
+            }
+        };
+        let to = item.to;
+        // Take the task out so the handler can borrow both itself and a Ctx.
+        let mut task = self.tasks[to.index()].take().expect("task re-entered");
+        let mut stopped = self.stopped;
+        let start = self.now;
+        let mut ctx = Ctx {
+            now: start,
+            self_id: to,
+            effects: Vec::new(),
+            metrics: &mut self.metrics,
+            stopped: &mut stopped,
+        };
+        let cost = match item.msg {
+            Work::Msg(msg) => task.on_message(&mut ctx, item.from, msg),
+            Work::Timer(key) => task.on_timer(&mut ctx, key),
+        };
+        let effects = std::mem::take(&mut ctx.effects);
+        drop(ctx);
+        self.stopped = stopped;
+        self.tasks[to.index()] = Some(task);
+        let done = start + cost;
+        self.metrics.on_busy(mid, cost);
+        self.machines[mid.index()].busy_until = done;
+
+        for effect in effects {
+            match effect {
+                Effect::Send { to: dst, msg } => {
+                    let dst_machine = self.task_machine[dst.index()];
+                    if dst_machine == mid {
+                        // Loopback: no NIC occupancy, no network metrics.
+                        self.queue.push(
+                            done,
+                            EventKind::Arrive { from: to, to: dst, msg },
+                        );
+                    } else {
+                        let bytes = msg.bytes();
+                        self.metrics.on_send(mid, bytes);
+                        let net = self.machine_network[mid.index()];
+                        let arrival =
+                            self.machines[mid.index()].nic.transmit(done, bytes, &net);
+                        self.queue.push(
+                            arrival,
+                            EventKind::Arrive { from: to, to: dst, msg },
+                        );
+                    }
+                }
+                Effect::Timer { delay, key } => {
+                    self.queue
+                        .push(done + delay, EventKind::Timer { task: to, key });
+                }
+            }
+        }
+
+        // Keep servicing the queue.
+        let machine = &mut self.machines[mid.index()];
+        if machine.queue_len() > 0 {
+            self.queue.push(done, EventKind::ProcessNext { machine: mid });
+        } else {
+            machine.scheduled = false;
+        }
+    }
+}

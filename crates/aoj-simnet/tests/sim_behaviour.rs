@@ -1,0 +1,224 @@
+//! Behavioural tests of the simulator: FIFO channels, CPU serialisation,
+//! weighted migration scheduling, timers, determinism.
+
+use aoj_simnet::{
+    Ctx, MsgClass, Process, Sim, SimConfig, SimDuration, SimMessage, SimTime, TaskId,
+};
+
+#[derive(Clone, Debug)]
+enum Msg {
+    Data(u64),
+    Migration(u64),
+    Burst { n: u64, to: TaskId },
+}
+
+impl SimMessage for Msg {
+    fn bytes(&self) -> u64 {
+        match self {
+            Msg::Data(_) | Msg::Migration(_) => 64,
+            Msg::Burst { .. } => 16,
+        }
+    }
+    fn class(&self) -> MsgClass {
+        match self {
+            Msg::Migration(_) => MsgClass::Migration,
+            _ => MsgClass::Data,
+        }
+    }
+}
+
+/// Records arrival order and processing times.
+#[derive(Default)]
+struct Recorder {
+    seen: Vec<(u64, u64)>, // (payload, time_us)
+    cost_us: u64,
+}
+
+impl Process<Msg> for Recorder {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: TaskId, msg: Msg) -> SimDuration {
+        match msg {
+            Msg::Data(x) | Msg::Migration(x) => {
+                self.seen.push((x, ctx.now().as_micros()));
+                SimDuration::from_micros(self.cost_us)
+            }
+            Msg::Burst { n, to } => {
+                for i in 0..n {
+                    ctx.send(to, Msg::Data(i));
+                }
+                SimDuration::from_micros(1)
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, key: u64) -> SimDuration {
+        self.seen.push((1_000_000 + key, ctx.now().as_micros()));
+        SimDuration::from_micros(1)
+    }
+}
+
+fn two_node_sim() -> (Sim<Msg>, TaskId, TaskId) {
+    let mut sim = Sim::new(SimConfig::default());
+    let m0 = sim.add_machine();
+    let m1 = sim.add_machine();
+    let sender = sim.add_task(m0, Box::new(Recorder::default()));
+    let receiver = sim.add_task(m1, Box::new(Recorder::default()));
+    (sim, sender, receiver)
+}
+
+#[test]
+fn channel_is_fifo_under_bursts() {
+    let (mut sim, sender, receiver) = two_node_sim();
+    sim.inject(receiver, sender, Msg::Burst { n: 100, to: receiver });
+    sim.run();
+    let seen = &sim.task_ref::<Recorder>(receiver).seen;
+    assert_eq!(seen.len(), 100);
+    let payloads: Vec<u64> = seen.iter().map(|(p, _)| *p).collect();
+    assert_eq!(payloads, (0..100).collect::<Vec<_>>());
+    // Arrival times strictly non-decreasing.
+    assert!(seen.windows(2).all(|w| w[0].1 <= w[1].1));
+}
+
+#[test]
+fn cpu_serialises_processing() {
+    let (mut sim, sender, receiver) = two_node_sim();
+    sim.task_mut::<Recorder>(receiver).cost_us = 50;
+    sim.inject(receiver, sender, Msg::Burst { n: 10, to: receiver });
+    sim.run();
+    let seen = sim.task_ref::<Recorder>(receiver).seen.clone();
+    // Each message processed >= 50us after the previous started.
+    for w in seen.windows(2) {
+        assert!(w[1].1 >= w[0].1 + 50, "processing overlapped: {w:?}");
+    }
+    let busy = sim
+        .metrics()
+        .machine(sim.machine_of(receiver))
+        .busy
+        .as_micros();
+    assert_eq!(busy, 10 * 50);
+}
+
+#[test]
+fn migration_is_served_two_to_one() {
+    let mut sim = Sim::new(SimConfig::default());
+    let m = sim.add_machine();
+    let t = sim.add_task(m, Box::new(Recorder { cost_us: 10, ..Default::default() }));
+    // Arrange for both queues to be backlogged at t=0.
+    for i in 0..4 {
+        sim.inject(t, t, Msg::Data(i));
+    }
+    for i in 0..8 {
+        sim.inject(t, t, Msg::Migration(100 + i));
+    }
+    sim.run();
+    let order: Vec<u64> = sim.task_ref::<Recorder>(t).seen.iter().map(|s| s.0).collect();
+    assert_eq!(
+        order,
+        vec![100, 101, 0, 102, 103, 1, 104, 105, 2, 106, 107, 3]
+    );
+}
+
+#[test]
+fn timers_fire_at_requested_time() {
+    let mut sim = Sim::new(SimConfig::default());
+    let m = sim.add_machine();
+    let t = sim.add_task(m, Box::new(Recorder::default()));
+    sim.start_timer_at(SimTime(500), t, 7);
+    sim.start_timer_at(SimTime(100), t, 3);
+    sim.run();
+    let seen = sim.task_ref::<Recorder>(t).seen.clone();
+    assert_eq!(seen, vec![(1_000_003, 100), (1_000_007, 500)]);
+}
+
+#[test]
+fn network_metrics_count_remote_but_not_loopback() {
+    let mut sim = Sim::new(SimConfig::default());
+    let m0 = sim.add_machine();
+    let a = sim.add_task(m0, Box::new(Recorder::default()));
+    let b = sim.add_task(m0, Box::new(Recorder::default())); // same machine
+    let m1 = sim.add_machine();
+    let c = sim.add_task(m1, Box::new(Recorder::default()));
+
+    // a -> b is loopback; a -> c is remote.
+    struct Fanout {
+        b: TaskId,
+        c: TaskId,
+    }
+    impl Process<Msg> for Fanout {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _f: TaskId, _m: Msg) -> SimDuration {
+            ctx.send(self.b, Msg::Data(1));
+            ctx.send(self.c, Msg::Data(2));
+            SimDuration::from_micros(1)
+        }
+    }
+    let m2 = sim.add_machine();
+    let f = sim.add_task(m2, Box::new(Fanout { b, c }));
+    sim.inject(a, f, Msg::Data(0));
+    sim.run();
+
+    assert_eq!(sim.task_ref::<Recorder>(b).seen.len(), 1);
+    assert_eq!(sim.task_ref::<Recorder>(c).seen.len(), 1);
+    // Fanout machine sent exactly one remote message (to c). The loopback
+    // to b is invisible to network metrics... but b is on machine m0 and f
+    // on m2, so both are remote here. Re-check with explicit placement:
+    let sent = sim.metrics().machine(sim.machine_of(f)).messages_out;
+    assert_eq!(sent, 2); // both sends remote: f is alone on m2
+}
+
+#[test]
+fn loopback_send_is_free_of_network_cost() {
+    let mut sim = Sim::new(SimConfig::default());
+    let m0 = sim.add_machine();
+    let a = sim.add_task(m0, Box::new(Recorder::default()));
+
+    struct SelfSender {
+        target: TaskId,
+        sent: bool,
+    }
+    impl Process<Msg> for SelfSender {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _f: TaskId, _m: Msg) -> SimDuration {
+            if !self.sent {
+                self.sent = true;
+                ctx.send(self.target, Msg::Data(9));
+            }
+            SimDuration::from_micros(1)
+        }
+    }
+    let s = sim.add_task(m0, Box::new(SelfSender { target: a, sent: false }));
+    sim.inject(a, s, Msg::Data(0));
+    sim.run();
+    assert_eq!(sim.metrics().machine(m0).messages_out, 0);
+    assert_eq!(sim.task_ref::<Recorder>(a).seen.len(), 1);
+    // Loopback delivery happened at handler completion (t=1), processed
+    // immediately after.
+    assert_eq!(sim.task_ref::<Recorder>(a).seen[0].1, 1);
+}
+
+#[test]
+fn deterministic_replay() {
+    let run = || {
+        let (mut sim, sender, receiver) = two_node_sim();
+        sim.task_mut::<Recorder>(receiver).cost_us = 3;
+        sim.inject(receiver, sender, Msg::Burst { n: 50, to: receiver });
+        let end = sim.run();
+        (end, sim.task_ref::<Recorder>(receiver).seen.clone())
+    };
+    let (end1, seen1) = run();
+    let (end2, seen2) = run();
+    assert_eq!(end1, end2);
+    assert_eq!(seen1, seen2);
+}
+
+#[test]
+fn deadline_stops_the_run() {
+    let mut cfg = SimConfig::default();
+    cfg.deadline = Some(SimTime(150));
+    let mut sim = Sim::new(cfg);
+    let m = sim.add_machine();
+    let t = sim.add_task(m, Box::new(Recorder::default()));
+    sim.start_timer_at(SimTime(100), t, 1);
+    sim.start_timer_at(SimTime(200), t, 2);
+    sim.run();
+    let seen = sim.task_ref::<Recorder>(t).seen.clone();
+    assert_eq!(seen.len(), 1);
+    assert_eq!(seen[0].0, 1_000_001);
+}

@@ -1,0 +1,82 @@
+//! Algorithmic-trading order book matching — the paper's own motivating
+//! scenario (§1): "in algorithmic trading, strategy designers run online
+//! analytical queries on real-time order book data … orders are executed
+//! through a matching engine that matches between buyer and seller trades".
+//!
+//! We join a stream of **bids** (R) against **asks** (S) with a band
+//! predicate on price — a candidate-match query a strategy designer would
+//! run online: `|bid.price − ask.price| ≤ spread`. The order flow is
+//! bursty and lopsided (ask-heavy sessions follow bid-heavy sessions), so
+//! a static partitioning guess is always wrong for half the day; the
+//! adaptive operator re-balances as the flow shifts.
+//!
+//! ```text
+//! cargo run --release --example order_book
+//! ```
+
+use adaptive_online_joins::core::{Predicate, Rel};
+use adaptive_online_joins::datagen::queries::{StreamItem, Workload};
+use adaptive_online_joins::operators::{human_bytes, run, OperatorKind, RunConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(20140601);
+    // Price levels in ticks around a mid price that drifts over the day.
+    let mut mid: i64 = 10_000;
+    let order = |rng: &mut StdRng, mid: i64| StreamItem {
+        key: mid + rng.gen_range(-50..=50), // limit price in ticks
+        aux: rng.gen_range(1..100),         // quantity
+        bytes: 80,
+    };
+
+    // Sessions alternate: bid-heavy then ask-heavy, 4:1 each way —
+    // exactly the fluctuation dynamics of the paper's §5.4.
+    let mut bids = Vec::new();
+    let mut asks = Vec::new();
+    let mut arrivals = Vec::new();
+    for session in 0..6 {
+        let (n_bid, n_ask) = if session % 2 == 0 { (8_000, 2_000) } else { (2_000, 8_000) };
+        for i in 0..n_bid.max(n_ask) {
+            mid += rng.gen_range(-1..=1);
+            if i < n_bid {
+                let o = order(&mut rng, mid);
+                bids.push(o);
+                arrivals.push((Rel::R, o));
+            }
+            if i < n_ask {
+                let o = order(&mut rng, mid);
+                asks.push(o);
+                arrivals.push((Rel::S, o));
+            }
+        }
+    }
+    let workload = Workload {
+        name: "order-book",
+        predicate: Predicate::Band { width: 2 }, // within 2 ticks = candidate match
+        r_items: bids,
+        s_items: asks,
+    };
+
+    println!(
+        "order book: {} bids / {} asks, band predicate |bid − ask| <= 2 ticks\n",
+        workload.r_items.len(),
+        workload.s_items.len()
+    );
+
+    for kind in [OperatorKind::Dynamic, OperatorKind::StaticMid] {
+        let cfg = RunConfig::new(16, kind);
+        let report = run(&arrivals, &workload.predicate, workload.name, &cfg);
+        println!("{}", report.summary());
+        if kind == OperatorKind::Dynamic {
+            println!(
+                "  -> adapted {} times while sessions flipped between bid- and ask-heavy;\n\
+                 \x20   moved {} of book state without ever blocking the match stream",
+                report.migrations,
+                human_bytes(report.migration_bytes)
+            );
+        }
+    }
+    println!("\nFull-history state matters here: resting orders can sit in the book");
+    println!("for a long time before matching — window semantics would miss them.");
+}

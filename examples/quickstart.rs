@@ -1,0 +1,72 @@
+//! Quickstart: run the adaptive online join operator end to end.
+//!
+//! Builds a lopsided two-stream equi-join workload, runs the paper's
+//! Dynamic operator on a simulated 16-machine cluster, and shows the
+//! adaptivity story: the mapping walks from the square start to the
+//! optimal edge, storage stays near the oracle optimum, and output is
+//! exact.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use adaptive_online_joins::core::Predicate;
+use adaptive_online_joins::datagen::queries::{StreamItem, Workload};
+use adaptive_online_joins::datagen::stream::interleave;
+use adaptive_online_joins::operators::{human_bytes, run, OperatorKind, RunConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // 1. A workload: R is small (dimension-like), S is 40x larger
+    //    (fact-like). Keys overlap so the join produces output.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut item = |key_space: i64| StreamItem {
+        key: rng.gen_range(0..key_space),
+        aux: 0,
+        bytes: 96,
+    };
+    let workload = Workload {
+        name: "quickstart",
+        predicate: Predicate::Equi,
+        r_items: (0..500).map(|_| item(1000)).collect(),
+        s_items: (0..20_000).map(|_| item(1000)).collect(),
+    };
+    let arrivals = interleave(&workload, 42);
+
+    // 2. Run the paper's operators on a simulated 16-machine cluster.
+    println!("running on a simulated 16-machine shared-nothing cluster…\n");
+    let mut reports = Vec::new();
+    for kind in [
+        OperatorKind::Dynamic,
+        OperatorKind::StaticMid,
+        OperatorKind::StaticOpt,
+    ] {
+        let cfg = RunConfig::new(16, kind);
+        let report = run(&arrivals, &workload.predicate, workload.name, &cfg);
+        println!("{}", report.summary());
+        reports.push(report);
+    }
+
+    // 3. The adaptivity story.
+    let dynamic = &reports[0];
+    let static_mid = &reports[1];
+    let static_opt = &reports[2];
+    println!("\nDynamic started at (4,4) — the blind square guess — and finished at ({},{})",
+        dynamic.final_mapping.n, dynamic.final_mapping.m);
+    println!("after {} migrations, moving {} of state.",
+        dynamic.migrations, human_bytes(dynamic.migration_bytes));
+    println!(
+        "Max per-joiner storage: Dynamic {} vs StaticMid {} vs oracle {}.",
+        human_bytes(dynamic.max_ilf_bytes),
+        human_bytes(static_mid.max_ilf_bytes),
+        human_bytes(static_opt.max_ilf_bytes),
+    );
+    assert_eq!(dynamic.matches, static_mid.matches);
+    assert_eq!(dynamic.matches, static_opt.matches);
+    println!(
+        "\nAll three operators emitted exactly {} join matches — the\n\
+         non-blocking migration protocol loses and duplicates nothing.",
+        dynamic.matches
+    );
+}
