@@ -25,7 +25,7 @@ fn bench_stable_data(c: &mut Criterion) {
         let mut i = 10_000u64;
         b.iter(|| {
             i += 1;
-            let rel = if i % 2 == 0 { Rel::R } else { Rel::S };
+            let rel = if i.is_multiple_of(2) { Rel::R } else { Rel::S };
             black_box(j.on_data(0, Tuple::new(rel, i, (i % 500) as i64, i), &mut sink))
         });
     });
@@ -46,7 +46,7 @@ fn bench_migrating_data(c: &mut Criterion) {
         let mut i = 10_000u64;
         b.iter(|| {
             i += 1;
-            let rel = if i % 2 == 0 { Rel::R } else { Rel::S };
+            let rel = if i.is_multiple_of(2) { Rel::R } else { Rel::S };
             // New-epoch tuples probe µ ∪ Δ′ and Keep(τ ∪ Δ): the costly path.
             black_box(j.on_data(1, Tuple::new(rel, i, (i % 500) as i64, i), &mut sink))
         });

@@ -36,7 +36,7 @@ fn bench_decider_observe(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            black_box(d.observe(i % 3 == 0, 64))
+            black_box(d.observe(i.is_multiple_of(3), 64))
         });
     });
 }

@@ -11,7 +11,14 @@ use aoj_operators::{run, OperatorKind, RunConfig};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn small_db(skew: Skew) -> TpchDb {
-    TpchDb::generate(ScaledGb { gb: 2, reduction: 1000 }, skew, 42)
+    TpchDb::generate(
+        ScaledGb {
+            gb: 2,
+            reduction: 1000,
+        },
+        skew,
+        42,
+    )
 }
 
 fn bench_operator_comparison(c: &mut Criterion) {
@@ -26,12 +33,16 @@ fn bench_operator_comparison(c: &mut Criterion) {
         OperatorKind::StaticOpt,
         OperatorKind::Shj,
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-            b.iter(|| {
-                let cfg = RunConfig::new(16, kind);
-                black_box(run(&arrivals, &w.predicate, w.name, &cfg))
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let cfg = RunConfig::new(16, kind);
+                    black_box(run(&arrivals, &w.predicate, w.name, &cfg))
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -70,5 +81,10 @@ fn bench_fluctuation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_operator_comparison, bench_skew_resilience, bench_fluctuation);
+criterion_group!(
+    benches,
+    bench_operator_comparison,
+    bench_skew_resilience,
+    bench_fluctuation
+);
 criterion_main!(benches);

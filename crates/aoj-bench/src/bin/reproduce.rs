@@ -1,22 +1,61 @@
 //! `reproduce` — regenerate every table and figure of the paper's
-//! evaluation section (§5) on the simulated cluster.
+//! evaluation section (§5) on the simulated cluster, or run the
+//! wall-clock benchmark on the threaded runtime.
 //!
 //! ```text
 //! cargo run --release -p aoj-bench --bin reproduce -- <experiment>
+//! cargo run --release -p aoj-bench --bin reproduce -- --backend threaded
 //! ```
 //!
 //! Experiments: `table2`, `fig6a`..`fig6d`, `fig6`, `fig7a`..`fig7d`,
 //! `fig7`, `fig8a`..`fig8d`, `fig8`, `ablation-migration`,
-//! `ablation-epsilon`, `ablation-elastic`, `ablation-groups`, `ablations`,
-//! or `all`.
+//! `ablation-epsilon`, `ablation-blocking`, `ablation-elastic`,
+//! `ablation-groups`, `ablations`, `wallclock`, or `all`.
+//!
+//! `--backend threaded` selects the multi-threaded runtime, which hosts
+//! the wall-clock benchmark (`wallclock`); the paper-figure experiments
+//! are simulator-only because their figures are defined in virtual time.
 
-use aoj_bench::experiments::{ablation, fig6, fig7, fig8, table2};
+use aoj_bench::experiments::{ablation, fig6, fig7, fig8, table2, wallclock};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(|s| s.as_str()).unwrap_or("all");
+    let mut backend = "sim".to_string();
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--backend" => {
+                backend = args
+                    .next()
+                    .unwrap_or_else(|| die("--backend needs a value: sim | threaded"));
+            }
+            other if other.starts_with("--backend=") => {
+                backend = other["--backend=".len()..].to_string();
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let what = match backend.as_str() {
+        "sim" => positional
+            .first()
+            .map(|s| s.as_str())
+            .unwrap_or("all")
+            .to_string(),
+        "threaded" => {
+            // The threaded runtime hosts the wall-clock benchmark; the
+            // figure experiments are defined in virtual time.
+            match positional.first().map(|s| s.as_str()) {
+                None | Some("wallclock") | Some("all") => "wallclock".to_string(),
+                Some(other) => die(&format!(
+                    "experiment `{other}` is simulator-only; `--backend threaded` runs `wallclock`"
+                )),
+            }
+        }
+        other => die(&format!("unknown backend `{other}`; use sim | threaded")),
+    };
+
     let start = std::time::Instant::now();
-    match what {
+    match what.as_str() {
         "table2" => table2::run_table2(),
         "fig6a" => fig6::run_fig6a(),
         "fig6b" => fig6::run_fig6b(),
@@ -39,17 +78,27 @@ fn main() {
         "ablation-elastic" => ablation::run_ablation_elastic(),
         "ablation-groups" => ablation::run_ablation_groups(),
         "ablations" => ablation::run_ablations(),
+        "wallclock" => wallclock::run_wallclock(),
         "all" => {
             table2::run_table2();
             fig6::run_fig6();
             fig7::run_fig7();
             fig8::run_fig8();
             ablation::run_ablations();
+            wallclock::run_wallclock();
         }
         other => {
             eprintln!("unknown experiment `{other}`; see --help in the module docs");
             std::process::exit(1);
         }
     }
-    eprintln!("\n[reproduce {what}: {:.1}s wall clock]", start.elapsed().as_secs_f64());
+    eprintln!(
+        "\n[reproduce {what}: {:.1}s wall clock]",
+        start.elapsed().as_secs_f64()
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(1);
 }

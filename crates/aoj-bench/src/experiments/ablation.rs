@@ -24,11 +24,22 @@ use super::common::*;
 /// Locality-aware (Lemma 4.4) vs naive migration volume, across grids.
 pub fn run_ablation_migration() {
     banner("Ablation: locality-aware (Lemma 4.4) vs naive full-repartition migration volume");
-    let mut table = Table::new(&["from", "to", "state/joiner", "locality (tuples)", "naive (tuples)", "saving"]);
+    let mut table = Table::new(&[
+        "from",
+        "to",
+        "state/joiner",
+        "locality (tuples)",
+        "naive (tuples)",
+        "saving",
+    ]);
     for (n, m) in [(8u32, 8u32), (4, 16), (16, 4), (8, 2)] {
         let mapping = Mapping::new(n, m);
         let assign = GridAssignment::initial(mapping);
-        let step = if n >= 2 { Step::HalveRows } else { Step::HalveCols };
+        let step = if n >= 2 {
+            Step::HalveRows
+        } else {
+            Step::HalveCols
+        };
         let plan = plan_step(&assign, step);
         // Build balanced synthetic state: `per` tuples of each relation
         // per partition.
@@ -68,7 +79,9 @@ pub fn run_ablation_migration() {
         ]);
     }
     table.print();
-    println!("  the exchange moves only the coarsening relation; naive reshuffling moves ~everything.");
+    println!(
+        "  the exchange moves only the coarsening relation; naive reshuffling moves ~everything."
+    );
 }
 
 /// The ε trade-off (Theorem 4.2): measured worst ILF ratio and migration
@@ -79,7 +92,11 @@ pub fn run_ablation_epsilon() {
     let w = fluct_join(&d);
     let arrivals = fluctuating(&w, 4, SEED);
     let mut table = Table::new(&[
-        "epsilon", "bound", "measured max ILF/ILF*", "migrations", "migration bytes",
+        "epsilon",
+        "bound",
+        "measured max ILF/ILF*",
+        "migrations",
+        "migration bytes",
     ]);
     // Pace below capacity: Theorem 4.2's tracking bound presumes arrivals
     // are flow-controlled relative to processing (§4.3.2).
@@ -106,7 +123,9 @@ pub fn run_ablation_epsilon() {
         ]);
     }
     table.print();
-    println!("  smaller epsilon: tighter tracking (lower measured ratio), more migrations/traffic.");
+    println!(
+        "  smaller epsilon: tighter tracking (lower measured ratio), more migrations/traffic."
+    );
 }
 
 /// Elastic expansion (Theorem 4.3): simulate a growing stream against a
@@ -120,7 +139,13 @@ pub fn run_ablation_elastic() {
     let mut total_sent = 0u64;
     let mut total_tuples = 0u64;
     let mut total_copies = 0u64;
-    let mut table = Table::new(&["arrivals", "J", "mapping", "max/joiner", "expansion cost (tuples)"]);
+    let mut table = Table::new(&[
+        "arrivals",
+        "J",
+        "mapping",
+        "max/joiner",
+        "expansion cost (tuples)",
+    ]);
     for chunk in 0..48u64 {
         // Stream in a chunk of balanced R/S tuples; expansion checkpoints
         // come between chunks (the paper checks at migration checkpoints).
@@ -206,7 +231,10 @@ pub fn run_ablation_groups() {
     banner("Ablation: arbitrary J via power-of-two groups (J=20=16+4, Fig 4)");
     let j = 20u32;
     let g = GroupSet::decompose(j);
-    println!("  groups: {:?}", (0..g.count()).map(|i| g.size(i)).collect::<Vec<_>>());
+    println!(
+        "  groups: {:?}",
+        (0..g.count()).map(|i| g.size(i)).collect::<Vec<_>>()
+    );
     // Storage proportionality.
     let n = 400_000u64;
     let mut stored = vec![0u64; g.count()];
@@ -214,11 +242,11 @@ pub fn run_ablation_groups() {
         stored[g.storage_group(mix64(i))] += 1;
     }
     let mut table = Table::new(&["group", "machines", "stored share", "expected"]);
-    for i in 0..g.count() {
+    for (i, &stored_in_group) in stored.iter().enumerate() {
         table.row(vec![
             i.to_string(),
             g.size(i).to_string(),
-            format!("{:.3}", stored[i] as f64 / n as f64),
+            format!("{:.3}", stored_in_group as f64 / n as f64),
             format!("{:.3}", g.size(i) as f64 / j as f64),
         ]);
     }
@@ -254,7 +282,11 @@ pub fn run_ablation_groups() {
         report.matches,
         expected,
         report.exec_time.as_secs_f64(),
-        report.stored_per_group.iter().map(|b| human_bytes(*b)).collect::<Vec<_>>(),
+        report
+            .stored_per_group
+            .iter()
+            .map(|b| human_bytes(*b))
+            .collect::<Vec<_>>(),
     );
     assert_eq!(report.matches, expected, "grouped operator must be exact");
 }
@@ -272,7 +304,12 @@ pub fn run_ablation_blocking() {
     let sat = run_operator(OperatorKind::Dynamic, &w, &arrivals, 64, u64::MAX);
     let pace = SourcePacing::per_second((sat.throughput * 0.5) as u64);
     let mut table = Table::new(&[
-        "protocol", "matches", "migrations", "avg latency (ms)", "max latency (ms)", "exec (s)",
+        "protocol",
+        "matches",
+        "migrations",
+        "avg latency (ms)",
+        "max latency (ms)",
+        "exec (s)",
     ]);
     for blocking in [false, true] {
         let mut cfg = RunConfig::new(64, OperatorKind::Dynamic);
@@ -281,7 +318,11 @@ pub fn run_ablation_blocking() {
         cfg.blocking_migrations = blocking;
         let report = aoj_operators::run(&arrivals, &w.predicate, w.name, &cfg);
         table.row(vec![
-            if blocking { "blocking".into() } else { "non-blocking (Alg 3)".to_string() },
+            if blocking {
+                "blocking".into()
+            } else {
+                "non-blocking (Alg 3)".to_string()
+            },
             report.matches.to_string(),
             report.migrations.to_string(),
             format!("{:.2}", report.avg_latency_us / 1000.0),

@@ -44,7 +44,10 @@ pub fn run_fig6a() {
         OperatorKind::Dynamic,
         OperatorKind::StaticOpt,
     ] {
-        series.push((kind.label(), run_operator(kind, w, &arrivals, J, BUDGET_64_MACHINES)));
+        series.push((
+            kind.label(),
+            run_operator(kind, w, &arrivals, J, BUDGET_64_MACHINES),
+        ));
     }
     for pct in (10..=100).step_by(10) {
         let mut cells = vec![format!("{pct}%")];
@@ -65,7 +68,13 @@ pub fn run_fig6a() {
 pub fn run_fig6b() {
     banner("Fig 6b: final avg ILF per machine / total cluster storage (J=64)");
     let mut table = Table::new(&[
-        "query", "StaticMid", "Dynamic", "StaticOpt", "SM/Dyn ilf ratio", "total:SM", "total:Dyn",
+        "query",
+        "StaticMid",
+        "Dynamic",
+        "StaticOpt",
+        "SM/Dyn ilf ratio",
+        "total:SM",
+        "total:Dyn",
         "total:Opt",
     ]);
     for w in &workloads() {
@@ -97,7 +106,13 @@ pub fn run_fig6c() {
     banner("Fig 6c: execution time (virtual s) vs % of EQ5 input processed (Z4, J=64)");
     let w = &workloads()[0];
     let arrivals = arrivals_of(w);
-    let mut table = Table::new(&["% input", "StaticMid", "Dynamic", "StaticOpt", "SHJ (own axis)"]);
+    let mut table = Table::new(&[
+        "% input",
+        "StaticMid",
+        "Dynamic",
+        "StaticOpt",
+        "SHJ (own axis)",
+    ]);
     let mut series = Vec::new();
     for kind in [
         OperatorKind::StaticMid,

@@ -25,7 +25,14 @@ fn workloads() -> Vec<Workload> {
 /// Fig. 7a: average throughput (tuples per virtual second).
 pub fn run_fig7a() {
     banner("Fig 7a: average operator throughput, tuples per virtual second (J=64)");
-    let mut table = Table::new(&["query", "SHJ", "StaticMid", "Dynamic", "StaticOpt", "Dyn/SM"]);
+    let mut table = Table::new(&[
+        "query",
+        "SHJ",
+        "StaticMid",
+        "Dynamic",
+        "StaticOpt",
+        "Dyn/SM",
+    ]);
     for w in &workloads() {
         let arrivals = arrivals_of(w);
         // SHJ partitions on the join key: equi-joins only (§5 "Operators").
@@ -50,7 +57,9 @@ pub fn run_fig7a() {
         ]);
     }
     table.print();
-    println!("  paper shape: Dynamic ~= StaticOpt >= 2x StaticMid; SHJ far behind on skewed equi-joins.");
+    println!(
+        "  paper shape: Dynamic ~= StaticOpt >= 2x StaticMid; SHJ far behind on skewed equi-joins."
+    );
 }
 
 /// Fig. 7b: average tuple latency under a sustainable (paced) source.
@@ -83,7 +92,9 @@ pub fn run_fig7b() {
         table.row(cells);
     }
     table.print();
-    println!("  paper shape: latencies within tens of ms of each other; adaptivity costs only a few ms.");
+    println!(
+        "  paper shape: latencies within tens of ms of each other; adaptivity costs only a few ms."
+    );
 }
 
 /// The paper's 7c/7d sweep: grow the smaller (R) stream so the optimal
@@ -146,7 +157,9 @@ pub fn run_fig7c() {
         ]);
     }
     table.print();
-    println!("  paper shape: the StaticMid/Dynamic ILF gap shrinks to ~1x as the optimum reaches (8,8).");
+    println!(
+        "  paper shape: the StaticMid/Dynamic ILF gap shrinks to ~1x as the optimum reaches (8,8)."
+    );
 }
 
 /// Fig. 7d: throughput across the same sweep.

@@ -21,10 +21,18 @@ use super::common::*;
 /// The out-of-core ladder reuses the in-memory tuple counts (its reduction
 /// is 8x larger against 8x the GB) but squeezes the RAM budget instead —
 /// what distinguishes the two regimes is memory pressure, not row count.
-const IN_MEMORY_LADDER: [(u32, u32, u32); 4] =
-    [(10, 16, 1000), (20, 32, 1000), (40, 64, 1000), (80, 128, 1000)];
-const OUT_OF_CORE_LADDER: [(u32, u32, u32); 4] =
-    [(80, 16, 8000), (160, 32, 8000), (320, 64, 8000), (640, 128, 8000)];
+const IN_MEMORY_LADDER: [(u32, u32, u32); 4] = [
+    (10, 16, 1000),
+    (20, 32, 1000),
+    (40, 64, 1000),
+    (80, 128, 1000),
+];
+const OUT_OF_CORE_LADDER: [(u32, u32, u32); 4] = [
+    (80, 16, 8000),
+    (160, 32, 8000),
+    (320, 64, 8000),
+    (640, 128, 8000),
+];
 
 fn scaling_workloads(gb: u32, reduction: u32) -> Vec<Workload> {
     let d = TpchDb::generate(ScaledGb { gb, reduction }, Skew::Z0, SEED);
@@ -46,7 +54,13 @@ fn run_ladder(ladder: &[(u32, u32, u32)], in_memory: bool) -> Vec<(String, Vec<R
                 let total_bytes: u64 = arrivals.iter().map(|(_, i)| i.bytes as u64).sum();
                 (total_bytes / j as u64) / 4
             };
-            reports.push(run_operator(OperatorKind::Dynamic, &w, &arrivals, j, budget));
+            reports.push(run_operator(
+                OperatorKind::Dynamic,
+                &w,
+                &arrivals,
+                j,
+                budget,
+            ));
         }
         rows.push((format!("{gb}GB/{j}"), reports));
     }
@@ -54,14 +68,17 @@ fn run_ladder(ladder: &[(u32, u32, u32)], in_memory: bool) -> Vec<(String, Vec<R
 }
 
 /// Both weak-scaling figures share one set of runs.
-fn scaling_results() -> Vec<(&'static str, Vec<(String, Vec<RunReport>)>)> {
+/// One ladder of runs per memory regime: `(regime label, [(config label, reports)])`.
+type ScalingResults = Vec<(&'static str, Vec<(String, Vec<RunReport>)>)>;
+
+fn scaling_results() -> ScalingResults {
     vec![
         ("in-memory", run_ladder(&IN_MEMORY_LADDER, true)),
         ("out-of-core", run_ladder(&OUT_OF_CORE_LADDER, false)),
     ]
 }
 
-fn print_fig8a(results: &[(&'static str, Vec<(String, Vec<RunReport>)>)]) {
+fn print_fig8a(results: &ScalingResults) {
     banner("Fig 8a: weak scalability - execution time (virtual s), Dynamic");
     for (title, rows) in results {
         println!("  [{title}]");
@@ -79,7 +96,7 @@ fn print_fig8a(results: &[(&'static str, Vec<(String, Vec<RunReport>)>)]) {
     println!("  paper shape: near-flat rows (ideal weak scaling), BNCI drifts up with its ILF growth;\n  out-of-core is roughly an order of magnitude slower than in-memory.");
 }
 
-fn print_fig8b(results: &[(&'static str, Vec<(String, Vec<RunReport>)>)]) {
+fn print_fig8b(results: &ScalingResults) {
     banner("Fig 8b: weak scalability - throughput (tuples per virtual s), Dynamic");
     for (title, rows) in results {
         println!("  [{title}]");
@@ -113,7 +130,11 @@ pub fn run_fig8c() {
     let d = db(8, Skew::Z0);
     let w = fluct_join(&d);
     let mut table = Table::new(&[
-        "k", "migrations", "max ILF/ILF* (post-warmup)", "bound", "within",
+        "k",
+        "migrations",
+        "max ILF/ILF* (post-warmup)",
+        "bound",
+        "within",
     ]);
     for k in [2u64, 4, 6, 8] {
         let arrivals = fluctuating(&w, k, SEED);
@@ -139,11 +160,17 @@ pub fn run_fig8c() {
             report.migrations.to_string(),
             format!("{max_ratio:.3}"),
             "1.25 (+est. slack)".into(),
-            if max_ratio <= bound { "yes".into() } else { "NO".into() },
+            if max_ratio <= bound {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     table.print();
-    println!("  paper shape: ratio never exceeds 1.25 at any fluctuation rate; many migrations fire.");
+    println!(
+        "  paper shape: ratio never exceeds 1.25 at any fluctuation rate; many migrations fire."
+    );
 }
 
 /// Fig. 8d: execution-time progress under fluctuation stays linear.
@@ -157,7 +184,13 @@ pub fn run_fig8d() {
     for k in [2u64, 4, 6, 8] {
         let arrivals = fluctuating(&w, k, SEED);
         totals.push(arrivals.len() as f64);
-        series.push(run_operator(OperatorKind::Dynamic, &w, &arrivals, 64, u64::MAX));
+        series.push(run_operator(
+            OperatorKind::Dynamic,
+            &w,
+            &arrivals,
+            64,
+            u64::MAX,
+        ));
     }
     for pct in (10..=100).step_by(10) {
         let mut cells = vec![format!("{pct}%")];

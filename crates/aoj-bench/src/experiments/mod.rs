@@ -6,5 +6,6 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod table2;
+pub mod wallclock;
 
 pub use common::*;

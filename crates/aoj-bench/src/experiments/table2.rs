@@ -16,7 +16,12 @@ pub fn run_table2() {
     banner("Table 2: runtime in virtual seconds (EQ5/EQ7, 10GB, J=16; * = overflow to disk)");
     let j = 16;
     let mut table = Table::new(&[
-        "Zipf", "EQ5:SHJ", "EQ5:Dynamic", "EQ5:StaticMid", "EQ7:SHJ", "EQ7:Dynamic",
+        "Zipf",
+        "EQ5:SHJ",
+        "EQ5:Dynamic",
+        "EQ5:StaticMid",
+        "EQ7:SHJ",
+        "EQ7:Dynamic",
         "EQ7:StaticMid",
     ]);
     for skew in Skew::all() {
@@ -25,7 +30,11 @@ pub fn run_table2() {
         for query in [eq5, eq7] {
             let w = query(&db);
             let arrivals = arrivals_of(&w);
-            for kind in [OperatorKind::Shj, OperatorKind::Dynamic, OperatorKind::StaticMid] {
+            for kind in [
+                OperatorKind::Shj,
+                OperatorKind::Dynamic,
+                OperatorKind::StaticMid,
+            ] {
                 let report = run_operator(kind, &w, &arrivals, j, BUDGET_16_MACHINES);
                 cells.push(secs_star(&report));
             }

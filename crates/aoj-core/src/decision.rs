@@ -182,8 +182,7 @@ impl MigrationDecider {
         self.s += self.ds;
         self.dr = 0;
         self.ds = 0;
-        if best != self.current
-            && ilf_numerator(re, se, best) < ilf_numerator(re, se, self.current)
+        if best != self.current && ilf_numerator(re, se, best) < ilf_numerator(re, se, self.current)
         {
             self.migrations += 1;
             self.current = best;
@@ -214,7 +213,11 @@ mod tests {
     fn competitive_ratio_formula() {
         let cfg = DecisionConfig::default();
         assert!((cfg.competitive_ratio() - 1.25).abs() < 1e-12);
-        let half = DecisionConfig { epsilon_num: 1, epsilon_den: 2, ..cfg };
+        let half = DecisionConfig {
+            epsilon_num: 1,
+            epsilon_den: 2,
+            ..cfg
+        };
         assert!((half.competitive_ratio() - 4.0 / 3.5).abs() < 1e-12);
         assert!((half.amortized_cost_bound() - 16.0).abs() < 1e-12);
     }
@@ -233,7 +236,10 @@ mod tests {
 
     #[test]
     fn warm_up_gate_defers_decisions() {
-        let cfg = DecisionConfig { min_total: 100, ..Default::default() };
+        let cfg = DecisionConfig {
+            min_total: 100,
+            ..Default::default()
+        };
         let mut d = MigrationDecider::new(16, Mapping::square(16), cfg);
         for _ in 0..99 {
             assert_eq!(d.observe(true, 1), Decision::Stay);
@@ -244,7 +250,10 @@ mod tests {
 
     #[test]
     fn balanced_input_stays_square() {
-        let cfg = DecisionConfig { min_total: 64, ..Default::default() };
+        let cfg = DecisionConfig {
+            min_total: 64,
+            ..Default::default()
+        };
         let mut d = MigrationDecider::new(16, Mapping::square(16), cfg);
         let mut migrations = 0;
         for i in 0..100_000u64 {
@@ -253,7 +262,10 @@ mod tests {
                 migrations += 1;
             }
         }
-        assert_eq!(migrations, 0, "balanced streams must not trigger migrations");
+        assert_eq!(
+            migrations, 0,
+            "balanced streams must not trigger migrations"
+        );
         assert_eq!(d.current(), Mapping::new(4, 4));
     }
 
@@ -261,7 +273,10 @@ mod tests {
     fn skewed_growth_walks_one_step_at_a_time() {
         // Start balanced at (4,4); then only S grows. Each decision point
         // moves at most one step (Lemma 4.2).
-        let cfg = DecisionConfig { min_total: 8, ..Default::default() };
+        let cfg = DecisionConfig {
+            min_total: 8,
+            ..Default::default()
+        };
         let mut d = MigrationDecider::new(16, Mapping::square(16), cfg);
         for i in 0..128u64 {
             d.observe(i % 2 == 0, 1);
@@ -286,11 +301,19 @@ mod tests {
         // once past the warm-up and with the ratio within J.
         use crate::ilf::{ilf, optimal_ilf};
         let j = 64u32;
-        let cfg = DecisionConfig { min_total: 1000, ..Default::default() };
+        let cfg = DecisionConfig {
+            min_total: 1000,
+            ..Default::default()
+        };
         let mut d = MigrationDecider::new(j, Mapping::square(j), cfg);
         let (mut r, mut s) = (0u64, 0u64);
         // Alternating bursts: R-heavy, then S-heavy, then mixed.
-        let phases: &[(u64, u64, u64)] = &[(1, 0, 20_000), (0, 1, 60_000), (3, 1, 40_000), (1, 7, 80_000)];
+        let phases: &[(u64, u64, u64)] = &[
+            (1, 0, 20_000),
+            (0, 1, 60_000),
+            (3, 1, 40_000),
+            (1, 7, 80_000),
+        ];
         let mut worst: f64 = 1.0;
         for &(wr, ws, steps) in phases {
             for i in 0..steps {
@@ -315,13 +338,21 @@ mod tests {
         use crate::ilf::{ilf, optimal_ilf};
         let j = 64u32;
         let run = |num: u32, den: u32| -> (f64, u64) {
-            let cfg = DecisionConfig { epsilon_num: num, epsilon_den: den, min_total: 1000 };
+            let cfg = DecisionConfig {
+                epsilon_num: num,
+                epsilon_den: den,
+                min_total: 1000,
+            };
             let mut d = MigrationDecider::new(j, Mapping::square(j), cfg);
             let (mut r, mut s) = (0u64, 0u64);
             let mut worst: f64 = 1.0;
             for i in 0..200_000u64 {
                 let is_r = i % 9 == 0; // S-heavy drift
-                if is_r { r += 1 } else { s += 1 }
+                if is_r {
+                    r += 1
+                } else {
+                    s += 1
+                }
                 d.observe(is_r, 1);
                 if r + s > 4000 {
                     worst = worst.max(ilf(r, s, d.current()) / optimal_ilf(j, r, s));
@@ -341,19 +372,28 @@ mod tests {
 
     #[test]
     fn commit_happens_even_without_migration() {
-        let cfg = DecisionConfig { min_total: 4, ..Default::default() };
+        let cfg = DecisionConfig {
+            min_total: 4,
+            ..Default::default()
+        };
         let mut d = MigrationDecider::new(4, Mapping::square(4), cfg);
         for i in 0..16u64 {
             d.observe(i % 2 == 0, 1);
         }
         // Thresholds fired repeatedly; deltas must have been folded in.
-        assert_eq!(d.committed().0 + d.committed().1 + d.deltas().0 + d.deltas().1, 16);
+        assert_eq!(
+            d.committed().0 + d.committed().1 + d.deltas().0 + d.deltas().1,
+            16
+        );
         assert!(d.committed().0 > 0);
     }
 
     #[test]
     fn extreme_ratio_uses_padding_and_stays_at_edge() {
-        let cfg = DecisionConfig { min_total: 10, ..Default::default() };
+        let cfg = DecisionConfig {
+            min_total: 10,
+            ..Default::default()
+        };
         let mut d = MigrationDecider::new(8, Mapping::square(8), cfg);
         for _ in 0..100_000u64 {
             d.observe(true, 1); // only R, ratio far beyond J

@@ -64,18 +64,38 @@ impl ExpandSpec {
                 let a = refine_bit(t.ticket, self.n_before);
                 if a == 0 {
                     // Rows (0, *): parent keeps, child (0,1) needs a copy.
-                    ExpandDestinations { keep: true, to_01: true, to_10: false, to_11: false }
+                    ExpandDestinations {
+                        keep: true,
+                        to_01: true,
+                        to_10: false,
+                        to_11: false,
+                    }
                 } else {
                     // Rows (1, *): children (1,0) and (1,1).
-                    ExpandDestinations { keep: false, to_01: false, to_10: true, to_11: true }
+                    ExpandDestinations {
+                        keep: false,
+                        to_01: false,
+                        to_10: true,
+                        to_11: true,
+                    }
                 }
             }
             Rel::S => {
                 let b = refine_bit(t.ticket, self.m_before);
                 if b == 0 {
-                    ExpandDestinations { keep: true, to_01: false, to_10: true, to_11: false }
+                    ExpandDestinations {
+                        keep: true,
+                        to_01: false,
+                        to_10: true,
+                        to_11: false,
+                    }
                 } else {
-                    ExpandDestinations { keep: false, to_01: true, to_10: false, to_11: true }
+                    ExpandDestinations {
+                        keep: false,
+                        to_01: true,
+                        to_10: false,
+                        to_11: true,
+                    }
                 }
             }
         }
@@ -232,7 +252,7 @@ mod tests {
         assign.apply_expansion();
         let to = assign.mapping();
         assert_eq!(to, Mapping::new(4, 4));
-        for k in 0..16 {
+        for (k, machine_state) in next.iter().enumerate() {
             let pos = assign.pos_of(k);
             let mut expected: Vec<u64> = universe
                 .iter()
@@ -242,7 +262,7 @@ mod tests {
                 })
                 .map(|t| t.seq)
                 .collect();
-            let mut actual: Vec<u64> = next[k].iter().map(|t| t.seq).collect();
+            let mut actual: Vec<u64> = machine_state.iter().map(|t| t.seq).collect();
             expected.sort_unstable();
             actual.sort_unstable();
             assert_eq!(actual, expected, "machine {k} at {pos:?}");

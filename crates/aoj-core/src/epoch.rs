@@ -101,10 +101,7 @@ impl EpochJoiner {
     /// Create a joiner with empty state. `make_index` builds one
     /// [`JoinIndex`] per tuple set; `n_reshufflers` is the number of
     /// epoch-change signals to expect per migration.
-    pub fn new(
-        make_index: &dyn Fn() -> Box<dyn JoinIndex>,
-        n_reshufflers: usize,
-    ) -> EpochJoiner {
+    pub fn new(make_index: &dyn Fn() -> Box<dyn JoinIndex>, n_reshufflers: usize) -> EpochJoiner {
         EpochJoiner {
             epoch: 0,
             migrating: false,
@@ -277,7 +274,10 @@ impl EpochJoiner {
             assert_eq!(new_epoch, self.new_epoch, "overlapping migrations");
             debug_assert_eq!(self.spec, Some(spec));
         }
-        assert!(!self.signals[from], "duplicate signal from reshuffler {from}");
+        assert!(
+            !self.signals[from],
+            "duplicate signal from reshuffler {from}"
+        );
         self.signals[from] = true;
         self.signals_remaining -= 1;
         outcome.all_signals = self.signals_remaining == 0;
@@ -443,7 +443,10 @@ mod tests {
         // Old-epoch R tuple arrives: joins τ∪Δ (the S tuple), forwarded.
         let r_old = Tuple::new(Rel::R, 2, 7, 0);
         let outcome = a.on_data(0, r_old, &mut collect_pairs(&mut pairs));
-        assert!(outcome.forward_to_partner, "coarsening-relation Δ tuple must migrate");
+        assert!(
+            outcome.forward_to_partner,
+            "coarsening-relation Δ tuple must migrate"
+        );
         assert_eq!(pairs, vec![(2, 1)]);
     }
 

@@ -46,7 +46,11 @@ impl GroupSet {
             offsets.push(acc);
             acc += s;
         }
-        GroupSet { sizes, offsets, total: j }
+        GroupSet {
+            sizes,
+            offsets,
+            total: j,
+        }
     }
 
     /// Number of groups (`≤ ⌈log₂ J⌉ + 1`, i.e. the popcount of `J`).

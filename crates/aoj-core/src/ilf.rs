@@ -63,8 +63,8 @@ pub fn continuous_lower_bound(j: u32, r: u64, s: u64) -> f64 {
 /// handled volume by at most `1 + 1/J`.
 pub fn effective_cardinalities(j: u32, r: u64, s: u64) -> (u64, u64) {
     let j = j as u64;
-    let r_eff = r.max((s + j - 1) / j);
-    let s_eff = s.max((r + j - 1) / j);
+    let r_eff = r.max(s.div_ceil(j));
+    let s_eff = s.max(r.div_ceil(j));
     (r_eff.max(1), s_eff.max(1))
 }
 
@@ -114,7 +114,13 @@ mod tests {
         // Under the optimal mapping with ratio within J:
         // (1/2)(s/m) <= r/n <= 2(s/m).
         let j = 64u32;
-        for (r, s) in [(1000u64, 1000u64), (100, 6000), (6000, 100), (40, 2500), (999, 1001)] {
+        for (r, s) in [
+            (1000u64, 1000u64),
+            (100, 6000),
+            (6000, 100),
+            (40, 2500),
+            (999, 1001),
+        ] {
             if r.max(s) > r.min(s) * j as u64 {
                 continue;
             }
@@ -146,7 +152,10 @@ mod tests {
         assert!(worst <= 1.07, "worst semi-perimeter ratio {worst}");
         // The bound is tight-ish: some instance should exceed 1.05.
         let tight = optimal_ilf(j, 1000, 2000) / continuous_lower_bound(j, 1000, 2000);
-        assert!(tight > 1.02, "expected near-worst-case instance, got {tight}");
+        assert!(
+            tight > 1.02,
+            "expected near-worst-case instance, got {tight}"
+        );
     }
 
     #[test]

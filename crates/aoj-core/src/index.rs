@@ -40,7 +40,10 @@ impl std::ops::AddAssign for ProbeStats {
 
 /// A two-sided store of R and S tuples supporting insert-probe joins and
 /// the bulk state operations used by migrations.
-pub trait JoinIndex {
+///
+/// `Send` is a supertrait so joiner tasks holding boxed indexes can be
+/// moved onto worker threads by threaded execution backends.
+pub trait JoinIndex: Send {
     /// Insert a tuple into its relation's side.
     fn insert(&mut self, t: Tuple);
 
@@ -232,7 +235,7 @@ mod tests {
         let mut idx = VecIndex::new(Predicate::Equi);
         idx.insert(r(0, 1));
         idx.insert(r(1, 1));
-        let mut only_even_seq = |t: &Tuple| t.seq % 2 == 0;
+        let mut only_even_seq = |t: &Tuple| t.seq.is_multiple_of(2);
         let stats = idx.probe_filtered(&s(5, 1), &mut only_even_seq, &mut |_| {});
         assert_eq!(stats.matches, 1);
         assert_eq!(stats.candidates, 2);
@@ -248,7 +251,10 @@ mod tests {
         let removed = idx.extract(&mut |t| t.key < 5);
         assert_eq!(removed.len(), 5);
         assert_eq!(idx.len(), 5);
-        assert_eq!(idx.bytes(), total - removed.iter().map(|t| t.bytes as u64).sum::<u64>());
+        assert_eq!(
+            idx.bytes(),
+            total - removed.iter().map(|t| t.bytes as u64).sum::<u64>()
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub struct Mapping {
 impl Mapping {
     /// Create a mapping. Both dimensions must be non-zero powers of two.
     pub fn new(n: u32, m: u32) -> Mapping {
-        assert!(n.is_power_of_two() && m.is_power_of_two(), "(n,m) must be powers of two");
+        assert!(
+            n.is_power_of_two() && m.is_power_of_two(),
+            "(n,m) must be powers of two"
+        );
         Mapping { n, m }
     }
 
@@ -167,7 +170,11 @@ impl GridAssignment {
             pos.push(p);
             machine[(p.row * mapping.m + p.col) as usize] = k;
         }
-        GridAssignment { mapping, pos, machine }
+        GridAssignment {
+            mapping,
+            pos,
+            machine,
+        }
     }
 
     /// Current mapping.
@@ -223,14 +230,22 @@ impl GridAssignment {
     /// that owns the other half of the merged partition.
     pub fn partner_pos(p: GridPos, step: Step) -> GridPos {
         match step {
-            Step::HalveRows => GridPos { row: p.row ^ 1, col: p.col },
-            Step::HalveCols => GridPos { row: p.row, col: p.col ^ 1 },
+            Step::HalveRows => GridPos {
+                row: p.row ^ 1,
+                col: p.col,
+            },
+            Step::HalveCols => GridPos {
+                row: p.row,
+                col: p.col ^ 1,
+            },
         }
     }
 
     /// Apply a migration step, relabelling every machine in place.
     pub fn apply_step(&mut self, step: Step) {
-        let new_mapping = step.apply(self.mapping).expect("mapping cannot shrink below 1");
+        let new_mapping = step
+            .apply(self.mapping)
+            .expect("mapping cannot shrink below 1");
         let mut machine = vec![0u32; new_mapping.j() as usize];
         for (k, p) in self.pos.iter_mut().enumerate() {
             let np = Self::relabel(*p, step);
@@ -257,10 +272,34 @@ impl GridAssignment {
         for k in 0..old_j {
             let p = self.pos[k];
             let children = [
-                (k, GridPos { row: 2 * p.row, col: 2 * p.col }),
-                (old_j + 3 * k, GridPos { row: 2 * p.row, col: 2 * p.col + 1 }),
-                (old_j + 3 * k + 1, GridPos { row: 2 * p.row + 1, col: 2 * p.col }),
-                (old_j + 3 * k + 2, GridPos { row: 2 * p.row + 1, col: 2 * p.col + 1 }),
+                (
+                    k,
+                    GridPos {
+                        row: 2 * p.row,
+                        col: 2 * p.col,
+                    },
+                ),
+                (
+                    old_j + 3 * k,
+                    GridPos {
+                        row: 2 * p.row,
+                        col: 2 * p.col + 1,
+                    },
+                ),
+                (
+                    old_j + 3 * k + 1,
+                    GridPos {
+                        row: 2 * p.row + 1,
+                        col: 2 * p.col,
+                    },
+                ),
+                (
+                    old_j + 3 * k + 2,
+                    GridPos {
+                        row: 2 * p.row + 1,
+                        col: 2 * p.col + 1,
+                    },
+                ),
             ];
             for (idx, cp) in children {
                 pos[idx] = cp;
@@ -350,7 +389,7 @@ mod tests {
         let mut a = GridAssignment::initial(Mapping::new(8, 2));
         a.apply_step(Step::HalveRows);
         assert_eq!(a.mapping(), Mapping::new(4, 4));
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for r in 0..4 {
             for c in 0..4 {
                 let k = a.machine_at(r, c);
@@ -414,7 +453,7 @@ mod tests {
         assert_eq!(a.machine_at(1, 0), 5);
         assert_eq!(a.machine_at(1, 1), 6);
         // Bijectivity.
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for r in 0..4 {
             for c in 0..4 {
                 let k = a.machine_at(r, c);

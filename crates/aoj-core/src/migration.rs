@@ -110,7 +110,9 @@ pub struct MigrationPlan {
 /// [`GridAssignment::apply_step`] once the operator commits.
 pub fn plan_step(assign: &GridAssignment, step: Step) -> MigrationPlan {
     let from = assign.mapping();
-    let to = step.apply(from).expect("mapping cannot shrink below one partition");
+    let to = step
+        .apply(from)
+        .expect("mapping cannot shrink below one partition");
     let exchange_rel = step.coarsens();
     let refine_rel = step.refines();
     let refine_parts_before = from.parts(refine_rel);
@@ -140,7 +142,12 @@ pub fn plan_step(assign: &GridAssignment, step: Step) -> MigrationPlan {
             refine_parts_before,
         });
     }
-    MigrationPlan { step, from, to, specs }
+    MigrationPlan {
+        step,
+        from,
+        to,
+        specs,
+    }
 }
 
 /// Tuples moved by the locality-aware plan, given per-machine counts of the
@@ -297,8 +304,8 @@ mod tests {
         let state = build_state(&assign, count, &mut gen);
         let plan = plan_step(&assign, Step::HalveRows);
         let mut moved = 0u64;
-        for k in 0..state.len() {
-            moved += state[k]
+        for (k, machine_state) in state.iter().enumerate() {
+            moved += machine_state
                 .iter()
                 .filter(|t| plan.specs[k].is_migrated(t))
                 .count() as u64;
@@ -315,8 +322,8 @@ mod tests {
         let state = build_state(&assign, 4_000, &mut gen);
         let plan = plan_step(&assign, Step::HalveRows);
         let (mut kept_s, mut dropped_s) = (0u64, 0u64);
-        for k in 0..state.len() {
-            for t in &state[k] {
+        for (k, machine_state) in state.iter().enumerate() {
+            for t in machine_state {
                 if t.rel == Rel::S {
                     match plan.specs[k].classify(t) {
                         StateClass::Keep => kept_s += 1,

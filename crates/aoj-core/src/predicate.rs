@@ -31,6 +31,7 @@ pub enum Predicate {
     /// must still cover).
     CrossProduct,
     /// An arbitrary theta predicate over both tuples.
+    #[allow(clippy::type_complexity)]
     Theta(Arc<dyn Fn(&Tuple, &Tuple) -> bool + Send + Sync>),
 }
 

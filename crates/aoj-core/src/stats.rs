@@ -23,7 +23,13 @@ impl ScaledEstimator {
     /// `scale` is `J`, the number of reshufflers the input is spread over.
     pub fn new(scale: u64) -> ScaledEstimator {
         assert!(scale > 0);
-        ScaledEstimator { scale, r: 0, s: 0, dr: 0, ds: 0 }
+        ScaledEstimator {
+            scale,
+            r: 0,
+            s: 0,
+            dr: 0,
+            ds: 0,
+        }
     }
 
     /// Record one locally observed tuple (Alg. 1 lines 3/5: "scaled
@@ -130,7 +136,10 @@ mod tests {
         let est = controller.totals().0 as f64;
         let err = (est - n as f64).abs() / n as f64;
         let bound = relative_error_bound(n / j, 0.001);
-        assert!(err < bound, "relative error {err:.4} exceeds bound {bound:.4}");
+        assert!(
+            err < bound,
+            "relative error {err:.4} exceeds bound {bound:.4}"
+        );
     }
 
     #[test]

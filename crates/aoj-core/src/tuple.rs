@@ -112,7 +112,9 @@ mod tests {
 
     #[test]
     fn builders() {
-        let t = Tuple::new(Rel::R, 7, -3, 0xdead).with_bytes(100).with_aux(5);
+        let t = Tuple::new(Rel::R, 7, -3, 0xdead)
+            .with_bytes(100)
+            .with_aux(5);
         assert_eq!(t.seq, 7);
         assert_eq!(t.key, -3);
         assert_eq!(t.bytes, 100);

@@ -2,7 +2,9 @@
 //! invariants the paper's proofs rest on must hold for *arbitrary* inputs,
 //! not just the hand-picked cases of the unit tests.
 
-use aoj_core::ilf::{continuous_lower_bound, effective_cardinalities, ilf, optimal_ilf, optimal_mapping};
+use aoj_core::ilf::{
+    continuous_lower_bound, effective_cardinalities, ilf, optimal_ilf, optimal_mapping,
+};
 use aoj_core::mapping::{GridAssignment, Mapping, Step};
 use aoj_core::migration::{plan_step, StateClass};
 use aoj_core::ticket::{partition, refine_bit};
@@ -12,7 +14,7 @@ use proptest::prelude::*;
 /// Strategy: a power-of-two J between 2 and 256 split into (n, m).
 fn mapping_strategy() -> impl Strategy<Value = Mapping> {
     (1u32..=8, 0u32..=8).prop_filter_map("n*m must be 2..=256", |(e, k)| {
-        if k <= e && e <= 8 && e >= 1 {
+        if k <= e && (1..=8).contains(&e) {
             Some(Mapping::new(1 << k, 1 << (e - k)))
         } else {
             None

@@ -26,15 +26,21 @@ use rand::{Rng, SeedableRng};
 /// Messages on a reshuffler→joiner or joiner→joiner channel.
 #[derive(Clone, Debug)]
 enum Msg {
-    Data { tag: u32, t: Tuple },
-    Signal { from_reshuffler: usize, new_epoch: u32 },
+    Data {
+        tag: u32,
+        t: Tuple,
+    },
+    Signal {
+        from_reshuffler: usize,
+        new_epoch: u32,
+    },
     MigTuple(Tuple),
     MigDone,
 }
 
 struct Cluster {
-    assign: GridAssignment,       // canonical (controller's) view
-    plan: Option<MigrationPlan>,  // in-flight migration plan
+    assign: GridAssignment,      // canonical (controller's) view
+    plan: Option<MigrationPlan>, // in-flight migration plan
     joiners: Vec<EpochJoiner>,
     n_reshufflers: usize,
     /// Reshuffler views: (epoch, assignment).
@@ -100,7 +106,10 @@ impl Cluster {
         let new_epoch = *epoch;
         assign.apply_step(plan.step);
         for dst in 0..self.joiners.len() {
-            self.channels[r][dst].push_back(Msg::Signal { from_reshuffler: r, new_epoch });
+            self.channels[r][dst].push_back(Msg::Signal {
+                from_reshuffler: r,
+                new_epoch,
+            });
         }
     }
 
@@ -139,7 +148,10 @@ impl Cluster {
                     self.channels[r_joiner_base + dst][spec.partner].push_back(Msg::MigTuple(t));
                 }
             }
-            Msg::Signal { from_reshuffler, new_epoch } => {
+            Msg::Signal {
+                from_reshuffler,
+                new_epoch,
+            } => {
                 let spec = self.plan.as_ref().expect("signal without plan").specs[dst];
                 let so = self.joiners[dst].on_signal(from_reshuffler, new_epoch, spec);
                 if so.start_migration {
@@ -264,21 +276,25 @@ fn run_scenario(
                 // Complete any previous migration first (controller gating).
                 cluster.flush();
                 cluster.start_migration(step);
-                for r in 0..n_reshufflers {
+                for slot in pending_adopt.iter_mut() {
                     let lag = key_rng.gen_range(0..20u64);
-                    pending_adopt[r] = Some(seq + lag);
+                    *slot = Some(seq + lag);
                 }
             }
         }
         let reshuffler = (seq % n_reshufflers as u64) as usize;
         // Adopt the mapping change if this reshuffler's lag expired.
-        for r in 0..n_reshufflers {
-            if pending_adopt[r].is_some_and(|at| seq >= at) {
+        for (r, slot) in pending_adopt.iter_mut().enumerate() {
+            if slot.is_some_and(|at| seq >= at) {
                 cluster.adopt(r);
-                pending_adopt[r] = None;
+                *slot = None;
             }
         }
-        let rel = if key_rng.gen_bool(0.5) { Rel::R } else { Rel::S };
+        let rel = if key_rng.gen_bool(0.5) {
+            Rel::R
+        } else {
+            Rel::S
+        };
         let key = key_rng.gen_range(0..key_space);
         let ticket = mirror_gen.next();
         universe.push(Tuple::new(rel, seq, key, ticket));
@@ -291,8 +307,8 @@ fn run_scenario(
         }
     }
     // Late adopters that never hit their lag point adopt now.
-    for r in 0..n_reshufflers {
-        if pending_adopt[r].take().is_some() {
+    for (r, slot) in pending_adopt.iter_mut().enumerate() {
+        if slot.take().is_some() {
             cluster.adopt(r);
         }
     }

@@ -311,10 +311,7 @@ mod tests {
         // At full TPC-H scale the paper reports a ~4-orders-of-magnitude
         // gap; output cardinality scales with |R|x|S|, so at simulation
         // scale the gap narrows — but BCI must remain far heavier.
-        assert!(
-            ci > nci * 20,
-            "BCI ({ci}) must dwarf BNCI ({nci})"
-        );
+        assert!(ci > nci * 20, "BCI ({ci}) must dwarf BNCI ({nci})");
     }
 
     #[test]
@@ -332,8 +329,7 @@ mod tests {
         // output equals the lineitems whose order passed the filter.
         let db = db();
         let w = fluct_join(&db);
-        let keep: std::collections::HashSet<i64> =
-            w.r_items.iter().map(|o| o.key).collect();
+        let keep: std::collections::HashSet<i64> = w.r_items.iter().map(|o| o.key).collect();
         let expected: u64 = w.s_items.iter().filter(|l| keep.contains(&l.key)).count() as u64;
         assert_eq!(reference_match_count(&w), expected);
     }

@@ -97,7 +97,11 @@ mod tests {
     use aoj_core::predicate::Predicate;
 
     fn workload(nr: usize, ns: usize) -> Workload {
-        let item = |key: i64| StreamItem { key, aux: 0, bytes: 64 };
+        let item = |key: i64| StreamItem {
+            key,
+            aux: 0,
+            bytes: 64,
+        };
         Workload {
             name: "test",
             predicate: Predicate::Equi,
@@ -111,8 +115,16 @@ mod tests {
         let w = workload(500, 1500);
         let a = interleave(&w, 3);
         assert_eq!(a.len(), 2000);
-        let r_keys: Vec<i64> = a.iter().filter(|(rel, _)| *rel == Rel::R).map(|(_, i)| i.key).collect();
-        let s_keys: Vec<i64> = a.iter().filter(|(rel, _)| *rel == Rel::S).map(|(_, i)| i.key).collect();
+        let r_keys: Vec<i64> = a
+            .iter()
+            .filter(|(rel, _)| *rel == Rel::R)
+            .map(|(_, i)| i.key)
+            .collect();
+        let s_keys: Vec<i64> = a
+            .iter()
+            .filter(|(rel, _)| *rel == Rel::S)
+            .map(|(_, i)| i.key)
+            .collect();
         assert_eq!(r_keys.len(), 500);
         assert_eq!(s_keys.len(), 1500);
         assert!(r_keys.windows(2).all(|w| w[0] < w[1]), "R order preserved");
@@ -138,7 +150,10 @@ mod tests {
         let trace = ratio_trace(&a);
         // The ratio must repeatedly touch k and 1/k (within integer slack).
         let hits_high = trace.iter().filter(|&&r| r >= (k - 1) as f64).count();
-        let hits_low = trace.iter().filter(|&&r| r > 0.0 && r <= 1.0 / (k - 1) as f64).count();
+        let hits_low = trace
+            .iter()
+            .filter(|&&r| r > 0.0 && r <= 1.0 / (k - 1) as f64)
+            .count();
         assert!(hits_high > 10, "ratio never reaches k");
         assert!(hits_low > 10, "ratio never reaches 1/k");
     }
@@ -154,7 +169,10 @@ mod tests {
                 swaps += 1;
             }
         }
-        assert!(swaps < 64, "expected logarithmically many phases, got {swaps}");
+        assert!(
+            swaps < 64,
+            "expected logarithmically many phases, got {swaps}"
+        );
         assert!(swaps >= 8, "expected several phases, got {swaps}");
     }
 

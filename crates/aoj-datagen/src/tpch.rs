@@ -52,7 +52,10 @@ impl ScaledGb {
     /// A dataset of `gb` simulated gigabytes at the default 1000×
     /// reduction.
     pub fn new(gb: u32) -> ScaledGb {
-        ScaledGb { gb, reduction: 1000 }
+        ScaledGb {
+            gb,
+            reduction: 1000,
+        }
     }
 
     /// Lineitem row count.
@@ -213,7 +216,10 @@ mod tests {
         }
         // Exactly 5 nations per region.
         for region in 0..5 {
-            assert_eq!(db.nation.iter().filter(|n| n.regionkey == region).count(), 5);
+            assert_eq!(
+                db.nation.iter().filter(|n| n.regionkey == region).count(),
+                5
+            );
         }
     }
 
@@ -243,7 +249,11 @@ mod tests {
     fn filters_have_expected_selectivities() {
         let db = TpchDb::generate(ScaledGb::new(10), Skew::Z0, 5);
         let n = db.lineitem.len() as f64;
-        let truck = db.lineitem.iter().filter(|l| l.shipmode == MODE_TRUCK).count() as f64;
+        let truck = db
+            .lineitem
+            .iter()
+            .filter(|l| l.shipmode == MODE_TRUCK)
+            .count() as f64;
         assert!((truck / n - 1.0 / 7.0).abs() < 0.02);
         let qty45 = db.lineitem.iter().filter(|l| l.quantity > 45).count() as f64;
         assert!((qty45 / n - 0.1).abs() < 0.02);

@@ -86,6 +86,7 @@ impl ZipfSampler {
     }
 
     /// Draw the next value in `[1, n]`.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         let u: f64 = self.rng.gen();
         // partition_point returns the count of entries < u, which is the
@@ -131,7 +132,10 @@ mod tests {
         let p1 = h[0] as f64 / 500_000.0;
         let hn: f64 = (1..=n).map(|v| 1.0 / v as f64).sum();
         let expected = 1.0 / hn;
-        assert!((p1 - expected).abs() < 0.01, "P(1) = {p1}, expected {expected}");
+        assert!(
+            (p1 - expected).abs() < 0.01,
+            "P(1) = {p1}, expected {expected}"
+        );
     }
 
     #[test]

@@ -195,7 +195,11 @@ mod tests {
     fn extract_and_drain_keep_counts_consistent() {
         let mut idx = BandIndex::new(2);
         for i in 0..50u64 {
-            idx.insert(if i % 2 == 0 { r(i, i as i64) } else { s(i, i as i64) });
+            idx.insert(if i % 2 == 0 {
+                r(i, i as i64)
+            } else {
+                s(i, i as i64)
+            });
         }
         assert_eq!(idx.len(), 50);
         let removed = idx.extract(&mut |t| t.key % 5 == 0);

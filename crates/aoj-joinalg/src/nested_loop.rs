@@ -94,7 +94,12 @@ mod tests {
     fn bulk_operations_delegate() {
         let mut idx = NestedLoopIndex::new(Predicate::CrossProduct);
         for i in 0..10 {
-            idx.insert(Tuple::new(if i % 2 == 0 { Rel::R } else { Rel::S }, i, 0, i));
+            idx.insert(Tuple::new(
+                if i % 2 == 0 { Rel::R } else { Rel::S },
+                i,
+                0,
+                i,
+            ));
         }
         assert_eq!(idx.len(), 10);
         assert_eq!(idx.len_rel(Rel::R), 5);

@@ -168,14 +168,22 @@ mod tests {
         let mut idx = SymmetricHashIndex::new();
         idx.insert(s(1, 7));
         assert_eq!(idx.probe_count(&r(2, 7)).matches, 1);
-        assert_eq!(idx.probe_count(&s(3, 7)).matches, 0, "same side never matches");
+        assert_eq!(
+            idx.probe_count(&s(3, 7)).matches,
+            0,
+            "same side never matches"
+        );
     }
 
     #[test]
     fn bookkeeping_through_insert_extract_drain() {
         let mut idx = SymmetricHashIndex::new();
         for i in 0..100u64 {
-            idx.insert(if i % 2 == 0 { r(i, (i / 4) as i64) } else { s(i, (i / 4) as i64) });
+            idx.insert(if i % 2 == 0 {
+                r(i, (i / 4) as i64)
+            } else {
+                s(i, (i / 4) as i64)
+            });
         }
         assert_eq!(idx.len(), 100);
         assert_eq!(idx.len_rel(Rel::R), 50);

@@ -85,8 +85,16 @@ fn check_equivalence(mut candidate: Box<dyn JoinIndex>, predicate: Predicate, op
         }
     }
     // Final state equivalence.
-    let mut got: Vec<(u64, usize)> = candidate.drain().iter().map(|t| (t.seq, t.rel.index())).collect();
-    let mut want: Vec<(u64, usize)> = reference.drain().iter().map(|t| (t.seq, t.rel.index())).collect();
+    let mut got: Vec<(u64, usize)> = candidate
+        .drain()
+        .iter()
+        .map(|t| (t.seq, t.rel.index()))
+        .collect();
+    let mut want: Vec<(u64, usize)> = reference
+        .drain()
+        .iter()
+        .map(|t| (t.seq, t.rel.index()))
+        .collect();
     got.sort_unstable();
     want.sort_unstable();
     assert_eq!(got, want, "final drain diverges");

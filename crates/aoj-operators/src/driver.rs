@@ -1,9 +1,15 @@
-//! The experiment driver: assembles an operator on the simulated cluster,
+//! The experiment driver: assembles an operator on an execution backend,
 //! streams a workload through it, and produces a [`RunReport`].
 //!
 //! Topology (per §3.2 and Fig. 1c): `J` machines, each hosting one
 //! reshuffler task and one joiner task; reshuffler 0 doubles as the
 //! controller; one extra machine hosts the stream source.
+//!
+//! The driver is generic over [`ExecBackend`]: [`run`] picks the backend
+//! from [`RunConfig::backend`] — the deterministic simulator for
+//! reproducible paper figures, or `aoj-runtime`'s threaded backend for
+//! wall-clock measurements — and [`run_on`] accepts any backend the
+//! caller has built.
 
 use aoj_core::competitive::CompetitiveTracker;
 use aoj_core::decision::DecisionConfig;
@@ -14,12 +20,15 @@ use aoj_core::ticket::TicketGen;
 use aoj_core::tuple::Rel;
 use aoj_datagen::stream::Arrivals;
 use aoj_joinalg::SpillGauge;
-use aoj_simnet::{CostModel, NetworkConfig, Sim, SimConfig, SimTime, TaskId};
+use aoj_runtime::{Runtime, RuntimeConfig};
+use aoj_simnet::{CostModel, ExecBackend, NetworkConfig, Sim, SimConfig, SimTime, TaskId};
 
-use crate::joiner_task::JoinerTask;
+use crate::joiner_task::{JoinerTask, LatencyStats};
 use crate::messages::OpMsg;
 use crate::report::RunReport;
-use crate::reshuffler::{ControlEvent, ControllerState, ProgressRecorder, ProgressSample, ReshufflerTask};
+use crate::reshuffler::{
+    ControlEvent, ControllerState, ProgressRecorder, ProgressSample, ReshufflerTask,
+};
 use crate::shj::{ShjJoiner, ShjReshuffler};
 use crate::source::{SourcePacing, SourceTask};
 
@@ -49,6 +58,16 @@ impl OperatorKind {
     }
 }
 
+/// Which execution substrate a run uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BackendChoice {
+    /// The deterministic discrete-event simulator (virtual time,
+    /// bit-reproducible).
+    Sim,
+    /// `aoj-runtime`: one OS thread per machine, wall-clock time.
+    Threaded,
+}
+
 /// Configuration of one run.
 #[derive(Clone, Debug)]
 pub struct RunConfig {
@@ -56,6 +75,8 @@ pub struct RunConfig {
     pub j: u32,
     /// Which operator to run.
     pub kind: OperatorKind,
+    /// Which backend executes it.
+    pub backend: BackendChoice,
     /// Alg. 2 parameters (ε, warm-up) — `min_total` is in *bytes*.
     pub decision: DecisionConfig,
     /// Source pacing.
@@ -80,15 +101,20 @@ pub struct RunConfig {
     /// the `ablation-blocking` experiment; the paper's operator is
     /// non-blocking.
     pub blocking_migrations: bool,
+    /// Record every emitted pair's `(R seq, S seq)` identity in
+    /// [`RunReport::match_pairs`] — for cross-backend equivalence tests;
+    /// costs memory proportional to the output size.
+    pub collect_matches: bool,
 }
 
 impl RunConfig {
-    /// Sensible defaults for `j` joiners: saturating source, in-memory,
-    /// ε = 1, no warm-up gate.
+    /// Sensible defaults for `j` joiners: simulator backend, saturating
+    /// source, in-memory, ε = 1, no warm-up gate.
     pub fn new(j: u32, kind: OperatorKind) -> RunConfig {
         RunConfig {
             j,
             kind,
+            backend: BackendChoice::Sim,
             decision: DecisionConfig::default(),
             pacing: SourcePacing::saturating(),
             ram_budget: u64::MAX,
@@ -99,22 +125,75 @@ impl RunConfig {
             sample_every: 0, // derived from input size when 0
             window_copies: 64 * j as u64,
             blocking_migrations: false,
+            collect_matches: false,
         }
     }
 
-    /// Builder: set the Alg. 2 warm-up in tuples, converted to bytes with
-    /// the workload's mean tuple size by [`run`].
+    /// Builder: set the per-joiner RAM budget in bytes.
     pub fn with_ram_budget(mut self, bytes: u64) -> RunConfig {
         self.ram_budget = bytes;
         self
     }
+
+    /// Builder: select the execution backend.
+    pub fn with_backend(mut self, backend: BackendChoice) -> RunConfig {
+        self.backend = backend;
+        self
+    }
 }
 
-/// Run `kind` over the arrival sequence and return the report.
-pub fn run(arrivals: &Arrivals, predicate: &Predicate, workload_name: &str, cfg: &RunConfig) -> RunReport {
+/// Run `kind` over the arrival sequence on the configured backend and
+/// return the report.
+pub fn run(
+    arrivals: &Arrivals,
+    predicate: &Predicate,
+    workload_name: &str,
+    cfg: &RunConfig,
+) -> RunReport {
+    match cfg.backend {
+        BackendChoice::Sim => {
+            let mut sim: Sim<OpMsg> = Sim::new(SimConfig {
+                network: cfg.network,
+                machine: Default::default(),
+                deadline: None,
+            });
+            run_on(&mut sim, arrivals, predicate, workload_name, cfg)
+        }
+        BackendChoice::Threaded => {
+            let mut rt_cfg = RuntimeConfig::default();
+            // Keep the mailbox bound above the flow-control window so
+            // backpressure binds at the source, and overflowing the
+            // bound (the mailbox's bounded-wait escape hatch) stays a
+            // rare event rather than the steady state.
+            if cfg.window_copies > 0 {
+                rt_cfg.data_queue_capacity = rt_cfg
+                    .data_queue_capacity
+                    .max(4 * cfg.window_copies as usize);
+            }
+            let mut rt: Runtime<OpMsg> = Runtime::new(rt_cfg);
+            run_on(&mut rt, arrivals, predicate, workload_name, cfg)
+        }
+    }
+}
+
+/// Run `cfg.kind` on a caller-provided backend.
+///
+/// The backend's own scheduling configuration applies. Note that
+/// `cfg.network` is still consulted for the **source machine's** egress
+/// (scaled to model `J` parallel upstream feeds) on backends with a
+/// network model — callers constructing a simulator with a custom
+/// [`NetworkConfig`] should set `cfg.network` to match, as [`run`]
+/// does. Backends without a network model ignore it.
+pub fn run_on<B: ExecBackend<OpMsg>>(
+    backend: &mut B,
+    arrivals: &Arrivals,
+    predicate: &Predicate,
+    workload_name: &str,
+    cfg: &RunConfig,
+) -> RunReport {
     match cfg.kind {
-        OperatorKind::Shj => run_shj(arrivals, workload_name, cfg),
-        _ => run_grid(arrivals, predicate, workload_name, cfg),
+        OperatorKind::Shj => run_shj(backend, arrivals, workload_name, cfg),
+        _ => run_grid(backend, arrivals, predicate, workload_name, cfg),
     }
 }
 
@@ -139,13 +218,55 @@ fn sample_every(cfg: &RunConfig, total: usize) -> u64 {
     }
 }
 
-fn run_grid(
+/// The post-run progress timeline, or empty on backends whose mid-run
+/// metrics are per-worker shards (cluster-wide samples would be wrong
+/// there; see [`ExecBackend::has_global_metrics_view`]).
+fn progress_samples<B: ExecBackend<OpMsg>>(backend: &B) -> Vec<ProgressSample> {
+    if !backend.has_global_metrics_view() {
+        return Vec::new();
+    }
+    backend
+        .metrics()
+        .progress
+        .iter()
+        .map(|p| ProgressSample {
+            seq: p.processed,
+            at: p.at,
+            max_stored_bytes: p.max_stored,
+            total_stored_bytes: p.total_stored,
+        })
+        .collect()
+}
+
+/// Build the `J + 1` machines: one per joiner pair, plus the source
+/// machine whose egress models `J` parallel upstream feeds.
+fn add_machines<B: ExecBackend<OpMsg>>(
+    backend: &mut B,
+    cfg: &RunConfig,
+) -> Vec<aoj_simnet::MachineId> {
+    let j = cfg.j as usize;
+    let mut machines: Vec<_> = (0..j).map(|_| backend.add_machine()).collect();
+    // The source stands in for J parallel upstream feeds (previous query
+    // stages), not a single NIC: scale its egress accordingly so the
+    // operator, not the feed, is the bottleneck. (The threaded backend
+    // has no NIC model and ignores this.)
+    let mut src_net = cfg.network;
+    src_net.bytes_per_us = src_net.bytes_per_us.saturating_mul(cfg.j as u64);
+    machines.push(backend.add_machine_with_network(src_net));
+    machines
+}
+
+fn run_grid<B: ExecBackend<OpMsg>>(
+    backend: &mut B,
     arrivals: &Arrivals,
     predicate: &Predicate,
     workload_name: &str,
     cfg: &RunConfig,
 ) -> RunReport {
-    assert!(cfg.j.is_power_of_two(), "grid operators need a power-of-two J");
+    assert!(
+        cfg.j.is_power_of_two(),
+        "grid operators need a power-of-two J"
+    );
     let initial = match cfg.kind {
         OperatorKind::Dynamic | OperatorKind::StaticMid => Mapping::square(cfg.j),
         OperatorKind::StaticOpt => {
@@ -156,20 +277,9 @@ fn run_grid(
     };
     let adaptive = cfg.kind == OperatorKind::Dynamic;
 
-    let mut sim: Sim<OpMsg> = Sim::new(SimConfig {
-        network: cfg.network,
-        machine: Default::default(),
-        deadline: None,
-    });
-    sim.metrics_mut().sample_spacing = sample_every(cfg, arrivals.len());
+    backend.metrics_mut().sample_spacing = sample_every(cfg, arrivals.len());
     let j = cfg.j as usize;
-    let mut machines: Vec<_> = (0..j).map(|_| sim.add_machine()).collect();
-    // The source stands in for J parallel upstream feeds (previous query
-    // stages), not a single NIC: scale its egress accordingly so the
-    // operator, not the feed, is the bottleneck.
-    let mut src_net = cfg.network;
-    src_net.bytes_per_us = src_net.bytes_per_us.saturating_mul(cfg.j as u64);
-    machines.push(sim.add_machine_with_network(src_net));
+    let machines = add_machines(backend, cfg);
     let reshuffler_ids: Vec<TaskId> = (0..j).map(TaskId).collect();
     let joiner_ids: Vec<TaskId> = (j..2 * j).map(TaskId).collect();
     let source_id = TaskId(2 * j);
@@ -201,11 +311,11 @@ fn run_grid(
             stall_buffer: Vec::new(),
             routed: 0,
         };
-        let id = sim.add_task(machines[i], Box::new(task));
+        let id = backend.add_task(machines[i], Box::new(task));
         debug_assert_eq!(id, reshuffler_ids[i]);
     }
     for i in 0..j {
-        let task = JoinerTask::new(
+        let mut task = JoinerTask::new(
             i,
             predicate.clone(),
             j,
@@ -216,7 +326,8 @@ fn run_grid(
             SpillGauge::new(cfg.ram_budget, cfg.spill_penalty),
             cfg.cost,
         );
-        let id = sim.add_task(machines[i], Box::new(task));
+        task.collect_matches = cfg.collect_matches;
+        let id = backend.add_task(machines[i], Box::new(task));
         debug_assert_eq!(id, joiner_ids[i]);
     }
     let src = SourceTask::new(
@@ -225,51 +336,50 @@ fn run_grid(
         cfg.pacing,
         cfg.window_copies,
     );
-    let id = sim.add_task(machines[j], Box::new(src));
+    let id = backend.add_task(machines[j], Box::new(src));
     debug_assert_eq!(id, source_id);
-    sim.start_timer_at(SimTime::ZERO, source_id, SourceTask::TICK);
+    backend.start_timer_at(SimTime::ZERO, source_id, SourceTask::TICK);
 
-    let end = sim.run();
+    let end = backend.run();
 
     // Collect joiner-side stats.
     let mut matches = 0u64;
-    let mut lat_sum = 0u64;
-    let mut lat_count = 0u64;
-    let mut lat_max = 0u64;
+    let mut latency = LatencyStats::default();
     let mut migration_bytes = 0u64;
+    let mut match_pairs: Vec<(u64, u64)> = Vec::new();
     for &jid in &joiner_ids {
-        let jt = sim.task_ref::<JoinerTask>(jid);
+        let jt = backend.task_ref::<JoinerTask>(jid);
         matches += jt.matches;
-        lat_sum += jt.latency.sum_us;
-        lat_count += jt.latency.count;
-        lat_max = lat_max.max(jt.latency.max_us);
+        latency.merge(&jt.latency);
         migration_bytes += jt.migration_bytes_in;
+        match_pairs.extend_from_slice(&jt.match_log);
     }
-    let controller = sim.task_ref::<ReshufflerTask>(reshuffler_ids[0]);
-    let ctrl = controller.controller.as_ref().expect("reshuffler 0 is the controller");
+    match_pairs.sort_unstable();
+    let controller = backend.task_ref::<ReshufflerTask>(reshuffler_ids[0]);
+    let ctrl = controller
+        .controller
+        .as_ref()
+        .expect("reshuffler 0 is the controller");
     let events = ctrl.events.clone();
     // The routing-side samples drive the competitive trace (they map to
-    // arrival prefixes); the processing-side timeline below drives the
-    // ILF/progress figures.
-    let routing_samples = ctrl.recorder.samples.clone();
-    let samples: Vec<ProgressSample> = sim
-        .metrics()
-        .progress
-        .iter()
-        .map(|p| ProgressSample {
-            seq: p.processed,
-            at: p.at,
-            max_stored_bytes: p.max_stored,
-            total_stored_bytes: p.total_stored,
-        })
-        .collect();
+    // arrival prefixes); the processing-side timeline drives the
+    // ILF/progress figures. Both read cluster-wide storage gauges from
+    // *inside* handlers, which is only meaningful when the backend has a
+    // global metrics view — on sharded backends the readings would be
+    // per-worker approximations, so report none rather than wrong ones.
+    let routing_samples = if backend.has_global_metrics_view() {
+        ctrl.recorder.samples.clone()
+    } else {
+        Vec::new()
+    };
+    let samples = progress_samples(backend);
     let final_mapping = controller.assign.mapping();
     let migrations = events
         .iter()
         .filter(|e| matches!(e, ControlEvent::Complete { .. }))
         .count() as u64;
 
-    let metrics = sim.metrics();
+    let metrics = backend.metrics();
     let total_storage: u64 = metrics.total_stored_bytes();
     let max_ilf = metrics.max_stored_bytes();
     let max_spilled = metrics
@@ -283,6 +393,7 @@ fn run_grid(
 
     RunReport {
         operator: cfg.kind.label(),
+        backend: backend.backend_name(),
         workload: workload_name.to_string(),
         j: cfg.j,
         input_tuples: arrivals.len() as u64,
@@ -297,32 +408,32 @@ fn run_grid(
         migration_bytes,
         migrations,
         max_spilled_bytes: max_spilled,
-        avg_latency_us: if lat_count == 0 { 0.0 } else { lat_sum as f64 / lat_count as f64 },
-        max_latency_us: lat_max,
+        avg_latency_us: latency.avg_us(),
+        p50_latency_us: latency.percentile_us(0.50),
+        p99_latency_us: latency.percentile_us(0.99),
+        max_latency_us: latency.max_us,
         final_mapping,
         samples,
         events,
         competitive,
+        match_pairs,
     }
 }
 
-fn run_shj(arrivals: &Arrivals, workload_name: &str, cfg: &RunConfig) -> RunReport {
-    let mut sim: Sim<OpMsg> = Sim::new(SimConfig {
-        network: cfg.network,
-        machine: Default::default(),
-        deadline: None,
-    });
-    sim.metrics_mut().sample_spacing = sample_every(cfg, arrivals.len());
+fn run_shj<B: ExecBackend<OpMsg>>(
+    backend: &mut B,
+    arrivals: &Arrivals,
+    workload_name: &str,
+    cfg: &RunConfig,
+) -> RunReport {
+    backend.metrics_mut().sample_spacing = sample_every(cfg, arrivals.len());
     let j = cfg.j as usize;
-    let mut machines: Vec<_> = (0..j).map(|_| sim.add_machine()).collect();
-    let mut src_net = cfg.network;
-    src_net.bytes_per_us = src_net.bytes_per_us.saturating_mul(cfg.j as u64);
-    machines.push(sim.add_machine_with_network(src_net));
+    let machines = add_machines(backend, cfg);
     let reshuffler_ids: Vec<TaskId> = (0..j).map(TaskId).collect();
     let joiner_ids: Vec<TaskId> = (j..2 * j).map(TaskId).collect();
 
     let source_id = TaskId(2 * j);
-    for i in 0..j {
+    for (i, &machine) in machines.iter().enumerate().take(j) {
         let task = ShjReshuffler {
             joiner_tasks: joiner_ids.clone(),
             cost: cfg.cost,
@@ -330,16 +441,17 @@ fn run_shj(arrivals: &Arrivals, workload_name: &str, cfg: &RunConfig) -> RunRepo
             routed: 0,
             recorder: (i == 0).then(|| ProgressRecorder::new(sample_every(cfg, arrivals.len()))),
         };
-        sim.add_task(machines[i], Box::new(task));
+        backend.add_task(machine, Box::new(task));
     }
-    for i in 0..j {
-        let task = ShjJoiner::new(
-            machines[i],
+    for &machine in machines.iter().take(j) {
+        let mut task = ShjJoiner::new(
+            machine,
             cfg.cost,
             SpillGauge::new(cfg.ram_budget, cfg.spill_penalty),
             source_id,
         );
-        sim.add_task(machines[i], Box::new(task));
+        task.collect_matches = cfg.collect_matches;
+        backend.add_task(machine, Box::new(task));
     }
     let src = SourceTask::new(
         arrivals.clone(),
@@ -347,35 +459,24 @@ fn run_shj(arrivals: &Arrivals, workload_name: &str, cfg: &RunConfig) -> RunRepo
         cfg.pacing,
         cfg.window_copies,
     );
-    let id = sim.add_task(machines[j], Box::new(src));
+    let id = backend.add_task(machines[j], Box::new(src));
     debug_assert_eq!(id, source_id);
-    sim.start_timer_at(SimTime::ZERO, source_id, SourceTask::TICK);
+    backend.start_timer_at(SimTime::ZERO, source_id, SourceTask::TICK);
 
-    let end = sim.run();
+    let end = backend.run();
 
     let mut matches = 0u64;
-    let mut lat_sum = 0u64;
-    let mut lat_count = 0u64;
-    let mut lat_max = 0u64;
+    let mut latency = LatencyStats::default();
+    let mut match_pairs: Vec<(u64, u64)> = Vec::new();
     for &jid in &joiner_ids {
-        let jt = sim.task_ref::<ShjJoiner>(jid);
+        let jt = backend.task_ref::<ShjJoiner>(jid);
         matches += jt.matches;
-        lat_sum += jt.latency.sum_us;
-        lat_count += jt.latency.count;
-        lat_max = lat_max.max(jt.latency.max_us);
+        latency.merge(&jt.latency);
+        match_pairs.extend_from_slice(&jt.match_log);
     }
-    let samples: Vec<ProgressSample> = sim
-        .metrics()
-        .progress
-        .iter()
-        .map(|p| ProgressSample {
-            seq: p.processed,
-            at: p.at,
-            max_stored_bytes: p.max_stored,
-            total_stored_bytes: p.total_stored,
-        })
-        .collect();
-    let metrics = sim.metrics();
+    match_pairs.sort_unstable();
+    let samples = progress_samples(backend);
+    let metrics = backend.metrics();
     let max_spilled = metrics
         .machines()
         .iter()
@@ -385,6 +486,7 @@ fn run_shj(arrivals: &Arrivals, workload_name: &str, cfg: &RunConfig) -> RunRepo
 
     RunReport {
         operator: OperatorKind::Shj.label(),
+        backend: backend.backend_name(),
         workload: workload_name.to_string(),
         j: cfg.j,
         input_tuples: arrivals.len() as u64,
@@ -399,12 +501,15 @@ fn run_shj(arrivals: &Arrivals, workload_name: &str, cfg: &RunConfig) -> RunRepo
         migration_bytes: 0,
         migrations: 0,
         max_spilled_bytes: max_spilled,
-        avg_latency_us: if lat_count == 0 { 0.0 } else { lat_sum as f64 / lat_count as f64 },
-        max_latency_us: lat_max,
+        avg_latency_us: latency.avg_us(),
+        p50_latency_us: latency.percentile_us(0.50),
+        p99_latency_us: latency.percentile_us(0.99),
+        max_latency_us: latency.max_us,
         final_mapping: Mapping::new(1, 1),
         samples,
         events: Vec::new(),
         competitive: Vec::new(),
+        match_pairs,
     }
 }
 

@@ -67,9 +67,22 @@ pub struct GroupedReshuffler {
 impl Process<OpMsg> for GroupedReshuffler {
     fn on_message(&mut self, ctx: &mut Ctx<'_, OpMsg>, _from: TaskId, msg: OpMsg) -> SimDuration {
         match msg {
-            OpMsg::Ingest { rel, key, aux, bytes, seq } => {
+            OpMsg::Ingest {
+                rel,
+                key,
+                aux,
+                bytes,
+                seq,
+            } => {
                 let ticket = self.tickets.next();
-                let t = Tuple { seq, rel, key, aux, bytes, ticket };
+                let t = Tuple {
+                    seq,
+                    rel,
+                    key,
+                    aux,
+                    bytes,
+                    ticket,
+                };
                 let arrived = ctx.now();
                 // Storage group: independent uniform hash, ranges
                 // proportional to group sizes (P_g = J_g / J).
@@ -86,7 +99,12 @@ impl Process<OpMsg> for GroupedReshuffler {
                                 let mach = base + (row * mp.m + c) as usize;
                                 ctx.send(
                                     self.joiner_tasks[mach],
-                                    OpMsg::Data { tag: 0, t, arrived, store },
+                                    OpMsg::Data {
+                                        tag: 0,
+                                        t,
+                                        arrived,
+                                        store,
+                                    },
                                 );
                                 copies += 1;
                             }
@@ -97,7 +115,12 @@ impl Process<OpMsg> for GroupedReshuffler {
                                 let mach = base + (r * mp.m + col) as usize;
                                 ctx.send(
                                     self.joiner_tasks[mach],
-                                    OpMsg::Data { tag: 0, t, arrived, store },
+                                    OpMsg::Data {
+                                        tag: 0,
+                                        t,
+                                        arrived,
+                                        store,
+                                    },
                                 );
                                 copies += 1;
                             }
@@ -172,7 +195,12 @@ impl GroupedJoiner {
     /// Emit rule: a pair is emitted only at the machine where its
     /// *earlier* tuple is a storage copy. `incoming_store`/`resident_store`
     /// say whether each copy is a storage copy at this machine.
-    fn should_emit(incoming: &Tuple, incoming_store: bool, resident: &Tuple, resident_store: bool) -> bool {
+    fn should_emit(
+        incoming: &Tuple,
+        incoming_store: bool,
+        resident: &Tuple,
+        resident_store: bool,
+    ) -> bool {
         if incoming.seq < resident.seq {
             incoming_store
         } else {
@@ -189,7 +217,9 @@ impl GroupedJoiner {
 impl Process<OpMsg> for GroupedJoiner {
     fn on_message(&mut self, ctx: &mut Ctx<'_, OpMsg>, _from: TaskId, msg: OpMsg) -> SimDuration {
         match msg {
-            OpMsg::Data { t, arrived, store, .. } => {
+            OpMsg::Data {
+                t, arrived, store, ..
+            } => {
                 self.max_seq_seen = self.max_seq_seen.max(t.seq);
                 let mut matches = 0u64;
                 // Probe the stored state (resident copies are storage
@@ -228,7 +258,12 @@ impl Process<OpMsg> for GroupedJoiner {
                 ctx.metrics().note_data_processed(1, now);
                 self.unacked_credits += 1;
                 if self.unacked_credits >= 8 {
-                    ctx.send(self.source, OpMsg::ProcessedCopies { n: self.unacked_credits });
+                    ctx.send(
+                        self.source,
+                        OpMsg::ProcessedCopies {
+                            n: self.unacked_credits,
+                        },
+                    );
                     self.unacked_credits = 0;
                 }
                 let base = self
@@ -261,12 +296,7 @@ pub struct GroupedReport {
 
 /// Run the static grouped operator over `arrivals` on `j` machines
 /// (`j ≥ 1`, any value).
-pub fn run_grouped(
-    arrivals: &Arrivals,
-    predicate: &Predicate,
-    j: u32,
-    seed: u64,
-) -> GroupedReport {
+pub fn run_grouped(arrivals: &Arrivals, predicate: &Predicate, j: u32, seed: u64) -> GroupedReport {
     let groups = GroupSet::decompose(j);
     let (r_bytes, s_bytes) = stream_bytes(arrivals);
     let mappings = groups.optimal_mappings(r_bytes.max(1), s_bytes.max(1));
@@ -283,7 +313,7 @@ pub fn run_grouped(
     let source_id = TaskId(2 * jm);
     let window = 64 * j as u64;
 
-    for i in 0..jm {
+    for (i, &machine) in machines.iter().enumerate().take(jm) {
         let task = GroupedReshuffler {
             groups: groups.clone(),
             mappings: mappings.clone(),
@@ -293,19 +323,19 @@ pub fn run_grouped(
             cost: Default::default(),
             source: source_id,
         };
-        sim.add_task(machines[i], Box::new(task));
+        sim.add_task(machine, Box::new(task));
     }
-    for i in 0..jm {
+    for &machine in machines.iter().take(jm) {
         let task = GroupedJoiner::new(
             predicate.clone(),
-            machines[i],
+            machine,
             Default::default(),
             source_id,
             // Retention must cover everything the flow-control window can
             // keep in flight; 4x is a comfortable safety margin.
             window * 4,
         );
-        sim.add_task(machines[i], Box::new(task));
+        sim.add_task(machine, Box::new(task));
     }
     let src = SourceTask::new(
         arrivals.clone(),

@@ -6,7 +6,7 @@ use aoj_core::epoch::EpochJoiner;
 use aoj_core::index::ProbeStats;
 use aoj_core::migration::MachineStepSpec;
 use aoj_core::predicate::Predicate;
-use aoj_core::tuple::Tuple;
+use aoj_core::tuple::{Rel, Tuple};
 use aoj_joinalg::{index_for, SpillGauge};
 use aoj_simnet::{Ctx, MachineId, Process, SimDuration, TaskId};
 
@@ -15,9 +15,23 @@ use crate::messages::OpMsg;
 /// How many tuples ride in one migration batch message.
 pub const MIG_BATCH_TUPLES: usize = 64;
 
-/// Latency statistics kept by each joiner (sum/count/max over per-arrival
-/// samples; the paper reports averages in Fig. 7b).
-#[derive(Clone, Copy, Debug, Default)]
+/// Canonical identity of one emitted join pair: `(R seq, S seq)`.
+/// Backend-independent, so match multisets can be compared across the
+/// simulator and the threaded runtime.
+pub fn pair_key(a: &Tuple, b: &Tuple) -> (u64, u64) {
+    if a.rel == Rel::R {
+        (a.seq, b.seq)
+    } else {
+        (b.seq, a.seq)
+    }
+}
+
+const LATENCY_BUCKETS: usize = 32;
+
+/// Latency statistics kept by each joiner: sum/count/max plus a log₂
+/// histogram for percentile estimates (the paper reports averages in
+/// Fig. 7b; the wall-clock benchmark also wants p50/p99).
+#[derive(Clone, Copy, Debug)]
 pub struct LatencyStats {
     /// Sum of sampled latencies in microseconds.
     pub sum_us: u64,
@@ -25,6 +39,19 @@ pub struct LatencyStats {
     pub count: u64,
     /// Maximum sampled latency.
     pub max_us: u64,
+    /// `buckets[k]` counts samples with `floor(log2(us)) == k`.
+    buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        LatencyStats {
+            sum_us: 0,
+            count: 0,
+            max_us: 0,
+            buckets: [0; LATENCY_BUCKETS],
+        }
+    }
 }
 
 impl LatencyStats {
@@ -35,6 +62,8 @@ impl LatencyStats {
         if us > self.max_us {
             self.max_us = us;
         }
+        let idx = (63 - us.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[idx] += 1;
     }
 
     /// Average latency in microseconds (0 when no samples).
@@ -44,6 +73,35 @@ impl LatencyStats {
         } else {
             self.sum_us as f64 / self.count as f64
         }
+    }
+
+    /// Fold another joiner's samples into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.sum_us += other.sum_us;
+        self.count += other.count;
+        self.max_us = self.max_us.max(other.max_us);
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+    }
+
+    /// Approximate `q`-quantile (`0 < q <= 1`) in microseconds: the upper
+    /// bound of the histogram bucket holding the rank, clamped to the
+    /// observed maximum. Log₂ buckets bound the relative error at 2x.
+    pub fn percentile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = (2u64 << idx) - 1;
+                return upper.min(self.max_us);
+            }
+        }
+        self.max_us
     }
 }
 
@@ -67,6 +125,11 @@ pub struct JoinerTask {
     pub cost: aoj_simnet::CostModel,
     /// Matches emitted by this joiner.
     pub matches: u64,
+    /// When set, every emitted pair's identity is appended to
+    /// [`match_log`](JoinerTask::match_log) (backend-equivalence tests).
+    pub collect_matches: bool,
+    /// Emitted pair identities, `(R seq, S seq)`, when collection is on.
+    pub match_log: Vec<(u64, u64)>,
     /// Latency samples.
     pub latency: LatencyStats,
     /// Tuples received as migration state.
@@ -108,6 +171,8 @@ impl JoinerTask {
             machine,
             cost,
             matches: 0,
+            collect_matches: false,
+            match_log: Vec::new(),
             latency: LatencyStats::default(),
             migration_tuples_in: 0,
             migration_bytes_in: 0,
@@ -125,7 +190,12 @@ impl JoinerTask {
     fn return_credit(&mut self, ctx: &mut Ctx<'_, OpMsg>) {
         self.unacked_credits += 1;
         if self.unacked_credits >= Self::CREDIT_BATCH {
-            ctx.send(self.source, OpMsg::ProcessedCopies { n: self.unacked_credits });
+            ctx.send(
+                self.source,
+                OpMsg::ProcessedCopies {
+                    n: self.unacked_credits,
+                },
+            );
             self.unacked_credits = 0;
         }
     }
@@ -193,9 +263,18 @@ impl JoinerTask {
 impl Process<OpMsg> for JoinerTask {
     fn on_message(&mut self, ctx: &mut Ctx<'_, OpMsg>, _from: TaskId, msg: OpMsg) -> SimDuration {
         match msg {
-            OpMsg::Data { tag, t, arrived, .. } => {
+            OpMsg::Data {
+                tag, t, arrived, ..
+            } => {
                 let mut matches = 0u64;
-                let outcome = self.epoch.on_data(tag, t, &mut |_, _| matches += 1);
+                let collect = self.collect_matches;
+                let match_log = &mut self.match_log;
+                let outcome = self.epoch.on_data(tag, t, &mut |a, b| {
+                    matches += 1;
+                    if collect {
+                        match_log.push(pair_key(a, b));
+                    }
+                });
                 self.matches += matches;
                 if matches > 0 {
                     self.latency.record(ctx.now().since(arrived).as_micros());
@@ -223,9 +302,8 @@ impl Process<OpMsg> for JoinerTask {
                     let snapshot = self.epoch.migration_snapshot();
                     // Serialising the snapshot costs CPU proportional to
                     // its size; transmission time is paid by the NIC.
-                    cost += SimDuration::from_micros(
-                        snapshot.len() as u64 * self.cost.store_us / 4,
-                    );
+                    cost +=
+                        SimDuration::from_micros(snapshot.len() as u64 * self.cost.store_us / 4);
                     self.out_batch.extend(snapshot);
                     self.flush_batch(ctx, false);
                 }
@@ -239,10 +317,17 @@ impl Process<OpMsg> for JoinerTask {
                 let n = tuples.len() as u64;
                 let mut stats = ProbeStats::default();
                 let mut matches = 0u64;
+                let collect = self.collect_matches;
                 for t in tuples {
                     self.migration_tuples_in += 1;
                     self.migration_bytes_in += t.bytes as u64;
-                    stats += self.epoch.on_migration_tuple(t, &mut |_, _| matches += 1);
+                    let match_log = &mut self.match_log;
+                    stats += self.epoch.on_migration_tuple(t, &mut |a, b| {
+                        matches += 1;
+                        if collect {
+                            match_log.push(pair_key(a, b));
+                        }
+                    });
                 }
                 self.matches += matches;
                 self.refresh_storage_metrics(ctx);

@@ -26,7 +26,7 @@ pub mod reshuffler;
 pub mod shj;
 pub mod source;
 
-pub use driver::{run, OperatorKind, RunConfig};
+pub use driver::{run, run_on, BackendChoice, OperatorKind, RunConfig};
 pub use grouped::{run_grouped, GroupedReport};
 pub use messages::OpMsg;
 pub use report::{human_bytes, RunReport};

@@ -159,7 +159,9 @@ mod tests {
     #[test]
     fn batch_bytes_sum_payloads() {
         let t = Tuple::new(Rel::R, 0, 0, 0).with_bytes(100);
-        let m = OpMsg::MigBatch { tuples: vec![t, t, t] };
+        let m = OpMsg::MigBatch {
+            tuples: vec![t, t, t],
+        };
         assert_eq!(m.bytes(), 3 * (100 + 16));
     }
 

@@ -12,6 +12,8 @@ use crate::reshuffler::{ControlEvent, ProgressSample};
 pub struct RunReport {
     /// Operator label ("Dynamic", "StaticMid", …).
     pub operator: &'static str,
+    /// Execution backend the run used ("sim", "threaded").
+    pub backend: &'static str,
     /// Workload label ("EQ5", …).
     pub workload: String,
     /// Joiners used.
@@ -42,6 +44,11 @@ pub struct RunReport {
     pub max_spilled_bytes: u64,
     /// Average match latency in microseconds (paper Fig. 7b).
     pub avg_latency_us: f64,
+    /// Median match latency in microseconds (log₂-bucket estimate).
+    pub p50_latency_us: u64,
+    /// 99th-percentile match latency in microseconds (log₂-bucket
+    /// estimate). Wall-clock-meaningful under the threaded backend.
+    pub p99_latency_us: u64,
     /// Maximum sampled latency.
     pub max_latency_us: u64,
     /// Final mapping the operator ran with.
@@ -52,6 +59,9 @@ pub struct RunReport {
     pub events: Vec<ControlEvent>,
     /// `ILF/ILF*` trace (adaptive runs; empty otherwise).
     pub competitive: Vec<RatioSample>,
+    /// Emitted pair identities `(R seq, S seq)`, sorted — only filled
+    /// when `RunConfig::collect_matches` is set (equivalence testing).
+    pub match_pairs: Vec<(u64, u64)>,
 }
 
 impl RunReport {
@@ -97,6 +107,25 @@ impl RunReport {
             self.migrations,
             self.avg_latency_us / 1000.0,
             if self.overflowed() { " *SPILL*" } else { "" }
+        )
+    }
+
+    /// Summary including the backend and wall-clock percentiles, for the
+    /// wall-clock benchmark output.
+    pub fn wallclock_summary(&self) -> String {
+        format!(
+            "{:<10} [{:>8}] {:<6} J={:<3} time={:>8.3}s thpt={:>12.0} t/s \
+             p50={:>6}us p99={:>6}us moved={:>10} migs={}",
+            self.operator,
+            self.backend,
+            self.workload,
+            self.j,
+            self.exec_secs(),
+            self.throughput,
+            self.p50_latency_us,
+            self.p99_latency_us,
+            human_bytes(self.network_bytes),
+            self.migrations,
         )
     }
 }

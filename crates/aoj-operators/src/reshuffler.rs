@@ -152,7 +152,13 @@ pub struct ReshufflerTask {
 
 impl ControllerState {
     /// Fresh controller state for `j` joiners starting at `initial`.
-    pub fn new(j: u32, initial: Mapping, cfg: DecisionConfig, adaptive: bool, sample_every: u64) -> Self {
+    pub fn new(
+        j: u32,
+        initial: Mapping,
+        cfg: DecisionConfig,
+        adaptive: bool,
+        sample_every: u64,
+    ) -> Self {
         ControllerState {
             decider: MigrationDecider::new(j, initial, cfg),
             adaptive,
@@ -193,7 +199,15 @@ impl ReshufflerTask {
                 let row = partition(ticket, mp.n);
                 for c in 0..mp.m {
                     let mach = self.assign.machine_at(row, c);
-                    ctx.send(self.joiner_tasks[mach], OpMsg::Data { tag: self.epoch, t, arrived, store: true });
+                    ctx.send(
+                        self.joiner_tasks[mach],
+                        OpMsg::Data {
+                            tag: self.epoch,
+                            t,
+                            arrived,
+                            store: true,
+                        },
+                    );
                 }
                 mp.m
             }
@@ -201,7 +215,15 @@ impl ReshufflerTask {
                 let col = partition(ticket, mp.m);
                 for r in 0..mp.n {
                     let mach = self.assign.machine_at(r, col);
-                    ctx.send(self.joiner_tasks[mach], OpMsg::Data { tag: self.epoch, t, arrived, store: true });
+                    ctx.send(
+                        self.joiner_tasks[mach],
+                        OpMsg::Data {
+                            tag: self.epoch,
+                            t,
+                            arrived,
+                            store: true,
+                        },
+                    );
                 }
                 mp.n
             }
@@ -257,7 +279,13 @@ impl ReshufflerTask {
 impl Process<OpMsg> for ReshufflerTask {
     fn on_message(&mut self, ctx: &mut Ctx<'_, OpMsg>, _from: TaskId, msg: OpMsg) -> SimDuration {
         match msg {
-            OpMsg::Ingest { rel, key, aux, bytes, seq } => {
+            OpMsg::Ingest {
+                rel,
+                key,
+                aux,
+                bytes,
+                seq,
+            } => {
                 // Alg. 1 lines 3/5 ("scaled increment"): the controller
                 // sees ~1/J of the uniformly shuffled stream and scales
                 // its local sample by J to estimate global cardinalities
@@ -266,14 +294,16 @@ impl Process<OpMsg> for ReshufflerTask {
                 // comes for free.
                 if let Some(ctrl) = self.controller.as_mut() {
                     let scale = self.assign.j() as u64;
-                    ctrl.decider.observe_only(rel == Rel::R, bytes as u64 * scale);
+                    ctrl.decider
+                        .observe_only(rel == Rel::R, bytes as u64 * scale);
                     ctrl.last_seq = seq;
                     ctrl.recorder.maybe_sample(seq, ctx);
                 }
                 if self.stalled {
                     // Blocking baseline: hold the tuple until relocation
                     // completes; its latency clock keeps running.
-                    self.stall_buffer.push((rel, key, aux, bytes, seq, ctx.now()));
+                    self.stall_buffer
+                        .push((rel, key, aux, bytes, seq, ctx.now()));
                     return SimDuration::from_micros(1);
                 }
                 let arrived = ctx.now();
@@ -332,7 +362,10 @@ impl Process<OpMsg> for ReshufflerTask {
                 ctrl.acks_pending -= 1;
                 if ctrl.acks_pending == 0 {
                     ctrl.in_flight = false;
-                    ctrl.events.push(ControlEvent::Complete { at: ctx.now(), epoch });
+                    ctrl.events.push(ControlEvent::Complete {
+                        at: ctx.now(),
+                        epoch,
+                    });
                     let _ = now_mapping;
                     if self.blocking {
                         for &r in &self.reshuffler_tasks {

@@ -11,7 +11,7 @@ use aoj_core::tuple::Tuple;
 use aoj_joinalg::{SpillGauge, SymmetricHashIndex};
 use aoj_simnet::{Ctx, MachineId, Process, SimDuration, TaskId};
 
-use crate::joiner_task::LatencyStats;
+use crate::joiner_task::{pair_key, LatencyStats};
 use crate::messages::OpMsg;
 use crate::reshuffler::ProgressRecorder;
 
@@ -32,7 +32,13 @@ pub struct ShjReshuffler {
 impl Process<OpMsg> for ShjReshuffler {
     fn on_message(&mut self, ctx: &mut Ctx<'_, OpMsg>, _from: TaskId, msg: OpMsg) -> SimDuration {
         match msg {
-            OpMsg::Ingest { rel, key, aux, bytes, seq } => {
+            OpMsg::Ingest {
+                rel,
+                key,
+                aux,
+                bytes,
+                seq,
+            } => {
                 if let Some(rec) = self.recorder.as_mut() {
                     rec.maybe_sample(seq, ctx);
                 }
@@ -47,7 +53,15 @@ impl Process<OpMsg> for ShjReshuffler {
                     ticket: mix64(seq),
                 };
                 let arrived = ctx.now();
-                ctx.send(self.joiner_tasks[dst], OpMsg::Data { tag: 0, t, arrived, store: true });
+                ctx.send(
+                    self.joiner_tasks[dst],
+                    OpMsg::Data {
+                        tag: 0,
+                        t,
+                        arrived,
+                        store: true,
+                    },
+                );
                 ctx.send(self.source, OpMsg::RoutedCopies { n: 1 });
                 self.routed += 1;
                 SimDuration::from_micros(self.cost.recv_overhead_us + self.cost.store_us / 2)
@@ -71,6 +85,10 @@ pub struct ShjJoiner {
     pub source: TaskId,
     /// Matches emitted.
     pub matches: u64,
+    /// When set, emitted pair identities are appended to `match_log`.
+    pub collect_matches: bool,
+    /// Emitted pair identities, `(R seq, S seq)`, when collection is on.
+    pub match_log: Vec<(u64, u64)>,
     /// Latency samples.
     pub latency: LatencyStats,
     /// Credits accumulated but not yet returned.
@@ -92,6 +110,8 @@ impl ShjJoiner {
             cost,
             source,
             matches: 0,
+            collect_matches: false,
+            match_log: Vec::new(),
             latency: LatencyStats::default(),
             unacked_credits: 0,
         }
@@ -103,7 +123,14 @@ impl Process<OpMsg> for ShjJoiner {
         match msg {
             OpMsg::Data { t, arrived, .. } => {
                 let mut matches = 0u64;
-                let stats: ProbeStats = self.index.probe(&t, &mut |_| matches += 1);
+                let collect = self.collect_matches;
+                let match_log = &mut self.match_log;
+                let stats: ProbeStats = self.index.probe(&t, &mut |stored| {
+                    matches += 1;
+                    if collect {
+                        match_log.push(pair_key(&t, stored));
+                    }
+                });
                 self.index.insert(t);
                 self.matches += matches;
                 if matches > 0 {
@@ -116,7 +143,12 @@ impl Process<OpMsg> for ShjJoiner {
                 ctx.metrics().note_data_processed(1, now);
                 self.unacked_credits += 1;
                 if self.unacked_credits >= 8 {
-                    ctx.send(self.source, OpMsg::ProcessedCopies { n: self.unacked_credits });
+                    ctx.send(
+                        self.source,
+                        OpMsg::ProcessedCopies {
+                            n: self.unacked_credits,
+                        },
+                    );
                     self.unacked_credits = 0;
                 }
                 if self.gauge.is_spilling() {
@@ -132,9 +164,7 @@ impl Process<OpMsg> for ShjJoiner {
                     .as_micros();
                 SimDuration::from_micros(
                     self.cost.recv_overhead_us
-                        + self
-                            .gauge
-                            .effective_cost(base - self.cost.recv_overhead_us),
+                        + self.gauge.effective_cost(base - self.cost.recv_overhead_us),
                 )
             }
             other => panic!("SHJ joiner received unexpected message {other:?}"),

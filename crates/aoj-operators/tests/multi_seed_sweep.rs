@@ -46,7 +46,9 @@ fn random_workload(seed: u64) -> (Workload, Arrivals) {
     };
     let predicate = match seed % 3 {
         0 => Predicate::Equi,
-        1 => Predicate::Band { width: 1 + (seed % 3) as i64 },
+        1 => Predicate::Band {
+            width: 1 + (seed % 3) as i64,
+        },
         _ => Predicate::NotEqual,
     };
     let w = Workload {
@@ -55,7 +57,7 @@ fn random_workload(seed: u64) -> (Workload, Arrivals) {
         r_items: (0..nr).map(&mut item).collect(),
         s_items: (0..ns).map(&mut item).collect(),
     };
-    let arrivals = if seed % 2 == 0 {
+    let arrivals = if seed.is_multiple_of(2) {
         interleave(&w, seed ^ 0xF00)
     } else {
         fluctuating(&w, 2 + seed % 5, seed)

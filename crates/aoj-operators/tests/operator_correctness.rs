@@ -61,7 +61,10 @@ fn dynamic_is_exact_on_lopsided_equi_join() {
     let expected = reference_matches(&arrivals, &w.predicate);
     let cfg = RunConfig::new(16, OperatorKind::Dynamic);
     let report = run(&arrivals, &w.predicate, w.name, &cfg);
-    assert!(report.migrations > 0, "lopsided input must trigger migrations");
+    assert!(
+        report.migrations > 0,
+        "lopsided input must trigger migrations"
+    );
     assert_eq!(report.matches, expected);
 }
 

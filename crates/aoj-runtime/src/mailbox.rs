@@ -1,0 +1,364 @@
+//! Per-machine mailboxes: bounded, class-aware MPSC queues with the same
+//! weighted service policy as the simulator's machines.
+//!
+//! Each worker thread owns one mailbox and services it exactly like
+//! `aoj_simnet::machine::Machine` services its queues:
+//!
+//! * **Control** messages (and fired timers) always jump the queue;
+//! * **Migration** messages are serviced `migration_weight` times per
+//!   **Data** message while both queues are backlogged (the paper's
+//!   "migrated tuples are processed at twice the rate of new tuples");
+//! * within one class, (sender, receiver) order is FIFO — producers are
+//!   single threads pushing under one lock, so send order is enqueue
+//!   order is service order.
+//!
+//! Only the Data queue is bounded, and the bound is **backpressure, not
+//! a hard guarantee**: a producer facing a full data queue waits up to
+//! [`BACKPRESSURE_WAIT`] for space and then enqueues anyway. The bounded
+//! wait is what makes the design deadlock-free by construction. A hard
+//! block would be unsafe here, because a machine can host both data
+//! producers and data consumers (in the operator topology every machine
+//! runs a reshuffler *and* a joiner), so two workers stalled on each
+//! other's full data queues would never return to drain their own —
+//! a cyclic deadlock whenever the in-flight data volume exceeds the
+//! queue capacity (e.g. flow control disabled via `window_copies = 0`).
+//! With the bounded wait, steady-state producers are throttled to the
+//! consumers' rate while cyclic waits always resolve.
+//!
+//! The wait is paid **once per overflow episode**, not per message: after
+//! a push times out, the mailbox stays in overflow mode — subsequent
+//! full-queue pushes enqueue immediately — until the queue drains back
+//! under its bound. Otherwise a saturated queue would throttle its
+//! producers to one message per wait interval, a cliff rather than
+//! degradation. Control and migration traffic is never bounded, and
+//! loopback pushes (a worker sending to its own mailbox) never wait.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Longest a producer waits for data-queue space before overflowing the
+/// bound. Long enough that steady-state backpressure throttles a fast
+/// source; short enough that transient producer/consumer cycles resolve
+/// without visible stalls.
+pub(crate) const BACKPRESSURE_WAIT: Duration = Duration::from_millis(20);
+
+use aoj_simnet::{MsgClass, TaskId};
+
+/// A unit of work queued at a machine.
+pub(crate) enum Work<M> {
+    /// A delivered message.
+    Msg {
+        /// Sending task.
+        from: TaskId,
+        /// Receiving task (hosted on this mailbox's machine).
+        to: TaskId,
+        /// The message.
+        msg: M,
+    },
+    /// A fired timer (serviced with control priority, like the sim).
+    Timer {
+        /// The task whose timer fired.
+        task: TaskId,
+        /// Timer key.
+        key: u64,
+    },
+}
+
+/// A pending timer: `(deadline_us, seq)` ordering keeps same-deadline
+/// timers in schedule order.
+type TimerEntry = Reverse<(u64, u64, usize, u64)>; // (at, seq, task, key)
+
+struct State<M> {
+    control: VecDeque<Work<M>>,
+    data: VecDeque<Work<M>>,
+    migration: VecDeque<Work<M>>,
+    timers: BinaryHeap<TimerEntry>,
+    timer_seq: u64,
+    migration_credit: u32,
+    /// True between a timed-out data push and the queue next draining
+    /// below capacity: pushes skip the backpressure wait meanwhile.
+    overflowed: bool,
+}
+
+/// One machine's inbound queue set.
+pub(crate) struct Mailbox<M> {
+    state: Mutex<State<M>>,
+    /// Consumer-side wakeups (new work, shutdown).
+    work_ready: Condvar,
+    /// Producer-side wakeups (data space freed, shutdown).
+    space_free: Condvar,
+    data_capacity: usize,
+    migration_weight: u32,
+}
+
+impl<M> Mailbox<M> {
+    pub(crate) fn new(data_capacity: usize, migration_weight: u32) -> Mailbox<M> {
+        Mailbox {
+            state: Mutex::new(State {
+                control: VecDeque::new(),
+                data: VecDeque::new(),
+                migration: VecDeque::new(),
+                timers: BinaryHeap::new(),
+                timer_seq: 0,
+                migration_credit: 0,
+                overflowed: false,
+            }),
+            work_ready: Condvar::new(),
+            space_free: Condvar::new(),
+            data_capacity: data_capacity.max(1),
+            migration_weight: migration_weight.max(1),
+        }
+    }
+
+    /// Enqueue a message. `bounded` data pushes wait up to
+    /// [`BACKPRESSURE_WAIT`] while the data queue is full, then enqueue
+    /// regardless (see module docs for why the wait must be bounded);
+    /// loopback callers pass `bounded = false`.
+    pub(crate) fn push_msg(
+        &self,
+        class: MsgClass,
+        work: Work<M>,
+        bounded: bool,
+        done: &AtomicBool,
+    ) {
+        let mut st = self.state.lock().unwrap();
+        if bounded && class == MsgClass::Data {
+            if st.data.len() < self.data_capacity {
+                // Pressure relieved: the next full queue starts a fresh
+                // backpressure episode.
+                st.overflowed = false;
+            } else if !st.overflowed {
+                let deadline = Instant::now() + BACKPRESSURE_WAIT;
+                while st.data.len() >= self.data_capacity && !done.load(Ordering::Relaxed) {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        // Overflow the bound rather than risk a cyclic
+                        // stall; skip the wait until the queue drains.
+                        st.overflowed = true;
+                        break;
+                    }
+                    st = self.space_free.wait_timeout(st, deadline - now).unwrap().0;
+                }
+            }
+        }
+        match class {
+            MsgClass::Control => st.control.push_back(work),
+            MsgClass::Data => st.data.push_back(work),
+            MsgClass::Migration => st.migration.push_back(work),
+        }
+        drop(st);
+        self.work_ready.notify_one();
+    }
+
+    /// Register a timer firing at `at_us` (wall micros since run start).
+    pub(crate) fn push_timer(&self, at_us: u64, task: TaskId, key: u64) {
+        let mut st = self.state.lock().unwrap();
+        let seq = st.timer_seq;
+        st.timer_seq += 1;
+        st.timers.push(Reverse((at_us, seq, task.index(), key)));
+        drop(st);
+        // The new timer may be earlier than whatever the worker sleeps on.
+        self.work_ready.notify_one();
+    }
+
+    /// Dequeue the next unit of work per the weighted policy, blocking
+    /// until work arrives, a timer comes due, or `done` is set (which
+    /// returns `None`).
+    pub(crate) fn pop(&self, now_us: impl Fn() -> u64, done: &AtomicBool) -> Option<Work<M>> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if done.load(Ordering::Relaxed) {
+                return None;
+            }
+            let now = now_us();
+            // Promote due timers into the control queue, in deadline order.
+            while let Some(&Reverse((at, _, task, key))) = st.timers.peek() {
+                if at > now {
+                    break;
+                }
+                st.timers.pop();
+                st.control.push_back(Work::Timer {
+                    task: TaskId(task),
+                    key,
+                });
+            }
+            if let Some(w) = st.control.pop_front() {
+                return Some(w);
+            }
+            let has_data = !st.data.is_empty();
+            let has_mig = !st.migration.is_empty();
+            let popped = match (has_mig, has_data) {
+                (false, false) => None,
+                (true, false) => st.migration.pop_front(),
+                (false, true) => {
+                    st.migration_credit = 0;
+                    st.data.pop_front()
+                }
+                (true, true) => {
+                    if st.migration_credit < self.migration_weight {
+                        st.migration_credit += 1;
+                        st.migration.pop_front()
+                    } else {
+                        st.migration_credit = 0;
+                        st.data.pop_front()
+                    }
+                }
+            };
+            if let Some(w) = popped {
+                if has_data {
+                    // A data slot may have freed; wake one blocked producer.
+                    self.space_free.notify_one();
+                }
+                return Some(w);
+            }
+            // Nothing runnable: sleep until the next timer deadline or a
+            // producer/shutdown wakeup.
+            st = match st.timers.peek() {
+                Some(&Reverse((at, ..))) => {
+                    let wait = Duration::from_micros(at.saturating_sub(now));
+                    self.work_ready.wait_timeout(st, wait).unwrap().0
+                }
+                None => self.work_ready.wait(st).unwrap(),
+            };
+        }
+    }
+
+    /// Wake every waiter (consumer and producers) — used at shutdown.
+    pub(crate) fn wake_all(&self) {
+        let _guard = self.state.lock().unwrap();
+        self.work_ready.notify_all();
+        self.space_free.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    fn msg(n: u64) -> Work<u64> {
+        Work::Msg {
+            from: TaskId(0),
+            to: TaskId(0),
+            msg: n,
+        }
+    }
+
+    fn val(w: Work<u64>) -> u64 {
+        match w {
+            Work::Msg { msg, .. } => msg,
+            Work::Timer { key, .. } => 1_000_000 + key,
+        }
+    }
+
+    #[test]
+    fn weighted_service_mirrors_the_simulator() {
+        let mb: Mailbox<u64> = Mailbox::new(1024, 2);
+        let done = AtomicBool::new(false);
+        for i in 0..6 {
+            mb.push_msg(MsgClass::Migration, msg(100 + i), true, &done);
+        }
+        for i in 0..3 {
+            mb.push_msg(MsgClass::Data, msg(i), true, &done);
+        }
+        let order: Vec<u64> = (0..9).map(|_| val(mb.pop(|| 0, &done).unwrap())).collect();
+        // Same M,M,D pattern as aoj_simnet::machine's unit test.
+        assert_eq!(order, vec![100, 101, 0, 102, 103, 1, 104, 105, 2]);
+    }
+
+    #[test]
+    fn control_and_due_timers_preempt() {
+        let mb: Mailbox<u64> = Mailbox::new(1024, 2);
+        let done = AtomicBool::new(false);
+        mb.push_msg(MsgClass::Data, msg(1), true, &done);
+        mb.push_timer(5, TaskId(9), 7);
+        mb.push_msg(MsgClass::Control, msg(3), true, &done);
+        // At t=10 the timer is due: control first, then the timer, then data.
+        assert_eq!(val(mb.pop(|| 10, &done).unwrap()), 3);
+        assert_eq!(val(mb.pop(|| 10, &done).unwrap()), 1_000_007);
+        assert_eq!(val(mb.pop(|| 10, &done).unwrap()), 1);
+    }
+
+    #[test]
+    fn undue_timers_do_not_fire() {
+        let mb: Mailbox<u64> = Mailbox::new(1024, 2);
+        let done = AtomicBool::new(false);
+        mb.push_timer(1_000, TaskId(0), 1);
+        mb.push_msg(MsgClass::Data, msg(42), true, &done);
+        assert_eq!(val(mb.pop(|| 0, &done).unwrap()), 42);
+    }
+
+    #[test]
+    fn shutdown_unblocks_pop() {
+        let mb: Mailbox<u64> = Mailbox::new(1024, 2);
+        let done = AtomicBool::new(true);
+        assert!(mb.pop(|| 0, &done).is_none());
+    }
+
+    #[test]
+    fn bounded_data_push_waits_for_space_then_preserves_fifo() {
+        use std::sync::Arc;
+        let mb: Arc<Mailbox<u64>> = Arc::new(Mailbox::new(2, 2));
+        let done = Arc::new(AtomicBool::new(false));
+        mb.push_msg(MsgClass::Data, msg(0), true, &done);
+        mb.push_msg(MsgClass::Data, msg(1), true, &done);
+        let mb2 = Arc::clone(&mb);
+        let done2 = Arc::clone(&done);
+        let producer = std::thread::spawn(move || {
+            // Full: waits (bounded) until the consumer pops.
+            mb2.push_msg(MsgClass::Data, msg(2), true, &done2);
+        });
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(val(mb.pop(|| 0, &done).unwrap()), 0);
+        producer.join().unwrap();
+        assert_eq!(val(mb.pop(|| 0, &done).unwrap()), 1);
+        assert_eq!(val(mb.pop(|| 0, &done).unwrap()), 2);
+    }
+
+    #[test]
+    fn bounded_data_push_overflows_rather_than_stalling_forever() {
+        // No consumer at all: a full queue must not wedge the producer —
+        // this is the deadlock-avoidance property the operator topology
+        // relies on (every machine both produces and consumes data).
+        let mb: Mailbox<u64> = Mailbox::new(1, 2);
+        let done = AtomicBool::new(false);
+        mb.push_msg(MsgClass::Data, msg(0), true, &done);
+        let start = std::time::Instant::now();
+        mb.push_msg(MsgClass::Data, msg(1), true, &done);
+        let waited = start.elapsed();
+        assert!(
+            waited >= BACKPRESSURE_WAIT,
+            "overflow push returned before the backpressure window"
+        );
+        assert!(
+            waited < BACKPRESSURE_WAIT * 20,
+            "push stalled far past the window"
+        );
+        // The wait is per overflow episode, not per message: while the
+        // queue stays saturated, further pushes enqueue immediately.
+        let start = std::time::Instant::now();
+        for i in 2..100 {
+            mb.push_msg(MsgClass::Data, msg(i), true, &done);
+        }
+        assert!(
+            start.elapsed() < BACKPRESSURE_WAIT,
+            "saturated pushes must not wait per message"
+        );
+        // Everything is there, in order.
+        for i in 0..100 {
+            assert_eq!(val(mb.pop(|| 0, &done).unwrap()), i);
+        }
+        // Draining below the bound ends the episode: the next push that
+        // finds the queue full (capacity is 1) waits again.
+        mb.push_msg(MsgClass::Data, msg(0), true, &done);
+        let start = std::time::Instant::now();
+        mb.push_msg(MsgClass::Data, msg(1), true, &done);
+        assert!(
+            start.elapsed() >= BACKPRESSURE_WAIT,
+            "fresh episode should pay the backpressure wait"
+        );
+    }
+}

@@ -1,0 +1,341 @@
+//! The threaded execution backend: one OS thread per machine, servicing
+//! a class-aware mailbox, with distributed termination detection and
+//! per-worker metrics shards.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use aoj_simnet::{
+    Ctx, Effect, ExecBackend, MachineId, Metrics, NetworkConfig, Process, SimDuration, SimMessage,
+    SimTime, TaskId,
+};
+
+use crate::mailbox::{Mailbox, Work};
+
+/// Threaded-backend knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Per-mailbox bound on queued Data-class messages. Cross-machine
+    /// data sends wait a bounded interval for space while the
+    /// destination queue is full, then enqueue regardless; control,
+    /// migration and loopback traffic is never bounded (see the
+    /// `mailbox` module docs for why the wait must be bounded).
+    pub data_queue_capacity: usize,
+    /// Migration-to-data service ratio while both queues are backlogged.
+    /// The paper fixes this to 2 (§4.3.2); mirrors
+    /// [`aoj_simnet::MachineConfig::migration_weight`].
+    pub migration_weight: u32,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            data_queue_capacity: 16 * 1024,
+            migration_weight: 2,
+        }
+    }
+}
+
+/// State shared by all worker threads during a run.
+struct Shared<M> {
+    mailboxes: Vec<Arc<Mailbox<M>>>,
+    task_machine: Vec<MachineId>,
+    /// Work items enqueued (messages + pending timers) minus work items
+    /// fully processed. An item stays counted until *after* its effects
+    /// are enqueued, so the count can only reach zero at true
+    /// quiescence (Dijkstra-style termination detection).
+    outstanding: AtomicI64,
+    done: AtomicBool,
+    end_us: AtomicU64,
+    start: Instant,
+}
+
+impl<M> Shared<M> {
+    fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// Flip to done exactly once, stamping the end time, and wake
+    /// every blocked thread.
+    fn shutdown(&self) {
+        if !self.done.swap(true, Ordering::SeqCst) {
+            self.end_us.store(self.now_us(), Ordering::SeqCst);
+        }
+        for mb in &self.mailboxes {
+            mb.wake_all();
+        }
+    }
+
+    /// Retire one processed work item; the last one ends the run.
+    fn finish_item(&self) {
+        if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.shutdown();
+        }
+    }
+}
+
+/// Ensures a worker that panics inside a task handler still releases
+/// every other thread (otherwise `run()` would deadlock in `join`).
+struct PanicGuard<'a, M>(&'a Shared<M>);
+
+impl<M> Drop for PanicGuard<'_, M> {
+    fn drop(&mut self) {
+        if thread::panicking() {
+            self.0.shutdown();
+        }
+    }
+}
+
+/// The multi-threaded execution backend.
+///
+/// Hosts the same [`Process`] task graph the simulator runs, on one OS
+/// thread per machine. Guarantees the [`ExecBackend`] contract: FIFO
+/// delivery per (sender, receiver, class) — producers enqueue under the
+/// destination's lock in program order — and weighted class service in
+/// each worker's dequeue loop. Time is wall-clock microseconds since
+/// [`run`](ExecBackend::run) started, so reported throughput and
+/// latency are real measurements.
+pub struct Runtime<M: SimMessage + Send + 'static> {
+    cfg: RuntimeConfig,
+    machines: usize,
+    tasks: Vec<Option<Box<dyn Process<M> + Send>>>,
+    task_machine: Vec<MachineId>,
+    pending_timers: Vec<(SimTime, TaskId, u64)>,
+    metrics: Metrics,
+}
+
+impl<M: SimMessage + Send + 'static> Runtime<M> {
+    /// An empty runtime; add machines and tasks, then `run`.
+    pub fn new(cfg: RuntimeConfig) -> Runtime<M> {
+        Runtime {
+            cfg,
+            machines: 0,
+            tasks: Vec::new(),
+            task_machine: Vec::new(),
+            pending_timers: Vec::new(),
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// Number of worker threads a run will use (one per machine).
+    pub fn worker_threads(&self) -> usize {
+        self.machines
+    }
+
+    fn fresh_shard(&self) -> Metrics {
+        let mut shard = Metrics::default();
+        for _ in 0..self.machines {
+            shard.add_machine();
+        }
+        shard.sample_spacing = self.metrics.sample_spacing;
+        shard
+    }
+}
+
+type TaskMap<M> = HashMap<usize, Box<dyn Process<M> + Send>>;
+
+fn worker<M: SimMessage + Send + 'static>(
+    mid: MachineId,
+    shared: Arc<Shared<M>>,
+    mut tasks: TaskMap<M>,
+    mut shard: Metrics,
+) -> (TaskMap<M>, Metrics) {
+    let guard = PanicGuard(&shared);
+    let mailbox = Arc::clone(&shared.mailboxes[mid.index()]);
+    while let Some(work) = mailbox.pop(|| shared.now_us(), &shared.done) {
+        let (self_task, effects, stopped) = {
+            let mut stopped = false;
+            let started = Instant::now();
+            let now = SimTime(shared.now_us());
+            let (self_task, effects) = match work {
+                Work::Msg { from, to, msg } => {
+                    shard.on_arrive(mid, msg.bytes());
+                    let task = tasks
+                        .get_mut(&to.index())
+                        .expect("message routed to a machine not hosting its task");
+                    let mut ctx: Ctx<'_, M> = Ctx::new(now, to, &mut shard, &mut stopped);
+                    let _modeled_cost = task.on_message(&mut ctx, from, msg);
+                    let effects = ctx.take_effects();
+                    (to, effects)
+                }
+                Work::Timer { task: tid, key } => {
+                    let task = tasks
+                        .get_mut(&tid.index())
+                        .expect("timer fired on a machine not hosting its task");
+                    let mut ctx: Ctx<'_, M> = Ctx::new(now, tid, &mut shard, &mut stopped);
+                    let _modeled_cost = task.on_timer(&mut ctx, key);
+                    let effects = ctx.take_effects();
+                    (tid, effects)
+                }
+            };
+            // Real CPU occupancy, not the modeled cost: this backend runs
+            // as fast as the hardware allows.
+            let elapsed = SimDuration(started.elapsed().as_micros() as u64);
+            shard.on_busy(mid, elapsed);
+            shard.events += 1;
+            shard.last_event_at = SimTime(shared.now_us());
+            (self_task, effects, stopped)
+        };
+
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => {
+                    let dst_machine = shared.task_machine[to.index()];
+                    let class = msg.class();
+                    shared.outstanding.fetch_add(1, Ordering::SeqCst);
+                    let loopback = dst_machine == mid;
+                    if !loopback {
+                        // Mirror the simulator: loopback sends pay no
+                        // network accounting.
+                        shard.on_send(mid, msg.bytes());
+                    }
+                    shared.mailboxes[dst_machine.index()].push_msg(
+                        class,
+                        Work::Msg {
+                            from: self_task,
+                            to,
+                            msg,
+                        },
+                        !loopback,
+                        &shared.done,
+                    );
+                }
+                Effect::Timer { delay, key } => {
+                    shared.outstanding.fetch_add(1, Ordering::SeqCst);
+                    let at = shared.now_us() + delay.as_micros();
+                    mailbox.push_timer(at, self_task, key);
+                }
+            }
+        }
+        shared.finish_item();
+        if stopped {
+            shared.shutdown();
+        }
+    }
+    drop(guard);
+    (tasks, shard)
+}
+
+impl<M: SimMessage + Send + 'static> ExecBackend<M> for Runtime<M> {
+    fn backend_name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn add_machine(&mut self) -> MachineId {
+        let id = MachineId(self.machines);
+        self.machines += 1;
+        self.metrics.add_machine();
+        id
+    }
+
+    fn add_machine_with_network(&mut self, _network: NetworkConfig) -> MachineId {
+        // Real threads share memory; there is no per-machine NIC to model.
+        ExecBackend::<M>::add_machine(self)
+    }
+
+    fn add_task(&mut self, machine: MachineId, task: Box<dyn Process<M> + Send>) -> TaskId {
+        assert!(machine.index() < self.machines, "unknown machine");
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(Some(task));
+        self.task_machine.push(machine);
+        id
+    }
+
+    fn start_timer_at(&mut self, at: SimTime, task: TaskId, key: u64) {
+        assert!(task.index() < self.tasks.len(), "unknown task");
+        self.pending_timers.push((at, task, key));
+    }
+
+    fn has_global_metrics_view(&self) -> bool {
+        // Workers write private shards merged only after the run;
+        // mid-run cluster-wide readings are per-shard approximations.
+        false
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    fn run(&mut self) -> SimTime {
+        let mailboxes: Vec<Arc<Mailbox<M>>> = (0..self.machines)
+            .map(|_| {
+                Arc::new(Mailbox::new(
+                    self.cfg.data_queue_capacity,
+                    self.cfg.migration_weight,
+                ))
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            mailboxes,
+            task_machine: self.task_machine.clone(),
+            outstanding: AtomicI64::new(0),
+            done: AtomicBool::new(false),
+            end_us: AtomicU64::new(0),
+            start: Instant::now(),
+        });
+
+        // Partition tasks onto their machines.
+        let mut per_machine: Vec<TaskMap<M>> = (0..self.machines).map(|_| HashMap::new()).collect();
+        for (idx, slot) in self.tasks.iter_mut().enumerate() {
+            if let Some(task) = slot.take() {
+                per_machine[self.task_machine[idx].index()].insert(idx, task);
+            }
+        }
+
+        // Bootstrap timers are the run's initial work.
+        for (at, task, key) in self.pending_timers.drain(..) {
+            shared.outstanding.fetch_add(1, Ordering::SeqCst);
+            let m = shared.task_machine[task.index()];
+            shared.mailboxes[m.index()].push_timer(at.as_micros(), task, key);
+        }
+        if shared.outstanding.load(Ordering::SeqCst) == 0 {
+            // Nothing to do: quiesce immediately.
+            shared.shutdown();
+        }
+
+        let handles: Vec<_> = per_machine
+            .into_iter()
+            .enumerate()
+            .map(|(i, tasks)| {
+                let shared = Arc::clone(&shared);
+                let shard = self.fresh_shard();
+                thread::Builder::new()
+                    .name(format!("aoj-worker-{i}"))
+                    .spawn(move || worker(MachineId(i), shared, tasks, shard))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+
+        let mut panic_payload: Option<Box<dyn Any + Send>> = None;
+        for handle in handles {
+            match handle.join() {
+                Ok((tasks, shard)) => {
+                    for (idx, task) in tasks {
+                        self.tasks[idx] = Some(task);
+                    }
+                    self.metrics.absorb(&shard);
+                }
+                Err(p) => panic_payload = Some(p),
+            }
+        }
+        if let Some(p) = panic_payload {
+            std::panic::resume_unwind(p);
+        }
+        SimTime(shared.end_us.load(Ordering::SeqCst))
+    }
+
+    fn task_any(&self, id: TaskId) -> &dyn Any {
+        self.tasks[id.index()]
+            .as_ref()
+            .expect("task unavailable (run in progress or never returned)")
+            .as_any()
+    }
+}

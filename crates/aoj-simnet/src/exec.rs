@@ -1,0 +1,97 @@
+//! The pluggable execution backend abstraction.
+//!
+//! A [`Process`] task graph — machines hosting tasks that exchange
+//! messages and timers — can execute on more than one substrate:
+//!
+//! * [`Sim`](crate::Sim): the deterministic discrete-event simulator in
+//!   this crate, for bit-reproducible experiments in virtual time;
+//! * `aoj_runtime::Runtime`: real OS threads with bounded, class-aware
+//!   mailboxes, for wall-clock measurements.
+//!
+//! [`ExecBackend`] is the contract both implement, and what
+//! `aoj_operators::driver` is generic over. Every backend guarantees the
+//! two properties the operator layer relies on:
+//!
+//! 1. **Per-channel FIFO within a message class**: messages from task A
+//!    to task B of the same [`MsgClass`](crate::MsgClass) are delivered
+//!    in send order (the epoch protocol's ordering assumption, §4.3.1 of
+//!    the paper);
+//! 2. **Weighted class service**: control messages preempt, and
+//!    migration-class messages are serviced at `migration_weight` times
+//!    the data rate while both queues are backlogged (§4.3.2).
+//!
+//! Time is [`SimTime`] in both cases: virtual microseconds under the
+//! simulator, wall-clock microseconds since `run()` under the threaded
+//! runtime.
+
+use std::any::Any;
+
+use crate::machine::MachineId;
+use crate::metrics::Metrics;
+use crate::network::NetworkConfig;
+use crate::task::{Process, SimMessage, TaskId};
+use crate::time::SimTime;
+
+/// A substrate that can host and run a task graph.
+///
+/// Topology building (machines, tasks, bootstrap timers) happens before
+/// [`run`](ExecBackend::run); task state and metrics are inspected after
+/// it returns.
+pub trait ExecBackend<M: SimMessage + 'static> {
+    /// Short label for reports ("sim", "threaded").
+    fn backend_name(&self) -> &'static str;
+
+    /// Add a machine with default network parameters.
+    fn add_machine(&mut self) -> MachineId;
+
+    /// Add a machine with explicit network parameters. Backends without a
+    /// network model (real threads share memory) may ignore them.
+    fn add_machine_with_network(&mut self, network: NetworkConfig) -> MachineId;
+
+    /// Register a task hosted on `machine`. Tasks must be `Send` because
+    /// threaded backends move them onto worker threads.
+    fn add_task(&mut self, machine: MachineId, task: Box<dyn Process<M> + Send>) -> TaskId;
+
+    /// Schedule a bootstrap timer for `task` at time `at`.
+    fn start_timer_at(&mut self, at: SimTime, task: TaskId, key: u64);
+
+    /// The metrics sink (read after `run`; configure `sample_spacing`
+    /// before it).
+    fn metrics(&self) -> &Metrics;
+
+    /// Whether tasks observe a single, globally consistent metrics view
+    /// *during* the run. True for the simulator (one `Metrics`, one
+    /// event at a time); false for sharded backends like the threaded
+    /// runtime, where each worker sees only its own machine's gauges —
+    /// there, mid-run cluster-wide readings (progress timelines,
+    /// stored-bytes snapshots taken inside handlers) are per-shard
+    /// approximations and drivers should not present them as global.
+    /// Post-run totals from [`metrics`](ExecBackend::metrics) are exact
+    /// either way.
+    fn has_global_metrics_view(&self) -> bool {
+        true
+    }
+
+    /// Mutable metrics access, valid before and after `run`.
+    fn metrics_mut(&mut self) -> &mut Metrics;
+
+    /// Execute to quiescence (or until a task stops the run) and return
+    /// the end time: virtual for simulators, wall-clock microseconds
+    /// since start for threaded backends.
+    fn run(&mut self) -> SimTime;
+
+    /// The task registered under `id`, as `Any` (for downcasting after
+    /// the run).
+    fn task_any(&self, id: TaskId) -> &dyn Any;
+
+    /// Typed access to a task's final state. Panics on a wrong id or
+    /// type — programming errors in the driver, not runtime conditions.
+    fn task_ref<T: Any>(&self, id: TaskId) -> &T
+    where
+        Self: Sized,
+    {
+        self.task_any(id)
+            .downcast_ref::<T>()
+            .expect("task type mismatch")
+    }
+}

@@ -63,6 +63,7 @@
 
 pub mod config;
 pub mod event;
+pub mod exec;
 pub mod machine;
 pub mod metrics;
 pub mod network;
@@ -71,9 +72,10 @@ pub mod task;
 pub mod time;
 
 pub use config::{CostModel, SimConfig};
+pub use exec::ExecBackend;
 pub use machine::{MachineConfig, MachineId};
 pub use metrics::{MachineMetrics, Metrics};
 pub use network::NetworkConfig;
 pub use sim::Sim;
-pub use task::{Ctx, MsgClass, Process, SimMessage, TaskId};
+pub use task::{Ctx, Effect, MsgClass, Process, SimMessage, TaskId};
 pub use time::{SimDuration, SimTime};

@@ -63,8 +63,15 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    pub(crate) fn add_machine(&mut self) {
+    /// Register one more machine (backends call this once per machine;
+    /// tasks never do).
+    pub fn add_machine(&mut self) {
         self.per_machine.push(MachineMetrics::default());
+    }
+
+    /// Number of registered machines.
+    pub fn machine_count(&self) -> usize {
+        self.per_machine.len()
     }
 
     /// Metrics for machine `m`.
@@ -149,20 +156,55 @@ impl Metrics {
         }
     }
 
-    pub(crate) fn on_arrive(&mut self, m: MachineId, bytes: u64) {
+    /// Record a message of `bytes` arriving at machine `m` (maintained by
+    /// execution backends).
+    pub fn on_arrive(&mut self, m: MachineId, bytes: u64) {
         let mm = &mut self.per_machine[m.index()];
         mm.messages_in += 1;
         mm.bytes_in += bytes;
     }
 
-    pub(crate) fn on_send(&mut self, m: MachineId, bytes: u64) {
+    /// Record a message of `bytes` sent from machine `m` (maintained by
+    /// execution backends).
+    pub fn on_send(&mut self, m: MachineId, bytes: u64) {
         let mm = &mut self.per_machine[m.index()];
         mm.messages_out += 1;
         mm.bytes_out += bytes;
     }
 
-    pub(crate) fn on_busy(&mut self, m: MachineId, d: SimDuration) {
+    /// Record `d` of CPU time consumed on machine `m` (maintained by
+    /// execution backends).
+    pub fn on_busy(&mut self, m: MachineId, d: SimDuration) {
         self.per_machine[m.index()].busy += d;
+    }
+
+    /// Merge a worker shard into this sink.
+    ///
+    /// The threaded runtime gives each worker thread a private `Metrics`
+    /// shard (full machine vector, but the worker only ever writes its own
+    /// machine's row) so handlers never contend on a global lock; the
+    /// shards are folded together here once the run completes. Counters
+    /// add; gauges take the max (only one shard ever wrote a non-zero
+    /// value per machine); the progress timeline is re-sorted by time.
+    pub fn absorb(&mut self, other: &Metrics) {
+        while self.per_machine.len() < other.per_machine.len() {
+            self.add_machine();
+        }
+        for (mine, theirs) in self.per_machine.iter_mut().zip(&other.per_machine) {
+            mine.messages_in += theirs.messages_in;
+            mine.messages_out += theirs.messages_out;
+            mine.bytes_in += theirs.bytes_in;
+            mine.bytes_out += theirs.bytes_out;
+            mine.busy += theirs.busy;
+            mine.stored_bytes = mine.stored_bytes.max(theirs.stored_bytes);
+            mine.peak_stored_bytes = mine.peak_stored_bytes.max(theirs.peak_stored_bytes);
+            mine.spilled_bytes = mine.spilled_bytes.max(theirs.spilled_bytes);
+        }
+        self.events += other.events;
+        self.last_event_at = self.last_event_at.max(other.last_event_at);
+        self.data_processed += other.data_processed;
+        self.progress.extend(other.progress.iter().copied());
+        self.progress.sort_by_key(|p| (p.at, p.processed));
     }
 }
 

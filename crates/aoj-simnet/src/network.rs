@@ -43,7 +43,7 @@ impl NetworkConfig {
     #[inline]
     pub fn transmit_time(&self, bytes: u64) -> SimDuration {
         let wire = bytes + self.per_message_overhead_bytes;
-        SimDuration((wire + self.bytes_per_us - 1) / self.bytes_per_us)
+        SimDuration(wire.div_ceil(self.bytes_per_us))
     }
 }
 
@@ -140,7 +140,7 @@ mod tests {
         };
         let mut nic = Nic::default();
         nic.transmit(SimTime(0), 50, &cfg); // half a us of debt
-        // Long idle gap: the fraction must not haunt the next message.
+                                            // Long idle gap: the fraction must not haunt the next message.
         let a = nic.transmit(SimTime(1000), 100, &cfg);
         assert_eq!(a.as_micros(), 1001);
     }

@@ -5,8 +5,10 @@ use std::any::Any;
 
 use crate::config::SimConfig;
 use crate::event::{EventKind, EventQueue};
+use crate::exec::ExecBackend;
 use crate::machine::{Machine, MachineId, Queued};
 use crate::metrics::Metrics;
+use crate::network::NetworkConfig;
 use crate::task::{Ctx, Effect, MsgClass, Process, SimMessage, TaskId};
 use crate::time::SimTime;
 
@@ -54,10 +56,7 @@ impl<M: SimMessage + 'static> Sim<M> {
 
     /// Add a machine with its own network parameters (e.g. a source stage
     /// that models `J` parallel upstream feeds rather than one NIC).
-    pub fn add_machine_with_network(
-        &mut self,
-        network: crate::network::NetworkConfig,
-    ) -> MachineId {
+    pub fn add_machine_with_network(&mut self, network: NetworkConfig) -> MachineId {
         let id = MachineId(self.machines.len());
         self.machines.push(Machine::new(self.cfg.machine));
         self.machine_network.push(network);
@@ -125,7 +124,10 @@ impl<M: SimMessage + 'static> Sim<M> {
         let boxed = self.tasks[id.index()]
             .as_mut()
             .expect("task is currently executing");
-        boxed.as_any_mut().downcast_mut::<T>().expect("task type mismatch")
+        boxed
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("task type mismatch")
     }
 
     /// Shared access to a task by concrete type.
@@ -133,7 +135,10 @@ impl<M: SimMessage + 'static> Sim<M> {
         let boxed = self.tasks[id.index()]
             .as_ref()
             .expect("task is currently executing");
-        boxed.as_any().downcast_ref::<T>().expect("task type mismatch")
+        boxed
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("task type mismatch")
     }
 
     /// Run until quiescence (empty event queue), a task calls
@@ -198,7 +203,8 @@ impl<M: SimMessage + 'static> Sim<M> {
             } else {
                 self.now
             };
-            self.queue.push(start, EventKind::ProcessNext { machine: m });
+            self.queue
+                .push(start, EventKind::ProcessNext { machine: m });
         }
     }
 
@@ -243,17 +249,24 @@ impl<M: SimMessage + 'static> Sim<M> {
                         // Loopback: no NIC occupancy, no network metrics.
                         self.queue.push(
                             done,
-                            EventKind::Arrive { from: to, to: dst, msg },
+                            EventKind::Arrive {
+                                from: to,
+                                to: dst,
+                                msg,
+                            },
                         );
                     } else {
                         let bytes = msg.bytes();
                         self.metrics.on_send(mid, bytes);
                         let net = self.machine_network[mid.index()];
-                        let arrival =
-                            self.machines[mid.index()].nic.transmit(done, bytes, &net);
+                        let arrival = self.machines[mid.index()].nic.transmit(done, bytes, &net);
                         self.queue.push(
                             arrival,
-                            EventKind::Arrive { from: to, to: dst, msg },
+                            EventKind::Arrive {
+                                from: to,
+                                to: dst,
+                                msg,
+                            },
                         );
                     }
                 }
@@ -267,9 +280,51 @@ impl<M: SimMessage + 'static> Sim<M> {
         // Keep servicing the queue.
         let machine = &mut self.machines[mid.index()];
         if machine.queue_len() > 0 {
-            self.queue.push(done, EventKind::ProcessNext { machine: mid });
+            self.queue
+                .push(done, EventKind::ProcessNext { machine: mid });
         } else {
             machine.scheduled = false;
         }
+    }
+}
+
+impl<M: SimMessage + 'static> ExecBackend<M> for Sim<M> {
+    fn backend_name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn add_machine(&mut self) -> MachineId {
+        Sim::add_machine(self)
+    }
+
+    fn add_machine_with_network(&mut self, network: NetworkConfig) -> MachineId {
+        Sim::add_machine_with_network(self, network)
+    }
+
+    fn add_task(&mut self, machine: MachineId, task: Box<dyn Process<M> + Send>) -> TaskId {
+        Sim::add_task(self, machine, task)
+    }
+
+    fn start_timer_at(&mut self, at: SimTime, task: TaskId, key: u64) {
+        Sim::start_timer_at(self, at, task, key)
+    }
+
+    fn metrics(&self) -> &Metrics {
+        Sim::metrics(self)
+    }
+
+    fn metrics_mut(&mut self) -> &mut Metrics {
+        Sim::metrics_mut(self)
+    }
+
+    fn run(&mut self) -> SimTime {
+        Sim::run(self)
+    }
+
+    fn task_any(&self, id: TaskId) -> &dyn Any {
+        self.tasks[id.index()]
+            .as_ref()
+            .expect("task is currently executing")
+            .as_any()
     }
 }

@@ -76,11 +76,25 @@ pub trait Process<M: SimMessage>: AsAny {
     }
 }
 
-/// An outgoing effect recorded by a handler, applied by the simulator once
-/// the handler's cost is known.
-pub(crate) enum Effect<M> {
-    Send { to: TaskId, msg: M },
-    Timer { delay: SimDuration, key: u64 },
+/// An outgoing effect recorded by a handler, applied by the hosting
+/// backend after the handler returns: the simulator stamps sends at
+/// handler completion time; the threaded runtime pushes them into the
+/// destination mailboxes.
+pub enum Effect<M> {
+    /// Send `msg` to `to` (FIFO per (sender, receiver, class)).
+    Send {
+        /// Destination task.
+        to: TaskId,
+        /// The message.
+        msg: M,
+    },
+    /// Schedule [`Process::on_timer`] on the emitting task after `delay`.
+    Timer {
+        /// Delay from handler completion.
+        delay: SimDuration,
+        /// Key passed back to `on_timer`.
+        key: u64,
+    },
 }
 
 /// The execution context handed to a task while it runs.
@@ -97,6 +111,30 @@ pub struct Ctx<'a, M: SimMessage> {
 }
 
 impl<'a, M: SimMessage> Ctx<'a, M> {
+    /// Build a context for one handler invocation. Execution backends
+    /// (the simulator, `aoj-runtime`'s threaded workers) construct one
+    /// per delivered message or fired timer and apply the buffered
+    /// effects after the handler returns.
+    pub fn new(
+        now: SimTime,
+        self_id: TaskId,
+        metrics: &'a mut Metrics,
+        stopped: &'a mut bool,
+    ) -> Ctx<'a, M> {
+        Ctx {
+            now,
+            self_id,
+            effects: Vec::new(),
+            metrics,
+            stopped,
+        }
+    }
+
+    /// Drain the effects buffered by the handler, in emission order.
+    pub fn take_effects(&mut self) -> Vec<Effect<M>> {
+        std::mem::take(&mut self.effects)
+    }
+
     /// Virtual time at which the handler started executing.
     #[inline]
     pub fn now(&self) -> SimTime {

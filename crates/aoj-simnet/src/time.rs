@@ -152,7 +152,10 @@ mod tests {
     fn duration_conversions() {
         assert_eq!(SimDuration::from_secs(2).as_micros(), 2_000_000);
         assert!((SimDuration::from_secs(2).as_secs_f64() - 2.0).abs() < 1e-12);
-        assert_eq!(SimDuration::from_micros(7).saturating_mul(3).as_micros(), 21);
+        assert_eq!(
+            SimDuration::from_micros(7).saturating_mul(3).as_micros(),
+            21
+        );
     }
 
     #[test]

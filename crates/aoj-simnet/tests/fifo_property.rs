@@ -2,9 +2,7 @@
 //! within one message class, any (sender, receiver) channel is FIFO, for
 //! arbitrary topologies, message sizes, and handler costs.
 
-use aoj_simnet::{
-    Ctx, MsgClass, Process, Sim, SimConfig, SimDuration, SimMessage, TaskId,
-};
+use aoj_simnet::{Ctx, MsgClass, Process, Sim, SimConfig, SimDuration, SimMessage, TaskId};
 use proptest::prelude::*;
 
 #[derive(Clone, Debug)]

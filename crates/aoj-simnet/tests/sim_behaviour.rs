@@ -68,7 +68,14 @@ fn two_node_sim() -> (Sim<Msg>, TaskId, TaskId) {
 #[test]
 fn channel_is_fifo_under_bursts() {
     let (mut sim, sender, receiver) = two_node_sim();
-    sim.inject(receiver, sender, Msg::Burst { n: 100, to: receiver });
+    sim.inject(
+        receiver,
+        sender,
+        Msg::Burst {
+            n: 100,
+            to: receiver,
+        },
+    );
     sim.run();
     let seen = &sim.task_ref::<Recorder>(receiver).seen;
     assert_eq!(seen.len(), 100);
@@ -82,7 +89,14 @@ fn channel_is_fifo_under_bursts() {
 fn cpu_serialises_processing() {
     let (mut sim, sender, receiver) = two_node_sim();
     sim.task_mut::<Recorder>(receiver).cost_us = 50;
-    sim.inject(receiver, sender, Msg::Burst { n: 10, to: receiver });
+    sim.inject(
+        receiver,
+        sender,
+        Msg::Burst {
+            n: 10,
+            to: receiver,
+        },
+    );
     sim.run();
     let seen = sim.task_ref::<Recorder>(receiver).seen.clone();
     // Each message processed >= 50us after the previous started.
@@ -101,7 +115,13 @@ fn cpu_serialises_processing() {
 fn migration_is_served_two_to_one() {
     let mut sim = Sim::new(SimConfig::default());
     let m = sim.add_machine();
-    let t = sim.add_task(m, Box::new(Recorder { cost_us: 10, ..Default::default() }));
+    let t = sim.add_task(
+        m,
+        Box::new(Recorder {
+            cost_us: 10,
+            ..Default::default()
+        }),
+    );
     // Arrange for both queues to be backlogged at t=0.
     for i in 0..4 {
         sim.inject(t, t, Msg::Data(i));
@@ -110,7 +130,12 @@ fn migration_is_served_two_to_one() {
         sim.inject(t, t, Msg::Migration(100 + i));
     }
     sim.run();
-    let order: Vec<u64> = sim.task_ref::<Recorder>(t).seen.iter().map(|s| s.0).collect();
+    let order: Vec<u64> = sim
+        .task_ref::<Recorder>(t)
+        .seen
+        .iter()
+        .map(|s| s.0)
+        .collect();
     assert_eq!(
         order,
         vec![100, 101, 0, 102, 103, 1, 104, 105, 2, 106, 107, 3]
@@ -183,7 +208,13 @@ fn loopback_send_is_free_of_network_cost() {
             SimDuration::from_micros(1)
         }
     }
-    let s = sim.add_task(m0, Box::new(SelfSender { target: a, sent: false }));
+    let s = sim.add_task(
+        m0,
+        Box::new(SelfSender {
+            target: a,
+            sent: false,
+        }),
+    );
     sim.inject(a, s, Msg::Data(0));
     sim.run();
     assert_eq!(sim.metrics().machine(m0).messages_out, 0);
@@ -198,7 +229,14 @@ fn deterministic_replay() {
     let run = || {
         let (mut sim, sender, receiver) = two_node_sim();
         sim.task_mut::<Recorder>(receiver).cost_us = 3;
-        sim.inject(receiver, sender, Msg::Burst { n: 50, to: receiver });
+        sim.inject(
+            receiver,
+            sender,
+            Msg::Burst {
+                n: 50,
+                to: receiver,
+            },
+        );
         let end = sim.run();
         (end, sim.task_ref::<Recorder>(receiver).seen.clone())
     };
@@ -210,8 +248,10 @@ fn deterministic_replay() {
 
 #[test]
 fn deadline_stops_the_run() {
-    let mut cfg = SimConfig::default();
-    cfg.deadline = Some(SimTime(150));
+    let cfg = SimConfig {
+        deadline: Some(SimTime(150)),
+        ..SimConfig::default()
+    };
     let mut sim = Sim::new(cfg);
     let m = sim.add_machine();
     let t = sim.add_task(m, Box::new(Recorder::default()));

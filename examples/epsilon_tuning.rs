@@ -36,7 +36,9 @@ fn main() {
     let arrivals = fluctuating(&workload, 4, 9);
     let total_bytes: u64 = arrivals.iter().map(|(_, i)| i.bytes as u64).sum();
 
-    println!("epsilon     bound (3+2e)/(3+e)   measured max ILF/ILF*   migrations   migration bytes");
+    println!(
+        "epsilon     bound (3+2e)/(3+e)   measured max ILF/ILF*   migrations   migration bytes"
+    );
     println!("{}", "-".repeat(95));
     for (num, den) in [(1u32, 1u32), (1, 2), (1, 4), (1, 8)] {
         let mut cfg = RunConfig::new(16, OperatorKind::Dynamic);

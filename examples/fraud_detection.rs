@@ -67,13 +67,20 @@ fn main() {
 
     println!("impossible-travel self-join over skewed account traffic (theta predicate)\n");
     let mut alerts = Vec::new();
-    for kind in [OperatorKind::Dynamic, OperatorKind::StaticMid, OperatorKind::StaticOpt] {
+    for kind in [
+        OperatorKind::Dynamic,
+        OperatorKind::StaticMid,
+        OperatorKind::StaticOpt,
+    ] {
         let cfg = RunConfig::new(8, kind);
         let report = run(&arrivals, &workload.predicate, workload.name, &cfg);
         println!("{}", report.summary());
         alerts.push(report.matches);
     }
-    assert!(alerts.windows(2).all(|w| w[0] == w[1]), "operators disagree");
+    assert!(
+        alerts.windows(2).all(|w| w[0] == w[1]),
+        "operators disagree"
+    );
     println!(
         "\n{} fraud alerts found by every operator. The routing never looked at\n\
          the predicate: content-insensitive partitioning makes the Zipf-skewed\n\

@@ -25,8 +25,8 @@ fn main() {
     // Price levels in ticks around a mid price that drifts over the day.
     let mut mid: i64 = 10_000;
     let order = |rng: &mut StdRng, mid: i64| StreamItem {
-        key: mid + rng.gen_range(-50..=50), // limit price in ticks
-        aux: rng.gen_range(1..100),         // quantity
+        key: mid + rng.gen_range(-50i64..=50), // limit price in ticks
+        aux: rng.gen_range(1..100),            // quantity
         bytes: 80,
     };
 
@@ -36,9 +36,13 @@ fn main() {
     let mut asks = Vec::new();
     let mut arrivals = Vec::new();
     for session in 0..6 {
-        let (n_bid, n_ask) = if session % 2 == 0 { (8_000, 2_000) } else { (2_000, 8_000) };
+        let (n_bid, n_ask) = if session % 2 == 0 {
+            (8_000, 2_000)
+        } else {
+            (2_000, 8_000)
+        };
         for i in 0..n_bid.max(n_ask) {
-            mid += rng.gen_range(-1..=1);
+            mid += rng.gen_range(-1i64..=1);
             if i < n_bid {
                 let o = order(&mut rng, mid);
                 bids.push(o);

@@ -18,17 +18,23 @@
 //! * [`datagen`] (aoj-datagen) — TPC-H-shaped workloads with Zipf skew and
 //!   the paper's five evaluation queries.
 //! * [`simnet`] (aoj-simnet) — the deterministic cluster simulator standing
-//!   in for the paper's 220-VM testbed.
+//!   in for the paper's 220-VM testbed, and the `ExecBackend` abstraction
+//!   every execution substrate implements.
+//! * [`runtime`] (aoj-runtime) — the multi-threaded execution backend: the
+//!   same task graph on real OS threads, for wall-clock measurements.
 //! * [`operators`] (aoj-operators) — the four dataflow operators evaluated
-//!   in the paper (Dynamic, StaticMid, StaticOpt, SHJ) wired onto the
-//!   simulator.
+//!   in the paper (Dynamic, StaticMid, StaticOpt, SHJ), generic over the
+//!   execution backend: simulation for reproducible figures, threads for
+//!   real performance.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour, and the `aoj-bench`
 //! crate for the harness that regenerates every table and figure of the
-//! paper's evaluation section.
+//! paper's evaluation section (plus `reproduce --backend threaded` for the
+//! wall-clock benchmark).
 
 pub use aoj_core as core;
 pub use aoj_datagen as datagen;
 pub use aoj_joinalg as joinalg;
 pub use aoj_operators as operators;
+pub use aoj_runtime as runtime;
 pub use aoj_simnet as simnet;

@@ -11,7 +11,14 @@ use adaptive_online_joins::datagen::zipf::Skew;
 use adaptive_online_joins::operators::{run, OperatorKind, RunConfig, SourcePacing};
 
 fn small_db(skew: Skew) -> TpchDb {
-    TpchDb::generate(ScaledGb { gb: 1, reduction: 1000 }, skew, 11)
+    TpchDb::generate(
+        ScaledGb {
+            gb: 1,
+            reduction: 1000,
+        },
+        skew,
+        11,
+    )
 }
 
 #[test]
@@ -37,7 +44,12 @@ fn band_join_bci_is_exact_under_adaptivity() {
     let w = queries::bci(&db);
     let expected = reference_match_count(&w);
     let arrivals = interleave(&w, 6);
-    let report = run(&arrivals, &w.predicate, w.name, &RunConfig::new(16, OperatorKind::Dynamic));
+    let report = run(
+        &arrivals,
+        &w.predicate,
+        w.name,
+        &RunConfig::new(16, OperatorKind::Dynamic),
+    );
     assert_eq!(report.matches, expected);
     assert!(report.migrations > 0, "BCI's lopsided streams should adapt");
 }
@@ -48,7 +60,12 @@ fn bnci_is_exact() {
     let w = queries::bnci(&db);
     let expected = reference_match_count(&w);
     let arrivals = interleave(&w, 8);
-    let report = run(&arrivals, &w.predicate, w.name, &RunConfig::new(8, OperatorKind::Dynamic));
+    let report = run(
+        &arrivals,
+        &w.predicate,
+        w.name,
+        &RunConfig::new(8, OperatorKind::Dynamic),
+    );
     assert_eq!(report.matches, expected);
 }
 
@@ -59,8 +76,12 @@ fn fluct_join_is_exact_across_fluctuation_factors() {
     let expected = reference_match_count(&w);
     for k in [2u64, 8] {
         let arrivals = fluctuating(&w, k, 3);
-        let report =
-            run(&arrivals, &w.predicate, w.name, &RunConfig::new(16, OperatorKind::Dynamic));
+        let report = run(
+            &arrivals,
+            &w.predicate,
+            w.name,
+            &RunConfig::new(16, OperatorKind::Dynamic),
+        );
         assert_eq!(report.matches, expected, "k={k}");
         assert!(report.migrations >= 2, "k={k} should migrate repeatedly");
     }
@@ -83,8 +104,16 @@ fn dynamic_converges_to_the_oracle_mapping_on_real_workloads() {
         (r, s)
     };
     let oracle = optimal_mapping(16, r_bytes, s_bytes);
-    let report = run(&arrivals, &w.predicate, w.name, &RunConfig::new(16, OperatorKind::Dynamic));
-    assert_eq!(report.final_mapping, oracle, "Dynamic must land on the oracle mapping");
+    let report = run(
+        &arrivals,
+        &w.predicate,
+        w.name,
+        &RunConfig::new(16, OperatorKind::Dynamic),
+    );
+    assert_eq!(
+        report.final_mapping, oracle,
+        "Dynamic must land on the oracle mapping"
+    );
 }
 
 #[test]
@@ -101,7 +130,8 @@ fn skew_does_not_degrade_dynamic_but_degrades_shj() {
         let cfg = RunConfig::new(j, kind); // unbounded RAM: compare imbalance
         run(&arrivals, &w.predicate, w.name, &cfg).max_ilf_bytes as f64
     };
-    let shj_skew_blowup = run_max_ilf(&skewed, OperatorKind::Shj) / run_max_ilf(&uniform, OperatorKind::Shj);
+    let shj_skew_blowup =
+        run_max_ilf(&skewed, OperatorKind::Shj) / run_max_ilf(&uniform, OperatorKind::Shj);
     let dyn_skew_blowup =
         run_max_ilf(&skewed, OperatorKind::Dynamic) / run_max_ilf(&uniform, OperatorKind::Dynamic);
     assert!(
@@ -126,7 +156,12 @@ fn theta_closure_predicates_run_through_the_full_stack() {
     }));
     let expected = reference_match_count(&w);
     let arrivals = interleave(&w, 13);
-    let report = run(&arrivals, &w.predicate, w.name, &RunConfig::new(4, OperatorKind::Dynamic));
+    let report = run(
+        &arrivals,
+        &w.predicate,
+        w.name,
+        &RunConfig::new(4, OperatorKind::Dynamic),
+    );
     assert_eq!(report.matches, expected);
 }
 

@@ -1,0 +1,297 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the slice of criterion's API its benches use: `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::{iter, iter_batched}`, `BatchSize`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — warm up briefly, then time enough
+//! iterations to fill a measurement window and report the mean — which is
+//! plenty for "did this hot path regress by 2x" comparisons. There is no
+//! statistical analysis, HTML report, or baseline storage.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup; ignored by this harness.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id (the group supplies the name).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// Render to the printed id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by `iter*`.
+    mean_ns: f64,
+    measurement_window: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, called back-to-back until the window fills.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: how many iterations fit ~10% of the
+        // window?
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < self.measurement_window / 10 {
+            black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_nanos().max(1) / warmup_iters.max(1) as u128;
+        let target_iters =
+            (self.measurement_window.as_nanos() / per_iter.max(1)).clamp(1, 10_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..target_iters {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / target_iters as f64;
+    }
+
+    /// Time `routine` on inputs built by `setup`. Setup time is excluded
+    /// by pre-building inputs a bounded batch at a time (never the whole
+    /// measurement's worth at once, which could transiently allocate
+    /// hundreds of MB for cheap routines with large inputs).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        const BATCH: u64 = 256;
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < self.measurement_window / 10 {
+            black_box(routine(setup()));
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_nanos().max(1) / warmup_iters.max(1) as u128;
+        let target_iters =
+            (self.measurement_window.as_nanos() / per_iter.max(1)).clamp(1, 10_000_000) as u64;
+
+        let mut measured = std::time::Duration::ZERO;
+        let mut done: u64 = 0;
+        while done < target_iters {
+            let n = BATCH.min(target_iters - done);
+            let mut inputs = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                inputs.push(setup());
+            }
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            measured += start.elapsed();
+            done += n;
+        }
+        self.mean_ns = measured.as_nanos() as f64 / target_iters as f64;
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_one(id: &str, sample_time: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        mean_ns: 0.0,
+        measurement_window: sample_time,
+    };
+    f(&mut b);
+    println!("{:<50} {:>14}/iter", id, human_ns(b.mean_ns));
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into_id(), self.sample_time, |b| f(b));
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_time: self.sample_time,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Criterion's sample-count knob; this harness scales its
+    /// measurement window down instead for small counts.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if n <= 10 {
+            self.sample_time = Duration::from_millis(100);
+        }
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.into_id()),
+            self.sample_time,
+            |b| f(b),
+        );
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.id), self.sample_time, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_a_mean() {
+        let mut c = Criterion {
+            sample_time: Duration::from_millis(5),
+        };
+        c.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}
