@@ -5,21 +5,26 @@
 //! ```text
 //! cargo run --release -p aoj-bench --bin reproduce -- <experiment>
 //! cargo run --release -p aoj-bench --bin reproduce -- --backend threaded
+//! cargo run --release -p aoj-bench --bin reproduce -- elastic --smoke
 //! ```
 //!
 //! Experiments: `table2`, `fig6a`..`fig6d`, `fig6`, `fig7a`..`fig7d`,
 //! `fig7`, `fig8a`..`fig8d`, `fig8`, `ablation-migration`,
 //! `ablation-epsilon`, `ablation-blocking`, `ablation-elastic`,
-//! `ablation-groups`, `ablations`, `wallclock`, or `all`.
+//! `ablation-groups`, `ablations`, `wallclock`, `elastic`, or `all`.
 //!
 //! `--backend threaded` selects the multi-threaded runtime, which hosts
-//! the wall-clock benchmark (`wallclock`); the paper-figure experiments
-//! are simulator-only because their figures are defined in virtual time.
+//! the wall-clock benchmark (`wallclock`) and the live `elastic`
+//! scale-out experiment; the paper-figure experiments are simulator-only
+//! because their figures are defined in virtual time. `--smoke` shrinks
+//! the `elastic` workload to a CI-sized run.
 
-use aoj_bench::experiments::{ablation, fig6, fig7, fig8, table2, wallclock};
+use aoj_bench::experiments::{ablation, elastic, fig6, fig7, fig8, table2, wallclock};
+use aoj_operators::BackendChoice;
 
 fn main() {
     let mut backend = "sim".to_string();
+    let mut smoke = false;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -32,26 +37,34 @@ fn main() {
             other if other.starts_with("--backend=") => {
                 backend = other["--backend=".len()..].to_string();
             }
+            "--smoke" => smoke = true,
             other => positional.push(other.to_string()),
         }
     }
-    let what = match backend.as_str() {
-        "sim" => positional
+    let backend_choice = match backend.as_str() {
+        "sim" => BackendChoice::Sim,
+        "threaded" => BackendChoice::Threaded,
+        other => die(&format!("unknown backend `{other}`; use sim | threaded")),
+    };
+    let what = match backend_choice {
+        BackendChoice::Sim => positional
             .first()
             .map(|s| s.as_str())
             .unwrap_or("all")
             .to_string(),
-        "threaded" => {
-            // The threaded runtime hosts the wall-clock benchmark; the
-            // figure experiments are defined in virtual time.
+        BackendChoice::Threaded => {
+            // The threaded runtime hosts the wall-clock benchmark and the
+            // elastic scale-out; the figure experiments are defined in
+            // virtual time.
             match positional.first().map(|s| s.as_str()) {
                 None | Some("wallclock") | Some("all") => "wallclock".to_string(),
+                Some("elastic") => "elastic".to_string(),
                 Some(other) => die(&format!(
-                    "experiment `{other}` is simulator-only; `--backend threaded` runs `wallclock`"
+                    "experiment `{other}` is simulator-only; `--backend threaded` \
+                     runs `wallclock` or `elastic`"
                 )),
             }
         }
-        other => die(&format!("unknown backend `{other}`; use sim | threaded")),
     };
 
     let start = std::time::Instant::now();
@@ -79,6 +92,7 @@ fn main() {
         "ablation-groups" => ablation::run_ablation_groups(),
         "ablations" => ablation::run_ablations(),
         "wallclock" => wallclock::run_wallclock(),
+        "elastic" => elastic::run_elastic(backend_choice, smoke),
         "all" => {
             table2::run_table2();
             fig6::run_fig6();
@@ -86,6 +100,7 @@ fn main() {
             fig8::run_fig8();
             ablation::run_ablations();
             wallclock::run_wallclock();
+            elastic::run_elastic(backend_choice, smoke);
         }
         other => {
             eprintln!("unknown experiment `{other}`; see --help in the module docs");

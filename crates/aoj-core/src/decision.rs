@@ -199,6 +199,16 @@ impl MigrationDecider {
         assert_eq!(mapping.j(), self.j);
         self.current = mapping;
     }
+
+    /// Elastic ×4 expansion (§4.2.2, Theorem 4.3): the cluster grows
+    /// `J → 4J` and the mapping `(n, m) → (2n, 2m)`. Committed
+    /// cardinalities and deltas carry over unchanged — the `n : m` ratio
+    /// is preserved, so the ILF-competitiveness argument of Theorem 4.2
+    /// is unaffected and Alg. 2 keeps running against the larger grid.
+    pub fn expand(&mut self) {
+        self.j *= 4;
+        self.current = Mapping::new(self.current.n * 2, self.current.m * 2);
+    }
 }
 
 #[cfg(test)]
@@ -368,6 +378,23 @@ mod tests {
         // Both satisfy their theoretical bounds.
         assert!(worst_1 <= 1.25 + 1e-9);
         assert!(worst_q <= (3.0 + 2.0 * 0.25) / (3.0 + 0.25) + 1e-9);
+    }
+
+    #[test]
+    fn expansion_rescales_decider_to_4j() {
+        let mut d = decider(4);
+        for i in 0..64u64 {
+            d.observe(i % 2 == 0, 1);
+        }
+        assert_eq!(d.current(), Mapping::new(2, 2));
+        d.expand();
+        assert_eq!(d.current(), Mapping::new(4, 4));
+        // Alg. 2 keeps running against the larger grid: a long S-only tail
+        // may now walk all the way to (1, 16).
+        for _ in 0..1_000_000u64 {
+            d.observe(false, 1);
+        }
+        assert_eq!(d.current(), Mapping::new(1, 16));
     }
 
     #[test]

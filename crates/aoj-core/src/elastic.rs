@@ -119,6 +119,18 @@ pub fn should_expand(max_tuples_per_joiner: u64, capacity_m: u64) -> bool {
     max_tuples_per_joiner > capacity_m / 2
 }
 
+/// The live cluster-wide trigger (§4.2.2): expand when **every** active
+/// joiner stores more than `M/2` — the cluster is uniformly full, not
+/// merely skew-hot (a skewed hot spot is a migration problem, not a
+/// capacity problem). Units are whatever the caller's gauges measure
+/// (bytes under the unequal-tuple-size generalisation).
+pub fn should_expand_cluster(per_joiner_stored: &[u64], capacity_m: u64) -> bool {
+    !per_joiner_stored.is_empty()
+        && per_joiner_stored
+            .iter()
+            .all(|&stored| should_expand(stored, capacity_m))
+}
+
 /// Build the expansion plan for the current assignment. Child machine ids
 /// follow [`GridAssignment::apply_expansion`]'s deterministic allocation.
 pub fn plan_expansion(assign: &GridAssignment) -> ExpansionPlan {
@@ -151,6 +163,14 @@ mod tests {
         assert!(!should_expand(50, 100));
         assert!(should_expand(51, 100));
         assert!(!should_expand(0, 0));
+    }
+
+    #[test]
+    fn cluster_trigger_requires_every_joiner_full() {
+        assert!(should_expand_cluster(&[51, 60, 99, 70], 100));
+        // One under-filled joiner (skew, not capacity) blocks expansion.
+        assert!(!should_expand_cluster(&[51, 60, 50, 70], 100));
+        assert!(!should_expand_cluster(&[], 100));
     }
 
     #[test]

@@ -38,7 +38,35 @@
 //!    data tuples;
 //! 3. the partner's end marker travels in the same class/channel as
 //!    migration state.
+//!
+//! ## Elastic expansion (§4.2.2, Fig. 5)
+//!
+//! The same state machine also hosts the ×4 **expansion** protocol, where
+//! the mapping goes `(n, m) → (2n, 2m)` and every machine splits into
+//! four. The correctness argument is the migration argument with the
+//! partner exchange replaced by a parent → children **fan-out**:
+//!
+//! * a **parent** treats the expansion like a migration in which it keeps
+//!   only the state landing in child `(0,0)` and ships every stored tuple
+//!   to the 1–2 children whose new grid cells cover it
+//!   ([`ExpandSpec::destinations`]); it expects no partner state, so it
+//!   finalises as soon as every reshuffler has signalled;
+//! * a **child** starts *unborn* — empty state, no epoch. New-epoch
+//!   tuples routed to it accumulate in `Δ′` (probing `µ ∪ Δ′`, exactly
+//!   Alg. 3's new-epoch path with `Keep(τ ∪ Δ) = ∅`), parent state
+//!   accumulates in `µ` (probing `Δ′`), and the parent's end-of-state
+//!   marker — FIFO behind all of `µ` on the Migration channel — is the
+//!   only completion condition: every old tuple relevant to the child
+//!   flows through its parent, so no reshuffler signals are needed. At
+//!   *birth* the child finalises `τ ← µ ∪ Δ′` and joins the cluster as a
+//!   normal joiner at the expansion epoch.
+//!
+//! Every old×old pair was emitted at the parent level, every old×new and
+//! new×new pair is emitted at exactly the one machine whose new grid cell
+//! covers it — the seven-join decomposition of Lemma 4.6 carries over
+//! with `µ` sourced from one parent instead of one partner.
 
+use crate::elastic::{ExpandDestinations, ExpandSpec};
 use crate::index::{JoinIndex, ProbeStats};
 use crate::migration::MachineStepSpec;
 use crate::tuple::{Rel, Tuple};
@@ -54,6 +82,29 @@ pub struct DataOutcome {
     /// The caller must forward a copy of the tuple to the exchange partner
     /// (old-epoch tuple of the coarsening relation, Alg. 3 line 19–20).
     pub forward_to_partner: bool,
+    /// Expansion parents only: the caller must forward copies of this
+    /// old-epoch tuple to the children selected by the destinations (the
+    /// Δ analogue of the Fig. 5 state fan-out).
+    pub expand_forward: Option<ExpandDestinations>,
+}
+
+/// What kind of reconfiguration this joiner is executing, and its role.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MigrationRole {
+    /// A one-step migration (Lemma 4.4): partner exchange + keep bit.
+    Step(MachineStepSpec),
+    /// A ×4 expansion parent (Fig. 5): split state across four children.
+    Expand(ExpandSpec),
+}
+
+impl MigrationRole {
+    /// Does this machine's post-reconfiguration state include `t`?
+    fn keeps(&self, t: &Tuple) -> bool {
+        match self {
+            MigrationRole::Step(spec) => spec.is_kept(t),
+            MigrationRole::Expand(spec) => spec.destinations(t).keep,
+        }
+    }
 }
 
 /// Outcome of an epoch-change signal.
@@ -82,11 +133,17 @@ pub struct EpochJoiner {
     epoch: Epoch,
     migrating: bool,
     new_epoch: Epoch,
-    spec: Option<MachineStepSpec>,
+    role: Option<MigrationRole>,
     signals: Vec<bool>,
     signals_remaining: usize,
     partner_done: bool,
     n_reshufflers: usize,
+    /// False for a dormant expansion child that has not finalised its
+    /// birth yet (see the module docs on elastic expansion).
+    born: bool,
+    /// The expansion epoch an unborn child will adopt at birth, learned
+    /// from the first new-epoch tuple or the parent's end marker.
+    birth_epoch: Option<Epoch>,
 
     tau: Box<dyn JoinIndex>,
     delta: Box<dyn JoinIndex>,
@@ -106,17 +163,40 @@ impl EpochJoiner {
             epoch: 0,
             migrating: false,
             new_epoch: 0,
-            spec: None,
+            role: None,
             signals: vec![false; n_reshufflers],
             signals_remaining: 0,
             partner_done: false,
             n_reshufflers,
+            born: true,
+            birth_epoch: None,
             tau: make_index(),
             delta: make_index(),
             delta_prime: make_index(),
             mu: make_index(),
             matches_emitted: 0,
         }
+    }
+
+    /// Create a dormant expansion child: provisioned but unborn. It holds
+    /// no state and expects no signals; it wakes up when its parent's
+    /// expansion state (µ), new-epoch data (Δ′) or the parent's
+    /// end-of-state marker first reaches it, and joins the cluster as a
+    /// normal joiner at [`birth`](EpochJoiner::on_parent_done).
+    pub fn new_dormant(
+        make_index: &dyn Fn() -> Box<dyn JoinIndex>,
+        n_reshufflers: usize,
+    ) -> EpochJoiner {
+        let mut j = EpochJoiner::new(make_index, n_reshufflers);
+        j.born = false;
+        j
+    }
+
+    /// True once this joiner participates in the cluster (always, except
+    /// for a dormant expansion child before its birth finalisation).
+    #[inline]
+    pub fn is_born(&self) -> bool {
+        self.born
     }
 
     /// Current (finalised) epoch.
@@ -181,6 +261,23 @@ impl EpochJoiner {
     ) -> DataOutcome {
         let mut outcome = DataOutcome::default();
         let mut matches = 0u64;
+        if !self.born {
+            // Unborn expansion child: everything routed here is new-epoch
+            // by construction (reshufflers only target this machine under
+            // the expanded mapping). Alg. 3's new-epoch path with
+            // `Keep(τ ∪ Δ) = ∅`.
+            let birth = *self.birth_epoch.get_or_insert(tag);
+            assert_eq!(tag, birth, "unborn child saw data from two epochs");
+            let mut cb = |stored: &Tuple| {
+                matches += 1;
+                Self::emit(&t, stored, out);
+            };
+            outcome.stats += self.mu.probe(&t, &mut cb);
+            outcome.stats += self.delta_prime.probe(&t, &mut cb);
+            self.delta_prime.insert(t);
+            self.matches_emitted += matches;
+            return outcome;
+        }
         if !self.migrating {
             assert_eq!(tag, self.epoch, "stable joiner got tuple from epoch {tag}");
             let mut cb = |stored: &Tuple| {
@@ -195,7 +292,7 @@ impl EpochJoiner {
                 self.signals_remaining > 0,
                 "old-epoch tuple after all reshuffler signals (FIFO violation)"
             );
-            let spec = self.spec.expect("migrating implies spec");
+            let role = self.role.expect("migrating implies a role");
             {
                 let mut cb = |stored: &Tuple| {
                     matches += 1;
@@ -205,8 +302,7 @@ impl EpochJoiner {
                 outcome.stats += self.tau.probe(&t, &mut cb);
                 outcome.stats += self.delta.probe(&t, &mut cb);
             }
-            let class = spec.classify(&t);
-            if class.kept() {
+            if role.keeps(&t) {
                 // t ∈ Keep(Δ): {t} ⋈ Δ′
                 let mut cb = |stored: &Tuple| {
                     matches += 1;
@@ -214,7 +310,16 @@ impl EpochJoiner {
                 };
                 outcome.stats += self.delta_prime.probe(&t, &mut cb);
             }
-            outcome.forward_to_partner = class.migrated();
+            match role {
+                MigrationRole::Step(spec) => {
+                    outcome.forward_to_partner = spec.is_migrated(&t);
+                }
+                MigrationRole::Expand(spec) => {
+                    // A Δ tuple is part of the state being split: copies
+                    // go to every child whose new cell covers it.
+                    outcome.expand_forward = Some(spec.destinations(&t));
+                }
+            }
             self.delta.insert(t);
         } else {
             // New-epoch tuple: Alg. 3 lines 12–14 / 24–26.
@@ -223,7 +328,7 @@ impl EpochJoiner {
                 "tuple from epoch {tag} while migrating {} -> {}",
                 self.epoch, self.new_epoch
             );
-            let spec = self.spec.expect("migrating implies spec");
+            let role = self.role.expect("migrating implies a role");
             {
                 // {t} ⋈ (µ ∪ Δ′)
                 let mut cb = |stored: &Tuple| {
@@ -235,7 +340,7 @@ impl EpochJoiner {
             }
             {
                 // {t} ⋈ Keep(τ ∪ Δ)
-                let mut filter = |stored: &Tuple| spec.is_kept(stored);
+                let mut filter = |stored: &Tuple| role.keeps(stored);
                 let mut cb = |stored: &Tuple| {
                     matches += 1;
                     Self::emit(&t, stored, out);
@@ -257,6 +362,33 @@ impl EpochJoiner {
         new_epoch: Epoch,
         spec: MachineStepSpec,
     ) -> SignalOutcome {
+        self.begin_reconfiguration(from, new_epoch, MigrationRole::Step(spec), false)
+    }
+
+    /// An expansion signal from reshuffler `from` (§4.2.2): this machine is
+    /// a **parent** splitting into four. Like [`on_signal`], the signal
+    /// travels FIFO behind the reshuffler's data; on the first one the
+    /// caller must ship [`expansion_snapshot`](EpochJoiner::expansion_snapshot)
+    /// to the children, and after the last one send each child the
+    /// end-of-state marker. Parents receive no partner state, so they are
+    /// ready to finalise as soon as every reshuffler has signalled.
+    pub fn on_expand_signal(
+        &mut self,
+        from: usize,
+        new_epoch: Epoch,
+        spec: ExpandSpec,
+    ) -> SignalOutcome {
+        self.begin_reconfiguration(from, new_epoch, MigrationRole::Expand(spec), true)
+    }
+
+    fn begin_reconfiguration(
+        &mut self,
+        from: usize,
+        new_epoch: Epoch,
+        role: MigrationRole,
+        no_partner_state: bool,
+    ) -> SignalOutcome {
+        assert!(self.born, "dormant child received a reshuffler signal");
         let mut outcome = SignalOutcome::default();
         if !self.migrating {
             assert_eq!(
@@ -266,13 +398,19 @@ impl EpochJoiner {
             );
             self.migrating = true;
             self.new_epoch = new_epoch;
-            self.spec = Some(spec);
+            self.role = Some(role);
             self.signals.iter_mut().for_each(|s| *s = false);
             self.signals_remaining = self.n_reshufflers;
+            // Expansion parents await no µ: mark the (absent) partner done.
+            // For step migrations, leave `partner_done` alone — the
+            // partner's marker may legitimately have arrived already.
+            if no_partner_state {
+                self.partner_done = true;
+            }
             outcome.start_migration = true;
         } else {
             assert_eq!(new_epoch, self.new_epoch, "overlapping migrations");
-            debug_assert_eq!(self.spec, Some(spec));
+            debug_assert_eq!(self.role, Some(role));
         }
         assert!(
             !self.signals[from],
@@ -289,13 +427,31 @@ impl EpochJoiner {
     /// "Send τ for migration"). The tuples stay in `τ` — the exchange keeps
     /// both halves (Lemma 4.4).
     pub fn migration_snapshot(&self) -> Vec<Tuple> {
-        let spec = self.spec.expect("snapshot requires an active migration");
+        let Some(MigrationRole::Step(spec)) = self.role else {
+            panic!("migration snapshot requires an active step migration");
+        };
         let mut snap = Vec::new();
         self.tau.for_each(&mut |t| {
             if t.rel == spec.exchange_rel {
                 snap.push(*t);
             }
         });
+        snap
+    }
+
+    /// The state an expansion parent ships to its children when the
+    /// expansion starts: **every** stored tuple of `τ`, of both relations
+    /// (Fig. 5 splits along both ticket axes). The caller classifies each
+    /// tuple with [`ExpandSpec::destinations`] and sends copies to the
+    /// 1–2 children that cover it; kept tuples stay in `τ` and the
+    /// non-kept ones are dropped at finalisation.
+    pub fn expansion_snapshot(&self) -> Vec<Tuple> {
+        assert!(
+            matches!(self.role, Some(MigrationRole::Expand(_))),
+            "expansion snapshot requires an active expansion"
+        );
+        let mut snap = Vec::with_capacity(self.tau.len());
+        self.tau.for_each(&mut |t| snap.push(*t));
         snap
     }
 
@@ -324,31 +480,70 @@ impl EpochJoiner {
 
     /// The partner's end-of-state marker arrived: all of `µ` is in.
     pub fn on_partner_done(&mut self) {
+        assert!(self.born, "expansion children use on_parent_done");
         assert!(!self.partner_done, "duplicate end-of-state marker");
         self.partner_done = true;
     }
 
+    /// An expansion child's parent sent its end-of-state marker, carrying
+    /// the expansion epoch: all of `µ` is in, and — because every old
+    /// tuple relevant to this child flows through the parent — no further
+    /// old state can arrive. The child is now ready for its birth
+    /// finalisation.
+    pub fn on_parent_done(&mut self, epoch: Epoch) {
+        assert!(!self.born, "only unborn children receive a parent marker");
+        assert!(!self.partner_done, "duplicate end-of-state marker");
+        let birth = *self.birth_epoch.get_or_insert(epoch);
+        assert_eq!(epoch, birth, "parent marker disagrees with data epoch");
+        self.partner_done = true;
+    }
+
     /// True when the migration can be finalised: every reshuffler has
-    /// signalled and the partner's state is fully received.
+    /// signalled and the partner's state is fully received. An unborn
+    /// expansion child needs only its parent's end-of-state marker.
     pub fn ready_to_finalize(&self) -> bool {
+        if !self.born {
+            return self.partner_done;
+        }
         self.migrating && self.signals_remaining == 0 && self.partner_done
     }
 
     /// Finalise (Alg. 3 FinalizeMigration): drop discards and merge
     /// `Keep(τ∪Δ) ∪ µ ∪ Δ′` into the new `τ`. Returns counts for cost
     /// accounting. The caller then acks the controller.
+    ///
+    /// For an unborn expansion child this is the **birth**: `τ ← µ ∪ Δ′`
+    /// (nothing to discard — the parent only sent covering state), the
+    /// child adopts the expansion epoch and becomes a normal joiner.
     pub fn finalize(&mut self) -> FinalizeSummary {
         assert!(self.ready_to_finalize(), "finalize called early");
-        let spec = self.spec.take().expect("migrating implies spec");
         let mut summary = FinalizeSummary::default();
+        if !self.born {
+            for t in self.mu.drain() {
+                self.tau.insert(t);
+                summary.merged += 1;
+            }
+            for t in self.delta_prime.drain() {
+                self.tau.insert(t);
+                summary.merged += 1;
+            }
+            self.epoch = self
+                .birth_epoch
+                .take()
+                .expect("parent marker always sets the birth epoch");
+            self.born = true;
+            self.partner_done = false;
+            return summary;
+        }
+        let role = self.role.take().expect("migrating implies a role");
 
         // Drop discards still sitting in τ.
-        let dropped = self.tau.extract(&mut |t| !spec.is_kept(t));
+        let dropped = self.tau.extract(&mut |t| !role.keeps(t));
         summary.discarded += dropped.len() as u64;
 
         // Δ: keep survivors, drop the rest.
         for t in self.delta.drain() {
-            if spec.is_kept(&t) {
+            if role.keeps(&t) {
                 self.tau.insert(t);
                 summary.merged += 1;
             } else {
@@ -548,6 +743,103 @@ mod tests {
         let (mut a, _b, plan) = mid_migration_pair();
         a.on_signal(0, 1, plan.specs[0]);
         a.on_signal(0, 1, plan.specs[0]);
+    }
+
+    fn expand_spec_1x1() -> ExpandSpec {
+        use crate::mapping::GridPos;
+        ExpandSpec {
+            machine: 0,
+            old_pos: GridPos { row: 0, col: 0 },
+            children: [1, 2, 3],
+            n_before: 1,
+            m_before: 1,
+        }
+    }
+
+    #[test]
+    fn expansion_parent_splits_keeps_and_forwards() {
+        let mut p = make_joiner(2);
+        let mut pairs = Vec::new();
+        // τ: an R tuple with row-bit 0 (kept, copied to child (0,1)) and an
+        // S tuple with col-bit 1 (leaves for children (0,1) and (1,1)).
+        let r_keep = Tuple::new(Rel::R, 1, 7, 0);
+        let s_move = Tuple::new(Rel::S, 2, 7, 1 << 63);
+        p.on_data(0, r_keep, &mut collect_pairs(&mut pairs));
+        p.on_data(0, s_move, &mut collect_pairs(&mut pairs));
+        assert_eq!(pairs, vec![(1, 2)]);
+        let spec = expand_spec_1x1();
+        let so = p.on_expand_signal(0, 1, spec);
+        assert!(so.start_migration && !so.all_signals);
+        assert_eq!(p.expansion_snapshot().len(), 2, "both relations ship");
+        // Old-epoch R with row-bit 1: joins τ∪Δ, forwarded to two children,
+        // not kept here.
+        let r_old = Tuple::new(Rel::R, 3, 7, 1 << 63);
+        let o = p.on_data(0, r_old, &mut collect_pairs(&mut pairs));
+        let d = o.expand_forward.expect("Δ tuples fan out to children");
+        assert!(!d.keep);
+        assert_eq!(d.sends(), 2);
+        assert_eq!(pairs, vec![(1, 2), (3, 2)]);
+        // New-epoch S with col-bit 0 (parent's own new cell): joins
+        // Keep(τ∪Δ) = {r_keep} only.
+        let s_new = Tuple::new(Rel::S, 4, 7, 0);
+        p.on_data(1, s_new, &mut collect_pairs(&mut pairs));
+        assert_eq!(pairs, vec![(1, 2), (3, 2), (1, 4)]);
+        let so = p.on_expand_signal(1, 1, spec);
+        assert!(so.all_signals);
+        // Parents await no partner state: ready right after the signals.
+        assert!(p.ready_to_finalize());
+        let summary = p.finalize();
+        assert_eq!(summary.discarded, 2, "s_move from τ and r_old from Δ");
+        assert_eq!(summary.merged, 1, "s_new from Δ′");
+        assert_eq!(p.epoch(), 1);
+        assert_eq!(p.stored_tuples(), 2); // r_keep + s_new
+    }
+
+    #[test]
+    fn expansion_child_is_born_with_parent_state() {
+        let mut c = EpochJoiner::new_dormant(&|| Box::new(VecIndex::new(Predicate::Equi)), 2);
+        assert!(!c.is_born());
+        let mut pairs = Vec::new();
+        // New-epoch data can arrive before any parent state.
+        let s_new = Tuple::new(Rel::S, 1, 5, 0);
+        c.on_data(3, s_new, &mut collect_pairs(&mut pairs));
+        assert!(pairs.is_empty());
+        // Parent state arrives: probes Δ′.
+        let r_mu = Tuple::new(Rel::R, 2, 5, 0);
+        c.on_migration_tuple(r_mu, &mut collect_pairs(&mut pairs));
+        assert_eq!(pairs, vec![(2, 1)]);
+        assert!(!c.ready_to_finalize());
+        c.on_parent_done(3);
+        assert!(c.ready_to_finalize());
+        let summary = c.finalize();
+        assert_eq!(summary.merged, 2);
+        assert_eq!(summary.discarded, 0);
+        assert!(c.is_born());
+        assert_eq!(c.epoch(), 3);
+        // Born: a stable joiner at the expansion epoch.
+        let s2 = Tuple::new(Rel::S, 3, 5, 0);
+        c.on_data(3, s2, &mut collect_pairs(&mut pairs));
+        assert_eq!(pairs, vec![(2, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn expansion_child_with_no_contact_but_done_marker_is_born_empty() {
+        let mut c = EpochJoiner::new_dormant(&|| Box::new(VecIndex::new(Predicate::Equi)), 1);
+        c.on_parent_done(7);
+        assert!(c.ready_to_finalize());
+        let summary = c.finalize();
+        assert_eq!(summary, FinalizeSummary::default());
+        assert_eq!(c.epoch(), 7);
+        assert!(c.is_born());
+    }
+
+    #[test]
+    #[should_panic(expected = "unborn child saw data from two epochs")]
+    fn unborn_child_rejects_mixed_epoch_data() {
+        let mut c = EpochJoiner::new_dormant(&|| Box::new(VecIndex::new(Predicate::Equi)), 1);
+        let mut sink = |_: &Tuple, _: &Tuple| {};
+        c.on_data(3, Tuple::new(Rel::R, 1, 1, 0), &mut sink);
+        c.on_data(4, Tuple::new(Rel::R, 2, 1, 0), &mut sink);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! invariants the paper's proofs rest on must hold for *arbitrary* inputs,
 //! not just the hand-picked cases of the unit tests.
 
+use aoj_core::elastic::plan_expansion;
 use aoj_core::ilf::{
     continuous_lower_bound, effective_cardinalities, ilf, optimal_ilf, optimal_mapping,
 };
@@ -146,6 +147,64 @@ proptest! {
                     "partners must keep complementary halves"
                 );
             }
+        }
+    }
+
+    /// §4.2.2 elasticity (Fig. 5): for ANY starting grid and ANY stored
+    /// tuple, [`ExpandSpec::destinations`] routes each of the tuple's
+    /// stored copies to exactly the machines whose post-expansion grid
+    /// cells cover it — no loss, no double-store. This is the invariant
+    /// the live expansion protocol's exactness rests on.
+    #[test]
+    fn expansion_destinations_cover_grid_exactly(
+        mapping in mapping_strategy(),
+        tickets in prop::collection::vec((any::<u64>(), any::<bool>()), 1..60),
+    ) {
+        let assign = GridAssignment::initial(mapping);
+        let plan = plan_expansion(&assign);
+        let mut next = assign.clone();
+        next.apply_expansion();
+        let np = next.mapping();
+        prop_assert_eq!(np, Mapping::new(mapping.n * 2, mapping.m * 2));
+        for (i, (ticket, is_r)) in tickets.iter().enumerate() {
+            let rel = if *is_r { Rel::R } else { Rel::S };
+            let t = Tuple::new(rel, i as u64, 0, *ticket);
+            // The machines storing t before the expansion (its row or
+            // column), and the machines that must store it after.
+            let holders: Vec<usize> = match rel {
+                Rel::R => assign
+                    .machines_for_row(partition(*ticket, mapping.n))
+                    .collect(),
+                Rel::S => assign
+                    .machines_for_col(partition(*ticket, mapping.m))
+                    .collect(),
+            };
+            let mut expected: Vec<usize> = match rel {
+                Rel::R => next.machines_for_row(partition(*ticket, np.n)).collect(),
+                Rel::S => next.machines_for_col(partition(*ticket, np.m)).collect(),
+            };
+            // Fan every stored copy out per its holder's spec.
+            let mut actual: Vec<usize> = Vec::new();
+            for &h in &holders {
+                let spec = plan.specs[h];
+                let d = spec.destinations(&t);
+                prop_assert!(d.sends() <= 2, "per-copy fan-out beyond Theorem 4.3");
+                if d.keep {
+                    actual.push(h);
+                }
+                for (child, go) in spec.children.iter().zip([d.to_01, d.to_10, d.to_11]) {
+                    if go {
+                        actual.push(*child);
+                    }
+                }
+            }
+            expected.sort_unstable();
+            actual.sort_unstable();
+            prop_assert_eq!(
+                actual, expected,
+                "copies of {:?} tuple with ticket {:#x} not partitioned to its covering cells",
+                rel, ticket
+            );
         }
     }
 

@@ -23,9 +23,10 @@ use aoj_joinalg::SpillGauge;
 use aoj_runtime::{Runtime, RuntimeConfig};
 use aoj_simnet::{CostModel, ExecBackend, NetworkConfig, Sim, SimConfig, SimTime, TaskId};
 
+use crate::elastic_runtime::{provisioned_joiners, ElasticConfig};
 use crate::joiner_task::{JoinerTask, LatencyStats};
 use crate::messages::OpMsg;
-use crate::report::RunReport;
+use crate::report::{ExpandTransfer, RunReport};
 use crate::reshuffler::{
     ControlEvent, ControllerState, ProgressRecorder, ProgressSample, ReshufflerTask,
 };
@@ -105,6 +106,11 @@ pub struct RunConfig {
     /// [`RunReport::match_pairs`] — for cross-backend equivalence tests;
     /// costs memory proportional to the output size.
     pub collect_matches: bool,
+    /// Live elasticity (§4.2.2): start with `j` joiners and expand ×4 at
+    /// migration checkpoints where every active joiner stores more than
+    /// `capacity_bytes / 2`. `j · 4^max_expansions` machines are
+    /// provisioned up front (dormant until activated). Dynamic only.
+    pub elastic: Option<ElasticConfig>,
 }
 
 impl RunConfig {
@@ -126,6 +132,7 @@ impl RunConfig {
             window_copies: 64 * j as u64,
             blocking_migrations: false,
             collect_matches: false,
+            elastic: None,
         }
     }
 
@@ -138,6 +145,12 @@ impl RunConfig {
     /// Builder: select the execution backend.
     pub fn with_backend(mut self, backend: BackendChoice) -> RunConfig {
         self.backend = backend;
+        self
+    }
+
+    /// Builder: arm live elasticity (Dynamic only).
+    pub fn with_elastic(mut self, elastic: ElasticConfig) -> RunConfig {
+        self.elastic = Some(elastic);
         self
     }
 }
@@ -238,14 +251,15 @@ fn progress_samples<B: ExecBackend<OpMsg>>(backend: &B) -> Vec<ProgressSample> {
         .collect()
 }
 
-/// Build the `J + 1` machines: one per joiner pair, plus the source
-/// machine whose egress models `J` parallel upstream feeds.
+/// Build `total + 1` machines: one per (possibly dormant) joiner pair,
+/// plus the source machine whose egress models `J` parallel upstream
+/// feeds.
 fn add_machines<B: ExecBackend<OpMsg>>(
     backend: &mut B,
     cfg: &RunConfig,
+    total: usize,
 ) -> Vec<aoj_simnet::MachineId> {
-    let j = cfg.j as usize;
-    let mut machines: Vec<_> = (0..j).map(|_| backend.add_machine()).collect();
+    let mut machines: Vec<_> = (0..total).map(|_| backend.add_machine()).collect();
     // The source stands in for J parallel upstream feeds (previous query
     // stages), not a single NIC: scale its egress accordingly so the
     // operator, not the feed, is the bottleneck. (The threaded backend
@@ -267,6 +281,10 @@ fn run_grid<B: ExecBackend<OpMsg>>(
         cfg.j.is_power_of_two(),
         "grid operators need a power-of-two J"
     );
+    assert!(
+        cfg.elastic.is_none() || cfg.kind == OperatorKind::Dynamic,
+        "elasticity requires the Dynamic operator (the controller owns the trigger)"
+    );
     let initial = match cfg.kind {
         OperatorKind::Dynamic | OperatorKind::StaticMid => Mapping::square(cfg.j),
         OperatorKind::StaticOpt => {
@@ -279,20 +297,32 @@ fn run_grid<B: ExecBackend<OpMsg>>(
 
     backend.metrics_mut().sample_spacing = sample_every(cfg, arrivals.len());
     let j = cfg.j as usize;
-    let machines = add_machines(backend, cfg);
-    let reshuffler_ids: Vec<TaskId> = (0..j).map(TaskId).collect();
-    let joiner_ids: Vec<TaskId> = (j..2 * j).map(TaskId).collect();
-    let source_id = TaskId(2 * j);
+    // Elastic runs provision the fully expanded cluster up front: the
+    // first `j` machines are active, the rest dormant (idle joiners
+    // awaiting birth; their reshufflers participate in the control plane
+    // from the start but receive no ingest until an expansion activates
+    // them).
+    let total = cfg
+        .elastic
+        .map(|e| provisioned_joiners(cfg.j, e.max_expansions) as usize)
+        .unwrap_or(j);
+    let machines = add_machines(backend, cfg, total);
+    let reshuffler_ids: Vec<TaskId> = (0..total).map(TaskId).collect();
+    let joiner_ids: Vec<TaskId> = (total..2 * total).map(TaskId).collect();
+    let source_id = TaskId(2 * total);
 
-    for i in 0..j {
+    for i in 0..total {
         let controller = if i == 0 {
-            Some(ControllerState::new(
-                cfg.j,
-                initial,
-                cfg.decision,
-                adaptive,
-                sample_every(cfg, arrivals.len()),
-            ))
+            Some(
+                ControllerState::new(
+                    cfg.j,
+                    initial,
+                    cfg.decision,
+                    adaptive,
+                    sample_every(cfg, arrivals.len()),
+                )
+                .with_elastic(cfg.elastic),
+            )
         } else {
             None
         };
@@ -314,11 +344,11 @@ fn run_grid<B: ExecBackend<OpMsg>>(
         let id = backend.add_task(machines[i], Box::new(task));
         debug_assert_eq!(id, reshuffler_ids[i]);
     }
-    for i in 0..j {
+    for i in 0..total {
         let mut task = JoinerTask::new(
             i,
             predicate.clone(),
-            j,
+            total,
             joiner_ids.clone(),
             reshuffler_ids[0],
             source_id,
@@ -326,33 +356,57 @@ fn run_grid<B: ExecBackend<OpMsg>>(
             SpillGauge::new(cfg.ram_budget, cfg.spill_penalty),
             cfg.cost,
         );
+        if i >= j {
+            task = task.dormant(predicate.clone(), total);
+        }
         task.collect_matches = cfg.collect_matches;
         let id = backend.add_task(machines[i], Box::new(task));
         debug_assert_eq!(id, joiner_ids[i]);
     }
-    let src = SourceTask::new(
+    let mut src = SourceTask::new(
         arrivals.clone(),
         reshuffler_ids.clone(),
         cfg.pacing,
         cfg.window_copies,
     );
-    let id = backend.add_task(machines[j], Box::new(src));
+    src.active = j;
+    let id = backend.add_task(machines[total], Box::new(src));
     debug_assert_eq!(id, source_id);
     backend.start_timer_at(SimTime::ZERO, source_id, SourceTask::TICK);
 
     let end = backend.run();
 
-    // Collect joiner-side stats.
+    // A quiesced run must have drained the whole stream — anything less
+    // means the flow-control window wedged (silent output loss).
+    let src_task = backend.task_ref::<SourceTask>(source_id);
+    assert_eq!(
+        src_task.cursor,
+        arrivals.len(),
+        "source stalled with {} of {} tuples unsent (flow-control wedge)",
+        arrivals.len() - src_task.cursor,
+        arrivals.len()
+    );
+
+    // Collect joiner-side stats (dormant children that never activated
+    // contribute zeroes).
     let mut matches = 0u64;
     let mut latency = LatencyStats::default();
     let mut migration_bytes = 0u64;
     let mut match_pairs: Vec<(u64, u64)> = Vec::new();
+    let mut expand_transfers: Vec<ExpandTransfer> = Vec::new();
     for &jid in &joiner_ids {
         let jt = backend.task_ref::<JoinerTask>(jid);
         matches += jt.matches;
         latency.merge(&jt.latency);
         migration_bytes += jt.migration_bytes_in;
         match_pairs.extend_from_slice(&jt.match_log);
+        if jt.expand_stored_tuples > 0 {
+            expand_transfers.push(ExpandTransfer {
+                joiner: jt.index,
+                stored_tuples: jt.expand_stored_tuples,
+                sent_tuples: jt.expand_sent_tuples,
+            });
+        }
     }
     match_pairs.sort_unstable();
     let controller = backend.task_ref::<ReshufflerTask>(reshuffler_ids[0]);
@@ -374,9 +428,14 @@ fn run_grid<B: ExecBackend<OpMsg>>(
     };
     let samples = progress_samples(backend);
     let final_mapping = controller.assign.mapping();
+    let final_j = controller.assign.j();
     let migrations = events
         .iter()
         .filter(|e| matches!(e, ControlEvent::Complete { .. }))
+        .count() as u64;
+    let expansions = events
+        .iter()
+        .filter(|e| matches!(e, ControlEvent::ExpandComplete { .. }))
         .count() as u64;
 
     let metrics = backend.metrics();
@@ -401,12 +460,14 @@ fn run_grid<B: ExecBackend<OpMsg>>(
         matches,
         throughput: arrivals.len() as f64 / end.as_secs_f64().max(1e-9),
         max_ilf_bytes: max_ilf,
-        avg_ilf_bytes: total_storage as f64 / cfg.j as f64,
+        avg_ilf_bytes: total_storage as f64 / final_j as f64,
         total_storage_bytes: total_storage,
         network_bytes: metrics.total_bytes_sent(),
         network_messages: metrics.total_messages(),
         migration_bytes,
         migrations,
+        expansions,
+        expand_transfers,
         max_spilled_bytes: max_spilled,
         avg_latency_us: latency.avg_us(),
         p50_latency_us: latency.percentile_us(0.50),
@@ -428,7 +489,7 @@ fn run_shj<B: ExecBackend<OpMsg>>(
 ) -> RunReport {
     backend.metrics_mut().sample_spacing = sample_every(cfg, arrivals.len());
     let j = cfg.j as usize;
-    let machines = add_machines(backend, cfg);
+    let machines = add_machines(backend, cfg, j);
     let reshuffler_ids: Vec<TaskId> = (0..j).map(TaskId).collect();
     let joiner_ids: Vec<TaskId> = (j..2 * j).map(TaskId).collect();
 
@@ -465,6 +526,15 @@ fn run_shj<B: ExecBackend<OpMsg>>(
 
     let end = backend.run();
 
+    let src_task = backend.task_ref::<SourceTask>(source_id);
+    assert_eq!(
+        src_task.cursor,
+        arrivals.len(),
+        "source stalled with {} of {} tuples unsent (flow-control wedge)",
+        arrivals.len() - src_task.cursor,
+        arrivals.len()
+    );
+
     let mut matches = 0u64;
     let mut latency = LatencyStats::default();
     let mut match_pairs: Vec<(u64, u64)> = Vec::new();
@@ -500,6 +570,8 @@ fn run_shj<B: ExecBackend<OpMsg>>(
         network_messages: metrics.total_messages(),
         migration_bytes: 0,
         migrations: 0,
+        expansions: 0,
+        expand_transfers: Vec::new(),
         max_spilled_bytes: max_spilled,
         avg_latency_us: latency.avg_us(),
         p50_latency_us: latency.percentile_us(0.50),
@@ -524,6 +596,15 @@ fn competitive_trace(
     initial: Mapping,
 ) -> Vec<aoj_core::competitive::RatioSample> {
     if samples.is_empty() {
+        return Vec::new();
+    }
+    // The ILF/ILF* trace is defined against a fixed J; once an elastic
+    // expansion changes the cluster size mid-run the fixed-J reference
+    // is meaningless, so report no trace rather than a wrong one.
+    if events
+        .iter()
+        .any(|e| matches!(e, ControlEvent::Expand { .. }))
+    {
         return Vec::new();
     }
     // Prefix counts of R/S at each seq.

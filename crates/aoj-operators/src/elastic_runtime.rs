@@ -1,0 +1,238 @@
+//! Live elastic scale-out (§4.2.2 "Elasticity", Fig. 5, Theorem 4.3) —
+//! the runtime half of `aoj_core::elastic`.
+//!
+//! The core module plans a ×4 expansion as pure state arithmetic
+//! ([`plan_expansion`], [`ExpandSpec::destinations`]); this module wires
+//! that plan into the **running operator**:
+//!
+//! * the driver provisions `J₀ · 4^max_expansions` machines up front —
+//!   the first `J₀` active, the rest **dormant** (an idle joiner awaiting
+//!   birth plus a reshuffler that participates in the control plane but
+//!   receives no ingest);
+//! * the controller watches the cluster-wide stored-byte gauges (exact on
+//!   both backends — the threaded runtime shares them atomically across
+//!   worker shards) and, at a migration checkpoint where **every** active
+//!   joiner stores more than `capacity/2`
+//!   ([`should_expand_cluster`](aoj_core::elastic::should_expand_cluster)),
+//!   broadcasts the `(2n, 2m)` mapping;
+//! * each parent splits its state along both ticket axes and streams it
+//!   to its three children in Migration-class batches
+//!   ([`ExpandOutbox`]); children are born when the parent's end-of-state
+//!   marker arrives (see `aoj_core::epoch`'s module docs for why the
+//!   epoch/FIFO correctness argument carries over);
+//! * the source grows its round-robin set so the new machines' reshufflers
+//!   take ingest load too.
+//!
+//! Each parent ships at most two copies of every stored tuple
+//! (Theorem 4.3: transmitted ≤ 2 × stored, amortised cost `8/ε`), and the
+//! `n : m` ratio is unchanged so the ILF competitive ratio is unaffected.
+
+use aoj_core::elastic::{ExpandDestinations, ExpandSpec};
+use aoj_core::tuple::Tuple;
+use aoj_simnet::{Ctx, MachineId, Metrics, TaskId};
+
+use crate::joiner_task::MIG_BATCH_TUPLES;
+use crate::messages::OpMsg;
+
+/// Elasticity knobs for a run (`RunConfig::elastic`).
+#[derive(Clone, Copy, Debug)]
+pub struct ElasticConfig {
+    /// Per-joiner capacity target `M` in stored bytes. The controller
+    /// expands when every active joiner stores more than `capacity / 2`.
+    pub capacity_bytes: u64,
+    /// How many ×4 expansions may fire (bounds up-front provisioning:
+    /// the driver builds `J₀ · 4^max_expansions` machines).
+    pub max_expansions: u32,
+}
+
+impl ElasticConfig {
+    /// Expand at most once past half of `capacity_bytes`.
+    pub fn new(capacity_bytes: u64, max_expansions: u32) -> ElasticConfig {
+        ElasticConfig {
+            capacity_bytes,
+            max_expansions,
+        }
+    }
+}
+
+/// Controller-side elasticity state (lives inside `ControllerState`).
+#[derive(Clone, Copy, Debug)]
+pub struct ElasticControl {
+    /// The configuration the run was started with.
+    pub cfg: ElasticConfig,
+    /// Expansions already triggered.
+    pub expansions_done: u32,
+}
+
+impl ElasticControl {
+    /// Fresh controller-side state.
+    pub fn new(cfg: ElasticConfig) -> ElasticControl {
+        ElasticControl {
+            cfg,
+            expansions_done: 0,
+        }
+    }
+
+    /// May another expansion fire?
+    pub fn armed(&self) -> bool {
+        self.expansions_done < self.cfg.max_expansions
+    }
+}
+
+/// Total joiner machines to provision for `j0` initial joiners:
+/// `j0 · 4^max_expansions`.
+pub fn provisioned_joiners(j0: u32, max_expansions: u32) -> u32 {
+    4u32.checked_pow(max_expansions)
+        .and_then(|f| j0.checked_mul(f))
+        .expect("provisioned cluster size overflows u32")
+}
+
+/// The controller's live trigger: true when every **active** joiner
+/// machine (`0..active`) stores more than `capacity/2` bytes. Reads the
+/// cluster-wide gauges, which are exact on the simulator and on the
+/// threaded backend's shared atomic gauge array.
+pub fn expansion_due(metrics: &Metrics, active: u32, capacity_bytes: u64) -> bool {
+    // Runs on the controller's per-tuple ingest path: short-circuit on
+    // the first under-filled joiner, no allocation.
+    active > 0
+        && (0..active as usize).all(|i| {
+            aoj_core::elastic::should_expand(metrics.stored_bytes_of(MachineId(i)), capacity_bytes)
+        })
+}
+
+/// A parent's outbound state fan-out: one Migration-class batch stream
+/// per child, mirroring the single-partner batching of step migrations.
+#[derive(Debug)]
+pub struct ExpandOutbox {
+    children: [TaskId; 3],
+    batches: [Vec<Tuple>; 3],
+}
+
+impl ExpandOutbox {
+    /// An empty outbox towards the three children `(0,1)`, `(1,0)`,
+    /// `(1,1)` (the parent itself stays child `(0,0)`).
+    pub fn new(children: [TaskId; 3]) -> ExpandOutbox {
+        ExpandOutbox {
+            children,
+            batches: [Vec::new(), Vec::new(), Vec::new()],
+        }
+    }
+
+    /// Resolve an [`ExpandSpec`]'s child machine ids to task ids.
+    pub fn from_spec(spec: &ExpandSpec, joiner_tasks: &[TaskId]) -> ExpandOutbox {
+        ExpandOutbox::new(spec.children.map(|c| joiner_tasks[c]))
+    }
+
+    /// Queue `t` for every child its destinations select. Returns the
+    /// number of copies queued (≤ 2 by Fig. 5's split geometry — the
+    /// substance of Theorem 4.3's `transmitted ≤ 2 × stored` bound).
+    pub fn route(&mut self, t: Tuple, d: ExpandDestinations) -> u32 {
+        let mut copies = 0;
+        for (idx, go) in [d.to_01, d.to_10, d.to_11].into_iter().enumerate() {
+            if go {
+                self.batches[idx].push(t);
+                copies += 1;
+            }
+        }
+        debug_assert_eq!(copies, d.sends());
+        copies
+    }
+
+    /// Ship every batch that is full (or, with `force`, non-empty).
+    pub fn flush(&mut self, ctx: &mut Ctx<'_, OpMsg>, force: bool) {
+        for (idx, batch) in self.batches.iter_mut().enumerate() {
+            if !batch.is_empty() && (force || batch.len() >= MIG_BATCH_TUPLES) {
+                let tuples = std::mem::take(batch);
+                ctx.send(self.children[idx], OpMsg::MigBatch { tuples });
+            }
+        }
+    }
+
+    /// Force-flush and send each child its end-of-state marker (FIFO
+    /// behind the state on the Migration channel).
+    pub fn finish(&mut self, ctx: &mut Ctx<'_, OpMsg>, epoch: aoj_core::epoch::Epoch) {
+        self.flush(ctx, true);
+        for &child in &self.children {
+            ctx.send(child, OpMsg::ExpandDone { epoch });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aoj_core::tuple::Rel;
+    use aoj_simnet::{Effect, SimTime};
+
+    #[test]
+    fn provisioning_is_j0_times_4_to_the_k() {
+        assert_eq!(provisioned_joiners(4, 0), 4);
+        assert_eq!(provisioned_joiners(4, 1), 16);
+        assert_eq!(provisioned_joiners(2, 2), 32);
+        assert_eq!(provisioned_joiners(1, 3), 64);
+    }
+
+    #[test]
+    fn trigger_needs_every_active_joiner_full() {
+        let mut m = Metrics::default();
+        for _ in 0..3 {
+            m.add_machine();
+        }
+        m.set_stored(MachineId(0), 600);
+        m.set_stored(MachineId(1), 501);
+        m.set_stored(MachineId(2), 400); // dormant/idle machine
+        assert!(expansion_due(&m, 2, 1000), "both active joiners > M/2");
+        assert!(
+            !expansion_due(&m, 3, 1000),
+            "an under-filled machine in the active set blocks"
+        );
+    }
+
+    #[test]
+    fn outbox_batches_per_child_and_finishes_with_markers() {
+        let children = [TaskId(7), TaskId(8), TaskId(9)];
+        let mut ob = ExpandOutbox::new(children);
+        let mut metrics = Metrics::default();
+        let mut stopped = false;
+        let mut ctx: Ctx<'_, OpMsg> =
+            Ctx::new(SimTime::ZERO, TaskId(0), &mut metrics, &mut stopped);
+        // An R tuple with row-bit 0 goes to child (0,1) only; an S tuple
+        // with col-bit 1 goes to (0,1) and (1,1).
+        let r = Tuple::new(Rel::R, 1, 0, 0);
+        let s = Tuple::new(Rel::S, 2, 0, u64::MAX);
+        let spec = aoj_core::elastic::plan_expansion(&aoj_core::mapping::GridAssignment::initial(
+            aoj_core::mapping::Mapping::new(1, 1),
+        ))
+        .specs[0];
+        assert_eq!(ob.route(r, spec.destinations(&r)), 1);
+        assert_eq!(ob.route(s, spec.destinations(&s)), 2);
+        ob.finish(&mut ctx, 3);
+        let effects = ctx.take_effects();
+        // Two non-empty batches + three done markers, state before marker
+        // per child.
+        let mut batches = 0;
+        let mut dones = 0;
+        for e in &effects {
+            match e {
+                Effect::Send {
+                    msg: OpMsg::MigBatch { tuples },
+                    ..
+                } => {
+                    batches += 1;
+                    assert!(!tuples.is_empty());
+                }
+                Effect::Send {
+                    msg: OpMsg::ExpandDone { epoch },
+                    to,
+                } => {
+                    dones += 1;
+                    assert_eq!(*epoch, 3);
+                    assert!(children.contains(to));
+                }
+                _ => panic!("unexpected effect"),
+            }
+        }
+        assert_eq!(batches, 2);
+        assert_eq!(dones, 3);
+    }
+}

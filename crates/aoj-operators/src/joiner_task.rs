@@ -4,12 +4,12 @@
 
 use aoj_core::epoch::EpochJoiner;
 use aoj_core::index::ProbeStats;
-use aoj_core::migration::MachineStepSpec;
 use aoj_core::predicate::Predicate;
 use aoj_core::tuple::{Rel, Tuple};
 use aoj_joinalg::{index_for, SpillGauge};
 use aoj_simnet::{Ctx, MachineId, Process, SimDuration, TaskId};
 
+use crate::elastic_runtime::ExpandOutbox;
 use crate::messages::OpMsg;
 
 /// How many tuples ride in one migration batch message.
@@ -136,14 +136,27 @@ pub struct JoinerTask {
     pub migration_tuples_in: u64,
     /// Payload bytes received as migration state.
     pub migration_bytes_in: u64,
-    /// Migration spec of the in-flight migration (for partner routing).
-    current_spec: Option<MachineStepSpec>,
-    /// Outgoing migration batch under construction.
-    out_batch: Vec<Tuple>,
+    /// Expansion-parent accounting: tuples of local state classified for
+    /// a split (τ snapshots plus Δ arrivals during expansions).
+    pub expand_stored_tuples: u64,
+    /// Expansion-parent accounting: state copies shipped to children.
+    /// Theorem 4.3 bounds this by `2 × expand_stored_tuples`.
+    pub expand_sent_tuples: u64,
+    /// Outbound state of the in-flight migration or expansion.
+    outbox: Option<Outbox>,
     /// Set when the end-of-state marker must be sent after the batch.
     pending_done: bool,
     /// Flow-control credits accumulated but not yet returned.
     unacked_credits: u32,
+}
+
+/// Where relocated state is headed: one exchange partner (step
+/// migrations, Lemma 4.4) or three children (×4 expansions, Fig. 5).
+enum Outbox {
+    /// A step migration's single-partner batch stream.
+    Step { partner: TaskId, batch: Vec<Tuple> },
+    /// An expansion's per-child batch streams.
+    Expand(ExpandOutbox),
 }
 
 impl JoinerTask {
@@ -176,11 +189,20 @@ impl JoinerTask {
             latency: LatencyStats::default(),
             migration_tuples_in: 0,
             migration_bytes_in: 0,
-            current_spec: None,
-            out_batch: Vec::new(),
+            expand_stored_tuples: 0,
+            expand_sent_tuples: 0,
+            outbox: None,
             pending_done: false,
             unacked_credits: 0,
         }
+    }
+
+    /// Turn this joiner into a dormant elastic child: provisioned but
+    /// unborn, waking up when its parent's expansion reaches it.
+    pub fn dormant(mut self, predicate: Predicate, n_reshufflers: usize) -> JoinerTask {
+        let p = predicate;
+        self.epoch = EpochJoiner::new_dormant(&move || index_for(&p), n_reshufflers);
+        self
     }
 
     /// Batch size for credit returns: small enough to keep the source's
@@ -212,17 +234,19 @@ impl JoinerTask {
     }
 
     fn flush_batch(&mut self, ctx: &mut Ctx<'_, OpMsg>, force: bool) {
-        let partner = match self.current_spec {
-            Some(spec) => self.joiner_tasks[spec.partner],
-            None => return,
-        };
-        if !self.out_batch.is_empty() && (force || self.out_batch.len() >= MIG_BATCH_TUPLES) {
-            let tuples = std::mem::take(&mut self.out_batch);
-            ctx.send(partner, OpMsg::MigBatch { tuples });
-        }
-        if force && self.pending_done {
-            self.pending_done = false;
-            ctx.send(partner, OpMsg::MigDone);
+        match &mut self.outbox {
+            None => {}
+            Some(Outbox::Step { partner, batch }) => {
+                if !batch.is_empty() && (force || batch.len() >= MIG_BATCH_TUPLES) {
+                    let tuples = std::mem::take(batch);
+                    ctx.send(*partner, OpMsg::MigBatch { tuples });
+                }
+                if force && self.pending_done {
+                    self.pending_done = false;
+                    ctx.send(*partner, OpMsg::MigDone);
+                }
+            }
+            Some(Outbox::Expand(ob)) => ob.flush(ctx, force),
         }
     }
 
@@ -245,7 +269,7 @@ impl JoinerTask {
             return SimDuration::ZERO;
         }
         let summary = self.epoch.finalize();
-        self.current_spec = None;
+        self.outbox = None;
         let epoch = self.epoch.epoch();
         ctx.send(
             self.controller,
@@ -280,7 +304,19 @@ impl Process<OpMsg> for JoinerTask {
                     self.latency.record(ctx.now().since(arrived).as_micros());
                 }
                 if outcome.forward_to_partner {
-                    self.out_batch.push(t);
+                    if let Some(Outbox::Step { batch, .. }) = &mut self.outbox {
+                        batch.push(t);
+                    }
+                    self.flush_batch(ctx, false);
+                }
+                if let Some(d) = outcome.expand_forward {
+                    // A Δ tuple during an expansion: part of the state
+                    // being split, shipped to the covering children.
+                    self.expand_stored_tuples += 1;
+                    self.expand_sent_tuples += d.sends() as u64;
+                    if let Some(Outbox::Expand(ob)) = &mut self.outbox {
+                        ob.route(t, d);
+                    }
                     self.flush_batch(ctx, false);
                 }
                 self.refresh_storage_metrics(ctx);
@@ -298,13 +334,15 @@ impl Process<OpMsg> for JoinerTask {
                 let so = self.epoch.on_signal(from_reshuffler, new_epoch, spec);
                 let mut cost = SimDuration::from_micros(self.cost.control_us);
                 if so.start_migration {
-                    self.current_spec = Some(spec);
                     let snapshot = self.epoch.migration_snapshot();
                     // Serialising the snapshot costs CPU proportional to
                     // its size; transmission time is paid by the NIC.
                     cost +=
                         SimDuration::from_micros(snapshot.len() as u64 * self.cost.store_us / 4);
-                    self.out_batch.extend(snapshot);
+                    self.outbox = Some(Outbox::Step {
+                        partner: self.joiner_tasks[spec.partner],
+                        batch: snapshot,
+                    });
                     self.flush_batch(ctx, false);
                 }
                 if so.all_signals {
@@ -312,6 +350,43 @@ impl Process<OpMsg> for JoinerTask {
                     self.flush_batch(ctx, true);
                 }
                 cost + self.maybe_finalize(ctx)
+            }
+            OpMsg::ExpandSignal {
+                from_reshuffler,
+                new_epoch,
+                spec,
+            } => {
+                let so = self
+                    .epoch
+                    .on_expand_signal(from_reshuffler, new_epoch, spec);
+                let mut cost = SimDuration::from_micros(self.cost.control_us);
+                if so.start_migration {
+                    // Ship the whole of τ, split along both ticket axes
+                    // (Fig. 5): each tuple goes to the 1–2 children whose
+                    // new grid cells cover it.
+                    let mut ob = ExpandOutbox::from_spec(&spec, &self.joiner_tasks);
+                    let snapshot = self.epoch.expansion_snapshot();
+                    cost +=
+                        SimDuration::from_micros(snapshot.len() as u64 * self.cost.store_us / 4);
+                    self.expand_stored_tuples += snapshot.len() as u64;
+                    for t in snapshot {
+                        let d = spec.destinations(&t);
+                        self.expand_sent_tuples += ob.route(t, d) as u64;
+                    }
+                    ob.flush(ctx, false);
+                    self.outbox = Some(Outbox::Expand(ob));
+                }
+                if so.all_signals {
+                    if let Some(Outbox::Expand(ob)) = &mut self.outbox {
+                        ob.finish(ctx, new_epoch);
+                    }
+                }
+                cost + self.maybe_finalize(ctx)
+            }
+            OpMsg::ExpandDone { epoch } => {
+                // This joiner is a child: its parent's state is fully in.
+                self.epoch.on_parent_done(epoch);
+                SimDuration::from_micros(self.cost.control_us) + self.maybe_finalize(ctx)
             }
             OpMsg::MigBatch { tuples } => {
                 let n = tuples.len() as u64;

@@ -18,6 +18,7 @@
 //! figures plot.
 
 pub mod driver;
+pub mod elastic_runtime;
 pub mod grouped;
 pub mod joiner_task;
 pub mod messages;
@@ -27,7 +28,8 @@ pub mod shj;
 pub mod source;
 
 pub use driver::{run, run_on, BackendChoice, OperatorKind, RunConfig};
+pub use elastic_runtime::ElasticConfig;
 pub use grouped::{run_grouped, GroupedReport};
 pub use messages::OpMsg;
-pub use report::{human_bytes, RunReport};
+pub use report::{human_bytes, ExpandTransfer, RunReport};
 pub use source::SourcePacing;

@@ -8,6 +8,7 @@
 //! FIFO with the migrated state, so it travels in the `Migration` class
 //! (which the machine services at twice the data rate, §4.3.2).
 
+use aoj_core::elastic::ExpandSpec;
 use aoj_core::epoch::Epoch;
 use aoj_core::mapping::Step;
 use aoj_core::migration::MachineStepSpec;
@@ -70,6 +71,39 @@ pub enum OpMsg {
         /// The receiving joiner's role in the migration.
         spec: MachineStepSpec,
     },
+    /// Controller → every reshuffler (active and dormant): the cluster
+    /// expands ×4 — apply [`GridAssignment::apply_expansion`] and signal
+    /// every parent joiner (§4.2.2, Fig. 5).
+    ///
+    /// [`GridAssignment::apply_expansion`]: aoj_core::mapping::GridAssignment::apply_expansion
+    ExpandChange {
+        /// The epoch being entered.
+        new_epoch: Epoch,
+    },
+    /// Reshuffler → parent joiner: expansion signal (travels behind the
+    /// reshuffler's earlier data, like [`OpMsg::Signal`]).
+    ExpandSignal {
+        /// Index of the signalling reshuffler.
+        from_reshuffler: usize,
+        /// The epoch being entered.
+        new_epoch: Epoch,
+        /// The receiving parent's split role.
+        spec: ExpandSpec,
+    },
+    /// Parent joiner → child joiner: no more expansion state will follow
+    /// (travels behind the state batches in the Migration class). Carries
+    /// the epoch so an otherwise-uncontacted child still learns its birth
+    /// epoch.
+    ExpandDone {
+        /// The expansion epoch the child is born into.
+        epoch: Epoch,
+    },
+    /// Controller → source: the active reshuffler set grew to the first
+    /// `active` reshufflers — start round-robining over all of them.
+    SourceGrow {
+        /// New number of active reshufflers.
+        active: usize,
+    },
     /// Joiner → partner joiner: a batch of exchanged state.
     MigBatch {
         /// The tuples (all of the coarsening relation).
@@ -106,6 +140,10 @@ impl SimMessage for OpMsg {
             OpMsg::MappingChange { .. } => 24,
             OpMsg::MigrationComplete { .. } => 16,
             OpMsg::Signal { .. } => 48,
+            OpMsg::ExpandChange { .. } => 16,
+            OpMsg::ExpandSignal { .. } => 56,
+            OpMsg::ExpandDone { .. } => 16,
+            OpMsg::SourceGrow { .. } => 12,
             OpMsg::MigBatch { tuples } => {
                 tuples.iter().map(|t| t.bytes as u64).sum::<u64>()
                     + TUPLE_HEADER_BYTES * tuples.len() as u64
@@ -118,10 +156,21 @@ impl SimMessage for OpMsg {
 
     fn class(&self) -> MsgClass {
         match self {
-            OpMsg::Ingest { .. } | OpMsg::Data { .. } | OpMsg::Signal { .. } => MsgClass::Data,
-            OpMsg::MigBatch { .. } | OpMsg::MigDone => MsgClass::Migration,
+            // Expansion signals must stay FIFO with the reshuffler's
+            // earlier data, exactly like step-migration signals.
+            OpMsg::Ingest { .. }
+            | OpMsg::Data { .. }
+            | OpMsg::Signal { .. }
+            | OpMsg::ExpandSignal { .. } => MsgClass::Data,
+            // The child's end-of-state marker must stay FIFO with the
+            // parent's state batches.
+            OpMsg::MigBatch { .. } | OpMsg::MigDone | OpMsg::ExpandDone { .. } => {
+                MsgClass::Migration
+            }
             OpMsg::MappingChange { .. }
             | OpMsg::MigrationComplete { .. }
+            | OpMsg::ExpandChange { .. }
+            | OpMsg::SourceGrow { .. }
             | OpMsg::Ack { .. }
             | OpMsg::RoutedCopies { .. }
             | OpMsg::ProcessedCopies { .. } => MsgClass::Control,
@@ -148,12 +197,21 @@ mod tests {
             store: true,
         };
         assert_eq!(sig.class(), data.class());
-        // The end marker must share the Migration class with state batches.
+        // Expansion signals share the Data class too (FIFO behind the
+        // reshuffler's old-epoch tuples).
+        let expand_sig = OpMsg::ExpandSignal {
+            from_reshuffler: 0,
+            new_epoch: 1,
+            spec: dummy_expand_spec(),
+        };
+        assert_eq!(expand_sig.class(), data.class());
+        // The end markers must share the Migration class with state batches.
         assert_eq!(
             OpMsg::MigDone.class(),
             OpMsg::MigBatch { tuples: vec![] }.class()
         );
         assert_eq!(OpMsg::MigDone.class(), MsgClass::Migration);
+        assert_eq!(OpMsg::ExpandDone { epoch: 1 }.class(), MsgClass::Migration);
     }
 
     #[test]
@@ -170,5 +228,12 @@ mod tests {
         use aoj_core::migration::plan_step;
         let a = GridAssignment::initial(Mapping::new(2, 1));
         plan_step(&a, Step::HalveRows).specs[0]
+    }
+
+    fn dummy_expand_spec() -> ExpandSpec {
+        use aoj_core::elastic::plan_expansion;
+        use aoj_core::mapping::{GridAssignment, Mapping};
+        let a = GridAssignment::initial(Mapping::new(2, 2));
+        plan_expansion(&a).specs[0]
     }
 }

@@ -7,6 +7,19 @@ use aoj_simnet::SimDuration;
 
 use crate::reshuffler::{ControlEvent, ProgressSample};
 
+/// One expansion parent's state-transfer accounting (Theorem 4.3).
+#[derive(Clone, Copy, Debug)]
+pub struct ExpandTransfer {
+    /// The parent's machine index.
+    pub joiner: usize,
+    /// Local state tuples the parent classified for the split (τ
+    /// snapshot plus Δ arrivals during the expansion).
+    pub stored_tuples: u64,
+    /// Copies shipped to the parent's three children — at most
+    /// `2 × stored_tuples` by Fig. 5's split geometry.
+    pub sent_tuples: u64,
+}
+
 /// The measurements of one operator run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -36,10 +49,16 @@ pub struct RunReport {
     pub network_bytes: u64,
     /// Total network messages.
     pub network_messages: u64,
-    /// Bytes of state moved by migrations.
+    /// Bytes of state moved by migrations (including expansion fan-out —
+    /// expansion state travels in the same Migration class).
     pub migration_bytes: u64,
     /// Number of completed migrations (epochs entered).
     pub migrations: u64,
+    /// Number of completed elastic ×4 expansions (§4.2.2).
+    pub expansions: u64,
+    /// Per-parent expansion transfer accounting, for the Theorem 4.3
+    /// `transmitted ≤ 2 × stored` bound. Empty when nothing expanded.
+    pub expand_transfers: Vec<ExpandTransfer>,
     /// Peak spilled bytes on the worst machine (0 = fully in memory).
     pub max_spilled_bytes: u64,
     /// Average match latency in microseconds (paper Fig. 7b).

@@ -8,6 +8,7 @@
 //! (migration decisions) and gates migrations on joiner acks.
 
 use aoj_core::decision::{Decision, DecisionConfig, MigrationDecider};
+use aoj_core::elastic::plan_expansion;
 use aoj_core::epoch::Epoch;
 use aoj_core::mapping::{steps_between, GridAssignment, Mapping};
 use aoj_core::migration::plan_step;
@@ -15,6 +16,7 @@ use aoj_core::ticket::{partition, TicketGen};
 use aoj_core::tuple::{Rel, Tuple};
 use aoj_simnet::{Ctx, Process, SimDuration, SimTime, TaskId};
 
+use crate::elastic_runtime::{expansion_due, ElasticConfig, ElasticControl};
 use crate::messages::OpMsg;
 
 /// A controller-side event, for post-run analysis (Fig. 8c's migration
@@ -39,6 +41,27 @@ pub enum ControlEvent {
         /// Virtual time of the last ack.
         at: SimTime,
         /// The epoch whose migration completed.
+        epoch: Epoch,
+    },
+    /// An elastic ×4 expansion was triggered (§4.2.2).
+    Expand {
+        /// Global sequence number of the triggering tuple.
+        seq: u64,
+        /// Virtual time of the decision.
+        at: SimTime,
+        /// Mapping before: `(n, m)` over `J` machines.
+        from: Mapping,
+        /// Mapping after: `(2n, 2m)` over `4J` machines.
+        to: Mapping,
+        /// The epoch entered.
+        epoch: Epoch,
+    },
+    /// Every parent and child acked the expansion; the grown cluster is
+    /// consistent with the `(2n, 2m)` mapping.
+    ExpandComplete {
+        /// Virtual time of the last ack.
+        at: SimTime,
+        /// The epoch whose expansion completed.
         epoch: Epoch,
     },
 }
@@ -104,6 +127,10 @@ pub struct ControllerState {
     pub adaptive: bool,
     /// True while a migration is in flight (gates decisions).
     pub in_flight: bool,
+    /// True while the in-flight reconfiguration is an elastic expansion.
+    pub expanding: bool,
+    /// Elasticity state, present when the run may scale out (§4.2.2).
+    pub elastic: Option<ElasticControl>,
     /// Acks still awaited for the in-flight migration.
     pub acks_pending: usize,
     /// The target mapping the controller is stepping towards (multi-step
@@ -163,12 +190,20 @@ impl ControllerState {
             decider: MigrationDecider::new(j, initial, cfg),
             adaptive,
             in_flight: false,
+            expanding: false,
+            elastic: None,
             acks_pending: 0,
             target: None,
             events: Vec::new(),
             recorder: ProgressRecorder::new(sample_every),
             last_seq: 0,
         }
+    }
+
+    /// Builder: arm live elasticity with the given configuration.
+    pub fn with_elastic(mut self, cfg: Option<ElasticConfig>) -> Self {
+        self.elastic = cfg.map(ElasticControl::new);
+        self
     }
 }
 
@@ -234,6 +269,8 @@ impl ReshufflerTask {
 
     /// Controller: evaluate Alg. 2 and, when due, broadcast the next
     /// migration step (one step per epoch; chains continue after acks).
+    /// On elastic runs, a migration checkpoint where every active joiner
+    /// is past half capacity fires a ×4 expansion instead (§4.2.2).
     fn maybe_trigger(&mut self, ctx: &mut Ctx<'_, OpMsg>) {
         let Some(ctrl) = self.controller.as_mut() else {
             return;
@@ -242,6 +279,46 @@ impl ReshufflerTask {
             return;
         }
         let current = self.assign.mapping();
+        // Elasticity first, and only at a true checkpoint (no multi-step
+        // chain pending): cluster-wide fullness is a capacity problem
+        // that no (n, m) reshape fixes, so scale-out takes priority over
+        // shape changes.
+        if ctrl.target.is_none() {
+            if let Some(el) = &mut ctrl.elastic {
+                if el.armed()
+                    && expansion_due(ctx.metrics(), self.assign.j(), el.cfg.capacity_bytes)
+                {
+                    el.expansions_done += 1;
+                    let old_j = self.assign.j();
+                    let new_epoch = self.epoch + 1;
+                    let to = Mapping::new(current.n * 2, current.m * 2);
+                    ctrl.in_flight = true;
+                    ctrl.expanding = true;
+                    ctrl.acks_pending = 4 * old_j as usize;
+                    ctrl.decider.expand();
+                    ctrl.events.push(ControlEvent::Expand {
+                        seq: ctrl.last_seq,
+                        at: ctx.now(),
+                        from: current,
+                        to,
+                        epoch: new_epoch,
+                    });
+                    // Every reshuffler — dormant ones included — adopts
+                    // the grown grid and signals the parents; the source
+                    // starts feeding the newly active reshufflers.
+                    for &r in &self.reshuffler_tasks {
+                        ctx.send(r, OpMsg::ExpandChange { new_epoch });
+                    }
+                    ctx.send(
+                        self.source,
+                        OpMsg::SourceGrow {
+                            active: (4 * old_j) as usize,
+                        },
+                    );
+                    return;
+                }
+            }
+        }
         // Continue an unfinished multi-step chain first.
         let target = match ctrl.target {
             Some(t) if t != current => Some(t),
@@ -319,13 +396,39 @@ impl Process<OpMsg> for ReshufflerTask {
                 let plan = plan_step(&self.assign, step);
                 self.assign.apply_step(step);
                 self.epoch = new_epoch;
-                for (mach, &jt) in self.joiner_tasks.iter().enumerate() {
+                // Signal the machines the plan covers — the *active*
+                // grid, which on elastic runs is a prefix of the
+                // provisioned joiner set.
+                for spec in plan.specs {
                     ctx.send(
-                        jt,
+                        self.joiner_tasks[spec.machine],
                         OpMsg::Signal {
                             from_reshuffler: self.index,
                             new_epoch,
-                            spec: plan.specs[mach],
+                            spec,
+                        },
+                    );
+                }
+                if self.blocking {
+                    self.stalled = true;
+                }
+                SimDuration::from_micros(self.cost.control_us * 2)
+            }
+            OpMsg::ExpandChange { new_epoch } => {
+                assert_eq!(new_epoch, self.epoch + 1, "reshuffler skipped an epoch");
+                // Plan against the pre-expansion assignment, then adopt
+                // the (2n, 2m) grid. Every reshuffler computes the same
+                // deterministic plan, so the per-parent specs agree.
+                let plan = plan_expansion(&self.assign);
+                self.assign.apply_expansion();
+                self.epoch = new_epoch;
+                for spec in plan.specs {
+                    ctx.send(
+                        self.joiner_tasks[spec.machine],
+                        OpMsg::ExpandSignal {
+                            from_reshuffler: self.index,
+                            new_epoch,
+                            spec,
                         },
                     );
                 }
@@ -362,10 +465,18 @@ impl Process<OpMsg> for ReshufflerTask {
                 ctrl.acks_pending -= 1;
                 if ctrl.acks_pending == 0 {
                     ctrl.in_flight = false;
-                    ctrl.events.push(ControlEvent::Complete {
-                        at: ctx.now(),
-                        epoch,
-                    });
+                    if ctrl.expanding {
+                        ctrl.expanding = false;
+                        ctrl.events.push(ControlEvent::ExpandComplete {
+                            at: ctx.now(),
+                            epoch,
+                        });
+                    } else {
+                        ctrl.events.push(ControlEvent::Complete {
+                            at: ctx.now(),
+                            epoch,
+                        });
+                    }
                     let _ = now_mapping;
                     if self.blocking {
                         for &r in &self.reshuffler_tasks {

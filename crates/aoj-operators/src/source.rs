@@ -49,8 +49,14 @@ pub struct SourceTask {
     pub arrivals: Vec<(Rel, StreamItem)>,
     /// Next arrival to emit.
     pub cursor: usize,
-    /// Reshuffler task ids (round-robin targets).
+    /// Reshuffler task ids (round-robin targets). Under an elastic run
+    /// this includes dormant machines' reshufflers; only the first
+    /// [`active`](SourceTask::active) receive ingest.
     pub reshufflers: Vec<TaskId>,
+    /// How many of `reshufflers` are active round-robin targets. Grows
+    /// when the controller broadcasts [`OpMsg::SourceGrow`] during an
+    /// elastic expansion.
+    pub active: usize,
     /// Pacing.
     pub pacing: SourcePacing,
     /// Maximum tuple copies in flight (0 disables flow control).
@@ -76,10 +82,12 @@ impl SourceTask {
         pacing: SourcePacing,
         window_copies: u64,
     ) -> SourceTask {
+        let active = reshufflers.len();
         SourceTask {
             arrivals,
             cursor: 0,
             reshufflers,
+            active,
             pacing,
             window_copies,
             routed_copies: 0,
@@ -114,7 +122,7 @@ impl SourceTask {
             }
             let (rel, item) = self.arrivals[self.cursor];
             let seq = self.cursor as u64;
-            let dst = self.reshufflers[self.cursor % self.reshufflers.len()];
+            let dst = self.reshufflers[self.cursor % self.active];
             ctx.send(
                 dst,
                 OpMsg::Ingest {
@@ -154,6 +162,32 @@ impl Process<OpMsg> for SourceTask {
                 // Credits may have re-opened the window.
                 if !self.tick_pending {
                     self.pump(ctx);
+                }
+            }
+            OpMsg::SourceGrow { active } => {
+                // Elastic expansion: the freshly activated machines'
+                // reshufflers join the round-robin set.
+                assert!(
+                    active <= self.reshufflers.len(),
+                    "cannot grow past the provisioned reshuffler set"
+                );
+                if active > self.active {
+                    // The window bounds in-flight copies *per joiner*, so
+                    // it must grow with the cluster — otherwise the
+                    // joiners' batched credit returns (up to
+                    // CREDIT_BATCH − 1 stuck per joiner) could exceed a
+                    // fixed window outright and wedge the source.
+                    if self.window_copies > 0 {
+                        // Multiply before dividing: rounding a small window
+                        // down to 0 would read as "flow control disabled".
+                        self.window_copies =
+                            (self.window_copies * active as u64 / self.active as u64).max(1);
+                    }
+                    self.active = active;
+                    // The wider window may re-open emission.
+                    if !self.tick_pending {
+                        self.pump(ctx);
+                    }
                 }
             }
             other => panic!("source received unexpected message {other:?}"),

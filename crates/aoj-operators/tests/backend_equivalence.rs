@@ -13,7 +13,7 @@
 use aoj_core::predicate::Predicate;
 use aoj_datagen::queries::{StreamItem, Workload};
 use aoj_datagen::stream::interleave;
-use aoj_operators::{run, BackendChoice, OperatorKind, RunConfig};
+use aoj_operators::{run, BackendChoice, ElasticConfig, OperatorKind, RunConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -96,6 +96,67 @@ fn shj_join_results_match_across_backends() {
     run_both(OperatorKind::Shj, Predicate::Equi, 0x54_2014);
 }
 
+/// An elastic Dynamic run must (a) actually expand mid-stream on both
+/// backends, (b) emit the exact same join multiset as the equivalent
+/// non-elastic run, on both backends, and (c) respect Theorem 4.3's
+/// per-parent `transmitted ≤ 2 × stored` bound. The threaded expansion
+/// fires at a wall-clock-dependent instant — exactness must survive any
+/// interleaving of the split with live traffic.
+#[test]
+fn elastic_dynamic_expands_live_and_stays_exact_across_backends() {
+    let seed = 0xE1A_2014;
+    let w = workload(Predicate::Equi, 400, 4_000, seed);
+    let arrivals = interleave(&w, seed ^ 0xA0A0);
+    let mut cfg = RunConfig::new(2, OperatorKind::Dynamic);
+    cfg.collect_matches = true;
+    cfg.seed = seed;
+    // 64 B payloads, ~4.4k tuples: every joiner blows well past 32 KB of
+    // stored state mid-stream, so one ×4 expansion (J 2 → 8) must fire.
+    cfg.elastic = Some(ElasticConfig::new(64 << 10, 1));
+
+    // The non-elastic reference output (simulator).
+    let mut base_cfg = cfg.clone();
+    base_cfg.elastic = None;
+    let reference = run(&arrivals, &w.predicate, w.name, &base_cfg);
+    assert!(reference.matches > 0, "vacuous workload");
+
+    for backend in [BackendChoice::Sim, BackendChoice::Threaded] {
+        let report = run(
+            &arrivals,
+            &w.predicate,
+            w.name,
+            &cfg.clone().with_backend(backend),
+        );
+        assert!(
+            report.expansions >= 1,
+            "{backend:?}: no live expansion fired — the test is vacuous"
+        );
+        assert_eq!(
+            report.final_mapping.j(),
+            8,
+            "{backend:?}: cluster did not finish at 4×J₀"
+        );
+        assert_eq!(
+            report.match_pairs, reference.match_pairs,
+            "{backend:?}: elastic run diverged from the non-elastic output"
+        );
+        assert!(
+            !report.expand_transfers.is_empty(),
+            "{backend:?}: parents recorded no expansion transfers"
+        );
+        for t in &report.expand_transfers {
+            assert!(
+                t.sent_tuples <= 2 * t.stored_tuples,
+                "{backend:?}: parent {} shipped {} copies of {} stored tuples \
+                 (> 2× — Theorem 4.3 violated)",
+                t.joiner,
+                t.sent_tuples,
+                t.stored_tuples
+            );
+        }
+    }
+}
+
 #[test]
 fn threaded_runtime_reports_wall_clock_metrics() {
     let w = workload(Predicate::Equi, 200, 2_000, 7);
@@ -107,6 +168,13 @@ fn threaded_runtime_reports_wall_clock_metrics() {
         "wall clock did not advance"
     );
     assert!(report.throughput > 0.0);
+    // The shared atomic gauge array gives the threaded backend a global
+    // metrics view, so the progress/ILF timelines are populated (they
+    // used to be suppressed on this backend).
+    assert!(
+        !report.samples.is_empty(),
+        "threaded backend suppressed progress timelines"
+    );
     assert!(report.p99_latency_us >= report.p50_latency_us);
     assert!(report.max_latency_us >= report.p99_latency_us);
     // Processed-side check: the operator emitted exactly the join's

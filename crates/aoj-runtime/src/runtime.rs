@@ -10,8 +10,8 @@ use std::thread;
 use std::time::Instant;
 
 use aoj_simnet::{
-    Ctx, Effect, ExecBackend, MachineId, Metrics, NetworkConfig, Process, SimDuration, SimMessage,
-    SimTime, TaskId,
+    Ctx, Effect, ExecBackend, MachineId, Metrics, NetworkConfig, Process, SharedGauges,
+    SimDuration, SimMessage, SimTime, TaskId,
 };
 
 use crate::mailbox::{Mailbox, Work};
@@ -29,6 +29,12 @@ pub struct RuntimeConfig {
     /// The paper fixes this to 2 (§4.3.2); mirrors
     /// [`aoj_simnet::MachineConfig::migration_weight`].
     pub migration_weight: u32,
+    /// How many messages a worker drains from its mailbox per lock
+    /// acquisition. The weighted service policy is applied per message
+    /// *inside* the batch, so the service order is identical to draining
+    /// one at a time — batching only amortises the lock. 1 restores the
+    /// unbatched behaviour.
+    pub drain_batch: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -36,6 +42,7 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             data_queue_capacity: 16 * 1024,
             migration_weight: 2,
+            drain_batch: 32,
         }
     }
 }
@@ -126,12 +133,13 @@ impl<M: SimMessage + Send + 'static> Runtime<M> {
         self.machines
     }
 
-    fn fresh_shard(&self) -> Metrics {
+    fn fresh_shard(&self, gauges: &Arc<SharedGauges>) -> Metrics {
         let mut shard = Metrics::default();
         for _ in 0..self.machines {
             shard.add_machine();
         }
         shard.sample_spacing = self.metrics.sample_spacing;
+        shard.install_shared(Arc::clone(gauges));
         shard
     }
 }
@@ -143,77 +151,89 @@ fn worker<M: SimMessage + Send + 'static>(
     shared: Arc<Shared<M>>,
     mut tasks: TaskMap<M>,
     mut shard: Metrics,
+    drain_batch: usize,
 ) -> (TaskMap<M>, Metrics) {
     let guard = PanicGuard(&shared);
     let mailbox = Arc::clone(&shared.mailboxes[mid.index()]);
-    while let Some(work) = mailbox.pop(|| shared.now_us(), &shared.done) {
-        let (self_task, effects, stopped) = {
-            let mut stopped = false;
-            let started = Instant::now();
-            let now = SimTime(shared.now_us());
-            let (self_task, effects) = match work {
-                Work::Msg { from, to, msg } => {
-                    shard.on_arrive(mid, msg.bytes());
-                    let task = tasks
-                        .get_mut(&to.index())
-                        .expect("message routed to a machine not hosting its task");
-                    let mut ctx: Ctx<'_, M> = Ctx::new(now, to, &mut shard, &mut stopped);
-                    let _modeled_cost = task.on_message(&mut ctx, from, msg);
-                    let effects = ctx.take_effects();
-                    (to, effects)
-                }
-                Work::Timer { task: tid, key } => {
-                    let task = tasks
-                        .get_mut(&tid.index())
-                        .expect("timer fired on a machine not hosting its task");
-                    let mut ctx: Ctx<'_, M> = Ctx::new(now, tid, &mut shard, &mut stopped);
-                    let _modeled_cost = task.on_timer(&mut ctx, key);
-                    let effects = ctx.take_effects();
-                    (tid, effects)
-                }
-            };
-            // Real CPU occupancy, not the modeled cost: this backend runs
-            // as fast as the hardware allows.
-            let elapsed = SimDuration(started.elapsed().as_micros() as u64);
-            shard.on_busy(mid, elapsed);
-            shard.events += 1;
-            shard.last_event_at = SimTime(shared.now_us());
-            (self_task, effects, stopped)
-        };
-
-        for effect in effects {
-            match effect {
-                Effect::Send { to, msg } => {
-                    let dst_machine = shared.task_machine[to.index()];
-                    let class = msg.class();
-                    shared.outstanding.fetch_add(1, Ordering::SeqCst);
-                    let loopback = dst_machine == mid;
-                    if !loopback {
-                        // Mirror the simulator: loopback sends pay no
-                        // network accounting.
-                        shard.on_send(mid, msg.bytes());
+    let mut batch = Vec::with_capacity(drain_batch);
+    'run: loop {
+        // One lock acquisition drains up to `drain_batch` messages, in
+        // exactly the order repeated single pops would have produced.
+        if !mailbox.pop_batch(drain_batch, &mut batch, || shared.now_us(), &shared.done) {
+            break;
+        }
+        for work in batch.drain(..) {
+            let (self_task, effects, stopped) = {
+                let mut stopped = false;
+                let started = Instant::now();
+                let now = SimTime(shared.now_us());
+                let (self_task, effects) = match work {
+                    Work::Msg { from, to, msg } => {
+                        shard.on_arrive(mid, msg.bytes());
+                        let task = tasks
+                            .get_mut(&to.index())
+                            .expect("message routed to a machine not hosting its task");
+                        let mut ctx: Ctx<'_, M> = Ctx::new(now, to, &mut shard, &mut stopped);
+                        let _modeled_cost = task.on_message(&mut ctx, from, msg);
+                        let effects = ctx.take_effects();
+                        (to, effects)
                     }
-                    shared.mailboxes[dst_machine.index()].push_msg(
-                        class,
-                        Work::Msg {
-                            from: self_task,
-                            to,
-                            msg,
-                        },
-                        !loopback,
-                        &shared.done,
-                    );
-                }
-                Effect::Timer { delay, key } => {
-                    shared.outstanding.fetch_add(1, Ordering::SeqCst);
-                    let at = shared.now_us() + delay.as_micros();
-                    mailbox.push_timer(at, self_task, key);
+                    Work::Timer { task: tid, key } => {
+                        let task = tasks
+                            .get_mut(&tid.index())
+                            .expect("timer fired on a machine not hosting its task");
+                        let mut ctx: Ctx<'_, M> = Ctx::new(now, tid, &mut shard, &mut stopped);
+                        let _modeled_cost = task.on_timer(&mut ctx, key);
+                        let effects = ctx.take_effects();
+                        (tid, effects)
+                    }
+                };
+                // Real CPU occupancy, not the modeled cost: this backend
+                // runs as fast as the hardware allows.
+                let elapsed = SimDuration(started.elapsed().as_micros() as u64);
+                shard.on_busy(mid, elapsed);
+                shard.events += 1;
+                shard.last_event_at = SimTime(shared.now_us());
+                (self_task, effects, stopped)
+            };
+
+            for effect in effects {
+                match effect {
+                    Effect::Send { to, msg } => {
+                        let dst_machine = shared.task_machine[to.index()];
+                        let class = msg.class();
+                        shared.outstanding.fetch_add(1, Ordering::SeqCst);
+                        let loopback = dst_machine == mid;
+                        if !loopback {
+                            // Mirror the simulator: loopback sends pay no
+                            // network accounting.
+                            shard.on_send(mid, msg.bytes());
+                        }
+                        shared.mailboxes[dst_machine.index()].push_msg(
+                            class,
+                            Work::Msg {
+                                from: self_task,
+                                to,
+                                msg,
+                            },
+                            !loopback,
+                            &shared.done,
+                        );
+                    }
+                    Effect::Timer { delay, key } => {
+                        shared.outstanding.fetch_add(1, Ordering::SeqCst);
+                        let at = shared.now_us() + delay.as_micros();
+                        mailbox.push_timer(at, self_task, key);
+                    }
                 }
             }
-        }
-        shared.finish_item();
-        if stopped {
-            shared.shutdown();
+            shared.finish_item();
+            if stopped {
+                // Mirror the simulator's stop semantics: abandon whatever
+                // is still queued (including the rest of this batch).
+                shared.shutdown();
+                break 'run;
+            }
         }
     }
     drop(guard);
@@ -251,9 +271,12 @@ impl<M: SimMessage + Send + 'static> ExecBackend<M> for Runtime<M> {
     }
 
     fn has_global_metrics_view(&self) -> bool {
-        // Workers write private shards merged only after the run;
-        // mid-run cluster-wide readings are per-shard approximations.
-        false
+        // Workers write private shards, but every shard carries the
+        // shared atomic gauge overlay (`SharedGauges`), so mid-run
+        // storage/progress readings are cluster-wide consistent — the
+        // progress/ILF timelines and the elastic controller's trigger
+        // work on real threads exactly as they do on the simulator.
+        true
     }
 
     fn metrics(&self) -> &Metrics {
@@ -265,6 +288,8 @@ impl<M: SimMessage + Send + 'static> ExecBackend<M> for Runtime<M> {
     }
 
     fn run(&mut self) -> SimTime {
+        let gauges = SharedGauges::new(self.machines);
+        self.metrics.install_shared(Arc::clone(&gauges));
         let mailboxes: Vec<Arc<Mailbox<M>>> = (0..self.machines)
             .map(|_| {
                 Arc::new(Mailbox::new(
@@ -301,15 +326,16 @@ impl<M: SimMessage + Send + 'static> ExecBackend<M> for Runtime<M> {
             shared.shutdown();
         }
 
+        let drain_batch = self.cfg.drain_batch.max(1);
         let handles: Vec<_> = per_machine
             .into_iter()
             .enumerate()
             .map(|(i, tasks)| {
                 let shared = Arc::clone(&shared);
-                let shard = self.fresh_shard();
+                let shard = self.fresh_shard(&gauges);
                 thread::Builder::new()
                     .name(format!("aoj-worker-{i}"))
-                    .spawn(move || worker(MachineId(i), shared, tasks, shard))
+                    .spawn(move || worker(MachineId(i), shared, tasks, shard, drain_batch))
                     .expect("failed to spawn worker thread")
             })
             .collect();

@@ -208,7 +208,7 @@ fn mutual_data_floods_do_not_deadlock() {
     let burst = 2_000u64;
     let mut rt: Runtime<Payload> = Runtime::new(RuntimeConfig {
         data_queue_capacity: 8, // far below the in-flight volume
-        migration_weight: 2,
+        ..RuntimeConfig::default()
     });
     let m0 = rt.add_machine();
     let m1 = rt.add_machine();

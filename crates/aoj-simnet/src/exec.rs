@@ -59,15 +59,17 @@ pub trait ExecBackend<M: SimMessage + 'static> {
     /// before it).
     fn metrics(&self) -> &Metrics;
 
-    /// Whether tasks observe a single, globally consistent metrics view
-    /// *during* the run. True for the simulator (one `Metrics`, one
-    /// event at a time); false for sharded backends like the threaded
-    /// runtime, where each worker sees only its own machine's gauges —
-    /// there, mid-run cluster-wide readings (progress timelines,
-    /// stored-bytes snapshots taken inside handlers) are per-shard
-    /// approximations and drivers should not present them as global.
-    /// Post-run totals from [`metrics`](ExecBackend::metrics) are exact
-    /// either way.
+    /// Whether tasks observe a globally consistent cluster view of the
+    /// storage/progress gauges *during* the run — the readings behind
+    /// progress/ILF timelines and the elastic controller's stored-state
+    /// trigger. True for the simulator (one `Metrics`, one event at a
+    /// time) and for sharded backends that install a
+    /// [`SharedGauges`](crate::metrics::SharedGauges) overlay into every
+    /// shard (the threaded runtime does). A backend whose shards have no
+    /// shared overlay must return false so drivers suppress mid-run
+    /// cluster-wide readings rather than present per-shard approximations
+    /// as global. Post-run totals from [`metrics`](ExecBackend::metrics)
+    /// are exact either way.
     fn has_global_metrics_view(&self) -> bool {
         true
     }

@@ -74,7 +74,7 @@ pub mod time;
 pub use config::{CostModel, SimConfig};
 pub use exec::ExecBackend;
 pub use machine::{MachineConfig, MachineId};
-pub use metrics::{MachineMetrics, Metrics};
+pub use metrics::{MachineMetrics, Metrics, SharedGauges};
 pub use network::NetworkConfig;
 pub use sim::Sim;
 pub use task::{Ctx, Effect, MsgClass, Process, SimMessage, TaskId};

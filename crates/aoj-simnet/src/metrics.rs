@@ -6,8 +6,56 @@
 //! §3.3), and spill volume (the starred "overflow to disk" entries of
 //! Table 2).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use crate::machine::MachineId;
 use crate::time::{SimDuration, SimTime};
+
+/// Cluster-wide gauge overlay for sharded backends.
+///
+/// The threaded runtime gives every worker a private [`Metrics`] shard so
+/// handlers never contend on a lock — but that makes *mid-run* cluster-wide
+/// readings (progress/ILF timelines, the elastic controller's
+/// stored-state trigger) impossible: each shard sees only its own
+/// machine's gauges. `SharedGauges` fixes exactly that: a lock-free array
+/// of per-machine stored-byte gauges plus the cluster-wide
+/// data-processed counter, shared by every shard via `Arc`. Writes stay
+/// single-writer per slot (each worker only ever sets its own machines'
+/// gauges), reads are racy-by-design point-in-time samples — the same
+/// semantics the paper's controller gets from its monitoring plane.
+///
+/// Backends with one global `Metrics` (the simulator) never install one;
+/// all reads fall through to the plain per-machine fields.
+#[derive(Debug, Default)]
+pub struct SharedGauges {
+    stored: Box<[AtomicU64]>,
+    data_processed: AtomicU64,
+    next_sample_at: AtomicU64,
+}
+
+impl SharedGauges {
+    /// A gauge array for `machines` machines, all zero.
+    pub fn new(machines: usize) -> Arc<SharedGauges> {
+        Arc::new(SharedGauges {
+            stored: (0..machines).map(|_| AtomicU64::new(0)).collect(),
+            data_processed: AtomicU64::new(0),
+            next_sample_at: AtomicU64::new(0),
+        })
+    }
+
+    /// Stored bytes currently reported for machine `m`.
+    #[inline]
+    pub fn stored(&self, m: MachineId) -> u64 {
+        self.stored[m.index()].load(Ordering::Relaxed)
+    }
+
+    /// Data items processed cluster-wide so far.
+    #[inline]
+    pub fn data_processed(&self) -> u64 {
+        self.data_processed.load(Ordering::Relaxed)
+    }
+}
 
 /// A point on the cluster-wide progress timeline, recorded by worker
 /// tasks as they process data items (see [`Metrics::note_data_processed`]).
@@ -60,6 +108,9 @@ pub struct Metrics {
     /// Sampling spacing for the progress timeline (0 disables sampling).
     pub sample_spacing: u64,
     next_sample_at: u64,
+    /// Cluster-wide gauge overlay, installed by sharded backends so that
+    /// mid-run storage/progress reads are globally consistent.
+    shared: Option<Arc<SharedGauges>>,
 }
 
 impl Metrics {
@@ -89,12 +140,36 @@ impl Metrics {
         &mut self.per_machine[m.index()]
     }
 
+    /// Install a cluster-wide gauge overlay (sharded backends only). The
+    /// overlay must be sized to the final machine count.
+    pub fn install_shared(&mut self, shared: Arc<SharedGauges>) {
+        self.shared = Some(shared);
+    }
+
+    /// The installed gauge overlay, if any.
+    pub fn shared(&self) -> Option<&Arc<SharedGauges>> {
+        self.shared.as_ref()
+    }
+
     /// Record that a task on `m` now stores `bytes` of operator state.
     pub fn set_stored(&mut self, m: MachineId, bytes: u64) {
         let mm = &mut self.per_machine[m.index()];
         mm.stored_bytes = bytes;
         if bytes > mm.peak_stored_bytes {
             mm.peak_stored_bytes = bytes;
+        }
+        if let Some(sh) = &self.shared {
+            sh.stored[m.index()].store(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Stored bytes currently reported for machine `m` — cluster-wide
+    /// consistent even on sharded backends (reads the shared overlay when
+    /// one is installed).
+    pub fn stored_bytes_of(&self, m: MachineId) -> u64 {
+        match &self.shared {
+            Some(sh) => sh.stored(m),
+            None => self.per_machine[m.index()].stored_bytes,
         }
     }
 
@@ -115,15 +190,16 @@ impl Metrics {
 
     /// Total operator state currently stored across the cluster.
     pub fn total_stored_bytes(&self) -> u64 {
-        self.per_machine.iter().map(|m| m.stored_bytes).sum()
+        (0..self.per_machine.len())
+            .map(|i| self.stored_bytes_of(MachineId(i)))
+            .sum()
     }
 
     /// Maximum per-machine stored bytes (the paper's "maximum ILF per
     /// machine", Fig 6a).
     pub fn max_stored_bytes(&self) -> u64 {
-        self.per_machine
-            .iter()
-            .map(|m| m.stored_bytes)
+        (0..self.per_machine.len())
+            .map(|i| self.stored_bytes_of(MachineId(i)))
             .max()
             .unwrap_or(0)
     }
@@ -144,15 +220,50 @@ impl Metrics {
     /// algorithm.
     pub fn note_data_processed(&mut self, n: u64, at: SimTime) {
         self.data_processed += n;
-        if self.sample_spacing > 0 && self.data_processed >= self.next_sample_at {
-            self.next_sample_at = self.data_processed + self.sample_spacing;
-            let point = ProgressPoint {
-                processed: self.data_processed,
-                at,
-                max_stored: self.max_stored_bytes(),
-                total_stored: self.total_stored_bytes(),
-            };
-            self.progress.push(point);
+        if self.sample_spacing == 0 {
+            return;
+        }
+        match &self.shared {
+            None => {
+                if self.data_processed >= self.next_sample_at {
+                    self.next_sample_at = self.data_processed + self.sample_spacing;
+                    let point = ProgressPoint {
+                        processed: self.data_processed,
+                        at,
+                        max_stored: self.max_stored_bytes(),
+                        total_stored: self.total_stored_bytes(),
+                    };
+                    self.progress.push(point);
+                }
+            }
+            Some(sh) => {
+                // Sharded backends: count and sample against the shared
+                // cluster-wide state. The CAS claims each sampling
+                // boundary for exactly one worker; the claimed point goes
+                // into that worker's shard and the shards' timelines are
+                // merged (and time-sorted) by `absorb` after the run.
+                let total = sh.data_processed.fetch_add(n, Ordering::Relaxed) + n;
+                let due = sh.next_sample_at.load(Ordering::Relaxed);
+                if total >= due
+                    && sh
+                        .next_sample_at
+                        .compare_exchange(
+                            due,
+                            total + self.sample_spacing,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok()
+                {
+                    let point = ProgressPoint {
+                        processed: total,
+                        at,
+                        max_stored: self.max_stored_bytes(),
+                        total_stored: self.total_stored_bytes(),
+                    };
+                    self.progress.push(point);
+                }
+            }
         }
     }
 
@@ -238,6 +349,40 @@ mod tests {
         assert_eq!(m.machine(MachineId(0)).bytes_in, 7);
         assert_eq!(m.total_bytes_sent(), 15);
         assert_eq!(m.total_messages(), 2);
+    }
+
+    #[test]
+    fn shared_gauges_give_shards_a_cluster_view() {
+        let shared = SharedGauges::new(2);
+        // Two shards, as the threaded runtime would build them.
+        let shard = |_: usize| {
+            let mut m = Metrics::default();
+            m.add_machine();
+            m.add_machine();
+            m.sample_spacing = 2;
+            m.install_shared(Arc::clone(&shared));
+            m
+        };
+        let (mut a, mut b) = (shard(0), shard(1));
+        a.set_stored(MachineId(0), 100);
+        b.set_stored(MachineId(1), 70);
+        // Each shard now sees the *other* machine's gauge too.
+        assert_eq!(a.stored_bytes_of(MachineId(1)), 70);
+        assert_eq!(b.stored_bytes_of(MachineId(0)), 100);
+        assert_eq!(a.total_stored_bytes(), 170);
+        assert_eq!(b.max_stored_bytes(), 100);
+        // Progress counting is cluster-wide, and each boundary is claimed
+        // by exactly one shard.
+        a.note_data_processed(1, SimTime(1));
+        b.note_data_processed(1, SimTime(2));
+        b.note_data_processed(1, SimTime(3));
+        a.note_data_processed(1, SimTime(4));
+        assert_eq!(shared.data_processed(), 4);
+        let mut merged = Metrics::default();
+        merged.absorb(&a);
+        merged.absorb(&b);
+        let processed: Vec<u64> = merged.progress.iter().map(|p| p.processed).collect();
+        assert_eq!(processed, vec![1, 3], "one claim per boundary");
     }
 
     #[test]
