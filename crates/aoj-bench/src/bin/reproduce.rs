@@ -6,6 +6,7 @@
 //! cargo run --release -p aoj-bench --bin reproduce -- <experiment>
 //! cargo run --release -p aoj-bench --bin reproduce -- --backend threaded
 //! cargo run --release -p aoj-bench --bin reproduce -- elastic --smoke
+//! cargo run --release -p aoj-bench --bin reproduce -- wallclock --batch 1,64,256
 //! ```
 //!
 //! Experiments: `table2`, `fig6a`..`fig6d`, `fig6`, `fig7a`..`fig7d`,
@@ -17,7 +18,10 @@
 //! the wall-clock benchmark (`wallclock`) and the live `elastic`
 //! scale-out experiment; the paper-figure experiments are simulator-only
 //! because their figures are defined in virtual time. `--smoke` shrinks
-//! the `elastic` workload to a CI-sized run.
+//! the `elastic` workload (and the `wallclock` sweep) to a CI-sized run.
+//! `--batch N[,N...]` overrides the `wallclock` data-plane batch-size
+//! sweep (each size runs on **both** backends and writes
+//! `BENCH_wallclock.json`).
 
 use aoj_bench::experiments::{ablation, elastic, fig6, fig7, fig8, table2, wallclock};
 use aoj_operators::BackendChoice;
@@ -25,6 +29,7 @@ use aoj_operators::BackendChoice;
 fn main() {
     let mut backend = "sim".to_string();
     let mut smoke = false;
+    let mut batch_sweep: Vec<usize> = Vec::new();
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -38,6 +43,15 @@ fn main() {
                 backend = other["--backend=".len()..].to_string();
             }
             "--smoke" => smoke = true,
+            "--batch" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| die("--batch needs a value: N or N,N,..."));
+                batch_sweep = parse_batch_sweep(&v);
+            }
+            other if other.starts_with("--batch=") => {
+                batch_sweep = parse_batch_sweep(&other["--batch=".len()..]);
+            }
             other => positional.push(other.to_string()),
         }
     }
@@ -67,6 +81,13 @@ fn main() {
         }
     };
 
+    if !batch_sweep.is_empty() && what != "wallclock" && what != "all" {
+        die(&format!(
+            "--batch only applies to the `wallclock` sweep (or `all`); \
+             experiment `{what}` would silently ignore it"
+        ));
+    }
+
     let start = std::time::Instant::now();
     match what.as_str() {
         "table2" => table2::run_table2(),
@@ -91,7 +112,7 @@ fn main() {
         "ablation-elastic" => ablation::run_ablation_elastic(),
         "ablation-groups" => ablation::run_ablation_groups(),
         "ablations" => ablation::run_ablations(),
-        "wallclock" => wallclock::run_wallclock(),
+        "wallclock" => wallclock::run_wallclock(&batch_sweep, smoke),
         "elastic" => elastic::run_elastic(backend_choice, smoke),
         "all" => {
             table2::run_table2();
@@ -99,7 +120,7 @@ fn main() {
             fig7::run_fig7();
             fig8::run_fig8();
             ablation::run_ablations();
-            wallclock::run_wallclock();
+            wallclock::run_wallclock(&batch_sweep, smoke);
             elastic::run_elastic(backend_choice, smoke);
         }
         other => {
@@ -116,4 +137,16 @@ fn main() {
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
     std::process::exit(1);
+}
+
+fn parse_batch_sweep(v: &str) -> Vec<usize> {
+    v.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| die(&format!("--batch: `{s}` is not a positive integer")))
+        })
+        .collect()
 }

@@ -194,7 +194,13 @@ pub fn run_elastic(backend: BackendChoice, smoke: bool) {
         json_run("at-capacity", j_full, &full),
         json_run("grow-from-small", j_full / 4, &elastic),
     );
-    let path = "BENCH_elastic.json";
+    // Smoke runs (CI, quick local checks) write to a side file so they
+    // never clobber the committed full-run baseline.
+    let path = if smoke {
+        "BENCH_elastic_smoke.json"
+    } else {
+        "BENCH_elastic.json"
+    };
     match std::fs::write(path, &json) {
         Ok(()) => println!("  wrote {path}"),
         Err(e) => eprintln!("  could not write {path}: {e}"),

@@ -65,6 +65,35 @@ pub trait JoinIndex: Send {
         self.probe_filtered(t, &mut |_| true, on_match)
     }
 
+    /// Insert every tuple of `batch` (in order).
+    fn insert_batch(&mut self, batch: &[Tuple]) {
+        for t in batch {
+            self.insert(*t);
+        }
+    }
+
+    /// Probe each `probes[i]` against the stored state, invoking
+    /// `on_match(i, stored)` once per match of `probes[i]`.
+    ///
+    /// Semantically identical to `probes.iter().map(|t| self.probe(t))` —
+    /// probes are **not** matched against each other and are **not**
+    /// inserted — but implementations may amortise the per-probe index
+    /// work across the batch (sorting and merging a range scan, sharing
+    /// bucket lookups between equal keys). The invocation *order* of
+    /// `on_match` is unspecified; the per-probe match sets and the summed
+    /// [`ProbeStats`] are not.
+    fn probe_batch(
+        &mut self,
+        probes: &[Tuple],
+        on_match: &mut dyn FnMut(usize, &Tuple),
+    ) -> ProbeStats {
+        let mut stats = ProbeStats::default();
+        for (i, t) in probes.iter().enumerate() {
+            stats += self.probe(t, &mut |stored| on_match(i, stored));
+        }
+        stats
+    }
+
     /// Probe counting matches only.
     fn probe_count(&mut self, t: &Tuple) -> ProbeStats {
         self.probe_filtered(t, &mut |_| true, &mut |_| {})
@@ -100,6 +129,42 @@ pub trait JoinIndex: Send {
         self.for_each(&mut |t| v.push(*t));
         v
     }
+}
+
+/// Stream-process a batch of arriving tuples against `idx` using the bulk
+/// index operations: every tuple probes the state *as it stood at the
+/// tuple's own position in the stream* (earlier batch tuples included),
+/// then is inserted — exactly equivalent to per-tuple `probe` + `insert`,
+/// which is what a batch-of-one degenerates to.
+///
+/// The trick that keeps bulk probes exact: probes only ever scan the
+/// *opposite* relation, so tuples of the same relation can never match
+/// each other. Splitting the batch into maximal single-relation runs
+/// therefore lets a whole run probe via [`JoinIndex::probe_batch`] before
+/// any of it is inserted, with earlier runs already in the index when
+/// later runs probe — no intra-batch pair is missed or duplicated.
+///
+/// `on_match(i, stored)` receives the index of the probing tuple within
+/// `batch` plus the matched stored tuple.
+pub fn process_stream_batch(
+    idx: &mut dyn JoinIndex,
+    batch: &[Tuple],
+    on_match: &mut dyn FnMut(usize, &Tuple),
+) -> ProbeStats {
+    let mut stats = ProbeStats::default();
+    let mut start = 0;
+    while start < batch.len() {
+        let rel = batch[start].rel;
+        let mut end = start + 1;
+        while end < batch.len() && batch[end].rel == rel {
+            end += 1;
+        }
+        let run = &batch[start..end];
+        stats += idx.probe_batch(run, &mut |i, stored| on_match(start + i, stored));
+        idx.insert_batch(run);
+        start = end;
+    }
+    stats
 }
 
 /// Reference [`JoinIndex`]: two plain vectors and a linear scan per probe.
@@ -153,6 +218,36 @@ impl JoinIndex for VecIndex {
             if self.predicate.matches_pair(t, other) && filter(other) {
                 stats.matches += 1;
                 on_match(other);
+            }
+        }
+        stats
+    }
+
+    fn probe_batch(
+        &mut self,
+        probes: &[Tuple],
+        on_match: &mut dyn FnMut(usize, &Tuple),
+    ) -> ProbeStats {
+        // One sequential scan of each stored side serves every probe of
+        // the opposite relation — same predicate evaluations as N
+        // independent probes, one pass over the state.
+        let mut stats = ProbeStats::default();
+        for rel in [Rel::R, Rel::S] {
+            let idxs: Vec<usize> = (0..probes.len())
+                .filter(|&i| probes[i].rel == rel)
+                .collect();
+            if idxs.is_empty() {
+                continue;
+            }
+            let others = self.side(rel.other());
+            stats.candidates += (others.len() * idxs.len()) as u64;
+            for other in others {
+                for &i in &idxs {
+                    if self.predicate.matches_pair(&probes[i], other) {
+                        stats.matches += 1;
+                        on_match(i, other);
+                    }
+                }
             }
         }
         stats
@@ -277,6 +372,86 @@ mod tests {
         assert_eq!(idx.len_rel(Rel::R), 2);
         assert_eq!(idx.len_rel(Rel::S), 1);
         assert_eq!(idx.snapshot().len(), 3);
+    }
+
+    #[test]
+    fn probe_batch_equals_independent_probes() {
+        let mut idx = VecIndex::new(Predicate::Band { width: 1 });
+        for i in 0..40 {
+            idx.insert(if i % 3 == 0 {
+                r(i, (i as i64 * 7) % 20)
+            } else {
+                s(i, (i as i64 * 5) % 20)
+            });
+        }
+        let probes: Vec<Tuple> = (0..16)
+            .map(|i| {
+                if i % 2 == 0 {
+                    r(100 + i, (i as i64 * 3) % 20)
+                } else {
+                    s(100 + i, (i as i64 * 11) % 20)
+                }
+            })
+            .collect();
+        let mut per_tuple = vec![Vec::new(); probes.len()];
+        let mut batched = vec![Vec::new(); probes.len()];
+        let mut loop_stats = ProbeStats::default();
+        for (i, p) in probes.iter().enumerate() {
+            loop_stats += idx.probe(p, &mut |m| per_tuple[i].push(m.seq));
+        }
+        let batch_stats = idx.probe_batch(&probes, &mut |i, m| batched[i].push(m.seq));
+        for (a, b) in per_tuple.iter_mut().zip(batched.iter_mut()) {
+            a.sort_unstable();
+            b.sort_unstable();
+        }
+        assert_eq!(per_tuple, batched);
+        assert_eq!(loop_stats.matches, batch_stats.matches);
+    }
+
+    #[test]
+    fn process_stream_batch_matches_sequential_processing() {
+        // Mixed-relation batch with intra-batch pairs: bulk processing
+        // must produce exactly the pairs sequential probe+insert does.
+        let batch: Vec<Tuple> = vec![
+            r(0, 5),
+            r(1, 6),
+            s(2, 5), // pairs with r0
+            s(3, 6), // pairs with r1
+            r(4, 5), // pairs with s2
+            s(5, 5), // pairs with r0 and r4
+        ];
+        let mut seq_idx = VecIndex::new(Predicate::Equi);
+        let mut seq_pairs = Vec::new();
+        for t in &batch {
+            seq_idx.probe(t, &mut |m| {
+                seq_pairs.push((t.seq.min(m.seq), t.seq.max(m.seq)))
+            });
+            seq_idx.insert(*t);
+        }
+        let mut bulk_idx = VecIndex::new(Predicate::Equi);
+        let mut bulk_pairs = Vec::new();
+        let stats = process_stream_batch(&mut bulk_idx, &batch, &mut |i, m| {
+            bulk_pairs.push((batch[i].seq.min(m.seq), batch[i].seq.max(m.seq)))
+        });
+        seq_pairs.sort_unstable();
+        bulk_pairs.sort_unstable();
+        assert_eq!(seq_pairs, bulk_pairs);
+        assert_eq!(stats.matches as usize, bulk_pairs.len());
+        assert_eq!(bulk_idx.len(), batch.len());
+        assert_eq!(
+            seq_pairs,
+            vec![(0, 2), (0, 5), (1, 3), (2, 4), (4, 5)],
+            "expected exactly the stream-order pairs"
+        );
+    }
+
+    #[test]
+    fn insert_batch_inserts_in_order() {
+        let mut idx = VecIndex::new(Predicate::Equi);
+        let batch = vec![r(0, 1), s(1, 1), r(2, 2)];
+        idx.insert_batch(&batch);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.bytes(), 3 * 64);
     }
 
     #[test]

@@ -80,6 +80,77 @@ impl JoinIndex for BandIndex {
         stats
     }
 
+    fn probe_batch(
+        &mut self,
+        probes: &[Tuple],
+        on_match: &mut dyn FnMut(usize, &Tuple),
+    ) -> ProbeStats {
+        if probes.len() == 1 {
+            // A single-tuple run: the plain range scan, no sort overhead.
+            return self.probe_filtered(&probes[0], &mut |_| true, &mut |s| on_match(0, s));
+        }
+        // Sort the probes by key and merge once against the opposite
+        // tree: instead of N independent `range(k−w ..= k+w)` descents, a
+        // single ascending pass maintains the sliding window of buckets
+        // covering the current probe's band. Each tree bucket is pulled
+        // into the window once; overlapping bands rescan only the window.
+        // Sorting (key, index) pairs keeps the comparator free of random
+        // probe-array loads.
+        let mut stats = ProbeStats::default();
+        for rel in [Rel::R, Rel::S] {
+            let mut order: Vec<(i64, u32)> = probes
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.rel == rel)
+                .map(|(i, t)| (t.key, i as u32))
+                .collect();
+            if order.is_empty() {
+                continue;
+            }
+            order.sort_unstable();
+            let side = match rel {
+                Rel::R => &self.s,
+                Rel::S => &self.r,
+            };
+            let global_lo = order[0].0.saturating_sub(self.width);
+            let mut fresh = side.range(global_lo..);
+            let mut next_bucket = fresh.next();
+            // The window is a grow-only Vec plus a start cursor (probes
+            // ascend, so evicted buckets never return): contiguous
+            // iteration in the innermost per-match loop, no ring-buffer
+            // wrap checks.
+            let mut window: Vec<(i64, &Vec<Tuple>)> = Vec::new();
+            let mut start = 0usize;
+            for &(key, i) in &order {
+                let i = i as usize;
+                let lo = key.saturating_sub(self.width);
+                let hi = key.saturating_add(self.width);
+                while let Some((&k, bucket)) = next_bucket {
+                    if k > hi {
+                        break;
+                    }
+                    window.push((k, bucket));
+                    next_bucket = fresh.next();
+                }
+                while start < window.len() && window[start].0 < lo {
+                    start += 1;
+                }
+                // Window invariant: every bucket key in [start..] is in
+                // [lo, hi] — keys below lo were just skipped, and nothing
+                // above this probe's hi was pulled in (earlier probes
+                // have smaller keys, so smaller his).
+                for &(_, bucket) in &window[start..] {
+                    stats.candidates += bucket.len() as u64;
+                    stats.matches += bucket.len() as u64;
+                    for other in bucket {
+                        on_match(i, other);
+                    }
+                }
+            }
+        }
+        stats
+    }
+
     fn len(&self) -> usize {
         self.r_len + self.s_len
     }
@@ -212,6 +283,50 @@ mod tests {
         let rest = idx.drain();
         assert_eq!(rest.len() + removed.len(), 50);
         assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn probe_batch_merge_equals_independent_range_scans() {
+        // Random-ish keys, duplicates, overlapping bands, extreme values:
+        // the sorted merge must agree with N independent probes, match
+        // for match and stat for stat.
+        for width in [0i64, 1, 3, 17] {
+            let mut idx = BandIndex::new(width);
+            for i in 0..300u64 {
+                let key = ((i as i64 * 67) % 97) - 48;
+                idx.insert(if i % 3 == 0 { r(i, key) } else { s(i, key) });
+            }
+            idx.insert(s(900, i64::MAX - 1));
+            idx.insert(r(901, i64::MIN + 1));
+            let probes: Vec<Tuple> = (0..64u64)
+                .map(|i| {
+                    let key = ((i as i64 * 41) % 90) - 45;
+                    if i % 2 == 0 {
+                        r(1000 + i, key)
+                    } else {
+                        s(1000 + i, key)
+                    }
+                })
+                .chain([r(2000, i64::MAX), s(2001, i64::MIN)])
+                .collect();
+            let mut independent = vec![Vec::new(); probes.len()];
+            let mut ind_stats = ProbeStats::default();
+            for (i, p) in probes.iter().enumerate() {
+                ind_stats += idx.probe(p, &mut |m| independent[i].push(m.seq));
+            }
+            let mut merged = vec![Vec::new(); probes.len()];
+            let merged_stats = idx.probe_batch(&probes, &mut |i, m| merged[i].push(m.seq));
+            for (a, b) in independent.iter_mut().zip(merged.iter_mut()) {
+                a.sort_unstable();
+                b.sort_unstable();
+            }
+            assert_eq!(independent, merged, "width {width}: match sets diverge");
+            assert_eq!(
+                (ind_stats.candidates, ind_stats.matches),
+                (merged_stats.candidates, merged_stats.matches),
+                "width {width}: stats diverge"
+            );
+        }
     }
 
     #[test]

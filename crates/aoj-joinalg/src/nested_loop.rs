@@ -36,6 +36,20 @@ impl JoinIndex for NestedLoopIndex {
         self.inner.probe_filtered(t, filter, on_match)
     }
 
+    fn insert_batch(&mut self, batch: &[Tuple]) {
+        self.inner.insert_batch(batch);
+    }
+
+    fn probe_batch(
+        &mut self,
+        probes: &[Tuple],
+        on_match: &mut dyn FnMut(usize, &Tuple),
+    ) -> ProbeStats {
+        // `VecIndex` serves the whole batch with one sequential scan of
+        // each stored side instead of one scan per probe.
+        self.inner.probe_batch(probes, on_match)
+    }
+
     fn len(&self) -> usize {
         self.inner.len()
     }

@@ -68,6 +68,58 @@ impl JoinIndex for SymmetricHashIndex {
         stats
     }
 
+    fn probe_batch(
+        &mut self,
+        probes: &[Tuple],
+        on_match: &mut dyn FnMut(usize, &Tuple),
+    ) -> ProbeStats {
+        if probes.len() == 1 {
+            // A single-tuple run: one plain lookup, no sort overhead.
+            return self.probe_filtered(&probes[0], &mut |_| true, &mut |s| on_match(0, s));
+        }
+        // Group the probes by key so duplicate keys — the common case
+        // under skew, which is exactly when probing is expensive — share
+        // one bucket lookup instead of hashing per tuple. Sorting
+        // (key, index) pairs keeps the comparator free of random
+        // probe-array loads.
+        let mut stats = ProbeStats::default();
+        for rel in [Rel::R, Rel::S] {
+            let mut order: Vec<(i64, u32)> = probes
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.rel == rel)
+                .map(|(i, t)| (t.key, i as u32))
+                .collect();
+            if order.is_empty() {
+                continue;
+            }
+            order.sort_unstable();
+            let side = match rel {
+                Rel::R => &self.s,
+                Rel::S => &self.r,
+            };
+            let mut j = 0;
+            while j < order.len() {
+                let key = order[j].0;
+                let mut k = j + 1;
+                while k < order.len() && order[k].0 == key {
+                    k += 1;
+                }
+                if let Some(bucket) = side.get(&key) {
+                    for &(_, i) in &order[j..k] {
+                        stats.candidates += bucket.len() as u64;
+                        stats.matches += bucket.len() as u64;
+                        for other in bucket {
+                            on_match(i as usize, other);
+                        }
+                    }
+                }
+                j = k;
+            }
+        }
+        stats
+    }
+
     fn len(&self) -> usize {
         self.r_len + self.s_len
     }
@@ -207,6 +259,43 @@ mod tests {
         let stats = idx.probe_filtered(&s(9, 5), &mut f, &mut |_| {});
         assert_eq!(stats.matches, 1);
         assert_eq!(stats.candidates, 2);
+    }
+
+    #[test]
+    fn probe_batch_grouping_equals_independent_probes() {
+        let mut idx = SymmetricHashIndex::new();
+        for i in 0..200u64 {
+            let key = (i as i64 * 13) % 23;
+            idx.insert(if i % 4 == 0 { r(i, key) } else { s(i, key) });
+        }
+        // Heavy key duplication in the probe batch (the skew case the
+        // grouping optimises).
+        let probes: Vec<Tuple> = (0..64u64)
+            .map(|i| {
+                let key = (i as i64 * 7) % 5;
+                if i % 2 == 0 {
+                    r(1000 + i, key)
+                } else {
+                    s(1000 + i, key)
+                }
+            })
+            .collect();
+        let mut independent = vec![Vec::new(); probes.len()];
+        let mut ind_stats = ProbeStats::default();
+        for (i, p) in probes.iter().enumerate() {
+            ind_stats += idx.probe(p, &mut |m| independent[i].push(m.seq));
+        }
+        let mut grouped = vec![Vec::new(); probes.len()];
+        let grouped_stats = idx.probe_batch(&probes, &mut |i, m| grouped[i].push(m.seq));
+        for (a, b) in independent.iter_mut().zip(grouped.iter_mut()) {
+            a.sort_unstable();
+            b.sort_unstable();
+        }
+        assert_eq!(independent, grouped);
+        assert_eq!(
+            (ind_stats.candidates, ind_stats.matches),
+            (grouped_stats.candidates, grouped_stats.matches)
+        );
     }
 
     #[test]

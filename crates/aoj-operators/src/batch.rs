@@ -1,0 +1,237 @@
+//! Data-plane batching: the coalescing buffers that turn per-tuple
+//! routing into [`OpMsg::DataBatch`](crate::messages::OpMsg::DataBatch)
+//! streams.
+//!
+//! PR 2's batched mailbox drains showed that per-message overhead — not
+//! join work — dominates the hot path (143k → 216k tuples/s from
+//! amortising only the *receive* side's lock). This module amortises the
+//! whole hop: a reshuffler routes each tuple into a per-destination
+//! buffer and ships the buffer as one message when it fills
+//! (`batch_tuples`) or ages out (`max_delay`, so a slow destination never
+//! strands tuples and the flow-control window cannot wedge on buffered
+//! copies).
+//!
+//! ## FIFO contract
+//!
+//! Coalescing groups tuples; it never reorders them. Within one
+//! (reshuffler → joiner) channel, tuples leave in route order, and the
+//! epoch protocol's markers stay correct because every epoch or store
+//! boundary **force-flushes** the buffers before the boundary message is
+//! sent — a `Signal`/`ExpandSignal` therefore still travels FIFO behind
+//! every tuple its epoch covers (Alg. 3's ordering assumption, §4.3.1).
+//!
+//! A batch of one tuple is the degenerate case: `batch_tuples = 1`
+//! flushes inside the routing handler, schedules no timers, and
+//! reproduces the per-tuple data plane's event timeline exactly.
+
+use aoj_core::tuple::Tuple;
+use aoj_simnet::{SimDuration, SimTime};
+
+/// Data-plane batching knobs (`RunConfig` carries one of these).
+#[derive(Clone, Copy, Debug)]
+pub struct BatchConfig {
+    /// Coalescing-buffer flush threshold in tuples. 1 restores the
+    /// per-tuple data plane bit-for-bit.
+    pub batch_tuples: usize,
+    /// Age flush: an armed coalescer schedules a timer this far ahead
+    /// and force-flushes everything still buffered when it fires, so a
+    /// trickle of tuples (or a closed flow-control window) cannot strand
+    /// a partial batch.
+    pub max_delay: SimDuration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            batch_tuples: 64,
+            max_delay: SimDuration::from_micros(200),
+        }
+    }
+}
+
+impl BatchConfig {
+    /// A config flushing every `batch_tuples` tuples with the default age
+    /// bound.
+    pub fn new(batch_tuples: usize) -> BatchConfig {
+        BatchConfig {
+            batch_tuples: batch_tuples.max(1),
+            ..BatchConfig::default()
+        }
+    }
+}
+
+/// One destination's pending batch: parallel tuple/arrival runs.
+#[derive(Default)]
+struct Pending {
+    tuples: Vec<Tuple>,
+    arrived: Vec<SimTime>,
+}
+
+/// Per-destination coalescing buffers for routed data tuples.
+///
+/// Slots are caller-defined destinations (a joiner machine, or a
+/// (machine, store-class) pair in the grouped operator). The coalescer
+/// only groups; the caller ships the flushed runs, attaching the
+/// epoch tag / store flag its slots encode — which is what hoists those
+/// fields to batch level.
+pub struct DataCoalescer {
+    cfg: BatchConfig,
+    slots: Vec<Pending>,
+    buffered: usize,
+    /// True while an age-flush timer is scheduled on the owning task.
+    timer_pending: bool,
+}
+
+impl DataCoalescer {
+    /// An empty coalescer with `slots` destinations.
+    pub fn new(cfg: BatchConfig, slots: usize) -> DataCoalescer {
+        DataCoalescer {
+            cfg: BatchConfig {
+                batch_tuples: cfg.batch_tuples.max(1),
+                ..cfg
+            },
+            slots: (0..slots).map(|_| Pending::default()).collect(),
+            buffered: 0,
+            timer_pending: false,
+        }
+    }
+
+    /// Arm the owning task's age-flush timer (under `key`) if anything
+    /// is buffered and no timer is already pending. With
+    /// `batch_tuples = 1` buffers never survive a handler, so no timer
+    /// is ever scheduled and the per-tuple event timeline is untouched.
+    pub fn arm_flush_timer<M: aoj_simnet::SimMessage>(
+        &mut self,
+        ctx: &mut aoj_simnet::Ctx<'_, M>,
+        key: u64,
+    ) {
+        if !self.is_empty() && !self.timer_pending {
+            self.timer_pending = true;
+            ctx.schedule(self.cfg.max_delay, key);
+        }
+    }
+
+    /// The age-flush timer fired: clear the pending flag (the caller
+    /// then drains the buffers; the next push re-arms).
+    pub fn on_flush_timer(&mut self) {
+        self.timer_pending = false;
+    }
+
+    /// The configured flush threshold.
+    #[inline]
+    pub fn batch_tuples(&self) -> usize {
+        self.cfg.batch_tuples
+    }
+
+    /// The configured age bound.
+    #[inline]
+    pub fn max_delay(&self) -> SimDuration {
+        self.cfg.max_delay
+    }
+
+    /// True when nothing is buffered anywhere.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buffered == 0
+    }
+
+    /// Total buffered tuples across all slots.
+    #[inline]
+    pub fn buffered(&self) -> usize {
+        self.buffered
+    }
+
+    /// Queue `t` (with its operator arrival time) on `slot`. Returns true
+    /// when the slot reached the flush threshold — the caller should
+    /// [`take`](DataCoalescer::take) and ship it.
+    pub fn push(&mut self, slot: usize, t: Tuple, arrived: SimTime) -> bool {
+        let p = &mut self.slots[slot];
+        p.tuples.push(t);
+        p.arrived.push(arrived);
+        self.buffered += 1;
+        p.tuples.len() >= self.cfg.batch_tuples
+    }
+
+    /// Take `slot`'s pending batch, leaving the slot empty. `None` if the
+    /// slot holds nothing.
+    pub fn take(&mut self, slot: usize) -> Option<(Vec<Tuple>, Vec<SimTime>)> {
+        let p = &mut self.slots[slot];
+        if p.tuples.is_empty() {
+            return None;
+        }
+        self.buffered -= p.tuples.len();
+        Some((
+            std::mem::take(&mut p.tuples),
+            std::mem::take(&mut p.arrived),
+        ))
+    }
+
+    /// Drain every non-empty slot in slot order: `(slot, tuples, arrived)`.
+    pub fn drain_all(&mut self) -> Vec<(usize, Vec<Tuple>, Vec<SimTime>)> {
+        let mut out = Vec::new();
+        for slot in 0..self.slots.len() {
+            if let Some((tuples, arrived)) = self.take(slot) {
+                out.push((slot, tuples, arrived));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aoj_core::tuple::Rel;
+
+    fn t(seq: u64) -> Tuple {
+        Tuple::new(Rel::R, seq, 0, seq)
+    }
+
+    #[test]
+    fn push_signals_full_at_threshold() {
+        let mut c = DataCoalescer::new(BatchConfig::new(3), 2);
+        assert!(!c.push(0, t(0), SimTime(1)));
+        assert!(!c.push(0, t(1), SimTime(2)));
+        assert!(!c.push(1, t(2), SimTime(2)), "other slot fills separately");
+        assert!(c.push(0, t(3), SimTime(3)));
+        let (tuples, arrived) = c.take(0).unwrap();
+        assert_eq!(tuples.iter().map(|x| x.seq).collect::<Vec<_>>(), [0, 1, 3]);
+        assert_eq!(
+            arrived.iter().map(|a| a.as_micros()).collect::<Vec<_>>(),
+            [1, 2, 3],
+            "per-tuple arrival times ride along in order"
+        );
+        assert_eq!(c.buffered(), 1);
+        assert!(c.take(0).is_none());
+    }
+
+    #[test]
+    fn batch_of_one_flushes_immediately() {
+        let mut c = DataCoalescer::new(BatchConfig::new(1), 1);
+        assert!(c.push(0, t(7), SimTime::ZERO), "threshold 1: full at once");
+        assert_eq!(c.take(0).unwrap().0.len(), 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn drain_all_preserves_per_slot_order() {
+        let mut c = DataCoalescer::new(BatchConfig::new(100), 3);
+        for i in 0..9u64 {
+            c.push((i % 3) as usize, t(i), SimTime(i));
+        }
+        let drained = c.drain_all();
+        assert_eq!(drained.len(), 3);
+        for (slot, tuples, arrived) in drained {
+            let seqs: Vec<u64> = tuples.iter().map(|x| x.seq).collect();
+            assert_eq!(seqs, [slot as u64, slot as u64 + 3, slot as u64 + 6]);
+            assert_eq!(arrived.len(), tuples.len());
+        }
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn zero_threshold_clamps_to_one() {
+        let c = DataCoalescer::new(BatchConfig::new(0), 1);
+        assert_eq!(c.batch_tuples(), 1);
+    }
+}

@@ -23,6 +23,7 @@ use aoj_joinalg::SpillGauge;
 use aoj_runtime::{Runtime, RuntimeConfig};
 use aoj_simnet::{CostModel, ExecBackend, NetworkConfig, Sim, SimConfig, SimTime, TaskId};
 
+use crate::batch::{BatchConfig, DataCoalescer};
 use crate::elastic_runtime::{provisioned_joiners, ElasticConfig};
 use crate::joiner_task::{JoinerTask, LatencyStats};
 use crate::messages::OpMsg;
@@ -92,6 +93,15 @@ pub struct RunConfig {
     pub network: NetworkConfig,
     /// Seed for ticket draws.
     pub seed: u64,
+    /// Data-plane batch size: tuples per coalesced
+    /// [`IngestBatch`](crate::messages::OpMsg::IngestBatch)/
+    /// [`DataBatch`](crate::messages::OpMsg::DataBatch) message.
+    /// 1 restores the per-tuple data plane bit-for-bit.
+    pub batch_tuples: usize,
+    /// Age bound for partially filled coalescing buffers, in
+    /// microseconds: a buffer older than this is force-flushed so
+    /// batching adds bounded latency, never a stall.
+    pub batch_max_delay_us: u64,
     /// Progress sample spacing in sequence numbers.
     pub sample_every: u64,
     /// Flow-control window: max tuple copies in flight between the source
@@ -128,6 +138,8 @@ impl RunConfig {
             cost: CostModel::default(),
             network: NetworkConfig::default(),
             seed: 0x5EED_0001,
+            batch_tuples: BatchConfig::default().batch_tuples,
+            batch_max_delay_us: BatchConfig::default().max_delay.as_micros(),
             sample_every: 0, // derived from input size when 0
             window_copies: 64 * j as u64,
             blocking_migrations: false,
@@ -152,6 +164,20 @@ impl RunConfig {
     pub fn with_elastic(mut self, elastic: ElasticConfig) -> RunConfig {
         self.elastic = Some(elastic);
         self
+    }
+
+    /// Builder: set the data-plane batch size (1 = per-tuple plane).
+    pub fn with_batch_tuples(mut self, batch_tuples: usize) -> RunConfig {
+        self.batch_tuples = batch_tuples.max(1);
+        self
+    }
+
+    /// The batching knobs as a [`BatchConfig`].
+    pub fn batch_config(&self) -> BatchConfig {
+        BatchConfig {
+            batch_tuples: self.batch_tuples.max(1),
+            max_delay: aoj_simnet::SimDuration::from_micros(self.batch_max_delay_us.max(1)),
+        }
     }
 }
 
@@ -340,6 +366,9 @@ fn run_grid<B: ExecBackend<OpMsg>>(
             stalled: false,
             stall_buffer: Vec::new(),
             routed: 0,
+            // Slots cover the fully provisioned joiner set so elastic
+            // expansions route into existing buffers.
+            batch: DataCoalescer::new(cfg.batch_config(), total),
         };
         let id = backend.add_task(machines[i], Box::new(task));
         debug_assert_eq!(id, reshuffler_ids[i]);
@@ -368,6 +397,7 @@ fn run_grid<B: ExecBackend<OpMsg>>(
         reshuffler_ids.clone(),
         cfg.pacing,
         cfg.window_copies,
+        cfg.batch_tuples,
     );
     src.active = j;
     let id = backend.add_task(machines[total], Box::new(src));
@@ -501,6 +531,7 @@ fn run_shj<B: ExecBackend<OpMsg>>(
             source: source_id,
             routed: 0,
             recorder: (i == 0).then(|| ProgressRecorder::new(sample_every(cfg, arrivals.len()))),
+            batch: DataCoalescer::new(cfg.batch_config(), j),
         };
         backend.add_task(machine, Box::new(task));
     }
@@ -519,6 +550,7 @@ fn run_shj<B: ExecBackend<OpMsg>>(
         reshuffler_ids.clone(),
         cfg.pacing,
         cfg.window_copies,
+        cfg.batch_tuples,
     );
     let id = backend.add_task(machines[j], Box::new(src));
     debug_assert_eq!(id, source_id);

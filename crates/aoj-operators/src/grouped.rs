@@ -19,9 +19,11 @@
 //! processed before the earlier one arrived — joiners keep recently seen
 //! *probe-only* tuples in a bounded **retention buffer** the earlier
 //! tuple probes on arrival. Out-of-order skew between two deliveries is
-//! bounded by the flow-control window, so retention is evicted past that
-//! horizon without ever losing a pair, and no delivery interleaving can
-//! lose or duplicate a match.
+//! bounded by the flow-control window **plus** the data-plane coalescing
+//! buffers (a (machine, store) batch slot can park a storage copy while
+//! the machine's probe-only stream advances; the age flush bounds the
+//! parking time), so the retention horizon is sized past both and no
+//! delivery interleaving loses or duplicates a match.
 //!
 //! This operator is **static** per group (each group runs the oracle
 //! mapping for the workload). Per-group adaptivity composes with the same
@@ -40,6 +42,7 @@ use aoj_datagen::stream::Arrivals;
 use aoj_joinalg::index_for;
 use aoj_simnet::{Ctx, Process, Sim, SimConfig, SimDuration, SimTime, TaskId};
 
+use crate::batch::DataCoalescer;
 use crate::driver::stream_bytes;
 use crate::joiner_task::LatencyStats;
 use crate::messages::OpMsg;
@@ -47,6 +50,11 @@ use crate::source::{SourcePacing, SourceTask};
 
 /// Reshuffler for the grouped operator: routes every tuple to all groups,
 /// marking exactly one group's copies as storage copies.
+///
+/// Batching note: the store flag is hoisted to batch level like the epoch
+/// tag, so the coalescer keys its slots by `(machine, store)` — a
+/// destination receiving both storage and probe-only copies gets two
+/// independent batch streams, each FIFO in route order.
 pub struct GroupedReshuffler {
     /// The group decomposition.
     pub groups: GroupSet,
@@ -62,78 +70,128 @@ pub struct GroupedReshuffler {
     pub cost: aoj_simnet::CostModel,
     /// The source task (flow-control credits).
     pub source: TaskId,
+    /// Per-(machine, store) coalescing buffers.
+    pub batch: DataCoalescer,
+}
+
+impl GroupedReshuffler {
+    /// Timer key used for coalescing-buffer age flushes.
+    pub const FLUSH: u64 = 2;
+
+    #[inline]
+    fn slot(mach: usize, store: bool) -> usize {
+        mach * 2 + store as usize
+    }
+
+    fn buffer_to(
+        &mut self,
+        ctx: &mut Ctx<'_, OpMsg>,
+        mach: usize,
+        store: bool,
+        t: Tuple,
+        arrived: aoj_simnet::SimTime,
+    ) {
+        let slot = Self::slot(mach, store);
+        if self.batch.push(slot, t, arrived) {
+            self.flush_slot(ctx, slot);
+        }
+    }
+
+    fn flush_slot(&mut self, ctx: &mut Ctx<'_, OpMsg>, slot: usize) {
+        if let Some((tuples, arrived)) = self.batch.take(slot) {
+            ctx.send(
+                self.joiner_tasks[slot / 2],
+                OpMsg::DataBatch {
+                    tag: 0,
+                    store: slot % 2 == 1,
+                    tuples,
+                    arrived,
+                },
+            );
+        }
+    }
+
+    fn flush_all(&mut self, ctx: &mut Ctx<'_, OpMsg>) {
+        for (slot, tuples, arrived) in self.batch.drain_all() {
+            ctx.send(
+                self.joiner_tasks[slot / 2],
+                OpMsg::DataBatch {
+                    tag: 0,
+                    store: slot % 2 == 1,
+                    tuples,
+                    arrived,
+                },
+            );
+        }
+    }
 }
 
 impl Process<OpMsg> for GroupedReshuffler {
     fn on_message(&mut self, ctx: &mut Ctx<'_, OpMsg>, _from: TaskId, msg: OpMsg) -> SimDuration {
         match msg {
-            OpMsg::Ingest {
-                rel,
-                key,
-                aux,
-                bytes,
-                seq,
-            } => {
-                let ticket = self.tickets.next();
-                let t = Tuple {
-                    seq,
-                    rel,
-                    key,
-                    aux,
-                    bytes,
-                    ticket,
-                };
+            OpMsg::IngestBatch { items } => {
                 let arrived = ctx.now();
-                // Storage group: independent uniform hash, ranges
-                // proportional to group sizes (P_g = J_g / J).
-                let storage_group = self.groups.storage_group(mix64(seq ^ self.storage_salt));
+                let n_tuples = items.len() as u32;
                 let mut copies = 0u32;
-                for g in 0..self.groups.count() {
-                    let mp = self.mappings[g];
-                    let base = self.groups.machine_range(g).start;
-                    let store = g == storage_group;
-                    match rel {
-                        Rel::R => {
-                            let row = partition(ticket, mp.n);
-                            for c in 0..mp.m {
-                                let mach = base + (row * mp.m + c) as usize;
-                                ctx.send(
-                                    self.joiner_tasks[mach],
-                                    OpMsg::Data {
-                                        tag: 0,
-                                        t,
-                                        arrived,
-                                        store,
-                                    },
-                                );
-                                copies += 1;
+                for it in items {
+                    let ticket = self.tickets.next();
+                    let t = Tuple {
+                        seq: it.seq,
+                        rel: it.rel,
+                        key: it.key,
+                        aux: it.aux,
+                        bytes: it.bytes,
+                        ticket,
+                    };
+                    // Storage group: independent uniform hash, ranges
+                    // proportional to group sizes (P_g = J_g / J).
+                    let storage_group =
+                        self.groups.storage_group(mix64(it.seq ^ self.storage_salt));
+                    for g in 0..self.groups.count() {
+                        let mp = self.mappings[g];
+                        let base = self.groups.machine_range(g).start;
+                        let store = g == storage_group;
+                        match it.rel {
+                            Rel::R => {
+                                let row = partition(ticket, mp.n);
+                                for c in 0..mp.m {
+                                    let mach = base + (row * mp.m + c) as usize;
+                                    self.buffer_to(ctx, mach, store, t, arrived);
+                                    copies += 1;
+                                }
                             }
-                        }
-                        Rel::S => {
-                            let col = partition(ticket, mp.m);
-                            for r in 0..mp.n {
-                                let mach = base + (r * mp.m + col) as usize;
-                                ctx.send(
-                                    self.joiner_tasks[mach],
-                                    OpMsg::Data {
-                                        tag: 0,
-                                        t,
-                                        arrived,
-                                        store,
-                                    },
-                                );
-                                copies += 1;
+                            Rel::S => {
+                                let col = partition(ticket, mp.m);
+                                for r in 0..mp.n {
+                                    let mach = base + (r * mp.m + col) as usize;
+                                    self.buffer_to(ctx, mach, store, t, arrived);
+                                    copies += 1;
+                                }
                             }
                         }
                     }
                 }
-                ctx.send(self.source, OpMsg::RoutedCopies { n: copies });
+                ctx.send(
+                    self.source,
+                    OpMsg::RoutedCopies {
+                        n: copies,
+                        tuples: n_tuples,
+                    },
+                );
+                self.batch.arm_flush_timer(ctx, Self::FLUSH);
                 SimDuration::from_micros(
                     self.cost.recv_overhead_us + copies as u64 * self.cost.store_us / 2,
                 )
             }
             other => panic!("grouped reshuffler received unexpected message {other:?}"),
         }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, OpMsg>, key: u64) -> SimDuration {
+        debug_assert_eq!(key, Self::FLUSH);
+        self.batch.on_flush_timer();
+        self.flush_all(ctx);
+        SimDuration::from_micros(self.cost.control_us)
     }
 }
 
@@ -217,46 +275,61 @@ impl GroupedJoiner {
 impl Process<OpMsg> for GroupedJoiner {
     fn on_message(&mut self, ctx: &mut Ctx<'_, OpMsg>, _from: TaskId, msg: OpMsg) -> SimDuration {
         match msg {
-            OpMsg::Data {
-                t, arrived, store, ..
+            OpMsg::DataBatch {
+                tuples,
+                arrived,
+                store,
+                ..
             } => {
-                self.max_seq_seen = self.max_seq_seen.max(t.seq);
-                let mut matches = 0u64;
-                // Probe the stored state (resident copies are storage
-                // copies by definition).
-                let stats = {
-                    let mut cb = |resident: &Tuple| {
-                        if Self::should_emit(&t, store, resident, true) {
+                // Per-tuple processing in batch order: the emit rule
+                // consults each tuple's store flag and the retention
+                // buffer's state at its position, so the loop preserves
+                // the unbatched semantics exactly.
+                let n = tuples.len() as u64;
+                let mut candidates_total = 0u64;
+                let mut matches_total = 0u64;
+                for (i, t) in tuples.into_iter().enumerate() {
+                    self.max_seq_seen = self.max_seq_seen.max(t.seq);
+                    let mut matches = 0u64;
+                    // Probe the stored state (resident copies are storage
+                    // copies by definition).
+                    let stats = {
+                        let mut cb = |resident: &Tuple| {
+                            if Self::should_emit(&t, store, resident, true) {
+                                matches += 1;
+                            }
+                        };
+                        self.store.probe(&t, &mut cb)
+                    };
+                    // Probe the retention buffer (residents are
+                    // probe-only).
+                    let mut retention_candidates = 0u64;
+                    for r in &self.retention {
+                        retention_candidates += 1;
+                        if self.predicate.matches_pair(&t, &r.t)
+                            && Self::should_emit(&t, store, &r.t, false)
+                        {
                             matches += 1;
                         }
-                    };
-                    self.store.probe(&t, &mut cb)
-                };
-                // Probe the retention buffer (residents are probe-only).
-                let mut retention_candidates = 0u64;
-                for r in &self.retention {
-                    retention_candidates += 1;
-                    if self.predicate.matches_pair(&t, &r.t)
-                        && Self::should_emit(&t, store, &r.t, false)
-                    {
-                        matches += 1;
                     }
-                }
-                if store {
-                    self.store.insert(t);
-                } else {
-                    self.retention.push(Retained { t });
-                    self.evict();
-                }
-                self.matches += matches;
-                if matches > 0 {
-                    self.latency.record(ctx.now().since(arrived).as_micros());
+                    if store {
+                        self.store.insert(t);
+                    } else {
+                        self.retention.push(Retained { t });
+                        self.evict();
+                    }
+                    self.matches += matches;
+                    if matches > 0 {
+                        self.latency.record(ctx.now().since(arrived[i]).as_micros());
+                    }
+                    candidates_total += stats.candidates + retention_candidates;
+                    matches_total += matches;
                 }
                 let bytes = self.store.bytes();
                 ctx.metrics().set_stored(self.machine, bytes);
                 let now = ctx.now();
-                ctx.metrics().note_data_processed(1, now);
-                self.unacked_credits += 1;
+                ctx.metrics().note_data_processed(n, now);
+                self.unacked_credits += n as u32;
                 if self.unacked_credits >= 8 {
                     ctx.send(
                         self.source,
@@ -266,10 +339,7 @@ impl Process<OpMsg> for GroupedJoiner {
                     );
                     self.unacked_credits = 0;
                 }
-                let base = self
-                    .cost
-                    .probe_cost(stats.candidates + retention_candidates, matches)
-                    + self.cost.store_cost(false);
+                let base = self.cost.batch_cost(n, candidates_total, matches_total);
                 SimDuration::from_micros(self.cost.recv_overhead_us + base.as_micros())
             }
             other => panic!("grouped joiner received unexpected message {other:?}"),
@@ -308,6 +378,7 @@ pub fn run_grouped(arrivals: &Arrivals, predicate: &Predicate, j: u32, seed: u64
     src_net.bytes_per_us = src_net.bytes_per_us.saturating_mul(j as u64);
     machines.push(sim.add_machine_with_network(src_net));
 
+    let batch_cfg = crate::batch::BatchConfig::default();
     let reshuffler_ids: Vec<TaskId> = (0..jm).map(TaskId).collect();
     let joiner_ids: Vec<TaskId> = (jm..2 * jm).map(TaskId).collect();
     let source_id = TaskId(2 * jm);
@@ -322,6 +393,8 @@ pub fn run_grouped(arrivals: &Arrivals, predicate: &Predicate, j: u32, seed: u64
             storage_salt: seed ^ 0x6660,
             cost: Default::default(),
             source: source_id,
+            // Two batch streams per destination: (machine, store-flag).
+            batch: DataCoalescer::new(batch_cfg, 2 * jm),
         };
         sim.add_task(machine, Box::new(task));
     }
@@ -331,9 +404,16 @@ pub fn run_grouped(arrivals: &Arrivals, predicate: &Predicate, j: u32, seed: u64
             machine,
             Default::default(),
             source_id,
-            // Retention must cover everything the flow-control window can
-            // keep in flight; 4x is a comfortable safety margin.
-            window * 4,
+            // Retention must cover every source of delivery skew between
+            // two channels to the same machine: the flow-control window
+            // (tuples can sit in joiner queues) plus the coalescing
+            // buffers (a store-class batch can park while probe-class
+            // batches keep advancing max_seq_seen — the (machine, store)
+            // slot split makes the two streams age independently, though
+            // the age flush caps the parking time). 4x the window plus
+            // 8x the per-slot batch budget per reshuffler is a
+            // comfortable margin over both.
+            window * 4 + 8 * batch_cfg.batch_tuples as u64 * j as u64,
         );
         sim.add_task(machine, Box::new(task));
     }
@@ -342,6 +422,7 @@ pub fn run_grouped(arrivals: &Arrivals, predicate: &Predicate, j: u32, seed: u64
         reshuffler_ids,
         SourcePacing::saturating(),
         window,
+        batch_cfg.batch_tuples,
     );
     sim.add_task(machines[jm], Box::new(src));
     sim.start_timer_at(SimTime::ZERO, source_id, SourceTask::TICK);

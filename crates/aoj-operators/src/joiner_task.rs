@@ -209,8 +209,8 @@ impl JoinerTask {
     /// window fresh, large enough not to double the message count.
     const CREDIT_BATCH: u32 = 8;
 
-    fn return_credit(&mut self, ctx: &mut Ctx<'_, OpMsg>) {
-        self.unacked_credits += 1;
+    fn return_credits(&mut self, ctx: &mut Ctx<'_, OpMsg>, n: u32) {
+        self.unacked_credits += n;
         if self.unacked_credits >= Self::CREDIT_BATCH {
             ctx.send(
                 self.source,
@@ -222,14 +222,11 @@ impl JoinerTask {
         }
     }
 
-    /// Price probe + store work through the spill gauge.
-    fn work_cost(&self, stats: ProbeStats, stored: bool) -> SimDuration {
-        let base = self.cost.probe_cost(stats.candidates, stats.matches)
-            + if stored {
-                self.cost.store_cost(false)
-            } else {
-                SimDuration::ZERO
-            };
+    /// Price a data batch's probe + store work through the spill gauge
+    /// (see [`CostModel::batch_cost`](aoj_simnet::CostModel::batch_cost)
+    /// for the per-tuple / per-statistic split).
+    fn data_work_cost(&self, stats: ProbeStats, n: u64) -> SimDuration {
+        let base = self.cost.batch_cost(n, stats.candidates, stats.matches);
         SimDuration::from_micros(self.gauge.effective_cost(base.as_micros()))
     }
 
@@ -287,44 +284,81 @@ impl JoinerTask {
 impl Process<OpMsg> for JoinerTask {
     fn on_message(&mut self, ctx: &mut Ctx<'_, OpMsg>, _from: TaskId, msg: OpMsg) -> SimDuration {
         match msg {
-            OpMsg::Data {
-                tag, t, arrived, ..
+            OpMsg::DataBatch {
+                tag,
+                tuples,
+                arrived,
+                ..
             } => {
-                let mut matches = 0u64;
+                let n = tuples.len() as u64;
                 let collect = self.collect_matches;
-                let match_log = &mut self.match_log;
-                let outcome = self.epoch.on_data(tag, t, &mut |a, b| {
-                    matches += 1;
-                    if collect {
-                        match_log.push(pair_key(a, b));
+                let mut stats = ProbeStats::default();
+                if self.epoch.stable_for(tag) && tuples.len() > 1 {
+                    // Stable phase: the whole batch goes through the bulk
+                    // index path (one merge/grouped probe per batch, one
+                    // bulk insert) — semantically identical to per-tuple
+                    // processing, including intra-batch pairs.
+                    let mut per_tuple = vec![0u32; tuples.len()];
+                    {
+                        let match_log = &mut self.match_log;
+                        stats = self.epoch.on_data_batch(tag, &tuples, &mut |i, stored| {
+                            per_tuple[i] += 1;
+                            if collect {
+                                match_log.push(pair_key(&tuples[i], stored));
+                            }
+                        });
                     }
-                });
-                self.matches += matches;
-                if matches > 0 {
-                    self.latency.record(ctx.now().since(arrived).as_micros());
-                }
-                if outcome.forward_to_partner {
-                    if let Some(Outbox::Step { batch, .. }) = &mut self.outbox {
-                        batch.push(t);
+                    // Latency samples come from each tuple's own arrival
+                    // time, so time spent coalescing is measured, not
+                    // hidden.
+                    let now = ctx.now();
+                    for (i, &m) in per_tuple.iter().enumerate() {
+                        if m > 0 {
+                            self.latency.record(now.since(arrived[i]).as_micros());
+                        }
                     }
-                    self.flush_batch(ctx, false);
-                }
-                if let Some(d) = outcome.expand_forward {
-                    // A Δ tuple during an expansion: part of the state
-                    // being split, shipped to the covering children.
-                    self.expand_stored_tuples += 1;
-                    self.expand_sent_tuples += d.sends() as u64;
-                    if let Some(Outbox::Expand(ob)) = &mut self.outbox {
-                        ob.route(t, d);
+                    self.matches += stats.matches;
+                } else {
+                    // Mid-migration (or a batch of one): per-tuple Alg. 3
+                    // handling, with Δ forwarding to the outbox streams.
+                    for (i, t) in tuples.into_iter().enumerate() {
+                        let mut matches = 0u64;
+                        let match_log = &mut self.match_log;
+                        let outcome = self.epoch.on_data(tag, t, &mut |a, b| {
+                            matches += 1;
+                            if collect {
+                                match_log.push(pair_key(a, b));
+                            }
+                        });
+                        stats += outcome.stats;
+                        self.matches += matches;
+                        if matches > 0 {
+                            self.latency.record(ctx.now().since(arrived[i]).as_micros());
+                        }
+                        if outcome.forward_to_partner {
+                            if let Some(Outbox::Step { batch, .. }) = &mut self.outbox {
+                                batch.push(t);
+                            }
+                            self.flush_batch(ctx, false);
+                        }
+                        if let Some(d) = outcome.expand_forward {
+                            // A Δ tuple during an expansion: part of the
+                            // state being split, shipped to the covering
+                            // children.
+                            self.expand_stored_tuples += 1;
+                            self.expand_sent_tuples += d.sends() as u64;
+                            if let Some(Outbox::Expand(ob)) = &mut self.outbox {
+                                ob.route(t, d);
+                            }
+                            self.flush_batch(ctx, false);
+                        }
                     }
-                    self.flush_batch(ctx, false);
                 }
                 self.refresh_storage_metrics(ctx);
                 let now = ctx.now();
-                ctx.metrics().note_data_processed(1, now);
-                self.return_credit(ctx);
-                SimDuration::from_micros(self.cost.recv_overhead_us)
-                    + self.work_cost(outcome.stats, true)
+                ctx.metrics().note_data_processed(n, now);
+                self.return_credits(ctx, n as u32);
+                SimDuration::from_micros(self.cost.recv_overhead_us) + self.data_work_cost(stats, n)
             }
             OpMsg::Signal {
                 from_reshuffler,

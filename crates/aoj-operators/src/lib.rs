@@ -17,6 +17,7 @@
 //! [`report::RunReport`] carrying every quantity the paper's tables and
 //! figures plot.
 
+pub mod batch;
 pub mod driver;
 pub mod elastic_runtime;
 pub mod grouped;
@@ -27,6 +28,7 @@ pub mod reshuffler;
 pub mod shj;
 pub mod source;
 
+pub use batch::BatchConfig;
 pub use driver::{run, run_on, BackendChoice, OperatorKind, RunConfig};
 pub use elastic_runtime::ElasticConfig;
 pub use grouped::{run_grouped, GroupedReport};

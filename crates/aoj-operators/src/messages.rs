@@ -18,34 +18,55 @@ use aoj_simnet::{MsgClass, SimMessage, SimTime};
 /// Per-tuple wire overhead added on top of the payload bytes.
 const TUPLE_HEADER_BYTES: u64 = 16;
 
+/// One raw stream tuple inside an [`OpMsg::IngestBatch`].
+#[derive(Clone, Copy, Debug)]
+pub struct IngestItem {
+    /// Which relation.
+    pub rel: Rel,
+    /// Join key.
+    pub key: i64,
+    /// Secondary attribute.
+    pub aux: i32,
+    /// Payload size in bytes.
+    pub bytes: u32,
+    /// Global arrival sequence number.
+    pub seq: u64,
+}
+
 /// Messages exchanged by sources, reshufflers, joiners and the controller.
+///
+/// The data plane is **batch-first**: stream tuples travel in coalesced
+/// [`IngestBatch`](OpMsg::IngestBatch)/[`DataBatch`](OpMsg::DataBatch)
+/// runs so every mailbox/NIC hop pays its per-message cost once per batch
+/// instead of once per tuple. A batch of one is the degenerate per-tuple
+/// plane (`RunConfig::batch_tuples = 1`) and reproduces it exactly.
 #[derive(Clone, Debug)]
 pub enum OpMsg {
-    /// Source → reshuffler: a raw stream tuple entering the operator.
-    Ingest {
-        /// Which relation.
-        rel: Rel,
-        /// Join key.
-        key: i64,
-        /// Secondary attribute.
-        aux: i32,
-        /// Payload size in bytes.
-        bytes: u32,
-        /// Global arrival sequence number.
-        seq: u64,
+    /// Source → reshuffler: a coalesced run of raw stream tuples entering
+    /// the operator (consecutive arrivals, batch-level round-robin).
+    IngestBatch {
+        /// The tuples, in arrival (sequence) order.
+        items: Vec<IngestItem>,
     },
-    /// Reshuffler → joiner: a routed, epoch-tagged tuple.
-    Data {
-        /// The epoch the routing reshuffler was in.
+    /// Reshuffler → joiner: a coalesced run of routed tuples. The epoch
+    /// tag and store flag are hoisted to batch level — the routing
+    /// reshuffler force-flushes its buffers before adopting a new epoch,
+    /// so no batch ever spans an epoch (or store-class) boundary and the
+    /// epoch-change markers stay FIFO behind every tuple they cover.
+    DataBatch {
+        /// The epoch the routing reshuffler was in (all tuples).
         tag: Epoch,
-        /// The tuple (ticket already assigned).
-        t: Tuple,
-        /// When the tuple entered the operator (latency accounting).
-        arrived: SimTime,
-        /// Whether the receiving joiner stores this tuple. Always true in
-        /// single-group operators; in the §4.2.2 grouped operator a tuple
-        /// is stored in exactly one group and probe-only elsewhere.
+        /// Whether the receiving joiner stores these tuples. Always true
+        /// in single-group operators; in the §4.2.2 grouped operator a
+        /// tuple is stored in exactly one group and probe-only elsewhere.
         store: bool,
+        /// The routed tuples (tickets already assigned), in route order.
+        tuples: Vec<Tuple>,
+        /// `arrived[i]` is when `tuples[i]` entered the operator —
+        /// per-tuple, so latency accounting survives coalescing delays
+        /// (a tuple aged in a batch buffer reports its true latency, not
+        /// the batch flush time).
+        arrived: Vec<SimTime>,
     },
     /// Controller → reshuffler: adopt a new mapping (broadcast).
     MappingChange {
@@ -118,11 +139,15 @@ pub enum OpMsg {
         /// The epoch whose migration finished.
         epoch: Epoch,
     },
-    /// Reshuffler → source: `n` tuple copies entered joiner queues
+    /// Reshuffler → source: `n` tuple copies entered the data plane
     /// (credit-based flow control; Storm's bounded spout-pending).
+    /// Granted once per ingest batch, accounted in tuples.
     RoutedCopies {
-        /// Copies fanned out for one ingested tuple.
+        /// Copies fanned out for the routed ingest batch.
         n: u32,
+        /// Distinct stream tuples the grant covers (the source tracks
+        /// emitted-but-unrouted tuples with this).
+        tuples: u32,
     },
     /// Joiner → source: `n` tuple copies were fully processed (credits
     /// returned; batched to limit message overhead).
@@ -135,8 +160,14 @@ pub enum OpMsg {
 impl SimMessage for OpMsg {
     fn bytes(&self) -> u64 {
         match self {
-            OpMsg::Ingest { bytes, .. } => *bytes as u64 + TUPLE_HEADER_BYTES,
-            OpMsg::Data { t, .. } => t.bytes as u64 + TUPLE_HEADER_BYTES,
+            OpMsg::IngestBatch { items } => items
+                .iter()
+                .map(|it| it.bytes as u64 + TUPLE_HEADER_BYTES)
+                .sum(),
+            OpMsg::DataBatch { tuples, .. } => tuples
+                .iter()
+                .map(|t| t.bytes as u64 + TUPLE_HEADER_BYTES)
+                .sum(),
             OpMsg::MappingChange { .. } => 24,
             OpMsg::MigrationComplete { .. } => 16,
             OpMsg::Signal { .. } => 48,
@@ -158,8 +189,8 @@ impl SimMessage for OpMsg {
         match self {
             // Expansion signals must stay FIFO with the reshuffler's
             // earlier data, exactly like step-migration signals.
-            OpMsg::Ingest { .. }
-            | OpMsg::Data { .. }
+            OpMsg::IngestBatch { .. }
+            | OpMsg::DataBatch { .. }
             | OpMsg::Signal { .. }
             | OpMsg::ExpandSignal { .. } => MsgClass::Data,
             // The child's end-of-state marker must stay FIFO with the
@@ -176,6 +207,17 @@ impl SimMessage for OpMsg {
             | OpMsg::ProcessedCopies { .. } => MsgClass::Control,
         }
     }
+
+    fn tuples(&self) -> u64 {
+        // Batch-aware backends bound queues and weight their service in
+        // tuple units; everything that is not a tuple batch counts as 1.
+        match self {
+            OpMsg::IngestBatch { items } => items.len().max(1) as u64,
+            OpMsg::DataBatch { tuples, .. } => tuples.len().max(1) as u64,
+            OpMsg::MigBatch { tuples } => tuples.len().max(1) as u64,
+            _ => 1,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -190,11 +232,11 @@ mod tests {
             new_epoch: 1,
             spec: dummy_spec(),
         };
-        let data = OpMsg::Data {
+        let data = OpMsg::DataBatch {
             tag: 0,
-            t: Tuple::new(Rel::R, 0, 0, 0),
-            arrived: SimTime::ZERO,
             store: true,
+            tuples: vec![Tuple::new(Rel::R, 0, 0, 0)],
+            arrived: vec![SimTime::ZERO],
         };
         assert_eq!(sig.class(), data.class());
         // Expansion signals share the Data class too (FIFO behind the
@@ -221,6 +263,42 @@ mod tests {
             tuples: vec![t, t, t],
         };
         assert_eq!(m.bytes(), 3 * (100 + 16));
+        let d = OpMsg::DataBatch {
+            tag: 0,
+            store: true,
+            tuples: vec![t, t],
+            arrived: vec![SimTime::ZERO; 2],
+        };
+        assert_eq!(
+            d.bytes(),
+            2 * (100 + 16),
+            "a size-1 batch prices like the old per-tuple message"
+        );
+        let i = OpMsg::IngestBatch {
+            items: vec![IngestItem {
+                rel: Rel::R,
+                key: 0,
+                aux: 0,
+                bytes: 100,
+                seq: 0,
+            }],
+        };
+        assert_eq!(i.bytes(), 100 + 16);
+    }
+
+    #[test]
+    fn tuple_units_follow_batch_sizes() {
+        let t = Tuple::new(Rel::R, 0, 0, 0);
+        let d = OpMsg::DataBatch {
+            tag: 0,
+            store: true,
+            tuples: vec![t; 5],
+            arrived: vec![SimTime::ZERO; 5],
+        };
+        assert_eq!(d.tuples(), 5);
+        assert_eq!(OpMsg::MigBatch { tuples: vec![t; 3] }.tuples(), 3);
+        assert_eq!(OpMsg::MigDone.tuples(), 1);
+        assert_eq!(OpMsg::RoutedCopies { n: 4, tuples: 2 }.tuples(), 1);
     }
 
     fn dummy_spec() -> MachineStepSpec {

@@ -16,6 +16,7 @@ use aoj_core::ticket::{partition, TicketGen};
 use aoj_core::tuple::{Rel, Tuple};
 use aoj_simnet::{Ctx, Process, SimDuration, SimTime, TaskId};
 
+use crate::batch::DataCoalescer;
 use crate::elastic_runtime::{expansion_due, ElasticConfig, ElasticControl};
 use crate::messages::OpMsg;
 
@@ -175,6 +176,8 @@ pub struct ReshufflerTask {
     pub stall_buffer: Vec<(Rel, i64, i32, u32, u64, SimTime)>,
     /// Tuples routed by this reshuffler.
     pub routed: u64,
+    /// Per-destination coalescing buffers (the batch-first data plane).
+    pub batch: DataCoalescer,
 }
 
 impl ControllerState {
@@ -208,6 +211,11 @@ impl ControllerState {
 }
 
 impl ReshufflerTask {
+    /// Timer key used for coalescing-buffer age flushes.
+    pub const FLUSH: u64 = 2;
+
+    /// Route one tuple into the per-destination coalescing buffers,
+    /// shipping any buffer the tuple filled. Returns the copy fan-out.
     #[allow(clippy::too_many_arguments)]
     fn route(
         &mut self,
@@ -234,15 +242,7 @@ impl ReshufflerTask {
                 let row = partition(ticket, mp.n);
                 for c in 0..mp.m {
                     let mach = self.assign.machine_at(row, c);
-                    ctx.send(
-                        self.joiner_tasks[mach],
-                        OpMsg::Data {
-                            tag: self.epoch,
-                            t,
-                            arrived,
-                            store: true,
-                        },
-                    );
+                    self.buffer_to(ctx, mach, t, arrived);
                 }
                 mp.m
             }
@@ -250,21 +250,50 @@ impl ReshufflerTask {
                 let col = partition(ticket, mp.m);
                 for r in 0..mp.n {
                     let mach = self.assign.machine_at(r, col);
-                    ctx.send(
-                        self.joiner_tasks[mach],
-                        OpMsg::Data {
-                            tag: self.epoch,
-                            t,
-                            arrived,
-                            store: true,
-                        },
-                    );
+                    self.buffer_to(ctx, mach, t, arrived);
                 }
                 mp.n
             }
         };
         self.routed += 1;
         copies
+    }
+
+    fn buffer_to(&mut self, ctx: &mut Ctx<'_, OpMsg>, mach: usize, t: Tuple, arrived: SimTime) {
+        if self.batch.push(mach, t, arrived) {
+            self.flush_slot(ctx, mach);
+        }
+    }
+
+    fn flush_slot(&mut self, ctx: &mut Ctx<'_, OpMsg>, mach: usize) {
+        if let Some((tuples, arrived)) = self.batch.take(mach) {
+            ctx.send(
+                self.joiner_tasks[mach],
+                OpMsg::DataBatch {
+                    tag: self.epoch,
+                    store: true,
+                    tuples,
+                    arrived,
+                },
+            );
+        }
+    }
+
+    /// Ship every buffered tuple under the **current** epoch tag. Called
+    /// before adopting a new mapping or expansion, so the epoch-change
+    /// signals sent afterwards stay FIFO behind all old-epoch data.
+    fn flush_all(&mut self, ctx: &mut Ctx<'_, OpMsg>) {
+        for (mach, tuples, arrived) in self.batch.drain_all() {
+            ctx.send(
+                self.joiner_tasks[mach],
+                OpMsg::DataBatch {
+                    tag: self.epoch,
+                    store: true,
+                    tuples,
+                    arrived,
+                },
+            );
+        }
     }
 
     /// Controller: evaluate Alg. 2 and, when due, broadcast the next
@@ -356,13 +385,7 @@ impl ReshufflerTask {
 impl Process<OpMsg> for ReshufflerTask {
     fn on_message(&mut self, ctx: &mut Ctx<'_, OpMsg>, _from: TaskId, msg: OpMsg) -> SimDuration {
         match msg {
-            OpMsg::Ingest {
-                rel,
-                key,
-                aux,
-                bytes,
-                seq,
-            } => {
+            OpMsg::IngestBatch { items } => {
                 // Alg. 1 lines 3/5 ("scaled increment"): the controller
                 // sees ~1/J of the uniformly shuffled stream and scales
                 // its local sample by J to estimate global cardinalities
@@ -371,21 +394,37 @@ impl Process<OpMsg> for ReshufflerTask {
                 // comes for free.
                 if let Some(ctrl) = self.controller.as_mut() {
                     let scale = self.assign.j() as u64;
-                    ctrl.decider
-                        .observe_only(rel == Rel::R, bytes as u64 * scale);
-                    ctrl.last_seq = seq;
-                    ctrl.recorder.maybe_sample(seq, ctx);
+                    for it in &items {
+                        ctrl.decider
+                            .observe_only(it.rel == Rel::R, it.bytes as u64 * scale);
+                        ctrl.last_seq = it.seq;
+                        ctrl.recorder.maybe_sample(it.seq, ctx);
+                    }
                 }
                 if self.stalled {
-                    // Blocking baseline: hold the tuple until relocation
-                    // completes; its latency clock keeps running.
-                    self.stall_buffer
-                        .push((rel, key, aux, bytes, seq, ctx.now()));
+                    // Blocking baseline: hold the tuples until relocation
+                    // completes; their latency clocks keep running.
+                    let now = ctx.now();
+                    for it in items {
+                        self.stall_buffer
+                            .push((it.rel, it.key, it.aux, it.bytes, it.seq, now));
+                    }
                     return SimDuration::from_micros(1);
                 }
                 let arrived = ctx.now();
-                let copies = self.route(ctx, rel, key, aux, bytes, seq, arrived);
-                ctx.send(self.source, OpMsg::RoutedCopies { n: copies });
+                let n_tuples = items.len() as u32;
+                let mut copies = 0u32;
+                for it in items {
+                    copies += self.route(ctx, it.rel, it.key, it.aux, it.bytes, it.seq, arrived);
+                }
+                ctx.send(
+                    self.source,
+                    OpMsg::RoutedCopies {
+                        n: copies,
+                        tuples: n_tuples,
+                    },
+                );
+                self.batch.arm_flush_timer(ctx, Self::FLUSH);
                 self.maybe_trigger(ctx);
                 SimDuration::from_micros(
                     self.cost.recv_overhead_us + copies as u64 * self.cost.store_us / 2,
@@ -393,6 +432,10 @@ impl Process<OpMsg> for ReshufflerTask {
             }
             OpMsg::MappingChange { new_epoch, step } => {
                 assert_eq!(new_epoch, self.epoch + 1, "reshuffler skipped an epoch");
+                // Epoch boundary: ship everything buffered under the old
+                // tag before signalling, so the Signal stays FIFO behind
+                // the data it covers.
+                self.flush_all(ctx);
                 let plan = plan_step(&self.assign, step);
                 self.assign.apply_step(step);
                 self.epoch = new_epoch;
@@ -416,6 +459,9 @@ impl Process<OpMsg> for ReshufflerTask {
             }
             OpMsg::ExpandChange { new_epoch } => {
                 assert_eq!(new_epoch, self.epoch + 1, "reshuffler skipped an epoch");
+                // Same flush-before-adopt as MappingChange: the
+                // ExpandSignals must trail every old-epoch tuple.
+                self.flush_all(ctx);
                 // Plan against the pre-expansion assignment, then adopt
                 // the (2n, 2m) grid. Every reshuffler computes the same
                 // deterministic plan, so the per-parent specs agree.
@@ -441,14 +487,23 @@ impl Process<OpMsg> for ReshufflerTask {
                 assert_eq!(epoch, self.epoch, "stale completion broadcast");
                 self.stalled = false;
                 // §4.3 step (iv): redirect buffered tuples to their new
-                // locations (now routed under the new mapping).
+                // locations (now routed under the new mapping), and ship
+                // them promptly — a stall is latency enough.
                 let buffered = std::mem::take(&mut self.stall_buffer);
+                let n_tuples = buffered.len() as u32;
                 let mut copies_total = 0u32;
                 for (rel, key, aux, bytes, seq, arrived) in buffered {
                     copies_total += self.route(ctx, rel, key, aux, bytes, seq, arrived);
                 }
+                self.flush_all(ctx);
                 if copies_total > 0 {
-                    ctx.send(self.source, OpMsg::RoutedCopies { n: copies_total });
+                    ctx.send(
+                        self.source,
+                        OpMsg::RoutedCopies {
+                            n: copies_total,
+                            tuples: n_tuples,
+                        },
+                    );
                 }
                 SimDuration::from_micros(
                     self.cost.control_us + copies_total as u64 * self.cost.store_us / 2,
@@ -490,5 +545,15 @@ impl Process<OpMsg> for ReshufflerTask {
             }
             other => panic!("reshuffler received unexpected message {other:?}"),
         }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, OpMsg>, key: u64) -> SimDuration {
+        debug_assert_eq!(key, Self::FLUSH);
+        // Age flush: ship every partial batch so a trickle of arrivals
+        // (or a closed flow-control window) never strands buffered
+        // copies. The next routed tuple re-arms the timer.
+        self.batch.on_flush_timer();
+        self.flush_all(ctx);
+        SimDuration::from_micros(self.cost.control_us)
     }
 }

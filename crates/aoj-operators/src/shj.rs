@@ -5,17 +5,19 @@
 //! keys pile onto few machines, which is precisely what Table 2
 //! demonstrates. Only valid for equi-joins.
 
-use aoj_core::index::{JoinIndex, ProbeStats};
+use aoj_core::index::{process_stream_batch, JoinIndex, ProbeStats};
 use aoj_core::ticket::mix64;
 use aoj_core::tuple::Tuple;
 use aoj_joinalg::{SpillGauge, SymmetricHashIndex};
 use aoj_simnet::{Ctx, MachineId, Process, SimDuration, TaskId};
 
+use crate::batch::DataCoalescer;
 use crate::joiner_task::{pair_key, LatencyStats};
 use crate::messages::OpMsg;
 use crate::reshuffler::ProgressRecorder;
 
-/// SHJ's reshuffler: key-hash routing, no statistics, no epochs.
+/// SHJ's reshuffler: key-hash routing, no statistics, no epochs. Routed
+/// tuples coalesce into per-joiner batches like the grid operator's.
 pub struct ShjReshuffler {
     /// Joiner task ids by machine index.
     pub joiner_tasks: Vec<TaskId>,
@@ -27,47 +29,89 @@ pub struct ShjReshuffler {
     pub routed: u64,
     /// Progress sampling (reshuffler 0 only).
     pub recorder: Option<ProgressRecorder>,
+    /// Per-destination coalescing buffers.
+    pub batch: DataCoalescer,
+}
+
+impl ShjReshuffler {
+    /// Timer key used for coalescing-buffer age flushes.
+    pub const FLUSH: u64 = 2;
+
+    fn flush_slot(&mut self, ctx: &mut Ctx<'_, OpMsg>, dst: usize) {
+        if let Some((tuples, arrived)) = self.batch.take(dst) {
+            ctx.send(
+                self.joiner_tasks[dst],
+                OpMsg::DataBatch {
+                    tag: 0,
+                    store: true,
+                    tuples,
+                    arrived,
+                },
+            );
+        }
+    }
+
+    fn flush_all(&mut self, ctx: &mut Ctx<'_, OpMsg>) {
+        for (dst, tuples, arrived) in self.batch.drain_all() {
+            ctx.send(
+                self.joiner_tasks[dst],
+                OpMsg::DataBatch {
+                    tag: 0,
+                    store: true,
+                    tuples,
+                    arrived,
+                },
+            );
+        }
+    }
 }
 
 impl Process<OpMsg> for ShjReshuffler {
     fn on_message(&mut self, ctx: &mut Ctx<'_, OpMsg>, _from: TaskId, msg: OpMsg) -> SimDuration {
         match msg {
-            OpMsg::Ingest {
-                rel,
-                key,
-                aux,
-                bytes,
-                seq,
-            } => {
-                if let Some(rec) = self.recorder.as_mut() {
-                    rec.maybe_sample(seq, ctx);
-                }
+            OpMsg::IngestBatch { items } => {
                 let j = self.joiner_tasks.len() as u64;
-                let dst = (mix64(key as u64) % j) as usize;
-                let t = Tuple {
-                    seq,
-                    rel,
-                    key,
-                    aux,
-                    bytes,
-                    ticket: mix64(seq),
-                };
                 let arrived = ctx.now();
+                let n_tuples = items.len() as u32;
+                for it in items {
+                    if let Some(rec) = self.recorder.as_mut() {
+                        rec.maybe_sample(it.seq, ctx);
+                    }
+                    let dst = (mix64(it.key as u64) % j) as usize;
+                    let t = Tuple {
+                        seq: it.seq,
+                        rel: it.rel,
+                        key: it.key,
+                        aux: it.aux,
+                        bytes: it.bytes,
+                        ticket: mix64(it.seq),
+                    };
+                    if self.batch.push(dst, t, arrived) {
+                        self.flush_slot(ctx, dst);
+                    }
+                    self.routed += 1;
+                }
                 ctx.send(
-                    self.joiner_tasks[dst],
-                    OpMsg::Data {
-                        tag: 0,
-                        t,
-                        arrived,
-                        store: true,
+                    self.source,
+                    OpMsg::RoutedCopies {
+                        n: n_tuples,
+                        tuples: n_tuples,
                     },
                 );
-                ctx.send(self.source, OpMsg::RoutedCopies { n: 1 });
-                self.routed += 1;
-                SimDuration::from_micros(self.cost.recv_overhead_us + self.cost.store_us / 2)
+                self.batch.arm_flush_timer(ctx, Self::FLUSH);
+                SimDuration::from_micros(
+                    self.cost.recv_overhead_us + n_tuples as u64 * self.cost.store_us / 2,
+                )
             }
             other => panic!("SHJ reshuffler received unexpected message {other:?}"),
         }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, OpMsg>, key: u64) -> SimDuration {
+        debug_assert_eq!(key, Self::FLUSH);
+        self.batch.on_flush_timer();
+        self.flush_all(ctx);
+        SimDuration::from_micros(self.cost.control_us)
     }
 }
 
@@ -121,27 +165,35 @@ impl ShjJoiner {
 impl Process<OpMsg> for ShjJoiner {
     fn on_message(&mut self, ctx: &mut Ctx<'_, OpMsg>, _from: TaskId, msg: OpMsg) -> SimDuration {
         match msg {
-            OpMsg::Data { t, arrived, .. } => {
-                let mut matches = 0u64;
+            OpMsg::DataBatch {
+                tuples, arrived, ..
+            } => {
+                let n = tuples.len() as u64;
                 let collect = self.collect_matches;
-                let match_log = &mut self.match_log;
-                let stats: ProbeStats = self.index.probe(&t, &mut |stored| {
-                    matches += 1;
-                    if collect {
-                        match_log.push(pair_key(&t, stored));
+                // One bulk pass: grouped probes against the hash state,
+                // intra-batch pairs included (stream semantics).
+                let mut per_tuple = vec![0u32; tuples.len()];
+                let stats: ProbeStats = {
+                    let match_log = &mut self.match_log;
+                    process_stream_batch(&mut self.index, &tuples, &mut |i, stored| {
+                        per_tuple[i] += 1;
+                        if collect {
+                            match_log.push(pair_key(&tuples[i], stored));
+                        }
+                    })
+                };
+                let now = ctx.now();
+                for (i, &m) in per_tuple.iter().enumerate() {
+                    self.matches += m as u64;
+                    if m > 0 {
+                        self.latency.record(now.since(arrived[i]).as_micros());
                     }
-                });
-                self.index.insert(t);
-                self.matches += matches;
-                if matches > 0 {
-                    self.latency.record(ctx.now().since(arrived).as_micros());
                 }
                 let bytes = self.index.bytes();
                 self.gauge.set_stored(bytes);
                 ctx.metrics().set_stored(self.machine, bytes);
-                let now = ctx.now();
-                ctx.metrics().note_data_processed(1, now);
-                self.unacked_credits += 1;
+                ctx.metrics().note_data_processed(n, now);
+                self.unacked_credits += n as u32;
                 if self.unacked_credits >= 8 {
                     ctx.send(
                         self.source,
@@ -158,13 +210,9 @@ impl Process<OpMsg> for ShjJoiner {
                         mm.spilled_bytes = spilled;
                     }
                 }
-                let base = self.cost.recv_overhead_us
-                    + (self.cost.probe_cost(stats.candidates, stats.matches)
-                        + self.cost.store_cost(false))
-                    .as_micros();
+                let base = self.cost.batch_cost(n, stats.candidates, stats.matches);
                 SimDuration::from_micros(
-                    self.cost.recv_overhead_us
-                        + self.gauge.effective_cost(base - self.cost.recv_overhead_us),
+                    self.cost.recv_overhead_us + self.gauge.effective_cost(base.as_micros()),
                 )
             }
             other => panic!("SHJ joiner received unexpected message {other:?}"),

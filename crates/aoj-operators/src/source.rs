@@ -6,7 +6,7 @@ use aoj_core::tuple::Rel;
 use aoj_datagen::queries::StreamItem;
 use aoj_simnet::{Ctx, Process, SimDuration, TaskId};
 
-use crate::messages::OpMsg;
+use crate::messages::{IngestItem, OpMsg};
 
 /// Emission pacing.
 #[derive(Clone, Copy, Debug)]
@@ -59,11 +59,17 @@ pub struct SourceTask {
     pub active: usize,
     /// Pacing.
     pub pacing: SourcePacing,
+    /// Tuples per [`OpMsg::IngestBatch`]: arrivals are emitted in
+    /// consecutive blocks of this size, round-robined **per block** over
+    /// the active reshufflers (block `k` → reshuffler `k mod active`).
+    /// 1 reproduces per-tuple round-robin exactly.
+    pub batch_tuples: usize,
     /// Maximum tuple copies in flight (0 disables flow control).
     pub window_copies: u64,
     /// Copies fanned out so far (reported by reshufflers).
     pub routed_copies: u64,
-    /// Tuples routed so far (one [`OpMsg::RoutedCopies`] per ingest).
+    /// Tuples routed so far (one [`OpMsg::RoutedCopies`] per ingest
+    /// batch, carrying its tuple count).
     pub routed_tuples: u64,
     /// Copies fully processed so far (reported by joiners).
     pub processed_copies: u64,
@@ -75,12 +81,14 @@ impl SourceTask {
     /// Timer key used for emission ticks.
     pub const TICK: u64 = 1;
 
-    /// Build a source with the given window.
+    /// Build a source with the given window, emitting `batch_tuples`-sized
+    /// ingest batches.
     pub fn new(
         arrivals: Vec<(Rel, StreamItem)>,
         reshufflers: Vec<TaskId>,
         pacing: SourcePacing,
         window_copies: u64,
+        batch_tuples: usize,
     ) -> SourceTask {
         let active = reshufflers.len();
         SourceTask {
@@ -89,6 +97,7 @@ impl SourceTask {
             reshufflers,
             active,
             pacing,
+            batch_tuples: batch_tuples.max(1),
             window_copies,
             routed_copies: 0,
             routed_tuples: 0,
@@ -116,24 +125,29 @@ impl SourceTask {
     }
 
     fn pump(&mut self, ctx: &mut Ctx<'_, OpMsg>) {
-        for _ in 0..self.pacing.burst {
-            if self.cursor >= self.arrivals.len() || !self.window_open() {
-                break;
-            }
-            let (rel, item) = self.arrivals[self.cursor];
-            let seq = self.cursor as u64;
-            let dst = self.reshufflers[self.cursor % self.active];
-            ctx.send(
-                dst,
-                OpMsg::Ingest {
+        let mut budget = self.pacing.burst as usize;
+        while budget > 0 && self.cursor < self.arrivals.len() && self.window_open() {
+            // Arrivals are blocked into fixed `batch_tuples` runs; block k
+            // always goes to reshuffler k mod active, so a batch cut
+            // short (burst budget or window) resumes to the same
+            // destination and the routing is independent of pacing.
+            let block = self.cursor / self.batch_tuples;
+            let dst = self.reshufflers[block % self.active];
+            let block_end = ((block + 1) * self.batch_tuples).min(self.arrivals.len());
+            let mut items = Vec::with_capacity((block_end - self.cursor).min(budget));
+            while self.cursor < block_end && budget > 0 && self.window_open() {
+                let (rel, item) = self.arrivals[self.cursor];
+                items.push(IngestItem {
                     rel,
                     key: item.key,
                     aux: item.aux,
                     bytes: item.bytes,
-                    seq,
-                },
-            );
-            self.cursor += 1;
+                    seq: self.cursor as u64,
+                });
+                self.cursor += 1;
+                budget -= 1;
+            }
+            ctx.send(dst, OpMsg::IngestBatch { items });
         }
         if self.cursor < self.arrivals.len() && self.window_open() {
             if !self.tick_pending {
@@ -149,9 +163,9 @@ impl SourceTask {
 impl Process<OpMsg> for SourceTask {
     fn on_message(&mut self, ctx: &mut Ctx<'_, OpMsg>, _from: TaskId, msg: OpMsg) -> SimDuration {
         match msg {
-            OpMsg::RoutedCopies { n } => {
+            OpMsg::RoutedCopies { n, tuples } => {
                 self.routed_copies += n as u64;
-                self.routed_tuples += 1;
+                self.routed_tuples += tuples as u64;
                 // Routing progress may have re-opened the tuple gate.
                 if !self.tick_pending {
                     self.pump(ctx);

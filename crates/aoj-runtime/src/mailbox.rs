@@ -12,6 +12,17 @@
 //!   single threads pushing under one lock, so send order is enqueue
 //!   order is service order.
 //!
+//! ## Tuple units
+//!
+//! The batch-first data plane coalesces many tuples into one message
+//! ([`SimMessage::tuples`](aoj_simnet::SimMessage::tuples)), so both the
+//! Data-queue bound and the weighted service policy account in **tuples**
+//! rather than messages: a 64-tuple batch occupies 64 slots of the data
+//! capacity, and while both queues are backlogged the policy serves
+//! `migration_weight ×` the *tuple* volume of the next data batch in
+//! migration traffic before that batch. With every message carrying one
+//! tuple this degenerates to the original per-message scheme exactly.
+//!
 //! Only the Data queue is bounded, and the bound is **backpressure, not
 //! a hard guarantee**: a producer facing a full data queue waits up to
 //! [`BACKPRESSURE_WAIT`] for space and then enqueues anyway. The bounded
@@ -72,12 +83,15 @@ pub(crate) enum Work<M> {
 type TimerEntry = Reverse<(u64, u64, usize, u64)>; // (at, seq, task, key)
 
 struct State<M> {
-    control: VecDeque<Work<M>>,
-    data: VecDeque<Work<M>>,
-    migration: VecDeque<Work<M>>,
+    control: VecDeque<(Work<M>, u64)>,
+    data: VecDeque<(Work<M>, u64)>,
+    migration: VecDeque<(Work<M>, u64)>,
     timers: BinaryHeap<TimerEntry>,
     timer_seq: u64,
-    migration_credit: u32,
+    /// Tuple units currently queued in `data` (the bounded quantity).
+    data_units: u64,
+    /// Migration tuple units served since the last data service.
+    migration_credit: u64,
     /// True between a timed-out data push and the queue next draining
     /// below capacity: pushes skip the backpressure wait meanwhile.
     overflowed: bool,
@@ -103,6 +117,7 @@ impl<M> Mailbox<M> {
                 migration: VecDeque::new(),
                 timers: BinaryHeap::new(),
                 timer_seq: 0,
+                data_units: 0,
                 migration_credit: 0,
                 overflowed: false,
             }),
@@ -113,26 +128,30 @@ impl<M> Mailbox<M> {
         }
     }
 
-    /// Enqueue a message. `bounded` data pushes wait up to
-    /// [`BACKPRESSURE_WAIT`] while the data queue is full, then enqueue
-    /// regardless (see module docs for why the wait must be bounded);
-    /// loopback callers pass `bounded = false`.
+    /// Enqueue a message carrying `units` tuple units (1 for everything
+    /// that is not a tuple batch). `bounded` data pushes wait up to
+    /// [`BACKPRESSURE_WAIT`] while the data queue holds `data_capacity`
+    /// or more tuple units, then enqueue regardless (see module docs for
+    /// why the wait must be bounded); loopback callers pass
+    /// `bounded = false`.
     pub(crate) fn push_msg(
         &self,
         class: MsgClass,
         work: Work<M>,
+        units: u64,
         bounded: bool,
         done: &AtomicBool,
     ) {
+        let units = units.max(1);
         let mut st = self.state.lock().unwrap();
         if bounded && class == MsgClass::Data {
-            if st.data.len() < self.data_capacity {
+            if st.data_units < self.data_capacity as u64 {
                 // Pressure relieved: the next full queue starts a fresh
                 // backpressure episode.
                 st.overflowed = false;
             } else if !st.overflowed {
                 let deadline = Instant::now() + BACKPRESSURE_WAIT;
-                while st.data.len() >= self.data_capacity && !done.load(Ordering::Relaxed) {
+                while st.data_units >= self.data_capacity as u64 && !done.load(Ordering::Relaxed) {
                     let now = Instant::now();
                     if now >= deadline {
                         // Overflow the bound rather than risk a cyclic
@@ -145,9 +164,12 @@ impl<M> Mailbox<M> {
             }
         }
         match class {
-            MsgClass::Control => st.control.push_back(work),
-            MsgClass::Data => st.data.push_back(work),
-            MsgClass::Migration => st.migration.push_back(work),
+            MsgClass::Control => st.control.push_back((work, units)),
+            MsgClass::Data => {
+                st.data_units += units;
+                st.data.push_back((work, units));
+            }
+            MsgClass::Migration => st.migration.push_back((work, units)),
         }
         drop(st);
         self.work_ready.notify_one();
@@ -208,41 +230,55 @@ impl<M> Mailbox<M> {
                     break;
                 }
                 st.timers.pop();
-                st.control.push_back(Work::Timer {
-                    task: TaskId(task),
-                    key,
-                });
+                st.control.push_back((
+                    Work::Timer {
+                        task: TaskId(task),
+                        key,
+                    },
+                    1,
+                ));
             }
             let mut data_popped = false;
             while out.len() < max {
-                if let Some(w) = st.control.pop_front() {
+                if let Some((w, _)) = st.control.pop_front() {
                     out.push(w);
                     continue;
                 }
                 let has_data = !st.data.is_empty();
                 let has_mig = !st.migration.is_empty();
-                let popped = match (has_mig, has_data) {
-                    (false, false) => None,
-                    (true, false) => st.migration.pop_front(),
+                // Which queue the weighted policy serves next. Weighted
+                // service is in tuple units: serve `migration_weight ×`
+                // the next data batch's tuple volume in migration traffic
+                // before the batch itself. With 1-tuple messages this is
+                // the classic M,M,D per-message pattern.
+                let serve_migration = match (has_mig, has_data) {
+                    (false, false) => break,
+                    (true, false) => true,
                     (false, true) => {
                         st.migration_credit = 0;
-                        data_popped = true;
-                        st.data.pop_front()
+                        false
                     }
                     (true, true) => {
-                        if st.migration_credit < self.migration_weight {
-                            st.migration_credit += 1;
-                            st.migration.pop_front()
+                        let front_data_units = st.data.front().map(|(_, u)| *u).unwrap_or(1);
+                        if st.migration_credit < self.migration_weight as u64 * front_data_units {
+                            true
                         } else {
                             st.migration_credit = 0;
-                            data_popped = true;
-                            st.data.pop_front()
+                            false
                         }
                     }
                 };
-                match popped {
-                    Some(w) => out.push(w),
-                    None => break,
+                if serve_migration {
+                    let (w, units) = st.migration.pop_front().expect("migration queue non-empty");
+                    if has_data {
+                        st.migration_credit += units;
+                    }
+                    out.push(w);
+                } else {
+                    let (w, units) = st.data.pop_front().expect("data queue non-empty");
+                    st.data_units -= units;
+                    data_popped = true;
+                    out.push(w);
                 }
             }
             if !out.is_empty() {
@@ -297,10 +333,10 @@ mod tests {
         let mb: Mailbox<u64> = Mailbox::new(1024, 2);
         let done = AtomicBool::new(false);
         for i in 0..6 {
-            mb.push_msg(MsgClass::Migration, msg(100 + i), true, &done);
+            mb.push_msg(MsgClass::Migration, msg(100 + i), 1, true, &done);
         }
         for i in 0..3 {
-            mb.push_msg(MsgClass::Data, msg(i), true, &done);
+            mb.push_msg(MsgClass::Data, msg(i), 1, true, &done);
         }
         let order: Vec<u64> = (0..9).map(|_| val(mb.pop(|| 0, &done).unwrap())).collect();
         // Same M,M,D pattern as aoj_simnet::machine's unit test.
@@ -314,12 +350,12 @@ mod tests {
         // in one batched lock acquisition.
         let fill = |mb: &Mailbox<u64>, done: &AtomicBool| {
             for i in 0..6 {
-                mb.push_msg(MsgClass::Migration, msg(100 + i), true, done);
+                mb.push_msg(MsgClass::Migration, msg(100 + i), 1, true, done);
             }
             for i in 0..3 {
-                mb.push_msg(MsgClass::Data, msg(i), true, done);
+                mb.push_msg(MsgClass::Data, msg(i), 1, true, done);
             }
-            mb.push_msg(MsgClass::Control, msg(999), true, done);
+            mb.push_msg(MsgClass::Control, msg(999), 1, true, done);
         };
         let done = AtomicBool::new(false);
         let single: Mailbox<u64> = Mailbox::new(1024, 2);
@@ -343,6 +379,48 @@ mod tests {
     }
 
     #[test]
+    fn weighted_service_accounts_tuple_units() {
+        // The front data message is a 4-tuple batch: the policy owes it
+        // 2 × 4 = 8 migration tuple units before serving it.
+        let mb: Mailbox<u64> = Mailbox::new(1024, 2);
+        let done = AtomicBool::new(false);
+        for i in 0..10 {
+            mb.push_msg(MsgClass::Migration, msg(100 + i), 1, true, &done);
+        }
+        mb.push_msg(MsgClass::Data, msg(0), 4, true, &done);
+        let order: Vec<u64> = (0..11).map(|_| val(mb.pop(|| 0, &done).unwrap())).collect();
+        assert_eq!(
+            order,
+            vec![100, 101, 102, 103, 104, 105, 106, 107, 0, 108, 109],
+            "8 migration units precede the 4-tuple data batch"
+        );
+    }
+
+    #[test]
+    fn data_capacity_counts_tuples_not_messages() {
+        // One 8-tuple batch saturates an 8-unit bound: the next bounded
+        // data push must pay the backpressure wait even though only one
+        // *message* is queued.
+        let mb: Mailbox<u64> = Mailbox::new(8, 2);
+        let done = AtomicBool::new(false);
+        mb.push_msg(MsgClass::Data, msg(0), 8, true, &done);
+        let start = Instant::now();
+        mb.push_msg(MsgClass::Data, msg(1), 1, true, &done);
+        assert!(
+            start.elapsed() >= BACKPRESSURE_WAIT,
+            "a full-by-units queue must exert backpressure"
+        );
+        // Popping the batch frees all 8 units at once.
+        assert_eq!(val(mb.pop(|| 0, &done).unwrap()), 0);
+        let start = Instant::now();
+        mb.push_msg(MsgClass::Data, msg(2), 4, true, &done);
+        assert!(
+            start.elapsed() < BACKPRESSURE_WAIT,
+            "freed units must admit new batches immediately"
+        );
+    }
+
+    #[test]
     fn batched_drain_returns_false_on_shutdown() {
         let mb: Mailbox<u64> = Mailbox::new(1024, 2);
         let done = AtomicBool::new(true);
@@ -355,9 +433,9 @@ mod tests {
     fn control_and_due_timers_preempt() {
         let mb: Mailbox<u64> = Mailbox::new(1024, 2);
         let done = AtomicBool::new(false);
-        mb.push_msg(MsgClass::Data, msg(1), true, &done);
+        mb.push_msg(MsgClass::Data, msg(1), 1, true, &done);
         mb.push_timer(5, TaskId(9), 7);
-        mb.push_msg(MsgClass::Control, msg(3), true, &done);
+        mb.push_msg(MsgClass::Control, msg(3), 1, true, &done);
         // At t=10 the timer is due: control first, then the timer, then data.
         assert_eq!(val(mb.pop(|| 10, &done).unwrap()), 3);
         assert_eq!(val(mb.pop(|| 10, &done).unwrap()), 1_000_007);
@@ -369,7 +447,7 @@ mod tests {
         let mb: Mailbox<u64> = Mailbox::new(1024, 2);
         let done = AtomicBool::new(false);
         mb.push_timer(1_000, TaskId(0), 1);
-        mb.push_msg(MsgClass::Data, msg(42), true, &done);
+        mb.push_msg(MsgClass::Data, msg(42), 1, true, &done);
         assert_eq!(val(mb.pop(|| 0, &done).unwrap()), 42);
     }
 
@@ -385,13 +463,13 @@ mod tests {
         use std::sync::Arc;
         let mb: Arc<Mailbox<u64>> = Arc::new(Mailbox::new(2, 2));
         let done = Arc::new(AtomicBool::new(false));
-        mb.push_msg(MsgClass::Data, msg(0), true, &done);
-        mb.push_msg(MsgClass::Data, msg(1), true, &done);
+        mb.push_msg(MsgClass::Data, msg(0), 1, true, &done);
+        mb.push_msg(MsgClass::Data, msg(1), 1, true, &done);
         let mb2 = Arc::clone(&mb);
         let done2 = Arc::clone(&done);
         let producer = std::thread::spawn(move || {
             // Full: waits (bounded) until the consumer pops.
-            mb2.push_msg(MsgClass::Data, msg(2), true, &done2);
+            mb2.push_msg(MsgClass::Data, msg(2), 1, true, &done2);
         });
         std::thread::sleep(Duration::from_millis(2));
         assert_eq!(val(mb.pop(|| 0, &done).unwrap()), 0);
@@ -407,9 +485,9 @@ mod tests {
         // relies on (every machine both produces and consumes data).
         let mb: Mailbox<u64> = Mailbox::new(1, 2);
         let done = AtomicBool::new(false);
-        mb.push_msg(MsgClass::Data, msg(0), true, &done);
+        mb.push_msg(MsgClass::Data, msg(0), 1, true, &done);
         let start = std::time::Instant::now();
-        mb.push_msg(MsgClass::Data, msg(1), true, &done);
+        mb.push_msg(MsgClass::Data, msg(1), 1, true, &done);
         let waited = start.elapsed();
         assert!(
             waited >= BACKPRESSURE_WAIT,
@@ -423,7 +501,7 @@ mod tests {
         // queue stays saturated, further pushes enqueue immediately.
         let start = std::time::Instant::now();
         for i in 2..100 {
-            mb.push_msg(MsgClass::Data, msg(i), true, &done);
+            mb.push_msg(MsgClass::Data, msg(i), 1, true, &done);
         }
         assert!(
             start.elapsed() < BACKPRESSURE_WAIT,
@@ -435,9 +513,9 @@ mod tests {
         }
         // Draining below the bound ends the episode: the next push that
         // finds the queue full (capacity is 1) waits again.
-        mb.push_msg(MsgClass::Data, msg(0), true, &done);
+        mb.push_msg(MsgClass::Data, msg(0), 1, true, &done);
         let start = std::time::Instant::now();
-        mb.push_msg(MsgClass::Data, msg(1), true, &done);
+        mb.push_msg(MsgClass::Data, msg(1), 1, true, &done);
         assert!(
             start.elapsed() >= BACKPRESSURE_WAIT,
             "fresh episode should pay the backpressure wait"

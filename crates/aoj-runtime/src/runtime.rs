@@ -19,11 +19,13 @@ use crate::mailbox::{Mailbox, Work};
 /// Threaded-backend knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct RuntimeConfig {
-    /// Per-mailbox bound on queued Data-class messages. Cross-machine
-    /// data sends wait a bounded interval for space while the
-    /// destination queue is full, then enqueue regardless; control,
-    /// migration and loopback traffic is never bounded (see the
-    /// `mailbox` module docs for why the wait must be bounded).
+    /// Per-mailbox bound on queued Data-class **tuple units** (a
+    /// coalesced batch occupies its tuple count, so the bound means the
+    /// same in-flight volume at any batch size). Cross-machine data
+    /// sends wait a bounded interval for space while the destination
+    /// queue is full, then enqueue regardless; control, migration and
+    /// loopback traffic is never bounded (see the `mailbox` module docs
+    /// for why the wait must be bounded).
     pub data_queue_capacity: usize,
     /// Migration-to-data service ratio while both queues are backlogged.
     /// The paper fixes this to 2 (§4.3.2); mirrors
@@ -202,6 +204,7 @@ fn worker<M: SimMessage + Send + 'static>(
                     Effect::Send { to, msg } => {
                         let dst_machine = shared.task_machine[to.index()];
                         let class = msg.class();
+                        let units = msg.tuples();
                         shared.outstanding.fetch_add(1, Ordering::SeqCst);
                         let loopback = dst_machine == mid;
                         if !loopback {
@@ -216,6 +219,7 @@ fn worker<M: SimMessage + Send + 'static>(
                                 to,
                                 msg,
                             },
+                            units,
                             !loopback,
                             &shared.done,
                         );

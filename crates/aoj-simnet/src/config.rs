@@ -68,6 +68,21 @@ impl CostModel {
             SimDuration(self.store_us)
         }
     }
+
+    /// Cost of probing **and storing** a coalesced batch of `n` data
+    /// tuples that together scanned `candidates` index entries and
+    /// emitted `matches`: the fixed probe/store overheads are per tuple,
+    /// the scan/emit terms follow the accumulated statistics. A batch of
+    /// one prices exactly like `probe_cost(c, m) + store_cost(false)`,
+    /// so `batch_tuples = 1` reproduces the per-tuple plane's timeline.
+    #[inline]
+    pub fn batch_cost(&self, n: u64, candidates: u64, matches: u64) -> SimDuration {
+        SimDuration(
+            n * (self.probe_us + self.store_us)
+                + (candidates * self.per_candidate_us_hundredths) / 100
+                + (matches * self.per_match_us_hundredths) / 100,
+        )
+    }
 }
 
 /// Top-level simulator configuration.

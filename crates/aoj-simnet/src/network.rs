@@ -15,6 +15,14 @@
 use crate::time::{SimDuration, SimTime};
 
 /// Network configuration shared by all links.
+///
+/// The egress cost of a message is split into a **per-message** term
+/// (`per_message_overhead_bytes` of framing plus `per_message_us` of
+/// fixed NIC processing) and a **per-byte** term (`bytes / bytes_per_us`
+/// of serialisation). The split is what makes batching visible in
+/// virtual time: coalescing `k` tuples into one message pays the
+/// per-message term once instead of `k` times while the per-byte term is
+/// unchanged.
 #[derive(Clone, Copy, Debug)]
 pub struct NetworkConfig {
     /// One-way propagation latency per message, in microseconds.
@@ -24,6 +32,12 @@ pub struct NetworkConfig {
     pub bytes_per_us: u64,
     /// Fixed per-message framing overhead in bytes (headers etc.).
     pub per_message_overhead_bytes: u64,
+    /// Fixed per-message NIC processing time in microseconds (descriptor
+    /// ring work, interrupt amortisation), occupying the link like the
+    /// serialisation time does. Defaults to 0, which preserves the
+    /// pre-split cost model exactly; the framing bytes already impose a
+    /// per-message floor of `overhead / bandwidth`.
+    pub per_message_us: u64,
 }
 
 impl Default for NetworkConfig {
@@ -32,6 +46,7 @@ impl Default for NetworkConfig {
             latency_us: 100,
             bytes_per_us: 125,
             per_message_overhead_bytes: 32,
+            per_message_us: 0,
         }
     }
 }
@@ -43,7 +58,7 @@ impl NetworkConfig {
     #[inline]
     pub fn transmit_time(&self, bytes: u64) -> SimDuration {
         let wire = bytes + self.per_message_overhead_bytes;
-        SimDuration(wire.div_ceil(self.bytes_per_us))
+        SimDuration(self.per_message_us + wire.div_ceil(self.bytes_per_us))
     }
 }
 
@@ -79,7 +94,9 @@ impl Nic {
         let total = self.debt_bytes + bytes + self.per_message_overhead(cfg);
         let whole_us = total / cfg.bytes_per_us;
         self.debt_bytes = total % cfg.bytes_per_us;
-        let done = start + SimDuration(whole_us);
+        // The fixed per-message NIC time occupies the link like the
+        // serialisation time (it cannot overlap the next transmission).
+        let done = start + SimDuration(whole_us + cfg.per_message_us);
         self.free_at = done;
         done + SimDuration(cfg.latency_us)
     }
@@ -100,6 +117,7 @@ mod tests {
             latency_us: 10,
             bytes_per_us: 100,
             per_message_overhead_bytes: 0,
+            per_message_us: 0,
         };
         let mut nic = Nic::default();
         // 1000 bytes at 100 B/us = 10us on the wire, +10us latency.
@@ -121,6 +139,7 @@ mod tests {
             latency_us: 0,
             bytes_per_us: 100,
             per_message_overhead_bytes: 0,
+            per_message_us: 0,
         };
         let mut nic = Nic::default();
         let mut last = SimTime::ZERO;
@@ -137,6 +156,7 @@ mod tests {
             latency_us: 0,
             bytes_per_us: 100,
             per_message_overhead_bytes: 0,
+            per_message_us: 0,
         };
         let mut nic = Nic::default();
         nic.transmit(SimTime(0), 50, &cfg); // half a us of debt
@@ -160,11 +180,34 @@ mod tests {
     }
 
     #[test]
+    fn per_message_term_is_paid_once_per_message() {
+        // 10 messages of 100 bytes each: per-byte cost 1us each, plus a
+        // 3us fixed NIC term per message — batching the same bytes into
+        // one message would pay the fixed term once.
+        let cfg = NetworkConfig {
+            latency_us: 0,
+            bytes_per_us: 100,
+            per_message_overhead_bytes: 0,
+            per_message_us: 3,
+        };
+        let mut nic = Nic::default();
+        let mut last = SimTime::ZERO;
+        for _ in 0..10 {
+            last = nic.transmit(SimTime(0), 100, &cfg);
+        }
+        assert_eq!(last.as_micros(), 40, "10 × (1us bytes + 3us fixed)");
+        let mut batched = Nic::default();
+        let one = batched.transmit(SimTime(0), 1000, &cfg);
+        assert_eq!(one.as_micros(), 13, "one message pays the term once");
+    }
+
+    #[test]
     fn transmit_time_rounds_up() {
         let cfg = NetworkConfig {
             latency_us: 0,
             bytes_per_us: 125,
             per_message_overhead_bytes: 0,
+            per_message_us: 0,
         };
         assert_eq!(cfg.transmit_time(1).as_micros(), 1);
         assert_eq!(cfg.transmit_time(125).as_micros(), 1);

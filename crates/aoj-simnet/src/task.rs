@@ -41,6 +41,14 @@ pub trait SimMessage: Sized {
     fn bytes(&self) -> u64;
     /// Scheduling class (see [`MsgClass`]).
     fn class(&self) -> MsgClass;
+    /// Number of logical stream tuples this message carries. Batched data
+    /// planes coalesce many tuples into one message; backends that bound
+    /// queues or weight their service policy account in these units so a
+    /// 64-tuple batch is not budgeted like a single tuple. Non-batch
+    /// messages (signals, acks, credits) count as 1.
+    fn tuples(&self) -> u64 {
+        1
+    }
 }
 
 /// Object-safe downcasting support, blanket-implemented for all `'static`

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Fail CI when BENCH_wallclock.json throughput regresses versus the
+committed baseline.
+
+Entries are matched on (backend, batch_tuples); a matched entry fails
+when `new_throughput < min_ratio * baseline_throughput`. Entries present
+in only one file are reported but never fail the check (the sweep's
+smoke variant measures a subset of the committed full sweep).
+
+The simulator backend runs in deterministic virtual time, so its
+throughput is machine-independent and gets the tight default ratio. The
+threaded backend measures real wall clock on whatever hardware CI
+happens to give us, so the workflow passes it a coarser floor via
+--min-ratio-threaded.
+
+Usage:
+  check_bench_regression.py BASELINE.json NEW.json \
+      [--min-ratio 0.8] [--min-ratio-threaded 0.5]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_runs(path):
+    with open(path) as f:
+        doc = json.load(f)
+    runs = {}
+    for r in doc.get("runs", []):
+        runs[(r["backend"], r["batch_tuples"])] = r
+    return runs
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument("--min-ratio", type=float, default=0.8,
+                    help="throughput floor as a fraction of baseline "
+                         "(default 0.8 = fail on >20%% regression)")
+    ap.add_argument("--min-ratio-threaded", type=float, default=None,
+                    help="override floor for the threaded backend "
+                         "(wall-clock numbers vary across CI hardware)")
+    args = ap.parse_args()
+
+    base = load_runs(args.baseline)
+    new = load_runs(args.new)
+    failures = []
+    for key, nr in sorted(new.items()):
+        backend, batch = key
+        br = base.get(key)
+        if br is None:
+            print(f"  [new]  {backend} batch={batch}: "
+                  f"{nr['throughput_tps']:.0f} t/s (no baseline entry)")
+            continue
+        floor = args.min_ratio
+        if backend == "threaded" and args.min_ratio_threaded is not None:
+            floor = args.min_ratio_threaded
+        ratio = nr["throughput_tps"] / max(br["throughput_tps"], 1e-9)
+        verdict = "ok" if ratio >= floor else "REGRESSION"
+        print(f"  [{verdict}] {backend} batch={batch}: "
+              f"{nr['throughput_tps']:.0f} vs baseline "
+              f"{br['throughput_tps']:.0f} t/s (x{ratio:.2f}, floor x{floor:.2f})")
+        if ratio < floor:
+            failures.append(key)
+    for key in sorted(set(base) - set(new)):
+        print(f"  [skip] {key[0]} batch={key[1]}: baseline-only entry "
+              f"(not measured in this run)")
+    if failures:
+        print(f"FAILED: throughput regressed past the floor for {failures}")
+        return 1
+    print("throughput within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
