@@ -42,7 +42,7 @@ fn bench_migrating_data(c: &mut Criterion) {
         // Enter a migration: one signal received, three outstanding.
         let assign = GridAssignment::initial(Mapping::new(2, 2));
         let plan = plan_step(&assign, Step::HalveRows);
-        j.on_signal(0, 1, plan.specs[0]);
+        j.on_signal(0, 1, plan.specs[0], 4);
         let mut i = 10_000u64;
         b.iter(|| {
             i += 1;

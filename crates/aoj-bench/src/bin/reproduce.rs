@@ -12,18 +12,19 @@
 //! Experiments: `table2`, `fig6a`..`fig6d`, `fig6`, `fig7a`..`fig7d`,
 //! `fig7`, `fig8a`..`fig8d`, `fig8`, `ablation-migration`,
 //! `ablation-epsilon`, `ablation-blocking`, `ablation-elastic`,
-//! `ablation-groups`, `ablations`, `wallclock`, `elastic`, or `all`.
+//! `ablation-groups`, `ablations`, `wallclock`, `elastic`, `contract`,
+//! or `all`.
 //!
 //! `--backend threaded` selects the multi-threaded runtime, which hosts
-//! the wall-clock benchmark (`wallclock`) and the live `elastic`
-//! scale-out experiment; the paper-figure experiments are simulator-only
+//! the wall-clock benchmark (`wallclock`) and the live `elastic` /
+//! `contract` scale-out and scale-in experiments; the paper-figure experiments are simulator-only
 //! because their figures are defined in virtual time. `--smoke` shrinks
 //! the `elastic` workload (and the `wallclock` sweep) to a CI-sized run.
 //! `--batch N[,N...]` overrides the `wallclock` data-plane batch-size
 //! sweep (each size runs on **both** backends and writes
 //! `BENCH_wallclock.json`).
 
-use aoj_bench::experiments::{ablation, elastic, fig6, fig7, fig8, table2, wallclock};
+use aoj_bench::experiments::{ablation, contract, elastic, fig6, fig7, fig8, table2, wallclock};
 use aoj_operators::BackendChoice;
 
 fn main() {
@@ -73,9 +74,10 @@ fn main() {
             match positional.first().map(|s| s.as_str()) {
                 None | Some("wallclock") | Some("all") => "wallclock".to_string(),
                 Some("elastic") => "elastic".to_string(),
+                Some("contract") => "contract".to_string(),
                 Some(other) => die(&format!(
                     "experiment `{other}` is simulator-only; `--backend threaded` \
-                     runs `wallclock` or `elastic`"
+                     runs `wallclock`, `elastic` or `contract`"
                 )),
             }
         }
@@ -114,6 +116,7 @@ fn main() {
         "ablations" => ablation::run_ablations(),
         "wallclock" => wallclock::run_wallclock(&batch_sweep, smoke),
         "elastic" => elastic::run_elastic(backend_choice, smoke),
+        "contract" => contract::run_contract(backend_choice, smoke),
         "all" => {
             table2::run_table2();
             fig6::run_fig6();
@@ -122,6 +125,7 @@ fn main() {
             ablation::run_ablations();
             wallclock::run_wallclock(&batch_sweep, smoke);
             elastic::run_elastic(backend_choice, smoke);
+            contract::run_contract(backend_choice, smoke);
         }
         other => {
             eprintln!("unknown experiment `{other}`; see --help in the module docs");

@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod common;
+pub mod contract;
 pub mod elastic;
 pub mod fig6;
 pub mod fig7;

@@ -209,6 +209,22 @@ impl MigrationDecider {
         self.j *= 4;
         self.current = Mapping::new(self.current.n * 2, self.current.m * 2);
     }
+
+    /// Elastic 4→1 contraction: the cluster shrinks `J → J/4` and the
+    /// mapping `(n, m) → (n/2, m/2)`. The exact inverse of
+    /// [`expand`](MigrationDecider::expand) — cardinalities and deltas
+    /// carry over, the `n : m` ratio is preserved, and Alg. 2 keeps
+    /// running against the smaller grid.
+    pub fn contract(&mut self) {
+        assert!(
+            self.current.n >= 2 && self.current.m >= 2,
+            "cannot contract a ({}, {}) mapping",
+            self.current.n,
+            self.current.m
+        );
+        self.j /= 4;
+        self.current = Mapping::new(self.current.n / 2, self.current.m / 2);
+    }
 }
 
 #[cfg(test)]

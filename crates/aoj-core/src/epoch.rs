@@ -65,8 +65,40 @@
 //! new×new pair is emitted at exactly the one machine whose new grid cell
 //! covers it — the seven-join decomposition of Lemma 4.6 carries over
 //! with `µ` sourced from one parent instead of one partner.
+//!
+//! ## Elastic contraction (the reverse 4→1 merge)
+//!
+//! The same machinery also hosts the **contraction**, where each aligned
+//! 2×2 cell group merges into one survivor and the mapping goes
+//! `(n, m) → (n/2, m/2)`. It is the migration argument with the partner
+//! exchange replaced by a retiree → survivor **fan-in**:
+//!
+//! * the **survivor** runs Alg. 3 with `Keep(τ ∪ Δ) = τ ∪ Δ` (its whole
+//!   cell is inside the merged cell, so nothing is discarded) and `µ`
+//!   sourced from its three retirees instead of one partner — it expects
+//!   three end-of-state markers, each FIFO behind that retiree's state on
+//!   the Migration channel;
+//! * a **retiree** runs Alg. 3 with `Keep(τ ∪ Δ) = ∅`: old-epoch tuples
+//!   probe `τ ∪ Δ` exactly as usual (that emission is *not* covered by
+//!   the survivor, which never stored the retiree's complement
+//!   partitions), and tuples of the retiree's *forward relation* — S for
+//!   the survivor's row sibling, R for its column sibling, nothing for
+//!   the diagonal — are shipped to the survivor like step-migration
+//!   state. New-epoch tuples can never arrive (reshufflers only route to
+//!   survivors under the contracted mapping), so the retiree finalises as
+//!   soon as every reshuffler has signalled: it discards everything and
+//!   goes **dormant** — back to the unborn-child state, ready for a later
+//!   expansion to re-activate it.
+//!
+//! Exactly-once coverage: each old×old pair is emitted at the unique old
+//! cell covering it (retirees keep probing until their Δ closes); each
+//! new×old pair at the survivor (via `Keep(τ ∪ Δ)` for its own state,
+//! via `µ ⋈ Δ′` for forwarded state — the forward pattern delivers each
+//! retiree-held tuple to the survivor exactly once); each new×new pair at
+//! the survivor via `Δ′`. The diagonal retiree forwards nothing because
+//! both of its partitions reach the survivor from the other two retirees.
 
-use crate::elastic::{ExpandDestinations, ExpandSpec};
+use crate::elastic::{ContractRole, ExpandDestinations, ExpandSpec};
 use crate::index::{JoinIndex, ProbeStats};
 use crate::migration::MachineStepSpec;
 use crate::tuple::{Rel, Tuple};
@@ -95,6 +127,15 @@ enum MigrationRole {
     Step(MachineStepSpec),
     /// A ×4 expansion parent (Fig. 5): split state across four children.
     Expand(ExpandSpec),
+    /// A 4→1 contraction survivor: keep everything, absorb three
+    /// retirees' state streams.
+    Merge,
+    /// A 4→1 contraction retiree: keep nothing, forward `forward_rel`
+    /// of the state to the survivor, then go dormant.
+    Retire {
+        /// The relation this retiree ships (None for the diagonal).
+        forward_rel: Option<Rel>,
+    },
 }
 
 impl MigrationRole {
@@ -103,6 +144,20 @@ impl MigrationRole {
         match self {
             MigrationRole::Step(spec) => spec.is_kept(t),
             MigrationRole::Expand(spec) => spec.destinations(t).keep,
+            MigrationRole::Merge => true,
+            MigrationRole::Retire { .. } => false,
+        }
+    }
+
+    /// End-of-state markers this role waits for before finalising.
+    fn partners_expected(&self) -> usize {
+        match self {
+            MigrationRole::Step(_) => 1,
+            // Expansion parents and contraction retirees receive no
+            // relocated state.
+            MigrationRole::Expand(_) | MigrationRole::Retire { .. } => 0,
+            // A survivor absorbs all three retirees of its group.
+            MigrationRole::Merge => 3,
         }
     }
 }
@@ -136,7 +191,13 @@ pub struct EpochJoiner {
     role: Option<MigrationRole>,
     signals: Vec<bool>,
     signals_remaining: usize,
-    partner_done: bool,
+    /// End-of-state markers received for the in-flight reconfiguration.
+    /// Counted, not boolean: a contraction survivor fans in three
+    /// retirees' streams where a step migration has one partner.
+    partners_done: usize,
+    /// Markers required before finalising (set when the role is learned;
+    /// markers may legitimately arrive first).
+    partners_expected: usize,
     n_reshufflers: usize,
     /// False for a dormant expansion child that has not finalised its
     /// birth yet (see the module docs on elastic expansion).
@@ -166,7 +227,8 @@ impl EpochJoiner {
             role: None,
             signals: vec![false; n_reshufflers],
             signals_remaining: 0,
-            partner_done: false,
+            partners_done: 0,
+            partners_expected: 1,
             n_reshufflers,
             born: true,
             birth_epoch: None,
@@ -319,6 +381,16 @@ impl EpochJoiner {
                     // go to every child whose new cell covers it.
                     outcome.expand_forward = Some(spec.destinations(&t));
                 }
+                // A survivor's Δ is entirely inside the merged cell:
+                // nothing to forward.
+                MigrationRole::Merge => {}
+                MigrationRole::Retire { forward_rel } => {
+                    // A retiree's Δ tuple of its forward relation is part
+                    // of the state being merged into the survivor; the
+                    // other relation's copies reach the survivor through
+                    // its row/column siblings (or its own replicas).
+                    outcome.forward_to_partner = forward_rel == Some(t.rel);
+                }
             }
             self.delta.insert(t);
         } else {
@@ -329,6 +401,11 @@ impl EpochJoiner {
                 self.epoch, self.new_epoch
             );
             let role = self.role.expect("migrating implies a role");
+            assert!(
+                !matches!(role, MigrationRole::Retire { .. }),
+                "retiring joiner received new-epoch data (reshufflers must \
+                 only route to survivors under the contracted mapping)"
+            );
             {
                 // {t} ⋈ (µ ∪ Δ′)
                 let mut cb = |stored: &Tuple| {
@@ -392,14 +469,18 @@ impl EpochJoiner {
     }
 
     /// An epoch-change signal from reshuffler `from`, carrying the new
-    /// epoch index and this machine's migration role.
+    /// epoch index, this machine's migration role, and the number of
+    /// reshufflers that route old-epoch data (and therefore must signal):
+    /// the **active** reshuffler count at the moment of the change, which
+    /// under trigger-time provisioning is no longer a constant.
     pub fn on_signal(
         &mut self,
         from: usize,
         new_epoch: Epoch,
         spec: MachineStepSpec,
+        expected_signals: usize,
     ) -> SignalOutcome {
-        self.begin_reconfiguration(from, new_epoch, MigrationRole::Step(spec), false)
+        self.begin_reconfiguration(from, new_epoch, MigrationRole::Step(spec), expected_signals)
     }
 
     /// An expansion signal from reshuffler `from` (§4.2.2): this machine is
@@ -414,8 +495,36 @@ impl EpochJoiner {
         from: usize,
         new_epoch: Epoch,
         spec: ExpandSpec,
+        expected_signals: usize,
     ) -> SignalOutcome {
-        self.begin_reconfiguration(from, new_epoch, MigrationRole::Expand(spec), true)
+        self.begin_reconfiguration(
+            from,
+            new_epoch,
+            MigrationRole::Expand(spec),
+            expected_signals,
+        )
+    }
+
+    /// A contraction signal from reshuffler `from`: this machine is either
+    /// the **survivor** of its 2×2 group (merge everything, await three
+    /// end-of-state markers) or a **retiree** (forward its role's relation
+    /// to the survivor, then go dormant at finalisation). On a retiree's
+    /// first signal the caller must ship
+    /// [`migration_snapshot`](EpochJoiner::migration_snapshot) to the
+    /// survivor, and after its last signal send the survivor the
+    /// end-of-state marker.
+    pub fn on_contract_signal(
+        &mut self,
+        from: usize,
+        new_epoch: Epoch,
+        role: ContractRole,
+        expected_signals: usize,
+    ) -> SignalOutcome {
+        let role = match role {
+            ContractRole::Survive => MigrationRole::Merge,
+            ContractRole::Retire { forward_rel, .. } => MigrationRole::Retire { forward_rel },
+        };
+        self.begin_reconfiguration(from, new_epoch, role, expected_signals)
     }
 
     fn begin_reconfiguration(
@@ -423,7 +532,7 @@ impl EpochJoiner {
         from: usize,
         new_epoch: Epoch,
         role: MigrationRole,
-        no_partner_state: bool,
+        expected_signals: usize,
     ) -> SignalOutcome {
         assert!(self.born, "dormant child received a reshuffler signal");
         let mut outcome = SignalOutcome::default();
@@ -437,13 +546,17 @@ impl EpochJoiner {
             self.new_epoch = new_epoch;
             self.role = Some(role);
             self.signals.iter_mut().for_each(|s| *s = false);
-            self.signals_remaining = self.n_reshufflers;
-            // Expansion parents await no µ: mark the (absent) partner done.
-            // For step migrations, leave `partner_done` alone — the
-            // partner's marker may legitimately have arrived already.
-            if no_partner_state {
-                self.partner_done = true;
-            }
+            assert!(
+                expected_signals >= 1 && expected_signals <= self.n_reshufflers,
+                "expected signal count {expected_signals} outside 1..={}",
+                self.n_reshufflers
+            );
+            self.signals_remaining = expected_signals;
+            self.partners_expected = role.partners_expected();
+            assert!(
+                self.partners_done <= self.partners_expected,
+                "more end-of-state markers than this role's senders"
+            );
             outcome.start_migration = true;
         } else {
             assert_eq!(new_epoch, self.new_epoch, "overlapping migrations");
@@ -459,21 +572,40 @@ impl EpochJoiner {
         outcome
     }
 
-    /// The state to ship to the partner when the migration starts: copies
-    /// of all stored tuples of the coarsening relation (Alg. 3 line 3,
-    /// "Send τ for migration"). The tuples stay in `τ` — the exchange keeps
-    /// both halves (Lemma 4.4).
+    /// The state to ship when a migration (or contraction) starts: for a
+    /// step migration, copies of all stored tuples of the coarsening
+    /// relation (Alg. 3 line 3, "Send τ for migration" — the tuples stay
+    /// in `τ`, the exchange keeps both halves, Lemma 4.4); for a
+    /// contraction retiree, all stored tuples of its forward relation
+    /// (empty for the diagonal retiree).
     pub fn migration_snapshot(&self) -> Vec<Tuple> {
-        let Some(MigrationRole::Step(spec)) = self.role else {
-            panic!("migration snapshot requires an active step migration");
+        let rel = match self.role {
+            Some(MigrationRole::Step(spec)) => Some(spec.exchange_rel),
+            Some(MigrationRole::Retire { forward_rel }) => match forward_rel {
+                Some(rel) => Some(rel),
+                None => return Vec::new(),
+            },
+            _ => panic!("migration snapshot requires a step migration or a retiring role"),
         };
         let mut snap = Vec::new();
         self.tau.for_each(&mut |t| {
-            if t.rel == spec.exchange_rel {
+            if Some(t.rel) == rel {
                 snap.push(*t);
             }
         });
         snap
+    }
+
+    /// True while this joiner is a contraction retiree mid-merge.
+    #[inline]
+    pub fn is_retiring(&self) -> bool {
+        self.migrating && matches!(self.role, Some(MigrationRole::Retire { .. }))
+    }
+
+    /// True while this joiner is a contraction survivor mid-merge.
+    #[inline]
+    pub fn is_merging(&self) -> bool {
+        self.migrating && matches!(self.role, Some(MigrationRole::Merge))
     }
 
     /// The state an expansion parent ships to its children when the
@@ -515,11 +647,22 @@ impl EpochJoiner {
         stats
     }
 
-    /// The partner's end-of-state marker arrived: all of `µ` is in.
+    /// An end-of-state marker arrived: one sender's relocated state is
+    /// fully in. A step migration expects one (the exchange partner); a
+    /// contraction survivor expects three (its retirees).
     pub fn on_partner_done(&mut self) {
         assert!(self.born, "expansion children use on_parent_done");
-        assert!(!self.partner_done, "duplicate end-of-state marker");
-        self.partner_done = true;
+        self.partners_done += 1;
+        if self.migrating {
+            assert!(
+                self.partners_done <= self.partners_expected,
+                "more end-of-state markers than this role's senders"
+            );
+        } else {
+            // The sender heard about the reconfiguration first; the
+            // largest legitimate fan-in is a survivor's three retirees.
+            assert!(self.partners_done <= 3, "spurious end-of-state marker");
+        }
     }
 
     /// An expansion child's parent sent its end-of-state marker, carrying
@@ -529,20 +672,22 @@ impl EpochJoiner {
     /// finalisation.
     pub fn on_parent_done(&mut self, epoch: Epoch) {
         assert!(!self.born, "only unborn children receive a parent marker");
-        assert!(!self.partner_done, "duplicate end-of-state marker");
+        assert!(self.partners_done == 0, "duplicate end-of-state marker");
         let birth = *self.birth_epoch.get_or_insert(epoch);
         assert_eq!(epoch, birth, "parent marker disagrees with data epoch");
-        self.partner_done = true;
+        self.partners_done = 1;
     }
 
     /// True when the migration can be finalised: every reshuffler has
-    /// signalled and the partner's state is fully received. An unborn
-    /// expansion child needs only its parent's end-of-state marker.
+    /// signalled and every expected sender's state is fully received. An
+    /// unborn expansion child needs only its parent's end-of-state marker.
     pub fn ready_to_finalize(&self) -> bool {
         if !self.born {
-            return self.partner_done;
+            return self.partners_done > 0;
         }
-        self.migrating && self.signals_remaining == 0 && self.partner_done
+        self.migrating
+            && self.signals_remaining == 0
+            && self.partners_done == self.partners_expected
     }
 
     /// Finalise (Alg. 3 FinalizeMigration): drop discards and merge
@@ -552,6 +697,12 @@ impl EpochJoiner {
     /// For an unborn expansion child this is the **birth**: `τ ← µ ∪ Δ′`
     /// (nothing to discard — the parent only sent covering state), the
     /// child adopts the expansion epoch and becomes a normal joiner.
+    ///
+    /// For a contraction retiree this is the **retirement**: every stored
+    /// tuple is discarded (the survivor holds the merged cell) and the
+    /// joiner goes back to the dormant, unborn state — a later expansion
+    /// re-activates it through the ordinary child-birth path. The epoch
+    /// advances so the retirement ack carries the contraction epoch.
     pub fn finalize(&mut self) -> FinalizeSummary {
         assert!(self.ready_to_finalize(), "finalize called early");
         let mut summary = FinalizeSummary::default();
@@ -569,10 +720,26 @@ impl EpochJoiner {
                 .take()
                 .expect("parent marker always sets the birth epoch");
             self.born = true;
-            self.partner_done = false;
+            self.partners_done = 0;
             return summary;
         }
         let role = self.role.take().expect("migrating implies a role");
+        if let MigrationRole::Retire { .. } = role {
+            // Retirement: nothing survives locally. Δ′ and µ must be
+            // empty — no reshuffler routes new-epoch data to a retiree
+            // and nobody relocates state into one.
+            assert_eq!(self.delta_prime.len(), 0, "retiree accumulated Δ′");
+            assert_eq!(self.mu.len(), 0, "retiree received relocated state");
+            summary.discarded = (self.tau.len() + self.delta.len()) as u64;
+            self.tau.drain();
+            self.delta.drain();
+            self.epoch = self.new_epoch;
+            self.migrating = false;
+            self.partners_done = 0;
+            self.born = false;
+            self.birth_epoch = None;
+            return summary;
+        }
 
         // Drop discards still sitting in τ.
         let dropped = self.tau.extract(&mut |t| !role.keeps(t));
@@ -599,7 +766,7 @@ impl EpochJoiner {
 
         self.epoch = self.new_epoch;
         self.migrating = false;
-        self.partner_done = false;
+        self.partners_done = 0;
         summary
     }
 }
@@ -673,7 +840,7 @@ mod tests {
         let (mut a, _b, plan) = mid_migration_pair();
         assert!(a.stable_for(0));
         assert!(!a.stable_for(1));
-        a.on_signal(0, 1, plan.specs[0]);
+        a.on_signal(0, 1, plan.specs[0], 2);
         assert!(
             !a.stable_for(0),
             "mid-migration batches need per-tuple handling"
@@ -694,11 +861,11 @@ mod tests {
     #[test]
     fn signal_protocol_tracks_start_and_completion() {
         let (mut a, _b, plan) = mid_migration_pair();
-        let s0 = a.on_signal(0, 1, plan.specs[0]);
+        let s0 = a.on_signal(0, 1, plan.specs[0], 2);
         assert!(s0.start_migration);
         assert!(!s0.all_signals);
         assert!(a.is_migrating());
-        let s1 = a.on_signal(1, 1, plan.specs[0]);
+        let s1 = a.on_signal(1, 1, plan.specs[0], 2);
         assert!(!s1.start_migration);
         assert!(s1.all_signals);
         assert!(!a.ready_to_finalize());
@@ -718,7 +885,7 @@ mod tests {
         let s_old = Tuple::new(Rel::S, 1, 7, 0); // refine_bit(0, 1) == 0
         a.on_data(0, s_old, &mut collect_pairs(&mut pairs));
         // Migration starts.
-        a.on_signal(0, 1, plan.specs[0]);
+        a.on_signal(0, 1, plan.specs[0], 2);
         // Old-epoch R tuple arrives: joins τ∪Δ (the S tuple), forwarded.
         let r_old = Tuple::new(Rel::R, 2, 7, 0);
         let outcome = a.on_data(0, r_old, &mut collect_pairs(&mut pairs));
@@ -740,7 +907,7 @@ mod tests {
         let s_drop = Tuple::new(Rel::S, 2, 7, 1 << 63); // refine_bit = 1
         a.on_data(0, s_keep, &mut collect_pairs(&mut pairs));
         a.on_data(0, s_drop, &mut collect_pairs(&mut pairs));
-        a.on_signal(0, 1, spec);
+        a.on_signal(0, 1, spec, 2);
         // New-epoch R tuple: joins µ ∪ Δ′ (empty) and Keep(τ∪Δ) = {s_keep}.
         let r_new = Tuple::new(Rel::R, 3, 7, 0);
         a.on_data(1, r_new, &mut collect_pairs(&mut pairs));
@@ -751,7 +918,7 @@ mod tests {
     fn migration_tuples_join_delta_prime_only() {
         let (mut a, _b, plan) = mid_migration_pair();
         let mut pairs = Vec::new();
-        a.on_signal(0, 1, plan.specs[0]);
+        a.on_signal(0, 1, plan.specs[0], 2);
         // Δ′ gets an S tuple.
         let s_new = Tuple::new(Rel::S, 1, 9, 0);
         a.on_data(1, s_new, &mut collect_pairs(&mut pairs));
@@ -777,8 +944,8 @@ mod tests {
         assert_eq!(a.set_sizes(), [0, 0, 0, 1]);
         a.on_partner_done();
         // Now the signals arrive and the migration completes.
-        a.on_signal(0, 1, plan.specs[0]);
-        a.on_signal(1, 1, plan.specs[0]);
+        a.on_signal(0, 1, plan.specs[0], 2);
+        a.on_signal(1, 1, plan.specs[0], 2);
         assert!(a.ready_to_finalize());
         let summary = a.finalize();
         assert_eq!(summary.merged, 1);
@@ -797,13 +964,13 @@ mod tests {
         let s_drop = Tuple::new(Rel::S, 2, 7, 1 << 63);
         a.on_data(0, s_keep, &mut collect_pairs(&mut sink));
         a.on_data(0, s_drop, &mut collect_pairs(&mut sink));
-        a.on_signal(0, 1, spec);
+        a.on_signal(0, 1, spec, 2);
         // Old-epoch S arrivals during migration, one of each class.
         let s_keep2 = Tuple::new(Rel::S, 3, 7, 1); // bit 0
         let s_drop2 = Tuple::new(Rel::S, 4, 7, (1 << 63) | 1); // bit 1
         a.on_data(0, s_keep2, &mut collect_pairs(&mut sink));
         a.on_data(0, s_drop2, &mut collect_pairs(&mut sink));
-        a.on_signal(1, 1, spec);
+        a.on_signal(1, 1, spec, 2);
         a.on_partner_done();
         let summary = a.finalize();
         assert_eq!(summary.discarded, 2);
@@ -815,8 +982,8 @@ mod tests {
     #[should_panic(expected = "old-epoch tuple after all reshuffler signals")]
     fn old_epoch_after_all_signals_is_a_protocol_violation() {
         let (mut a, _b, plan) = mid_migration_pair();
-        a.on_signal(0, 1, plan.specs[0]);
-        a.on_signal(1, 1, plan.specs[0]);
+        a.on_signal(0, 1, plan.specs[0], 2);
+        a.on_signal(1, 1, plan.specs[0], 2);
         let mut sink = |_: &Tuple, _: &Tuple| {};
         a.on_data(0, Tuple::new(Rel::R, 1, 1, 0), &mut sink);
     }
@@ -825,8 +992,8 @@ mod tests {
     #[should_panic(expected = "duplicate signal")]
     fn duplicate_signals_panic() {
         let (mut a, _b, plan) = mid_migration_pair();
-        a.on_signal(0, 1, plan.specs[0]);
-        a.on_signal(0, 1, plan.specs[0]);
+        a.on_signal(0, 1, plan.specs[0], 2);
+        a.on_signal(0, 1, plan.specs[0], 2);
     }
 
     fn expand_spec_1x1() -> ExpandSpec {
@@ -852,7 +1019,7 @@ mod tests {
         p.on_data(0, s_move, &mut collect_pairs(&mut pairs));
         assert_eq!(pairs, vec![(1, 2)]);
         let spec = expand_spec_1x1();
-        let so = p.on_expand_signal(0, 1, spec);
+        let so = p.on_expand_signal(0, 1, spec, 2);
         assert!(so.start_migration && !so.all_signals);
         assert_eq!(p.expansion_snapshot().len(), 2, "both relations ship");
         // Old-epoch R with row-bit 1: joins τ∪Δ, forwarded to two children,
@@ -868,7 +1035,7 @@ mod tests {
         let s_new = Tuple::new(Rel::S, 4, 7, 0);
         p.on_data(1, s_new, &mut collect_pairs(&mut pairs));
         assert_eq!(pairs, vec![(1, 2), (3, 2), (1, 4)]);
-        let so = p.on_expand_signal(1, 1, spec);
+        let so = p.on_expand_signal(1, 1, spec, 2);
         assert!(so.all_signals);
         // Parents await no partner state: ready right after the signals.
         assert!(p.ready_to_finalize());
@@ -927,6 +1094,132 @@ mod tests {
     }
 
     #[test]
+    fn contraction_survivor_merges_and_awaits_three_markers() {
+        let mut s = make_joiner(2);
+        let mut pairs = Vec::new();
+        // Pre-contraction state: one R tuple in τ.
+        let r_old = Tuple::new(Rel::R, 1, 5, 0);
+        s.on_data(0, r_old, &mut collect_pairs(&mut pairs));
+        // One retiree's state arrives before any signal (it heard first).
+        let s_mu = Tuple::new(Rel::S, 2, 5, u64::MAX);
+        s.on_migration_tuple(s_mu, &mut collect_pairs(&mut pairs));
+        s.on_partner_done();
+        let so = s.on_contract_signal(0, 1, ContractRole::Survive, 2);
+        assert!(so.start_migration && !so.all_signals);
+        assert!(s.is_merging());
+        // Old-epoch data still joins τ∪Δ — and Δ′ too, since a survivor
+        // keeps everything.
+        let s_old = Tuple::new(Rel::S, 3, 5, 0);
+        let o = s.on_data(0, s_old, &mut collect_pairs(&mut pairs));
+        assert!(!o.forward_to_partner, "survivors forward nothing");
+        // New-epoch data joins µ ∪ Δ′ and Keep(τ∪Δ) = all of τ∪Δ.
+        let r_new = Tuple::new(Rel::R, 4, 5, 0);
+        s.on_data(1, r_new, &mut collect_pairs(&mut pairs));
+        let so = s.on_contract_signal(1, 1, ContractRole::Survive, 2);
+        assert!(so.all_signals);
+        assert!(!s.ready_to_finalize(), "two retiree markers still missing");
+        s.on_partner_done();
+        assert!(!s.ready_to_finalize());
+        s.on_partner_done();
+        assert!(s.ready_to_finalize());
+        let summary = s.finalize();
+        assert_eq!(summary.discarded, 0, "survivors keep everything");
+        assert_eq!(summary.merged, 3, "s_old (Δ), s_mu (µ), r_new (Δ′)");
+        assert_eq!(s.epoch(), 1);
+        assert_eq!(s.stored_tuples(), 4);
+        // (1,3): r_old ⋈ s_old; (4,2): r_new ⋈ µ; (4,3): r_new ⋈ Keep(Δ).
+        // Note (1,2) is absent: µ probes only Δ′ — the r_old ⋈ s_mu pair
+        // is the retiree's to emit (r_old's replica lives there too).
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(1, 3), (4, 2), (4, 3)]);
+    }
+
+    #[test]
+    fn contraction_retiree_forwards_ships_and_goes_dormant() {
+        let mut r = make_joiner(2);
+        let mut pairs = Vec::new();
+        // τ: one tuple of each relation; this retiree forwards only S.
+        let r_old = Tuple::new(Rel::R, 1, 7, 0);
+        let s_old = Tuple::new(Rel::S, 2, 7, 0);
+        r.on_data(0, r_old, &mut collect_pairs(&mut pairs));
+        r.on_data(0, s_old, &mut collect_pairs(&mut pairs));
+        assert_eq!(pairs, vec![(1, 2)]);
+        let role = ContractRole::Retire {
+            survivor: 0,
+            forward_rel: Some(Rel::S),
+        };
+        let so = r.on_contract_signal(0, 1, role, 2);
+        assert!(so.start_migration);
+        assert!(r.is_retiring());
+        let snap = r.migration_snapshot();
+        assert_eq!(snap.len(), 1, "only the forward relation ships");
+        assert_eq!(snap[0].rel, Rel::S);
+        // Old-epoch Δ arrivals keep joining τ∪Δ; only S is forwarded.
+        let s_delta = Tuple::new(Rel::S, 3, 7, 1);
+        let o = r.on_data(0, s_delta, &mut collect_pairs(&mut pairs));
+        assert!(o.forward_to_partner, "Δ tuple of the forward relation");
+        let r_delta = Tuple::new(Rel::R, 4, 7, 1);
+        let o = r.on_data(0, r_delta, &mut collect_pairs(&mut pairs));
+        assert!(!o.forward_to_partner, "the other relation stays");
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(1, 2), (1, 3), (4, 2), (4, 3)]);
+        let so = r.on_contract_signal(1, 1, role, 2);
+        assert!(so.all_signals);
+        assert!(r.ready_to_finalize(), "retirees await no markers");
+        let summary = r.finalize();
+        assert_eq!(summary.merged, 0);
+        assert_eq!(summary.discarded, 4, "everything is dropped locally");
+        assert_eq!(r.stored_tuples(), 0);
+        assert!(!r.is_born(), "retiree is dormant again");
+        assert_eq!(r.epoch(), 1, "the ack carries the contraction epoch");
+        // Rebirth through the ordinary expansion-child path.
+        let s_new = Tuple::new(Rel::S, 5, 9, 0);
+        r.on_data(4, s_new, &mut collect_pairs(&mut pairs));
+        r.on_parent_done(4);
+        r.finalize();
+        assert!(r.is_born());
+        assert_eq!(r.epoch(), 4);
+        assert_eq!(r.stored_tuples(), 1);
+    }
+
+    #[test]
+    fn diagonal_retiree_ships_nothing() {
+        let mut r = make_joiner(2);
+        let mut sink = |_: &Tuple, _: &Tuple| {};
+        r.on_data(0, Tuple::new(Rel::R, 1, 1, 0), &mut sink);
+        r.on_data(0, Tuple::new(Rel::S, 2, 1, 0), &mut sink);
+        let role = ContractRole::Retire {
+            survivor: 0,
+            forward_rel: None,
+        };
+        r.on_contract_signal(0, 1, role, 2);
+        assert!(r.migration_snapshot().is_empty());
+        let o = r.on_data(0, Tuple::new(Rel::S, 3, 1, 1), &mut sink);
+        assert!(!o.forward_to_partner);
+        r.on_contract_signal(1, 1, role, 2);
+        assert!(r.ready_to_finalize());
+        r.finalize();
+        assert!(!r.is_born());
+    }
+
+    #[test]
+    #[should_panic(expected = "retiring joiner received new-epoch data")]
+    fn retiree_rejects_new_epoch_data() {
+        let mut r = make_joiner(2);
+        let mut sink = |_: &Tuple, _: &Tuple| {};
+        r.on_contract_signal(
+            0,
+            1,
+            ContractRole::Retire {
+                survivor: 0,
+                forward_rel: Some(Rel::R),
+            },
+            2,
+        );
+        r.on_data(1, Tuple::new(Rel::R, 1, 1, 0), &mut sink);
+    }
+
+    #[test]
     fn snapshot_contains_only_exchange_relation() {
         let (mut a, _b, plan) = mid_migration_pair();
         let mut sink = |_: &Tuple, _: &Tuple| {};
@@ -935,7 +1228,7 @@ mod tests {
             let rel = if i % 2 == 0 { Rel::R } else { Rel::S };
             a.on_data(0, Tuple::new(rel, i, i as i64, gen.next()), &mut sink);
         }
-        a.on_signal(0, 1, plan.specs[0]);
+        a.on_signal(0, 1, plan.specs[0], 2);
         let snap = a.migration_snapshot();
         assert_eq!(snap.len(), 5);
         assert!(snap.iter().all(|t| t.rel == Rel::R));

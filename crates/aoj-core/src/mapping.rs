@@ -202,6 +202,14 @@ impl GridAssignment {
         self.machine[(row * self.mapping.m + col) as usize] as usize
     }
 
+    /// The machines currently holding a grid cell — the **active** set.
+    /// After elastic contractions this is no longer a contiguous prefix
+    /// of the provisioned machine indices, so callers that used to
+    /// iterate `0..j` must iterate this instead. Row-major cell order.
+    pub fn machines(&self) -> impl Iterator<Item = usize> + '_ {
+        self.machine.iter().map(|&k| k as usize)
+    }
+
     /// Machines holding R partition `row` (the whole grid row).
     pub fn machines_for_row(&self, row: u32) -> impl Iterator<Item = usize> + '_ {
         (0..self.mapping.m).map(move |c| self.machine_at(row, c))
@@ -241,16 +249,23 @@ impl GridAssignment {
         }
     }
 
-    /// Apply a migration step, relabelling every machine in place.
+    /// Apply a migration step, relabelling every **active** machine in
+    /// place. Machines outside the grid — retired by an elastic
+    /// contraction — keep their stale `pos` entries untouched (they are
+    /// resynchronised wholesale when an expansion reactivates them);
+    /// relabelling them here would write their stale positions into (or
+    /// past) the new grid.
     pub fn apply_step(&mut self, step: Step) {
-        let new_mapping = step
-            .apply(self.mapping)
-            .expect("mapping cannot shrink below 1");
+        let old = self.mapping;
+        let new_mapping = step.apply(old).expect("mapping cannot shrink below 1");
         let mut machine = vec![0u32; new_mapping.j() as usize];
-        for (k, p) in self.pos.iter_mut().enumerate() {
-            let np = Self::relabel(*p, step);
-            *p = np;
-            machine[(np.row * new_mapping.m + np.col) as usize] = k as u32;
+        for r in 0..old.n {
+            for c in 0..old.m {
+                let k = self.machine_at(r, c);
+                let np = Self::relabel(GridPos { row: r, col: c }, step);
+                self.pos[k] = np;
+                machine[(np.row * new_mapping.m + np.col) as usize] = k as u32;
+            }
         }
         self.mapping = new_mapping;
         self.machine = machine;
@@ -265,50 +280,106 @@ impl GridAssignment {
     /// `(0,1)`, `(1,0)`, `(1,1)` respectively.
     pub fn apply_expansion(&mut self) {
         let old_j = self.j() as usize;
-        let new_mapping = Mapping::new(self.mapping.n * 2, self.mapping.m * 2);
-        let mut pos = self.pos.clone();
-        pos.resize(old_j * 4, GridPos { row: 0, col: 0 });
-        let mut machine = vec![0u32; new_mapping.j() as usize];
-        for k in 0..old_j {
-            let p = self.pos[k];
-            let children = [
+        let children: Vec<usize> = (old_j..4 * old_j).collect();
+        self.apply_expansion_with(&children);
+    }
+
+    /// Apply a ×4 expansion with an explicit child machine allocation:
+    /// `children` holds `3 · J` machine indices, and the parent occupying
+    /// the `g`-th grid cell (row-major) hands cells `(0,1)`, `(1,0)`,
+    /// `(1,1)` of its quadrant to `children[3g]`, `children[3g+1]`,
+    /// `children[3g+2]`. This is how elastic re-expansion reuses machines
+    /// retired by an earlier contraction (the dormant pool) instead of
+    /// always growing the index space.
+    pub fn apply_expansion_with(&mut self, children: &[usize]) {
+        // Single source of truth: the same plan the reshufflers route
+        // and signal by also drives the grid relabelling, so the two
+        // cannot drift apart.
+        let plan = crate::elastic::plan_expansion_with(self, children);
+        let to = plan.to;
+        let top = children
+            .iter()
+            .copied()
+            .chain(self.machines())
+            .max()
+            .expect("non-empty grid");
+        if self.pos.len() <= top {
+            self.pos.resize(top + 1, GridPos { row: 0, col: 0 });
+        }
+        let mut machine = vec![0u32; to.j() as usize];
+        for spec in &plan.specs {
+            let p = spec.old_pos;
+            // Child cell order is ExpandSpec's contract: the parent
+            // stays at (0,0) of its quadrant, children fill (0,1),
+            // (1,0), (1,1).
+            let cells = [
                 (
-                    k,
+                    spec.machine,
                     GridPos {
                         row: 2 * p.row,
                         col: 2 * p.col,
                     },
                 ),
                 (
-                    old_j + 3 * k,
+                    spec.children[0],
                     GridPos {
                         row: 2 * p.row,
                         col: 2 * p.col + 1,
                     },
                 ),
                 (
-                    old_j + 3 * k + 1,
+                    spec.children[1],
                     GridPos {
                         row: 2 * p.row + 1,
                         col: 2 * p.col,
                     },
                 ),
                 (
-                    old_j + 3 * k + 2,
+                    spec.children[2],
                     GridPos {
                         row: 2 * p.row + 1,
                         col: 2 * p.col + 1,
                     },
                 ),
             ];
-            for (idx, cp) in children {
-                pos[idx] = cp;
-                machine[(cp.row * new_mapping.m + cp.col) as usize] = idx as u32;
+            for (idx, cp) in cells {
+                self.pos[idx] = cp;
+                machine[(cp.row * to.m + cp.col) as usize] = idx as u32;
             }
         }
-        self.mapping = new_mapping;
-        self.pos = pos;
+        self.mapping = to;
         self.machine = machine;
+    }
+
+    /// Apply an elastic 4→1 **contraction** (the reverse of
+    /// [`apply_expansion`](GridAssignment::apply_expansion)): the mapping
+    /// becomes `(n/2, m/2)` and each aligned 2×2 cell group merges into
+    /// one survivor — the **lowest-indexed** machine of the group, so
+    /// machine 0 (the controller's machine) can never retire. Returns the
+    /// retired machine indices, sorted ascending; their `pos` entries go
+    /// stale until a later expansion reactivates them.
+    pub fn apply_contraction(&mut self) -> Vec<usize> {
+        // Single source of truth: the plan the reshufflers signal by
+        // (survivor choice, retiree roles) also drives the relabelling.
+        let plan = crate::elastic::plan_contraction(self);
+        let to = plan.to;
+        let mut machine = vec![0u32; to.j() as usize];
+        // `specs` lists groups in row-major order of the contracted
+        // grid, survivor first within each group (the documented
+        // `ContractionPlan` layout).
+        for (g, group) in plan.specs.chunks(4).enumerate() {
+            let survivor = group[0].machine;
+            debug_assert_eq!(group[0].role, crate::elastic::ContractRole::Survive);
+            let p = GridPos {
+                row: g as u32 / to.m,
+                col: g as u32 % to.m,
+            };
+            self.pos[survivor] = p;
+            machine[g] = survivor as u32;
+        }
+        self.mapping = to;
+        self.machine = machine;
+        plan.retired
     }
 }
 
@@ -461,6 +532,99 @@ mod tests {
                 seen[k] = true;
             }
         }
+    }
+
+    #[test]
+    fn contraction_reverses_expansion() {
+        let mut a = GridAssignment::initial(Mapping::new(2, 2));
+        let before = a.clone();
+        a.apply_expansion();
+        let retired = a.apply_contraction();
+        assert_eq!(a.mapping(), Mapping::new(2, 2));
+        // Parents sit at (even, even) and are the minimum of their group,
+        // so the original four machines survive at their original cells.
+        for k in 0..4 {
+            assert_eq!(a.pos_of(k), before.pos_of(k));
+        }
+        assert_eq!(retired, (4..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn contraction_survivor_is_group_minimum_after_migrations() {
+        // Expand (2,2) -> (4,4), then migrate (4,4) -> (2,8): the group
+        // members are scrambled, but the survivor of every group must be
+        // its lowest machine index — and machine 0 must always survive.
+        let mut a = GridAssignment::initial(Mapping::new(2, 2));
+        a.apply_expansion();
+        a.apply_step(Step::HalveRows);
+        let pre = a.clone();
+        let retired = a.apply_contraction();
+        assert_eq!(a.mapping(), Mapping::new(1, 4));
+        assert_eq!(retired.len(), 12);
+        assert!(!retired.contains(&0), "machine 0 can never retire");
+        let mut seen = Vec::new();
+        for c in 0..4 {
+            let s = a.machine_at(0, c);
+            // The survivor owned one of the group's four old cells.
+            let p = pre.pos_of(s);
+            assert_eq!(p.col / 2, c);
+            assert!(!retired.contains(&s));
+            seen.push(s);
+        }
+        let mut all: Vec<usize> = seen.iter().copied().chain(retired).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..16).collect::<Vec<_>>(), "partition of machines");
+    }
+
+    #[test]
+    fn expansion_with_pool_children_reuses_retired_indices() {
+        let mut a = GridAssignment::initial(Mapping::new(1, 1));
+        a.apply_expansion(); // children 1, 2, 3
+        let retired = a.apply_contraction();
+        assert_eq!(retired, vec![1, 2, 3]);
+        // Re-expand into the retired pool: no fresh indices needed.
+        a.apply_expansion_with(&retired);
+        assert_eq!(a.mapping(), Mapping::new(2, 2));
+        let mut active: Vec<usize> = a.machines().collect();
+        active.sort_unstable();
+        assert_eq!(active, vec![0, 1, 2, 3]);
+        for k in 0..4 {
+            let p = a.pos_of(k);
+            assert_eq!(a.machine_at(p.row, p.col), k);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "contraction needs both grid axes")]
+    fn contraction_requires_even_axes() {
+        let mut a = GridAssignment::initial(Mapping::new(4, 1));
+        a.apply_contraction();
+    }
+
+    #[test]
+    fn migration_steps_after_contraction_ignore_stale_retired_positions() {
+        // Regression: expand (2,2)→(4,4), contract back, then migrate.
+        // apply_step must relabel only the active machines — the twelve
+        // retired machines' stale (4,4)-grid positions must neither
+        // index past the new 4-cell grid nor overwrite live cells.
+        let mut a = GridAssignment::initial(Mapping::new(2, 2));
+        a.apply_expansion();
+        let retired = a.apply_contraction();
+        a.apply_step(Step::HalveRows);
+        assert_eq!(a.mapping(), Mapping::new(1, 4));
+        let mut seen = Vec::new();
+        for c in 0..4 {
+            let k = a.machine_at(0, c);
+            assert!(!retired.contains(&k), "retired machine re-entered grid");
+            assert_eq!(a.pos_of(k), GridPos { row: 0, col: c });
+            seen.push(k);
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 4, "active machines must stay a bijection");
+        // And the grid keeps working through the reverse step too.
+        a.apply_step(Step::HalveCols);
+        assert_eq!(a.mapping(), Mapping::new(2, 2));
     }
 
     #[test]

@@ -153,7 +153,12 @@ impl Cluster {
                 new_epoch,
             } => {
                 let spec = self.plan.as_ref().expect("signal without plan").specs[dst];
-                let so = self.joiners[dst].on_signal(from_reshuffler, new_epoch, spec);
+                let so = self.joiners[dst].on_signal(
+                    from_reshuffler,
+                    new_epoch,
+                    spec,
+                    self.n_reshufflers,
+                );
                 if so.start_migration {
                     for t in self.joiners[dst].migration_snapshot() {
                         self.channels[r_joiner_base + dst][spec.partner]

@@ -27,7 +27,7 @@ use crate::batch::{BatchConfig, DataCoalescer};
 use crate::elastic_runtime::{provisioned_joiners, ElasticConfig};
 use crate::joiner_task::{JoinerTask, LatencyStats};
 use crate::messages::OpMsg;
-use crate::report::{ExpandTransfer, RunReport};
+use crate::report::{ContractTransfer, ExpandTransfer, RunReport};
 use crate::reshuffler::{
     ControlEvent, ControllerState, ProgressRecorder, ProgressSample, ReshufflerTask,
 };
@@ -116,10 +116,14 @@ pub struct RunConfig {
     /// [`RunReport::match_pairs`] — for cross-backend equivalence tests;
     /// costs memory proportional to the output size.
     pub collect_matches: bool,
-    /// Live elasticity (§4.2.2): start with `j` joiners and expand ×4 at
-    /// migration checkpoints where every active joiner stores more than
-    /// `capacity_bytes / 2`. `j · 4^max_expansions` machines are
-    /// provisioned up front (dormant until activated). Dynamic only.
+    /// Live elasticity (§4.2.2): start with `j` provisioned joiners,
+    /// expand ×4 at migration checkpoints where every active joiner
+    /// stores more than `capacity_bytes / 2`, and (when armed via
+    /// [`ElasticConfig::with_contraction`]) merge 4→1 at checkpoints
+    /// where every active joiner sits below the low-water mark.
+    /// `j · 4^max_expansions` machine *slots* are registered, but worker
+    /// shards are acquired at trigger time and handed back at
+    /// contraction (trigger-time provisioning). Dynamic only.
     pub elastic: Option<ElasticConfig>,
 }
 
@@ -277,15 +281,27 @@ fn progress_samples<B: ExecBackend<OpMsg>>(backend: &B) -> Vec<ProgressSample> {
         .collect()
 }
 
-/// Build `total + 1` machines: one per (possibly dormant) joiner pair,
-/// plus the source machine whose egress models `J` parallel upstream
-/// feeds.
+/// Build `total + 1` machine slots: one per (possibly dormant) joiner
+/// pair, plus the source machine whose egress models `J` parallel
+/// upstream feeds. Only the first `eager` joiner machines are provisioned
+/// up front; the rest are deferred slots whose execution resources —
+/// worker threads on the threaded backend — are acquired at expansion
+/// trigger time (trigger-time provisioning).
 fn add_machines<B: ExecBackend<OpMsg>>(
     backend: &mut B,
     cfg: &RunConfig,
     total: usize,
+    eager: usize,
 ) -> Vec<aoj_simnet::MachineId> {
-    let mut machines: Vec<_> = (0..total).map(|_| backend.add_machine()).collect();
+    let mut machines: Vec<_> = (0..total)
+        .map(|i| {
+            if i < eager {
+                backend.add_machine()
+            } else {
+                backend.add_deferred_machine()
+            }
+        })
+        .collect();
     // The source stands in for J parallel upstream feeds (previous query
     // stages), not a single NIC: scale its egress accordingly so the
     // operator, not the feed, is the bottleneck. (The threaded backend
@@ -311,6 +327,12 @@ fn run_grid<B: ExecBackend<OpMsg>>(
         cfg.elastic.is_none() || cfg.kind == OperatorKind::Dynamic,
         "elasticity requires the Dynamic operator (the controller owns the trigger)"
     );
+    assert!(
+        cfg.elastic.is_none() || !cfg.blocking_migrations,
+        "elasticity requires non-blocking migrations: the blocking ablation's \
+         MigrationComplete broadcast cannot reach machines that a contraction \
+         deactivates mid-flight"
+    );
     let initial = match cfg.kind {
         OperatorKind::Dynamic | OperatorKind::StaticMid => Mapping::square(cfg.j),
         OperatorKind::StaticOpt => {
@@ -323,16 +345,16 @@ fn run_grid<B: ExecBackend<OpMsg>>(
 
     backend.metrics_mut().sample_spacing = sample_every(cfg, arrivals.len());
     let j = cfg.j as usize;
-    // Elastic runs provision the fully expanded cluster up front: the
-    // first `j` machines are active, the rest dormant (idle joiners
-    // awaiting birth; their reshufflers participate in the control plane
-    // from the start but receive no ingest until an expansion activates
-    // them).
+    // Elastic runs register the bounded machine-slot space
+    // (`J₀ · 4^max_expansions` ids — cheap task objects and mailbox
+    // stubs) but **provision** only the initial `j` machines: worker
+    // shards for the rest are acquired at expansion trigger time and
+    // handed back at contraction (trigger-time provisioning).
     let total = cfg
         .elastic
         .map(|e| provisioned_joiners(cfg.j, e.max_expansions) as usize)
         .unwrap_or(j);
-    let machines = add_machines(backend, cfg, total);
+    let machines = add_machines(backend, cfg, total, j);
     let reshuffler_ids: Vec<TaskId> = (0..total).map(TaskId).collect();
     let joiner_ids: Vec<TaskId> = (total..2 * total).map(TaskId).collect();
     let source_id = TaskId(2 * total);
@@ -366,9 +388,13 @@ fn run_grid<B: ExecBackend<OpMsg>>(
             stalled: false,
             stall_buffer: Vec::new(),
             routed: 0,
-            // Slots cover the fully provisioned joiner set so elastic
+            // Slots cover the full machine-slot space so elastic
             // expansions route into existing buffers.
             batch: DataCoalescer::new(cfg.batch_config(), total),
+            deactivated: false,
+            // Machines 0..j are live; expansions allocate dormant-pool
+            // slots first, fresh slots after.
+            layout: aoj_core::elastic::ElasticLayout::new(j),
         };
         let id = backend.add_task(machines[i], Box::new(task));
         debug_assert_eq!(id, reshuffler_ids[i]);
@@ -399,7 +425,7 @@ fn run_grid<B: ExecBackend<OpMsg>>(
         cfg.window_copies,
         cfg.batch_tuples,
     );
-    src.active = j;
+    src.active.truncate(j);
     let id = backend.add_task(machines[total], Box::new(src));
     debug_assert_eq!(id, source_id);
     backend.start_timer_at(SimTime::ZERO, source_id, SourceTask::TICK);
@@ -424,6 +450,7 @@ fn run_grid<B: ExecBackend<OpMsg>>(
     let mut migration_bytes = 0u64;
     let mut match_pairs: Vec<(u64, u64)> = Vec::new();
     let mut expand_transfers: Vec<ExpandTransfer> = Vec::new();
+    let mut contract_transfers: Vec<ContractTransfer> = Vec::new();
     for &jid in &joiner_ids {
         let jt = backend.task_ref::<JoinerTask>(jid);
         matches += jt.matches;
@@ -435,6 +462,13 @@ fn run_grid<B: ExecBackend<OpMsg>>(
                 joiner: jt.index,
                 stored_tuples: jt.expand_stored_tuples,
                 sent_tuples: jt.expand_sent_tuples,
+            });
+        }
+        if jt.retirements > 0 {
+            contract_transfers.push(ContractTransfer {
+                joiner: jt.index,
+                stored_tuples: jt.contract_stored_tuples,
+                sent_tuples: jt.contract_sent_tuples,
             });
         }
     }
@@ -467,6 +501,12 @@ fn run_grid<B: ExecBackend<OpMsg>>(
         .iter()
         .filter(|e| matches!(e, ControlEvent::ExpandComplete { .. }))
         .count() as u64;
+    let contractions = events
+        .iter()
+        .filter(|e| matches!(e, ControlEvent::ContractComplete { .. }))
+        .count() as u64;
+    let provisioned_machines = backend.provisioned_machines() as u64;
+    let peak_provisioned_machines = backend.peak_provisioned_machines() as u64;
 
     let metrics = backend.metrics();
     let total_storage: u64 = metrics.total_stored_bytes();
@@ -477,6 +517,11 @@ fn run_grid<B: ExecBackend<OpMsg>>(
         .map(|m| m.spilled_bytes)
         .max()
         .unwrap_or(0);
+    // Per-joiner-machine stored bytes at quiescence (index = machine):
+    // retired machines must read zero here.
+    let stored_bytes_by_machine: Vec<u64> = (0..total)
+        .map(|i| metrics.stored_bytes_of(aoj_simnet::MachineId(i)))
+        .collect();
 
     let competitive = competitive_trace(cfg.j, arrivals, &events, &routing_samples, initial);
 
@@ -497,7 +542,12 @@ fn run_grid<B: ExecBackend<OpMsg>>(
         migration_bytes,
         migrations,
         expansions,
+        contractions,
         expand_transfers,
+        contract_transfers,
+        provisioned_machines,
+        peak_provisioned_machines,
+        stored_bytes_by_machine,
         max_spilled_bytes: max_spilled,
         avg_latency_us: latency.avg_us(),
         p50_latency_us: latency.percentile_us(0.50),
@@ -519,7 +569,7 @@ fn run_shj<B: ExecBackend<OpMsg>>(
 ) -> RunReport {
     backend.metrics_mut().sample_spacing = sample_every(cfg, arrivals.len());
     let j = cfg.j as usize;
-    let machines = add_machines(backend, cfg, j);
+    let machines = add_machines(backend, cfg, j, j);
     let reshuffler_ids: Vec<TaskId> = (0..j).map(TaskId).collect();
     let joiner_ids: Vec<TaskId> = (j..2 * j).map(TaskId).collect();
 
@@ -603,7 +653,12 @@ fn run_shj<B: ExecBackend<OpMsg>>(
         migration_bytes: 0,
         migrations: 0,
         expansions: 0,
+        contractions: 0,
         expand_transfers: Vec::new(),
+        contract_transfers: Vec::new(),
+        provisioned_machines: backend.provisioned_machines() as u64,
+        peak_provisioned_machines: backend.peak_provisioned_machines() as u64,
+        stored_bytes_by_machine: Vec::new(),
         max_spilled_bytes: max_spilled,
         avg_latency_us: latency.avg_us(),
         p50_latency_us: latency.percentile_us(0.50),
@@ -633,10 +688,12 @@ fn competitive_trace(
     // The ILF/ILF* trace is defined against a fixed J; once an elastic
     // expansion changes the cluster size mid-run the fixed-J reference
     // is meaningless, so report no trace rather than a wrong one.
-    if events
-        .iter()
-        .any(|e| matches!(e, ControlEvent::Expand { .. }))
-    {
+    if events.iter().any(|e| {
+        matches!(
+            e,
+            ControlEvent::Expand { .. } | ControlEvent::Contract { .. }
+        )
+    }) {
         return Vec::new();
     }
     // Prefix counts of R/S at each seq.

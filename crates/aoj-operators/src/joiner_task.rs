@@ -142,6 +142,16 @@ pub struct JoinerTask {
     /// Expansion-parent accounting: state copies shipped to children.
     /// Theorem 4.3 bounds this by `2 × expand_stored_tuples`.
     pub expand_sent_tuples: u64,
+    /// Contraction-retiree accounting: tuples of local state classified
+    /// for a merge (τ at retirement plus Δ arrivals during it).
+    pub contract_stored_tuples: u64,
+    /// Contraction-retiree accounting: state copies shipped to the
+    /// survivor — at most `1 × contract_stored_tuples` (each retiring
+    /// tuple is sent at most once, and the diagonal retiree sends none).
+    pub contract_sent_tuples: u64,
+    /// How many times this joiner retired into dormancy (contractions it
+    /// was merged away by).
+    pub retirements: u64,
     /// Outbound state of the in-flight migration or expansion.
     outbox: Option<Outbox>,
     /// Set when the end-of-state marker must be sent after the batch.
@@ -191,6 +201,9 @@ impl JoinerTask {
             migration_bytes_in: 0,
             expand_stored_tuples: 0,
             expand_sent_tuples: 0,
+            contract_stored_tuples: 0,
+            contract_sent_tuples: 0,
+            retirements: 0,
             outbox: None,
             pending_done: false,
             unacked_credits: 0,
@@ -265,6 +278,7 @@ impl JoinerTask {
         if !self.epoch.ready_to_finalize() {
             return SimDuration::ZERO;
         }
+        let retiring = self.epoch.is_retiring();
         let summary = self.epoch.finalize();
         self.outbox = None;
         let epoch = self.epoch.epoch();
@@ -275,6 +289,22 @@ impl JoinerTask {
                 epoch,
             },
         );
+        if retiring {
+            // Going dormant: return every accumulated flow-control credit
+            // now — a retired joiner gets no more data, so credits parked
+            // under the return batching would narrow the source's window
+            // forever.
+            self.retirements += 1;
+            if self.unacked_credits > 0 {
+                ctx.send(
+                    self.source,
+                    OpMsg::ProcessedCopies {
+                        n: self.unacked_credits,
+                    },
+                );
+                self.unacked_credits = 0;
+            }
+        }
         self.refresh_storage_metrics(ctx);
         // Merging moved sets into τ re-indexes those tuples.
         SimDuration::from_micros((summary.merged + summary.discarded) * self.cost.store_us / 4)
@@ -335,6 +365,15 @@ impl Process<OpMsg> for JoinerTask {
                         if matches > 0 {
                             self.latency.record(ctx.now().since(arrived[i]).as_micros());
                         }
+                        if self.epoch.is_retiring() && tag == self.epoch.epoch() {
+                            // A retiree's Δ tuple joins the state being
+                            // merged away: count it against the 1x
+                            // contraction transfer bound.
+                            self.contract_stored_tuples += 1;
+                            if outcome.forward_to_partner {
+                                self.contract_sent_tuples += 1;
+                            }
+                        }
                         if outcome.forward_to_partner {
                             if let Some(Outbox::Step { batch, .. }) = &mut self.outbox {
                                 batch.push(t);
@@ -363,9 +402,15 @@ impl Process<OpMsg> for JoinerTask {
             OpMsg::Signal {
                 from_reshuffler,
                 new_epoch,
+                expected_signals,
                 spec,
             } => {
-                let so = self.epoch.on_signal(from_reshuffler, new_epoch, spec);
+                let so = self.epoch.on_signal(
+                    from_reshuffler,
+                    new_epoch,
+                    spec,
+                    expected_signals as usize,
+                );
                 let mut cost = SimDuration::from_micros(self.cost.control_us);
                 if so.start_migration {
                     let snapshot = self.epoch.migration_snapshot();
@@ -388,11 +433,15 @@ impl Process<OpMsg> for JoinerTask {
             OpMsg::ExpandSignal {
                 from_reshuffler,
                 new_epoch,
+                expected_signals,
                 spec,
             } => {
-                let so = self
-                    .epoch
-                    .on_expand_signal(from_reshuffler, new_epoch, spec);
+                let so = self.epoch.on_expand_signal(
+                    from_reshuffler,
+                    new_epoch,
+                    spec,
+                    expected_signals as usize,
+                );
                 let mut cost = SimDuration::from_micros(self.cost.control_us);
                 if so.start_migration {
                     // Ship the whole of τ, split along both ticket axes
@@ -413,6 +462,52 @@ impl Process<OpMsg> for JoinerTask {
                 if so.all_signals {
                     if let Some(Outbox::Expand(ob)) = &mut self.outbox {
                         ob.finish(ctx, new_epoch);
+                    }
+                }
+                cost + self.maybe_finalize(ctx)
+            }
+            OpMsg::ContractSignal {
+                from_reshuffler,
+                new_epoch,
+                expected_signals,
+                spec,
+            } => {
+                let so = self.epoch.on_contract_signal(
+                    from_reshuffler,
+                    new_epoch,
+                    spec.role,
+                    expected_signals as usize,
+                );
+                let mut cost = SimDuration::from_micros(self.cost.control_us);
+                if so.start_migration {
+                    if let aoj_core::elastic::ContractRole::Retire { survivor, .. } = spec.role {
+                        // A retiree streams its forward relation to the
+                        // survivor through the step-migration plumbing:
+                        // one partner, Migration-class batches, end
+                        // marker FIFO behind the state.
+                        let snapshot = self.epoch.migration_snapshot();
+                        cost += SimDuration::from_micros(
+                            snapshot.len() as u64 * self.cost.store_us / 4,
+                        );
+                        self.contract_stored_tuples += self.epoch.stored_tuples() as u64;
+                        self.contract_sent_tuples += snapshot.len() as u64;
+                        self.outbox = Some(Outbox::Step {
+                            partner: self.joiner_tasks[survivor],
+                            batch: snapshot,
+                        });
+                        self.flush_batch(ctx, false);
+                    }
+                }
+                if so.all_signals {
+                    // Retirees: flush the last state and send the
+                    // end-of-state marker. Survivors have no outbox and
+                    // simply wait for their three markers.
+                    if matches!(
+                        self.outbox,
+                        Some(Outbox::Step { .. }) if self.epoch.is_retiring()
+                    ) {
+                        self.pending_done = true;
+                        self.flush_batch(ctx, true);
                     }
                 }
                 cost + self.maybe_finalize(ctx)

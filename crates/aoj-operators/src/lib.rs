@@ -33,5 +33,5 @@ pub use driver::{run, run_on, BackendChoice, OperatorKind, RunConfig};
 pub use elastic_runtime::ElasticConfig;
 pub use grouped::{run_grouped, GroupedReport};
 pub use messages::OpMsg;
-pub use report::{human_bytes, ExpandTransfer, RunReport};
+pub use report::{human_bytes, ContractTransfer, ExpandTransfer, RunReport};
 pub use source::SourcePacing;

@@ -8,12 +8,12 @@
 //! FIFO with the migrated state, so it travels in the `Migration` class
 //! (which the machine services at twice the data rate, §4.3.2).
 
-use aoj_core::elastic::ExpandSpec;
+use aoj_core::elastic::{ContractSpec, ElasticLayout, ExpandSpec};
 use aoj_core::epoch::Epoch;
-use aoj_core::mapping::Step;
+use aoj_core::mapping::{GridAssignment, Step};
 use aoj_core::migration::MachineStepSpec;
 use aoj_core::tuple::{Rel, Tuple};
-use aoj_simnet::{MsgClass, SimMessage, SimTime};
+use aoj_simnet::{MsgClass, SimMessage, SimTime, TaskId};
 
 /// Per-tuple wire overhead added on top of the payload bytes.
 const TUPLE_HEADER_BYTES: u64 = 16;
@@ -46,6 +46,15 @@ pub enum OpMsg {
     /// the operator (consecutive arrivals, batch-level round-robin).
     IngestBatch {
         /// The tuples, in arrival (sequence) order.
+        items: Vec<IngestItem>,
+    },
+    /// Deactivated reshuffler → source: ingest that arrived after this
+    /// machine's contraction began. A retiring reshuffler no longer
+    /// signals future epoch changes, so anything it routed would travel
+    /// without a signal barrier — instead it routes nothing and bounces
+    /// the batch; the source re-emits it to an active reshuffler.
+    IngestBounced {
+        /// The unrouted tuples, still in arrival order.
         items: Vec<IngestItem>,
     },
     /// Reshuffler → joiner: a coalesced run of routed tuples. The epoch
@@ -89,6 +98,10 @@ pub enum OpMsg {
         from_reshuffler: usize,
         /// The epoch being entered.
         new_epoch: Epoch,
+        /// How many reshufflers were active (routing old-epoch data) at
+        /// the change — the signal count the joiner must collect. No
+        /// longer a run-wide constant under trigger-time provisioning.
+        expected_signals: u32,
         /// The receiving joiner's role in the migration.
         spec: MachineStepSpec,
     },
@@ -108,8 +121,52 @@ pub enum OpMsg {
         from_reshuffler: usize,
         /// The epoch being entered.
         new_epoch: Epoch,
+        /// Active reshuffler count at the change (machines activated by
+        /// this expansion never routed old-epoch data and do not signal).
+        expected_signals: u32,
         /// The receiving parent's split role.
         spec: ExpandSpec,
+    },
+    /// Controller → every **active** reshuffler: the cluster contracts
+    /// 4→1 — apply [`GridAssignment::apply_contraction`] and signal every
+    /// active joiner with its merge role (the reverse of
+    /// [`OpMsg::ExpandChange`]).
+    ///
+    /// [`GridAssignment::apply_contraction`]: aoj_core::mapping::GridAssignment::apply_contraction
+    ContractChange {
+        /// The epoch being entered.
+        new_epoch: Epoch,
+    },
+    /// Reshuffler → joiner: contraction signal (travels behind the
+    /// reshuffler's earlier data, like [`OpMsg::Signal`]). Sent to
+    /// survivors and retirees alike — a retiree needs every signal to
+    /// know its Δ is closed before it sends its end-of-state marker.
+    ContractSignal {
+        /// Index of the signalling reshuffler.
+        from_reshuffler: usize,
+        /// The epoch being entered.
+        new_epoch: Epoch,
+        /// Active reshuffler count at the change.
+        expected_signals: u32,
+        /// The receiving joiner's merge role.
+        spec: ContractSpec,
+    },
+    /// Controller → a machine activated by an expansion: adopt this
+    /// **pre-change** control-plane snapshot wholesale. Under
+    /// trigger-time provisioning a dormant machine receives no broadcast
+    /// traffic, so a freshly provisioned (or pool-reused) reshuffler is
+    /// synced to the state every active reshuffler held just before the
+    /// expansion, then receives the same [`OpMsg::ExpandChange`] — it
+    /// runs the identical handler, and in particular **signals the
+    /// parents** so that on its channels, too, the signal precedes any
+    /// new-epoch data.
+    Activate {
+        /// The epoch the cluster was in before the expansion.
+        epoch: Epoch,
+        /// The pre-expansion grid assignment.
+        assign: GridAssignment,
+        /// The pre-expansion machine-slot layout (dormant pool state).
+        layout: ElasticLayout,
     },
     /// Parent joiner → child joiner: no more expansion state will follow
     /// (travels behind the state batches in the Migration class). Carries
@@ -119,11 +176,21 @@ pub enum OpMsg {
         /// The expansion epoch the child is born into.
         epoch: Epoch,
     },
-    /// Controller → source: the active reshuffler set grew to the first
-    /// `active` reshufflers — start round-robining over all of them.
+    /// Controller → source: the active reshuffler set grew (elastic
+    /// expansion) — replace the round-robin set and scale the
+    /// flow-control window up with it. Carries the explicit task list
+    /// because after contractions the active machines are no longer a
+    /// prefix of the provisioned index space.
     SourceGrow {
-        /// New number of active reshufflers.
-        active: usize,
+        /// The new active reshufflers, in machine-index order.
+        reshufflers: Vec<TaskId>,
+    },
+    /// Controller → source: the active reshuffler set shrank (elastic
+    /// contraction) — stop feeding retiring machines and scale the
+    /// flow-control window down with the survivor count.
+    SourceShrink {
+        /// The surviving reshufflers, in machine-index order.
+        reshufflers: Vec<TaskId>,
     },
     /// Joiner → partner joiner: a batch of exchanged state.
     MigBatch {
@@ -160,7 +227,7 @@ pub enum OpMsg {
 impl SimMessage for OpMsg {
     fn bytes(&self) -> u64 {
         match self {
-            OpMsg::IngestBatch { items } => items
+            OpMsg::IngestBatch { items } | OpMsg::IngestBounced { items } => items
                 .iter()
                 .map(|it| it.bytes as u64 + TUPLE_HEADER_BYTES)
                 .sum(),
@@ -173,8 +240,15 @@ impl SimMessage for OpMsg {
             OpMsg::Signal { .. } => 48,
             OpMsg::ExpandChange { .. } => 16,
             OpMsg::ExpandSignal { .. } => 56,
+            OpMsg::ContractChange { .. } => 16,
+            OpMsg::ContractSignal { .. } => 48,
+            // The activation snapshot ships the grid assignment: price it
+            // proportionally to the active cell count.
+            OpMsg::Activate { assign, .. } => 64 + 8 * assign.j() as u64,
             OpMsg::ExpandDone { .. } => 16,
-            OpMsg::SourceGrow { .. } => 12,
+            OpMsg::SourceGrow { reshufflers } | OpMsg::SourceShrink { reshufflers } => {
+                8 + 8 * reshufflers.len() as u64
+            }
             OpMsg::MigBatch { tuples } => {
                 tuples.iter().map(|t| t.bytes as u64).sum::<u64>()
                     + TUPLE_HEADER_BYTES * tuples.len() as u64
@@ -187,21 +261,29 @@ impl SimMessage for OpMsg {
 
     fn class(&self) -> MsgClass {
         match self {
-            // Expansion signals must stay FIFO with the reshuffler's
-            // earlier data, exactly like step-migration signals.
+            // Expansion/contraction signals must stay FIFO with the
+            // reshuffler's earlier data, exactly like step-migration
+            // signals.
             OpMsg::IngestBatch { .. }
             | OpMsg::DataBatch { .. }
             | OpMsg::Signal { .. }
-            | OpMsg::ExpandSignal { .. } => MsgClass::Data,
+            | OpMsg::ExpandSignal { .. }
+            | OpMsg::ContractSignal { .. } => MsgClass::Data,
             // The child's end-of-state marker must stay FIFO with the
             // parent's state batches.
             OpMsg::MigBatch { .. } | OpMsg::MigDone | OpMsg::ExpandDone { .. } => {
                 MsgClass::Migration
             }
-            OpMsg::MappingChange { .. }
+            // Bounced ingest travels Control so the source re-routes it
+            // promptly (it is already counted against the flow window).
+            OpMsg::IngestBounced { .. }
+            | OpMsg::MappingChange { .. }
             | OpMsg::MigrationComplete { .. }
             | OpMsg::ExpandChange { .. }
+            | OpMsg::ContractChange { .. }
+            | OpMsg::Activate { .. }
             | OpMsg::SourceGrow { .. }
+            | OpMsg::SourceShrink { .. }
             | OpMsg::Ack { .. }
             | OpMsg::RoutedCopies { .. }
             | OpMsg::ProcessedCopies { .. } => MsgClass::Control,
@@ -212,7 +294,9 @@ impl SimMessage for OpMsg {
         // Batch-aware backends bound queues and weight their service in
         // tuple units; everything that is not a tuple batch counts as 1.
         match self {
-            OpMsg::IngestBatch { items } => items.len().max(1) as u64,
+            OpMsg::IngestBatch { items } | OpMsg::IngestBounced { items } => {
+                items.len().max(1) as u64
+            }
             OpMsg::DataBatch { tuples, .. } => tuples.len().max(1) as u64,
             OpMsg::MigBatch { tuples } => tuples.len().max(1) as u64,
             _ => 1,
@@ -230,6 +314,7 @@ mod tests {
         let sig = OpMsg::Signal {
             from_reshuffler: 0,
             new_epoch: 1,
+            expected_signals: 2,
             spec: dummy_spec(),
         };
         let data = OpMsg::DataBatch {
@@ -244,9 +329,21 @@ mod tests {
         let expand_sig = OpMsg::ExpandSignal {
             from_reshuffler: 0,
             new_epoch: 1,
+            expected_signals: 4,
             spec: dummy_expand_spec(),
         };
         assert_eq!(expand_sig.class(), data.class());
+        // Contraction signals likewise trail the reshuffler's data.
+        let contract_sig = OpMsg::ContractSignal {
+            from_reshuffler: 0,
+            new_epoch: 1,
+            expected_signals: 4,
+            spec: aoj_core::elastic::ContractSpec {
+                machine: 0,
+                role: aoj_core::elastic::ContractRole::Survive,
+            },
+        };
+        assert_eq!(contract_sig.class(), data.class());
         // The end markers must share the Migration class with state batches.
         assert_eq!(
             OpMsg::MigDone.class(),

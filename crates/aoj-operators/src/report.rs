@@ -20,6 +20,21 @@ pub struct ExpandTransfer {
     pub sent_tuples: u64,
 }
 
+/// One contraction retiree's state-transfer accounting (the 1× mirror of
+/// [`ExpandTransfer`]'s 2× bound).
+#[derive(Clone, Copy, Debug)]
+pub struct ContractTransfer {
+    /// The retiree's machine index.
+    pub joiner: usize,
+    /// Local state tuples the retiree classified for the merge (τ at
+    /// retirement plus Δ arrivals during it).
+    pub stored_tuples: u64,
+    /// Copies shipped to the survivor — at most `1 × stored_tuples`
+    /// (each tuple is sent at most once; the diagonal retiree sends
+    /// none).
+    pub sent_tuples: u64,
+}
+
 /// The measurements of one operator run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -56,9 +71,26 @@ pub struct RunReport {
     pub migrations: u64,
     /// Number of completed elastic ×4 expansions (§4.2.2).
     pub expansions: u64,
+    /// Number of completed elastic 4→1 contractions.
+    pub contractions: u64,
     /// Per-parent expansion transfer accounting, for the Theorem 4.3
     /// `transmitted ≤ 2 × stored` bound. Empty when nothing expanded.
     pub expand_transfers: Vec<ExpandTransfer>,
+    /// Per-retiree contraction transfer accounting (`sent ≤ 1 × stored`).
+    /// Empty when nothing contracted.
+    pub contract_transfers: Vec<ContractTransfer>,
+    /// Machines still holding execution resources at quiescence
+    /// (trigger-time provisioning: grows at expansions, shrinks at
+    /// contractions; includes the source machine).
+    pub provisioned_machines: u64,
+    /// High-water mark of simultaneously provisioned machines — what the
+    /// elastic run actually paid for, against the
+    /// `J₀ · 4^max_expansions` slot bound it never touches unless the
+    /// load does.
+    pub peak_provisioned_machines: u64,
+    /// Stored bytes per joiner machine slot at quiescence (index =
+    /// machine). Retired machines must read zero. Empty for SHJ runs.
+    pub stored_bytes_by_machine: Vec<u64>,
     /// Peak spilled bytes on the worst machine (0 = fully in memory).
     pub max_spilled_bytes: u64,
     /// Average match latency in microseconds (paper Fig. 7b).

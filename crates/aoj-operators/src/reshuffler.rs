@@ -8,16 +8,16 @@
 //! (migration decisions) and gates migrations on joiner acks.
 
 use aoj_core::decision::{Decision, DecisionConfig, MigrationDecider};
-use aoj_core::elastic::plan_expansion;
+use aoj_core::elastic::{plan_contraction, plan_expansion_with, ElasticLayout};
 use aoj_core::epoch::Epoch;
 use aoj_core::mapping::{steps_between, GridAssignment, Mapping};
 use aoj_core::migration::plan_step;
 use aoj_core::ticket::{partition, TicketGen};
 use aoj_core::tuple::{Rel, Tuple};
-use aoj_simnet::{Ctx, Process, SimDuration, SimTime, TaskId};
+use aoj_simnet::{Ctx, MachineId, Process, SimDuration, SimTime, TaskId};
 
 use crate::batch::DataCoalescer;
-use crate::elastic_runtime::{expansion_due, ElasticConfig, ElasticControl};
+use crate::elastic_runtime::{contraction_due, expansion_due, ElasticConfig, ElasticControl};
 use crate::messages::OpMsg;
 
 /// A controller-side event, for post-run analysis (Fig. 8c's migration
@@ -42,6 +42,29 @@ pub enum ControlEvent {
         /// Virtual time of the last ack.
         at: SimTime,
         /// The epoch whose migration completed.
+        epoch: Epoch,
+    },
+    /// An elastic 4→1 contraction was triggered (the reverse of
+    /// [`ControlEvent::Expand`]).
+    Contract {
+        /// Global sequence number of the triggering tuple.
+        seq: u64,
+        /// Virtual time of the decision.
+        at: SimTime,
+        /// Mapping before: `(n, m)` over `J` machines.
+        from: Mapping,
+        /// Mapping after: `(n/2, m/2)` over `J/4` machines.
+        to: Mapping,
+        /// The epoch entered.
+        epoch: Epoch,
+    },
+    /// Every survivor and retiree acked the contraction; the shrunk
+    /// cluster is consistent with the `(n/2, m/2)` mapping and the
+    /// retired machines are dormant with zero stored bytes.
+    ContractComplete {
+        /// Virtual time of the last ack.
+        at: SimTime,
+        /// The epoch whose contraction completed.
         epoch: Epoch,
     },
     /// An elastic ×4 expansion was triggered (§4.2.2).
@@ -130,6 +153,11 @@ pub struct ControllerState {
     pub in_flight: bool,
     /// True while the in-flight reconfiguration is an elastic expansion.
     pub expanding: bool,
+    /// True while the in-flight reconfiguration is an elastic contraction.
+    pub contracting: bool,
+    /// Machines to hand back to the backend once the in-flight
+    /// contraction completes (every retiree acked).
+    pub pending_retire: Vec<usize>,
     /// Elasticity state, present when the run may scale out (§4.2.2).
     pub elastic: Option<ElasticControl>,
     /// Acks still awaited for the in-flight migration.
@@ -178,6 +206,16 @@ pub struct ReshufflerTask {
     pub routed: u64,
     /// Per-destination coalescing buffers (the batch-first data plane).
     pub batch: DataCoalescer,
+    /// True once this machine retired in a contraction and until an
+    /// expansion reactivates it. A deactivated reshuffler no longer
+    /// signals epoch changes, so it must route **nothing**: straggler
+    /// ingest is bounced back to the source instead (see
+    /// [`OpMsg::IngestBounced`]).
+    pub deactivated: bool,
+    /// Deterministic machine-slot bookkeeping for elastic runs: every
+    /// active reshuffler evolves an identical copy (same change
+    /// sequence), so expansion child allocation needs no coordination.
+    pub layout: ElasticLayout,
 }
 
 impl ControllerState {
@@ -194,6 +232,8 @@ impl ControllerState {
             adaptive,
             in_flight: false,
             expanding: false,
+            contracting: false,
+            pending_retire: Vec::new(),
             elastic: None,
             acks_pending: 0,
             target: None,
@@ -299,7 +339,9 @@ impl ReshufflerTask {
     /// Controller: evaluate Alg. 2 and, when due, broadcast the next
     /// migration step (one step per epoch; chains continue after acks).
     /// On elastic runs, a migration checkpoint where every active joiner
-    /// is past half capacity fires a ×4 expansion instead (§4.2.2).
+    /// is past half capacity fires a ×4 expansion instead (§4.2.2), and
+    /// one where every active joiner sits below the low-water mark fires
+    /// the reverse 4→1 contraction.
     fn maybe_trigger(&mut self, ctx: &mut Ctx<'_, OpMsg>) {
         let Some(ctrl) = self.controller.as_mut() else {
             return;
@@ -311,12 +353,22 @@ impl ReshufflerTask {
         // Elasticity first, and only at a true checkpoint (no multi-step
         // chain pending): cluster-wide fullness is a capacity problem
         // that no (n, m) reshape fixes, so scale-out takes priority over
-        // shape changes.
+        // shape changes (and scale-in over both).
         if ctrl.target.is_none() {
+            let last_seq = ctrl.last_seq;
             if let Some(el) = &mut ctrl.elastic {
-                if el.armed()
-                    && expansion_due(ctx.metrics(), self.assign.j(), el.cfg.capacity_bytes)
+                // The due-checks run on the controller's per-batch ingest
+                // path: feed them the grid's machine iterator directly (no
+                // allocation); the active set is only materialised and
+                // sorted inside the rare fired branches that need ordered
+                // broadcasts. (After a contraction the active machines
+                // are no longer a prefix of the slot space, hence the
+                // explicit set.)
+                if el.armed_expand()
+                    && expansion_due(ctx.metrics(), self.assign.machines(), el.cfg.capacity_bytes)
                 {
+                    let mut active: Vec<usize> = self.assign.machines().collect();
+                    active.sort_unstable();
                     el.expansions_done += 1;
                     let old_j = self.assign.j();
                     let new_epoch = self.epoch + 1;
@@ -332,16 +384,101 @@ impl ReshufflerTask {
                         to,
                         epoch: new_epoch,
                     });
-                    // Every reshuffler — dormant ones included — adopts
-                    // the grown grid and signals the parents; the source
-                    // starts feeding the newly active reshufflers.
-                    for &r in &self.reshuffler_tasks {
-                        ctx.send(r, OpMsg::ExpandChange { new_epoch });
+                    // Trigger-time provisioning: acquire the children's
+                    // machines now — dormant pool first, fresh slots
+                    // after. Each newly activated reshuffler heard no
+                    // broadcasts while dormant, so it first gets a
+                    // **pre-change** control-plane snapshot (`Activate`)
+                    // and then the same `ExpandChange` as everyone else:
+                    // it runs the identical handler and — crucially —
+                    // signals the parents too, so on every channel that
+                    // will ever carry new-epoch data a signal travels
+                    // first. Provision precedes the sends per machine;
+                    // effects apply in emission order.
+                    let children = self.layout.peek_children(3 * old_j as usize);
+                    // ALL provisions strictly before the first send: an
+                    // early-activated child signals its parents, whose
+                    // joiners immediately stream state to *other*
+                    // children — on real threads that fan-out races the
+                    // rest of this effect list, so every child machine
+                    // must already hold its worker shard.
+                    for &c in &children {
+                        ctx.provision(MachineId(c));
                     }
+                    for &c in &children {
+                        ctx.send(
+                            self.reshuffler_tasks[c],
+                            OpMsg::Activate {
+                                epoch: self.epoch,
+                                assign: self.assign.clone(),
+                                layout: self.layout.clone(),
+                            },
+                        );
+                        ctx.send(self.reshuffler_tasks[c], OpMsg::ExpandChange { new_epoch });
+                    }
+                    // Already-active reshufflers adopt the grown grid and
+                    // signal the parents; the source starts feeding the
+                    // newly active machines too.
+                    for &m in &active {
+                        ctx.send(self.reshuffler_tasks[m], OpMsg::ExpandChange { new_epoch });
+                    }
+                    let mut new_active = active;
+                    new_active.extend(children);
+                    new_active.sort_unstable();
                     ctx.send(
                         self.source,
                         OpMsg::SourceGrow {
-                            active: (4 * old_j) as usize,
+                            reshufflers: new_active
+                                .iter()
+                                .map(|&m| self.reshuffler_tasks[m])
+                                .collect(),
+                        },
+                    );
+                    return;
+                }
+                if el.armed_contract(last_seq)
+                    && current.n >= 2
+                    && current.m >= 2
+                    && contraction_due(
+                        ctx.metrics(),
+                        self.assign.machines(),
+                        el.cfg.contract_below_bytes,
+                    )
+                {
+                    let mut active: Vec<usize> = self.assign.machines().collect();
+                    active.sort_unstable();
+                    el.contractions_done += 1;
+                    let plan = plan_contraction(&self.assign);
+                    let new_epoch = self.epoch + 1;
+                    ctrl.in_flight = true;
+                    ctrl.contracting = true;
+                    // Survivors and retirees all ack.
+                    ctrl.acks_pending = self.assign.j() as usize;
+                    ctrl.decider.contract();
+                    ctrl.pending_retire = plan.retired.clone();
+                    ctrl.events.push(ControlEvent::Contract {
+                        seq: ctrl.last_seq,
+                        at: ctx.now(),
+                        from: current,
+                        to: plan.to,
+                        epoch: new_epoch,
+                    });
+                    for &m in &active {
+                        ctx.send(
+                            self.reshuffler_tasks[m],
+                            OpMsg::ContractChange { new_epoch },
+                        );
+                    }
+                    // The source stops feeding retiring machines and
+                    // narrows its window to the survivor count.
+                    ctx.send(
+                        self.source,
+                        OpMsg::SourceShrink {
+                            reshufflers: plan
+                                .survivors
+                                .iter()
+                                .map(|&m| self.reshuffler_tasks[m])
+                                .collect(),
                         },
                     );
                     return;
@@ -376,8 +513,14 @@ impl ReshufflerTask {
             to: next,
             epoch: new_epoch,
         });
-        for &r in &self.reshuffler_tasks {
-            ctx.send(r, OpMsg::MappingChange { new_epoch, step });
+        // Broadcast to the **active** reshufflers only: dormant machines
+        // hear nothing while retired (they get a full snapshot when an
+        // expansion re-activates them).
+        for m in self.assign.machines() {
+            ctx.send(
+                self.reshuffler_tasks[m],
+                OpMsg::MappingChange { new_epoch, step },
+            );
         }
     }
 }
@@ -386,6 +529,14 @@ impl Process<OpMsg> for ReshufflerTask {
     fn on_message(&mut self, ctx: &mut Ctx<'_, OpMsg>, _from: TaskId, msg: OpMsg) -> SimDuration {
         match msg {
             OpMsg::IngestBatch { items } => {
+                if self.deactivated {
+                    // In flight when the source shrank its round-robin
+                    // set. Routing it here would bypass the signal
+                    // barrier (this machine no longer hears epoch
+                    // changes), so hand it back for re-routing.
+                    ctx.send(self.source, OpMsg::IngestBounced { items });
+                    return SimDuration::from_micros(self.cost.control_us);
+                }
                 // Alg. 1 lines 3/5 ("scaled increment"): the controller
                 // sees ~1/J of the uniformly shuffled stream and scales
                 // its local sample by J to estimate global cardinalities
@@ -436,18 +587,21 @@ impl Process<OpMsg> for ReshufflerTask {
                 // tag before signalling, so the Signal stays FIFO behind
                 // the data it covers.
                 self.flush_all(ctx);
+                // Every reshuffler that routed old-epoch data signals:
+                // the active count, which migrations preserve.
+                let expected_signals = self.assign.j();
                 let plan = plan_step(&self.assign, step);
                 self.assign.apply_step(step);
                 self.epoch = new_epoch;
                 // Signal the machines the plan covers — the *active*
-                // grid, which on elastic runs is a prefix of the
-                // provisioned joiner set.
+                // grid.
                 for spec in plan.specs {
                     ctx.send(
                         self.joiner_tasks[spec.machine],
                         OpMsg::Signal {
                             from_reshuffler: self.index,
                             new_epoch,
+                            expected_signals,
                             spec,
                         },
                     );
@@ -463,10 +617,18 @@ impl Process<OpMsg> for ReshufflerTask {
                 // ExpandSignals must trail every old-epoch tuple.
                 self.flush_all(ctx);
                 // Plan against the pre-expansion assignment, then adopt
-                // the (2n, 2m) grid. Every reshuffler computes the same
-                // deterministic plan, so the per-parent specs agree.
-                let plan = plan_expansion(&self.assign);
-                self.assign.apply_expansion();
+                // the (2n, 2m) grid. Every reshuffler — the already
+                // active ones and the machines this expansion activates
+                // (synced by `Activate` to the pre-change state first) —
+                // computes the same deterministic plan, so the per-parent
+                // specs and child allocations agree. All 4J post-change
+                // reshufflers signal: the new ones have no old-epoch data
+                // (trivially FIFO) but their signal must still precede
+                // any new-epoch data they route.
+                let expected_signals = 4 * self.assign.j();
+                let children = self.layout.allocate_children(3 * self.assign.j() as usize);
+                let plan = plan_expansion_with(&self.assign, &children);
+                self.assign.apply_expansion_with(&children);
                 self.epoch = new_epoch;
                 for spec in plan.specs {
                     ctx.send(
@@ -474,6 +636,7 @@ impl Process<OpMsg> for ReshufflerTask {
                         OpMsg::ExpandSignal {
                             from_reshuffler: self.index,
                             new_epoch,
+                            expected_signals,
                             spec,
                         },
                     );
@@ -482,6 +645,75 @@ impl Process<OpMsg> for ReshufflerTask {
                     self.stalled = true;
                 }
                 SimDuration::from_micros(self.cost.control_us * 2)
+            }
+            OpMsg::ContractChange { new_epoch } => {
+                assert_eq!(new_epoch, self.epoch + 1, "reshuffler skipped an epoch");
+                // Flush-before-adopt, exactly like the other changes: the
+                // ContractSignals must trail every old-epoch tuple.
+                self.flush_all(ctx);
+                let expected_signals = self.assign.j();
+                let plan = plan_contraction(&self.assign);
+                // `apply_contraction` relabels by the same plan (it is
+                // derived from it), so the grid and the signalled roles
+                // cannot disagree.
+                let retired = self.assign.apply_contraction();
+                // Retired machines join the dormant pool every active
+                // reshuffler tracks, so a later re-expansion allocates
+                // them deterministically.
+                self.layout.release(&retired);
+                if retired.binary_search(&self.index).is_ok() {
+                    // This machine is retiring: stop routing (stragglers
+                    // bounce to the source) until an expansion
+                    // reactivates it.
+                    self.deactivated = true;
+                }
+                self.epoch = new_epoch;
+                // Survivors and retirees both get every signal: a retiree
+                // needs them to know its Δ closed before it sends the
+                // survivor its end-of-state marker.
+                for spec in plan.specs {
+                    ctx.send(
+                        self.joiner_tasks[spec.machine],
+                        OpMsg::ContractSignal {
+                            from_reshuffler: self.index,
+                            new_epoch,
+                            expected_signals,
+                            spec,
+                        },
+                    );
+                }
+                if self.blocking {
+                    self.stalled = true;
+                }
+                SimDuration::from_micros(self.cost.control_us * 2)
+            }
+            OpMsg::Activate {
+                epoch,
+                assign,
+                layout,
+            } => {
+                // This machine was just provisioned by an expansion (first
+                // activation or pool reuse after retirement): adopt the
+                // post-expansion control plane wholesale. Routing state
+                // (tickets, coalescing buffers) is position-independent
+                // and carries over; a pool-reused reshuffler's buffers
+                // were force-flushed before it went dormant.
+                assert!(
+                    self.controller.is_none(),
+                    "the controller's machine can never have been dormant"
+                );
+                self.epoch = epoch;
+                self.assign = assign;
+                self.layout = layout;
+                // A pool-reused reshuffler must come back clean: it
+                // stopped routing at deactivation (stragglers bounced),
+                // so nothing can be buffered or stalled from its
+                // previous life.
+                debug_assert!(self.batch.is_empty());
+                debug_assert!(self.stall_buffer.is_empty());
+                self.stalled = false;
+                self.deactivated = false;
+                SimDuration::from_micros(self.cost.control_us)
             }
             OpMsg::MigrationComplete { epoch } => {
                 assert_eq!(epoch, self.epoch, "stale completion broadcast");
@@ -526,6 +758,19 @@ impl Process<OpMsg> for ReshufflerTask {
                             at: ctx.now(),
                             epoch,
                         });
+                    } else if ctrl.contracting {
+                        ctrl.contracting = false;
+                        ctrl.events.push(ControlEvent::ContractComplete {
+                            at: ctx.now(),
+                            epoch,
+                        });
+                        // Every retiree acked dormant: hand their
+                        // machines back to the backend. Straggler
+                        // control-plane work still drains; a later
+                        // expansion re-provisions them.
+                        for m in std::mem::take(&mut ctrl.pending_retire) {
+                            ctx.retire(MachineId(m));
+                        }
                     } else {
                         ctrl.events.push(ControlEvent::Complete {
                             at: ctx.now(),
@@ -534,8 +779,8 @@ impl Process<OpMsg> for ReshufflerTask {
                     }
                     let _ = now_mapping;
                     if self.blocking {
-                        for &r in &self.reshuffler_tasks {
-                            ctx.send(r, OpMsg::MigrationComplete { epoch });
+                        for m in self.assign.machines() {
+                            ctx.send(self.reshuffler_tasks[m], OpMsg::MigrationComplete { epoch });
                         }
                     }
                     // Chain to the next step / re-evaluate immediately.

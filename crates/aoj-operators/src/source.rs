@@ -49,14 +49,14 @@ pub struct SourceTask {
     pub arrivals: Vec<(Rel, StreamItem)>,
     /// Next arrival to emit.
     pub cursor: usize,
-    /// Reshuffler task ids (round-robin targets). Under an elastic run
-    /// this includes dormant machines' reshufflers; only the first
-    /// [`active`](SourceTask::active) receive ingest.
+    /// Reshuffler task ids by machine index (the full provisioned slot
+    /// space under an elastic run).
     pub reshufflers: Vec<TaskId>,
-    /// How many of `reshufflers` are active round-robin targets. Grows
-    /// when the controller broadcasts [`OpMsg::SourceGrow`] during an
-    /// elastic expansion.
-    pub active: usize,
+    /// The active round-robin targets, in machine-index order. Replaced
+    /// wholesale by [`OpMsg::SourceGrow`] (elastic expansion) and
+    /// [`OpMsg::SourceShrink`] (contraction) — an explicit list, because
+    /// after contractions the active machines are not an index prefix.
+    pub active: Vec<TaskId>,
     /// Pacing.
     pub pacing: SourcePacing,
     /// Tuples per [`OpMsg::IngestBatch`]: arrivals are emitted in
@@ -90,7 +90,7 @@ impl SourceTask {
         window_copies: u64,
         batch_tuples: usize,
     ) -> SourceTask {
-        let active = reshufflers.len();
+        let active = reshufflers.clone();
         SourceTask {
             arrivals,
             cursor: 0,
@@ -132,7 +132,7 @@ impl SourceTask {
             // short (burst budget or window) resumes to the same
             // destination and the routing is independent of pacing.
             let block = self.cursor / self.batch_tuples;
-            let dst = self.reshufflers[block % self.active];
+            let dst = self.active[block % self.active.len()];
             let block_end = ((block + 1) * self.batch_tuples).min(self.arrivals.len());
             let mut items = Vec::with_capacity((block_end - self.cursor).min(budget));
             while self.cursor < block_end && budget > 0 && self.window_open() {
@@ -178,31 +178,65 @@ impl Process<OpMsg> for SourceTask {
                     self.pump(ctx);
                 }
             }
-            OpMsg::SourceGrow { active } => {
+            OpMsg::IngestBounced { items } => {
+                // A retiring reshuffler handed back ingest it can no
+                // longer route (its machine left the active set while
+                // this batch was in flight). Re-emit to an active
+                // reshuffler — keyed by the batch's block so the
+                // re-route is deterministic. If another contraction
+                // raced us the target may bounce again; each hop makes
+                // progress because this list converges via SourceShrink.
+                if let Some(first) = items.first() {
+                    let block = first.seq as usize / self.batch_tuples;
+                    let dst = self.active[block % self.active.len()];
+                    ctx.send(dst, OpMsg::IngestBatch { items });
+                }
+            }
+            OpMsg::SourceGrow { reshufflers } => {
                 // Elastic expansion: the freshly activated machines'
                 // reshufflers join the round-robin set.
                 assert!(
-                    active <= self.reshufflers.len(),
+                    reshufflers.len() <= self.reshufflers.len(),
                     "cannot grow past the provisioned reshuffler set"
                 );
-                if active > self.active {
-                    // The window bounds in-flight copies *per joiner*, so
-                    // it must grow with the cluster — otherwise the
-                    // joiners' batched credit returns (up to
-                    // CREDIT_BATCH − 1 stuck per joiner) could exceed a
-                    // fixed window outright and wedge the source.
-                    if self.window_copies > 0 {
-                        // Multiply before dividing: rounding a small window
-                        // down to 0 would read as "flow control disabled".
-                        self.window_copies =
-                            (self.window_copies * active as u64 / self.active as u64).max(1);
-                    }
-                    self.active = active;
-                    // The wider window may re-open emission.
-                    if !self.tick_pending {
-                        self.pump(ctx);
-                    }
+                assert!(
+                    reshufflers.len() > self.active.len(),
+                    "SourceGrow must widen the active set"
+                );
+                // The window bounds in-flight copies *per joiner*, so
+                // it must grow with the cluster — otherwise the
+                // joiners' batched credit returns (up to
+                // CREDIT_BATCH − 1 stuck per joiner) could exceed a
+                // fixed window outright and wedge the source.
+                if self.window_copies > 0 {
+                    // Multiply before dividing: rounding a small window
+                    // down to 0 would read as "flow control disabled".
+                    self.window_copies = (self.window_copies * reshufflers.len() as u64
+                        / self.active.len() as u64)
+                        .max(1);
                 }
+                self.active = reshufflers;
+                // The wider window may re-open emission.
+                if !self.tick_pending {
+                    self.pump(ctx);
+                }
+            }
+            OpMsg::SourceShrink { reshufflers } => {
+                // Elastic contraction: stop feeding retiring machines and
+                // scale the window back down with the survivor count. The
+                // in-flight copies above the narrowed window drain as the
+                // survivors (and the retirees' last Δ batches) return
+                // credits; emission stays paused meanwhile.
+                assert!(
+                    !reshufflers.is_empty() && reshufflers.len() < self.active.len(),
+                    "SourceShrink must narrow the active set"
+                );
+                if self.window_copies > 0 {
+                    self.window_copies = (self.window_copies * reshufflers.len() as u64
+                        / self.active.len() as u64)
+                        .max(1);
+                }
+                self.active = reshufflers;
             }
             other => panic!("source received unexpected message {other:?}"),
         }

@@ -58,6 +58,8 @@ fn reshuffler(seed: u64, batch_tuples: usize) -> ReshufflerTask {
         stall_buffer: Vec::new(),
         routed: 0,
         batch: DataCoalescer::new(BatchConfig::new(batch_tuples), 16),
+        deactivated: false,
+        layout: aoj_core::elastic::ElasticLayout::new(4),
     }
 }
 

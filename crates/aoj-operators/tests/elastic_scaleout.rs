@@ -83,13 +83,17 @@ fn expansions_interleave_with_migrations_exactly() {
     let mut last_epoch = 0;
     for e in &report.events {
         match e {
-            ControlEvent::Decide { epoch, .. } | ControlEvent::Expand { epoch, .. } => {
+            ControlEvent::Decide { epoch, .. }
+            | ControlEvent::Expand { epoch, .. }
+            | ControlEvent::Contract { epoch, .. } => {
                 assert!(!in_flight, "reconfigurations overlapped");
                 assert_eq!(*epoch, last_epoch + 1, "epoch must advance by one");
                 last_epoch = *epoch;
                 in_flight = true;
             }
-            ControlEvent::Complete { epoch, .. } | ControlEvent::ExpandComplete { epoch, .. } => {
+            ControlEvent::Complete { epoch, .. }
+            | ControlEvent::ExpandComplete { epoch, .. }
+            | ControlEvent::ContractComplete { epoch, .. } => {
                 assert!(in_flight, "completion without a decision");
                 assert_eq!(*epoch, last_epoch);
                 in_flight = false;

@@ -4,9 +4,10 @@
 
 use std::any::Any;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread;
+use std::thread::JoinHandle;
 use std::time::Instant;
 
 use aoj_simnet::{
@@ -50,7 +51,7 @@ impl Default for RuntimeConfig {
 }
 
 /// State shared by all worker threads during a run.
-struct Shared<M> {
+struct Shared<M: SimMessage + Send + 'static> {
     mailboxes: Vec<Arc<Mailbox<M>>>,
     task_machine: Vec<MachineId>,
     /// Work items enqueued (messages + pending timers) minus work items
@@ -61,11 +62,62 @@ struct Shared<M> {
     done: AtomicBool,
     end_us: AtomicU64,
     start: Instant,
+    /// Task maps of deferred machines, parked until an
+    /// [`Effect::Provision`] spawns their worker thread mid-run
+    /// (trigger-time provisioning).
+    parked: Mutex<HashMap<usize, TaskMap<M>>>,
+    /// Join handles of workers spawned mid-run.
+    dynamic: Mutex<Vec<WorkerHandle<M>>>,
+    /// Shard construction inputs for mid-run spawns.
+    gauges: Arc<SharedGauges>,
+    sample_spacing: u64,
+    machines: usize,
+    drain_batch: usize,
+    /// Machines currently holding a worker thread (for accounting; a
+    /// retired machine's thread parks on its empty mailbox rather than
+    /// exiting, so stragglers still drain — see `Effect::Retire`).
+    provisioned: AtomicUsize,
+    peak_provisioned: AtomicUsize,
+    /// Per-machine provisioning state, mirroring the simulator's checks:
+    /// 0 = deferred (never provisioned — delivering work to it panics,
+    /// instead of silently wedging the termination counter), 1 = active,
+    /// 2 = retired (stragglers still drain).
+    machine_state: Vec<AtomicU8>,
 }
 
-impl<M> Shared<M> {
+const MACHINE_DEFERRED: u8 = 0;
+const MACHINE_ACTIVE: u8 = 1;
+const MACHINE_RETIRED: u8 = 2;
+
+impl<M: SimMessage + Send + 'static> Shared<M> {
     fn now_us(&self) -> u64 {
         self.start.elapsed().as_micros() as u64
+    }
+
+    fn fresh_shard(&self) -> Metrics {
+        let mut shard = Metrics::default();
+        for _ in 0..self.machines {
+            shard.add_machine();
+        }
+        shard.sample_spacing = self.sample_spacing;
+        shard.install_shared(Arc::clone(&self.gauges));
+        shard
+    }
+
+    /// Spawn the worker thread for `mid` over `tasks`.
+    fn spawn_worker(self: &Arc<Self>, mid: MachineId, tasks: TaskMap<M>) -> WorkerHandle<M> {
+        let shared = Arc::clone(self);
+        let shard = self.fresh_shard();
+        let drain_batch = self.drain_batch;
+        thread::Builder::new()
+            .name(format!("aoj-worker-{}", mid.index()))
+            .spawn(move || worker(mid, shared, tasks, shard, drain_batch))
+            .expect("failed to spawn worker thread")
+    }
+
+    fn note_provisioned(&self) {
+        let now = self.provisioned.fetch_add(1, Ordering::SeqCst) + 1;
+        self.peak_provisioned.fetch_max(now, Ordering::SeqCst);
     }
 
     /// Flip to done exactly once, stamping the end time, and wake
@@ -89,9 +141,9 @@ impl<M> Shared<M> {
 
 /// Ensures a worker that panics inside a task handler still releases
 /// every other thread (otherwise `run()` would deadlock in `join`).
-struct PanicGuard<'a, M>(&'a Shared<M>);
+struct PanicGuard<'a, M: SimMessage + Send + 'static>(&'a Shared<M>);
 
-impl<M> Drop for PanicGuard<'_, M> {
+impl<M: SimMessage + Send + 'static> Drop for PanicGuard<'_, M> {
     fn drop(&mut self) {
         if thread::panicking() {
             self.0.shutdown();
@@ -111,10 +163,15 @@ impl<M> Drop for PanicGuard<'_, M> {
 pub struct Runtime<M: SimMessage + Send + 'static> {
     cfg: RuntimeConfig,
     machines: usize,
+    /// Machines registered deferred: no worker thread until a mid-run
+    /// provision effect names them.
+    deferred: Vec<bool>,
     tasks: Vec<Option<Box<dyn Process<M> + Send>>>,
     task_machine: Vec<MachineId>,
     pending_timers: Vec<(SimTime, TaskId, u64)>,
     metrics: Metrics,
+    provisioned: usize,
+    peak_provisioned: usize,
 }
 
 impl<M: SimMessage + Send + 'static> Runtime<M> {
@@ -123,30 +180,26 @@ impl<M: SimMessage + Send + 'static> Runtime<M> {
         Runtime {
             cfg,
             machines: 0,
+            deferred: Vec::new(),
             tasks: Vec::new(),
             task_machine: Vec::new(),
             pending_timers: Vec::new(),
             metrics: Metrics::default(),
+            provisioned: 0,
+            peak_provisioned: 0,
         }
     }
 
-    /// Number of worker threads a run will use (one per machine).
+    /// Worker threads the run starts with (one per eagerly provisioned
+    /// machine; deferred machines get theirs at trigger time).
     pub fn worker_threads(&self) -> usize {
-        self.machines
-    }
-
-    fn fresh_shard(&self, gauges: &Arc<SharedGauges>) -> Metrics {
-        let mut shard = Metrics::default();
-        for _ in 0..self.machines {
-            shard.add_machine();
-        }
-        shard.sample_spacing = self.metrics.sample_spacing;
-        shard.install_shared(Arc::clone(gauges));
-        shard
+        self.deferred.iter().filter(|&&d| !d).count()
     }
 }
 
 type TaskMap<M> = HashMap<usize, Box<dyn Process<M> + Send>>;
+/// A worker thread returns its tasks and its metrics shard.
+type WorkerHandle<M> = JoinHandle<(TaskMap<M>, Metrics)>;
 
 fn worker<M: SimMessage + Send + 'static>(
     mid: MachineId,
@@ -203,6 +256,17 @@ fn worker<M: SimMessage + Send + 'static>(
                 match effect {
                     Effect::Send { to, msg } => {
                         let dst_machine = shared.task_machine[to.index()];
+                        // Mirror the simulator's protocol check: a message
+                        // to a never-provisioned machine would sit in a
+                        // mailbox no worker drains and wedge termination —
+                        // fail loudly instead.
+                        assert_ne!(
+                            shared.machine_state[dst_machine.index()].load(Ordering::Relaxed),
+                            MACHINE_DEFERRED,
+                            "work delivered to machine {} before it was provisioned \
+                             (trigger-time provisioning protocol error)",
+                            dst_machine.index()
+                        );
                         let class = msg.class();
                         let units = msg.tuples();
                         shared.outstanding.fetch_add(1, Ordering::SeqCst);
@@ -229,6 +293,42 @@ fn worker<M: SimMessage + Send + 'static>(
                         let at = shared.now_us() + delay.as_micros();
                         mailbox.push_timer(at, self_task, key);
                     }
+                    Effect::Provision { machine } => {
+                        // Trigger-time provisioning: first activation of a
+                        // deferred machine spawns its worker thread here;
+                        // re-provisioning a retired machine is accounting
+                        // only (its parked thread never exited).
+                        let prev = shared.machine_state[machine.index()]
+                            .swap(MACHINE_ACTIVE, Ordering::SeqCst);
+                        assert_ne!(
+                            prev,
+                            MACHINE_ACTIVE,
+                            "machine {} provisioned twice",
+                            machine.index()
+                        );
+                        let parked = shared.parked.lock().unwrap().remove(&machine.index());
+                        shared.note_provisioned();
+                        if let Some(tasks) = parked {
+                            let handle = shared.spawn_worker(machine, tasks);
+                            shared.dynamic.lock().unwrap().push(handle);
+                        }
+                    }
+                    Effect::Retire { machine } => {
+                        // Accounting-level release: the worker thread
+                        // parks on its drained mailbox (near-zero cost)
+                        // rather than exiting, so straggler control-plane
+                        // traffic still drains. A hard thread teardown
+                        // would need a data-plane quiesce barrier.
+                        let prev = shared.machine_state[machine.index()]
+                            .swap(MACHINE_RETIRED, Ordering::SeqCst);
+                        assert_eq!(
+                            prev,
+                            MACHINE_ACTIVE,
+                            "machine {} retired while not active",
+                            machine.index()
+                        );
+                        shared.provisioned.fetch_sub(1, Ordering::SeqCst);
+                    }
                 }
             }
             shared.finish_item();
@@ -252,6 +352,7 @@ impl<M: SimMessage + Send + 'static> ExecBackend<M> for Runtime<M> {
     fn add_machine(&mut self) -> MachineId {
         let id = MachineId(self.machines);
         self.machines += 1;
+        self.deferred.push(false);
         self.metrics.add_machine();
         id
     }
@@ -259,6 +360,22 @@ impl<M: SimMessage + Send + 'static> ExecBackend<M> for Runtime<M> {
     fn add_machine_with_network(&mut self, _network: NetworkConfig) -> MachineId {
         // Real threads share memory; there is no per-machine NIC to model.
         ExecBackend::<M>::add_machine(self)
+    }
+
+    fn add_deferred_machine(&mut self) -> MachineId {
+        let id = MachineId(self.machines);
+        self.machines += 1;
+        self.deferred.push(true);
+        self.metrics.add_machine();
+        id
+    }
+
+    fn provisioned_machines(&self) -> usize {
+        self.provisioned
+    }
+
+    fn peak_provisioned_machines(&self) -> usize {
+        self.peak_provisioned
     }
 
     fn add_task(&mut self, machine: MachineId, task: Box<dyn Process<M> + Send>) -> TaskId {
@@ -302,6 +419,7 @@ impl<M: SimMessage + Send + 'static> ExecBackend<M> for Runtime<M> {
                 ))
             })
             .collect();
+        let eager = self.worker_threads();
         let shared = Arc::new(Shared {
             mailboxes,
             task_machine: self.task_machine.clone(),
@@ -309,6 +427,19 @@ impl<M: SimMessage + Send + 'static> ExecBackend<M> for Runtime<M> {
             done: AtomicBool::new(false),
             end_us: AtomicU64::new(0),
             start: Instant::now(),
+            parked: Mutex::new(HashMap::new()),
+            dynamic: Mutex::new(Vec::new()),
+            gauges: Arc::clone(&gauges),
+            sample_spacing: self.metrics.sample_spacing,
+            machines: self.machines,
+            drain_batch: self.cfg.drain_batch.max(1),
+            provisioned: AtomicUsize::new(eager),
+            peak_provisioned: AtomicUsize::new(eager),
+            machine_state: self
+                .deferred
+                .iter()
+                .map(|&d| AtomicU8::new(if d { MACHINE_DEFERRED } else { MACHINE_ACTIVE }))
+                .collect(),
         });
 
         // Partition tasks onto their machines.
@@ -323,6 +454,10 @@ impl<M: SimMessage + Send + 'static> ExecBackend<M> for Runtime<M> {
         for (at, task, key) in self.pending_timers.drain(..) {
             shared.outstanding.fetch_add(1, Ordering::SeqCst);
             let m = shared.task_machine[task.index()];
+            assert!(
+                !self.deferred[m.index()],
+                "bootstrap timer on a deferred machine"
+            );
             shared.mailboxes[m.index()].push_timer(at.as_micros(), task, key);
         }
         if shared.outstanding.load(Ordering::SeqCst) == 0 {
@@ -330,35 +465,59 @@ impl<M: SimMessage + Send + 'static> ExecBackend<M> for Runtime<M> {
             shared.shutdown();
         }
 
-        let drain_batch = self.cfg.drain_batch.max(1);
+        // Trigger-time provisioning: deferred machines park their task
+        // maps; a mid-run provision effect spawns their worker threads.
         let handles: Vec<_> = per_machine
             .into_iter()
             .enumerate()
-            .map(|(i, tasks)| {
-                let shared = Arc::clone(&shared);
-                let shard = self.fresh_shard(&gauges);
-                thread::Builder::new()
-                    .name(format!("aoj-worker-{i}"))
-                    .spawn(move || worker(MachineId(i), shared, tasks, shard, drain_batch))
-                    .expect("failed to spawn worker thread")
+            .filter_map(|(i, tasks)| {
+                if self.deferred[i] {
+                    shared.parked.lock().unwrap().insert(i, tasks);
+                    None
+                } else {
+                    Some(shared.spawn_worker(MachineId(i), tasks))
+                }
             })
             .collect();
 
         let mut panic_payload: Option<Box<dyn Any + Send>> = None;
-        for handle in handles {
-            match handle.join() {
-                Ok((tasks, shard)) => {
-                    for (idx, task) in tasks {
-                        self.tasks[idx] = Some(task);
-                    }
-                    self.metrics.absorb(&shard);
+        let mut collect = |result: thread::Result<(TaskMap<M>, Metrics)>,
+                           tasks_out: &mut Vec<Option<Box<dyn Process<M> + Send>>>,
+                           metrics: &mut Metrics| match result {
+            Ok((tasks, shard)) => {
+                for (idx, task) in tasks {
+                    tasks_out[idx] = Some(task);
                 }
-                Err(p) => panic_payload = Some(p),
+                metrics.absorb(&shard);
+            }
+            Err(p) => panic_payload = Some(p),
+        };
+        for handle in handles {
+            collect(handle.join(), &mut self.tasks, &mut self.metrics);
+        }
+        // Workers spawned at trigger time finish like the initial ones
+        // (shutdown wakes every mailbox); no new spawns can occur once
+        // the run is done, so this drain terminates.
+        loop {
+            let handle = shared.dynamic.lock().unwrap().pop();
+            match handle {
+                Some(h) => collect(h.join(), &mut self.tasks, &mut self.metrics),
+                None => break,
             }
         }
         if let Some(p) = panic_payload {
             std::panic::resume_unwind(p);
         }
+        // Machines whose trigger never fired: hand their tasks back so
+        // post-run inspection sees them (dormant, zero state).
+        for (idx, tasks) in shared.parked.lock().unwrap().drain() {
+            let _ = idx;
+            for (tid, task) in tasks {
+                self.tasks[tid] = Some(task);
+            }
+        }
+        self.provisioned = shared.provisioned.load(Ordering::SeqCst);
+        self.peak_provisioned = shared.peak_provisioned.load(Ordering::SeqCst);
         SimTime(shared.end_us.load(Ordering::SeqCst))
     }
 

@@ -48,6 +48,27 @@ pub trait ExecBackend<M: SimMessage + 'static> {
     /// network model (real threads share memory) may ignore them.
     fn add_machine_with_network(&mut self, network: NetworkConfig) -> MachineId;
 
+    /// Register a machine **slot** without acquiring its execution
+    /// resources (trigger-time provisioning, §4.2.2): tasks may be added
+    /// to it, but the backend dedicates no worker shard — no thread on
+    /// the threaded runtime, no live machine in the simulator — until a
+    /// task emits [`Effect::Provision`](crate::task::Effect::Provision)
+    /// for it mid-run. Delivering work to a machine that was never
+    /// provisioned is a protocol error. The default makes the slot eager
+    /// (for backends without deferred support).
+    fn add_deferred_machine(&mut self) -> MachineId {
+        self.add_machine()
+    }
+
+    /// Machines currently holding execution resources: eager machines,
+    /// plus deferred ones provisioned at trigger time, minus retired
+    /// ones. Read after `run` to verify trigger-time provisioning.
+    fn provisioned_machines(&self) -> usize;
+
+    /// High-water mark of simultaneously provisioned machines over the
+    /// run — the real resource footprint an elastic run paid for.
+    fn peak_provisioned_machines(&self) -> usize;
+
     /// Register a task hosted on `machine`. Tasks must be `Send` because
     /// threaded backends move them onto worker threads.
     fn add_task(&mut self, machine: MachineId, task: Box<dyn Process<M> + Send>) -> TaskId;

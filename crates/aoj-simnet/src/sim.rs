@@ -19,12 +19,27 @@ enum Work<M> {
     Timer(u64),
 }
 
+/// Provisioning state of a machine slot (trigger-time provisioning).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum MachineState {
+    /// Holding execution resources.
+    Active,
+    /// Registered but never provisioned: delivering work to it panics.
+    Deferred,
+    /// Previously active, resources handed back; straggler work still
+    /// drains (see [`Effect::Retire`]) and a later provision revives it.
+    Retired,
+}
+
 /// The simulator. See the crate docs for the model.
 pub struct Sim<M: SimMessage> {
     cfg: SimConfig,
     /// Per-machine network parameters (defaults to `cfg.network`).
     machine_network: Vec<crate::network::NetworkConfig>,
     machines: Vec<Machine<Work<M>>>,
+    machine_state: Vec<MachineState>,
+    provisioned: usize,
+    peak_provisioned: usize,
     tasks: Vec<Option<Box<dyn Process<M>>>>,
     task_machine: Vec<MachineId>,
     queue: EventQueue<M>,
@@ -40,6 +55,9 @@ impl<M: SimMessage + 'static> Sim<M> {
             cfg,
             machine_network: Vec::new(),
             machines: Vec::new(),
+            machine_state: Vec::new(),
+            provisioned: 0,
+            peak_provisioned: 0,
             tasks: Vec::new(),
             task_machine: Vec::new(),
             queue: EventQueue::new(),
@@ -57,11 +75,37 @@ impl<M: SimMessage + 'static> Sim<M> {
     /// Add a machine with its own network parameters (e.g. a source stage
     /// that models `J` parallel upstream feeds rather than one NIC).
     pub fn add_machine_with_network(&mut self, network: NetworkConfig) -> MachineId {
+        let id = self.push_machine(network);
+        self.machine_state[id.index()] = MachineState::Active;
+        self.provisioned += 1;
+        self.peak_provisioned = self.peak_provisioned.max(self.provisioned);
+        id
+    }
+
+    /// Register a machine slot whose execution resources arrive only with
+    /// a mid-run [`Effect::Provision`]; until then, delivering any work to
+    /// it is a protocol error (and panics).
+    pub fn add_deferred_machine(&mut self) -> MachineId {
+        self.push_machine(self.cfg.network)
+    }
+
+    fn push_machine(&mut self, network: NetworkConfig) -> MachineId {
         let id = MachineId(self.machines.len());
         self.machines.push(Machine::new(self.cfg.machine));
         self.machine_network.push(network);
+        self.machine_state.push(MachineState::Deferred);
         self.metrics.add_machine();
         id
+    }
+
+    /// Machines currently holding execution resources.
+    pub fn provisioned_machines(&self) -> usize {
+        self.provisioned
+    }
+
+    /// High-water mark of simultaneously provisioned machines.
+    pub fn peak_provisioned_machines(&self) -> usize {
+        self.peak_provisioned
     }
 
     /// Register a task hosted on `machine`.
@@ -194,6 +238,12 @@ impl<M: SimMessage + 'static> Sim<M> {
     }
 
     fn enqueue_work(&mut self, m: MachineId, class: MsgClass, item: Queued<Work<M>>) {
+        assert!(
+            self.machine_state[m.index()] != MachineState::Deferred,
+            "work delivered to machine {} before it was provisioned \
+             (trigger-time provisioning protocol error)",
+            m.index()
+        );
         let machine = &mut self.machines[m.index()];
         machine.enqueue(class, item);
         if !machine.scheduled {
@@ -274,6 +324,28 @@ impl<M: SimMessage + 'static> Sim<M> {
                     self.queue
                         .push(done + delay, EventKind::Timer { task: to, key });
                 }
+                Effect::Provision { machine } => {
+                    let state = &mut self.machine_state[machine.index()];
+                    assert!(
+                        *state != MachineState::Active,
+                        "machine {} provisioned twice",
+                        machine.index()
+                    );
+                    *state = MachineState::Active;
+                    self.provisioned += 1;
+                    self.peak_provisioned = self.peak_provisioned.max(self.provisioned);
+                }
+                Effect::Retire { machine } => {
+                    let state = &mut self.machine_state[machine.index()];
+                    assert_eq!(
+                        *state,
+                        MachineState::Active,
+                        "machine {} retired while not active",
+                        machine.index()
+                    );
+                    *state = MachineState::Retired;
+                    self.provisioned -= 1;
+                }
             }
         }
 
@@ -299,6 +371,18 @@ impl<M: SimMessage + 'static> ExecBackend<M> for Sim<M> {
 
     fn add_machine_with_network(&mut self, network: NetworkConfig) -> MachineId {
         Sim::add_machine_with_network(self, network)
+    }
+
+    fn add_deferred_machine(&mut self) -> MachineId {
+        Sim::add_deferred_machine(self)
+    }
+
+    fn provisioned_machines(&self) -> usize {
+        Sim::provisioned_machines(self)
+    }
+
+    fn peak_provisioned_machines(&self) -> usize {
+        Sim::peak_provisioned_machines(self)
     }
 
     fn add_task(&mut self, machine: MachineId, task: Box<dyn Process<M> + Send>) -> TaskId {

@@ -103,6 +103,23 @@ pub enum Effect<M> {
         /// Key passed back to `on_timer`.
         key: u64,
     },
+    /// Acquire execution resources for a machine registered as deferred
+    /// (trigger-time provisioning): the simulator marks the machine live,
+    /// the threaded runtime spawns its worker thread. Effects apply in
+    /// emission order, so a handler that provisions first may message the
+    /// freshly provisioned machine in the same handler.
+    Provision {
+        /// The machine to bring up.
+        machine: crate::machine::MachineId,
+    },
+    /// Release a machine's execution resources (accounting-level: queued
+    /// and straggler work is still drained — a hard release would need a
+    /// full data-plane quiesce barrier). The machine may be re-provisioned
+    /// later.
+    Retire {
+        /// The machine to hand back.
+        machine: crate::machine::MachineId,
+    },
 }
 
 /// The execution context handed to a task while it runs.
@@ -166,6 +183,21 @@ impl<'a, M: SimMessage> Ctx<'a, M> {
     #[inline]
     pub fn schedule(&mut self, delay: SimDuration, key: u64) {
         self.effects.push(Effect::Timer { delay, key });
+    }
+
+    /// Acquire execution resources for `machine` (trigger-time
+    /// provisioning). Call before sending to the machine's tasks —
+    /// effects apply in emission order.
+    #[inline]
+    pub fn provision(&mut self, machine: crate::machine::MachineId) {
+        self.effects.push(Effect::Provision { machine });
+    }
+
+    /// Release `machine`'s execution resources (see
+    /// [`Effect::Retire`] for the drain semantics).
+    #[inline]
+    pub fn retire(&mut self, machine: crate::machine::MachineId) {
+        self.effects.push(Effect::Retire { machine });
     }
 
     /// Access the global metrics sink (e.g. to record joiner storage).

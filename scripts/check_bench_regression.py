@@ -1,20 +1,25 @@
 #!/usr/bin/env python3
-"""Fail CI when BENCH_wallclock.json throughput regresses versus the
+"""Fail CI when a benchmark JSON regresses in throughput versus the
 committed baseline.
 
-Entries are matched on (backend, batch_tuples); a matched entry fails
-when `new_throughput < min_ratio * baseline_throughput`. Entries present
-in only one file are reported but never fail the check (the sweep's
-smoke variant measures a subset of the committed full sweep).
+Entries are matched on (backend, key) where the key is `batch_tuples`
+(the wall-clock sweep) or `name` (the elastic/contract experiments) —
+pass --match-on to pick. A matched entry fails when
+`new_throughput < min_ratio * baseline_throughput`. Entries present in
+only one file are reported but never fail the check (a smoke run
+measures a subset of the committed baseline, and smoke workloads may be
+smaller than the baseline's — pick floors against the *measured*
+smoke-to-baseline ratio, which is deterministic for the simulator).
 
 The simulator backend runs in deterministic virtual time, so its
-throughput is machine-independent and gets the tight default ratio. The
+throughput is machine-independent and gets the tight floor. The
 threaded backend measures real wall clock on whatever hardware CI
 happens to give us, so the workflow passes it a coarser floor via
 --min-ratio-threaded.
 
 Usage:
-  check_bench_regression.py BASELINE.json NEW.json \
+  check_bench_regression.py BASELINE.json NEW.json [NEW2.json ...] \
+      [--match-on batch_tuples|name] \
       [--min-ratio 0.8] [--min-ratio-threaded 0.5]
 """
 
@@ -23,50 +28,74 @@ import json
 import sys
 
 
-def load_runs(path):
+def load_runs(path, match_on):
+    """Index a benchmark document's runs by (backend, match key)."""
     with open(path) as f:
         doc = json.load(f)
     runs = {}
     for r in doc.get("runs", []):
-        runs[(r["backend"], r["batch_tuples"])] = r
+        if match_on not in r:
+            raise KeyError(
+                f"{path}: run entry has no {match_on!r} key "
+                f"(keys: {sorted(r)})"
+            )
+        runs[(r["backend"], r[match_on])] = r
     return runs
 
 
-def main():
+def check(base, new, min_ratio, min_ratio_threaded=None, out=print):
+    """Compare `new` against `base` (both (backend, key) -> run dicts).
+
+    Returns the list of (backend, key) pairs that regressed below their
+    floor. Unmatched entries on either side are reported, never failed.
+    """
+    failures = []
+    for key, nr in sorted(new.items(), key=lambda kv: (kv[0][0], str(kv[0][1]))):
+        backend, label = key
+        br = base.get(key)
+        if br is None:
+            out(f"  [new]  {backend} {label}: "
+                f"{nr['throughput_tps']:.0f} t/s (no baseline entry)")
+            continue
+        floor = min_ratio
+        if backend == "threaded" and min_ratio_threaded is not None:
+            floor = min_ratio_threaded
+        ratio = nr["throughput_tps"] / max(br["throughput_tps"], 1e-9)
+        verdict = "ok" if ratio >= floor else "REGRESSION"
+        out(f"  [{verdict}] {backend} {label}: "
+            f"{nr['throughput_tps']:.0f} vs baseline "
+            f"{br['throughput_tps']:.0f} t/s (x{ratio:.2f}, floor x{floor:.2f})")
+        if ratio < floor:
+            failures.append(key)
+    for key in sorted(set(base) - set(new), key=lambda k: (k[0], str(k[1]))):
+        out(f"  [skip] {key[0]} {key[1]}: baseline-only entry "
+            f"(not measured in this run)")
+    return failures
+
+
+def main(argv=None):
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
-    ap.add_argument("new")
+    ap.add_argument("new", nargs="+",
+                    help="one or more result files (e.g. the per-backend "
+                         "smoke outputs); their entries are merged")
+    ap.add_argument("--match-on", default="batch_tuples",
+                    choices=["batch_tuples", "name"],
+                    help="run-entry key that identifies an entry within "
+                         "a backend (default: batch_tuples)")
     ap.add_argument("--min-ratio", type=float, default=0.8,
                     help="throughput floor as a fraction of baseline "
                          "(default 0.8 = fail on >20%% regression)")
     ap.add_argument("--min-ratio-threaded", type=float, default=None,
                     help="override floor for the threaded backend "
                          "(wall-clock numbers vary across CI hardware)")
-    args = ap.parse_args()
+    args = ap.parse_args(argv)
 
-    base = load_runs(args.baseline)
-    new = load_runs(args.new)
-    failures = []
-    for key, nr in sorted(new.items()):
-        backend, batch = key
-        br = base.get(key)
-        if br is None:
-            print(f"  [new]  {backend} batch={batch}: "
-                  f"{nr['throughput_tps']:.0f} t/s (no baseline entry)")
-            continue
-        floor = args.min_ratio
-        if backend == "threaded" and args.min_ratio_threaded is not None:
-            floor = args.min_ratio_threaded
-        ratio = nr["throughput_tps"] / max(br["throughput_tps"], 1e-9)
-        verdict = "ok" if ratio >= floor else "REGRESSION"
-        print(f"  [{verdict}] {backend} batch={batch}: "
-              f"{nr['throughput_tps']:.0f} vs baseline "
-              f"{br['throughput_tps']:.0f} t/s (x{ratio:.2f}, floor x{floor:.2f})")
-        if ratio < floor:
-            failures.append(key)
-    for key in sorted(set(base) - set(new)):
-        print(f"  [skip] {key[0]} batch={key[1]}: baseline-only entry "
-              f"(not measured in this run)")
+    base = load_runs(args.baseline, args.match_on)
+    new = {}
+    for path in args.new:
+        new.update(load_runs(path, args.match_on))
+    failures = check(base, new, args.min_ratio, args.min_ratio_threaded)
     if failures:
         print(f"FAILED: throughput regressed past the floor for {failures}")
         return 1

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Unit tests for check_bench_regression.py (run by CI as a plain
+`python3 scripts/test_check_bench_regression.py`)."""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import check_bench_regression as cbr  # noqa: E402
+
+
+def doc(*runs):
+    return {"runs": list(runs)}
+
+
+def run(backend, tps, batch=None, name=None):
+    r = {"backend": backend, "throughput_tps": tps}
+    if batch is not None:
+        r["batch_tuples"] = batch
+    if name is not None:
+        r["name"] = name
+    return r
+
+
+def write(tmpdir, fname, payload):
+    path = os.path.join(tmpdir, fname)
+    with open(path, "w") as f:
+        json.dump(payload, f)
+    return path
+
+
+class LoadRuns(unittest.TestCase):
+    def test_indexes_on_backend_and_match_key(self):
+        with tempfile.TemporaryDirectory() as d:
+            p = write(d, "b.json", doc(run("sim", 100.0, batch=1),
+                                       run("threaded", 50.0, batch=1)))
+            runs = cbr.load_runs(p, "batch_tuples")
+        self.assertEqual(set(runs), {("sim", 1), ("threaded", 1)})
+        self.assertEqual(runs[("sim", 1)]["throughput_tps"], 100.0)
+
+    def test_name_keyed_documents(self):
+        with tempfile.TemporaryDirectory() as d:
+            p = write(d, "b.json", doc(run("sim", 10.0, name="sawtooth"),
+                                       run("sim", 20.0, name="static")))
+            runs = cbr.load_runs(p, "name")
+        self.assertEqual(set(runs), {("sim", "sawtooth"), ("sim", "static")})
+
+    def test_missing_match_key_is_an_error_not_a_silent_skip(self):
+        with tempfile.TemporaryDirectory() as d:
+            p = write(d, "b.json", doc(run("sim", 10.0, name="sawtooth")))
+            with self.assertRaises(KeyError):
+                cbr.load_runs(p, "batch_tuples")
+
+    def test_empty_and_missing_runs_key(self):
+        with tempfile.TemporaryDirectory() as d:
+            p = write(d, "b.json", {"experiment": "x"})
+            self.assertEqual(cbr.load_runs(p, "name"), {})
+
+
+class Check(unittest.TestCase):
+    def quiet(self, *a, **k):
+        pass
+
+    def test_passes_at_and_above_the_floor(self):
+        base = {("sim", 1): run("sim", 100.0, batch=1)}
+        new = {("sim", 1): run("sim", 80.0, batch=1)}
+        self.assertEqual(cbr.check(base, new, 0.8, out=self.quiet), [])
+
+    def test_fails_below_the_floor(self):
+        base = {("sim", 1): run("sim", 100.0, batch=1)}
+        new = {("sim", 1): run("sim", 79.9, batch=1)}
+        self.assertEqual(cbr.check(base, new, 0.8, out=self.quiet),
+                         [("sim", 1)])
+
+    def test_zero_baseline_throughput_never_divides_by_zero(self):
+        base = {("sim", 1): run("sim", 0.0, batch=1)}
+        new = {("sim", 1): run("sim", 1.0, batch=1)}
+        self.assertEqual(cbr.check(base, new, 0.8, out=self.quiet), [])
+
+    def test_threaded_gets_its_own_coarser_floor(self):
+        base = {("sim", "a"): run("sim", 100.0, name="a"),
+                ("threaded", "a"): run("threaded", 100.0, name="a")}
+        new = {("sim", "a"): run("sim", 90.0, name="a"),
+               ("threaded", "a"): run("threaded", 40.0, name="a")}
+        # Tight gate alone would fail the threaded entry...
+        self.assertEqual(cbr.check(base, new, 0.8, out=self.quiet),
+                         [("threaded", "a")])
+        # ...the coarse threaded floor admits it.
+        self.assertEqual(
+            cbr.check(base, new, 0.8, min_ratio_threaded=0.35,
+                      out=self.quiet),
+            [])
+
+    def test_threaded_floor_does_not_loosen_the_sim_gate(self):
+        base = {("sim", "a"): run("sim", 100.0, name="a")}
+        new = {("sim", "a"): run("sim", 40.0, name="a")}
+        self.assertEqual(
+            cbr.check(base, new, 0.8, min_ratio_threaded=0.1,
+                      out=self.quiet),
+            [("sim", "a")])
+
+    def test_unmatched_entries_report_but_never_fail(self):
+        base = {("sim", "a"): run("sim", 100.0, name="a"),
+                ("sim", "base-only"): run("sim", 5.0, name="base-only")}
+        new = {("sim", "a"): run("sim", 100.0, name="a"),
+               ("sim", "new-only"): run("sim", 1.0, name="new-only")}
+        lines = []
+        self.assertEqual(cbr.check(base, new, 0.8, out=lines.append), [])
+        text = "\n".join(lines)
+        self.assertIn("[new]", text)
+        self.assertIn("[skip]", text)
+
+
+class Main(unittest.TestCase):
+    def test_end_to_end_exit_codes_and_multi_file_merge(self):
+        with tempfile.TemporaryDirectory() as d:
+            base = write(d, "base.json",
+                         doc(run("sim", 100.0, name="a"),
+                             run("threaded", 100.0, name="a")))
+            sim = write(d, "sim.json", doc(run("sim", 95.0, name="a")))
+            thr = write(d, "thr.json", doc(run("threaded", 50.0, name="a")))
+            ok = cbr.main([base, sim, thr, "--match-on", "name",
+                           "--min-ratio", "0.8",
+                           "--min-ratio-threaded", "0.35"])
+            self.assertEqual(ok, 0)
+            bad = cbr.main([base, sim, thr, "--match-on", "name",
+                            "--min-ratio", "0.8",
+                            "--min-ratio-threaded", "0.6"])
+            self.assertEqual(bad, 1)
+
+    def test_default_match_key_is_batch_tuples(self):
+        with tempfile.TemporaryDirectory() as d:
+            base = write(d, "base.json", doc(run("sim", 100.0, batch=64)))
+            new = write(d, "new.json", doc(run("sim", 99.0, batch=64)))
+            self.assertEqual(cbr.main([base, new]), 0)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
