@@ -484,7 +484,7 @@ impl EpochJoiner {
     }
 
     /// An expansion signal from reshuffler `from` (§4.2.2): this machine is
-    /// a **parent** splitting into four. Like [`on_signal`], the signal
+    /// a **parent** splitting into four. Like [`EpochJoiner::on_signal`], the signal
     /// travels FIFO behind the reshuffler's data; on the first one the
     /// caller must ship [`expansion_snapshot`](EpochJoiner::expansion_snapshot)
     /// to the children, and after the last one send each child the

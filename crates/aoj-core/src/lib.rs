@@ -8,7 +8,7 @@
 //!
 //! | paper | module |
 //! |---|---|
-//! | §3.1–3.4 join matrix, grid `(n,m)`-mapping, Theorem 3.2 | [`mapping`], [`ilf`] |
+//! | §3.1–3.4 join matrix, grid `(n,m)`-mapping, Theorem 3.2 | [`mapping`], [`mod@ilf`] |
 //! | §3.2 content-insensitive routing | [`ticket`] (nested random partitions) |
 //! | Alg. 1 decentralised statistics | [`stats`] |
 //! | Alg. 2, Lemmas 4.1–4.3, Theorem 4.2 (ε trade-off) | [`decision`] |

@@ -85,7 +85,7 @@ impl ScaledEstimator {
 /// observed `k` local samples, the scaled estimate `k·J` is within relative
 /// error `ε` of the true count with probability at least `1 − δ` where
 /// `ε = sqrt(3·ln(2/δ) / k)`. The paper cites classical estimation theory
-/// ("[23]") for such confidence bounds; this function makes the guarantee
+/// ("\[23\]") for such confidence bounds; this function makes the guarantee
 /// concrete for tests and documentation.
 pub fn relative_error_bound(local_samples: u64, delta: f64) -> f64 {
     assert!(delta > 0.0 && delta < 1.0);

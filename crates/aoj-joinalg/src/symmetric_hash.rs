@@ -1,4 +1,4 @@
-//! The local half of the symmetric hash join (Wilschut & Apers [42]):
+//! The local half of the symmetric hash join (Wilschut & Apers \[42\]):
 //! one hash index per relation, keyed by the join key. Each arriving tuple
 //! probes the opposite index and is inserted into its own — fully
 //! pipelined, never blocking.

@@ -1,15 +1,23 @@
-//! The experiment driver: assembles an operator on an execution backend,
-//! streams a workload through it, and produces a [`RunReport`].
+//! The run driver, split into the three phases a live session needs:
+//! **setup** (assemble the operator topology on an execution backend),
+//! **ingest** (the source drains the session's ingest queue while the
+//! backend executes), and **drain/collect** (run to quiescence and
+//! extract a [`RunReport`]).
 //!
 //! Topology (per §3.2 and Fig. 1c): `J` machines, each hosting one
 //! reshuffler task and one joiner task; reshuffler 0 doubles as the
 //! controller; one extra machine hosts the stream source.
 //!
-//! The driver is generic over [`ExecBackend`]: [`run`] picks the backend
-//! from [`RunConfig::backend`] — the deterministic simulator for
-//! reproducible paper figures, or `aoj-runtime`'s threaded backend for
-//! wall-clock measurements — and [`run_on`] accepts any backend the
-//! caller has built.
+//! The offline entry points remain: [`run`] executes a pre-materialized
+//! arrival sequence and is now a thin wrapper over
+//! [`JoinSession`] — open, push everything,
+//! close — which reproduces the pre-session simulator timelines bit for
+//! bit (the golden pins in `tests/batching.rs` hold). [`run_on`] drives
+//! the same phases synchronously on any caller-built backend.
+//! [`RunConfig`] is the legacy flat configuration, kept working as an
+//! alias for [`SessionBuilder`] (see
+//! [`SessionBuilder::from_run_config`]); new code should build sessions
+//! directly.
 
 use aoj_core::competitive::CompetitiveTracker;
 use aoj_core::decision::DecisionConfig;
@@ -20,8 +28,9 @@ use aoj_core::ticket::TicketGen;
 use aoj_core::tuple::Rel;
 use aoj_datagen::stream::Arrivals;
 use aoj_joinalg::SpillGauge;
-use aoj_runtime::{Runtime, RuntimeConfig};
-use aoj_simnet::{CostModel, ExecBackend, NetworkConfig, Sim, SimConfig, SimTime, TaskId};
+use aoj_simnet::{CostModel, ExecBackend, NetworkConfig, SimDuration, SimTime, TaskId};
+
+use std::sync::Arc;
 
 use crate::batch::{BatchConfig, DataCoalescer};
 use crate::elastic_runtime::{provisioned_joiners, ElasticConfig};
@@ -31,6 +40,7 @@ use crate::report::{ContractTransfer, ExpandTransfer, RunReport};
 use crate::reshuffler::{
     ControlEvent, ControllerState, ProgressRecorder, ProgressSample, ReshufflerTask,
 };
+use crate::session::{IngestQueue, JoinSession, MatchHub, SessionBuilder};
 use crate::shj::{ShjJoiner, ShjReshuffler};
 use crate::source::{SourcePacing, SourceTask};
 
@@ -70,7 +80,11 @@ pub enum BackendChoice {
     Threaded,
 }
 
-/// Configuration of one run.
+/// Configuration of one run — the **legacy flat form** of
+/// [`SessionBuilder`], kept as a working alias for the experiment
+/// harness and the existing test corpus. Every field maps 1:1 onto a
+/// builder section ([`SessionBuilder::from_run_config`]); new code
+/// should use [`SessionBuilder`] and [`JoinSession`] directly.
 #[derive(Clone, Debug)]
 pub struct RunConfig {
     /// Number of joiners (machines). Power of two for grid operators.
@@ -176,6 +190,75 @@ impl RunConfig {
         self
     }
 
+    /// Builder: set the ticket seed.
+    pub fn with_seed(mut self, seed: u64) -> RunConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: set the source pacing.
+    pub fn with_pacing(mut self, pacing: SourcePacing) -> RunConfig {
+        self.pacing = pacing;
+        self
+    }
+
+    /// Builder: set the flow-control window, in tuple copies (0 disables
+    /// backpressure).
+    pub fn with_window_copies(mut self, copies: u64) -> RunConfig {
+        self.window_copies = copies;
+        self
+    }
+
+    /// Builder: run migrations in the blocking, Flux-style ablation mode.
+    pub fn with_blocking_migrations(mut self, blocking: bool) -> RunConfig {
+        self.blocking_migrations = blocking;
+        self
+    }
+
+    /// Builder: record every emitted pair in
+    /// [`RunReport::match_pairs`].
+    pub fn with_collect_matches(mut self, collect: bool) -> RunConfig {
+        self.collect_matches = collect;
+        self
+    }
+
+    /// Builder: set the Alg. 2 decision parameters.
+    pub fn with_decision(mut self, decision: DecisionConfig) -> RunConfig {
+        self.decision = decision;
+        self
+    }
+
+    /// Builder: set the CPU cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> RunConfig {
+        self.cost = cost;
+        self
+    }
+
+    /// Builder: set the network parameters.
+    pub fn with_network(mut self, network: NetworkConfig) -> RunConfig {
+        self.network = network;
+        self
+    }
+
+    /// Builder: set the disk-tier cost multiplier.
+    pub fn with_spill_penalty(mut self, penalty: u64) -> RunConfig {
+        self.spill_penalty = penalty;
+        self
+    }
+
+    /// Builder: set the coalescing-buffer age bound, in microseconds.
+    pub fn with_batch_max_delay_us(mut self, us: u64) -> RunConfig {
+        self.batch_max_delay_us = us;
+        self
+    }
+
+    /// Builder: set the progress sample spacing (0 derives it from the
+    /// input size).
+    pub fn with_sample_every(mut self, every: u64) -> RunConfig {
+        self.sample_every = every;
+        self
+    }
+
     /// The batching knobs as a [`BatchConfig`].
     pub fn batch_config(&self) -> BatchConfig {
         BatchConfig {
@@ -185,41 +268,50 @@ impl RunConfig {
     }
 }
 
+/// Resolve a legacy [`RunConfig`] plus the offline-only knowledge (input
+/// size, full stream statistics) into a session builder.
+fn offline_builder(
+    arrivals: &Arrivals,
+    predicate: &Predicate,
+    workload_name: &str,
+    cfg: &RunConfig,
+) -> SessionBuilder {
+    let mut b = SessionBuilder::from_run_config(cfg)
+        .with_predicate(predicate.clone())
+        .with_workload(workload_name);
+    b.backend.sample_every = sample_every(cfg, arrivals.len());
+    // The offline harness materializes the whole stream up front, so the
+    // source must see everything available from the first event — that
+    // is what keeps the simulator timelines bit-identical to the
+    // pre-session code.
+    b.source.queue_tuples = arrivals.len().max(1);
+    if cfg.kind == OperatorKind::StaticOpt {
+        let (r, s) = stream_bytes(arrivals);
+        b.oracle_mapping = Some(optimal_mapping(cfg.j, r.max(1), s.max(1)));
+    }
+    b
+}
+
 /// Run `kind` over the arrival sequence on the configured backend and
-/// return the report.
+/// return the report. A thin wrapper over the live session API: open,
+/// push everything, close.
 pub fn run(
     arrivals: &Arrivals,
     predicate: &Predicate,
     workload_name: &str,
     cfg: &RunConfig,
 ) -> RunReport {
-    match cfg.backend {
-        BackendChoice::Sim => {
-            let mut sim: Sim<OpMsg> = Sim::new(SimConfig {
-                network: cfg.network,
-                machine: Default::default(),
-                deadline: None,
-            });
-            run_on(&mut sim, arrivals, predicate, workload_name, cfg)
-        }
-        BackendChoice::Threaded => {
-            let mut rt_cfg = RuntimeConfig::default();
-            // Keep the mailbox bound above the flow-control window so
-            // backpressure binds at the source, and overflowing the
-            // bound (the mailbox's bounded-wait escape hatch) stays a
-            // rare event rather than the steady state.
-            if cfg.window_copies > 0 {
-                rt_cfg.data_queue_capacity = rt_cfg
-                    .data_queue_capacity
-                    .max(4 * cfg.window_copies as usize);
-            }
-            let mut rt: Runtime<OpMsg> = Runtime::new(rt_cfg);
-            run_on(&mut rt, arrivals, predicate, workload_name, cfg)
-        }
-    }
+    let builder = offline_builder(arrivals, predicate, workload_name, cfg);
+    let mut session = JoinSession::open(builder);
+    session
+        .push_batch(arrivals.iter().copied())
+        .expect("fresh session rejected input");
+    session.close()
 }
 
-/// Run `cfg.kind` on a caller-provided backend.
+/// Run `cfg.kind` on a caller-provided backend, synchronously: the whole
+/// arrival sequence is pre-loaded into the ingest queue and the backend
+/// runs to quiescence.
 ///
 /// The backend's own scheduling configuration applies. Note that
 /// `cfg.network` is still consulted for the **source machine's** egress
@@ -234,9 +326,22 @@ pub fn run_on<B: ExecBackend<OpMsg>>(
     workload_name: &str,
     cfg: &RunConfig,
 ) -> RunReport {
+    let b = offline_builder(arrivals, predicate, workload_name, cfg);
+    let queue = IngestQueue::preloaded(arrivals);
+    let hub = MatchHub::new(0);
+    let pushed = queue.pushed();
     match cfg.kind {
-        OperatorKind::Shj => run_shj(backend, arrivals, workload_name, cfg),
-        _ => run_grid(backend, arrivals, predicate, workload_name, cfg),
+        OperatorKind::Shj => {
+            let wiring = setup_shj(backend, &b, queue, hub, None);
+            let end = backend.run();
+            collect_shj(backend, &b, &wiring, pushed, end)
+        }
+        _ => {
+            let wiring = setup_grid(backend, &b, Arc::clone(&queue), hub, None);
+            let end = backend.run();
+            let prefix = queue.prefix();
+            collect_grid(backend, &b, &wiring, pushed, end, &prefix)
+        }
     }
 }
 
@@ -289,7 +394,7 @@ fn progress_samples<B: ExecBackend<OpMsg>>(backend: &B) -> Vec<ProgressSample> {
 /// trigger time (trigger-time provisioning).
 fn add_machines<B: ExecBackend<OpMsg>>(
     backend: &mut B,
-    cfg: &RunConfig,
+    b: &SessionBuilder,
     total: usize,
     eager: usize,
 ) -> Vec<aoj_simnet::MachineId> {
@@ -306,55 +411,85 @@ fn add_machines<B: ExecBackend<OpMsg>>(
     // stages), not a single NIC: scale its egress accordingly so the
     // operator, not the feed, is the bottleneck. (The threaded backend
     // has no NIC model and ignores this.)
-    let mut src_net = cfg.network;
-    src_net.bytes_per_us = src_net.bytes_per_us.saturating_mul(cfg.j as u64);
+    let mut src_net = b.data_plane.network;
+    src_net.bytes_per_us = src_net.bytes_per_us.saturating_mul(b.j as u64);
     machines.push(backend.add_machine_with_network(src_net));
     machines
 }
 
-fn run_grid<B: ExecBackend<OpMsg>>(
+/// Task/machine layout of an assembled grid operator, handed from the
+/// setup phase to the drain/collect phase.
+pub(crate) struct GridWiring {
+    /// Registered joiner machine slots (including dormant elastic ones).
+    pub total: usize,
+    /// Reshuffler task ids by machine index.
+    pub reshuffler_ids: Vec<TaskId>,
+    /// Joiner task ids by machine index.
+    pub joiner_ids: Vec<TaskId>,
+    /// The source task.
+    pub source_id: TaskId,
+    /// The initial mapping the run started with.
+    pub initial: Mapping,
+}
+
+/// Task/machine layout of an assembled SHJ operator.
+pub(crate) struct ShjWiring {
+    /// Number of joiner machines.
+    pub j: usize,
+    /// Joiner task ids by machine index.
+    pub joiner_ids: Vec<TaskId>,
+    /// The source task.
+    pub source_id: TaskId,
+}
+
+/// Setup phase: assemble a grid operator (Dynamic/StaticMid/StaticOpt)
+/// on `backend`, wired to drain `input` and emit matches into `sink`.
+/// Schedules the source's bootstrap tick; the backend has not run yet.
+pub(crate) fn setup_grid<B: ExecBackend<OpMsg>>(
     backend: &mut B,
-    arrivals: &Arrivals,
-    predicate: &Predicate,
-    workload_name: &str,
-    cfg: &RunConfig,
-) -> RunReport {
+    b: &SessionBuilder,
+    input: Arc<IngestQueue>,
+    sink: Arc<MatchHub>,
+    idle_poll: Option<SimDuration>,
+) -> GridWiring {
     assert!(
-        cfg.j.is_power_of_two(),
+        b.j.is_power_of_two(),
         "grid operators need a power-of-two J"
     );
     assert!(
-        cfg.elastic.is_none() || cfg.kind == OperatorKind::Dynamic,
+        b.elasticity.elastic.is_none() || b.kind == OperatorKind::Dynamic,
         "elasticity requires the Dynamic operator (the controller owns the trigger)"
     );
     assert!(
-        cfg.elastic.is_none() || !cfg.blocking_migrations,
+        b.elasticity.elastic.is_none() || !b.elasticity.blocking_migrations,
         "elasticity requires non-blocking migrations: the blocking ablation's \
          MigrationComplete broadcast cannot reach machines that a contraction \
          deactivates mid-flight"
     );
-    let initial = match cfg.kind {
-        OperatorKind::Dynamic | OperatorKind::StaticMid => Mapping::square(cfg.j),
-        OperatorKind::StaticOpt => {
-            let (r, s) = stream_bytes(arrivals);
-            optimal_mapping(cfg.j, r.max(1), s.max(1))
-        }
+    let initial = match b.kind {
+        OperatorKind::Dynamic | OperatorKind::StaticMid => Mapping::square(b.j),
+        OperatorKind::StaticOpt => b.oracle_mapping.expect(
+            "StaticOpt needs an oracle mapping (with_oracle_mapping): an online session \
+             cannot know stream sizes ahead of time",
+        ),
         OperatorKind::Shj => unreachable!(),
     };
-    let adaptive = cfg.kind == OperatorKind::Dynamic;
+    let adaptive = b.kind == OperatorKind::Dynamic;
+    let sample_spacing = b.sample_spacing();
 
-    backend.metrics_mut().sample_spacing = sample_every(cfg, arrivals.len());
-    let j = cfg.j as usize;
+    backend.metrics_mut().sample_spacing = sample_spacing;
+    let j = b.j as usize;
     // Elastic runs register the bounded machine-slot space
     // (`J₀ · 4^max_expansions` ids — cheap task objects and mailbox
     // stubs) but **provision** only the initial `j` machines: worker
     // shards for the rest are acquired at expansion trigger time and
     // handed back at contraction (trigger-time provisioning).
-    let total = cfg
+    let total = b
+        .elasticity
         .elastic
-        .map(|e| provisioned_joiners(cfg.j, e.max_expansions) as usize)
+        .map(|e| provisioned_joiners(b.j, e.max_expansions) as usize)
         .unwrap_or(j);
-    let machines = add_machines(backend, cfg, total, j);
+    let machines = add_machines(backend, b, total, j);
     let reshuffler_ids: Vec<TaskId> = (0..total).map(TaskId).collect();
     let joiner_ids: Vec<TaskId> = (total..2 * total).map(TaskId).collect();
     let source_id = TaskId(2 * total);
@@ -363,13 +498,13 @@ fn run_grid<B: ExecBackend<OpMsg>>(
         let controller = if i == 0 {
             Some(
                 ControllerState::new(
-                    cfg.j,
+                    b.j,
                     initial,
-                    cfg.decision,
+                    b.elasticity.decision,
                     adaptive,
-                    sample_every(cfg, arrivals.len()),
+                    sample_spacing,
                 )
-                .with_elastic(cfg.elastic),
+                .with_elastic(b.elasticity.elastic),
             )
         } else {
             None
@@ -380,17 +515,17 @@ fn run_grid<B: ExecBackend<OpMsg>>(
             assign: GridAssignment::initial(initial),
             joiner_tasks: joiner_ids.clone(),
             reshuffler_tasks: reshuffler_ids.clone(),
-            tickets: TicketGen::new(cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9)),
-            cost: cfg.cost,
+            tickets: TicketGen::new(b.seed ^ (i as u64).wrapping_mul(0x9E37_79B9)),
+            cost: b.data_plane.cost,
             controller,
             source: source_id,
-            blocking: cfg.blocking_migrations,
+            blocking: b.elasticity.blocking_migrations,
             stalled: false,
             stall_buffer: Vec::new(),
             routed: 0,
             // Slots cover the full machine-slot space so elastic
             // expansions route into existing buffers.
-            batch: DataCoalescer::new(cfg.batch_config(), total),
+            batch: DataCoalescer::new(b.batch_config(), total),
             deactivated: false,
             // Machines 0..j are live; expansions allocate dormant-pool
             // slots first, fresh slots after.
@@ -402,46 +537,73 @@ fn run_grid<B: ExecBackend<OpMsg>>(
     for i in 0..total {
         let mut task = JoinerTask::new(
             i,
-            predicate.clone(),
+            b.predicate.clone(),
             total,
             joiner_ids.clone(),
             reshuffler_ids[0],
             source_id,
             machines[i],
-            SpillGauge::new(cfg.ram_budget, cfg.spill_penalty),
-            cfg.cost,
+            SpillGauge::new(b.data_plane.ram_budget, b.data_plane.spill_penalty),
+            b.data_plane.cost,
         );
         if i >= j {
-            task = task.dormant(predicate.clone(), total);
+            task = task.dormant(b.predicate.clone(), total);
         }
-        task.collect_matches = cfg.collect_matches;
+        task.collect_matches = b.backend.collect_matches;
+        task.match_sink = Some(Arc::clone(&sink));
         let id = backend.add_task(machines[i], Box::new(task));
         debug_assert_eq!(id, joiner_ids[i]);
     }
     let mut src = SourceTask::new(
-        arrivals.clone(),
+        input,
         reshuffler_ids.clone(),
-        cfg.pacing,
-        cfg.window_copies,
-        cfg.batch_tuples,
+        b.source.pacing,
+        b.source.window_copies,
+        b.data_plane.batch_tuples,
     );
+    if let Some(poll) = idle_poll {
+        src = src.with_idle_poll(poll);
+    }
     src.active.truncate(j);
     let id = backend.add_task(machines[total], Box::new(src));
     debug_assert_eq!(id, source_id);
     backend.start_timer_at(SimTime::ZERO, source_id, SourceTask::TICK);
 
-    let end = backend.run();
+    GridWiring {
+        total,
+        reshuffler_ids,
+        joiner_ids,
+        source_id,
+        initial,
+    }
+}
 
-    // A quiesced run must have drained the whole stream — anything less
-    // means the flow-control window wedged (silent output loss).
+/// Drain check shared by both collect phases: a quiesced run must have
+/// drained the whole stream — anything less means the flow-control
+/// window wedged (silent output loss).
+fn assert_drained<B: ExecBackend<OpMsg>>(backend: &B, source_id: TaskId, pushed: u64) {
     let src_task = backend.task_ref::<SourceTask>(source_id);
     assert_eq!(
-        src_task.cursor,
-        arrivals.len(),
+        src_task.cursor as u64,
+        pushed,
         "source stalled with {} of {} tuples unsent (flow-control wedge)",
-        arrivals.len() - src_task.cursor,
-        arrivals.len()
+        pushed - src_task.cursor as u64,
+        pushed
     );
+}
+
+/// Drain/collect phase for grid operators: verify the stream drained and
+/// extract the [`RunReport`] from the quiesced backend.
+pub(crate) fn collect_grid<B: ExecBackend<OpMsg>>(
+    backend: &B,
+    b: &SessionBuilder,
+    wiring: &GridWiring,
+    pushed: u64,
+    end: SimTime,
+    prefix: &[(u64, u64)],
+) -> RunReport {
+    assert_drained(backend, wiring.source_id, pushed);
+    let total = wiring.total;
 
     // Collect joiner-side stats (dormant children that never activated
     // contribute zeroes).
@@ -451,7 +613,7 @@ fn run_grid<B: ExecBackend<OpMsg>>(
     let mut match_pairs: Vec<(u64, u64)> = Vec::new();
     let mut expand_transfers: Vec<ExpandTransfer> = Vec::new();
     let mut contract_transfers: Vec<ContractTransfer> = Vec::new();
-    for &jid in &joiner_ids {
+    for &jid in &wiring.joiner_ids {
         let jt = backend.task_ref::<JoinerTask>(jid);
         matches += jt.matches;
         latency.merge(&jt.latency);
@@ -473,7 +635,7 @@ fn run_grid<B: ExecBackend<OpMsg>>(
         }
     }
     match_pairs.sort_unstable();
-    let controller = backend.task_ref::<ReshufflerTask>(reshuffler_ids[0]);
+    let controller = backend.task_ref::<ReshufflerTask>(wiring.reshuffler_ids[0]);
     let ctrl = controller
         .controller
         .as_ref()
@@ -523,17 +685,17 @@ fn run_grid<B: ExecBackend<OpMsg>>(
         .map(|i| metrics.stored_bytes_of(aoj_simnet::MachineId(i)))
         .collect();
 
-    let competitive = competitive_trace(cfg.j, arrivals, &events, &routing_samples, initial);
+    let competitive = competitive_trace(b.j, prefix, &events, &routing_samples, wiring.initial);
 
     RunReport {
-        operator: cfg.kind.label(),
+        operator: b.kind.label(),
         backend: backend.backend_name(),
-        workload: workload_name.to_string(),
-        j: cfg.j,
-        input_tuples: arrivals.len() as u64,
+        workload: b.workload.clone(),
+        j: b.j,
+        input_tuples: pushed,
         exec_time: end.since(SimTime::ZERO),
         matches,
-        throughput: arrivals.len() as f64 / end.as_secs_f64().max(1e-9),
+        throughput: pushed as f64 / end.as_secs_f64().max(1e-9),
         max_ilf_bytes: max_ilf,
         avg_ilf_bytes: total_storage as f64 / final_j as f64,
         total_storage_bytes: total_storage,
@@ -561,15 +723,17 @@ fn run_grid<B: ExecBackend<OpMsg>>(
     }
 }
 
-fn run_shj<B: ExecBackend<OpMsg>>(
+/// Setup phase for the SHJ baseline.
+pub(crate) fn setup_shj<B: ExecBackend<OpMsg>>(
     backend: &mut B,
-    arrivals: &Arrivals,
-    workload_name: &str,
-    cfg: &RunConfig,
-) -> RunReport {
-    backend.metrics_mut().sample_spacing = sample_every(cfg, arrivals.len());
-    let j = cfg.j as usize;
-    let machines = add_machines(backend, cfg, j, j);
+    b: &SessionBuilder,
+    input: Arc<IngestQueue>,
+    sink: Arc<MatchHub>,
+    idle_poll: Option<SimDuration>,
+) -> ShjWiring {
+    backend.metrics_mut().sample_spacing = b.sample_spacing();
+    let j = b.j as usize;
+    let machines = add_machines(backend, b, j, j);
     let reshuffler_ids: Vec<TaskId> = (0..j).map(TaskId).collect();
     let joiner_ids: Vec<TaskId> = (j..2 * j).map(TaskId).collect();
 
@@ -577,50 +741,60 @@ fn run_shj<B: ExecBackend<OpMsg>>(
     for (i, &machine) in machines.iter().enumerate().take(j) {
         let task = ShjReshuffler {
             joiner_tasks: joiner_ids.clone(),
-            cost: cfg.cost,
+            cost: b.data_plane.cost,
             source: source_id,
             routed: 0,
-            recorder: (i == 0).then(|| ProgressRecorder::new(sample_every(cfg, arrivals.len()))),
-            batch: DataCoalescer::new(cfg.batch_config(), j),
+            recorder: (i == 0).then(|| ProgressRecorder::new(b.sample_spacing())),
+            batch: DataCoalescer::new(b.batch_config(), j),
         };
         backend.add_task(machine, Box::new(task));
     }
     for &machine in machines.iter().take(j) {
         let mut task = ShjJoiner::new(
             machine,
-            cfg.cost,
-            SpillGauge::new(cfg.ram_budget, cfg.spill_penalty),
+            b.data_plane.cost,
+            SpillGauge::new(b.data_plane.ram_budget, b.data_plane.spill_penalty),
             source_id,
         );
-        task.collect_matches = cfg.collect_matches;
+        task.collect_matches = b.backend.collect_matches;
+        task.match_sink = Some(Arc::clone(&sink));
         backend.add_task(machine, Box::new(task));
     }
-    let src = SourceTask::new(
-        arrivals.clone(),
-        reshuffler_ids.clone(),
-        cfg.pacing,
-        cfg.window_copies,
-        cfg.batch_tuples,
+    let mut src = SourceTask::new(
+        input,
+        reshuffler_ids,
+        b.source.pacing,
+        b.source.window_copies,
+        b.data_plane.batch_tuples,
     );
+    if let Some(poll) = idle_poll {
+        src = src.with_idle_poll(poll);
+    }
     let id = backend.add_task(machines[j], Box::new(src));
     debug_assert_eq!(id, source_id);
     backend.start_timer_at(SimTime::ZERO, source_id, SourceTask::TICK);
 
-    let end = backend.run();
+    ShjWiring {
+        j,
+        joiner_ids,
+        source_id,
+    }
+}
 
-    let src_task = backend.task_ref::<SourceTask>(source_id);
-    assert_eq!(
-        src_task.cursor,
-        arrivals.len(),
-        "source stalled with {} of {} tuples unsent (flow-control wedge)",
-        arrivals.len() - src_task.cursor,
-        arrivals.len()
-    );
+/// Drain/collect phase for the SHJ baseline.
+pub(crate) fn collect_shj<B: ExecBackend<OpMsg>>(
+    backend: &B,
+    b: &SessionBuilder,
+    wiring: &ShjWiring,
+    pushed: u64,
+    end: SimTime,
+) -> RunReport {
+    assert_drained(backend, wiring.source_id, pushed);
 
     let mut matches = 0u64;
     let mut latency = LatencyStats::default();
     let mut match_pairs: Vec<(u64, u64)> = Vec::new();
-    for &jid in &joiner_ids {
+    for &jid in &wiring.joiner_ids {
         let jt = backend.task_ref::<ShjJoiner>(jid);
         matches += jt.matches;
         latency.merge(&jt.latency);
@@ -639,14 +813,14 @@ fn run_shj<B: ExecBackend<OpMsg>>(
     RunReport {
         operator: OperatorKind::Shj.label(),
         backend: backend.backend_name(),
-        workload: workload_name.to_string(),
-        j: cfg.j,
-        input_tuples: arrivals.len() as u64,
+        workload: b.workload.clone(),
+        j: b.j,
+        input_tuples: pushed,
         exec_time: end.since(SimTime::ZERO),
         matches,
-        throughput: arrivals.len() as f64 / end.as_secs_f64().max(1e-9),
+        throughput: pushed as f64 / end.as_secs_f64().max(1e-9),
         max_ilf_bytes: metrics.max_stored_bytes(),
-        avg_ilf_bytes: metrics.total_stored_bytes() as f64 / cfg.j as f64,
+        avg_ilf_bytes: metrics.total_stored_bytes() as f64 / b.j as f64,
         total_storage_bytes: metrics.total_stored_bytes(),
         network_bytes: metrics.total_bytes_sent(),
         network_messages: metrics.total_messages(),
@@ -673,16 +847,18 @@ fn run_shj<B: ExecBackend<OpMsg>>(
 }
 
 /// Reconstruct the `ILF/ILF*` trace (Fig. 8c) offline: at every progress
-/// sample, the true cardinalities come from the arrival prefix and the
-/// operator's mapping from the controller's decision log.
+/// sample, the true cardinalities come from the pushed stream's prefix
+/// counts (`prefix[k]` = (R, S) after `k` arrivals) and the operator's
+/// mapping from the controller's decision log.
 fn competitive_trace(
     j: u32,
-    arrivals: &Arrivals,
+    prefix: &[(u64, u64)],
     events: &[ControlEvent],
     samples: &[crate::reshuffler::ProgressSample],
     initial: Mapping,
 ) -> Vec<aoj_core::competitive::RatioSample> {
-    if samples.is_empty() {
+    // No samples, or prefix tracking disabled: no trace.
+    if samples.is_empty() || prefix.len() <= 1 {
         return Vec::new();
     }
     // The ILF/ILF* trace is defined against a fixed J; once an elastic
@@ -695,17 +871,6 @@ fn competitive_trace(
         )
     }) {
         return Vec::new();
-    }
-    // Prefix counts of R/S at each seq.
-    let mut prefix: Vec<(u64, u64)> = Vec::with_capacity(arrivals.len() + 1);
-    let (mut r, mut s) = (0u64, 0u64);
-    prefix.push((0, 0));
-    for (rel, _) in arrivals {
-        match rel {
-            Rel::R => r += 1,
-            Rel::S => s += 1,
-        }
-        prefix.push((r, s));
     }
     let mut tracker = CompetitiveTracker::new(j, 0);
     for sample in samples {

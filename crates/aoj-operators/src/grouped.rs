@@ -417,8 +417,8 @@ pub fn run_grouped(arrivals: &Arrivals, predicate: &Predicate, j: u32, seed: u64
         );
         sim.add_task(machine, Box::new(task));
     }
-    let src = SourceTask::new(
-        arrivals.clone(),
+    let src = SourceTask::preloaded(
+        arrivals,
         reshuffler_ids,
         SourcePacing::saturating(),
         window,

@@ -9,8 +9,11 @@ use aoj_core::tuple::{Rel, Tuple};
 use aoj_joinalg::{index_for, SpillGauge};
 use aoj_simnet::{Ctx, MachineId, Process, SimDuration, TaskId};
 
+use std::sync::Arc;
+
 use crate::elastic_runtime::ExpandOutbox;
-use crate::messages::OpMsg;
+use crate::messages::{Match, OpMsg};
+use crate::session::MatchHub;
 
 /// How many tuples ride in one migration batch message.
 pub const MIG_BATCH_TUPLES: usize = 64;
@@ -130,6 +133,10 @@ pub struct JoinerTask {
     pub collect_matches: bool,
     /// Emitted pair identities, `(R seq, S seq)`, when collection is on.
     pub match_log: Vec<(u64, u64)>,
+    /// Live match-emission path: every produced pair is handed to the
+    /// session's [`MatchHub`] (which counts it, and buffers it for the
+    /// subscriber when one is attached).
+    pub match_sink: Option<Arc<MatchHub>>,
     /// Latency samples.
     pub latency: LatencyStats,
     /// Tuples received as migration state.
@@ -196,6 +203,7 @@ impl JoinerTask {
             matches: 0,
             collect_matches: false,
             match_log: Vec::new(),
+            match_sink: None,
             latency: LatencyStats::default(),
             migration_tuples_in: 0,
             migration_bytes_in: 0,
@@ -219,8 +227,11 @@ impl JoinerTask {
     }
 
     /// Batch size for credit returns: small enough to keep the source's
-    /// window fresh, large enough not to double the message count.
-    const CREDIT_BATCH: u32 = 8;
+    /// window fresh, large enough not to double the message count. Up to
+    /// `CREDIT_BATCH − 1` credits may sit parked per joiner, so the
+    /// flow-control window must exceed that slack or the plane wedges
+    /// (checked at session open).
+    pub(crate) const CREDIT_BATCH: u32 = 8;
 
     fn return_credits(&mut self, ctx: &mut Ctx<'_, OpMsg>, n: u32) {
         self.unacked_credits += n;
@@ -331,10 +342,14 @@ impl Process<OpMsg> for JoinerTask {
                     let mut per_tuple = vec![0u32; tuples.len()];
                     {
                         let match_log = &mut self.match_log;
+                        let sink = self.match_sink.as_deref();
                         stats = self.epoch.on_data_batch(tag, &tuples, &mut |i, stored| {
                             per_tuple[i] += 1;
                             if collect {
                                 match_log.push(pair_key(&tuples[i], stored));
+                            }
+                            if let Some(hub) = sink {
+                                hub.emit(Match::of(&tuples[i], stored));
                             }
                         });
                     }
@@ -354,10 +369,14 @@ impl Process<OpMsg> for JoinerTask {
                     for (i, t) in tuples.into_iter().enumerate() {
                         let mut matches = 0u64;
                         let match_log = &mut self.match_log;
+                        let sink = self.match_sink.as_deref();
                         let outcome = self.epoch.on_data(tag, t, &mut |a, b| {
                             matches += 1;
                             if collect {
                                 match_log.push(pair_key(a, b));
+                            }
+                            if let Some(hub) = sink {
+                                hub.emit(Match::of(a, b));
                             }
                         });
                         stats += outcome.stats;
@@ -526,10 +545,14 @@ impl Process<OpMsg> for JoinerTask {
                     self.migration_tuples_in += 1;
                     self.migration_bytes_in += t.bytes as u64;
                     let match_log = &mut self.match_log;
+                    let sink = self.match_sink.as_deref();
                     stats += self.epoch.on_migration_tuple(t, &mut |a, b| {
                         matches += 1;
                         if collect {
                             match_log.push(pair_key(a, b));
+                        }
+                        if let Some(hub) = sink {
+                            hub.emit(Match::of(a, b));
                         }
                     });
                 }

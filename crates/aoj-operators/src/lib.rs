@@ -13,9 +13,17 @@
 //!   of time);
 //! * **SHJ** — content-sensitive parallel symmetric hash join.
 //!
-//! [`driver::run`] executes one configured run and returns a
-//! [`report::RunReport`] carrying every quantity the paper's tables and
-//! figures plot.
+//! Two entry points share the same machinery:
+//!
+//! * [`session::JoinSession`] — the **live serving API**: open a
+//!   long-lived session, push tuples with caller-visible backpressure,
+//!   stream matches through a subscription, read live gauges, close to
+//!   drain and collect the report;
+//! * [`driver::run`] — the offline experiment harness: executes one
+//!   pre-materialized arrival sequence (now a thin wrapper over the
+//!   session: open, push all, close) and returns a
+//!   [`report::RunReport`] carrying every quantity the paper's tables
+//!   and figures plot.
 
 pub mod batch;
 pub mod driver;
@@ -25,6 +33,7 @@ pub mod joiner_task;
 pub mod messages;
 pub mod report;
 pub mod reshuffler;
+pub mod session;
 pub mod shj;
 pub mod source;
 
@@ -32,6 +41,10 @@ pub use batch::BatchConfig;
 pub use driver::{run, run_on, BackendChoice, OperatorKind, RunConfig};
 pub use elastic_runtime::ElasticConfig;
 pub use grouped::{run_grouped, GroupedReport};
-pub use messages::OpMsg;
+pub use messages::{Match, OpMsg};
 pub use report::{human_bytes, ContractTransfer, ExpandTransfer, RunReport};
+pub use session::{
+    IngestHandle, JoinSession, MatchSubscription, PushError, SessionBuilder, SessionHandle,
+    SessionStats,
+};
 pub use source::SourcePacing;

@@ -18,6 +18,42 @@ use aoj_simnet::{MsgClass, SimMessage, SimTime, TaskId};
 /// Per-tuple wire overhead added on top of the payload bytes.
 const TUPLE_HEADER_BYTES: u64 = 16;
 
+/// One emitted join pair, as delivered to live subscribers
+/// ([`SessionHandle::subscribe`](crate::session::SessionHandle::subscribe)).
+///
+/// Identified by the canonical `(R seq, S seq)` pair — the same identity
+/// [`RunReport::match_pairs`](crate::report::RunReport::match_pairs)
+/// records — plus both sides' join keys for downstream consumers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Match {
+    /// Global arrival sequence number of the R-side tuple.
+    pub r_seq: u64,
+    /// Global arrival sequence number of the S-side tuple.
+    pub s_seq: u64,
+    /// The R-side join key.
+    pub r_key: i64,
+    /// The S-side join key.
+    pub s_key: i64,
+}
+
+impl Match {
+    /// Build from the two matched tuples, in either order.
+    pub fn of(a: &Tuple, b: &Tuple) -> Match {
+        let (r, s) = if a.rel == Rel::R { (a, b) } else { (b, a) };
+        Match {
+            r_seq: r.seq,
+            s_seq: s.seq,
+            r_key: r.key,
+            s_key: s.key,
+        }
+    }
+
+    /// The canonical `(R seq, S seq)` identity.
+    pub fn pair(&self) -> (u64, u64) {
+        (self.r_seq, self.s_seq)
+    }
+}
+
 /// One raw stream tuple inside an [`OpMsg::IngestBatch`].
 #[derive(Clone, Copy, Debug)]
 pub struct IngestItem {

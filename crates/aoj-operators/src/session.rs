@@ -1,0 +1,1257 @@
+//! The live session API: push-based ingest, streaming match
+//! subscription, and a service-shaped driver.
+//!
+//! [`driver::run`](crate::driver::run) is an *experiment* harness: it
+//! wants the whole arrival sequence up front and reports only after the
+//! run drains. A production operator is **open for business while data
+//! arrives** — callers push tuples as they happen, consume join matches
+//! as they are emitted, and read live load gauges in between. This
+//! module is that shape:
+//!
+//! ```text
+//!             JoinSession::open(builder)
+//!                        │
+//!                        ▼
+//!    push / try_push ─▶ ┌──────────────┐ ─▶ subscribe(): Match stream
+//!    (backpressure:     │ SessionHandle │ ─▶ stats(): live gauges
+//!     blocking / Full)  └──────────────┘
+//!                        │
+//!                        ▼
+//!             close() → drain → RunReport
+//! ```
+//!
+//! * **Ingest** goes through a bounded [`IngestQueue`]: the source task
+//!   pulls from it instead of walking a pre-materialized slice.
+//!   [`SessionHandle::push`] blocks while the queue is full (which
+//!   happens exactly when the operator's credit-based flow-control
+//!   window is closed and the source has stopped draining);
+//!   [`SessionHandle::try_push`] returns [`PushError::Full`] instead.
+//! * **Matches** stream through a [`MatchHub`] — a bounded channel fed
+//!   by the joiners — and out of [`SessionHandle::subscribe`]'s
+//!   iterator, replacing the count-only / `collect_matches` duality of
+//!   [`RunReport`] for live consumers. A full hub exerts backpressure
+//!   on the data plane (joiners wait for the subscriber); a session
+//!   [`close`](SessionHandle::close) lifts the bound first, so a slow
+//!   subscriber can never deadlock the drain.
+//! * **Both backends** serve the same API. The threaded runtime maps
+//!   the queue onto a real MPSC handoff: worker threads run
+//!   concurrently with the caller, and the source parks on a short idle
+//!   poll while the queue is empty. The simulator is single-threaded,
+//!   so the handle *pumps* it instead: each push (and `close`) runs the
+//!   simulator to quiescence, interleaving virtual time with caller
+//!   pushes deterministically — `run()` reproduces its pre-session
+//!   timelines bit for bit.
+//!
+//! [`SessionBuilder`] is the typed configuration: the former 17-field
+//! flat `RunConfig` regrouped into [`SourceSection`],
+//! [`DataPlaneSection`], [`ElasticitySection`] and [`BackendSection`].
+//! `RunConfig` remains as a working legacy alias (every field maps 1:1;
+//! see [`SessionBuilder::from_run_config`]).
+//!
+//! [`RunReport`]: crate::report::RunReport
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use aoj_core::decision::DecisionConfig;
+use aoj_core::mapping::Mapping;
+use aoj_core::predicate::Predicate;
+use aoj_core::tuple::Rel;
+use aoj_datagen::queries::StreamItem;
+use aoj_runtime::{Runtime, RuntimeConfig};
+use aoj_simnet::{
+    CostModel, ExecBackend, MachineId, NetworkConfig, SharedGauges, Sim, SimConfig, SimDuration,
+    SimTime, TaskId,
+};
+
+use crate::batch::BatchConfig;
+use crate::driver::{
+    collect_grid, collect_shj, setup_grid, setup_shj, BackendChoice, GridWiring, OperatorKind,
+    RunConfig, ShjWiring,
+};
+use crate::elastic_runtime::ElasticConfig;
+use crate::messages::{Match, OpMsg};
+use crate::report::RunReport;
+use crate::source::{SourcePacing, SourceTask};
+
+/// Why a push was refused.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PushError {
+    /// The ingest queue is at capacity — the flow-control window is
+    /// closed and the source has stopped draining. Retry after consuming
+    /// matches (or with [`SessionHandle::push`], which waits).
+    Full,
+    /// The session was closed; no further input is accepted.
+    Closed,
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::Full => write!(f, "ingest queue full (flow-control window closed)"),
+            PushError::Closed => write!(f, "session closed"),
+        }
+    }
+}
+
+impl std::error::Error for PushError {}
+
+struct QueueState {
+    items: VecDeque<(Rel, StreamItem)>,
+    closed: bool,
+    pushed: u64,
+    r_pushed: u64,
+    s_pushed: u64,
+    /// `prefix[k]` = (R count, S count) after the first `k` arrivals —
+    /// the per-sequence stream statistics the offline `ILF/ILF*`
+    /// competitive trace needs. Maintained under the push lock so
+    /// multi-producer sessions stay exact; empty when tracking is off.
+    prefix: Vec<(u64, u64)>,
+}
+
+/// The bounded ingest queue between callers and the source task.
+///
+/// Producers ([`SessionHandle::push`] / [`IngestHandle`]) append under a
+/// lock; the source task drains in arrival order. The capacity is the
+/// session's admission bound: once the operator's flow-control window
+/// closes, the source stops draining, the queue fills, and pushes block
+/// (or report [`PushError::Full`]) — backpressure surfaces to the
+/// caller instead of buffering without bound.
+pub struct IngestQueue {
+    state: Mutex<QueueState>,
+    /// Producer-side wakeups: space freed or queue closed.
+    space: Condvar,
+    capacity: usize,
+}
+
+impl IngestQueue {
+    /// An open queue admitting at most `capacity` queued tuples.
+    pub(crate) fn bounded(capacity: usize, track_prefix: bool) -> Arc<IngestQueue> {
+        Arc::new(IngestQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+                pushed: 0,
+                r_pushed: 0,
+                s_pushed: 0,
+                prefix: if track_prefix {
+                    vec![(0, 0)]
+                } else {
+                    Vec::new()
+                },
+            }),
+            space: Condvar::new(),
+            capacity: capacity.max(1),
+        })
+    }
+
+    /// A queue pre-loaded with a full arrival sequence and already
+    /// closed — the offline-run shape ([`crate::driver::run_on`], the
+    /// grouped driver): the source sees every tuple available from the
+    /// start, exactly like the old slice-walking source did.
+    pub(crate) fn preloaded(arrivals: &[(Rel, StreamItem)]) -> Arc<IngestQueue> {
+        let q = IngestQueue::bounded(arrivals.len().max(1), true);
+        {
+            let mut st = q.state.lock().unwrap();
+            for &(rel, item) in arrivals {
+                st.note_push(rel);
+                st.items.push_back((rel, item));
+            }
+            st.closed = true;
+        }
+        q
+    }
+
+    /// Blocking push: waits while the queue is at capacity, errors once
+    /// the session is closed.
+    pub fn push(&self, rel: Rel, item: StreamItem) -> Result<(), PushError> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.closed {
+                return Err(PushError::Closed);
+            }
+            if st.items.len() < self.capacity {
+                st.note_push(rel);
+                st.items.push_back((rel, item));
+                return Ok(());
+            }
+            st = self.space.wait(st).unwrap();
+        }
+    }
+
+    /// Non-blocking push: [`PushError::Full`] while the queue is at
+    /// capacity (the flow-control window is closed end to end).
+    pub fn try_push(&self, rel: Rel, item: StreamItem) -> Result<(), PushError> {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return Err(PushError::Closed);
+        }
+        if st.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        st.note_push(rel);
+        st.items.push_back((rel, item));
+        Ok(())
+    }
+
+    /// No further pushes; pending items still drain. Idempotent.
+    pub(crate) fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.space.notify_all();
+    }
+
+    /// Pop up to `max` items in arrival order into `out`. Frees producer
+    /// space.
+    pub(crate) fn pop_upto(&self, max: usize, out: &mut Vec<(Rel, StreamItem)>) {
+        if max == 0 {
+            return;
+        }
+        let mut st = self.state.lock().unwrap();
+        let n = max.min(st.items.len());
+        out.extend(st.items.drain(..n));
+        if n > 0 {
+            drop(st);
+            self.space.notify_all();
+        }
+    }
+
+    /// `(queue empty, closed)` in one consistent read.
+    pub(crate) fn status(&self) -> (bool, bool) {
+        let st = self.state.lock().unwrap();
+        (st.items.is_empty(), st.closed)
+    }
+
+    /// Tuples accepted so far (including ones already drained).
+    pub fn pushed(&self) -> u64 {
+        self.state.lock().unwrap().pushed
+    }
+
+    /// Tuples accepted but not yet drained by the source.
+    pub fn queued(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// The per-sequence `(R, S)` prefix counts (empty when tracking is
+    /// disabled).
+    pub(crate) fn prefix(&self) -> Vec<(u64, u64)> {
+        self.state.lock().unwrap().prefix.clone()
+    }
+}
+
+impl QueueState {
+    fn note_push(&mut self, rel: Rel) {
+        self.pushed += 1;
+        match rel {
+            Rel::R => self.r_pushed += 1,
+            Rel::S => self.s_pushed += 1,
+        }
+        if !self.prefix.is_empty() {
+            self.prefix.push((self.r_pushed, self.s_pushed));
+        }
+    }
+}
+
+struct HubState {
+    buf: VecDeque<Match>,
+    finished: bool,
+    /// Set by `close()` before the drain: emitters stop honouring the
+    /// bound so the drain can never wedge behind a slow subscriber.
+    draining: bool,
+}
+
+/// The bounded match channel between the joiners and the subscriber.
+///
+/// Joiners `emit` every produced pair; a
+/// [`MatchSubscription`] consumes them. While no subscriber is attached
+/// the hub only counts (so sessions — including the legacy `run()`
+/// wrapper — pay one atomic add per match, nothing more). With a
+/// subscriber attached and the buffer at capacity, emitters wait for the
+/// subscriber: match backpressure propagates into the data plane, which
+/// in turn closes the ingest window — the whole pipeline throttles to
+/// the consumer. [`close`](SessionHandle::close) lifts the bound before
+/// draining, so the shutdown path never deadlocks.
+pub struct MatchHub {
+    state: Mutex<HubState>,
+    /// Subscriber-side wakeups (new matches, finish).
+    ready: Condvar,
+    /// Emitter-side wakeups (space freed, bound lifted, detach).
+    space: Condvar,
+    attached: AtomicBool,
+    emitted: AtomicU64,
+    /// 0 = unbounded (the simulator's single-threaded sessions, where a
+    /// blocking emit could only deadlock).
+    capacity: usize,
+}
+
+impl MatchHub {
+    pub(crate) fn new(capacity: usize) -> Arc<MatchHub> {
+        Arc::new(MatchHub {
+            state: Mutex::new(HubState {
+                buf: VecDeque::new(),
+                finished: false,
+                draining: false,
+            }),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+            attached: AtomicBool::new(false),
+            emitted: AtomicU64::new(0),
+            capacity,
+        })
+    }
+
+    /// Total matches emitted by the joiners so far (counted whether or
+    /// not anyone subscribed).
+    pub fn emitted(&self) -> u64 {
+        self.emitted.load(Ordering::Relaxed)
+    }
+
+    /// Called by joiners for every produced pair.
+    pub(crate) fn emit(&self, m: Match) {
+        self.emitted.fetch_add(1, Ordering::Relaxed);
+        if !self.attached.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut st = self.state.lock().unwrap();
+        if self.capacity > 0 {
+            while st.buf.len() >= self.capacity
+                && !st.draining
+                && self.attached.load(Ordering::Relaxed)
+            {
+                st = self.space.wait(st).unwrap();
+            }
+            if !self.attached.load(Ordering::Relaxed) {
+                return; // subscriber went away; no one will read this
+            }
+        }
+        st.buf.push_back(m);
+        drop(st);
+        self.ready.notify_one();
+    }
+
+    fn attach(&self) {
+        self.attached.store(true, Ordering::Relaxed);
+    }
+
+    fn detach(&self) {
+        self.attached.store(false, Ordering::Relaxed);
+        let mut st = self.state.lock().unwrap();
+        st.buf.clear();
+        drop(st);
+        self.space.notify_all();
+    }
+
+    /// Emitters stop honouring the capacity bound (shutdown path).
+    fn lift_bound(&self) {
+        self.state.lock().unwrap().draining = true;
+        self.space.notify_all();
+    }
+
+    /// No further matches will be emitted; subscribers drain and end.
+    fn finish(&self) {
+        self.state.lock().unwrap().finished = true;
+        self.ready.notify_all();
+    }
+
+    fn recv(&self) -> Option<Match> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(m) = st.buf.pop_front() {
+                drop(st);
+                self.space.notify_all();
+                return Some(m);
+            }
+            if st.finished {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap();
+        }
+    }
+
+    fn try_recv(&self) -> Option<Match> {
+        let mut st = self.state.lock().unwrap();
+        let m = st.buf.pop_front();
+        drop(st);
+        if m.is_some() {
+            self.space.notify_all();
+        }
+        m
+    }
+}
+
+/// The subscriber's end of the match stream, returned by
+/// [`SessionHandle::subscribe`].
+///
+/// As an [`Iterator`] it blocks until the next match or the end of the
+/// session (`None` after [`close`](SessionHandle::close) drains) — the
+/// natural shape for a dedicated consumer thread on the threaded
+/// backend. Single-threaded callers (the simulator backend) should use
+/// [`try_next`](MatchSubscription::try_next) between pushes instead: the
+/// simulator only advances inside the pushing thread, so a blocking
+/// `next()` with nothing queued would wait forever.
+///
+/// Dropping the subscription detaches it: subsequent matches are
+/// counted but no longer buffered.
+pub struct MatchSubscription {
+    hub: Arc<MatchHub>,
+}
+
+impl MatchSubscription {
+    /// The next already-emitted match, without blocking.
+    pub fn try_next(&mut self) -> Option<Match> {
+        self.hub.try_recv()
+    }
+}
+
+impl Iterator for MatchSubscription {
+    type Item = Match;
+
+    fn next(&mut self) -> Option<Match> {
+        self.hub.recv()
+    }
+}
+
+impl Drop for MatchSubscription {
+    fn drop(&mut self) {
+        self.hub.detach();
+    }
+}
+
+/// A clonable, `Send` ingest endpoint for producer threads
+/// ([`SessionHandle::ingest`]).
+///
+/// Meaningful on the threaded backend, where the operator runs
+/// concurrently with producers. On the simulator backend pushes only
+/// enqueue — the session owner must still call
+/// [`SessionHandle::pump`] (or `push`/`close`) to advance virtual time,
+/// and a blocking [`push`](IngestHandle::push) from another thread can
+/// wait indefinitely if the owner never does.
+#[derive(Clone)]
+pub struct IngestHandle {
+    queue: Arc<IngestQueue>,
+}
+
+impl IngestHandle {
+    /// Blocking push (waits while the flow-control window is closed).
+    pub fn push(&self, rel: Rel, item: StreamItem) -> Result<(), PushError> {
+        self.queue.push(rel, item)
+    }
+
+    /// Non-blocking push.
+    pub fn try_push(&self, rel: Rel, item: StreamItem) -> Result<(), PushError> {
+        self.queue.try_push(rel, item)
+    }
+
+    /// Blocking push of a whole batch; returns the number accepted.
+    pub fn push_batch(
+        &self,
+        items: impl IntoIterator<Item = (Rel, StreamItem)>,
+    ) -> Result<u64, PushError> {
+        let mut n = 0;
+        for (rel, item) in items {
+            self.queue.push(rel, item)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+}
+
+/// Source-facing knobs: pacing, flow control and the ingest handoff.
+#[derive(Clone, Debug)]
+pub struct SourceSection {
+    /// Emission pacing (burst size and tick interval).
+    pub pacing: SourcePacing,
+    /// Flow-control window: max tuple copies in flight between the
+    /// source and the joiners (0 disables backpressure). The elastic
+    /// controller rescales it with the active joiner count.
+    pub window_copies: u64,
+    /// Ingest-queue capacity in tuples; 0 derives a default from the
+    /// window and batch size. This is the session's admission bound —
+    /// [`SessionHandle::try_push`] reports [`PushError::Full`] once it
+    /// fills.
+    pub queue_tuples: usize,
+    /// How often the source re-checks an empty-but-open ingest queue on
+    /// the threaded backend, in microseconds (the push-visibility
+    /// latency floor while the operator is idle). The simulator backend
+    /// quiesces instead and is re-armed by the next push.
+    pub idle_poll_us: u64,
+}
+
+/// Data-plane knobs: batching, storage tiers and the cost/network model.
+#[derive(Clone, Debug)]
+pub struct DataPlaneSection {
+    /// Tuples per coalesced data-plane batch (1 = per-tuple plane).
+    pub batch_tuples: usize,
+    /// Age bound for partially filled coalescing buffers, microseconds.
+    pub batch_max_delay_us: u64,
+    /// Per-joiner RAM budget in bytes (`u64::MAX` = in-memory).
+    pub ram_budget: u64,
+    /// Disk-tier cost multiplier.
+    pub spill_penalty: u64,
+    /// CPU cost model.
+    pub cost: CostModel,
+    /// Network parameters (simulator backend).
+    pub network: NetworkConfig,
+}
+
+/// Adaptivity knobs: migration decisions and elastic scaling.
+#[derive(Clone, Debug)]
+pub struct ElasticitySection {
+    /// Alg. 2 parameters (ε, warm-up).
+    pub decision: DecisionConfig,
+    /// Live elasticity (§4.2.2); `None` pins the provisioned set.
+    pub elastic: Option<ElasticConfig>,
+    /// The blocking, Flux-style migration ablation (§4.3's strawman).
+    pub blocking_migrations: bool,
+}
+
+/// Execution/observability knobs: backend choice, sampling, match
+/// collection.
+#[derive(Clone, Debug)]
+pub struct BackendSection {
+    /// Which substrate executes the session.
+    pub choice: BackendChoice,
+    /// Progress sample spacing in sequence numbers (0 = a live default;
+    /// the legacy `run()` derives it from the input size).
+    pub sample_every: u64,
+    /// Record every emitted pair in [`RunReport::match_pairs`]
+    /// (equivalence testing; memory proportional to the output).
+    ///
+    /// [`RunReport::match_pairs`]: crate::report::RunReport::match_pairs
+    pub collect_matches: bool,
+    /// Subscription buffer bound in matches (threaded backend; the
+    /// single-threaded simulator is always unbounded). 0 = unbounded.
+    pub match_buffer: usize,
+    /// Keep per-sequence stream statistics for the offline `ILF/ILF*`
+    /// competitive trace. Costs 16 bytes per pushed tuple for the whole
+    /// session lifetime, so live sessions default to **off** (no
+    /// unbounded growth); the legacy [`RunConfig`] conversion turns it
+    /// on, preserving the offline harness's reports.
+    pub track_competitive: bool,
+}
+
+/// Default progress-sample spacing for live sessions, where the input
+/// size is unknowable up front.
+const LIVE_SAMPLE_EVERY: u64 = 1024;
+
+/// Default threaded-backend subscription buffer, in matches.
+const DEFAULT_MATCH_BUFFER: usize = 1024;
+
+/// Typed session configuration: what [`RunConfig`] flattened into 17
+/// fields, regrouped by concern. Open one with [`JoinSession::open`].
+///
+/// ```no_run
+/// use aoj_core::predicate::Predicate;
+/// use aoj_operators::{BackendChoice, JoinSession, OperatorKind, SessionBuilder};
+///
+/// let builder = SessionBuilder::new(4, OperatorKind::Dynamic)
+///     .with_predicate(Predicate::Band { width: 2 })
+///     .with_backend(BackendChoice::Threaded)
+///     .with_window_copies(512);
+/// let mut session = JoinSession::open(builder);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SessionBuilder {
+    /// Number of joiners (machines). Power of two for grid operators.
+    pub j: u32,
+    /// Which operator to run.
+    pub kind: OperatorKind,
+    /// The join predicate.
+    pub predicate: Predicate,
+    /// Seed for ticket draws.
+    pub seed: u64,
+    /// Workload label carried into the report.
+    pub workload: String,
+    /// Fixed mapping for [`OperatorKind::StaticOpt`] sessions. An online
+    /// session cannot know stream sizes ahead of time, so the oracle
+    /// mapping must be supplied explicitly (the legacy `run()` computes
+    /// it from the pre-materialized arrivals).
+    pub oracle_mapping: Option<Mapping>,
+    /// Source, flow control and ingest handoff.
+    pub source: SourceSection,
+    /// Batching, storage and cost model.
+    pub data_plane: DataPlaneSection,
+    /// Migration decisions and elastic scaling.
+    pub elasticity: ElasticitySection,
+    /// Backend choice and observability.
+    pub backend: BackendSection,
+}
+
+impl SessionBuilder {
+    /// Defaults mirroring [`RunConfig::new`]: simulator backend,
+    /// saturating source, in-memory, ε = 1, no warm-up gate.
+    pub fn new(j: u32, kind: OperatorKind) -> SessionBuilder {
+        SessionBuilder {
+            j,
+            kind,
+            predicate: Predicate::Equi,
+            seed: 0x5EED_0001,
+            workload: "live".to_string(),
+            oracle_mapping: None,
+            source: SourceSection {
+                pacing: SourcePacing::saturating(),
+                window_copies: 64 * j as u64,
+                queue_tuples: 0,
+                idle_poll_us: 200,
+            },
+            data_plane: DataPlaneSection {
+                batch_tuples: BatchConfig::default().batch_tuples,
+                batch_max_delay_us: BatchConfig::default().max_delay.as_micros(),
+                ram_budget: u64::MAX,
+                spill_penalty: 20,
+                cost: CostModel::default(),
+                network: NetworkConfig::default(),
+            },
+            elasticity: ElasticitySection {
+                decision: DecisionConfig::default(),
+                elastic: None,
+                blocking_migrations: false,
+            },
+            backend: BackendSection {
+                choice: BackendChoice::Sim,
+                sample_every: 0,
+                collect_matches: false,
+                match_buffer: DEFAULT_MATCH_BUFFER,
+                track_competitive: false,
+            },
+        }
+    }
+
+    /// The legacy flat configuration, field for field.
+    pub fn from_run_config(cfg: &RunConfig) -> SessionBuilder {
+        let mut b = SessionBuilder::new(cfg.j, cfg.kind);
+        b.seed = cfg.seed;
+        b.source.pacing = cfg.pacing;
+        b.source.window_copies = cfg.window_copies;
+        b.data_plane.batch_tuples = cfg.batch_tuples;
+        b.data_plane.batch_max_delay_us = cfg.batch_max_delay_us;
+        b.data_plane.ram_budget = cfg.ram_budget;
+        b.data_plane.spill_penalty = cfg.spill_penalty;
+        b.data_plane.cost = cfg.cost;
+        b.data_plane.network = cfg.network;
+        b.elasticity.decision = cfg.decision;
+        b.elasticity.elastic = cfg.elastic;
+        b.elasticity.blocking_migrations = cfg.blocking_migrations;
+        b.backend.choice = cfg.backend;
+        b.backend.sample_every = cfg.sample_every;
+        b.backend.collect_matches = cfg.collect_matches;
+        // The offline harness reports the competitive trace; it holds
+        // the whole stream in memory anyway.
+        b.backend.track_competitive = true;
+        b
+    }
+
+    /// Builder: the join predicate.
+    pub fn with_predicate(mut self, predicate: Predicate) -> SessionBuilder {
+        self.predicate = predicate;
+        self
+    }
+
+    /// Builder: the workload label carried into the report.
+    pub fn with_workload(mut self, name: &str) -> SessionBuilder {
+        self.workload = name.to_string();
+        self
+    }
+
+    /// Builder: select the execution backend.
+    pub fn with_backend(mut self, choice: BackendChoice) -> SessionBuilder {
+        self.backend.choice = choice;
+        self
+    }
+
+    /// Builder: the ticket seed.
+    pub fn with_seed(mut self, seed: u64) -> SessionBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: source pacing.
+    pub fn with_pacing(mut self, pacing: SourcePacing) -> SessionBuilder {
+        self.source.pacing = pacing;
+        self
+    }
+
+    /// Builder: the flow-control window, in tuple copies.
+    pub fn with_window_copies(mut self, copies: u64) -> SessionBuilder {
+        self.source.window_copies = copies;
+        self
+    }
+
+    /// Builder: the ingest-queue capacity, in tuples.
+    pub fn with_queue_tuples(mut self, tuples: usize) -> SessionBuilder {
+        self.source.queue_tuples = tuples;
+        self
+    }
+
+    /// Builder: the data-plane batch size (1 = per-tuple plane).
+    pub fn with_batch_tuples(mut self, batch_tuples: usize) -> SessionBuilder {
+        self.data_plane.batch_tuples = batch_tuples.max(1);
+        self
+    }
+
+    /// Builder: the per-joiner RAM budget in bytes.
+    pub fn with_ram_budget(mut self, bytes: u64) -> SessionBuilder {
+        self.data_plane.ram_budget = bytes;
+        self
+    }
+
+    /// Builder: arm live elasticity (Dynamic only).
+    pub fn with_elastic(mut self, elastic: ElasticConfig) -> SessionBuilder {
+        self.elasticity.elastic = Some(elastic);
+        self
+    }
+
+    /// Builder: the blocking-migration ablation.
+    pub fn with_blocking_migrations(mut self, blocking: bool) -> SessionBuilder {
+        self.elasticity.blocking_migrations = blocking;
+        self
+    }
+
+    /// Builder: record every emitted pair in the report.
+    pub fn with_collect_matches(mut self, collect: bool) -> SessionBuilder {
+        self.backend.collect_matches = collect;
+        self
+    }
+
+    /// Builder: the subscription buffer bound, in matches (0 =
+    /// unbounded; ignored on the simulator backend, which is always
+    /// unbounded).
+    pub fn with_match_buffer(mut self, matches: usize) -> SessionBuilder {
+        self.backend.match_buffer = matches;
+        self
+    }
+
+    /// Builder: the oracle mapping a [`OperatorKind::StaticOpt`] session
+    /// runs with.
+    pub fn with_oracle_mapping(mut self, mapping: Mapping) -> SessionBuilder {
+        self.oracle_mapping = Some(mapping);
+        self
+    }
+
+    /// Builder: keep per-sequence stream statistics for the offline
+    /// `ILF/ILF*` competitive trace (16 bytes per pushed tuple for the
+    /// session lifetime — leave off for long-lived serving sessions).
+    pub fn with_track_competitive(mut self, track: bool) -> SessionBuilder {
+        self.backend.track_competitive = track;
+        self
+    }
+
+    /// The batching knobs as a [`BatchConfig`].
+    pub(crate) fn batch_config(&self) -> BatchConfig {
+        BatchConfig {
+            batch_tuples: self.data_plane.batch_tuples.max(1),
+            max_delay: SimDuration::from_micros(self.data_plane.batch_max_delay_us.max(1)),
+        }
+    }
+
+    /// The resolved progress-sample spacing.
+    pub(crate) fn sample_spacing(&self) -> u64 {
+        if self.backend.sample_every > 0 {
+            self.backend.sample_every
+        } else {
+            LIVE_SAMPLE_EVERY
+        }
+    }
+
+    /// The resolved ingest-queue capacity.
+    fn queue_capacity(&self) -> usize {
+        if self.source.queue_tuples > 0 {
+            self.source.queue_tuples
+        } else {
+            (2 * self.source.window_copies as usize)
+                .max(4 * self.data_plane.batch_tuples)
+                .max(1024)
+        }
+    }
+}
+
+/// A live snapshot of the operator mid-session — the same gauges the
+/// elastic controller triggers on ([`SessionHandle::stats`]).
+#[derive(Clone, Debug)]
+pub struct SessionStats {
+    /// Tuples accepted by the session so far.
+    pub pushed_tuples: u64,
+    /// Tuples accepted but not yet drained into the operator.
+    pub queued_tuples: usize,
+    /// Tuple copies fully processed by the joiners.
+    pub processed_copies: u64,
+    /// Join matches emitted so far.
+    pub matches: u64,
+    /// Stored bytes per joiner machine slot (index = machine; dormant
+    /// and retired slots read zero).
+    pub stored_bytes_by_machine: Vec<u64>,
+}
+
+impl SessionStats {
+    /// Total stored bytes across the cluster.
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.stored_bytes_by_machine.iter().sum()
+    }
+
+    /// The fullest joiner's stored bytes (the live max ILF).
+    pub fn max_stored_bytes(&self) -> u64 {
+        self.stored_bytes_by_machine
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+enum Wiring {
+    Grid(GridWiring),
+    Shj(ShjWiring),
+}
+
+impl Wiring {
+    fn source_id(&self) -> TaskId {
+        match self {
+            Wiring::Grid(w) => w.source_id,
+            Wiring::Shj(w) => w.source_id,
+        }
+    }
+
+    fn machine_slots(&self) -> usize {
+        match self {
+            Wiring::Grid(w) => w.total,
+            Wiring::Shj(w) => w.j,
+        }
+    }
+}
+
+enum Inner {
+    /// The deterministic simulator, pumped inline by the owner.
+    Sim {
+        sim: Box<Sim<OpMsg>>,
+        wiring: Wiring,
+    },
+    /// The threaded runtime, running concurrently on its own threads.
+    Threaded {
+        runner: JoinHandle<(Runtime<OpMsg>, SimTime)>,
+        wiring: Wiring,
+        gauges: Arc<SharedGauges>,
+    },
+}
+
+/// The long-lived join session (see the [module docs](self)).
+pub struct JoinSession;
+
+impl JoinSession {
+    /// Open a session: build the operator topology on the configured
+    /// backend and make it ready for pushes. On the threaded backend the
+    /// worker threads start immediately (idle until data arrives); on
+    /// the simulator nothing executes until the first push or
+    /// [`pump`](SessionHandle::pump).
+    pub fn open(builder: SessionBuilder) -> SessionHandle {
+        // Joiners park up to CREDIT_BATCH − 1 returned credits each, so a
+        // window at or below that slack can close permanently with no
+        // credits in flight — a silent wedge on a live session. Refuse
+        // the configuration up front. (Elastic rescaling multiplies the
+        // window by the active-set ratio, so a valid window stays valid.)
+        let credit_slack = crate::joiner_task::JoinerTask::CREDIT_BATCH as u64 * builder.j as u64;
+        assert!(
+            builder.source.window_copies == 0 || builder.source.window_copies >= credit_slack,
+            "window_copies = {} cannot cover the joiners' credit-return batching \
+             ({} joiners × {} credit batch): the flow-control window could wedge. \
+             Use at least {credit_slack}, or 0 to disable flow control.",
+            builder.source.window_copies,
+            builder.j,
+            crate::joiner_task::JoinerTask::CREDIT_BATCH,
+        );
+        let queue =
+            IngestQueue::bounded(builder.queue_capacity(), builder.backend.track_competitive);
+        let inner = match builder.backend.choice {
+            BackendChoice::Sim => {
+                // A blocking emit on the single-threaded simulator could
+                // only deadlock the pump: the hub is always unbounded
+                // here.
+                let hub = MatchHub::new(0);
+                let mut sim: Box<Sim<OpMsg>> = Box::new(Sim::new(SimConfig {
+                    network: builder.data_plane.network,
+                    machine: Default::default(),
+                    deadline: None,
+                }));
+                let wiring = build_topology(&mut *sim, &builder, &queue, &hub, None);
+                (Inner::Sim { sim, wiring }, hub)
+            }
+            BackendChoice::Threaded => {
+                let hub = MatchHub::new(builder.backend.match_buffer);
+                let mut rt_cfg = RuntimeConfig::default();
+                // Keep the mailbox bound above the flow-control window so
+                // backpressure binds at the source (see `driver::run`).
+                if builder.source.window_copies > 0 {
+                    rt_cfg.data_queue_capacity = rt_cfg
+                        .data_queue_capacity
+                        .max(4 * builder.source.window_copies as usize);
+                }
+                let mut rt: Runtime<OpMsg> = Runtime::new(rt_cfg);
+                let idle_poll = SimDuration::from_micros(builder.source.idle_poll_us.max(1));
+                let wiring = build_topology(&mut rt, &builder, &queue, &hub, Some(idle_poll));
+                let gauges = rt.shared_gauges();
+                let runner = std::thread::Builder::new()
+                    .name("aoj-session".to_string())
+                    .spawn(move || {
+                        let end = rt.run();
+                        (rt, end)
+                    })
+                    .expect("failed to spawn session runner thread");
+                (
+                    Inner::Threaded {
+                        runner,
+                        wiring,
+                        gauges,
+                    },
+                    hub,
+                )
+            }
+        };
+        let (inner, hub) = inner;
+        SessionHandle {
+            builder,
+            queue,
+            hub,
+            subscribed: false,
+            inner: Some(inner),
+        }
+    }
+}
+
+fn build_topology<B: ExecBackend<OpMsg>>(
+    backend: &mut B,
+    builder: &SessionBuilder,
+    queue: &Arc<IngestQueue>,
+    hub: &Arc<MatchHub>,
+    idle_poll: Option<SimDuration>,
+) -> Wiring {
+    let input = Arc::clone(queue);
+    let sink = Arc::clone(hub);
+    match builder.kind {
+        OperatorKind::Shj => Wiring::Shj(setup_shj(backend, builder, input, sink, idle_poll)),
+        _ => Wiring::Grid(setup_grid(backend, builder, input, sink, idle_poll)),
+    }
+}
+
+/// The caller's end of an open [`JoinSession`].
+///
+/// Push tuples ([`push`](SessionHandle::push) /
+/// [`try_push`](SessionHandle::try_push) /
+/// [`push_batch`](SessionHandle::push_batch)), stream matches
+/// ([`subscribe`](SessionHandle::subscribe)), snapshot live gauges
+/// ([`stats`](SessionHandle::stats)), and finally
+/// [`close`](SessionHandle::close) to drain and collect the
+/// [`RunReport`]. Producer threads get a clonable
+/// [`ingest`](SessionHandle::ingest) endpoint.
+pub struct SessionHandle {
+    builder: SessionBuilder,
+    queue: Arc<IngestQueue>,
+    hub: Arc<MatchHub>,
+    subscribed: bool,
+    inner: Option<Inner>,
+}
+
+impl SessionHandle {
+    /// Push one tuple. On the threaded backend this blocks while the
+    /// ingest queue is full (the flow-control window is closed) and
+    /// wakes when the operator returns credits. On the simulator backend
+    /// it never blocks: the push pumps the simulator, which drains the
+    /// queue in virtual time before returning.
+    pub fn push(&mut self, rel: Rel, item: StreamItem) -> Result<(), PushError> {
+        match self.inner.as_mut().expect("session closed") {
+            Inner::Threaded { .. } => self.queue.push(rel, item),
+            Inner::Sim { sim, wiring } => {
+                sim_push(&self.queue, sim, wiring, rel, item)?;
+                pump_sim(sim, wiring.source_id(), &self.queue);
+                Ok(())
+            }
+        }
+    }
+
+    /// Non-blocking push: [`PushError::Full`] when the ingest queue is
+    /// at capacity (on the simulator this can only happen transiently —
+    /// a pump drains the queue — so `Full` is retried once internally).
+    pub fn try_push(&mut self, rel: Rel, item: StreamItem) -> Result<(), PushError> {
+        match self.inner.as_mut().expect("session closed") {
+            Inner::Threaded { .. } => self.queue.try_push(rel, item),
+            Inner::Sim { sim, wiring } => {
+                sim_push(&self.queue, sim, wiring, rel, item)?;
+                pump_sim(sim, wiring.source_id(), &self.queue);
+                Ok(())
+            }
+        }
+    }
+
+    /// Push a whole batch (blocking). On the simulator the pump runs
+    /// once at the end, so a pre-materialized stream is processed with
+    /// everything available — exactly the offline `run()` shape.
+    pub fn push_batch(
+        &mut self,
+        items: impl IntoIterator<Item = (Rel, StreamItem)>,
+    ) -> Result<u64, PushError> {
+        let mut n = 0u64;
+        match self.inner.as_mut().expect("session closed") {
+            Inner::Threaded { .. } => {
+                for (rel, item) in items {
+                    self.queue.push(rel, item)?;
+                    n += 1;
+                }
+            }
+            Inner::Sim { sim, wiring } => {
+                for (rel, item) in items {
+                    sim_push(&self.queue, sim, wiring, rel, item)?;
+                    n += 1;
+                }
+                pump_sim(sim, wiring.source_id(), &self.queue);
+            }
+        }
+        Ok(n)
+    }
+
+    /// A clonable, `Send` push endpoint for producer threads.
+    pub fn ingest(&self) -> IngestHandle {
+        IngestHandle {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+
+    /// Subscribe to the match stream. Call **before** pushing — matches
+    /// emitted while nobody is attached are counted but not buffered.
+    /// One subscription per session.
+    pub fn subscribe(&mut self) -> MatchSubscription {
+        assert!(
+            !self.subscribed,
+            "subscribe() may be called once per session"
+        );
+        self.subscribed = true;
+        self.hub.attach();
+        MatchSubscription {
+            hub: Arc::clone(&self.hub),
+        }
+    }
+
+    /// Advance the simulator to quiescence on the current input
+    /// (a no-op on the threaded backend, which runs continuously).
+    /// `push`/`push_batch`/`close` pump implicitly; call this after
+    /// feeding tuples through an [`IngestHandle`] from another thread.
+    pub fn pump(&mut self) {
+        if let Some(Inner::Sim { sim, wiring }) = self.inner.as_mut() {
+            pump_sim(sim, wiring.source_id(), &self.queue);
+        }
+    }
+
+    /// A live snapshot of the gauges the elastic controller reads:
+    /// per-machine stored bytes, processed-copy counts, and the match
+    /// total.
+    pub fn stats(&self) -> SessionStats {
+        let (stored, processed) = match self.inner.as_ref().expect("session closed") {
+            Inner::Sim { sim, wiring } => {
+                let m = sim.metrics();
+                let stored = (0..wiring.machine_slots())
+                    .map(|i| m.stored_bytes_of(MachineId(i)))
+                    .collect();
+                (stored, m.data_processed)
+            }
+            Inner::Threaded { gauges, wiring, .. } => {
+                let stored = (0..wiring.machine_slots())
+                    .map(|i| gauges.stored(MachineId(i)))
+                    .collect();
+                (stored, gauges.data_processed())
+            }
+        };
+        SessionStats {
+            pushed_tuples: self.queue.pushed(),
+            queued_tuples: self.queue.queued(),
+            processed_copies: processed,
+            matches: self.hub.emitted(),
+            stored_bytes_by_machine: stored,
+        }
+    }
+
+    /// Close the ingest side, drain the operator to quiescence, and
+    /// collect the final [`RunReport`]. An attached subscription keeps
+    /// yielding the drain's matches and then ends (`None`); the buffer
+    /// bound is lifted first, so a slow subscriber cannot wedge the
+    /// close.
+    pub fn close(mut self) -> RunReport {
+        // Lift the match bound *before* closing ingest: emitters blocked
+        // on a full hub must never stall the drain.
+        self.hub.lift_bound();
+        self.queue.close();
+        let pushed = self.queue.pushed();
+        let prefix = self.queue.prefix();
+        let report = match self.inner.take().expect("session already closed") {
+            Inner::Sim { mut sim, wiring } => {
+                let end = pump_sim(&mut sim, wiring.source_id(), &self.queue);
+                collect(&*sim, &self.builder, &wiring, pushed, end, &prefix)
+            }
+            Inner::Threaded { runner, wiring, .. } => {
+                let (rt, end) = match runner.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                };
+                collect(&rt, &self.builder, &wiring, pushed, end, &prefix)
+            }
+        };
+        self.hub.finish();
+        report
+    }
+}
+
+impl Drop for SessionHandle {
+    fn drop(&mut self) {
+        // A handle dropped without close(): release everything that
+        // could block another thread, in the same order close() uses.
+        self.hub.lift_bound();
+        self.queue.close();
+        if let Some(Inner::Threaded { runner, .. }) = self.inner.take() {
+            // Wait for the runner to drain the (now closed) queue before
+            // finishing the hub: joiners may still be emitting, and a
+            // subscriber's iterator must not end while matches are in
+            // flight. A worker panic is swallowed here — resuming a
+            // panic inside drop (possibly during another unwind) would
+            // abort; close() is the path that propagates it.
+            let _ = runner.join();
+        }
+        self.hub.finish();
+    }
+}
+
+/// Enqueue one tuple on a simulator session, pumping on a full queue.
+/// A pump runs the simulator to quiescence, which drains the queue in
+/// every healthy state — so a queue that is *still* full afterwards
+/// means the flow-control window wedged with no credits in flight, a
+/// state no amount of retrying can leave. Fail loudly (the same
+/// diagnostic the offline driver raises at drain time) instead of
+/// spinning forever.
+fn sim_push(
+    queue: &IngestQueue,
+    sim: &mut Sim<OpMsg>,
+    wiring: &Wiring,
+    rel: Rel,
+    item: StreamItem,
+) -> Result<(), PushError> {
+    match queue.try_push(rel, item) {
+        Err(PushError::Full) => {
+            pump_sim(sim, wiring.source_id(), queue);
+            match queue.try_push(rel, item) {
+                Err(PushError::Full) => panic!(
+                    "flow-control wedge: the simulator quiesced with the ingest queue \
+                     still full — the window closed with no credits in flight \
+                     (window_copies too small for the joiners' credit batching?)"
+                ),
+                res => res,
+            }
+        }
+        res => res,
+    }
+}
+
+/// The simulator's external-event pump: re-arm the source if new input
+/// arrived while it was quiescent, then run queued events to quiescence.
+fn pump_sim(sim: &mut Sim<OpMsg>, source_id: TaskId, queue: &IngestQueue) -> SimTime {
+    let (empty, _) = queue.status();
+    if !empty {
+        let now = sim.now();
+        let src = sim.task_mut::<SourceTask>(source_id);
+        if src.arm_external_tick() {
+            sim.start_timer_at(now, source_id, SourceTask::TICK);
+        }
+    }
+    sim.pump()
+}
+
+fn collect<B: ExecBackend<OpMsg>>(
+    backend: &B,
+    builder: &SessionBuilder,
+    wiring: &Wiring,
+    pushed: u64,
+    end: SimTime,
+    prefix: &[(u64, u64)],
+) -> RunReport {
+    match wiring {
+        Wiring::Grid(w) => collect_grid(backend, builder, w, pushed, end, prefix),
+        Wiring::Shj(w) => collect_shj(backend, builder, w, pushed, end),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(key: i64) -> StreamItem {
+        StreamItem {
+            key,
+            aux: 0,
+            bytes: 64,
+        }
+    }
+
+    #[test]
+    fn queue_bounds_and_close_semantics() {
+        let q = IngestQueue::bounded(2, true);
+        assert_eq!(q.try_push(Rel::R, item(1)), Ok(()));
+        assert_eq!(q.try_push(Rel::S, item(2)), Ok(()));
+        assert_eq!(q.try_push(Rel::R, item(3)), Err(PushError::Full));
+        let mut out = Vec::new();
+        q.pop_upto(1, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(q.try_push(Rel::R, item(3)), Ok(()));
+        q.close();
+        assert_eq!(q.try_push(Rel::R, item(4)), Err(PushError::Closed));
+        assert_eq!(q.push(Rel::R, item(4)), Err(PushError::Closed));
+        assert_eq!(q.pushed(), 3);
+        // Prefix counts follow push order: R, S, R.
+        assert_eq!(q.prefix(), vec![(0, 0), (1, 0), (1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn preloaded_queue_is_closed_with_everything_available() {
+        let arrivals = vec![(Rel::R, item(1)), (Rel::S, item(1)), (Rel::S, item(2))];
+        let q = IngestQueue::preloaded(&arrivals);
+        let (empty, closed) = q.status();
+        assert!(!empty);
+        assert!(closed);
+        assert_eq!(q.pushed(), 3);
+        let mut out = Vec::new();
+        q.pop_upto(10, &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(q.status(), (true, true));
+    }
+
+    #[test]
+    fn hub_counts_without_subscriber_and_buffers_with_one() {
+        let hub = MatchHub::new(4);
+        let m = Match {
+            r_seq: 1,
+            s_seq: 2,
+            r_key: 0,
+            s_key: 0,
+        };
+        hub.emit(m);
+        assert_eq!(hub.emitted(), 1);
+        assert!(hub.try_recv().is_none(), "unattached hubs only count");
+        hub.attach();
+        hub.emit(m);
+        assert_eq!(hub.emitted(), 2);
+        assert_eq!(hub.try_recv(), Some(m));
+        hub.finish();
+        assert_eq!(hub.recv(), None);
+    }
+
+    #[test]
+    fn builder_mirrors_run_config_defaults() {
+        let cfg = RunConfig::new(8, OperatorKind::Dynamic);
+        let b = SessionBuilder::from_run_config(&cfg);
+        assert_eq!(b.j, cfg.j);
+        assert_eq!(b.seed, cfg.seed);
+        assert_eq!(b.source.window_copies, cfg.window_copies);
+        assert_eq!(b.data_plane.batch_tuples, cfg.batch_tuples);
+        assert_eq!(b.data_plane.ram_budget, cfg.ram_budget);
+        assert_eq!(b.backend.sample_every, cfg.sample_every);
+        assert!(b.elasticity.elastic.is_none());
+        // And the fresh-builder defaults match RunConfig::new's.
+        let fresh = SessionBuilder::new(8, OperatorKind::Dynamic);
+        assert_eq!(fresh.source.window_copies, 64 * 8);
+        assert_eq!(fresh.data_plane.spill_penalty, 20);
+    }
+}

@@ -11,10 +11,13 @@ use aoj_core::tuple::Tuple;
 use aoj_joinalg::{SpillGauge, SymmetricHashIndex};
 use aoj_simnet::{Ctx, MachineId, Process, SimDuration, TaskId};
 
+use std::sync::Arc;
+
 use crate::batch::DataCoalescer;
 use crate::joiner_task::{pair_key, LatencyStats};
-use crate::messages::OpMsg;
+use crate::messages::{Match, OpMsg};
 use crate::reshuffler::ProgressRecorder;
+use crate::session::MatchHub;
 
 /// SHJ's reshuffler: key-hash routing, no statistics, no epochs. Routed
 /// tuples coalesce into per-joiner batches like the grid operator's.
@@ -133,6 +136,9 @@ pub struct ShjJoiner {
     pub collect_matches: bool,
     /// Emitted pair identities, `(R seq, S seq)`, when collection is on.
     pub match_log: Vec<(u64, u64)>,
+    /// Live match-emission path (see
+    /// [`JoinerTask::match_sink`](crate::joiner_task::JoinerTask::match_sink)).
+    pub match_sink: Option<Arc<MatchHub>>,
     /// Latency samples.
     pub latency: LatencyStats,
     /// Credits accumulated but not yet returned.
@@ -156,6 +162,7 @@ impl ShjJoiner {
             matches: 0,
             collect_matches: false,
             match_log: Vec::new(),
+            match_sink: None,
             latency: LatencyStats::default(),
             unacked_credits: 0,
         }
@@ -175,10 +182,14 @@ impl Process<OpMsg> for ShjJoiner {
                 let mut per_tuple = vec![0u32; tuples.len()];
                 let stats: ProbeStats = {
                     let match_log = &mut self.match_log;
+                    let sink = self.match_sink.as_deref();
                     process_stream_batch(&mut self.index, &tuples, &mut |i, stored| {
                         per_tuple[i] += 1;
                         if collect {
                             match_log.push(pair_key(&tuples[i], stored));
+                        }
+                        if let Some(hub) = sink {
+                            hub.emit(Match::of(&tuples[i], stored));
                         }
                     })
                 };
@@ -194,7 +205,7 @@ impl Process<OpMsg> for ShjJoiner {
                 ctx.metrics().set_stored(self.machine, bytes);
                 ctx.metrics().note_data_processed(n, now);
                 self.unacked_credits += n as u32;
-                if self.unacked_credits >= 8 {
+                if self.unacked_credits >= crate::joiner_task::JoinerTask::CREDIT_BATCH {
                     ctx.send(
                         self.source,
                         OpMsg::ProcessedCopies {

@@ -1,12 +1,23 @@
-//! The stream source: feeds the pre-generated arrival sequence into the
+//! The stream source: drains the session's ingest queue into the
 //! reshufflers at a configurable rate, round-robin (§3.2: "An incoming
 //! tuple to the operator is randomly routed to a reshuffler task").
+//!
+//! Since the live-session redesign the source pulls from an external
+//! bounded [`IngestQueue`] instead of walking a pre-materialized slice:
+//! callers push tuples while the operator runs, and closing the queue is
+//! the end-of-stream signal. A queue pre-loaded with the whole arrival
+//! sequence and closed up front ([`SourceTask::preloaded`], what the
+//! offline drivers build) reproduces the old slice-walking behaviour
+//! exactly — same blocks, same sequence numbers, same emitted messages.
+
+use std::sync::Arc;
 
 use aoj_core::tuple::Rel;
 use aoj_datagen::queries::StreamItem;
 use aoj_simnet::{Ctx, Process, SimDuration, TaskId};
 
 use crate::messages::{IngestItem, OpMsg};
+use crate::session::IngestQueue;
 
 /// Emission pacing.
 #[derive(Clone, Copy, Debug)]
@@ -43,11 +54,15 @@ impl SourcePacing {
 /// signals — which travel FIFO behind data — would take the entire backlog
 /// to propagate. Reshufflers report fanned-out copies, joiners return
 /// credits as they process; emission pauses while
-/// `routed − processed ≥ window_copies`.
+/// `routed − processed ≥ window_copies`. The same window is what the
+/// session API surfaces to callers: while it is closed the source stops
+/// draining the ingest queue, the queue fills, and pushes block (or
+/// report `Full`).
 pub struct SourceTask {
-    /// The full arrival sequence (relation + item per tuple).
-    pub arrivals: Vec<(Rel, StreamItem)>,
-    /// Next arrival to emit.
+    /// The external ingest queue this source drains.
+    pub input: Arc<IngestQueue>,
+    /// Arrivals consumed so far — the next tuple's global sequence
+    /// number.
     pub cursor: usize,
     /// Reshuffler task ids by machine index (the full provisioned slot
     /// space under an elastic run).
@@ -73,18 +88,26 @@ pub struct SourceTask {
     pub routed_tuples: u64,
     /// Copies fully processed so far (reported by joiners).
     pub processed_copies: u64,
+    /// How often to re-check an empty-but-open queue. `Some` on live
+    /// threaded sessions, where the pending poll timer is also what
+    /// keeps the run from terminating while the session is open; `None`
+    /// on the simulator, which quiesces instead and is re-armed by the
+    /// session's pump on the next push.
+    pub idle_poll: Option<SimDuration>,
     /// True while an emission tick is scheduled.
     tick_pending: bool,
+    /// Scratch buffer for queue drains.
+    scratch: Vec<(Rel, StreamItem)>,
 }
 
 impl SourceTask {
     /// Timer key used for emission ticks.
     pub const TICK: u64 = 1;
 
-    /// Build a source with the given window, emitting `batch_tuples`-sized
-    /// ingest batches.
+    /// Build a source draining `input`, emitting `batch_tuples`-sized
+    /// ingest batches under a `window_copies` flow-control window.
     pub fn new(
-        arrivals: Vec<(Rel, StreamItem)>,
+        input: Arc<IngestQueue>,
         reshufflers: Vec<TaskId>,
         pacing: SourcePacing,
         window_copies: u64,
@@ -92,7 +115,7 @@ impl SourceTask {
     ) -> SourceTask {
         let active = reshufflers.clone();
         SourceTask {
-            arrivals,
+            input,
             cursor: 0,
             reshufflers,
             active,
@@ -102,8 +125,47 @@ impl SourceTask {
             routed_copies: 0,
             routed_tuples: 0,
             processed_copies: 0,
+            idle_poll: None,
             tick_pending: true, // the driver schedules the first tick
+            scratch: Vec::new(),
         }
+    }
+
+    /// Build a source over a pre-materialized arrival sequence (an
+    /// already-closed queue) — the offline experiment shape.
+    pub fn preloaded(
+        arrivals: &[(Rel, StreamItem)],
+        reshufflers: Vec<TaskId>,
+        pacing: SourcePacing,
+        window_copies: u64,
+        batch_tuples: usize,
+    ) -> SourceTask {
+        SourceTask::new(
+            IngestQueue::preloaded(arrivals),
+            reshufflers,
+            pacing,
+            window_copies,
+            batch_tuples,
+        )
+    }
+
+    /// Builder: poll an empty-but-open queue every `interval` instead of
+    /// quiescing (live threaded sessions).
+    pub fn with_idle_poll(mut self, interval: SimDuration) -> SourceTask {
+        self.idle_poll = Some(interval);
+        self
+    }
+
+    /// Re-arm the source from outside the backend (the simulator
+    /// session's pump, after new input arrived while the source was
+    /// quiescent). Returns true when the caller must schedule a
+    /// [`SourceTask::TICK`] timer; false when one is already pending.
+    pub(crate) fn arm_external_tick(&mut self) -> bool {
+        if self.tick_pending {
+            return false;
+        }
+        self.tick_pending = true;
+        true
     }
 
     fn window_open(&self) -> bool {
@@ -124,19 +186,41 @@ impl SourceTask {
         copies_ok && unrouted_ok
     }
 
+    /// How many more tuples gate 2 admits right now (gate 1 does not
+    /// move during a pump — credits arrive as messages, not mid-handler).
+    fn unrouted_allowance(&self) -> usize {
+        if self.window_copies == 0 {
+            return usize::MAX;
+        }
+        let tuple_window = self.window_copies.max(32);
+        tuple_window.saturating_sub((self.cursor as u64).saturating_sub(self.routed_tuples))
+            as usize
+    }
+
     fn pump(&mut self, ctx: &mut Ctx<'_, OpMsg>) {
         let mut budget = self.pacing.burst as usize;
-        while budget > 0 && self.cursor < self.arrivals.len() && self.window_open() {
+        while budget > 0 && self.window_open() {
             // Arrivals are blocked into fixed `batch_tuples` runs; block k
             // always goes to reshuffler k mod active, so a batch cut
-            // short (burst budget or window) resumes to the same
-            // destination and the routing is independent of pacing.
+            // short (burst budget, window, or a momentarily empty queue)
+            // resumes to the same destination and the routing is
+            // independent of pacing and push timing.
             let block = self.cursor / self.batch_tuples;
             let dst = self.active[block % self.active.len()];
-            let block_end = ((block + 1) * self.batch_tuples).min(self.arrivals.len());
-            let mut items = Vec::with_capacity((block_end - self.cursor).min(budget));
-            while self.cursor < block_end && budget > 0 && self.window_open() {
-                let (rel, item) = self.arrivals[self.cursor];
+            let block_end = (block + 1) * self.batch_tuples;
+            let want = budget
+                .min(block_end - self.cursor)
+                .min(self.unrouted_allowance());
+            if want == 0 {
+                break;
+            }
+            self.scratch.clear();
+            self.input.pop_upto(want, &mut self.scratch);
+            if self.scratch.is_empty() {
+                break;
+            }
+            let mut items = Vec::with_capacity(self.scratch.len());
+            for (rel, item) in self.scratch.drain(..) {
                 items.push(IngestItem {
                     rel,
                     key: item.key,
@@ -149,11 +233,21 @@ impl SourceTask {
             }
             ctx.send(dst, OpMsg::IngestBatch { items });
         }
-        if self.cursor < self.arrivals.len() && self.window_open() {
-            if !self.tick_pending {
-                self.tick_pending = true;
-            }
+        // Reschedule: pace on while input is ready and the window open;
+        // idle-poll (live threaded sessions) while the queue is open but
+        // empty; otherwise go quiet — credits re-pump a closed window,
+        // and the session pump re-arms a quiescent simulator source.
+        let (empty, closed) = self.input.status();
+        if !empty && self.window_open() {
+            self.tick_pending = true;
             ctx.schedule(self.pacing.interval, Self::TICK);
+        } else if empty && !closed {
+            if let Some(poll) = self.idle_poll {
+                self.tick_pending = true;
+                ctx.schedule(poll, Self::TICK);
+            } else {
+                self.tick_pending = false;
+            }
         } else {
             self.tick_pending = false;
         }
@@ -263,5 +357,15 @@ mod tests {
         assert_eq!(p.interval.as_micros(), 16);
         let slow = SourcePacing::per_second(1);
         assert!(slow.interval.as_micros() >= 1_000_000);
+    }
+
+    #[test]
+    fn external_arm_is_edge_triggered() {
+        let mut src = SourceTask::preloaded(&[], vec![TaskId(0)], SourcePacing::saturating(), 0, 1);
+        // Fresh sources have the bootstrap tick pending.
+        assert!(!src.arm_external_tick());
+        src.tick_pending = false;
+        assert!(src.arm_external_tick());
+        assert!(!src.arm_external_tick(), "second arm must be a no-op");
     }
 }

@@ -1,0 +1,404 @@
+//! The live session API's contracts:
+//!
+//! * a subscriber receives matches **before** the last tuple is pushed,
+//!   on both backends;
+//! * the streamed match multiset equals `RunReport::match_pairs` exactly,
+//!   including across a live ×4 elastic expansion;
+//! * backpressure surfaces to the caller: `try_push` reports `Full`
+//!   exactly when the ingest queue (behind the closed flow-control
+//!   window) is exhausted, a blocked `push` wakes once the operator
+//!   returns credits, and a slow — even fully stalled — subscriber never
+//!   deadlocks the data plane or the close/drain path.
+
+use std::time::{Duration, Instant};
+
+use aoj_core::predicate::Predicate;
+use aoj_datagen::queries::{reference_match_count, StreamItem, Workload};
+use aoj_datagen::stream::interleave;
+use aoj_operators::{
+    BackendChoice, ElasticConfig, JoinSession, OperatorKind, PushError, SessionBuilder,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use aoj_core::tuple::Rel;
+
+fn workload(nr: usize, ns: usize, key_space: i64, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut item = |space: i64| StreamItem {
+        key: rng.gen_range(0..space),
+        aux: rng.gen_range(0..100i32),
+        bytes: 64,
+    };
+    Workload {
+        name: "session",
+        predicate: Predicate::Equi,
+        r_items: (0..nr).map(|_| item(key_space)).collect(),
+        s_items: (0..ns).map(|_| item(key_space)).collect(),
+    }
+}
+
+/// Simulator sessions interleave caller pushes with virtual time: after
+/// a prefix of the stream is pushed, its matches are already available —
+/// long before the last tuple — and the final output is exact.
+#[test]
+fn sim_session_streams_matches_before_the_last_push() {
+    let seed = 0x5E55_0001;
+    let w = workload(300, 2_700, 200, seed);
+    let arrivals = interleave(&w, seed);
+    let builder = SessionBuilder::new(4, OperatorKind::Dynamic)
+        .with_predicate(w.predicate.clone())
+        .with_workload(w.name)
+        .with_seed(seed);
+    let mut session = JoinSession::open(builder);
+    let mut sub = session.subscribe();
+
+    let half = arrivals.len() / 2;
+    session
+        .push_batch(arrivals[..half].iter().copied())
+        .unwrap();
+    let stats = session.stats();
+    assert_eq!(stats.pushed_tuples, half as u64);
+    assert!(
+        stats.matches > 0,
+        "half the stream produced no matches — the session is not live"
+    );
+    assert!(
+        stats.total_stored_bytes() > 0,
+        "no stored state mid-session"
+    );
+
+    // The subscriber sees those matches *now*, before the rest arrives.
+    let mut streamed = Vec::new();
+    while let Some(m) = sub.try_next() {
+        streamed.push(m.pair());
+    }
+    assert!(!streamed.is_empty(), "subscription lagged the data plane");
+
+    session
+        .push_batch(arrivals[half..].iter().copied())
+        .unwrap();
+    let report = session.close();
+    while let Some(m) = sub.try_next() {
+        streamed.push(m.pair());
+    }
+    assert_eq!(sub.next(), None, "subscription must end after close");
+    assert_eq!(
+        report.matches,
+        reference_match_count(&w),
+        "output not exact"
+    );
+    assert_eq!(report.matches as usize, streamed.len());
+}
+
+/// The streamed multiset equals `match_pairs` across a live ×4 expansion
+/// (simulator backend, chunked pushes so the expansion genuinely fires
+/// mid-session).
+#[test]
+fn subscription_equals_match_pairs_across_live_expansion_sim() {
+    let seed = 0x2E_2014;
+    let w = workload(500, 3_500, 300, seed);
+    let arrivals = interleave(&w, seed);
+    let builder = SessionBuilder::new(1, OperatorKind::Dynamic)
+        .with_predicate(w.predicate.clone())
+        .with_seed(seed)
+        .with_elastic(ElasticConfig::new(48 << 10, 2))
+        .with_collect_matches(true);
+    let mut session = JoinSession::open(builder);
+    let mut sub = session.subscribe();
+
+    let mut streamed = Vec::new();
+    let mut saw_match_before_done = false;
+    for chunk in arrivals.chunks(512) {
+        session.push_batch(chunk.iter().copied()).unwrap();
+        while let Some(m) = sub.try_next() {
+            streamed.push(m.pair());
+        }
+        if !streamed.is_empty() {
+            saw_match_before_done = true;
+        }
+    }
+    assert!(saw_match_before_done, "no matches arrived mid-session");
+
+    let report = session.close();
+    streamed.extend(sub.by_ref().map(|m| m.pair()));
+    streamed.sort_unstable();
+    assert!(
+        report.expansions >= 1,
+        "the elastic expansion never fired (got {})",
+        report.expansions
+    );
+    assert_eq!(
+        streamed, report.match_pairs,
+        "streamed multiset diverged from the report's match log"
+    );
+    assert_eq!(report.matches, reference_match_count(&w));
+}
+
+/// Same contract on real threads: a producer thread pushes, a subscriber
+/// thread consumes concurrently, a ×4 expansion fires mid-session, and
+/// the streamed multiset still equals the report's match log exactly.
+#[test]
+fn subscription_equals_match_pairs_across_live_expansion_threaded() {
+    let seed = 0xE1A_2014;
+    let w = workload(400, 4_000, 300, seed);
+    let arrivals = interleave(&w, seed ^ 0xA0A0);
+    let builder = SessionBuilder::new(2, OperatorKind::Dynamic)
+        .with_predicate(w.predicate.clone())
+        .with_seed(seed)
+        .with_backend(BackendChoice::Threaded)
+        // Every joiner blows past 32 KB of stored state mid-stream, so
+        // one ×4 expansion (J 2 → 8) must fire (same workload as the
+        // backend-equivalence pin).
+        .with_elastic(ElasticConfig::new(64 << 10, 1))
+        .with_collect_matches(true);
+    let mut session = JoinSession::open(builder);
+    let sub = session.subscribe();
+    let ingest = session.ingest();
+
+    let producer = std::thread::spawn({
+        let arrivals = arrivals.clone();
+        move || ingest.push_batch(arrivals).unwrap()
+    });
+    let subscriber = std::thread::spawn(move || {
+        let mut streamed: Vec<(u64, u64)> = Vec::new();
+        for m in sub {
+            streamed.push(m.pair());
+        }
+        streamed
+    });
+    let pushed = producer.join().unwrap();
+    assert_eq!(pushed as usize, arrivals.len());
+    let report = session.close();
+    let mut streamed = subscriber.join().unwrap();
+    streamed.sort_unstable();
+
+    assert!(report.expansions >= 1, "expansion never fired");
+    assert_eq!(
+        streamed, report.match_pairs,
+        "streamed multiset diverged from the report's match log"
+    );
+    assert_eq!(report.matches, reference_match_count(&w));
+}
+
+/// Backpressure end to end on the threaded backend: a stalled subscriber
+/// blocks the joiners, which stop returning flow-control credits, which
+/// closes the source's window, which fills the ingest queue — at which
+/// point (and only then) `try_push` reports `Full`. Draining the
+/// subscription releases the whole chain, and a blocked `push` wakes on
+/// the returning credits.
+#[test]
+fn try_push_full_when_window_exhausted_and_push_wakes_on_credits() {
+    const QUEUE: usize = 16;
+    let builder = SessionBuilder::new(1, OperatorKind::Dynamic)
+        .with_predicate(Predicate::Equi)
+        .with_backend(BackendChoice::Threaded)
+        .with_batch_tuples(1)
+        .with_window_copies(16)
+        .with_queue_tuples(QUEUE)
+        .with_match_buffer(1);
+    let mut session = JoinSession::open(builder);
+    let mut sub = session.subscribe();
+
+    let item = |key: i64| StreamItem {
+        key,
+        aux: 0,
+        bytes: 64,
+    };
+    // One R row; every S tuple with the same key produces a match.
+    session.push(Rel::R, item(0)).unwrap();
+
+    // Stalled subscriber: after ~2 matches the joiner blocks in emit,
+    // credits stop, the window closes, the queue fills — Full must
+    // appear. Before it does, at least a queue's worth of pushes must
+    // have been accepted (`Full` means "queue exhausted", nothing less).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut accepted = 1u64; // the R row above is queued too
+    let mut full_seen = false;
+    let mut first_full_at = 0u64;
+    while Instant::now() < deadline {
+        match session.try_push(Rel::S, item(0)) {
+            Ok(()) => accepted += 1,
+            Err(PushError::Full) => {
+                full_seen = true;
+                first_full_at = accepted;
+                break;
+            }
+            Err(e) => panic!("unexpected push error {e:?}"),
+        }
+        if accepted > 10_000 {
+            break;
+        }
+    }
+    assert!(
+        full_seen,
+        "try_push never reported Full though the subscriber stalled the plane \
+         ({accepted} pushes accepted)"
+    );
+    assert!(
+        first_full_at >= QUEUE as u64,
+        "Full after only {first_full_at} accepted pushes — the queue bound \
+         ({QUEUE}) was not exhausted"
+    );
+
+    // A blocked `push` (producer thread) must wake once the subscriber
+    // drains matches and the operator returns credits.
+    let ingest = session.ingest();
+    let tail = 32u64;
+    let producer = std::thread::spawn(move || {
+        for _ in 0..tail {
+            ingest.push(Rel::S, item(0)).unwrap();
+        }
+    });
+    // Slowly drain the subscription until the producer gets through.
+    let mut received = 0u64;
+    while !producer.is_finished() {
+        if sub.try_next().is_some() {
+            received += 1;
+        } else {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(
+            Instant::now() < deadline,
+            "blocked push never woke on credit return ({received} matches drained)"
+        );
+    }
+    producer.join().unwrap();
+
+    let expected = (accepted - 1) + tail; // every S matches the single R row
+    let report = session.close();
+    assert_eq!(report.matches, expected, "matches lost under backpressure");
+    // The drain delivered everything the subscriber had not yet read.
+    let mut total = received;
+    for _ in sub.by_ref() {
+        total += 1;
+    }
+    assert_eq!(total, expected, "subscription dropped matches");
+}
+
+/// A subscriber that never consumes at all must not deadlock `close()`:
+/// the drain lifts the buffer bound first, then finishes, and the
+/// buffered matches remain readable afterwards.
+#[test]
+fn fully_stalled_subscriber_never_deadlocks_the_close() {
+    let seed = 0xDEAD_0001;
+    let w = workload(200, 1_800, 150, seed);
+    let arrivals = interleave(&w, seed);
+    let builder = SessionBuilder::new(2, OperatorKind::Dynamic)
+        .with_predicate(w.predicate.clone())
+        .with_seed(seed)
+        .with_backend(BackendChoice::Threaded)
+        // Room for the whole stream: with the subscriber stalled, the
+        // data plane stops behind the full match buffer, so a smaller
+        // queue would (correctly) block the producer — here we isolate
+        // the close-path guarantee.
+        .with_queue_tuples(arrivals.len())
+        .with_match_buffer(8);
+    let mut session = JoinSession::open(builder);
+    let mut sub = session.subscribe();
+    let ingest = session.ingest();
+
+    let producer = std::thread::spawn({
+        let arrivals = arrivals.clone();
+        move || ingest.push_batch(arrivals).unwrap()
+    });
+    producer.join().unwrap();
+    // Nobody consumed a single match; close() must still drain and
+    // return.
+    let report = session.close();
+    assert_eq!(report.matches, reference_match_count(&w));
+    let mut streamed = 0u64;
+    while sub.next().is_some() {
+        streamed += 1;
+    }
+    assert_eq!(streamed, report.matches, "post-close drain lost matches");
+}
+
+/// SHJ sessions serve the same live API (the session layer is
+/// operator-agnostic).
+#[test]
+fn shj_session_streams_live_matches() {
+    let seed = 0x5417_0001;
+    let w = workload(250, 2_250, 200, seed);
+    let arrivals = interleave(&w, seed);
+    let builder = SessionBuilder::new(4, OperatorKind::Shj)
+        .with_predicate(Predicate::Equi)
+        .with_seed(seed);
+    let mut session = JoinSession::open(builder);
+    let mut sub = session.subscribe();
+    let half = arrivals.len() / 2;
+    session
+        .push_batch(arrivals[..half].iter().copied())
+        .unwrap();
+    let mut streamed = 0u64;
+    while sub.try_next().is_some() {
+        streamed += 1;
+    }
+    assert!(streamed > 0, "SHJ session not live");
+    session
+        .push_batch(arrivals[half..].iter().copied())
+        .unwrap();
+    let report = session.close();
+    streamed += sub.count() as u64;
+    assert_eq!(report.matches, reference_match_count(&w));
+    assert_eq!(streamed, report.matches);
+}
+
+/// A flow-control window at or below the joiners' credit-batching slack
+/// could close permanently with no credits in flight — a silent wedge on
+/// a live session — so `open()` must refuse it up front.
+#[test]
+#[should_panic(expected = "window_copies")]
+fn open_rejects_a_window_below_the_credit_batching_slack() {
+    let builder = SessionBuilder::new(1, OperatorKind::Dynamic)
+        .with_predicate(Predicate::Equi)
+        .with_window_copies(4); // < CREDIT_BATCH × J = 8
+    let _ = JoinSession::open(builder);
+}
+
+/// Live sessions must not grow memory per pushed tuple: the competitive
+/// prefix trace is opt-in (the legacy `run()` path keeps it, since the
+/// offline harness holds the whole stream anyway).
+#[test]
+fn live_sessions_do_not_track_the_competitive_prefix_by_default() {
+    let fresh = SessionBuilder::new(2, OperatorKind::Dynamic);
+    assert!(!fresh.backend.track_competitive);
+    let legacy =
+        SessionBuilder::from_run_config(&aoj_operators::RunConfig::new(2, OperatorKind::Dynamic));
+    assert!(legacy.backend.track_competitive);
+}
+
+/// Pushing after close must fail cleanly, and an unsubscribed session
+/// still counts matches in its live stats.
+#[test]
+fn closed_queue_rejects_pushes_and_stats_count_without_subscriber() {
+    let seed = 0xC105_0001;
+    let w = workload(100, 900, 100, seed);
+    let arrivals = interleave(&w, seed);
+    let builder = SessionBuilder::new(2, OperatorKind::Dynamic)
+        .with_predicate(w.predicate.clone())
+        .with_seed(seed);
+    let mut session = JoinSession::open(builder);
+    let ingest = session.ingest();
+    session.push_batch(arrivals.iter().copied()).unwrap();
+    let stats = session.stats();
+    assert_eq!(
+        stats.matches,
+        reference_match_count(&w),
+        "stats must count matches without a subscriber"
+    );
+    let report = session.close();
+    assert_eq!(report.matches, stats.matches);
+    // The detached ingest endpoint observes the close.
+    assert_eq!(
+        ingest.push(
+            Rel::R,
+            StreamItem {
+                key: 0,
+                aux: 0,
+                bytes: 64
+            }
+        ),
+        Err(PushError::Closed)
+    );
+}

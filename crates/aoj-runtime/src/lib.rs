@@ -12,7 +12,7 @@
 //! `aoj_operators::driver`) runs unchanged on either substrate:
 //!
 //! * one **worker thread per machine**, servicing a class-aware
-//!   [`mailbox`](crate::mailbox) with the simulator's weighted policy
+//!   mailbox with the simulator's weighted policy
 //!   (control preempts; migration serviced at 2× the data rate);
 //! * **bounded Data queues** provide backpressure: a producer facing a
 //!   full queue waits a bounded interval for space, then overflows

@@ -25,7 +25,7 @@
 //!
 //! Only the Data queue is bounded, and the bound is **backpressure, not
 //! a hard guarantee**: a producer facing a full data queue waits up to
-//! [`BACKPRESSURE_WAIT`] for space and then enqueues anyway. The bounded
+//! `BACKPRESSURE_WAIT` for space and then enqueues anyway. The bounded
 //! wait is what makes the design deadlock-free by construction. A hard
 //! block would be unsafe here, because a machine can host both data
 //! producers and data consumers (in the operator topology every machine

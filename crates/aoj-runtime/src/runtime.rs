@@ -172,6 +172,9 @@ pub struct Runtime<M: SimMessage + Send + 'static> {
     metrics: Metrics,
     provisioned: usize,
     peak_provisioned: usize,
+    /// Gauge overlay created ahead of `run` (live sessions read it from
+    /// the caller thread while workers execute).
+    pre_gauges: Option<Arc<SharedGauges>>,
 }
 
 impl<M: SimMessage + Send + 'static> Runtime<M> {
@@ -187,6 +190,7 @@ impl<M: SimMessage + Send + 'static> Runtime<M> {
             metrics: Metrics::default(),
             provisioned: 0,
             peak_provisioned: 0,
+            pre_gauges: None,
         }
     }
 
@@ -194,6 +198,26 @@ impl<M: SimMessage + Send + 'static> Runtime<M> {
     /// machine; deferred machines get theirs at trigger time).
     pub fn worker_threads(&self) -> usize {
         self.deferred.iter().filter(|&&d| !d).count()
+    }
+
+    /// The cluster-wide gauge overlay ([`SharedGauges`]), created on
+    /// first call and reused by [`run`](ExecBackend::run).
+    ///
+    /// Live sessions call this **after the topology is built** and keep
+    /// the `Arc` on the caller side: the per-machine stored-byte gauges
+    /// and the cluster-wide processed counter are then readable from any
+    /// thread while the run executes — the same view the elastic
+    /// controller triggers on. The overlay is sized to the machine count
+    /// at the time of the call; adding machines afterwards panics in
+    /// `run`.
+    pub fn shared_gauges(&mut self) -> Arc<SharedGauges> {
+        if let Some(g) = &self.pre_gauges {
+            return Arc::clone(g);
+        }
+        let g = SharedGauges::new(self.machines);
+        self.metrics.install_shared(Arc::clone(&g));
+        self.pre_gauges = Some(Arc::clone(&g));
+        g
     }
 }
 
@@ -409,8 +433,21 @@ impl<M: SimMessage + Send + 'static> ExecBackend<M> for Runtime<M> {
     }
 
     fn run(&mut self) -> SimTime {
-        let gauges = SharedGauges::new(self.machines);
-        self.metrics.install_shared(Arc::clone(&gauges));
+        let gauges = match self.pre_gauges.take() {
+            Some(g) => {
+                assert_eq!(
+                    g.machine_count(),
+                    self.machines,
+                    "shared_gauges() was called before the topology was complete"
+                );
+                g
+            }
+            None => {
+                let g = SharedGauges::new(self.machines);
+                self.metrics.install_shared(Arc::clone(&g));
+                g
+            }
+        };
         let mailboxes: Vec<Arc<Mailbox<M>>> = (0..self.machines)
             .map(|_| {
                 Arc::new(Mailbox::new(

@@ -50,6 +50,11 @@ impl SharedGauges {
         self.stored[m.index()].load(Ordering::Relaxed)
     }
 
+    /// How many machines the gauge array covers.
+    pub fn machine_count(&self) -> usize {
+        self.stored.len()
+    }
+
     /// Data items processed cluster-wide so far.
     #[inline]
     pub fn data_processed(&self) -> u64 {

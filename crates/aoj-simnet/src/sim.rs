@@ -185,9 +185,24 @@ impl<M: SimMessage + 'static> Sim<M> {
             .expect("task type mismatch")
     }
 
+    /// The external-event pump: run every currently queued event to
+    /// quiescence and return the virtual time reached.
+    ///
+    /// [`run`](Sim::run) is re-entrant, and this alias is the live-session
+    /// shape of that fact: a caller may inject new messages or bootstrap
+    /// timers *after* a previous pump returned (e.g. a `JoinSession`
+    /// pushing freshly arrived tuples into a source task's ingest queue)
+    /// and pump again — virtual time continues from where it stopped, and
+    /// the interleaving stays deterministic because all external input is
+    /// sequenced through the single pumping thread.
+    pub fn pump(&mut self) -> SimTime {
+        self.run()
+    }
+
     /// Run until quiescence (empty event queue), a task calls
     /// [`Ctx::stop`], or the configured deadline passes. Returns the final
-    /// virtual time.
+    /// virtual time. Re-entrant: more events may be injected after it
+    /// returns and the simulation resumed (see [`pump`](Sim::pump)).
     pub fn run(&mut self) -> SimTime {
         while let Some(ev) = self.queue.pop() {
             if self.stopped {
