@@ -13,7 +13,11 @@
 //! `fig7`, `fig8a`..`fig8d`, `fig8`, `ablation-migration`,
 //! `ablation-epsilon`, `ablation-blocking`, `ablation-elastic`,
 //! `ablation-groups`, `ablations`, `wallclock`, `elastic`, `contract`,
-//! or `all`.
+//! `lifecycle`, or `all`.
+//!
+//! `lifecycle` exercises the state lifecycle subsystem — windowed
+//! eviction and a checkpoint→restore→verify round-trip — on **both**
+//! backends in one invocation and writes `BENCH_lifecycle[_smoke].json`.
 //!
 //! `--backend threaded` selects the multi-threaded runtime, which hosts
 //! the wall-clock benchmark (`wallclock`) and the live `elastic` /
@@ -24,7 +28,9 @@
 //! sweep (each size runs on **both** backends and writes
 //! `BENCH_wallclock.json`).
 
-use aoj_bench::experiments::{ablation, contract, elastic, fig6, fig7, fig8, table2, wallclock};
+use aoj_bench::experiments::{
+    ablation, contract, elastic, fig6, fig7, fig8, lifecycle, table2, wallclock,
+};
 use aoj_operators::BackendChoice;
 
 fn main() {
@@ -75,9 +81,10 @@ fn main() {
                 None | Some("wallclock") | Some("all") => "wallclock".to_string(),
                 Some("elastic") => "elastic".to_string(),
                 Some("contract") => "contract".to_string(),
+                Some("lifecycle") => "lifecycle".to_string(),
                 Some(other) => die(&format!(
                     "experiment `{other}` is simulator-only; `--backend threaded` \
-                     runs `wallclock`, `elastic` or `contract`"
+                     runs `wallclock`, `elastic`, `contract` or `lifecycle`"
                 )),
             }
         }
@@ -117,6 +124,7 @@ fn main() {
         "wallclock" => wallclock::run_wallclock(&batch_sweep, smoke),
         "elastic" => elastic::run_elastic(backend_choice, smoke),
         "contract" => contract::run_contract(backend_choice, smoke),
+        "lifecycle" => lifecycle::run_lifecycle(smoke),
         "all" => {
             table2::run_table2();
             fig6::run_fig6();
@@ -126,6 +134,7 @@ fn main() {
             wallclock::run_wallclock(&batch_sweep, smoke);
             elastic::run_elastic(backend_choice, smoke);
             contract::run_contract(backend_choice, smoke);
+            lifecycle::run_lifecycle(smoke);
         }
         other => {
             eprintln!("unknown experiment `{other}`; see --help in the module docs");

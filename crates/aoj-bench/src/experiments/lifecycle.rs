@@ -1,0 +1,235 @@
+//! The `lifecycle` experiment: the state lifecycle subsystem, measured.
+//!
+//! Three legs per backend (simulator and real threads), over the
+//! identical seeded stream:
+//!
+//! * **baseline** — eviction off: the session stores every tuple
+//!   forever, the reference for storage growth and for the full join
+//!   multiset;
+//! * **windowed** — a count window of `span` tuples partitioned into
+//!   sub-windows: steady-state storage must plateau well below the
+//!   baseline while the evicted-bytes gauge climbs (checked);
+//! * **round-trip** — checkpoint at 60% of the stream, restore from the
+//!   file, push the remainder: the union of the pre-checkpoint and
+//!   post-restore match multisets must equal the uninterrupted
+//!   baseline's output exactly (checked).
+//!
+//! Results go to stdout and to machine-readable
+//! `BENCH_lifecycle[_smoke].json`.
+
+use aoj_core::predicate::Predicate;
+use aoj_datagen::queries::{StreamItem, Workload};
+use aoj_datagen::stream::{interleave, Arrivals};
+use aoj_datagen::zipf::ZipfSampler;
+use aoj_operators::{
+    human_bytes, BackendChoice, JoinSession, OperatorKind, RunReport, SessionBuilder,
+};
+
+use super::common::{banner, Table, SEED};
+
+/// Zipf-skewed equi-join, equal stream sizes — the same shape the
+/// `contract` experiment uses, sized so the stream runs several windows
+/// deep.
+fn lifecycle_workload(n_each: usize, key_space: u64, seed: u64) -> Workload {
+    let mut zr = ZipfSampler::new(key_space, 0.8, seed);
+    let mut zs = ZipfSampler::new(key_space, 0.8, seed ^ 0x11FE);
+    let item = |z: &mut ZipfSampler| StreamItem {
+        key: z.next() as i64,
+        aux: 0,
+        bytes: 64,
+    };
+    Workload {
+        name: "zipf-lifecycle",
+        predicate: Predicate::Equi,
+        r_items: (0..n_each).map(|_| item(&mut zr)).collect(),
+        s_items: (0..n_each).map(|_| item(&mut zs)).collect(),
+    }
+}
+
+fn builder(w: &Workload, seed: u64, backend: BackendChoice) -> SessionBuilder {
+    SessionBuilder::new(4, OperatorKind::Dynamic)
+        .with_predicate(w.predicate.clone())
+        .with_workload(w.name)
+        .with_seed(seed)
+        .with_backend(backend)
+        .with_collect_matches(true)
+}
+
+fn run_session(b: SessionBuilder, arrivals: &Arrivals) -> RunReport {
+    let mut session = JoinSession::open(b);
+    session.push_batch(arrivals.iter().copied()).unwrap();
+    session.close()
+}
+
+fn backend_label(backend: BackendChoice) -> &'static str {
+    match backend {
+        BackendChoice::Sim => "sim",
+        BackendChoice::Threaded => "threaded",
+    }
+}
+
+fn row(table: &mut Table, name: &str, backend: &str, r: &RunReport) {
+    table.row(vec![
+        name.to_string(),
+        backend.to_string(),
+        format!("{:.3}", r.exec_secs()),
+        r.matches.to_string(),
+        human_bytes(r.total_storage_bytes),
+        human_bytes(r.total_evicted_bytes()),
+        r.total_window_tuples().to_string(),
+    ]);
+}
+
+fn json_run(name: &str, span: u64, r: &RunReport) -> String {
+    format!(
+        concat!(
+            "{{\"name\":\"{}\",\"backend\":\"{}\",\"window_span\":{},",
+            "\"exec_s\":{:.6},\"throughput_tps\":{:.1},\"matches\":{},",
+            "\"stored_bytes\":{},\"evicted_bytes\":{},\"window_tuples\":{}}}"
+        ),
+        name,
+        r.backend,
+        span,
+        r.exec_secs(),
+        r.throughput,
+        r.matches,
+        r.total_storage_bytes,
+        r.total_evicted_bytes(),
+        r.total_window_tuples(),
+    )
+}
+
+/// One backend's three legs; panics if the window fails to bound
+/// storage, never evicts, or the checkpoint round-trip loses or
+/// duplicates matches. Returns `(baseline, windowed, roundtrip-json)`.
+fn run_lifecycle_on(
+    backend: BackendChoice,
+    w: &Workload,
+    arrivals: &Arrivals,
+    span: u64,
+) -> (RunReport, RunReport, String) {
+    let label = backend_label(backend);
+
+    let baseline = run_session(builder(w, SEED, backend), arrivals);
+    let windowed = run_session(builder(w, SEED, backend).with_count_window(span), arrivals);
+
+    assert!(
+        windowed.total_evicted_bytes() > 0,
+        "{label}: the {span}-tuple window never evicted on a {}-tuple stream",
+        arrivals.len()
+    );
+    assert!(
+        windowed.total_storage_bytes < baseline.total_storage_bytes / 2,
+        "{label}: windowed storage {} did not plateau below half the unwindowed {}",
+        windowed.total_storage_bytes,
+        baseline.total_storage_bytes
+    );
+    assert!(
+        windowed.matches > 0 && windowed.matches <= baseline.matches,
+        "{label}: windowed run emitted {} matches vs baseline {}",
+        windowed.matches,
+        baseline.matches
+    );
+
+    // Checkpoint → restore → continue: exact multiset identity with the
+    // uninterrupted baseline.
+    let cut = arrivals.len() * 3 / 5;
+    let path = std::env::temp_dir().join(format!("aoj-bench-lifecycle-{label}.ckpt"));
+    let mut session = JoinSession::open(builder(w, SEED, backend));
+    session.push_batch(arrivals[..cut].iter().copied()).unwrap();
+    let pre = session.checkpoint(&path).unwrap();
+    let mut restored = JoinSession::restore(builder(w, SEED, backend), &path).unwrap();
+    restored
+        .push_batch(arrivals[cut..].iter().copied())
+        .unwrap();
+    let post = restored.close();
+    std::fs::remove_file(&path).ok();
+
+    let mut union: Vec<(u64, u64)> = pre
+        .match_pairs
+        .iter()
+        .chain(post.match_pairs.iter())
+        .copied()
+        .collect();
+    union.sort_unstable();
+    assert_eq!(
+        union, baseline.match_pairs,
+        "{label}: checkpoint/restore lost or duplicated matches"
+    );
+    println!(
+        "  {label}: checkpoint at tuple {cut} restored cleanly \
+         ({} pre + {} post = {} matches, identical to the uninterrupted run)",
+        pre.matches, post.matches, baseline.matches
+    );
+
+    let roundtrip = format!(
+        "{{\"backend\":\"{label}\",\"cut\":{cut},\"pre_matches\":{},\
+         \"post_matches\":{},\"union_matches\":{},\"verified\":true}}",
+        pre.matches,
+        post.matches,
+        union.len(),
+    );
+    (baseline, windowed, roundtrip)
+}
+
+/// The `reproduce lifecycle [--smoke]` entry point: runs **both**
+/// backends regardless of `--backend` (the cross-backend agreement is
+/// the point).
+pub fn run_lifecycle(smoke: bool) {
+    let n_each = if smoke { 2_500 } else { 8_000 };
+    let span = if smoke { 1_500u64 } else { 3_000u64 };
+    banner(&format!(
+        "state lifecycle{}: windowed eviction + checkpoint/restore, J=4, both backends",
+        if smoke { " (smoke)" } else { "" },
+    ));
+    let w = lifecycle_workload(n_each, 2_000, SEED);
+    let arrivals = interleave(&w, SEED ^ 0x11FE);
+
+    let mut table = Table::new(&[
+        "run",
+        "backend",
+        "exec (s)",
+        "matches",
+        "stored",
+        "evicted",
+        "window tuples",
+    ]);
+    let mut runs = Vec::new();
+    let mut roundtrips = Vec::new();
+    for backend in [BackendChoice::Sim, BackendChoice::Threaded] {
+        let label = backend_label(backend);
+        let (baseline, windowed, roundtrip) = run_lifecycle_on(backend, &w, &arrivals, span);
+        row(&mut table, "baseline", label, &baseline);
+        row(&mut table, "windowed", label, &windowed);
+        runs.push(json_run("baseline", 0, &baseline));
+        runs.push(json_run("windowed", span, &windowed));
+        roundtrips.push(roundtrip);
+    }
+    table.print();
+    println!(
+        "  verified on both backends: eviction bounds steady-state storage, \
+         the round-trip multiset is exact"
+    );
+
+    let json = format!(
+        "{{\"experiment\":\"lifecycle\",\"smoke\":{},\"workload\":\"{}\",\
+         \"input_tuples\":{},\"window_span\":{},\"runs\":[{}],\"roundtrips\":[{}]}}\n",
+        smoke,
+        w.name,
+        arrivals.len(),
+        span,
+        runs.join(","),
+        roundtrips.join(","),
+    );
+    // Smoke runs (CI) write to a side file so they never clobber the
+    // committed baseline.
+    let path = if smoke {
+        "BENCH_lifecycle_smoke.json"
+    } else {
+        "BENCH_lifecycle.json"
+    };
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("  wrote {path}"),
+        Err(e) => eprintln!("  could not write {path}: {e}"),
+    }
+}

@@ -7,6 +7,7 @@ pub mod elastic;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod lifecycle;
 pub mod table2;
 pub mod wallclock;
 

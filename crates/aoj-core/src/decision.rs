@@ -68,6 +68,25 @@ impl DecisionConfig {
     }
 }
 
+/// The decider's committed statistics, detached from its configuration —
+/// what a checkpoint stores so a restored session resumes Alg. 2 exactly
+/// where it left off (config is code, not data).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeciderSnapshot {
+    /// Committed `|R|`.
+    pub r: u64,
+    /// Committed `|S|`.
+    pub s: u64,
+    /// Uncommitted `|ΔR|`.
+    pub dr: u64,
+    /// Uncommitted `|ΔS|`.
+    pub ds: u64,
+    /// Decision points evaluated.
+    pub decisions: u64,
+    /// Migrations triggered.
+    pub migrations: u64,
+}
+
 /// What the controller should do after a decision point.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Decision {
@@ -190,6 +209,41 @@ impl MigrationDecider {
         } else {
             Decision::Stay
         }
+    }
+
+    /// Export the committed statistics for a checkpoint.
+    pub fn snapshot(&self) -> DeciderSnapshot {
+        DeciderSnapshot {
+            r: self.r,
+            s: self.s,
+            dr: self.dr,
+            ds: self.ds,
+            decisions: self.decisions,
+            migrations: self.migrations,
+        }
+    }
+
+    /// Overwrite the committed statistics from a checkpoint. The mapping
+    /// is restored separately via [`set_grid`](Self::set_grid) (it must
+    /// match the restored grid's actual layout, whose `J` may differ from
+    /// the initial one after elastic reconfiguration).
+    pub fn restore(&mut self, snap: DeciderSnapshot) {
+        self.r = snap.r;
+        self.s = snap.s;
+        self.dr = snap.dr;
+        self.ds = snap.ds;
+        self.decisions = snap.decisions;
+        self.migrations = snap.migrations;
+    }
+
+    /// Re-seat the decider on a restored grid: adopts `mapping` *and* its
+    /// joiner count, unlike [`set_current`](Self::set_current) which
+    /// asserts `J` unchanged. Checkpoints may be taken after elastic
+    /// expansion/contraction, where the live `J` differs from the one the
+    /// decider was constructed with.
+    pub fn set_grid(&mut self, mapping: Mapping) {
+        self.j = mapping.j();
+        self.current = mapping;
     }
 
     /// Inform the decider that the operator completed a migration to

@@ -336,6 +336,16 @@ impl ElasticLayout {
         }
     }
 
+    /// Rebuild a layout from checkpointed parts.
+    pub fn from_parts(next_fresh: usize, mut dormant: Vec<usize>) -> ElasticLayout {
+        dormant.sort_unstable();
+        dormant.dedup();
+        ElasticLayout {
+            next_fresh,
+            dormant,
+        }
+    }
+
     /// The machine indices the next expansion's children would get —
     /// dormant pool first (ascending), then fresh indices — without
     /// committing the allocation.

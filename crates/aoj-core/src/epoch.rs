@@ -100,6 +100,7 @@
 
 use crate::elastic::{ContractRole, ExpandDestinations, ExpandSpec};
 use crate::index::{JoinIndex, ProbeStats};
+use crate::lifecycle::EvictStats;
 use crate::migration::MachineStepSpec;
 use crate::tuple::{Rel, Tuple};
 
@@ -252,6 +253,61 @@ impl EpochJoiner {
         let mut j = EpochJoiner::new(make_index, n_reshufflers);
         j.born = false;
         j
+    }
+
+    /// Reconstruct a stable joiner from checkpointed state: `tuples` are
+    /// the live τ set of a quiesced joiner at `epoch`, inserted and then
+    /// sealed into one segment so the restored bulk expires wholesale
+    /// under windowed eviction (see [`crate::lifecycle`]).
+    pub fn restored(
+        make_index: &dyn Fn() -> Box<dyn JoinIndex>,
+        n_reshufflers: usize,
+        epoch: Epoch,
+        tuples: &[Tuple],
+    ) -> EpochJoiner {
+        let mut j = EpochJoiner::new(make_index, n_reshufflers);
+        j.epoch = epoch;
+        j.new_epoch = epoch;
+        j.tau.insert_batch(tuples);
+        j.tau.seal_segment();
+        j
+    }
+
+    /// Seal the live (τ) index's active run into a sub-window segment
+    /// (see [`JoinIndex::seal_segment`]). Called by the windowed-eviction
+    /// driver at sub-window boundaries; τ only — the migration sets Δ, Δ′
+    /// and µ are transient and merge away at finalisation.
+    pub fn seal_live_segment(&mut self) {
+        self.tau.seal_segment();
+    }
+
+    /// Drop expired τ segments (see [`JoinIndex::evict_before`]). Only
+    /// legal while **stable**: eviction at epoch boundaries never races a
+    /// migration's state partitioning, so Alg. 3's marker-FIFO argument
+    /// is untouched.
+    pub fn evict_before(&mut self, bound: u64) -> EvictStats {
+        assert!(
+            self.born && !self.migrating,
+            "windowed eviction must only run on a stable joiner"
+        );
+        self.tau.evict_before(bound)
+    }
+
+    /// Sealed sub-window segments currently held by τ (occupancy stats).
+    pub fn sealed_segments(&self) -> usize {
+        self.tau.sealed_segments()
+    }
+
+    /// The live τ tuples of a quiesced joiner, for a checkpoint. Panics
+    /// if a reconfiguration is in flight — checkpoints are taken at
+    /// quiesced migration checkpoints only, where Δ, Δ′ and µ are empty.
+    pub fn live_snapshot(&self) -> Vec<Tuple> {
+        assert!(
+            !self.migrating,
+            "checkpoint requires a quiesced (stable) joiner"
+        );
+        debug_assert_eq!(self.delta.len() + self.delta_prime.len() + self.mu.len(), 0);
+        self.tau.snapshot()
     }
 
     /// True once this joiner participates in the cluster (always, except

@@ -9,6 +9,7 @@
 //! [`VecIndex`] here is the obvious-by-inspection reference used by tests
 //! and by the epoch-protocol correctness proofs.
 
+use crate::lifecycle::EvictStats;
 use crate::predicate::Predicate;
 use crate::tuple::{Rel, Tuple};
 
@@ -123,6 +124,37 @@ pub trait JoinIndex: Send {
     /// Visit every stored tuple.
     fn for_each(&self, f: &mut dyn FnMut(&Tuple));
 
+    /// Close the current run of inserts into a **sealed segment** (a
+    /// PanJoin-style sub-window, arXiv:1811.05065): sealed tuples stay
+    /// fully probe-able, but [`evict_before`](JoinIndex::evict_before)
+    /// may later drop the segment wholesale instead of deleting tuples
+    /// one at a time. Sealing an empty run is a no-op. The default does
+    /// nothing — an index without segment support simply falls back to
+    /// per-tuple eviction.
+    fn seal_segment(&mut self) {}
+
+    /// Drop stored tuples that are entirely outside the retention
+    /// window: every **sealed segment** whose maximum sequence number is
+    /// below `bound` is discarded whole (O(1) per segment for segmented
+    /// indexes). Tuples in the active (unsealed) run, and sealed
+    /// segments straddling the bound, are retained — eviction is
+    /// conservative, never early. Returns what was dropped.
+    ///
+    /// The default implementation extracts per-tuple (`seq < bound`),
+    /// for indexes without segment support.
+    fn evict_before(&mut self, bound: u64) -> EvictStats {
+        let removed = self.extract(&mut |t| t.seq < bound);
+        EvictStats {
+            tuples: removed.len() as u64,
+            bytes: removed.iter().map(|t| t.bytes as u64).sum(),
+        }
+    }
+
+    /// Sealed segments currently held (0 for unsegmented indexes).
+    fn sealed_segments(&self) -> usize {
+        0
+    }
+
     /// Collect every stored tuple (testing convenience).
     fn snapshot(&self) -> Vec<Tuple> {
         let mut v = Vec::with_capacity(self.len());
@@ -167,14 +199,28 @@ pub fn process_stream_batch(
     stats
 }
 
-/// Reference [`JoinIndex`]: two plain vectors and a linear scan per probe.
+/// One sealed sub-window of a [`VecIndex`]: a closed run of tuples that
+/// expires wholesale.
+struct VecSegment {
+    r: Vec<Tuple>,
+    s: Vec<Tuple>,
+    bytes: u64,
+    max_seq: u64,
+}
+
+/// Reference [`JoinIndex`]: plain vectors and a linear scan per probe.
 /// O(|state|) probes, but trivially correct for any predicate — the
-/// yardstick the optimised indexes are tested against.
+/// yardstick the optimised indexes are tested against. Supports sealed
+/// segments natively: the active run lives in `r`/`s`, closed runs move
+/// into `sealed` (still probed, droppable whole). With no sealing the
+/// struct degenerates to the original two-vector store.
 pub struct VecIndex {
     predicate: Predicate,
     r: Vec<Tuple>,
     s: Vec<Tuple>,
     bytes: u64,
+    active_max_seq: u64,
+    sealed: Vec<VecSegment>,
 }
 
 impl VecIndex {
@@ -185,6 +231,8 @@ impl VecIndex {
             r: Vec::new(),
             s: Vec::new(),
             bytes: 0,
+            active_max_seq: 0,
+            sealed: Vec::new(),
         }
     }
 
@@ -199,6 +247,7 @@ impl VecIndex {
 impl JoinIndex for VecIndex {
     fn insert(&mut self, t: Tuple) {
         self.bytes += t.bytes as u64;
+        self.active_max_seq = self.active_max_seq.max(t.seq);
         match t.rel {
             Rel::R => self.r.push(t),
             Rel::S => self.s.push(t),
@@ -212,12 +261,18 @@ impl JoinIndex for VecIndex {
         on_match: &mut dyn FnMut(&Tuple),
     ) -> ProbeStats {
         let mut stats = ProbeStats::default();
-        let others = self.side(t.rel.other());
-        stats.candidates = others.len() as u64;
-        for other in others {
-            if self.predicate.matches_pair(t, other) && filter(other) {
-                stats.matches += 1;
-                on_match(other);
+        let other_rel = t.rel.other();
+        let sealed_sides = self.sealed.iter().map(|seg| match other_rel {
+            Rel::R => &seg.r,
+            Rel::S => &seg.s,
+        });
+        for others in sealed_sides.chain(std::iter::once(self.side(other_rel))) {
+            stats.candidates += others.len() as u64;
+            for other in others {
+                if self.predicate.matches_pair(t, other) && filter(other) {
+                    stats.matches += 1;
+                    on_match(other);
+                }
             }
         }
         stats
@@ -239,13 +294,19 @@ impl JoinIndex for VecIndex {
             if idxs.is_empty() {
                 continue;
             }
-            let others = self.side(rel.other());
-            stats.candidates += (others.len() * idxs.len()) as u64;
-            for other in others {
-                for &i in &idxs {
-                    if self.predicate.matches_pair(&probes[i], other) {
-                        stats.matches += 1;
-                        on_match(i, other);
+            let other_rel = rel.other();
+            let sealed_sides = self.sealed.iter().map(|seg| match other_rel {
+                Rel::R => &seg.r,
+                Rel::S => &seg.s,
+            });
+            for others in sealed_sides.chain(std::iter::once(self.side(other_rel))) {
+                stats.candidates += (others.len() * idxs.len()) as u64;
+                for other in others {
+                    for &i in &idxs {
+                        if self.predicate.matches_pair(&probes[i], other) {
+                            stats.matches += 1;
+                            on_match(i, other);
+                        }
                     }
                 }
             }
@@ -254,26 +315,65 @@ impl JoinIndex for VecIndex {
     }
 
     fn len(&self) -> usize {
-        self.r.len() + self.s.len()
+        self.r.len()
+            + self.s.len()
+            + self
+                .sealed
+                .iter()
+                .map(|seg| seg.r.len() + seg.s.len())
+                .sum::<usize>()
     }
 
     fn len_rel(&self, rel: Rel) -> usize {
         self.side(rel).len()
+            + self
+                .sealed
+                .iter()
+                .map(|seg| match rel {
+                    Rel::R => seg.r.len(),
+                    Rel::S => seg.s.len(),
+                })
+                .sum::<usize>()
     }
 
     fn bytes(&self) -> u64 {
-        self.bytes
+        self.bytes + self.sealed.iter().map(|seg| seg.bytes).sum::<u64>()
     }
 
     fn drain(&mut self) -> Vec<Tuple> {
         self.bytes = 0;
-        let mut out = std::mem::take(&mut self.r);
+        self.active_max_seq = 0;
+        let mut out = Vec::new();
+        for mut seg in std::mem::take(&mut self.sealed) {
+            out.append(&mut seg.r);
+            out.append(&mut seg.s);
+        }
+        out.append(&mut self.r);
         out.append(&mut self.s);
         out
     }
 
     fn extract(&mut self, pred: &mut dyn FnMut(&Tuple) -> bool) -> Vec<Tuple> {
         let mut out = Vec::new();
+        for seg in &mut self.sealed {
+            let before = out.len();
+            for side in [&mut seg.r, &mut seg.s] {
+                let mut i = 0;
+                while i < side.len() {
+                    if pred(&side[i]) {
+                        out.push(side.swap_remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            // Stale max_seq after removals only delays eviction — safe.
+            for t in &out[before..] {
+                seg.bytes -= t.bytes as u64;
+            }
+        }
+        self.sealed.retain(|seg| seg.r.len() + seg.s.len() > 0);
+        let before = out.len();
         for side in [&mut self.r, &mut self.s] {
             let mut i = 0;
             while i < side.len() {
@@ -284,19 +384,59 @@ impl JoinIndex for VecIndex {
                 }
             }
         }
-        for t in &out {
+        for t in &out[before..] {
             self.bytes -= t.bytes as u64;
         }
         out
     }
 
     fn for_each(&self, f: &mut dyn FnMut(&Tuple)) {
+        for seg in &self.sealed {
+            for t in &seg.r {
+                f(t);
+            }
+            for t in &seg.s {
+                f(t);
+            }
+        }
         for t in &self.r {
             f(t);
         }
         for t in &self.s {
             f(t);
         }
+    }
+
+    fn seal_segment(&mut self) {
+        if self.r.is_empty() && self.s.is_empty() {
+            return;
+        }
+        self.sealed.push(VecSegment {
+            r: std::mem::take(&mut self.r),
+            s: std::mem::take(&mut self.s),
+            bytes: self.bytes,
+            max_seq: self.active_max_seq,
+        });
+        self.bytes = 0;
+        self.active_max_seq = 0;
+    }
+
+    fn evict_before(&mut self, bound: u64) -> EvictStats {
+        let mut stats = EvictStats::default();
+        self.sealed.retain(|seg| {
+            if seg.max_seq < bound {
+                stats.tuples += (seg.r.len() + seg.s.len()) as u64;
+                stats.bytes += seg.bytes;
+                false
+            } else {
+                true
+            }
+        });
+        stats
+    }
+
+    fn sealed_segments(&self) -> usize {
+        self.sealed.len()
     }
 }
 
@@ -452,6 +592,114 @@ mod tests {
         idx.insert_batch(&batch);
         assert_eq!(idx.len(), 3);
         assert_eq!(idx.bytes(), 3 * 64);
+    }
+
+    #[test]
+    fn sealed_segments_stay_probeable_and_evict_wholesale() {
+        let mut idx = VecIndex::new(Predicate::Equi);
+        for i in 0..10u64 {
+            idx.insert(r(i, 1));
+        }
+        idx.seal_segment();
+        for i in 10..20u64 {
+            idx.insert(r(i, 1));
+        }
+        idx.seal_segment();
+        for i in 20..25u64 {
+            idx.insert(r(i, 1));
+        }
+        assert_eq!(idx.sealed_segments(), 2);
+        assert_eq!(idx.len(), 25);
+        assert_eq!(idx.bytes(), 25 * 64);
+        // Probes see sealed + active state.
+        assert_eq!(idx.probe_count(&s(100, 1)).matches, 25);
+        // Bound 10 drops exactly the first segment (max_seq 9).
+        let evicted = idx.evict_before(10);
+        assert_eq!(
+            evicted,
+            EvictStats {
+                tuples: 10,
+                bytes: 640
+            }
+        );
+        assert_eq!(idx.len(), 15);
+        assert_eq!(idx.probe_count(&s(101, 1)).matches, 15);
+        // Bound 15 straddles the second segment (max_seq 19): retained.
+        assert_eq!(idx.evict_before(15), EvictStats::default());
+        assert_eq!(idx.len(), 15);
+        // The active run is never evicted by the segment path.
+        assert_eq!(idx.evict_before(1000).tuples, 10);
+        assert_eq!(idx.len(), 5);
+    }
+
+    #[test]
+    fn drain_and_extract_span_sealed_segments() {
+        let mut idx = VecIndex::new(Predicate::Equi);
+        idx.insert(r(0, 0));
+        idx.insert(s(1, 0));
+        idx.seal_segment();
+        idx.insert(r(2, 1));
+        let pulled = idx.extract(&mut |t| t.seq == 1);
+        assert_eq!(pulled.len(), 1);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.bytes(), 2 * 64);
+        let all = idx.drain();
+        assert_eq!(all.len(), 2);
+        assert!(idx.is_empty());
+        assert_eq!(idx.bytes(), 0);
+        assert_eq!(idx.sealed_segments(), 0);
+    }
+
+    #[test]
+    fn default_evict_before_falls_back_to_per_tuple() {
+        // A minimal unsegmented JoinIndex exercising the trait default.
+        struct Flat(VecIndex);
+        impl JoinIndex for Flat {
+            fn insert(&mut self, t: Tuple) {
+                self.0.insert(t);
+            }
+            fn probe_filtered(
+                &mut self,
+                t: &Tuple,
+                filter: &mut dyn FnMut(&Tuple) -> bool,
+                on_match: &mut dyn FnMut(&Tuple),
+            ) -> ProbeStats {
+                self.0.probe_filtered(t, filter, on_match)
+            }
+            fn len(&self) -> usize {
+                self.0.len()
+            }
+            fn len_rel(&self, rel: Rel) -> usize {
+                self.0.len_rel(rel)
+            }
+            fn bytes(&self) -> u64 {
+                self.0.bytes()
+            }
+            fn drain(&mut self) -> Vec<Tuple> {
+                self.0.drain()
+            }
+            fn extract(&mut self, pred: &mut dyn FnMut(&Tuple) -> bool) -> Vec<Tuple> {
+                self.0.extract(pred)
+            }
+            fn for_each(&self, f: &mut dyn FnMut(&Tuple)) {
+                self.0.for_each(f)
+            }
+        }
+        let mut idx = Flat(VecIndex::new(Predicate::Equi));
+        for i in 0..8u64 {
+            idx.insert(r(i, 0));
+        }
+        idx.seal_segment(); // default: no-op
+        assert_eq!(idx.sealed_segments(), 0);
+        let stats = idx.evict_before(5);
+        assert_eq!(
+            stats,
+            EvictStats {
+                tuples: 5,
+                bytes: 5 * 64
+            }
+        );
+        assert_eq!(idx.len(), 3);
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod epoch;
 pub mod groups;
 pub mod ilf;
 pub mod index;
+pub mod lifecycle;
 pub mod mapping;
 pub mod migration;
 pub mod predicate;
@@ -38,10 +39,14 @@ pub mod ticket;
 pub mod tuple;
 
 pub use competitive::CompetitiveTracker;
-pub use decision::{Decision, DecisionConfig, MigrationDecider};
+pub use decision::{DeciderSnapshot, Decision, DecisionConfig, MigrationDecider};
 pub use epoch::{DataOutcome, Epoch, EpochJoiner, FinalizeSummary, SignalOutcome};
 pub use ilf::{ilf, optimal_ilf, optimal_mapping};
 pub use index::{JoinIndex, ProbeStats, VecIndex};
+pub use lifecycle::{
+    Checkpoint, EvictStats, JoinerCheckpoint, WindowMode, WindowOccupancy, WindowSpec,
+    WindowTracker,
+};
 pub use mapping::{GridAssignment, GridPos, Mapping, Step};
 pub use migration::{plan_step, MachineStepSpec, MigrationPlan, StateClass};
 pub use predicate::Predicate;

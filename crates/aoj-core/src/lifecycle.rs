@@ -1,0 +1,750 @@
+//! State lifecycle: windowed eviction and checkpoint/restore.
+//!
+//! A long-lived session's joiner state is monotone without help: every
+//! arriving tuple is stored forever, so an unbounded stream grows the
+//! operator without bound and the elastic 4→1 contraction trigger can
+//! only ever fire through an artificial hold-off gate. This module adds
+//! the two lifecycle mechanisms that fix that:
+//!
+//! ## Windowed eviction (PanJoin-style partitioned sub-windows)
+//!
+//! A [`WindowSpec`] bounds how long a stored tuple stays probe-able —
+//! by stream distance ([count mode](WindowMode::Count): the last `span`
+//! tuples the joiner processed) or by arrival time
+//! ([time mode](WindowMode::Time): the last `span` microseconds). The
+//! window is partitioned into `sub_windows` **sub-windows**, following
+//! PanJoin (arXiv:1811.05065): each sub-window is a closed run of
+//! tuples sealed into its own index segment
+//! ([`JoinIndex::seal_segment`](crate::index::JoinIndex::seal_segment)),
+//! and expiry drops whole sealed segments
+//! ([`JoinIndex::evict_before`](crate::index::JoinIndex::evict_before))
+//! instead of deleting tuples one by one — O(1) amortised, and no
+//! rebuilding of the live index.
+//!
+//! [`WindowTracker`] is the per-joiner bookkeeper: it decides *when* to
+//! seal (the active sub-window's span filled up) and *what* is safely
+//! evictable (the monotone [`evict_bound`](WindowTracker::evict_bound)).
+//!
+//! ### Window semantics
+//!
+//! Windows are **processing-order** windows, the only sound notion on a
+//! stream that reaches a joiner over several FIFO channels with bounded
+//! skew: let `L` be the highest sequence number the joiner has
+//! processed (its stream clock). The tracker guarantees
+//!
+//! > a stored tuple `t` is evictable only once `t.seq + span ≤ L`
+//! > (count mode; time mode substitutes arrival timestamps),
+//!
+//! so any probe finds every partner still inside the window of the
+//! joiner's own clock. Eviction happens only while the joiner is
+//! **stable** (no migration in flight), so Alg. 3's marker-FIFO
+//! correctness argument is untouched: the four epoch sets never change
+//! under a migration's feet.
+//!
+//! ## Checkpoint/restore
+//!
+//! [`Checkpoint`] is a versioned snapshot of everything a quiesced grid
+//! session needs to resume: per-joiner live state, the grid/elastic
+//! layout, the decision-maker's counters, and the source's ingest
+//! cursor + flow-control window. The on-disk format is a line-oriented
+//! text file (`aoj-checkpoint v1`, see [`Checkpoint::write_to`]) —
+//! self-describing, diff-able, and dependency-free. Restore semantics
+//! (exactly-once match delivery) are implemented by the session layer;
+//! this module owns the data model and its (de)serialisation.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufWriter, Write as _};
+use std::path::Path;
+
+use crate::decision::DeciderSnapshot;
+use crate::elastic::ElasticLayout;
+use crate::mapping::{GridAssignment, GridPos, Mapping};
+use crate::tuple::{Rel, Tuple};
+
+/// What a window's `span` counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowMode {
+    /// Stream distance: a tuple expires once the joiner has processed a
+    /// tuple whose sequence number is `span` or more ahead of it.
+    Count,
+    /// Arrival time: a tuple expires once the joiner processes data that
+    /// arrived `span` or more microseconds after it.
+    Time,
+}
+
+/// A per-joiner retention window, partitioned into sub-windows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Count or time semantics.
+    pub mode: WindowMode,
+    /// Window span: tuples ([`WindowMode::Count`]) or microseconds
+    /// ([`WindowMode::Time`]).
+    pub span: u64,
+    /// Number of sub-windows the span is partitioned into; eviction
+    /// granularity is `span / sub_windows`. At least 1.
+    pub sub_windows: u32,
+}
+
+/// Default sub-window partitioning (PanJoin uses a small constant).
+pub const DEFAULT_SUB_WINDOWS: u32 = 8;
+
+impl WindowSpec {
+    /// A count window over the last `tuples` sequence numbers.
+    pub fn count(tuples: u64) -> WindowSpec {
+        WindowSpec {
+            mode: WindowMode::Count,
+            span: tuples.max(1),
+            sub_windows: DEFAULT_SUB_WINDOWS,
+        }
+    }
+
+    /// A time window over the last `micros` microseconds of arrivals.
+    pub fn time_micros(micros: u64) -> WindowSpec {
+        WindowSpec {
+            mode: WindowMode::Time,
+            span: micros.max(1),
+            sub_windows: DEFAULT_SUB_WINDOWS,
+        }
+    }
+
+    /// Override the sub-window count (clamped to at least 1).
+    pub fn with_sub_windows(mut self, n: u32) -> WindowSpec {
+        self.sub_windows = n.max(1);
+        self
+    }
+
+    /// The span of one sub-window in the window's tick unit.
+    #[inline]
+    pub fn sub_span(&self) -> u64 {
+        (self.span / self.sub_windows as u64).max(1)
+    }
+}
+
+/// What one eviction pass removed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvictStats {
+    /// Tuples dropped.
+    pub tuples: u64,
+    /// Payload bytes dropped.
+    pub bytes: u64,
+}
+
+impl std::ops::AddAssign for EvictStats {
+    fn add_assign(&mut self, rhs: EvictStats) {
+        self.tuples += rhs.tuples;
+        self.bytes += rhs.bytes;
+    }
+}
+
+/// A sealed sub-window's summary: the highest sequence number and the
+/// highest tick (sequence number or arrival microsecond, per mode) of
+/// any tuple inside it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct SealMark {
+    hi_seq: u64,
+    hi_tick: u64,
+}
+
+/// Live occupancy of one joiner's window (for `SessionHandle::stats()`
+/// and the future model-driven controller).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WindowOccupancy {
+    /// Sealed sub-windows currently awaiting expiry.
+    pub sealed_sub_windows: usize,
+    /// Tick span covered by the active (unsealed) sub-window.
+    pub active_span: u64,
+}
+
+/// Per-joiner sub-window bookkeeping: decides when the host should seal
+/// the live index's active segment, and how far eviction may reach.
+///
+/// The tracker never touches tuples itself — the host observes each
+/// processed tuple, seals the index segment when told to, and passes
+/// [`evict_bound`](WindowTracker::evict_bound) to
+/// [`JoinIndex::evict_before`](crate::index::JoinIndex::evict_before).
+#[derive(Clone, Debug)]
+pub struct WindowTracker {
+    spec: WindowSpec,
+    /// Tick at which the active sub-window opened (None: empty).
+    active_start: Option<u64>,
+    /// Highest sequence number in the active sub-window.
+    active_hi_seq: u64,
+    /// Sealed sub-windows, oldest first.
+    seals: VecDeque<SealMark>,
+    latest_tick: u64,
+    latest_seq: u64,
+    /// Monotone eviction bound (sequence-number space).
+    bound: u64,
+}
+
+impl WindowTracker {
+    /// An empty tracker for `spec`.
+    pub fn new(spec: WindowSpec) -> WindowTracker {
+        WindowTracker {
+            spec,
+            active_start: None,
+            active_hi_seq: 0,
+            seals: VecDeque::new(),
+            latest_tick: 0,
+            latest_seq: 0,
+            bound: 0,
+        }
+    }
+
+    /// Rebuild a tracker from a checkpoint: the joiner's restored live
+    /// state is treated as one already-sealed sub-window whose tuples
+    /// all "arrived" at the checkpoint's clock — conservative (restored
+    /// tuples expire no earlier than they would have), never unsafe.
+    pub fn restored(
+        spec: WindowSpec,
+        latest_seq: u64,
+        latest_tick: u64,
+        restored_hi_seq: Option<u64>,
+    ) -> WindowTracker {
+        let mut w = WindowTracker::new(spec);
+        w.latest_seq = latest_seq;
+        w.latest_tick = latest_tick;
+        if let Some(hi_seq) = restored_hi_seq {
+            w.seals.push_back(SealMark {
+                hi_seq,
+                hi_tick: latest_tick,
+            });
+        }
+        w
+    }
+
+    /// The window specification this tracker enforces.
+    #[inline]
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// `(latest_seq, latest_tick)` — the joiner's stream clock.
+    #[inline]
+    pub fn latest(&self) -> (u64, u64) {
+        (self.latest_seq, self.latest_tick)
+    }
+
+    /// Record one processed tuple. Returns `true` when the active
+    /// sub-window just closed: the host must call
+    /// [`JoinIndex::seal_segment`](crate::index::JoinIndex::seal_segment)
+    /// on its live index *now*, before observing further tuples.
+    pub fn observe(&mut self, seq: u64, now_us: u64) -> bool {
+        let tick = match self.spec.mode {
+            WindowMode::Count => seq,
+            WindowMode::Time => now_us,
+        };
+        self.latest_seq = self.latest_seq.max(seq);
+        self.latest_tick = self.latest_tick.max(tick);
+        self.active_hi_seq = self.active_hi_seq.max(seq);
+        let start = *self.active_start.get_or_insert(tick);
+        if self.latest_tick.saturating_sub(start) + 1 >= self.spec.sub_span() {
+            self.seals.push_back(SealMark {
+                hi_seq: self.active_hi_seq,
+                hi_tick: self.latest_tick,
+            });
+            self.active_start = None;
+            self.active_hi_seq = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The current eviction bound: tuples with `seq < bound` are outside
+    /// the window of the joiner's stream clock and may be dropped.
+    /// Monotone; pops fully-expired seal marks as a side effect.
+    ///
+    /// Invariant (the safety property the proptests pin): the returned
+    /// bound never exceeds `latest_tick − span + 1` translated to
+    /// sequence space, so no tuple within `span` of the clock is ever
+    /// evictable.
+    pub fn evict_bound(&mut self) -> u64 {
+        let watermark = self.latest_tick.saturating_sub(self.spec.span);
+        while let Some(front) = self.seals.front() {
+            if front.hi_tick < watermark {
+                self.bound = self.bound.max(front.hi_seq + 1);
+                self.seals.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.bound
+    }
+
+    /// Live occupancy for stats reporting.
+    pub fn occupancy(&self) -> WindowOccupancy {
+        WindowOccupancy {
+            sealed_sub_windows: self.seals.len(),
+            active_span: self
+                .active_start
+                .map(|s| self.latest_tick.saturating_sub(s) + 1)
+                .unwrap_or(0),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint model + versioned serialisation
+// ---------------------------------------------------------------------
+
+/// On-disk format magic + version. Bump the version on any layout
+/// change; [`Checkpoint::read_from`] rejects anything else.
+pub const CHECKPOINT_HEADER: &str = "aoj-checkpoint v1";
+
+/// One joiner's checkpointed state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinerCheckpoint {
+    /// Machine index hosting this joiner.
+    pub machine: usize,
+    /// Cumulative eviction counters (stats continuity across restore).
+    pub evicted_tuples: u64,
+    /// Cumulative evicted payload bytes.
+    pub evicted_bytes: u64,
+    /// The joiner's stream clock: highest processed sequence number.
+    pub latest_seq: u64,
+    /// The joiner's stream clock in window ticks (equals `latest_seq`
+    /// for count windows, an arrival microsecond for time windows).
+    pub latest_tick: u64,
+    /// The live (τ) tuples, segment structure flattened.
+    pub tuples: Vec<Tuple>,
+}
+
+/// A complete, versioned snapshot of a quiesced grid session.
+///
+/// Captured at a migration checkpoint with no reconfiguration in
+/// flight: every joiner is stable, the ingest queue is drained, and all
+/// matches for tuples before `source_cursor` have been delivered. The
+/// restore path (`JoinSession::restore` in `aoj-operators`) rebuilds
+/// the topology from this plus the original `SessionBuilder` — config
+/// (predicates, cost models) is code, not data, so it is *not*
+/// serialised; the fingerprint fields (`j`, `kind`, `seed`) guard
+/// against restoring under a mismatched configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Initial joiner count of the session (`SessionBuilder::j`).
+    pub j: u32,
+    /// Operator kind label ("Dynamic", "StaticMid", ...).
+    pub kind: String,
+    /// Ticket seed the session ran with.
+    pub seed: u64,
+    /// The cluster-wide epoch at the quiesced checkpoint.
+    pub epoch: u32,
+    /// Grid assignment (mapping + machine↔cell bijection).
+    pub assign: GridAssignment,
+    /// Elastic machine-slot bookkeeping (dormant pool, fresh frontier).
+    pub layout: ElasticLayout,
+    /// `(expansions_done, contractions_done)` of the elastic control,
+    /// when the session ran elastically.
+    pub elastic: Option<(u32, u32)>,
+    /// The migration decision-maker's committed statistics.
+    pub decider: DeciderSnapshot,
+    /// The source's ingest cursor: tuples `0..cursor` are fully
+    /// processed; the caller resumes pushing from here.
+    pub source_cursor: u64,
+    /// The source's current flow-control window (tuple copies), after
+    /// any elastic grow/shrink rescaling.
+    pub window_copies: u64,
+    /// Per-joiner state for every **active** machine, ascending by
+    /// machine index.
+    pub joiners: Vec<JoinerCheckpoint>,
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn parse<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> io::Result<T> {
+    tok.ok_or_else(|| bad(format!("checkpoint: missing {what}")))?
+        .parse::<T>()
+        .map_err(|_| bad(format!("checkpoint: malformed {what}")))
+}
+
+impl Checkpoint {
+    /// Serialise to `path` in the line-oriented v1 text format:
+    ///
+    /// ```text
+    /// aoj-checkpoint v1
+    /// session <j> <kind> <seed>
+    /// epoch <epoch>
+    /// mapping <n> <m>
+    /// pos <slots> <row> <col> ...          # per machine slot
+    /// cells <cells> <machine> ...          # row-major grid cells
+    /// layout <next_fresh> <k> <dormant> ...
+    /// elastic <expansions> <contractions>  # omitted if not elastic
+    /// decider <r> <s> <dr> <ds> <decisions> <migrations>
+    /// source <cursor> <window_copies>
+    /// joiner <machine> <evicted_tuples> <evicted_bytes> <latest_seq> <latest_tick> <n>
+    /// t <seq> <rel> <key> <aux> <bytes> <ticket>   # n of these
+    /// end
+    /// ```
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        let mut w = BufWriter::new(std::fs::File::create(path)?);
+        writeln!(w, "{CHECKPOINT_HEADER}")?;
+        writeln!(w, "session {} {} {}", self.j, self.kind, self.seed)?;
+        writeln!(w, "epoch {}", self.epoch)?;
+        let mapping = self.assign.mapping();
+        writeln!(w, "mapping {} {}", mapping.n, mapping.m)?;
+        let pos = self.assign.pos_slice();
+        write!(w, "pos {}", pos.len())?;
+        for p in pos {
+            write!(w, " {} {}", p.row, p.col)?;
+        }
+        writeln!(w)?;
+        let cells: Vec<usize> = self.assign.machines().collect();
+        write!(w, "cells {}", cells.len())?;
+        for m in &cells {
+            write!(w, " {m}")?;
+        }
+        writeln!(w)?;
+        write!(
+            w,
+            "layout {} {}",
+            self.layout.high_water(),
+            self.layout.dormant().len()
+        )?;
+        for d in self.layout.dormant() {
+            write!(w, " {d}")?;
+        }
+        writeln!(w)?;
+        if let Some((e, c)) = self.elastic {
+            writeln!(w, "elastic {e} {c}")?;
+        }
+        let d = &self.decider;
+        writeln!(
+            w,
+            "decider {} {} {} {} {} {}",
+            d.r, d.s, d.dr, d.ds, d.decisions, d.migrations
+        )?;
+        writeln!(w, "source {} {}", self.source_cursor, self.window_copies)?;
+        for j in &self.joiners {
+            writeln!(
+                w,
+                "joiner {} {} {} {} {} {}",
+                j.machine,
+                j.evicted_tuples,
+                j.evicted_bytes,
+                j.latest_seq,
+                j.latest_tick,
+                j.tuples.len()
+            )?;
+            for t in &j.tuples {
+                writeln!(
+                    w,
+                    "t {} {} {} {} {} {}",
+                    t.seq,
+                    match t.rel {
+                        Rel::R => "R",
+                        Rel::S => "S",
+                    },
+                    t.key,
+                    t.aux,
+                    t.bytes,
+                    t.ticket
+                )?;
+            }
+        }
+        writeln!(w, "end")?;
+        w.flush()
+    }
+
+    /// Read and validate a v1 checkpoint.
+    pub fn read_from(path: &Path) -> io::Result<Checkpoint> {
+        let f = std::fs::File::open(path)?;
+        let mut lines = io::BufReader::new(f).lines();
+        let mut next = || -> io::Result<String> {
+            lines
+                .next()
+                .ok_or_else(|| bad("checkpoint: truncated file"))?
+        };
+        let header = next()?;
+        if header.trim() != CHECKPOINT_HEADER {
+            return Err(bad(format!(
+                "checkpoint: unsupported header {header:?} (want {CHECKPOINT_HEADER:?})"
+            )));
+        }
+        let mut j = 0u32;
+        let mut kind = String::new();
+        let mut seed = 0u64;
+        let mut epoch = 0u32;
+        let mut mapping: Option<Mapping> = None;
+        let mut pos: Vec<GridPos> = Vec::new();
+        let mut cells: Vec<u32> = Vec::new();
+        let mut layout = ElasticLayout::new(0);
+        let mut elastic = None;
+        let mut decider = DeciderSnapshot::default();
+        let mut source_cursor = 0u64;
+        let mut window_copies = 0u64;
+        let mut joiners: Vec<JoinerCheckpoint> = Vec::new();
+        loop {
+            let line = next()?;
+            let mut tok = line.split_whitespace();
+            match tok.next() {
+                None => continue,
+                Some("session") => {
+                    j = parse(tok.next(), "j")?;
+                    kind = tok
+                        .next()
+                        .ok_or_else(|| bad("checkpoint: missing kind"))?
+                        .to_string();
+                    seed = parse(tok.next(), "seed")?;
+                }
+                Some("epoch") => epoch = parse(tok.next(), "epoch")?,
+                Some("mapping") => {
+                    let n: u32 = parse(tok.next(), "mapping n")?;
+                    let m: u32 = parse(tok.next(), "mapping m")?;
+                    mapping = Some(Mapping::new(n, m));
+                }
+                Some("pos") => {
+                    let k: usize = parse(tok.next(), "pos count")?;
+                    pos = (0..k)
+                        .map(|_| {
+                            Ok(GridPos {
+                                row: parse(tok.next(), "pos row")?,
+                                col: parse(tok.next(), "pos col")?,
+                            })
+                        })
+                        .collect::<io::Result<_>>()?;
+                }
+                Some("cells") => {
+                    let k: usize = parse(tok.next(), "cell count")?;
+                    cells = (0..k)
+                        .map(|_| parse(tok.next(), "cell machine"))
+                        .collect::<io::Result<_>>()?;
+                }
+                Some("layout") => {
+                    let next_fresh: usize = parse(tok.next(), "layout next_fresh")?;
+                    let k: usize = parse(tok.next(), "layout dormant count")?;
+                    let dormant: Vec<usize> = (0..k)
+                        .map(|_| parse(tok.next(), "layout dormant"))
+                        .collect::<io::Result<_>>()?;
+                    layout = ElasticLayout::from_parts(next_fresh, dormant);
+                }
+                Some("elastic") => {
+                    elastic = Some((
+                        parse(tok.next(), "expansions")?,
+                        parse(tok.next(), "contractions")?,
+                    ));
+                }
+                Some("decider") => {
+                    decider = DeciderSnapshot {
+                        r: parse(tok.next(), "decider r")?,
+                        s: parse(tok.next(), "decider s")?,
+                        dr: parse(tok.next(), "decider dr")?,
+                        ds: parse(tok.next(), "decider ds")?,
+                        decisions: parse(tok.next(), "decider decisions")?,
+                        migrations: parse(tok.next(), "decider migrations")?,
+                    };
+                }
+                Some("source") => {
+                    source_cursor = parse(tok.next(), "source cursor")?;
+                    window_copies = parse(tok.next(), "window copies")?;
+                }
+                Some("joiner") => {
+                    let machine: usize = parse(tok.next(), "joiner machine")?;
+                    let evicted_tuples: u64 = parse(tok.next(), "evicted tuples")?;
+                    let evicted_bytes: u64 = parse(tok.next(), "evicted bytes")?;
+                    let latest_seq: u64 = parse(tok.next(), "latest seq")?;
+                    let latest_tick: u64 = parse(tok.next(), "latest tick")?;
+                    let n: usize = parse(tok.next(), "tuple count")?;
+                    let mut tuples = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let tl = next()?;
+                        let mut tt = tl.split_whitespace();
+                        if tt.next() != Some("t") {
+                            return Err(bad("checkpoint: expected tuple line"));
+                        }
+                        let seq: u64 = parse(tt.next(), "tuple seq")?;
+                        let rel = match tt.next() {
+                            Some("R") => Rel::R,
+                            Some("S") => Rel::S,
+                            other => {
+                                return Err(bad(format!("checkpoint: bad relation {other:?}")))
+                            }
+                        };
+                        let key: i64 = parse(tt.next(), "tuple key")?;
+                        let aux: i32 = parse(tt.next(), "tuple aux")?;
+                        let bytes: u32 = parse(tt.next(), "tuple bytes")?;
+                        let ticket: u64 = parse(tt.next(), "tuple ticket")?;
+                        tuples.push(Tuple {
+                            seq,
+                            rel,
+                            key,
+                            aux,
+                            bytes,
+                            ticket,
+                        });
+                    }
+                    joiners.push(JoinerCheckpoint {
+                        machine,
+                        evicted_tuples,
+                        evicted_bytes,
+                        latest_seq,
+                        latest_tick,
+                        tuples,
+                    });
+                }
+                Some("end") => break,
+                Some(other) => return Err(bad(format!("checkpoint: unknown record {other:?}"))),
+            }
+        }
+        let mapping = mapping.ok_or_else(|| bad("checkpoint: missing mapping"))?;
+        let assign = GridAssignment::from_parts(mapping, pos, cells)
+            .map_err(|e| bad(format!("checkpoint: {e}")))?;
+        Ok(Checkpoint {
+            j,
+            kind,
+            seed,
+            epoch,
+            assign,
+            layout,
+            elastic,
+            decider,
+            source_cursor,
+            window_copies,
+            joiners,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_window_seals_at_sub_span() {
+        let spec = WindowSpec::count(80).with_sub_windows(8); // sub_span 10
+        let mut w = WindowTracker::new(spec);
+        let mut seals = 0;
+        for seq in 0..100u64 {
+            if w.observe(seq, 0) {
+                seals += 1;
+            }
+        }
+        assert_eq!(seals, 10, "100 tuples / sub_span 10");
+        assert_eq!(w.latest(), (99, 99));
+    }
+
+    #[test]
+    fn evict_bound_respects_window_span() {
+        let spec = WindowSpec::count(40).with_sub_windows(4); // sub_span 10
+        let mut w = WindowTracker::new(spec);
+        for seq in 0..100u64 {
+            w.observe(seq, 0);
+            let bound = w.evict_bound();
+            // Safety: nothing within `span` of the clock is evictable.
+            assert!(
+                bound <= (seq + 1).saturating_sub(spec.span),
+                "bound {bound} too aggressive at clock {seq}"
+            );
+        }
+        // Liveness: after 100 tuples with a 40-window partitioned in
+        // 10s, everything below 50 has expired (sealed segments with
+        // hi_seq 49 and below are behind the watermark 59).
+        assert!(w.evict_bound() >= 50, "bound {} stalled", w.evict_bound());
+    }
+
+    #[test]
+    fn evict_bound_is_monotone_under_reordering() {
+        let spec = WindowSpec::count(20).with_sub_windows(4);
+        let mut w = WindowTracker::new(spec);
+        let mut last = 0;
+        // Mildly out-of-order stream (bounded skew, like FIFO channels
+        // from multiple reshufflers).
+        for i in 0..200u64 {
+            let seq = if i % 7 == 3 { i.saturating_sub(3) } else { i };
+            w.observe(seq, 0);
+            let b = w.evict_bound();
+            assert!(b >= last, "bound went backwards");
+            assert!(b <= (w.latest().0 + 1).saturating_sub(spec.span));
+            last = b;
+        }
+        assert!(last > 0);
+    }
+
+    #[test]
+    fn time_window_uses_arrival_ticks() {
+        let spec = WindowSpec::time_micros(1000).with_sub_windows(4); // sub_span 250
+        let mut w = WindowTracker::new(spec);
+        // 10 tuples per 100us step.
+        for i in 0..100u64 {
+            w.observe(i, i * 100);
+        }
+        let bound = w.evict_bound();
+        // Clock is at 9900us; watermark 8900us; tuples sealed with
+        // hi_tick < 8900 have seq <= ~88.
+        assert!(bound > 0, "time window never evicted");
+        assert!(bound <= 90, "evicted inside the window");
+    }
+
+    #[test]
+    fn restored_tracker_is_conservative() {
+        let spec = WindowSpec::count(50);
+        let mut w = WindowTracker::restored(spec, 200, 200, Some(199));
+        // Right after restore nothing has expired (hi_tick == clock).
+        assert_eq!(w.evict_bound(), 0);
+        // Once the clock moves past hi_tick + span, the restored
+        // segment expires wholesale (later live sub-windows may have
+        // expired too — the bound just must cover the restored one and
+        // stay inside the safety envelope).
+        for seq in 201..=260u64 {
+            w.observe(seq, 0);
+        }
+        let bound = w.evict_bound();
+        assert!(bound >= 200, "restored segment never expired");
+        assert!(bound <= (260 + 1u64).saturating_sub(spec.span));
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_disk() {
+        let assign = GridAssignment::initial(Mapping::new(2, 2));
+        let ck = Checkpoint {
+            j: 4,
+            kind: "Dynamic".to_string(),
+            seed: 0x5EED,
+            epoch: 3,
+            assign,
+            layout: ElasticLayout::from_parts(7, vec![4, 5]),
+            elastic: Some((1, 1)),
+            decider: DeciderSnapshot {
+                r: 10,
+                s: 20,
+                dr: 1,
+                ds: 2,
+                decisions: 5,
+                migrations: 2,
+            },
+            source_cursor: 1234,
+            window_copies: 256,
+            joiners: vec![JoinerCheckpoint {
+                machine: 0,
+                evicted_tuples: 9,
+                evicted_bytes: 576,
+                latest_seq: 1200,
+                latest_tick: 1200,
+                tuples: vec![
+                    Tuple::new(Rel::R, 1, -5, 42).with_aux(-3),
+                    Tuple::new(Rel::S, 2, 7, u64::MAX).with_bytes(100),
+                ],
+            }],
+        };
+        let dir = std::env::temp_dir().join("aoj-lifecycle-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.ckpt");
+        ck.write_to(&path).unwrap();
+        let back = Checkpoint::read_from(&path).unwrap();
+        assert_eq!(ck, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_rejects_wrong_version() {
+        let dir = std::env::temp_dir().join("aoj-lifecycle-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("badversion.ckpt");
+        std::fs::write(&path, "aoj-checkpoint v999\nend\n").unwrap();
+        let err = Checkpoint::read_from(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+}

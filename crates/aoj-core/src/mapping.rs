@@ -177,10 +177,56 @@ impl GridAssignment {
         }
     }
 
+    /// Rebuild an assignment from checkpointed parts: the mapping, the
+    /// per-machine-slot positions (stale entries for retired machines are
+    /// fine, exactly as the live struct keeps them), and the row-major
+    /// cell → machine table. Validates the bijection between grid cells
+    /// and the active machines before accepting.
+    pub fn from_parts(
+        mapping: Mapping,
+        pos: Vec<GridPos>,
+        machine: Vec<u32>,
+    ) -> Result<GridAssignment, String> {
+        if machine.len() != mapping.j() as usize {
+            return Err(format!(
+                "cell table has {} entries for a {}x{} mapping",
+                machine.len(),
+                mapping.n,
+                mapping.m
+            ));
+        }
+        for r in 0..mapping.n {
+            for c in 0..mapping.m {
+                let k = machine[(r * mapping.m + c) as usize] as usize;
+                let p = pos
+                    .get(k)
+                    .ok_or_else(|| format!("cell ({r}, {c}) names unknown machine {k}"))?;
+                if p.row != r || p.col != c {
+                    return Err(format!(
+                        "machine {k} position ({}, {}) disagrees with cell ({r}, {c})",
+                        p.row, p.col
+                    ));
+                }
+            }
+        }
+        Ok(GridAssignment {
+            mapping,
+            pos,
+            machine,
+        })
+    }
+
     /// Current mapping.
     #[inline]
     pub fn mapping(&self) -> Mapping {
         self.mapping
+    }
+
+    /// The raw per-machine-slot position table (includes stale entries
+    /// for retired machines), for checkpointing.
+    #[inline]
+    pub fn pos_slice(&self) -> &[GridPos] {
+        &self.pos
     }
 
     /// Number of machines.

@@ -5,16 +5,42 @@
 use std::collections::BTreeMap;
 
 use aoj_core::index::{JoinIndex, ProbeStats};
+use aoj_core::lifecycle::EvictStats;
 use aoj_core::tuple::{Rel, Tuple};
 
-/// Tree-indexed [`JoinIndex`] for **band joins** `|r.key − s.key| ≤ width`.
-pub struct BandIndex {
-    width: i64,
+/// One sealed sub-window: a closed pair of trees that stays fully
+/// probe-able and expires wholesale (see
+/// [`JoinIndex::seal_segment`]/[`JoinIndex::evict_before`]).
+#[derive(Default)]
+struct BandSegment {
     r: BTreeMap<i64, Vec<Tuple>>,
     s: BTreeMap<i64, Vec<Tuple>>,
     r_len: usize,
     s_len: usize,
     bytes: u64,
+    max_seq: u64,
+}
+
+impl BandSegment {
+    fn side(&self, rel: Rel) -> &BTreeMap<i64, Vec<Tuple>> {
+        match rel {
+            Rel::R => &self.r,
+            Rel::S => &self.s,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.r_len + self.s_len
+    }
+}
+
+/// Tree-indexed [`JoinIndex`] for **band joins** `|r.key − s.key| ≤ width`.
+/// The active run lives in `live`; sealed sub-windows keep their own
+/// trees and are dropped whole on eviction.
+pub struct BandIndex {
+    width: i64,
+    live: BandSegment,
+    sealed: Vec<BandSegment>,
 }
 
 impl BandIndex {
@@ -23,11 +49,8 @@ impl BandIndex {
         assert!(width >= 0);
         BandIndex {
             width,
-            r: BTreeMap::new(),
-            s: BTreeMap::new(),
-            r_len: 0,
-            s_len: 0,
-            bytes: 0,
+            live: BandSegment::default(),
+            sealed: Vec::new(),
         }
     }
 
@@ -36,25 +59,79 @@ impl BandIndex {
         self.width
     }
 
-    fn side(&self, rel: Rel) -> &BTreeMap<i64, Vec<Tuple>> {
-        match rel {
-            Rel::R => &self.r,
-            Rel::S => &self.s,
+    /// Sealed segments oldest-first, then the live run.
+    fn segments(&self) -> impl Iterator<Item = &BandSegment> {
+        self.sealed.iter().chain(std::iter::once(&self.live))
+    }
+
+    fn segments_mut(&mut self) -> impl Iterator<Item = &mut BandSegment> {
+        self.sealed
+            .iter_mut()
+            .chain(std::iter::once(&mut self.live))
+    }
+}
+
+/// Merge one sorted `(key, probe index)` run against one segment's tree:
+/// a single ascending pass maintains the sliding window of buckets
+/// covering the current probe's band (see
+/// [`JoinIndex::probe_batch`] docs in the impl below).
+fn probe_merge(
+    side: &BTreeMap<i64, Vec<Tuple>>,
+    width: i64,
+    order: &[(i64, u32)],
+    stats: &mut ProbeStats,
+    on_match: &mut dyn FnMut(usize, &Tuple),
+) {
+    let global_lo = order[0].0.saturating_sub(width);
+    let mut fresh = side.range(global_lo..);
+    let mut next_bucket = fresh.next();
+    // The window is a grow-only Vec plus a start cursor (probes
+    // ascend, so evicted buckets never return): contiguous
+    // iteration in the innermost per-match loop, no ring-buffer
+    // wrap checks.
+    let mut window: Vec<(i64, &Vec<Tuple>)> = Vec::new();
+    let mut start = 0usize;
+    for &(key, i) in order {
+        let i = i as usize;
+        let lo = key.saturating_sub(width);
+        let hi = key.saturating_add(width);
+        while let Some((&k, bucket)) = next_bucket {
+            if k > hi {
+                break;
+            }
+            window.push((k, bucket));
+            next_bucket = fresh.next();
+        }
+        while start < window.len() && window[start].0 < lo {
+            start += 1;
+        }
+        // Window invariant: every bucket key in [start..] is in
+        // [lo, hi] — keys below lo were just skipped, and nothing
+        // above this probe's hi was pulled in (earlier probes
+        // have smaller keys, so smaller his).
+        for &(_, bucket) in &window[start..] {
+            stats.candidates += bucket.len() as u64;
+            stats.matches += bucket.len() as u64;
+            for other in bucket {
+                on_match(i, other);
+            }
         }
     }
 }
 
 impl JoinIndex for BandIndex {
     fn insert(&mut self, t: Tuple) {
-        self.bytes += t.bytes as u64;
+        let live = &mut self.live;
+        live.bytes += t.bytes as u64;
+        live.max_seq = live.max_seq.max(t.seq);
         match t.rel {
             Rel::R => {
-                self.r_len += 1;
-                self.r.entry(t.key).or_default().push(t);
+                live.r_len += 1;
+                live.r.entry(t.key).or_default().push(t);
             }
             Rel::S => {
-                self.s_len += 1;
-                self.s.entry(t.key).or_default().push(t);
+                live.s_len += 1;
+                live.s.entry(t.key).or_default().push(t);
             }
         }
     }
@@ -68,12 +145,15 @@ impl JoinIndex for BandIndex {
         let mut stats = ProbeStats::default();
         let lo = t.key.saturating_sub(self.width);
         let hi = t.key.saturating_add(self.width);
-        for (_, bucket) in self.side(t.rel.other()).range(lo..=hi) {
-            stats.candidates += bucket.len() as u64;
-            for other in bucket {
-                if filter(other) {
-                    stats.matches += 1;
-                    on_match(other);
+        let other_rel = t.rel.other();
+        for seg in self.sealed.iter().chain(std::iter::once(&self.live)) {
+            for (_, bucket) in seg.side(other_rel).range(lo..=hi) {
+                stats.candidates += bucket.len() as u64;
+                for other in bucket {
+                    if filter(other) {
+                        stats.matches += 1;
+                        on_match(other);
+                    }
                 }
             }
         }
@@ -95,7 +175,7 @@ impl JoinIndex for BandIndex {
         // covering the current probe's band. Each tree bucket is pulled
         // into the window once; overlapping bands rescan only the window.
         // Sorting (key, index) pairs keeps the comparator free of random
-        // probe-array loads.
+        // probe-array loads. Each segment is merged with the same run.
         let mut stats = ProbeStats::default();
         for rel in [Rel::R, Rel::S] {
             let mut order: Vec<(i64, u32)> = probes
@@ -108,114 +188,121 @@ impl JoinIndex for BandIndex {
                 continue;
             }
             order.sort_unstable();
-            let side = match rel {
-                Rel::R => &self.s,
-                Rel::S => &self.r,
-            };
-            let global_lo = order[0].0.saturating_sub(self.width);
-            let mut fresh = side.range(global_lo..);
-            let mut next_bucket = fresh.next();
-            // The window is a grow-only Vec plus a start cursor (probes
-            // ascend, so evicted buckets never return): contiguous
-            // iteration in the innermost per-match loop, no ring-buffer
-            // wrap checks.
-            let mut window: Vec<(i64, &Vec<Tuple>)> = Vec::new();
-            let mut start = 0usize;
-            for &(key, i) in &order {
-                let i = i as usize;
-                let lo = key.saturating_sub(self.width);
-                let hi = key.saturating_add(self.width);
-                while let Some((&k, bucket)) = next_bucket {
-                    if k > hi {
-                        break;
-                    }
-                    window.push((k, bucket));
-                    next_bucket = fresh.next();
-                }
-                while start < window.len() && window[start].0 < lo {
-                    start += 1;
-                }
-                // Window invariant: every bucket key in [start..] is in
-                // [lo, hi] — keys below lo were just skipped, and nothing
-                // above this probe's hi was pulled in (earlier probes
-                // have smaller keys, so smaller his).
-                for &(_, bucket) in &window[start..] {
-                    stats.candidates += bucket.len() as u64;
-                    stats.matches += bucket.len() as u64;
-                    for other in bucket {
-                        on_match(i, other);
-                    }
-                }
+            let other_rel = rel.other();
+            for seg in self.sealed.iter().chain(std::iter::once(&self.live)) {
+                probe_merge(
+                    seg.side(other_rel),
+                    self.width,
+                    &order,
+                    &mut stats,
+                    on_match,
+                );
             }
         }
         stats
     }
 
     fn len(&self) -> usize {
-        self.r_len + self.s_len
+        self.segments().map(BandSegment::len).sum()
     }
 
     fn len_rel(&self, rel: Rel) -> usize {
-        match rel {
-            Rel::R => self.r_len,
-            Rel::S => self.s_len,
-        }
+        self.segments()
+            .map(|seg| match rel {
+                Rel::R => seg.r_len,
+                Rel::S => seg.s_len,
+            })
+            .sum()
     }
 
     fn bytes(&self) -> u64 {
-        self.bytes
+        self.segments().map(|seg| seg.bytes).sum()
     }
 
     fn drain(&mut self) -> Vec<Tuple> {
         let mut out = Vec::with_capacity(self.len());
-        for (_, bucket) in std::mem::take(&mut self.r) {
-            out.extend(bucket);
+        for seg in self
+            .sealed
+            .drain(..)
+            .chain(std::iter::once(std::mem::take(&mut self.live)))
+        {
+            for (_, bucket) in seg.r {
+                out.extend(bucket);
+            }
+            for (_, bucket) in seg.s {
+                out.extend(bucket);
+            }
         }
-        for (_, bucket) in std::mem::take(&mut self.s) {
-            out.extend(bucket);
-        }
-        self.r_len = 0;
-        self.s_len = 0;
-        self.bytes = 0;
         out
     }
 
     fn extract(&mut self, pred: &mut dyn FnMut(&Tuple) -> bool) -> Vec<Tuple> {
         let mut out = Vec::new();
-        for side in [&mut self.r, &mut self.s] {
-            side.retain(|_, bucket| {
-                let mut i = 0;
-                while i < bucket.len() {
-                    if pred(&bucket[i]) {
-                        out.push(bucket.swap_remove(i));
-                    } else {
-                        i += 1;
+        for seg in self.segments_mut() {
+            let before = out.len();
+            for side in [&mut seg.r, &mut seg.s] {
+                side.retain(|_, bucket| {
+                    let mut i = 0;
+                    while i < bucket.len() {
+                        if pred(&bucket[i]) {
+                            out.push(bucket.swap_remove(i));
+                        } else {
+                            i += 1;
+                        }
                     }
+                    !bucket.is_empty()
+                });
+            }
+            // Stale max_seq after removals only delays eviction — safe.
+            for t in &out[before..] {
+                seg.bytes -= t.bytes as u64;
+                match t.rel {
+                    Rel::R => seg.r_len -= 1,
+                    Rel::S => seg.s_len -= 1,
                 }
-                !bucket.is_empty()
-            });
-        }
-        for t in &out {
-            self.bytes -= t.bytes as u64;
-            match t.rel {
-                Rel::R => self.r_len -= 1,
-                Rel::S => self.s_len -= 1,
             }
         }
+        self.sealed.retain(|seg| seg.len() > 0);
         out
     }
 
     fn for_each(&self, f: &mut dyn FnMut(&Tuple)) {
-        for bucket in self.r.values() {
-            for t in bucket {
-                f(t);
+        for seg in self.segments() {
+            for bucket in seg.r.values() {
+                for t in bucket {
+                    f(t);
+                }
+            }
+            for bucket in seg.s.values() {
+                for t in bucket {
+                    f(t);
+                }
             }
         }
-        for bucket in self.s.values() {
-            for t in bucket {
-                f(t);
-            }
+    }
+
+    fn seal_segment(&mut self) {
+        if self.live.len() > 0 {
+            self.sealed.push(std::mem::take(&mut self.live));
         }
+    }
+
+    fn evict_before(&mut self, bound: u64) -> EvictStats {
+        let mut stats = EvictStats::default();
+        self.sealed.retain(|seg| {
+            if seg.max_seq < bound {
+                stats.tuples += seg.len() as u64;
+                stats.bytes += seg.bytes;
+                false
+            } else {
+                true
+            }
+        });
+        stats
+    }
+
+    fn sealed_segments(&self) -> usize {
+        self.sealed.len()
     }
 }
 
@@ -327,6 +414,27 @@ mod tests {
                 "width {width}: stats diverge"
             );
         }
+    }
+
+    #[test]
+    fn sealed_segments_probe_and_evict() {
+        let mut idx = BandIndex::new(1);
+        for i in 0..10u64 {
+            idx.insert(s(i, 10 + (i as i64 % 3)));
+        }
+        idx.seal_segment();
+        for i in 10..20u64 {
+            idx.insert(s(i, 10));
+        }
+        assert_eq!(idx.sealed_segments(), 1);
+        assert_eq!(idx.len(), 20);
+        // Band probe spans sealed + live.
+        assert_eq!(idx.probe_count(&r(99, 11)).matches, 20);
+        let evicted = idx.evict_before(10);
+        assert_eq!((evicted.tuples, evicted.bytes), (10, 640));
+        assert_eq!(idx.len(), 10);
+        assert_eq!(idx.bytes(), 10 * 64);
+        assert_eq!(idx.probe_count(&r(100, 11)).matches, 10);
     }
 
     #[test]

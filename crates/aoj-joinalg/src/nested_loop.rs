@@ -4,6 +4,7 @@
 //! to support.
 
 use aoj_core::index::{JoinIndex, ProbeStats, VecIndex};
+use aoj_core::lifecycle::EvictStats;
 use aoj_core::predicate::Predicate;
 use aoj_core::tuple::{Rel, Tuple};
 
@@ -72,6 +73,18 @@ impl JoinIndex for NestedLoopIndex {
 
     fn for_each(&self, f: &mut dyn FnMut(&Tuple)) {
         self.inner.for_each(f)
+    }
+
+    fn seal_segment(&mut self) {
+        self.inner.seal_segment()
+    }
+
+    fn evict_before(&mut self, bound: u64) -> EvictStats {
+        self.inner.evict_before(bound)
+    }
+
+    fn sealed_segments(&self) -> usize {
+        self.inner.sealed_segments()
     }
 }
 

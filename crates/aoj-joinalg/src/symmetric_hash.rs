@@ -6,16 +6,42 @@
 use std::collections::HashMap;
 
 use aoj_core::index::{JoinIndex, ProbeStats};
+use aoj_core::lifecycle::EvictStats;
 use aoj_core::tuple::{Rel, Tuple};
 
-/// Hash-indexed [`JoinIndex`] for **equi-joins** (`r.key == s.key`).
+/// One sealed sub-window: a closed pair of hash maps that stays fully
+/// probe-able and expires wholesale (see
+/// [`JoinIndex::seal_segment`]/[`JoinIndex::evict_before`]).
 #[derive(Default)]
-pub struct SymmetricHashIndex {
+struct HashSegment {
     r: HashMap<i64, Vec<Tuple>>,
     s: HashMap<i64, Vec<Tuple>>,
     r_len: usize,
     s_len: usize,
     bytes: u64,
+    max_seq: u64,
+}
+
+impl HashSegment {
+    fn side(&self, rel: Rel) -> &HashMap<i64, Vec<Tuple>> {
+        match rel {
+            Rel::R => &self.r,
+            Rel::S => &self.s,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.r_len + self.s_len
+    }
+}
+
+/// Hash-indexed [`JoinIndex`] for **equi-joins** (`r.key == s.key`).
+/// The active run lives in `live`; sealed sub-windows keep their own
+/// hash maps and are dropped whole on eviction.
+#[derive(Default)]
+pub struct SymmetricHashIndex {
+    live: HashSegment,
+    sealed: Vec<HashSegment>,
 }
 
 impl SymmetricHashIndex {
@@ -24,29 +50,62 @@ impl SymmetricHashIndex {
         SymmetricHashIndex::default()
     }
 
-    fn side_mut(&mut self, rel: Rel) -> &mut HashMap<i64, Vec<Tuple>> {
-        match rel {
-            Rel::R => &mut self.r,
-            Rel::S => &mut self.s,
-        }
+    /// Sealed segments oldest-first, then the live run.
+    fn segments(&self) -> impl Iterator<Item = &HashSegment> {
+        self.sealed.iter().chain(std::iter::once(&self.live))
     }
 
-    fn side(&self, rel: Rel) -> &HashMap<i64, Vec<Tuple>> {
-        match rel {
-            Rel::R => &self.r,
-            Rel::S => &self.s,
+    fn segments_mut(&mut self) -> impl Iterator<Item = &mut HashSegment> {
+        self.sealed
+            .iter_mut()
+            .chain(std::iter::once(&mut self.live))
+    }
+}
+
+/// Probe one segment's hash map with a sorted `(key, probe index)` run,
+/// sharing a bucket lookup between equal keys.
+fn probe_grouped(
+    side: &HashMap<i64, Vec<Tuple>>,
+    order: &[(i64, u32)],
+    stats: &mut ProbeStats,
+    on_match: &mut dyn FnMut(usize, &Tuple),
+) {
+    let mut j = 0;
+    while j < order.len() {
+        let key = order[j].0;
+        let mut k = j + 1;
+        while k < order.len() && order[k].0 == key {
+            k += 1;
         }
+        if let Some(bucket) = side.get(&key) {
+            for &(_, i) in &order[j..k] {
+                stats.candidates += bucket.len() as u64;
+                stats.matches += bucket.len() as u64;
+                for other in bucket {
+                    on_match(i as usize, other);
+                }
+            }
+        }
+        j = k;
     }
 }
 
 impl JoinIndex for SymmetricHashIndex {
     fn insert(&mut self, t: Tuple) {
-        self.bytes += t.bytes as u64;
-        match t.rel {
-            Rel::R => self.r_len += 1,
-            Rel::S => self.s_len += 1,
-        }
-        self.side_mut(t.rel).entry(t.key).or_default().push(t);
+        let live = &mut self.live;
+        live.bytes += t.bytes as u64;
+        live.max_seq = live.max_seq.max(t.seq);
+        let side = match t.rel {
+            Rel::R => {
+                live.r_len += 1;
+                &mut live.r
+            }
+            Rel::S => {
+                live.s_len += 1;
+                &mut live.s
+            }
+        };
+        side.entry(t.key).or_default().push(t);
     }
 
     fn probe_filtered(
@@ -56,12 +115,15 @@ impl JoinIndex for SymmetricHashIndex {
         on_match: &mut dyn FnMut(&Tuple),
     ) -> ProbeStats {
         let mut stats = ProbeStats::default();
-        if let Some(bucket) = self.side(t.rel.other()).get(&t.key) {
-            stats.candidates = bucket.len() as u64;
-            for other in bucket {
-                if filter(other) {
-                    stats.matches += 1;
-                    on_match(other);
+        let other_rel = t.rel.other();
+        for seg in self.sealed.iter().chain(std::iter::once(&self.live)) {
+            if let Some(bucket) = seg.side(other_rel).get(&t.key) {
+                stats.candidates += bucket.len() as u64;
+                for other in bucket {
+                    if filter(other) {
+                        stats.matches += 1;
+                        on_match(other);
+                    }
                 }
             }
         }
@@ -81,7 +143,7 @@ impl JoinIndex for SymmetricHashIndex {
         // under skew, which is exactly when probing is expensive — share
         // one bucket lookup instead of hashing per tuple. Sorting
         // (key, index) pairs keeps the comparator free of random
-        // probe-array loads.
+        // probe-array loads. Each segment is probed with the same run.
         let mut stats = ProbeStats::default();
         for rel in [Rel::R, Rel::S] {
             let mut order: Vec<(i64, u32)> = probes
@@ -94,101 +156,115 @@ impl JoinIndex for SymmetricHashIndex {
                 continue;
             }
             order.sort_unstable();
-            let side = match rel {
-                Rel::R => &self.s,
-                Rel::S => &self.r,
-            };
-            let mut j = 0;
-            while j < order.len() {
-                let key = order[j].0;
-                let mut k = j + 1;
-                while k < order.len() && order[k].0 == key {
-                    k += 1;
-                }
-                if let Some(bucket) = side.get(&key) {
-                    for &(_, i) in &order[j..k] {
-                        stats.candidates += bucket.len() as u64;
-                        stats.matches += bucket.len() as u64;
-                        for other in bucket {
-                            on_match(i as usize, other);
-                        }
-                    }
-                }
-                j = k;
+            let other_rel = rel.other();
+            for seg in self.sealed.iter().chain(std::iter::once(&self.live)) {
+                probe_grouped(seg.side(other_rel), &order, &mut stats, on_match);
             }
         }
         stats
     }
 
     fn len(&self) -> usize {
-        self.r_len + self.s_len
+        self.segments().map(HashSegment::len).sum()
     }
 
     fn len_rel(&self, rel: Rel) -> usize {
-        match rel {
-            Rel::R => self.r_len,
-            Rel::S => self.s_len,
-        }
+        self.segments()
+            .map(|seg| match rel {
+                Rel::R => seg.r_len,
+                Rel::S => seg.s_len,
+            })
+            .sum()
     }
 
     fn bytes(&self) -> u64 {
-        self.bytes
+        self.segments().map(|seg| seg.bytes).sum()
     }
 
     fn drain(&mut self) -> Vec<Tuple> {
         let mut out = Vec::with_capacity(self.len());
-        for (_, bucket) in self.r.drain() {
-            out.extend(bucket);
+        for seg in self
+            .sealed
+            .drain(..)
+            .chain(std::iter::once(std::mem::take(&mut self.live)))
+        {
+            for (_, bucket) in seg.r {
+                out.extend(bucket);
+            }
+            for (_, bucket) in seg.s {
+                out.extend(bucket);
+            }
         }
-        for (_, bucket) in self.s.drain() {
-            out.extend(bucket);
-        }
-        self.r_len = 0;
-        self.s_len = 0;
-        self.bytes = 0;
         out
     }
 
     fn extract(&mut self, pred: &mut dyn FnMut(&Tuple) -> bool) -> Vec<Tuple> {
         let mut out = Vec::new();
-        for rel in [Rel::R, Rel::S] {
-            let side = match rel {
-                Rel::R => &mut self.r,
-                Rel::S => &mut self.s,
-            };
-            side.retain(|_, bucket| {
-                let mut i = 0;
-                while i < bucket.len() {
-                    if pred(&bucket[i]) {
-                        out.push(bucket.swap_remove(i));
-                    } else {
-                        i += 1;
+        for seg in self.segments_mut() {
+            let before = out.len();
+            for side in [&mut seg.r, &mut seg.s] {
+                side.retain(|_, bucket| {
+                    let mut i = 0;
+                    while i < bucket.len() {
+                        if pred(&bucket[i]) {
+                            out.push(bucket.swap_remove(i));
+                        } else {
+                            i += 1;
+                        }
                     }
+                    !bucket.is_empty()
+                });
+            }
+            // Stale max_seq after removals only delays eviction — safe.
+            for t in &out[before..] {
+                seg.bytes -= t.bytes as u64;
+                match t.rel {
+                    Rel::R => seg.r_len -= 1,
+                    Rel::S => seg.s_len -= 1,
                 }
-                !bucket.is_empty()
-            });
-        }
-        for t in &out {
-            self.bytes -= t.bytes as u64;
-            match t.rel {
-                Rel::R => self.r_len -= 1,
-                Rel::S => self.s_len -= 1,
             }
         }
+        self.sealed.retain(|seg| seg.len() > 0);
         out
     }
 
     fn for_each(&self, f: &mut dyn FnMut(&Tuple)) {
-        for bucket in self.r.values() {
-            for t in bucket {
-                f(t);
+        for seg in self.segments() {
+            for bucket in seg.r.values() {
+                for t in bucket {
+                    f(t);
+                }
+            }
+            for bucket in seg.s.values() {
+                for t in bucket {
+                    f(t);
+                }
             }
         }
-        for bucket in self.s.values() {
-            for t in bucket {
-                f(t);
-            }
+    }
+
+    fn seal_segment(&mut self) {
+        if self.live.len() > 0 {
+            self.sealed.push(std::mem::take(&mut self.live));
         }
+    }
+
+    fn evict_before(&mut self, bound: u64) -> EvictStats {
+        let mut stats = EvictStats::default();
+        self.sealed.retain(|seg| {
+            if seg.max_seq < bound {
+                stats.tuples += seg.len() as u64;
+                stats.bytes += seg.bytes;
+                false
+            } else {
+                true
+            }
+        });
+        stats
+    }
+
+    fn sealed_segments(&self) -> usize {
+        self.sealed.len()
     }
 }
 
@@ -296,6 +372,30 @@ mod tests {
             (ind_stats.candidates, ind_stats.matches),
             (grouped_stats.candidates, grouped_stats.matches)
         );
+    }
+
+    #[test]
+    fn sealed_segments_probe_and_evict() {
+        let mut idx = SymmetricHashIndex::new();
+        for i in 0..10u64 {
+            idx.insert(r(i, 7));
+        }
+        idx.seal_segment();
+        for i in 10..20u64 {
+            idx.insert(r(i, 7));
+        }
+        assert_eq!(idx.sealed_segments(), 1);
+        assert_eq!(idx.len(), 20);
+        assert_eq!(idx.probe_count(&s(99, 7)).matches, 20);
+        let evicted = idx.evict_before(10);
+        assert_eq!((evicted.tuples, evicted.bytes), (10, 640));
+        assert_eq!(idx.len(), 10);
+        assert_eq!(idx.probe_count(&s(100, 7)).matches, 10);
+        assert_eq!(idx.bytes(), 10 * 64);
+        // Straddling segment stays.
+        idx.seal_segment();
+        assert_eq!(idx.evict_before(15).tuples, 0);
+        assert_eq!(idx.len(), 10);
     }
 
     #[test]

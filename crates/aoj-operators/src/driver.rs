@@ -21,15 +21,18 @@
 
 use aoj_core::competitive::CompetitiveTracker;
 use aoj_core::decision::DecisionConfig;
+use aoj_core::epoch::EpochJoiner;
 use aoj_core::ilf::optimal_mapping;
+use aoj_core::lifecycle::{Checkpoint, JoinerCheckpoint, WindowMode, WindowTracker};
 use aoj_core::mapping::{GridAssignment, Mapping};
 use aoj_core::predicate::Predicate;
 use aoj_core::ticket::TicketGen;
 use aoj_core::tuple::Rel;
 use aoj_datagen::stream::Arrivals;
-use aoj_joinalg::SpillGauge;
-use aoj_simnet::{CostModel, ExecBackend, NetworkConfig, SimDuration, SimTime, TaskId};
+use aoj_joinalg::{index_for, SpillGauge};
+use aoj_simnet::{CostModel, ExecBackend, MachineId, NetworkConfig, SimDuration, SimTime, TaskId};
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use crate::batch::{BatchConfig, DataCoalescer};
@@ -476,6 +479,16 @@ pub(crate) fn setup_grid<B: ExecBackend<OpMsg>>(
     };
     let adaptive = b.kind == OperatorKind::Dynamic;
     let sample_spacing = b.sample_spacing();
+    // Windowed eviction produces the genuine state drain the 4→1
+    // contraction trigger watches for, so a window auto-arms
+    // drain-driven mode: the hold-off gate stops being load-bearing.
+    let elastic_cfg = b.elasticity.elastic.map(|e| {
+        if b.lifecycle.window.is_some() {
+            e.with_drain_driven(true)
+        } else {
+            e
+        }
+    });
 
     backend.metrics_mut().sample_spacing = sample_spacing;
     let j = b.j as usize;
@@ -504,7 +517,7 @@ pub(crate) fn setup_grid<B: ExecBackend<OpMsg>>(
                     adaptive,
                     sample_spacing,
                 )
-                .with_elastic(b.elasticity.elastic),
+                .with_elastic(elastic_cfg),
             )
         } else {
             None
@@ -549,6 +562,10 @@ pub(crate) fn setup_grid<B: ExecBackend<OpMsg>>(
         if i >= j {
             task = task.dormant(b.predicate.clone(), total);
         }
+        // Every slot gets its own tracker (dormant children included):
+        // a tracker only ticks on stable batches, so an unborn joiner's
+        // window is inert until its expansion activates it.
+        task.window = b.lifecycle.window.map(WindowTracker::new);
         task.collect_matches = b.backend.collect_matches;
         task.match_sink = Some(Arc::clone(&sink));
         let id = backend.add_task(machines[i], Box::new(task));
@@ -684,6 +701,12 @@ pub(crate) fn collect_grid<B: ExecBackend<OpMsg>>(
     let stored_bytes_by_machine: Vec<u64> = (0..total)
         .map(|i| metrics.stored_bytes_of(aoj_simnet::MachineId(i)))
         .collect();
+    let evicted_bytes_by_machine: Vec<u64> = (0..total)
+        .map(|i| metrics.evicted_bytes_of(aoj_simnet::MachineId(i)))
+        .collect();
+    let window_tuples_by_machine: Vec<u64> = (0..total)
+        .map(|i| metrics.window_tuples_of(aoj_simnet::MachineId(i)))
+        .collect();
 
     let competitive = competitive_trace(b.j, prefix, &events, &routing_samples, wiring.initial);
 
@@ -710,6 +733,8 @@ pub(crate) fn collect_grid<B: ExecBackend<OpMsg>>(
         provisioned_machines,
         peak_provisioned_machines,
         stored_bytes_by_machine,
+        evicted_bytes_by_machine,
+        window_tuples_by_machine,
         max_spilled_bytes: max_spilled,
         avg_latency_us: latency.avg_us(),
         p50_latency_us: latency.percentile_us(0.50),
@@ -723,6 +748,265 @@ pub(crate) fn collect_grid<B: ExecBackend<OpMsg>>(
     }
 }
 
+/// Snapshot a quiesced grid session into a [`Checkpoint`].
+///
+/// The backend must have drained to quiescence first (the session layer
+/// guarantees this by closing the ingest queue and running/joining the
+/// backend): no migration, expansion, or contraction is in flight, so
+/// every active joiner's state is exactly its τ set and the marker FIFO
+/// argument of Alg. 3 has nothing mid-air to lose.
+pub(crate) fn build_checkpoint<B: ExecBackend<OpMsg>>(
+    backend: &B,
+    b: &SessionBuilder,
+    w: &GridWiring,
+) -> Checkpoint {
+    let controller = backend.task_ref::<ReshufflerTask>(w.reshuffler_ids[0]);
+    let ctrl = controller
+        .controller
+        .as_ref()
+        .expect("reshuffler 0 is the controller");
+    assert!(
+        !ctrl.in_flight && !ctrl.expanding && !ctrl.contracting && ctrl.acks_pending == 0,
+        "checkpoint requires a quiesced controller (reconfiguration in flight)"
+    );
+    let assign = controller.assign.clone();
+    let active: BTreeSet<usize> = assign.machines().collect();
+    let mut joiners = Vec::with_capacity(active.len());
+    for &machine in &active {
+        let jt = backend.task_ref::<JoinerTask>(w.joiner_ids[machine]);
+        assert!(
+            jt.epoch.is_born() && !jt.epoch.is_migrating(),
+            "checkpoint requires every active joiner to be stable"
+        );
+        let tuples = jt.epoch.live_snapshot();
+        let (latest_seq, latest_tick) = match jt.window.as_ref() {
+            Some(win) => win.latest(),
+            // No window: the stream clock is only needed if the restore
+            // side configures one, so derive a safe seed from the state.
+            None => (tuples.iter().map(|t| t.seq).max().unwrap_or(0), 0),
+        };
+        joiners.push(JoinerCheckpoint {
+            machine,
+            evicted_tuples: jt.evicted_tuples,
+            evicted_bytes: jt.evicted_bytes,
+            latest_seq,
+            latest_tick,
+            tuples,
+        });
+    }
+    let src = backend.task_ref::<SourceTask>(w.source_id);
+    Checkpoint {
+        j: b.j,
+        kind: b.kind.label().to_string(),
+        seed: b.seed,
+        epoch: controller.epoch,
+        assign,
+        layout: controller.layout.clone(),
+        elastic: ctrl
+            .elastic
+            .as_ref()
+            .map(|e| (e.expansions_done, e.contractions_done)),
+        decider: ctrl.decider.snapshot(),
+        source_cursor: src.cursor as u64,
+        window_copies: src.window_copies,
+        joiners,
+    }
+}
+
+/// Setup phase for a **restored** grid operator: rebuild the topology a
+/// [`Checkpoint`] describes — same machine-slot space, the checkpoint's
+/// grid assignment and elastic layout, every active joiner re-seeded
+/// with its live tuples — on a fresh backend of either flavour.
+pub(crate) fn restore_grid<B: ExecBackend<OpMsg>>(
+    backend: &mut B,
+    b: &SessionBuilder,
+    ckpt: &Checkpoint,
+    input: Arc<IngestQueue>,
+    sink: Arc<MatchHub>,
+    idle_poll: Option<SimDuration>,
+) -> GridWiring {
+    assert!(
+        b.j.is_power_of_two(),
+        "grid operators need a power-of-two J"
+    );
+    assert_eq!(
+        b.elasticity.elastic.is_some(),
+        ckpt.elastic.is_some(),
+        "restore must re-supply the checkpointed session's elasticity \
+         (config is code: pass the same builder sections)"
+    );
+    let adaptive = b.kind == OperatorKind::Dynamic;
+    let sample_spacing = b.sample_spacing();
+    let elastic_cfg = b.elasticity.elastic.map(|e| {
+        if b.lifecycle.window.is_some() {
+            e.with_drain_driven(true)
+        } else {
+            e
+        }
+    });
+    backend.metrics_mut().sample_spacing = sample_spacing;
+    let j = b.j as usize;
+    let total = b
+        .elasticity
+        .elastic
+        .map(|e| provisioned_joiners(b.j, e.max_expansions) as usize)
+        .unwrap_or(j);
+    let active: BTreeSet<usize> = ckpt.assign.machines().collect();
+    assert!(
+        active.iter().all(|&m| m < total),
+        "checkpoint references machine slots outside the provisioned space"
+    );
+    // Unlike a fresh start, the provisioned set need not be a slot
+    // prefix: a contraction may have retired low slots while a later
+    // expansion's children stayed live. Provision exactly the active
+    // machines; everything else is a deferred slot.
+    let mut machines: Vec<MachineId> = (0..total)
+        .map(|i| {
+            if active.contains(&i) {
+                backend.add_machine()
+            } else {
+                backend.add_deferred_machine()
+            }
+        })
+        .collect();
+    let mut src_net = b.data_plane.network;
+    src_net.bytes_per_us = src_net.bytes_per_us.saturating_mul(b.j as u64);
+    machines.push(backend.add_machine_with_network(src_net));
+    let reshuffler_ids: Vec<TaskId> = (0..total).map(TaskId).collect();
+    let joiner_ids: Vec<TaskId> = (total..2 * total).map(TaskId).collect();
+    let source_id = TaskId(2 * total);
+
+    for i in 0..total {
+        let controller = (i == 0).then(|| {
+            // The decider is sized to the checkpoint's *current* grid
+            // (an elastic run may sit above or below `b.j` here).
+            let mut cs = ControllerState::new(
+                ckpt.assign.mapping().j(),
+                ckpt.assign.mapping(),
+                b.elasticity.decision,
+                adaptive,
+                sample_spacing,
+            )
+            .with_elastic(elastic_cfg);
+            cs.decider.restore(ckpt.decider);
+            cs.decider.set_grid(ckpt.assign.mapping());
+            cs.last_seq = ckpt.source_cursor;
+            if let (Some(ec), Some((e, c))) = (cs.elastic.as_mut(), ckpt.elastic) {
+                ec.expansions_done = e;
+                ec.contractions_done = c;
+            }
+            cs
+        });
+        let task = ReshufflerTask {
+            index: i,
+            epoch: ckpt.epoch,
+            assign: ckpt.assign.clone(),
+            joiner_tasks: joiner_ids.clone(),
+            reshuffler_tasks: reshuffler_ids.clone(),
+            tickets: TicketGen::new(b.seed ^ (i as u64).wrapping_mul(0x9E37_79B9)),
+            cost: b.data_plane.cost,
+            controller,
+            source: source_id,
+            blocking: b.elasticity.blocking_migrations,
+            stalled: false,
+            stall_buffer: Vec::new(),
+            routed: 0,
+            batch: DataCoalescer::new(b.batch_config(), total),
+            deactivated: !active.contains(&i),
+            layout: ckpt.layout.clone(),
+        };
+        let id = backend.add_task(machines[i], Box::new(task));
+        debug_assert_eq!(id, reshuffler_ids[i]);
+    }
+    for i in 0..total {
+        let mut task = JoinerTask::new(
+            i,
+            b.predicate.clone(),
+            total,
+            joiner_ids.clone(),
+            reshuffler_ids[0],
+            source_id,
+            machines[i],
+            SpillGauge::new(b.data_plane.ram_budget, b.data_plane.spill_penalty),
+            b.data_plane.cost,
+        );
+        if let Some(jc) = ckpt.joiners.iter().find(|jc| jc.machine == i) {
+            assert!(active.contains(&i), "checkpointed joiner on inactive slot");
+            let p = b.predicate.clone();
+            task.epoch =
+                EpochJoiner::restored(&move || index_for(&p), total, ckpt.epoch, &jc.tuples);
+            task.evicted_tuples = jc.evicted_tuples;
+            task.evicted_bytes = jc.evicted_bytes;
+            task.window = b.lifecycle.window.map(|spec| {
+                // The restored state becomes one sealed sub-window. In
+                // count mode the clock must sit at (or past) the highest
+                // restored sequence number — a stale tick (e.g. a
+                // checkpoint written without a window) would expire the
+                // restored segment immediately and evict in-window
+                // tuples. Time mode keeps the checkpoint clock: ticks
+                // restart with the new backend's timeline, and "arrived
+                // at the checkpoint clock" is the conservative reading.
+                let tick = match spec.mode {
+                    WindowMode::Count => jc.latest_tick.max(jc.latest_seq),
+                    WindowMode::Time => jc.latest_tick,
+                };
+                let hi_seq = jc.tuples.iter().map(|t| t.seq).max();
+                WindowTracker::restored(spec, jc.latest_seq, tick, hi_seq)
+            });
+            // Pre-seed the gauges so stats() is truthful before the
+            // first post-restore batch refreshes them.
+            let bytes = task.epoch.stored_bytes();
+            task.gauge.set_stored(bytes);
+            backend.metrics_mut().set_stored(machines[i], bytes);
+            if jc.evicted_bytes > 0 {
+                backend
+                    .metrics_mut()
+                    .set_evicted(machines[i], jc.evicted_bytes);
+            }
+            if task.window.is_some() {
+                backend
+                    .metrics_mut()
+                    .set_window_tuples(machines[i], task.epoch.stored_tuples() as u64);
+            }
+        } else {
+            task = task.dormant(b.predicate.clone(), total);
+            task.window = b.lifecycle.window.map(WindowTracker::new);
+        }
+        task.collect_matches = b.backend.collect_matches;
+        task.match_sink = Some(Arc::clone(&sink));
+        let id = backend.add_task(machines[i], Box::new(task));
+        debug_assert_eq!(id, joiner_ids[i]);
+    }
+    let mut src = SourceTask::new(
+        input,
+        reshuffler_ids.clone(),
+        b.source.pacing,
+        ckpt.window_copies,
+        b.data_plane.batch_tuples,
+    );
+    if let Some(poll) = idle_poll {
+        src = src.with_idle_poll(poll);
+    }
+    // Resume the ingest cursor where the checkpoint left it. Everything
+    // up to the cursor was fully routed *and* processed in the previous
+    // incarnation, so the emitted-vs-routed gate starts balanced and the
+    // flow-control window starts fully open.
+    src.cursor = ckpt.source_cursor as usize;
+    src.routed_tuples = ckpt.source_cursor;
+    src.active = active.iter().map(|&i| reshuffler_ids[i]).collect();
+    let id = backend.add_task(machines[total], Box::new(src));
+    debug_assert_eq!(id, source_id);
+    backend.start_timer_at(SimTime::ZERO, source_id, SourceTask::TICK);
+
+    GridWiring {
+        total,
+        reshuffler_ids,
+        joiner_ids,
+        source_id,
+        initial: ckpt.assign.mapping(),
+    }
+}
+
 /// Setup phase for the SHJ baseline.
 pub(crate) fn setup_shj<B: ExecBackend<OpMsg>>(
     backend: &mut B,
@@ -731,6 +1015,11 @@ pub(crate) fn setup_shj<B: ExecBackend<OpMsg>>(
     sink: Arc<MatchHub>,
     idle_poll: Option<SimDuration>,
 ) -> ShjWiring {
+    assert!(
+        b.lifecycle.window.is_none(),
+        "windowed eviction requires a grid operator \
+         (the SHJ baseline keeps no segmented index)"
+    );
     backend.metrics_mut().sample_spacing = b.sample_spacing();
     let j = b.j as usize;
     let machines = add_machines(backend, b, j, j);
@@ -833,6 +1122,8 @@ pub(crate) fn collect_shj<B: ExecBackend<OpMsg>>(
         provisioned_machines: backend.provisioned_machines() as u64,
         peak_provisioned_machines: backend.peak_provisioned_machines() as u64,
         stored_bytes_by_machine: Vec::new(),
+        evicted_bytes_by_machine: Vec::new(),
+        window_tuples_by_machine: Vec::new(),
         max_spilled_bytes: max_spilled,
         avg_latency_us: latency.avg_us(),
         p50_latency_us: latency.percentile_us(0.50),

@@ -75,6 +75,16 @@ pub struct ElasticConfig {
     /// the gate is what separates "still small" from "done growing").
     /// 0 arms it from the first tuple.
     pub contract_holdoff_tuples: u64,
+    /// Drain-driven arming: instead of the stream-position hold-off, the
+    /// contraction trigger arms once windowed eviction has actually
+    /// dropped state (cluster-wide evicted bytes > 0). This is the
+    /// natural gate when a retention window is configured — stored state
+    /// is no longer monotone, so "done growing" is observable directly
+    /// and no artificial hold-off is needed; the session layer turns
+    /// this on automatically when a window is set. Without eviction the
+    /// gauge never moves and the stream-position gate remains the only
+    /// sound arming signal.
+    pub drain_driven: bool,
 }
 
 impl ElasticConfig {
@@ -87,6 +97,7 @@ impl ElasticConfig {
             contract_below_bytes: 0,
             max_contractions: 0,
             contract_holdoff_tuples: 0,
+            drain_driven: false,
         }
     }
 
@@ -102,6 +113,14 @@ impl ElasticConfig {
     /// stream tuples have entered the operator.
     pub fn with_contract_holdoff(mut self, tuples: u64) -> ElasticConfig {
         self.contract_holdoff_tuples = tuples;
+        self
+    }
+
+    /// Builder: arm the contraction trigger from genuine eviction drain
+    /// instead of the stream-position hold-off (see
+    /// [`drain_driven`](ElasticConfig::drain_driven)).
+    pub fn with_drain_driven(mut self, on: bool) -> ElasticConfig {
+        self.drain_driven = on;
         self
     }
 }
@@ -143,13 +162,21 @@ impl ElasticControl {
         self.expansions_done < self.cfg.max_expansions
     }
 
-    /// May another contraction fire at stream position `last_seq`? There
-    /// must be an expansion to undo, budget left, and the hold-off gate
-    /// passed.
-    pub fn armed_contract(&self, last_seq: u64) -> bool {
-        self.level() > 0
-            && self.contractions_done < self.cfg.max_contractions
-            && last_seq >= self.cfg.contract_holdoff_tuples
+    /// May another contraction fire at stream position `last_seq` with
+    /// `evicted_bytes` dropped so far by windowed eviction? There must be
+    /// an expansion to undo, budget left, and the arming gate passed:
+    /// genuine drain (any eviction observed) under
+    /// [`drain_driven`](ElasticConfig::drain_driven), the stream-position
+    /// hold-off otherwise. The drain gate prevents the startup
+    /// degeneracy — before any data arrives every joiner is trivially
+    /// below the low-water mark.
+    pub fn armed_contract(&self, last_seq: u64, evicted_bytes: u64) -> bool {
+        let armed = if self.cfg.drain_driven {
+            evicted_bytes > 0
+        } else {
+            last_seq >= self.cfg.contract_holdoff_tuples
+        };
+        self.level() > 0 && self.contractions_done < self.cfg.max_contractions && armed
     }
 }
 
@@ -313,17 +340,17 @@ mod tests {
     fn elastic_control_budgets_are_net_for_expansion() {
         let cfg = ElasticConfig::new(1000, 1).with_contraction(10, 2);
         let mut el = ElasticControl::new(cfg);
-        assert!(el.armed_expand() && !el.armed_contract(0));
+        assert!(el.armed_expand() && !el.armed_contract(0, 0));
         el.expansions_done += 1;
         assert!(!el.armed_expand(), "expansion budget 1 of 1 spent");
-        assert!(el.armed_contract(0));
+        assert!(el.armed_contract(0, 0));
         el.contractions_done += 1;
         assert_eq!(el.level(), 0);
         assert!(
             !el.armed_expand(),
             "the expansion budget is cumulative: contraction refunds nothing"
         );
-        assert!(!el.armed_contract(0), "nothing to undo at level 0");
+        assert!(!el.armed_contract(0, 0), "nothing to undo at level 0");
         let mut el = ElasticControl::new(ElasticConfig::new(1000, 2).with_contraction(10, 2));
         el.expansions_done += 1;
         el.contractions_done += 1;
@@ -336,7 +363,7 @@ mod tests {
         // guards on level() > 0 first.
         el.expansions_done += 1;
         assert!(
-            !el.armed_contract(0),
+            !el.armed_contract(0, 0),
             "the contraction budget is cumulative: 2 of 2 spent"
         );
         let el2 = ElasticControl {
@@ -347,8 +374,29 @@ mod tests {
                     .with_contract_holdoff(500),
             )
         };
-        assert!(!el2.armed_contract(499), "hold-off gate still closed");
-        assert!(el2.armed_contract(500));
+        assert!(!el2.armed_contract(499, 0), "hold-off gate still closed");
+        assert!(el2.armed_contract(500, 0));
+    }
+
+    #[test]
+    fn drain_driven_arming_ignores_holdoff() {
+        let el = ElasticControl {
+            expansions_done: 1,
+            ..ElasticControl::new(
+                ElasticConfig::new(1000, 2)
+                    .with_contraction(10, 1)
+                    .with_contract_holdoff(1_000_000)
+                    .with_drain_driven(true),
+            )
+        };
+        assert!(
+            !el.armed_contract(u64::MAX, 0),
+            "no eviction observed: stored state may still be pre-drain"
+        );
+        assert!(
+            el.armed_contract(0, 1),
+            "genuine drain arms regardless of stream position"
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use aoj_core::epoch::EpochJoiner;
 use aoj_core::index::ProbeStats;
+use aoj_core::lifecycle::WindowTracker;
 use aoj_core::predicate::Predicate;
 use aoj_core::tuple::{Rel, Tuple};
 use aoj_joinalg::{index_for, SpillGauge};
@@ -159,6 +160,14 @@ pub struct JoinerTask {
     /// How many times this joiner retired into dormancy (contractions it
     /// was merged away by).
     pub retirements: u64,
+    /// Sliding-window tracker when the session has a state lifecycle
+    /// configured; `None` leaves retention unbounded (and the index
+    /// segmentation machinery entirely untouched).
+    pub window: Option<WindowTracker>,
+    /// Tuples dropped by windowed eviction.
+    pub evicted_tuples: u64,
+    /// Payload bytes dropped by windowed eviction.
+    pub evicted_bytes: u64,
     /// Outbound state of the in-flight migration or expansion.
     outbox: Option<Outbox>,
     /// Set when the end-of-state marker must be sent after the batch.
@@ -212,6 +221,9 @@ impl JoinerTask {
             contract_stored_tuples: 0,
             contract_sent_tuples: 0,
             retirements: 0,
+            window: None,
+            evicted_tuples: 0,
+            evicted_bytes: 0,
             outbox: None,
             pending_done: false,
             unacked_credits: 0,
@@ -271,10 +283,59 @@ impl JoinerTask {
         }
     }
 
+    /// Advance the window clock over a just-processed batch and drop every
+    /// sealed index segment that has fully expired. Runs only while the
+    /// joiner is stable (`born && !migrating`), so Alg. 3's marker-FIFO
+    /// argument is untouched: migrating state is never evicted mid-flight,
+    /// and tuples arriving during a migration simply age once the next
+    /// stable batch (or the migration checkpoint itself) ticks the clock.
+    fn observe_window(
+        &mut self,
+        ctx: &mut Ctx<'_, OpMsg>,
+        seqs: &[u64],
+        arrived: &[aoj_simnet::SimTime],
+    ) {
+        let Some(w) = self.window.as_mut() else {
+            return;
+        };
+        let mut seal = false;
+        for (i, &seq) in seqs.iter().enumerate() {
+            if w.observe(seq, arrived[i].as_micros()) {
+                seal = true;
+            }
+        }
+        if seal {
+            self.epoch.seal_live_segment();
+        }
+        self.run_eviction(ctx);
+    }
+
+    /// Evict expired sealed segments and account the drop. Caller must
+    /// ensure the joiner is stable.
+    fn run_eviction(&mut self, ctx: &mut Ctx<'_, OpMsg>) {
+        let Some(w) = self.window.as_mut() else {
+            return;
+        };
+        let bound = w.evict_bound();
+        if bound == 0 {
+            return;
+        }
+        let stats = self.epoch.evict_before(bound);
+        if stats.tuples > 0 {
+            self.evicted_tuples += stats.tuples;
+            self.evicted_bytes += stats.bytes;
+            ctx.metrics().set_evicted(self.machine, self.evicted_bytes);
+        }
+    }
+
     fn refresh_storage_metrics(&mut self, ctx: &mut Ctx<'_, OpMsg>) {
         let bytes = self.epoch.stored_bytes();
         self.gauge.set_stored(bytes);
         ctx.metrics().set_stored(self.machine, bytes);
+        if self.window.is_some() {
+            ctx.metrics()
+                .set_window_tuples(self.machine, self.epoch.stored_tuples() as u64);
+        }
         if self.gauge.is_spilling() {
             // Gauge high-water is authoritative; mirror into sim metrics.
             let spilled = self.gauge.spilled_bytes();
@@ -316,6 +377,13 @@ impl JoinerTask {
                 self.unacked_credits = 0;
             }
         }
+        // Migration checkpoint: the merged Δ/µ sets were re-indexed into
+        // τ's active run. Seal that run so it ages as its own sub-window,
+        // then drain any eviction deferred while the migration was live.
+        if self.window.is_some() && self.epoch.is_born() && !self.epoch.is_migrating() {
+            self.epoch.seal_live_segment();
+            self.run_eviction(ctx);
+        }
         self.refresh_storage_metrics(ctx);
         // Merging moved sets into τ re-indexes those tuples.
         SimDuration::from_micros((summary.merged + summary.discarded) * self.cost.store_us / 4)
@@ -334,6 +402,15 @@ impl Process<OpMsg> for JoinerTask {
                 let n = tuples.len() as u64;
                 let collect = self.collect_matches;
                 let mut stats = ProbeStats::default();
+                // Window bookkeeping only ticks on stable-phase batches;
+                // capture the seqs up front because the per-tuple path
+                // consumes the batch.
+                let win_seqs: Option<Vec<u64>> =
+                    if self.window.is_some() && self.epoch.stable_for(tag) {
+                        Some(tuples.iter().map(|t| t.seq).collect())
+                    } else {
+                        None
+                    };
                 if self.epoch.stable_for(tag) && tuples.len() > 1 {
                     // Stable phase: the whole batch goes through the bulk
                     // index path (one merge/grouped probe per batch, one
@@ -411,6 +488,9 @@ impl Process<OpMsg> for JoinerTask {
                             self.flush_batch(ctx, false);
                         }
                     }
+                }
+                if let Some(seqs) = win_seqs {
+                    self.observe_window(ctx, &seqs, &arrived);
                 }
                 self.refresh_storage_metrics(ctx);
                 let now = ctx.now();

@@ -44,7 +44,7 @@ pub use grouped::{run_grouped, GroupedReport};
 pub use messages::{Match, OpMsg};
 pub use report::{human_bytes, ContractTransfer, ExpandTransfer, RunReport};
 pub use session::{
-    IngestHandle, JoinSession, MatchSubscription, PushError, SessionBuilder, SessionHandle,
-    SessionStats,
+    IngestHandle, JoinSession, LifecycleSection, MatchSubscription, PushError, SessionBuilder,
+    SessionHandle, SessionStats,
 };
 pub use source::SourcePacing;

@@ -91,6 +91,14 @@ pub struct RunReport {
     /// Stored bytes per joiner machine slot at quiescence (index =
     /// machine). Retired machines must read zero. Empty for SHJ runs.
     pub stored_bytes_by_machine: Vec<u64>,
+    /// Cumulative bytes dropped by windowed eviction, per joiner machine
+    /// slot (all zero when no window is configured; a restored session
+    /// carries the checkpoint's totals forward). Empty for SHJ runs.
+    pub evicted_bytes_by_machine: Vec<u64>,
+    /// Window occupancy in stored tuples per joiner machine slot at
+    /// quiescence (all zero when no window is configured). Empty for
+    /// SHJ runs.
+    pub window_tuples_by_machine: Vec<u64>,
     /// Peak spilled bytes on the worst machine (0 = fully in memory).
     pub max_spilled_bytes: u64,
     /// Average match latency in microseconds (paper Fig. 7b).
@@ -124,6 +132,18 @@ impl RunReport {
     /// Did any machine overflow its RAM budget? (Table 2's `*` marker.)
     pub fn overflowed(&self) -> bool {
         self.max_spilled_bytes > 0
+    }
+
+    /// Total bytes dropped by windowed eviction across the cluster
+    /// (0 when no window is configured).
+    pub fn total_evicted_bytes(&self) -> u64 {
+        self.evicted_bytes_by_machine.iter().sum()
+    }
+
+    /// Total window occupancy in tuples at quiescence (0 when no window
+    /// is configured).
+    pub fn total_window_tuples(&self) -> u64 {
+        self.window_tuples_by_machine.iter().sum()
     }
 
     /// The progress sample closest below `frac` (0..=1) of total

@@ -436,7 +436,7 @@ impl ReshufflerTask {
                     );
                     return;
                 }
-                if el.armed_contract(last_seq)
+                if el.armed_contract(last_seq, ctx.metrics().total_evicted_bytes())
                     && current.n >= 2
                     && current.m >= 2
                     && contraction_due(

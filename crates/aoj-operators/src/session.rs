@@ -51,11 +51,14 @@
 //! [`RunReport`]: crate::report::RunReport
 
 use std::collections::VecDeque;
+use std::io;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use aoj_core::decision::DecisionConfig;
+use aoj_core::lifecycle::{Checkpoint, WindowSpec};
 use aoj_core::mapping::Mapping;
 use aoj_core::predicate::Predicate;
 use aoj_core::tuple::Rel;
@@ -68,8 +71,8 @@ use aoj_simnet::{
 
 use crate::batch::BatchConfig;
 use crate::driver::{
-    collect_grid, collect_shj, setup_grid, setup_shj, BackendChoice, GridWiring, OperatorKind,
-    RunConfig, ShjWiring,
+    build_checkpoint, collect_grid, collect_shj, restore_grid, setup_grid, setup_shj,
+    BackendChoice, GridWiring, OperatorKind, RunConfig, ShjWiring,
 };
 use crate::elastic_runtime::ElasticConfig;
 use crate::messages::{Match, OpMsg};
@@ -104,6 +107,11 @@ struct QueueState {
     pushed: u64,
     r_pushed: u64,
     s_pushed: u64,
+    /// Restored sessions replaying from an upstream log: this many
+    /// leading pushes are already reflected in the checkpointed state and
+    /// are silently dropped (accepted but not enqueued) — the exactly-once
+    /// dedup of [`JoinSession::restore_with_replay`].
+    skip: u64,
     /// `prefix[k]` = (R count, S count) after the first `k` arrivals —
     /// the per-sequence stream statistics the offline `ILF/ILF*`
     /// competitive trace needs. Maintained under the push lock so
@@ -136,6 +144,7 @@ impl IngestQueue {
                 pushed: 0,
                 r_pushed: 0,
                 s_pushed: 0,
+                skip: 0,
                 prefix: if track_prefix {
                     vec![(0, 0)]
                 } else {
@@ -145,6 +154,20 @@ impl IngestQueue {
             space: Condvar::new(),
             capacity: capacity.max(1),
         })
+    }
+
+    /// A queue for a restored session: `pushed` resumes at `base` (the
+    /// checkpoint's ingest cursor, so stream positions stay global) and
+    /// the first `skip` pushes are dropped — they replay tuples already
+    /// folded into the checkpointed state.
+    pub(crate) fn restored(capacity: usize, base: u64, skip: u64) -> Arc<IngestQueue> {
+        let q = IngestQueue::bounded(capacity, false);
+        {
+            let mut st = q.state.lock().unwrap();
+            st.pushed = base;
+            st.skip = skip;
+        }
+        q
     }
 
     /// A queue pre-loaded with a full arrival sequence and already
@@ -172,6 +195,10 @@ impl IngestQueue {
             if st.closed {
                 return Err(PushError::Closed);
             }
+            if st.skip > 0 {
+                st.skip -= 1;
+                return Ok(()); // replay of an already-checkpointed tuple
+            }
             if st.items.len() < self.capacity {
                 st.note_push(rel);
                 st.items.push_back((rel, item));
@@ -187,6 +214,10 @@ impl IngestQueue {
         let mut st = self.state.lock().unwrap();
         if st.closed {
             return Err(PushError::Closed);
+        }
+        if st.skip > 0 {
+            st.skip -= 1;
+            return Ok(()); // replay of an already-checkpointed tuple
         }
         if st.items.len() >= self.capacity {
             return Err(PushError::Full);
@@ -506,6 +537,23 @@ pub struct ElasticitySection {
     pub blocking_migrations: bool,
 }
 
+/// State-lifecycle knobs: windowed eviction (see
+/// [`aoj_core::lifecycle`]). Checkpoint/restore needs no configuration —
+/// [`SessionHandle::checkpoint`] and [`JoinSession::restore`] work on
+/// any grid session.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LifecycleSection {
+    /// Per-joiner retention window; `None` stores every tuple forever
+    /// (the pre-lifecycle behaviour, bit for bit). Grid operators only.
+    ///
+    /// Configuring a window also switches an elastic session's
+    /// contraction arming to **drain-driven**: the 4→1 merge fires on
+    /// genuine eviction drain instead of the
+    /// [`contract_holdoff_tuples`](ElasticConfig::contract_holdoff_tuples)
+    /// stream-position gate.
+    pub window: Option<WindowSpec>,
+}
+
 /// Execution/observability knobs: backend choice, sampling, match
 /// collection.
 #[derive(Clone, Debug)]
@@ -574,6 +622,8 @@ pub struct SessionBuilder {
     pub data_plane: DataPlaneSection,
     /// Migration decisions and elastic scaling.
     pub elasticity: ElasticitySection,
+    /// Windowed eviction (state lifecycle).
+    pub lifecycle: LifecycleSection,
     /// Backend choice and observability.
     pub backend: BackendSection,
 }
@@ -608,6 +658,7 @@ impl SessionBuilder {
                 elastic: None,
                 blocking_migrations: false,
             },
+            lifecycle: LifecycleSection::default(),
             backend: BackendSection {
                 choice: BackendChoice::Sim,
                 sample_every: 0,
@@ -702,6 +753,24 @@ impl SessionBuilder {
         self
     }
 
+    /// Builder: a per-joiner retention window (see
+    /// [`LifecycleSection::window`]).
+    pub fn with_window(mut self, spec: WindowSpec) -> SessionBuilder {
+        self.lifecycle.window = Some(spec);
+        self
+    }
+
+    /// Builder: a count window over the last `tuples` sequence numbers.
+    pub fn with_count_window(self, tuples: u64) -> SessionBuilder {
+        self.with_window(WindowSpec::count(tuples))
+    }
+
+    /// Builder: a time window over the last `micros` microseconds of
+    /// arrivals.
+    pub fn with_time_window_us(self, micros: u64) -> SessionBuilder {
+        self.with_window(WindowSpec::time_micros(micros))
+    }
+
     /// Builder: the blocking-migration ablation.
     pub fn with_blocking_migrations(mut self, blocking: bool) -> SessionBuilder {
         self.elasticity.blocking_migrations = blocking;
@@ -781,6 +850,13 @@ pub struct SessionStats {
     /// Stored bytes per joiner machine slot (index = machine; dormant
     /// and retired slots read zero).
     pub stored_bytes_by_machine: Vec<u64>,
+    /// Cumulative bytes dropped by windowed eviction, per machine slot
+    /// (all zero when no window is configured). Survives restore: a
+    /// restored session resumes from the checkpoint's totals.
+    pub evicted_bytes_by_machine: Vec<u64>,
+    /// Window occupancy in stored tuples, per machine slot (all zero
+    /// when no window is configured).
+    pub window_tuples_by_machine: Vec<u64>,
 }
 
 impl SessionStats {
@@ -796,6 +872,16 @@ impl SessionStats {
             .copied()
             .max()
             .unwrap_or(0)
+    }
+
+    /// Total bytes dropped by windowed eviction across the cluster.
+    pub fn total_evicted_bytes(&self) -> u64 {
+        self.evicted_bytes_by_machine.iter().sum()
+    }
+
+    /// Total window occupancy in tuples across the cluster.
+    pub fn total_window_tuples(&self) -> u64 {
+        self.window_tuples_by_machine.iter().sum()
     }
 }
 
@@ -859,61 +945,149 @@ impl JoinSession {
             builder.j,
             crate::joiner_task::JoinerTask::CREDIT_BATCH,
         );
+        assert!(
+            builder.lifecycle.window.is_none() || builder.kind != OperatorKind::Shj,
+            "windowed eviction requires a grid operator \
+             (the SHJ baseline keeps no segmented index)"
+        );
         let queue =
             IngestQueue::bounded(builder.queue_capacity(), builder.backend.track_competitive);
-        let inner = match builder.backend.choice {
-            BackendChoice::Sim => {
-                // A blocking emit on the single-threaded simulator could
-                // only deadlock the pump: the hub is always unbounded
-                // here.
-                let hub = MatchHub::new(0);
-                let mut sim: Box<Sim<OpMsg>> = Box::new(Sim::new(SimConfig {
-                    network: builder.data_plane.network,
-                    machine: Default::default(),
-                    deadline: None,
-                }));
-                let wiring = build_topology(&mut *sim, &builder, &queue, &hub, None);
-                (Inner::Sim { sim, wiring }, hub)
-            }
-            BackendChoice::Threaded => {
-                let hub = MatchHub::new(builder.backend.match_buffer);
-                let mut rt_cfg = RuntimeConfig::default();
-                // Keep the mailbox bound above the flow-control window so
-                // backpressure binds at the source (see `driver::run`).
-                if builder.source.window_copies > 0 {
-                    rt_cfg.data_queue_capacity = rt_cfg
-                        .data_queue_capacity
-                        .max(4 * builder.source.window_copies as usize);
-                }
-                let mut rt: Runtime<OpMsg> = Runtime::new(rt_cfg);
-                let idle_poll = SimDuration::from_micros(builder.source.idle_poll_us.max(1));
-                let wiring = build_topology(&mut rt, &builder, &queue, &hub, Some(idle_poll));
-                let gauges = rt.shared_gauges();
-                let runner = std::thread::Builder::new()
-                    .name("aoj-session".to_string())
-                    .spawn(move || {
-                        let end = rt.run();
-                        (rt, end)
-                    })
-                    .expect("failed to spawn session runner thread");
-                (
-                    Inner::Threaded {
-                        runner,
-                        wiring,
-                        gauges,
-                    },
-                    hub,
-                )
+        launch(builder, queue, None)
+    }
+
+    /// Reopen a session from a [`Checkpoint`] written by
+    /// [`SessionHandle::checkpoint`]. The caller resumes pushing from the
+    /// checkpoint's ingest cursor — tuples `0..cursor` are already folded
+    /// into the restored state and every match among them was already
+    /// delivered by the checkpointing session.
+    ///
+    /// `builder` must carry the same configuration the checkpointed
+    /// session ran with (config is code, not data): the fingerprint
+    /// fields `j`, `kind` and `seed` are validated against the snapshot.
+    /// Works on either backend — a simulator checkpoint restores onto the
+    /// threaded runtime and vice versa.
+    pub fn restore(builder: SessionBuilder, path: impl AsRef<Path>) -> io::Result<SessionHandle> {
+        JoinSession::restore_at(builder, path.as_ref(), None)
+    }
+
+    /// Like [`restore`](JoinSession::restore), but for callers replaying
+    /// the stream from an upstream log: the caller re-pushes every tuple
+    /// from global sequence `replay_from` (≤ the checkpoint cursor)
+    /// onwards, and the session silently drops the already-processed
+    /// prefix — **exactly-once** match delivery without the caller
+    /// tracking the cursor itself.
+    pub fn restore_with_replay(
+        builder: SessionBuilder,
+        path: impl AsRef<Path>,
+        replay_from: u64,
+    ) -> io::Result<SessionHandle> {
+        JoinSession::restore_at(builder, path.as_ref(), Some(replay_from))
+    }
+
+    fn restore_at(
+        mut builder: SessionBuilder,
+        path: &Path,
+        replay_from: Option<u64>,
+    ) -> io::Result<SessionHandle> {
+        let ckpt = Checkpoint::read_from(path)?;
+        let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        if builder.kind == OperatorKind::Shj {
+            return Err(invalid("checkpoints cover grid operators only".into()));
+        }
+        if ckpt.j != builder.j || ckpt.kind != builder.kind.label() || ckpt.seed != builder.seed {
+            return Err(invalid(format!(
+                "checkpoint fingerprint mismatch: snapshot is (j={}, kind={}, seed={:#x}), \
+                 builder is (j={}, kind={}, seed={:#x})",
+                ckpt.j,
+                ckpt.kind,
+                ckpt.seed,
+                builder.j,
+                builder.kind.label(),
+                builder.seed
+            )));
+        }
+        let skip = match replay_from {
+            None => 0,
+            Some(from) if from <= ckpt.source_cursor => ckpt.source_cursor - from,
+            Some(from) => {
+                return Err(invalid(format!(
+                    "replay_from {from} is past the checkpoint cursor {}",
+                    ckpt.source_cursor
+                )))
             }
         };
-        let (inner, hub) = inner;
-        SessionHandle {
-            builder,
-            queue,
-            hub,
-            subscribed: false,
-            inner: Some(inner),
+        // Prefix statistics cannot span a restore (the pre-checkpoint
+        // prefix is gone), so the competitive trace is off.
+        builder.backend.track_competitive = false;
+        let queue = IngestQueue::restored(builder.queue_capacity(), ckpt.source_cursor, skip);
+        Ok(launch(builder, queue, Some(&ckpt)))
+    }
+}
+
+fn launch(
+    builder: SessionBuilder,
+    queue: Arc<IngestQueue>,
+    restore_from: Option<&Checkpoint>,
+) -> SessionHandle {
+    let inner = match builder.backend.choice {
+        BackendChoice::Sim => {
+            // A blocking emit on the single-threaded simulator could
+            // only deadlock the pump: the hub is always unbounded
+            // here.
+            let hub = MatchHub::new(0);
+            let mut sim: Box<Sim<OpMsg>> = Box::new(Sim::new(SimConfig {
+                network: builder.data_plane.network,
+                machine: Default::default(),
+                deadline: None,
+            }));
+            let wiring = build_topology(&mut *sim, &builder, &queue, &hub, None, restore_from);
+            (Inner::Sim { sim, wiring }, hub)
         }
+        BackendChoice::Threaded => {
+            let hub = MatchHub::new(builder.backend.match_buffer);
+            let mut rt_cfg = RuntimeConfig::default();
+            // Keep the mailbox bound above the flow-control window so
+            // backpressure binds at the source (see `driver::run`).
+            if builder.source.window_copies > 0 {
+                rt_cfg.data_queue_capacity = rt_cfg
+                    .data_queue_capacity
+                    .max(4 * builder.source.window_copies as usize);
+            }
+            let mut rt: Runtime<OpMsg> = Runtime::new(rt_cfg);
+            let idle_poll = SimDuration::from_micros(builder.source.idle_poll_us.max(1));
+            let wiring = build_topology(
+                &mut rt,
+                &builder,
+                &queue,
+                &hub,
+                Some(idle_poll),
+                restore_from,
+            );
+            let gauges = rt.shared_gauges();
+            let runner = std::thread::Builder::new()
+                .name("aoj-session".to_string())
+                .spawn(move || {
+                    let end = rt.run();
+                    (rt, end)
+                })
+                .expect("failed to spawn session runner thread");
+            (
+                Inner::Threaded {
+                    runner,
+                    wiring,
+                    gauges,
+                },
+                hub,
+            )
+        }
+    };
+    let (inner, hub) = inner;
+    SessionHandle {
+        builder,
+        queue,
+        hub,
+        subscribed: false,
+        inner: Some(inner),
     }
 }
 
@@ -923,12 +1097,16 @@ fn build_topology<B: ExecBackend<OpMsg>>(
     queue: &Arc<IngestQueue>,
     hub: &Arc<MatchHub>,
     idle_poll: Option<SimDuration>,
+    restore_from: Option<&Checkpoint>,
 ) -> Wiring {
     let input = Arc::clone(queue);
     let sink = Arc::clone(hub);
-    match builder.kind {
-        OperatorKind::Shj => Wiring::Shj(setup_shj(backend, builder, input, sink, idle_poll)),
-        _ => Wiring::Grid(setup_grid(backend, builder, input, sink, idle_poll)),
+    match restore_from {
+        Some(ckpt) => Wiring::Grid(restore_grid(backend, builder, ckpt, input, sink, idle_poll)),
+        None => match builder.kind {
+            OperatorKind::Shj => Wiring::Shj(setup_shj(backend, builder, input, sink, idle_poll)),
+            _ => Wiring::Grid(setup_grid(backend, builder, input, sink, idle_poll)),
+        },
     }
 }
 
@@ -1043,27 +1221,38 @@ impl SessionHandle {
     /// per-machine stored bytes, processed-copy counts, and the match
     /// total.
     pub fn stats(&self) -> SessionStats {
-        let (stored, processed) = match self.inner.as_ref().expect("session closed") {
-            Inner::Sim { sim, wiring } => {
-                let m = sim.metrics();
-                let stored = (0..wiring.machine_slots())
-                    .map(|i| m.stored_bytes_of(MachineId(i)))
-                    .collect();
-                (stored, m.data_processed)
-            }
-            Inner::Threaded { gauges, wiring, .. } => {
-                let stored = (0..wiring.machine_slots())
-                    .map(|i| gauges.stored(MachineId(i)))
-                    .collect();
-                (stored, gauges.data_processed())
-            }
-        };
+        let (stored, evicted, window, processed) =
+            match self.inner.as_ref().expect("session closed") {
+                Inner::Sim { sim, wiring } => {
+                    let m = sim.metrics();
+                    let slots = wiring.machine_slots();
+                    let stored = (0..slots)
+                        .map(|i| m.stored_bytes_of(MachineId(i)))
+                        .collect();
+                    let evicted = (0..slots)
+                        .map(|i| m.evicted_bytes_of(MachineId(i)))
+                        .collect();
+                    let window = (0..slots)
+                        .map(|i| m.window_tuples_of(MachineId(i)))
+                        .collect();
+                    (stored, evicted, window, m.data_processed)
+                }
+                Inner::Threaded { gauges, wiring, .. } => {
+                    let slots = wiring.machine_slots();
+                    let stored = (0..slots).map(|i| gauges.stored(MachineId(i))).collect();
+                    let evicted = (0..slots).map(|i| gauges.evicted(MachineId(i))).collect();
+                    let window = (0..slots).map(|i| gauges.occupancy(MachineId(i))).collect();
+                    (stored, evicted, window, gauges.data_processed())
+                }
+            };
         SessionStats {
             pushed_tuples: self.queue.pushed(),
             queued_tuples: self.queue.queued(),
             processed_copies: processed,
             matches: self.hub.emitted(),
             stored_bytes_by_machine: stored,
+            evicted_bytes_by_machine: evicted,
+            window_tuples_by_machine: window,
         }
     }
 
@@ -1094,6 +1283,57 @@ impl SessionHandle {
         };
         self.hub.finish();
         report
+    }
+
+    /// Close the session at a quiesced checkpoint and write a versioned
+    /// snapshot to `path`: every live (unevicted) tuple per joiner, the
+    /// grid mapping and elastic layout, the migration decider's counters,
+    /// and the ingest cursor. [`JoinSession::restore`] reopens the
+    /// snapshot on either backend and continues from the cursor.
+    ///
+    /// Draining first guarantees the snapshot sits at an Alg. 3 epoch
+    /// boundary — no migration in flight, no marker FIFO partially
+    /// consumed — so the restored session's first batch behaves exactly
+    /// like the next stable batch of the original run.
+    pub fn checkpoint(mut self, path: impl AsRef<Path>) -> io::Result<RunReport> {
+        self.hub.lift_bound();
+        self.queue.close();
+        let pushed = self.queue.pushed();
+        let prefix = self.queue.prefix();
+        let (report, ckpt) = match self.inner.take().expect("session already closed") {
+            Inner::Sim { mut sim, wiring } => {
+                let end = pump_sim(&mut sim, wiring.source_id(), &self.queue);
+                let ckpt = checkpoint_of(&*sim, &self.builder, &wiring)?;
+                let report = collect(&*sim, &self.builder, &wiring, pushed, end, &prefix);
+                (report, ckpt)
+            }
+            Inner::Threaded { runner, wiring, .. } => {
+                let (rt, end) = match runner.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                };
+                let ckpt = checkpoint_of(&rt, &self.builder, &wiring)?;
+                let report = collect(&rt, &self.builder, &wiring, pushed, end, &prefix);
+                (report, ckpt)
+            }
+        };
+        self.hub.finish();
+        ckpt.write_to(path.as_ref())?;
+        Ok(report)
+    }
+}
+
+fn checkpoint_of<B: ExecBackend<OpMsg>>(
+    backend: &B,
+    builder: &SessionBuilder,
+    wiring: &Wiring,
+) -> io::Result<Checkpoint> {
+    match wiring {
+        Wiring::Grid(w) => Ok(build_checkpoint(backend, builder, w)),
+        Wiring::Shj(_) => Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "checkpoints cover grid operators only",
+        )),
     }
 }
 

@@ -1,0 +1,521 @@
+//! The state lifecycle subsystem's contracts:
+//!
+//! * a count-window session holds **bounded** steady-state storage on an
+//!   unbounded-looking stream, with the evicted/occupancy gauges visible
+//!   in `SessionHandle::stats()`;
+//! * eviction never drops an in-window pair — pinned deterministically
+//!   on a FIFO topology and property-tested over random spans and
+//!   partitionings;
+//! * eviction-off sessions reproduce the pre-lifecycle simulator
+//!   timeline bit for bit (golden pin);
+//! * a checkpoint written mid-sawtooth restores onto **either** backend
+//!   and the pre+post match multisets union to exactly the
+//!   uninterrupted run's output — including under replay from an
+//!   upstream log (exactly-once);
+//! * the elastic 4→1 contraction arms from genuine eviction drain, with
+//!   no stream-position hold-off configured.
+
+use std::time::{Duration, Instant};
+
+use aoj_core::lifecycle::WindowSpec;
+use aoj_core::predicate::Predicate;
+use aoj_datagen::queries::{StreamItem, Workload};
+use aoj_datagen::stream::interleave;
+use aoj_operators::{
+    run, BackendChoice, ElasticConfig, JoinSession, OperatorKind, RunConfig, SessionBuilder,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn workload(nr: usize, ns: usize, key_space: i64, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut item = |space: i64| StreamItem {
+        key: rng.gen_range(0..space),
+        aux: rng.gen_range(0..100i32),
+        bytes: 64,
+    };
+    Workload {
+        name: "lifecycle",
+        predicate: Predicate::Equi,
+        r_items: (0..nr).map(|_| item(key_space)).collect(),
+        s_items: (0..ns).map(|_| item(key_space)).collect(),
+    }
+}
+
+/// All key-equal `(R seq, S seq)` pairs of an arrival sequence whose
+/// stream distance is below `gap`, sorted — the reference output of a
+/// count-windowed equi-join.
+fn in_window_pairs(arrivals: &[(aoj_core::tuple::Rel, StreamItem)], gap: u64) -> Vec<(u64, u64)> {
+    use aoj_core::tuple::Rel;
+    let mut pairs = Vec::new();
+    for (i, (ri, a)) in arrivals.iter().enumerate() {
+        for (j, (rj, b)) in arrivals.iter().enumerate().skip(i + 1) {
+            if (j - i) as u64 >= gap || a.key != b.key {
+                continue;
+            }
+            match (ri, rj) {
+                (Rel::R, Rel::S) => pairs.push((i as u64, j as u64)),
+                (Rel::S, Rel::R) => pairs.push((j as u64, i as u64)),
+                _ => {}
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs
+}
+
+fn ckpt_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("aoj-lifecycle-it");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// The acceptance pin: a J=4 count-window session over a long stream
+/// holds bounded steady-state stored bytes — the stored gauge plateaus
+/// at the window size while the evicted gauge keeps climbing — and the
+/// per-machine lifecycle gauges surface through `stats()`.
+#[test]
+fn count_window_bounds_steady_state_storage_j4() {
+    let seed = 0x11FE_0001;
+    let span = 2_000u64;
+    let w = workload(6_000, 6_000, 300, seed);
+    let arrivals = interleave(&w, seed);
+    let builder = SessionBuilder::new(4, OperatorKind::Dynamic)
+        .with_predicate(w.predicate.clone())
+        .with_seed(seed)
+        .with_count_window(span);
+    let mut session = JoinSession::open(builder);
+
+    // Steady state: each tuple is stored on 2 of the 4 (2,2)-grid
+    // machines, so the cluster window holds ~2·span tuples · 64 B
+    // ≈ 256 KB. Allow slack for sub-window granularity, straddling
+    // segments and migration pauses.
+    let steady_bound = 2 * span * 64 * 3;
+    let mut peak_after_warmup = 0u64;
+    for (n, chunk) in arrivals.chunks(1_000).enumerate() {
+        session.push_batch(chunk.iter().copied()).unwrap();
+        let stats = session.stats();
+        if n >= 4 {
+            peak_after_warmup = peak_after_warmup.max(stats.total_stored_bytes());
+        }
+    }
+    let stats = session.stats();
+    assert!(
+        stats.total_evicted_bytes() > 0,
+        "the window never evicted anything"
+    );
+    assert!(
+        stats.total_window_tuples() > 0,
+        "window occupancy gauge never moved"
+    );
+    assert!(
+        peak_after_warmup <= steady_bound,
+        "stored bytes kept growing: peak {peak_after_warmup} > bound {steady_bound} \
+         (unwindowed total would be {})",
+        arrivals.len() as u64 * 2 * 64
+    );
+    // The per-machine breakdown is live: every active joiner both holds
+    // and has evicted state.
+    let active_evictors = stats
+        .evicted_bytes_by_machine
+        .iter()
+        .filter(|&&b| b > 0)
+        .count();
+    assert!(
+        active_evictors >= 2,
+        "only {active_evictors} machines ever evicted on a (2,2) grid"
+    );
+    let report = session.close();
+    assert!(report.matches > 0, "vacuous windowed run");
+}
+
+/// Same lifecycle gauges on real threads: the shared atomic gauge array
+/// carries evicted bytes and window occupancy to `stats()` while the
+/// session runs.
+#[test]
+fn threaded_sessions_expose_lifecycle_gauges() {
+    let seed = 0x11FE_0002;
+    let w = workload(3_000, 3_000, 200, seed);
+    let arrivals = interleave(&w, seed);
+    let builder = SessionBuilder::new(4, OperatorKind::Dynamic)
+        .with_predicate(w.predicate.clone())
+        .with_seed(seed)
+        .with_backend(BackendChoice::Threaded)
+        .with_count_window(1_000);
+    let mut session = JoinSession::open(builder);
+    session.push_batch(arrivals.iter().copied()).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = session.stats();
+        if stats.total_evicted_bytes() > 0 && stats.total_window_tuples() > 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "threaded lifecycle gauges never moved"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let report = session.close();
+    assert!(report.matches > 0);
+}
+
+/// On a FIFO topology (J=1: one reshuffler, one joiner, per-tuple
+/// batches) the window guarantee is exact: **every** pair within the
+/// span is emitted, and nothing survives past the span plus one
+/// sub-window of eviction lag.
+#[test]
+fn eviction_never_drops_an_in_window_pair_fifo() {
+    let seed = 0x11FE_0003;
+    let span = 600u64;
+    let spec = WindowSpec::count(span).with_sub_windows(6);
+    let w = workload(800, 800, 40, seed);
+    let arrivals = interleave(&w, seed);
+    let builder = SessionBuilder::new(1, OperatorKind::Dynamic)
+        .with_predicate(w.predicate.clone())
+        .with_seed(seed)
+        .with_batch_tuples(1)
+        .with_window(spec)
+        .with_collect_matches(true);
+    let mut session = JoinSession::open(builder);
+    session.push_batch(arrivals.iter().copied()).unwrap();
+    let report = session.close();
+
+    let must_have = in_window_pairs(&arrivals, span);
+    let got: std::collections::BTreeSet<(u64, u64)> = report.match_pairs.iter().copied().collect();
+    for p in &must_have {
+        assert!(
+            got.contains(p),
+            "in-window pair {p:?} (gap < {span}) was dropped by eviction"
+        );
+    }
+    // Retention upper bound: eviction lag is bounded by the sub-window
+    // granularity, so no match can span wildly past the window.
+    let max_gap = span + 2 * spec.sub_span();
+    for &(r, s) in &report.match_pairs {
+        let gap = r.abs_diff(s);
+        assert!(
+            gap <= max_gap,
+            "pair ({r},{s}) matched at gap {gap} > {max_gap}: eviction stalled"
+        );
+    }
+    assert!(report.matches > 0, "vacuous workload");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The FIFO window guarantee holds for arbitrary spans and
+    /// sub-window partitionings (satellite: proptest that eviction
+    /// never drops an in-window pair).
+    #[test]
+    fn window_guarantee_holds_under_random_spans(
+        seed in 0u64..1_000,
+        span in 100u64..800,
+        subs in 1u32..10,
+        n in 200usize..500,
+    ) {
+        let spec = WindowSpec::count(span).with_sub_windows(subs);
+        let w = workload(n, n, 30, seed);
+        let arrivals = interleave(&w, seed ^ 0x51AB);
+        let builder = SessionBuilder::new(1, OperatorKind::Dynamic)
+            .with_predicate(w.predicate.clone())
+            .with_seed(seed)
+            .with_batch_tuples(1)
+            .with_window(spec)
+            .with_collect_matches(true);
+        let mut session = JoinSession::open(builder);
+        session.push_batch(arrivals.iter().copied()).unwrap();
+        let report = session.close();
+        let got: std::collections::BTreeSet<(u64, u64)> =
+            report.match_pairs.iter().copied().collect();
+        for p in in_window_pairs(&arrivals, span) {
+            prop_assert!(
+                got.contains(&p),
+                "in-window pair {:?} dropped (span {}, subs {})", p, span, subs
+            );
+        }
+        let max_gap = span + 2 * spec.sub_span();
+        for &(r, s) in &report.match_pairs {
+            prop_assert!(r.abs_diff(s) <= max_gap, "retention past the window");
+        }
+    }
+}
+
+/// Golden pin: a session with no window configured takes the exact
+/// code path the pre-lifecycle operator did — same virtual end time,
+/// same message count, same wire bytes, same matches as the golden
+/// values captured before this subsystem existed (the same pins as
+/// `tests/batching.rs`, reproduced here against an explicitly-default
+/// lifecycle section).
+#[test]
+fn eviction_off_sessions_reproduce_the_golden_timeline() {
+    let seed = 0x601D;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut item = |key_space: i64| StreamItem {
+        key: {
+            let a = rng.gen_range(0..key_space);
+            let b = rng.gen_range(0..key_space);
+            a.min(b)
+        },
+        aux: rng.gen_range(0..1_000i32),
+        bytes: 64,
+    };
+    let w = Workload {
+        name: "golden",
+        predicate: Predicate::Band { width: 2 },
+        r_items: (0..300).map(|_| item(300)).collect(),
+        s_items: (0..3_000).map(|_| item(300)).collect(),
+    };
+    let arrivals = interleave(&w, seed ^ 0xA0A0);
+    let cfg = RunConfig::new(4, OperatorKind::Dynamic).with_batch_tuples(1);
+    assert!(
+        SessionBuilder::from_run_config(&cfg)
+            .lifecycle
+            .window
+            .is_none(),
+        "the legacy config must not grow a window implicitly"
+    );
+    let r = run(&arrivals, &w.predicate, w.name, &cfg);
+    assert_eq!(r.exec_time.as_micros(), 7188, "virtual end time drifted");
+    assert_eq!(r.network_messages, 10364, "message count drifted");
+    assert_eq!(r.network_bytes, 568_860, "wire bytes drifted");
+    assert_eq!(r.matches, 19_426);
+}
+
+/// The sawtooth session builder used by the checkpoint tests: elastic
+/// grow-then-drain with match collection on.
+fn sawtooth_builder(w: &Workload, seed: u64, backend: BackendChoice) -> SessionBuilder {
+    SessionBuilder::new(1, OperatorKind::Dynamic)
+        .with_predicate(w.predicate.clone())
+        .with_workload(w.name)
+        .with_seed(seed)
+        .with_backend(backend)
+        .with_elastic(
+            ElasticConfig::new(48 << 10, 2)
+                .with_contraction(1 << 40, 2)
+                .with_contract_holdoff(3_000),
+        )
+        .with_collect_matches(true)
+}
+
+/// Checkpoint mid-sawtooth, restore, continue: the union of the
+/// pre-checkpoint and post-restore match multisets equals the
+/// uninterrupted output exactly — across every backend pairing,
+/// including simulator checkpoints restored onto real threads and
+/// vice versa.
+#[test]
+fn restore_mid_sawtooth_multiset_identity_across_backends() {
+    let seed = 0x11FE_0004;
+    let w = workload(2_000, 2_000, 300, seed);
+    let arrivals = interleave(&w, seed);
+    let expected = in_window_pairs(&arrivals, u64::MAX);
+    let cut = arrivals.len() * 3 / 5;
+
+    for (first, second) in [
+        (BackendChoice::Sim, BackendChoice::Sim),
+        (BackendChoice::Sim, BackendChoice::Threaded),
+        (BackendChoice::Threaded, BackendChoice::Sim),
+    ] {
+        let path = ckpt_path(&format!("sawtooth-{first:?}-{second:?}.ckpt"));
+        let mut session = JoinSession::open(sawtooth_builder(&w, seed, first));
+        session.push_batch(arrivals[..cut].iter().copied()).unwrap();
+        let pre = session.checkpoint(&path).unwrap();
+        assert!(
+            pre.expansions >= 1,
+            "{first:?}: the sawtooth never grew before the checkpoint"
+        );
+
+        let mut restored = JoinSession::restore(sawtooth_builder(&w, seed, second), &path).unwrap();
+        restored
+            .push_batch(arrivals[cut..].iter().copied())
+            .unwrap();
+        let post = restored.close();
+
+        let mut union: Vec<(u64, u64)> = pre
+            .match_pairs
+            .iter()
+            .chain(post.match_pairs.iter())
+            .copied()
+            .collect();
+        union.sort_unstable();
+        assert_eq!(
+            union, expected,
+            "{first:?}→{second:?}: checkpoint/restore lost or duplicated matches"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// Exactly-once under upstream replay: the caller re-pushes the whole
+/// stream from sequence 0 and the session silently skips the
+/// already-processed prefix — no lost pairs, no duplicates.
+#[test]
+fn restore_with_replay_is_exactly_once() {
+    let seed = 0x11FE_0005;
+    let w = workload(700, 700, 120, seed);
+    let arrivals = interleave(&w, seed);
+    let expected = in_window_pairs(&arrivals, u64::MAX);
+    let cut = arrivals.len() / 2;
+    let path = ckpt_path("replay.ckpt");
+
+    let builder = |_| {
+        SessionBuilder::new(4, OperatorKind::Dynamic)
+            .with_predicate(w.predicate.clone())
+            .with_seed(seed)
+            .with_collect_matches(true)
+    };
+    let mut session = JoinSession::open(builder(()));
+    session.push_batch(arrivals[..cut].iter().copied()).unwrap();
+    let pre = session.checkpoint(&path).unwrap();
+
+    let mut restored = JoinSession::restore_with_replay(builder(()), &path, 0).unwrap();
+    // Replay the *entire* stream; the session must drop the prefix.
+    restored.push_batch(arrivals.iter().copied()).unwrap();
+    let post = restored.close();
+
+    let mut union: Vec<(u64, u64)> = pre
+        .match_pairs
+        .iter()
+        .chain(post.match_pairs.iter())
+        .copied()
+        .collect();
+    union.sort_unstable();
+    assert_eq!(union, expected, "replay broke exactly-once delivery");
+    std::fs::remove_file(&path).ok();
+}
+
+/// Restore refuses a mismatched configuration: the checkpoint
+/// fingerprint (j, kind, seed) must match the re-supplied builder, and
+/// replay cannot start past the cursor.
+#[test]
+fn restore_validates_fingerprint_and_replay_cursor() {
+    let seed = 0x11FE_0006;
+    let w = workload(200, 200, 50, seed);
+    let arrivals = interleave(&w, seed);
+    let path = ckpt_path("fingerprint.ckpt");
+    let builder = SessionBuilder::new(2, OperatorKind::Dynamic)
+        .with_predicate(w.predicate.clone())
+        .with_seed(seed);
+    let mut session = JoinSession::open(builder.clone());
+    session.push_batch(arrivals.iter().copied()).unwrap();
+    let report = session.checkpoint(&path).unwrap();
+    assert!(report.matches > 0);
+
+    let expect_invalid =
+        |result: std::io::Result<aoj_operators::SessionHandle>, what: &str| match result {
+            Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::InvalidData, "{what}"),
+            Ok(_) => panic!("restore accepted {what}"),
+        };
+    let wrong_seed = SessionBuilder::new(2, OperatorKind::Dynamic)
+        .with_predicate(w.predicate.clone())
+        .with_seed(seed ^ 1);
+    expect_invalid(JoinSession::restore(wrong_seed, &path), "a mismatched seed");
+
+    let wrong_j = SessionBuilder::new(4, OperatorKind::Dynamic)
+        .with_predicate(w.predicate.clone())
+        .with_seed(seed);
+    expect_invalid(JoinSession::restore(wrong_j, &path), "a mismatched J");
+
+    expect_invalid(
+        JoinSession::restore_with_replay(builder.clone(), &path, arrivals.len() as u64 + 100),
+        "a replay point past the cursor",
+    );
+
+    // And a restored session continues to completion.
+    let restored = JoinSession::restore(builder, &path).unwrap();
+    let post = restored.close();
+    assert_eq!(post.input_tuples, arrivals.len() as u64);
+    std::fs::remove_file(&path).ok();
+}
+
+/// A windowed checkpoint restores the window clock too: continuing the
+/// stream keeps evicting, stats stay continuous (the evicted counter
+/// never goes backwards across the restore), and storage stays bounded.
+#[test]
+fn windowed_restore_carries_the_eviction_counters() {
+    let seed = 0x11FE_0007;
+    let span = 1_000u64;
+    let w = workload(3_000, 3_000, 200, seed);
+    let arrivals = interleave(&w, seed);
+    let cut = arrivals.len() / 2;
+    let path = ckpt_path("windowed.ckpt");
+    let builder = || {
+        SessionBuilder::new(4, OperatorKind::Dynamic)
+            .with_predicate(w.predicate.clone())
+            .with_seed(seed)
+            .with_count_window(span)
+    };
+    let mut session = JoinSession::open(builder());
+    session.push_batch(arrivals[..cut].iter().copied()).unwrap();
+    let pre_evicted = session.stats().total_evicted_bytes();
+    assert!(pre_evicted > 0, "no eviction before the checkpoint");
+    session.checkpoint(&path).unwrap();
+
+    let mut restored = JoinSession::restore(builder(), &path).unwrap();
+    assert!(
+        restored.stats().total_evicted_bytes() >= pre_evicted,
+        "evicted gauge lost the checkpoint's base count"
+    );
+    restored
+        .push_batch(arrivals[cut..].iter().copied())
+        .unwrap();
+    let stats = restored.stats();
+    assert!(
+        stats.total_evicted_bytes() > pre_evicted,
+        "eviction stalled after restore"
+    );
+    assert!(
+        stats.total_stored_bytes() <= 2 * span * 64 * 3,
+        "restored window stopped bounding storage"
+    );
+    restored.close();
+    std::fs::remove_file(&path).ok();
+}
+
+/// Drain-driven contraction (the satellite that retires the hold-off
+/// gate): with a window configured and **no** `contract_holdoff_tuples`,
+/// the 4→1 merge arms from genuine eviction drain. The control run —
+/// identical config, window too wide to ever evict — must never
+/// contract, even though its joiners sit trivially below the low-water
+/// mark from the first tuple.
+#[test]
+fn contraction_arms_from_genuine_drain_without_holdoff() {
+    let seed = 0x11FE_0008;
+    let w = workload(4_000, 4_000, 300, seed);
+    let arrivals = interleave(&w, seed);
+    let elastic = ElasticConfig::new(48 << 10, 1).with_contraction(1 << 40, 1);
+    let session_with_span = |span: u64| {
+        let builder = SessionBuilder::new(1, OperatorKind::Dynamic)
+            .with_predicate(w.predicate.clone())
+            .with_seed(seed)
+            .with_elastic(elastic)
+            .with_count_window(span);
+        let mut session = JoinSession::open(builder);
+        session.push_batch(arrivals.iter().copied()).unwrap();
+        let evicted = session.stats().total_evicted_bytes();
+        (session.close(), evicted)
+    };
+
+    // Window far wider than the stream: nothing ever drains, so the
+    // trigger stays disarmed despite the huge low-water mark.
+    let (control, control_evicted) = session_with_span(1 << 40);
+    assert!(control.expansions >= 1, "control run never grew");
+    assert_eq!(control_evicted, 0);
+    assert_eq!(
+        control.contractions, 0,
+        "contraction fired without any drain (the hold-off gate is gone, \
+         so only eviction may arm it)"
+    );
+
+    // A real window drains state once the stream passes the span; the
+    // drain arms the trigger and the merge fires.
+    let (drained, drained_evicted) = session_with_span(2_000);
+    assert!(drained.expansions >= 1, "drained run never grew");
+    assert!(drained_evicted > 0, "the window never evicted");
+    assert_eq!(
+        drained.contractions, 1,
+        "genuine drain must arm the contraction"
+    );
+}

@@ -30,6 +30,8 @@ use crate::time::{SimDuration, SimTime};
 #[derive(Debug, Default)]
 pub struct SharedGauges {
     stored: Box<[AtomicU64]>,
+    evicted: Box<[AtomicU64]>,
+    occupancy: Box<[AtomicU64]>,
     data_processed: AtomicU64,
     next_sample_at: AtomicU64,
 }
@@ -39,6 +41,8 @@ impl SharedGauges {
     pub fn new(machines: usize) -> Arc<SharedGauges> {
         Arc::new(SharedGauges {
             stored: (0..machines).map(|_| AtomicU64::new(0)).collect(),
+            evicted: (0..machines).map(|_| AtomicU64::new(0)).collect(),
+            occupancy: (0..machines).map(|_| AtomicU64::new(0)).collect(),
             data_processed: AtomicU64::new(0),
             next_sample_at: AtomicU64::new(0),
         })
@@ -48,6 +52,18 @@ impl SharedGauges {
     #[inline]
     pub fn stored(&self, m: MachineId) -> u64 {
         self.stored[m.index()].load(Ordering::Relaxed)
+    }
+
+    /// Cumulative bytes evicted by windowed state expiry on machine `m`.
+    #[inline]
+    pub fn evicted(&self, m: MachineId) -> u64 {
+        self.evicted[m.index()].load(Ordering::Relaxed)
+    }
+
+    /// Stored tuple count (window occupancy) reported for machine `m`.
+    #[inline]
+    pub fn occupancy(&self, m: MachineId) -> u64 {
+        self.occupancy[m.index()].load(Ordering::Relaxed)
     }
 
     /// How many machines the gauge array covers.
@@ -95,6 +111,11 @@ pub struct MachineMetrics {
     pub peak_stored_bytes: u64,
     /// Bytes of state that live beyond the RAM budget (simulated spill).
     pub spilled_bytes: u64,
+    /// Cumulative bytes dropped by windowed state expiry (reported by
+    /// tasks; 0 unless a retention window is configured).
+    pub evicted_bytes: u64,
+    /// Stored tuple count — window occupancy (reported by tasks).
+    pub window_tuples: u64,
 }
 
 /// Global metric sink. Tasks may update the per-machine storage gauges via
@@ -175,6 +196,54 @@ impl Metrics {
         match &self.shared {
             Some(sh) => sh.stored(m),
             None => self.per_machine[m.index()].stored_bytes,
+        }
+    }
+
+    /// Record machine `m`'s cumulative evicted-byte total. A gauge of a
+    /// single-writer counter (the joiner owns it and reports its running
+    /// total), not an increment — so a restored session can carry a
+    /// checkpoint's base count through shard absorption unchanged.
+    pub fn set_evicted(&mut self, m: MachineId, total: u64) {
+        let mm = &mut self.per_machine[m.index()];
+        mm.evicted_bytes = mm.evicted_bytes.max(total);
+        if let Some(sh) = &self.shared {
+            sh.evicted[m.index()].store(mm.evicted_bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Cumulative evicted bytes for machine `m` — cluster-wide consistent
+    /// even on sharded backends (reads the shared overlay when one is
+    /// installed).
+    pub fn evicted_bytes_of(&self, m: MachineId) -> u64 {
+        match &self.shared {
+            Some(sh) => sh.evicted(m),
+            None => self.per_machine[m.index()].evicted_bytes,
+        }
+    }
+
+    /// Total bytes dropped by windowed eviction across the cluster — the
+    /// genuine-drain signal behind the elastic contraction trigger.
+    pub fn total_evicted_bytes(&self) -> u64 {
+        (0..self.per_machine.len())
+            .map(|i| self.evicted_bytes_of(MachineId(i)))
+            .sum()
+    }
+
+    /// Record that machine `m` currently stores `tuples` tuples (window
+    /// occupancy gauge).
+    pub fn set_window_tuples(&mut self, m: MachineId, tuples: u64) {
+        self.per_machine[m.index()].window_tuples = tuples;
+        if let Some(sh) = &self.shared {
+            sh.occupancy[m.index()].store(tuples, Ordering::Relaxed);
+        }
+    }
+
+    /// Window occupancy for machine `m` — overlay-aware like
+    /// [`stored_bytes_of`](Metrics::stored_bytes_of).
+    pub fn window_tuples_of(&self, m: MachineId) -> u64 {
+        match &self.shared {
+            Some(sh) => sh.occupancy(m),
+            None => self.per_machine[m.index()].window_tuples,
         }
     }
 
@@ -315,6 +384,9 @@ impl Metrics {
             mine.stored_bytes = mine.stored_bytes.max(theirs.stored_bytes);
             mine.peak_stored_bytes = mine.peak_stored_bytes.max(theirs.peak_stored_bytes);
             mine.spilled_bytes = mine.spilled_bytes.max(theirs.spilled_bytes);
+            // Single-writer per machine: the owning shard's value wins.
+            mine.evicted_bytes = mine.evicted_bytes.max(theirs.evicted_bytes);
+            mine.window_tuples = mine.window_tuples.max(theirs.window_tuples);
         }
         self.events += other.events;
         self.last_event_at = self.last_event_at.max(other.last_event_at);
