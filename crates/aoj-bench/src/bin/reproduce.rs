@@ -7,6 +7,7 @@
 //! cargo run --release -p aoj-bench --bin reproduce -- --backend threaded
 //! cargo run --release -p aoj-bench --bin reproduce -- elastic --smoke
 //! cargo run --release -p aoj-bench --bin reproduce -- wallclock --batch 1,64,256
+//! cargo run --release -p aoj-bench --bin reproduce -- --backend tcp wallclock --smoke
 //! ```
 //!
 //! Experiments: `table2`, `fig6a`..`fig6d`, `fig6`, `fig7a`..`fig7d`,
@@ -21,7 +22,10 @@
 //!
 //! `--backend threaded` selects the multi-threaded runtime, which hosts
 //! the wall-clock benchmark (`wallclock`) and the live `elastic` /
-//! `contract` scale-out and scale-in experiments; the paper-figure experiments are simulator-only
+//! `contract` scale-out and scale-in experiments; `--backend tcp`
+//! selects the multi-process TCP backend (`aoj-net`), which hosts the
+//! `wallclock` smoke point (the binary re-execs itself as the worker
+//! processes); the paper-figure experiments are simulator-only
 //! because their figures are defined in virtual time. `--smoke` shrinks
 //! the `elastic` workload (and the `wallclock` sweep) to a CI-sized run.
 //! `--batch N[,N...]` overrides the `wallclock` data-plane batch-size
@@ -34,6 +38,10 @@ use aoj_bench::experiments::{
 use aoj_operators::BackendChoice;
 
 fn main() {
+    // When this binary is re-exec'd by the TCP backend as a worker
+    // process, divert to the worker loop before anything else; in the
+    // coordinator role this returns immediately.
+    aoj_net::init_worker();
     let mut backend = "sim".to_string();
     let mut smoke = false;
     let mut batch_sweep: Vec<usize> = Vec::new();
@@ -44,7 +52,7 @@ fn main() {
             "--backend" => {
                 backend = args
                     .next()
-                    .unwrap_or_else(|| die("--backend needs a value: sim | threaded"));
+                    .unwrap_or_else(|| die("--backend needs a value: sim | threaded | tcp"));
             }
             other if other.starts_with("--backend=") => {
                 backend = other["--backend=".len()..].to_string();
@@ -65,8 +73,16 @@ fn main() {
     let backend_choice = match backend.as_str() {
         "sim" => BackendChoice::Sim,
         "threaded" => BackendChoice::Threaded,
-        other => die(&format!("unknown backend `{other}`; use sim | threaded")),
+        "tcp" => BackendChoice::Tcp,
+        other => die(&format!(
+            "unknown backend `{other}`; use sim | threaded | tcp"
+        )),
     };
+    if backend_choice == BackendChoice::Tcp {
+        // The process backend registers itself into the session layer;
+        // every tcp session opened below resolves through this factory.
+        aoj_net::install();
+    }
     let what = match backend_choice {
         BackendChoice::Sim => positional
             .first()
@@ -88,6 +104,18 @@ fn main() {
                 )),
             }
         }
+        BackendChoice::Tcp => {
+            // The TCP backend's bench surface is the wall-clock smoke
+            // point; the elastic/contract live experiments have their
+            // process-lifecycle coverage in the equivalence suite.
+            match positional.first().map(|s| s.as_str()) {
+                None | Some("wallclock") | Some("all") => "wallclock".to_string(),
+                Some(other) => die(&format!(
+                    "`--backend tcp` runs `wallclock` only; experiment `{other}` \
+                     is not wired to the process backend"
+                )),
+            }
+        }
     };
 
     if !batch_sweep.is_empty() && what != "wallclock" && what != "all" {
@@ -97,6 +125,14 @@ fn main() {
         ));
     }
 
+    // `wallclock` always measures a wall-clock backend against the
+    // simulator witness: tcp when asked for, the threaded runtime
+    // otherwise (including the default sim-backend `all` route).
+    let wallclock_backend = if backend_choice == BackendChoice::Tcp {
+        BackendChoice::Tcp
+    } else {
+        BackendChoice::Threaded
+    };
     let start = std::time::Instant::now();
     match what.as_str() {
         "table2" => table2::run_table2(),
@@ -121,7 +157,7 @@ fn main() {
         "ablation-elastic" => ablation::run_ablation_elastic(),
         "ablation-groups" => ablation::run_ablation_groups(),
         "ablations" => ablation::run_ablations(),
-        "wallclock" => wallclock::run_wallclock(&batch_sweep, smoke),
+        "wallclock" => wallclock::run_wallclock(wallclock_backend, &batch_sweep, smoke),
         "elastic" => elastic::run_elastic(backend_choice, smoke),
         "contract" => contract::run_contract(backend_choice, smoke),
         "lifecycle" => lifecycle::run_lifecycle(smoke),
@@ -131,7 +167,7 @@ fn main() {
             fig7::run_fig7();
             fig8::run_fig8();
             ablation::run_ablations();
-            wallclock::run_wallclock(&batch_sweep, smoke);
+            wallclock::run_wallclock(wallclock_backend, &batch_sweep, smoke);
             elastic::run_elastic(backend_choice, smoke);
             contract::run_contract(backend_choice, smoke);
             lifecycle::run_lifecycle(smoke);

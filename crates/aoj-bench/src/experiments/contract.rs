@@ -162,6 +162,7 @@ pub fn run_contract(backend: BackendChoice, smoke: bool) {
     let backend_label = match backend {
         BackendChoice::Sim => "sim",
         BackendChoice::Threaded => "threaded",
+        BackendChoice::Tcp => "tcp",
     };
     banner(&format!(
         "elastic contraction ({backend_label}{}): sawtooth J=1 -> 16 -> 1 vs static J=1",

@@ -141,6 +141,7 @@ pub fn run_elastic(backend: BackendChoice, smoke: bool) {
     let backend_label = match backend {
         BackendChoice::Sim => "sim",
         BackendChoice::Threaded => "threaded",
+        BackendChoice::Tcp => "tcp",
     };
     banner(&format!(
         "elastic scale-out ({backend_label}{}): start-at-capacity J={j_full} vs grow-from-small J={} -> {j_full}",

@@ -65,6 +65,7 @@ fn backend_label(backend: BackendChoice) -> &'static str {
     match backend {
         BackendChoice::Sim => "sim",
         BackendChoice::Threaded => "threaded",
+        BackendChoice::Tcp => "tcp",
     }
 }
 

@@ -28,6 +28,10 @@ use super::common::{banner, SEED};
 pub const DEFAULT_SWEEP: [usize; 4] = [1, 16, 64, 256];
 /// The CI smoke sweep: per-tuple baseline + the default batch size.
 pub const SMOKE_SWEEP: [usize; 2] = [1, 64];
+/// The TCP backend sweep: one entry at the default batch size. Every
+/// run pays `J + 1` process spawns and real socket traffic, so the
+/// sweep stays a smoke-sized sanity point rather than a full curve.
+pub const TCP_SWEEP: [usize; 1] = [64];
 
 /// Zipf-skewed band-join workload: `|r.key − s.key| ≤ 2` over a hot key
 /// head (z = 1, the paper's Z4 setting).
@@ -47,11 +51,12 @@ fn zipf_band_workload(nr: usize, ns: usize, key_space: u64, seed: u64) -> Worklo
     }
 }
 
-/// Median-of-`reps` threaded measurement (wall-clock throughput is
+/// Median-of-`reps` wall-clock measurement on `backend` (throughput is
 /// jittery — one run can swing ±15% on a loaded machine; the median of
 /// three is the standard stabiliser), plus one deterministic sim run.
-/// Every threaded repeat is verified against the sim multiset.
+/// Every wall-clock repeat is verified against the sim multiset.
 pub fn measure_pair(
+    backend: BackendChoice,
     j: u32,
     nr: usize,
     ns: usize,
@@ -74,18 +79,19 @@ pub fn measure_pair(
                 &arrivals,
                 &w.predicate,
                 w.name,
-                &cfg.clone().with_backend(BackendChoice::Threaded),
+                &cfg.clone().with_backend(backend),
             );
             assert_eq!(
                 r.match_pairs, sim.match_pairs,
-                "threaded and simulated join outputs diverged at batch_tuples={batch_tuples}"
+                "{} and simulated join outputs diverged at batch_tuples={batch_tuples}",
+                r.backend
             );
             r
         })
         .collect();
     runs.sort_by(|a, b| a.throughput.total_cmp(&b.throughput));
-    let threaded = runs.swap_remove(runs.len() / 2);
-    (threaded, sim)
+    let measured = runs.swap_remove(runs.len() / 2);
+    (measured, sim)
 }
 
 fn json_entry(batch: usize, r: &RunReport) -> String {
@@ -107,83 +113,148 @@ fn json_entry(batch: usize, r: &RunReport) -> String {
     )
 }
 
-/// The `reproduce wallclock [--smoke] [--batch N,...]` entry point:
-/// sweep the data-plane batch size on both backends and record the perf
-/// trajectory.
-pub fn run_wallclock(batch_sweep: &[usize], smoke: bool) {
+/// The `reproduce wallclock [--backend tcp] [--smoke] [--batch N,...]`
+/// entry point: sweep the data-plane batch size on the chosen
+/// wall-clock backend (threaded by default, multi-process TCP with
+/// `--backend tcp`) and record the perf trajectory. The simulator
+/// replays every point as the exactness witness.
+pub fn run_wallclock(backend: BackendChoice, batch_sweep: &[usize], smoke: bool) {
+    assert!(
+        matches!(backend, BackendChoice::Threaded | BackendChoice::Tcp),
+        "run_wallclock measures a wall-clock backend; the simulator is its witness"
+    );
+    let tcp = backend == BackendChoice::Tcp;
     let j = 4u32;
     let (nr, ns) = (2_000, 20_000);
     let sweep: Vec<usize> = if !batch_sweep.is_empty() {
         batch_sweep.to_vec()
+    } else if tcp {
+        TCP_SWEEP.to_vec()
     } else if smoke {
         SMOKE_SWEEP.to_vec()
     } else {
         DEFAULT_SWEEP.to_vec()
     };
     banner(&format!(
-        "wall-clock batch sweep: Dynamic, Zipf(z=1) band-join, J={j} ({} worker threads), batch sizes {sweep:?}",
-        j + 1
+        "wall-clock batch sweep: Dynamic, Zipf(z=1) band-join, J={j} ({}), batch sizes {sweep:?}",
+        if tcp {
+            format!("{} worker processes over loopback TCP", j + 1)
+        } else {
+            format!("{} worker threads", j + 1)
+        }
     ));
-    // Warm-up: the first threaded run pays cold caches and thread-spawn
-    // jitter, so throw away one threaded pass at the default batch size
-    // before measuring (no simulator replay, no verification — the
-    // measured pairs below do that).
+    // Warm-up: the first wall-clock run pays cold caches and
+    // thread/process-spawn jitter, so throw away one pass at the
+    // default batch size before measuring (no simulator replay, no
+    // verification — the measured pairs below do that).
     {
         let w = zipf_band_workload(nr, ns, 1_000, SEED);
         let arrivals = interleave(&w, SEED ^ 0x57AE);
         let cfg = RunConfig::new(j, OperatorKind::Dynamic)
             .with_batch_tuples(64)
-            .with_backend(BackendChoice::Threaded);
+            .with_backend(backend);
         let _ = run(&arrivals, &w.predicate, w.name, &cfg);
     }
 
     let mut entries: Vec<String> = Vec::new();
-    let mut default_batch_threaded: Option<f64> = None;
+    let mut default_batch_tps: Option<f64> = None;
     for &batch in &sweep {
-        let (threaded, sim) = measure_pair(j, nr, ns, batch, 3);
+        let (measured, sim) = measure_pair(backend, j, nr, ns, batch, 3);
         println!("  batch={batch}");
-        println!("    {}", threaded.wallclock_summary());
+        println!("    {}", measured.wallclock_summary());
         println!("    {}", sim.wallclock_summary());
         println!(
-            "    threaded: {:.0} tuples/s, p50={}us p99={}us, {} over {} messages",
-            threaded.throughput,
-            threaded.p50_latency_us,
-            threaded.p99_latency_us,
-            human_bytes(threaded.network_bytes),
-            threaded.network_messages,
+            "    {}: {:.0} tuples/s, p50={}us p99={}us, {} over {} messages",
+            measured.backend,
+            measured.throughput,
+            measured.p50_latency_us,
+            measured.p99_latency_us,
+            human_bytes(measured.network_bytes),
+            measured.network_messages,
         );
         if batch == 64 {
-            default_batch_threaded = Some(threaded.throughput);
+            default_batch_tps = Some(measured.throughput);
         }
-        entries.push(json_entry(batch, &threaded));
-        entries.push(json_entry(batch, &sim));
+        entries.push(json_entry(batch, &measured));
+        // The committed sim curve comes from the threaded sweep; a TCP
+        // run uses the simulator purely as its exactness witness.
+        if !tcp {
+            entries.push(json_entry(batch, &sim));
+        }
     }
-    if let Some(tps) = default_batch_threaded {
-        println!(
-            "  default batch (64): {tps:.0} tuples/s wall-clock \
-             (PR 2 per-tuple baseline: ~216k tuples/s)"
-        );
+    if let Some(tps) = default_batch_tps {
+        if tcp {
+            println!("  default batch (64): {tps:.0} tuples/s wall-clock over loopback TCP");
+        } else {
+            println!(
+                "  default batch (64): {tps:.0} tuples/s wall-clock \
+                 (PR 2 per-tuple baseline: ~216k tuples/s)"
+            );
+        }
     }
-    println!("  verified: threaded and sim multisets identical at every batch size");
+    println!(
+        "  verified: {} and sim multisets identical at every batch size",
+        if tcp { "tcp" } else { "threaded" }
+    );
 
+    // Smoke runs (CI, quick local checks) write to a side file so they
+    // never clobber the committed full-sweep baseline the CI regression
+    // gate compares against; the TCP smoke gets its own file so the two
+    // wall-clock smoke steps can upload both. Full runs merge into the
+    // baseline, preserving the entries of backends not re-measured.
+    let (path, final_entries) = if smoke {
+        let path = if tcp {
+            "BENCH_wallclock_tcp_smoke.json"
+        } else {
+            "BENCH_wallclock_smoke.json"
+        };
+        (path, entries)
+    } else {
+        let replaced: &[&str] = if tcp { &["tcp"] } else { &["threaded", "sim"] };
+        let mut kept = kept_baseline_entries("BENCH_wallclock.json", replaced);
+        kept.extend(entries);
+        ("BENCH_wallclock.json", kept)
+    };
     let json = format!(
         "{{\"experiment\":\"wallclock\",\"smoke\":{},\"workload\":\"zipf-band\",\"j\":{},\
          \"input_tuples\":{},\"runs\":[{}]}}\n",
         smoke,
         j,
         nr + ns,
-        entries.join(",")
+        final_entries.join(",")
     );
-    // Smoke runs (CI, quick local checks) write to a side file so they
-    // never clobber the committed full-sweep baseline the CI regression
-    // gate compares against.
-    let path = if smoke {
-        "BENCH_wallclock_smoke.json"
-    } else {
-        "BENCH_wallclock.json"
-    };
     match std::fs::write(path, &json) {
         Ok(()) => println!("  wrote {path}"),
         Err(e) => eprintln!("  could not write {path}: {e}"),
     }
+}
+
+/// Baseline entries for backends this run did *not* re-measure: a
+/// `--backend tcp` sweep must not clobber the committed threaded/sim
+/// curve, and a threaded sweep must not drop the tcp point. The file is
+/// this module's own single-line output — flat objects, no nesting — so
+/// splitting on the object boundary is exact.
+fn kept_baseline_entries(path: &str, replaced: &[&str]) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Some(start) = text.find("\"runs\":[") else {
+        return Vec::new();
+    };
+    let body = &text[start + "\"runs\":[".len()..];
+    let Some(end) = body.rfind(']') else {
+        return Vec::new();
+    };
+    if body[..end].trim().is_empty() {
+        return Vec::new();
+    }
+    body[..end]
+        .split("},{")
+        .map(|e| format!("{{{}}}", e.trim_matches(|c| c == '{' || c == '}')))
+        .filter(|e| {
+            !replaced
+                .iter()
+                .any(|b| e.contains(&format!("\"backend\":\"{b}\"")))
+        })
+        .collect()
 }

@@ -44,7 +44,7 @@ pub use epoch::{DataOutcome, Epoch, EpochJoiner, FinalizeSummary, SignalOutcome}
 pub use ilf::{ilf, optimal_ilf, optimal_mapping};
 pub use index::{JoinIndex, ProbeStats, VecIndex};
 pub use lifecycle::{
-    Checkpoint, EvictStats, JoinerCheckpoint, WindowMode, WindowOccupancy, WindowSpec,
+    Checkpoint, EvictStats, JoinerCheckpoint, TickSource, WindowMode, WindowOccupancy, WindowSpec,
     WindowTracker,
 };
 pub use mapping::{GridAssignment, GridPos, Mapping, Step};

@@ -72,6 +72,21 @@ pub enum WindowMode {
     Time,
 }
 
+/// Where a time window's clock ticks come from (ignored by count
+/// windows, whose ticks are sequence numbers by definition).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TickSource {
+    /// The backend clock at the joiner: wall-clock microseconds on the
+    /// threaded/network backends, virtual microseconds on the simulator.
+    Arrival,
+    /// Real **event time** carried in the tuple's `aux` column,
+    /// interpreted as microseconds (negative values clamp to zero). The
+    /// stream decides how old a tuple is, not the machine that happens
+    /// to process it — the sound notion when replaying historical data
+    /// or when ingest lags the source.
+    AuxEventTime,
+}
+
 /// A per-joiner retention window, partitioned into sub-windows.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WindowSpec {
@@ -83,6 +98,9 @@ pub struct WindowSpec {
     /// Number of sub-windows the span is partitioned into; eviction
     /// granularity is `span / sub_windows`. At least 1.
     pub sub_windows: u32,
+    /// Tick extractor for time windows: backend arrival clock (the
+    /// default) or event time from the tuple `aux` column.
+    pub ticks: TickSource,
 }
 
 /// Default sub-window partitioning (PanJoin uses a small constant).
@@ -95,6 +113,7 @@ impl WindowSpec {
             mode: WindowMode::Count,
             span: tuples.max(1),
             sub_windows: DEFAULT_SUB_WINDOWS,
+            ticks: TickSource::Arrival,
         }
     }
 
@@ -104,13 +123,39 @@ impl WindowSpec {
             mode: WindowMode::Time,
             span: micros.max(1),
             sub_windows: DEFAULT_SUB_WINDOWS,
+            ticks: TickSource::Arrival,
         }
+    }
+
+    /// A time window over the last `micros` microseconds of **event
+    /// time**, read from the tuple `aux` column
+    /// ([`TickSource::AuxEventTime`]).
+    pub fn time_event_aux(micros: u64) -> WindowSpec {
+        WindowSpec::time_micros(micros).with_aux_event_time()
     }
 
     /// Override the sub-window count (clamped to at least 1).
     pub fn with_sub_windows(mut self, n: u32) -> WindowSpec {
         self.sub_windows = n.max(1);
         self
+    }
+
+    /// Switch a time window's clock to event time from the tuple `aux`
+    /// column. Count windows ignore the tick source.
+    pub fn with_aux_event_time(mut self) -> WindowSpec {
+        self.ticks = TickSource::AuxEventTime;
+        self
+    }
+
+    /// The window tick for a tuple per this spec's extractor: the
+    /// backend arrival clock, or the `aux` column as event-time
+    /// microseconds (clamped at zero).
+    #[inline]
+    pub fn tick_of(&self, arrival_us: u64, aux: i32) -> u64 {
+        match self.ticks {
+            TickSource::Arrival => arrival_us,
+            TickSource::AuxEventTime => aux.max(0) as u64,
+        }
     }
 
     /// The span of one sub-window in the window's tick unit.
@@ -675,6 +720,28 @@ mod tests {
         // hi_tick < 8900 have seq <= ~88.
         assert!(bound > 0, "time window never evicted");
         assert!(bound <= 90, "evicted inside the window");
+    }
+
+    #[test]
+    fn aux_event_time_extractor_drives_time_windows() {
+        let spec = WindowSpec::time_event_aux(1000).with_sub_windows(4);
+        assert_eq!(spec.mode, WindowMode::Time);
+        assert_eq!(spec.ticks, TickSource::AuxEventTime);
+        // The extractor ignores the arrival clock and reads `aux`
+        // (negative event times clamp to zero, never panic).
+        assert_eq!(spec.tick_of(77, 4200), 4200);
+        assert_eq!(spec.tick_of(77, -5), 0);
+        assert_eq!(WindowSpec::time_micros(1000).tick_of(77, 4200), 77);
+        // Driving a tracker with aux ticks: stalled arrival time, fast
+        // event time — eviction follows the event clock.
+        let mut w = WindowTracker::new(spec);
+        for i in 0..100u64 {
+            let tick = spec.tick_of(0, (i * 100) as i32);
+            w.observe(i, tick);
+        }
+        let bound = w.evict_bound();
+        assert!(bound > 0, "event-time window never evicted");
+        assert!(bound <= 90, "evicted inside the event-time window");
     }
 
     #[test]

@@ -1,0 +1,878 @@
+//! The coordinator: an [`ExecBackend`] whose machines are OS processes.
+//!
+//! [`TcpBackend`] records the session topology like any backend, but
+//! `run()` does not execute the joiner machines in-process. Instead it
+//!
+//! * self-executes one **worker process** per eager machine (deferred
+//!   elastic slots stay unspawned until an `Effect::Provision` fires at
+//!   expansion trigger time — trigger-time provisioning as real process
+//!   spawns);
+//! * runs the **source machine's** node itself, so ingest pushes flow
+//!   from the session straight into the data plane;
+//! * services the **control plane**: plan handshakes, quiescence
+//!   probes, gauge samples (fed into the session's [`SharedGauges`] and
+//!   relayed to the controller's machine), match streams (re-emitted
+//!   into the session's [`MatchHub`]), and the retirement drain
+//!   barrier;
+//! * detects cluster quiescence with a **double probe**: two
+//!   consecutive probe rounds with identical per-node counters and
+//!   cluster-wide created = finished mean nothing is running and
+//!   nothing is in flight — the distributed analogue of the threaded
+//!   runtime's idle tracking;
+//! * installs each worker's **finals** (joiner counters, match logs,
+//!   controller event log, metrics shard) into the parked receptacle
+//!   tasks recorded at build time, so the session's collect phase reads
+//!   the same task objects it would on any other backend;
+//! * **reaps** every worker with `Child::wait` and records the exit in
+//!   the run summary — a retired machine's process is waitpid-confirmed
+//!   gone, not just disconnected.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use aoj_operators::joiner_task::{JoinerTask, LatencyStats};
+use aoj_operators::messages::OpMsg;
+use aoj_operators::reshuffler::ReshufflerTask;
+use aoj_operators::shj::ShjJoiner;
+use aoj_operators::{MatchHub, NetBackend, SessionBuilder};
+use aoj_runtime::mailbox::Mailbox;
+use aoj_runtime::RuntimeConfig;
+use aoj_simnet::{
+    ExecBackend, MachineId, Metrics, NetworkConfig, Process, SharedGauges, SimDuration, SimTime,
+    TaskId,
+};
+
+use crate::node::{
+    run_machine_loop, spawn_acceptor, Clock, ControlOut, Counters, Directory, EosGate, Lifecycle,
+    NodeShared, TopoRecorder, Writers,
+};
+use crate::wire::{
+    self, read_frame, DrainDone, Exiting, FinalsBundle, GaugeRelay, GaugeSample, Hello, MachineUp,
+    Plan, ProbeAck, Ready, K_DRAIN_DONE, K_DRAIN_FOR, K_EXITING, K_FINALS, K_GAUGES, K_GAUGE_RELAY,
+    K_HELLO, K_MACHINE_UP, K_MATCH_BATCH, K_PLAN, K_PROBE, K_PROBE_ACK, K_PROVISION_REQ, K_READY,
+    K_RETIRE_NOW, K_RETIRE_REQ, K_SHUTDOWN, WIRE_VERSION,
+};
+use crate::worker::{clone_assign, ENV_COORD, ENV_GEN, ENV_MACHINE, ENV_WORKER};
+use crate::{ReapRecord, RunSummary};
+
+/// The per-machine control links, shared between the reactor and the
+/// acceptor's handshake threads.
+type ControlLinks = Mutex<HashMap<usize, Arc<ControlOut>>>;
+
+/// Shape of the reactor's control-frame sender (see `send_to` in
+/// `run_cluster`).
+type SendFn = dyn Fn(&ControlLinks, usize, u8, &[u8]);
+
+/// How often the coordinator launches a quiescence probe round.
+const PROBE_PERIOD: Duration = Duration::from_millis(2);
+
+/// The multi-process TCP execution backend (see the module docs).
+pub struct TcpBackend {
+    topo: TopoRecorder,
+    /// The canonical plan bytes every worker receives.
+    builder_bytes: Vec<u8>,
+    /// The plan fingerprint workers must echo in `Ready`.
+    fingerprint: u64,
+    /// The coordinator's own decoded copy of the plan (mailbox sizing,
+    /// idle-poll interval) — decoded from `builder_bytes`, so the
+    /// coordinator and its workers provably configure from the same
+    /// bits.
+    builder: SessionBuilder,
+    hub: Arc<MatchHub>,
+    gauges: Option<Arc<SharedGauges>>,
+    /// Machine-count bookkeeping frozen at the end of `run()`.
+    final_provisioned: Option<usize>,
+    final_peak: Option<usize>,
+}
+
+impl TcpBackend {
+    /// The factory registered with
+    /// `aoj_operators::register_tcp_backend` (see [`crate::install`]).
+    ///
+    /// # Panics
+    ///
+    /// If the builder carries a [`aoj_core::predicate::Predicate::Theta`]
+    /// closure — arbitrary native closures cannot cross a process
+    /// boundary; use a named predicate on this backend.
+    pub fn factory(builder: &SessionBuilder, hub: Arc<MatchHub>) -> Box<dyn NetBackend> {
+        let builder_bytes = wire::encode_builder(builder);
+        let fingerprint = wire::fingerprint(&builder_bytes);
+        let builder = wire::decode_builder(&builder_bytes).expect("session plan round-trip");
+        Box::new(TcpBackend {
+            topo: TopoRecorder::default(),
+            builder_bytes,
+            fingerprint,
+            builder,
+            hub,
+            gauges: None,
+            final_provisioned: None,
+            final_peak: None,
+        })
+    }
+}
+
+/// One event on the coordinator's single-threaded reactor.
+enum Ev {
+    /// A control frame from worker `machine`.
+    Frame {
+        machine: usize,
+        kind: u8,
+        payload: Vec<u8>,
+    },
+    /// A lifecycle effect surfaced by the coordinator's own node.
+    Local(Lifecycle),
+    /// Worker `machine`'s control connection dropped.
+    Gone { machine: usize },
+}
+
+/// A serialized lifecycle operation.
+enum Op {
+    /// Spawn `machine`'s worker process; completes on its `Ready`.
+    Provision { machine: usize },
+    /// Drain-barrier teardown of `machine`; completes when its process
+    /// has exited and been reaped.
+    Retire {
+        machine: usize,
+        /// Workers whose `DrainDone` is still outstanding.
+        pending: HashSet<usize>,
+    },
+}
+
+/// An in-flight probe round.
+struct Probe {
+    nonce: u64,
+    pending: HashSet<usize>,
+    /// `(machine, created, finished)` acks collected so far.
+    acc: Vec<(usize, u64, u64)>,
+    /// The coordinator node's own snapshot, taken at round start.
+    own: (u64, u64),
+}
+
+impl ExecBackend<OpMsg> for TcpBackend {
+    fn backend_name(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn add_machine(&mut self) -> MachineId {
+        self.topo.add_machine()
+    }
+
+    fn add_machine_with_network(&mut self, network: NetworkConfig) -> MachineId {
+        self.topo.add_machine_with_network(network)
+    }
+
+    fn add_deferred_machine(&mut self) -> MachineId {
+        self.topo.add_deferred_machine()
+    }
+
+    fn provisioned_machines(&self) -> usize {
+        self.final_provisioned
+            .unwrap_or_else(|| self.topo.provisioned_machines())
+    }
+
+    fn peak_provisioned_machines(&self) -> usize {
+        self.final_peak
+            .unwrap_or_else(|| self.topo.provisioned_machines())
+    }
+
+    fn add_task(&mut self, machine: MachineId, task: Box<dyn Process<OpMsg> + Send>) -> TaskId {
+        self.topo.add_task(machine, task)
+    }
+
+    fn start_timer_at(&mut self, at: SimTime, task: TaskId, key: u64) {
+        self.topo.start_timer_at(at, task, key)
+    }
+
+    fn metrics(&self) -> &Metrics {
+        self.topo.metrics()
+    }
+
+    fn has_global_metrics_view(&self) -> bool {
+        // Handler-side cluster-wide gauge reads see the relayed overlay:
+        // a few milliseconds stale, not the simulator's exact global
+        // view. Collection phases that need exactness skip them.
+        false
+    }
+
+    fn metrics_mut(&mut self) -> &mut Metrics {
+        self.topo.metrics_mut()
+    }
+
+    fn run(&mut self) -> SimTime {
+        self.run_cluster()
+    }
+
+    fn task_any(&self, id: TaskId) -> &dyn std::any::Any {
+        self.topo.task_any(id)
+    }
+}
+
+impl NetBackend for TcpBackend {
+    fn session_gauges(&mut self) -> Arc<SharedGauges> {
+        if self.gauges.is_none() {
+            let g = SharedGauges::new(self.topo.deferred.len());
+            // Post-run metric reads (stored/evicted/window per machine)
+            // go through the overlay, which the workers' final gauge
+            // frames make authoritative.
+            self.topo.metrics.install_shared(Arc::clone(&g));
+            self.gauges = Some(g);
+        }
+        Arc::clone(self.gauges.as_ref().unwrap())
+    }
+}
+
+impl TcpBackend {
+    fn run_cluster(&mut self) -> SimTime {
+        let machines = self.topo.deferred.len();
+        assert!(machines >= 2, "a session has at least one joiner machine");
+        let source_machine = self
+            .topo
+            .networked_machine()
+            .expect("the driver registers the source machine with a network config");
+        assert_eq!(
+            source_machine,
+            machines - 1,
+            "the source machine is registered last"
+        );
+        let gauges = self.session_gauges();
+        let clock = Clock::new(0);
+
+        // ---- control plane listener -----------------------------------
+        let control_listener =
+            TcpListener::bind("127.0.0.1:0").expect("bind coordinator control port");
+        let coord_addr = format!(
+            "127.0.0.1:{}",
+            control_listener.local_addr().unwrap().port()
+        );
+        let (tx, rx) = mpsc::channel::<Ev>();
+        let links: Arc<ControlLinks> = Arc::new(Mutex::new(HashMap::new()));
+        let accept_done = Arc::new(AtomicBool::new(false));
+        spawn_control_acceptor(
+            control_listener,
+            tx.clone(),
+            Arc::clone(&links),
+            Arc::clone(&accept_done),
+            Plan {
+                version: WIRE_VERSION,
+                fingerprint: self.fingerprint,
+                machines: machines as u64,
+                source_machine: source_machine as u64,
+                clock_anchor_us: 0, // rewritten per handshake
+                builder: self.builder_bytes.clone(),
+            },
+            clock,
+        );
+
+        // ---- the coordinator's own node (the source machine) ----------
+        let rt_defaults = RuntimeConfig::default();
+        let mut data_cap = rt_defaults.data_queue_capacity;
+        if self.builder.source.window_copies > 0 {
+            data_cap = data_cap.max(4 * self.builder.source.window_copies as usize);
+        }
+        let mailbox = Arc::new(Mailbox::<OpMsg>::new(
+            data_cap,
+            rt_defaults.migration_weight,
+        ));
+        let done = Arc::new(AtomicBool::new(false));
+        let directory = Directory::new();
+        let writers = Writers::new(Arc::clone(&directory), source_machine, 0);
+        let eos = EosGate::new();
+        let counters = Arc::new(Counters::default());
+        let data_listener = TcpListener::bind("127.0.0.1:0").expect("bind coordinator data port");
+        let own_port = data_listener.local_addr().unwrap().port();
+        spawn_acceptor(
+            data_listener,
+            Arc::clone(&mailbox),
+            Arc::clone(&done),
+            Arc::clone(&eos),
+        );
+
+        let own_tasks = self.topo.take_machine_tasks(source_machine);
+        let task_machine = Arc::new(self.topo.task_machine());
+        let mut own_shard = Metrics::default();
+        for _ in 0..machines {
+            own_shard.add_machine();
+        }
+        own_shard.sample_spacing = self.topo.metrics.sample_spacing;
+        for &(at_us, task, key) in &self.topo.timers {
+            if task_machine[task.index()] == source_machine {
+                counters.created.fetch_add(1, Ordering::AcqRel);
+                mailbox.push_timer(at_us, task, key);
+            }
+        }
+        let loop_handle = {
+            let shared = NodeShared {
+                machine: source_machine,
+                mailbox: Arc::clone(&mailbox),
+                done: Arc::clone(&done),
+                clock,
+                counters: Arc::clone(&counters),
+                writers: Arc::clone(&writers),
+                task_machine,
+            };
+            let tx = tx.clone();
+            let drain_batch = rt_defaults.drain_batch;
+            std::thread::Builder::new()
+                .name("aoj-net-coord-node".into())
+                .spawn(move || {
+                    let lifecycle = move |ev: Lifecycle| {
+                        tx.send(Ev::Local(ev)).expect("coordinator reactor gone");
+                    };
+                    run_machine_loop(&shared, own_tasks, own_shard, drain_batch, &lifecycle)
+                })
+                .expect("spawn coordinator node")
+        };
+
+        // ---- spawn eager workers --------------------------------------
+        let mut children: HashMap<usize, Child> = HashMap::new();
+        let mut gens: HashMap<usize, u32> = HashMap::new();
+        let mut awaiting_ready: HashSet<usize> = HashSet::new();
+        let mut spawned = 0u64;
+        let mut provisioned = self.topo.provisioned_machines();
+        let mut peak = provisioned;
+        for m in 0..machines - 1 {
+            if !self.topo.deferred[m] {
+                spawn_worker(&mut children, &coord_addr, m, 0);
+                gens.insert(m, 0);
+                awaiting_ready.insert(m);
+                spawned += 1;
+            }
+        }
+
+        // ---- the reactor ----------------------------------------------
+        let mut live: BTreeMap<usize, u32> = BTreeMap::new();
+        let mut busy: Option<Op> = None;
+        let mut queue: VecDeque<Op> = VecDeque::new();
+        let mut eos_to: HashMap<usize, u64> = HashMap::new();
+        let mut retired_sums = (0u64, 0u64);
+        let mut data_proc: HashMap<(usize, u32), u64> = HashMap::new();
+        let mut reaped: Vec<ReapRecord> = Vec::new();
+        let mut probe: Option<Probe> = None;
+        let mut last_round: Option<Vec<(usize, u64, u64)>> = None;
+        let mut nonce = 0u64;
+        let mut last_probe = Instant::now();
+        let mut shutting_down = false;
+
+        let send_to = |links: &ControlLinks, m: usize, kind: u8, payload: &[u8]| {
+            let link = links.lock().unwrap().get(&m).cloned();
+            link.unwrap_or_else(|| panic!("no control link to machine {m}"))
+                .send(kind, payload);
+        };
+
+        loop {
+            // Start a queued lifecycle op once the current one finished.
+            if busy.is_none() {
+                if let Some(op) = queue.pop_front() {
+                    match op {
+                        Op::Provision { machine } => {
+                            let gen = gens.get(&machine).map(|g| g + 1).unwrap_or(0);
+                            gens.insert(machine, gen);
+                            // A fresh process, a fresh end-of-stream gate.
+                            eos_to.insert(machine, 0);
+                            spawn_worker(&mut children, &coord_addr, machine, gen);
+                            awaiting_ready.insert(machine);
+                            spawned += 1;
+                            busy = Some(Op::Provision { machine });
+                        }
+                        Op::Retire { machine, .. } => {
+                            // Quiesce barrier: every peer (the coordinator
+                            // included) flushes and closes its channels
+                            // toward the retiree; each close ends in an
+                            // EOS marker the retiree will count.
+                            directory.set_retiring(machine);
+                            let own_closed = writers.close_to(machine);
+                            *eos_to.entry(machine).or_insert(0) += own_closed as u64;
+                            let targets: HashSet<usize> =
+                                live.keys().copied().filter(|&w| w != machine).collect();
+                            for &w in &targets {
+                                send_to(&links, w, K_DRAIN_FOR, &wire::enc_u64(machine as u64));
+                            }
+                            if targets.is_empty() {
+                                send_to(
+                                    &links,
+                                    machine,
+                                    K_RETIRE_NOW,
+                                    &wire::enc_u64(eos_to[&machine]),
+                                );
+                            }
+                            busy = Some(Op::Retire {
+                                machine,
+                                pending: targets,
+                            });
+                        }
+                    }
+                }
+            }
+
+            // Periodic quiescence probe, skipped while topology is in
+            // motion (a probe during a spawn or drain would read a
+            // cluster that is legitimately mid-flight).
+            let idle_topology = busy.is_none()
+                && queue.is_empty()
+                && awaiting_ready.is_empty()
+                && probe.is_none()
+                && !shutting_down;
+            if idle_topology && last_probe.elapsed() >= PROBE_PERIOD {
+                last_probe = Instant::now();
+                nonce += 1;
+                let pending: HashSet<usize> = live.keys().copied().collect();
+                for &w in &pending {
+                    send_to(&links, w, K_PROBE, &wire::enc_u64(nonce));
+                }
+                probe = Some(Probe {
+                    nonce,
+                    pending,
+                    acc: Vec::new(),
+                    own: counters.snapshot(),
+                });
+            }
+
+            let ev = match rx.recv_timeout(PROBE_PERIOD) {
+                Ok(ev) => ev,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("the coordinator holds a sender")
+                }
+            };
+            match ev {
+                Ev::Local(Lifecycle::Provision(m)) => queue.push_back(Op::Provision { machine: m }),
+                Ev::Local(Lifecycle::Retire(m)) => queue.push_back(Op::Retire {
+                    machine: m,
+                    pending: HashSet::new(),
+                }),
+                Ev::Local(Lifecycle::Stopped) => {}
+                Ev::Gone { machine } => {
+                    assert!(
+                        !live.contains_key(&machine),
+                        "worker {machine} dropped its control connection mid-session"
+                    );
+                }
+                Ev::Frame {
+                    machine,
+                    kind,
+                    payload,
+                } => match kind {
+                    K_READY => {
+                        let ready = Ready::dec(&payload).expect("ready frame");
+                        assert_eq!(
+                            ready.fingerprint, self.fingerprint,
+                            "worker {machine} rebuilt a different plan"
+                        );
+                        let gen = ready.gen;
+                        // Introduce the newcomer to the cluster: it gets
+                        // the full current directory (coordinator
+                        // included); everyone else learns its port.
+                        directory.set_live(machine, gen, ready.data_port);
+                        let up = MachineUp {
+                            machine: machine as u64,
+                            gen,
+                            port: ready.data_port,
+                        }
+                        .enc();
+                        for (&w, _) in live.iter() {
+                            send_to(&links, w, K_MACHINE_UP, &up);
+                        }
+                        send_to(
+                            &links,
+                            machine,
+                            K_MACHINE_UP,
+                            &MachineUp {
+                                machine: source_machine as u64,
+                                gen: 0,
+                                port: own_port,
+                            }
+                            .enc(),
+                        );
+                        for (&w, &wgen) in live.iter() {
+                            let (_, port) = directory.wait_live(w);
+                            send_to(
+                                &links,
+                                machine,
+                                K_MACHINE_UP,
+                                &MachineUp {
+                                    machine: w as u64,
+                                    gen: wgen,
+                                    port,
+                                }
+                                .enc(),
+                            );
+                        }
+                        live.insert(machine, gen);
+                        awaiting_ready.remove(&machine);
+                        if matches!(busy, Some(Op::Provision { machine: m }) if m == machine) {
+                            busy = None;
+                            provisioned += 1;
+                            peak = peak.max(provisioned);
+                        }
+                    }
+                    K_PROBE_ACK => {
+                        let ack = ProbeAck::dec(&payload).expect("probe ack");
+                        if let Some(p) = probe.as_mut() {
+                            if ack.nonce == p.nonce && p.pending.remove(&machine) {
+                                p.acc.push((machine, ack.created, ack.finished));
+                                if p.pending.is_empty() {
+                                    let p = probe.take().unwrap();
+                                    let mut round = p.acc;
+                                    round.sort_unstable();
+                                    round.push((usize::MAX, p.own.0, p.own.1));
+                                    round.push((usize::MAX, retired_sums.0, retired_sums.1));
+                                    let created: u64 = round.iter().map(|r| r.1).sum();
+                                    let finished: u64 = round.iter().map(|r| r.2).sum();
+                                    if created == finished && last_round.as_ref() == Some(&round) {
+                                        // Second identical all-settled
+                                        // round: the cluster is done.
+                                        shutting_down = true;
+                                        let flushed = writers.close_all();
+                                        for (dest, n) in flushed {
+                                            *eos_to.entry(dest).or_insert(0) += n as u64;
+                                        }
+                                        for (&w, _) in live.iter() {
+                                            send_to(&links, w, K_SHUTDOWN, &[]);
+                                        }
+                                    } else {
+                                        last_round = Some(round);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    K_GAUGES => {
+                        let g = GaugeSample::dec(&payload).expect("gauge sample");
+                        let m = MachineId(g.machine as usize);
+                        gauges.set_stored(m, g.stored);
+                        gauges.set_evicted(m, g.evicted);
+                        gauges.set_occupancy(m, g.occupancy);
+                        let gen = live.get(&machine).copied().unwrap_or(0);
+                        data_proc.insert((machine, gen), g.data_processed);
+                        gauges.set_data_processed(data_proc.values().sum());
+                        // The controller machine needs the cluster view.
+                        // (Not during shutdown: worker 0 may already have
+                        // closed its control socket by the time a peer's
+                        // last sample drains from the reactor queue.)
+                        if machine != 0 && live.contains_key(&0) && !shutting_down {
+                            send_to(
+                                &links,
+                                0,
+                                K_GAUGE_RELAY,
+                                &GaugeRelay {
+                                    origin: g.machine,
+                                    stored: g.stored,
+                                    evicted: g.evicted,
+                                    occupancy: g.occupancy,
+                                }
+                                .enc(),
+                            );
+                        }
+                    }
+                    K_MATCH_BATCH => {
+                        for m in wire::dec_match_batch(&payload).expect("match batch") {
+                            self.hub.emit(m);
+                        }
+                    }
+                    K_PROVISION_REQ => {
+                        let m = wire::dec_u64(&payload).expect("provision req") as usize;
+                        queue.push_back(Op::Provision { machine: m });
+                    }
+                    K_RETIRE_REQ => {
+                        let m = wire::dec_u64(&payload).expect("retire req") as usize;
+                        queue.push_back(Op::Retire {
+                            machine: m,
+                            pending: HashSet::new(),
+                        });
+                    }
+                    K_DRAIN_DONE => handle_drain_done(
+                        &payload,
+                        machine,
+                        &mut busy,
+                        &mut eos_to,
+                        &links,
+                        &send_to,
+                    ),
+                    K_FINALS => {
+                        let bundle = FinalsBundle::dec(&payload).expect("finals bundle");
+                        install_finals(&mut self.topo, &bundle);
+                    }
+                    K_EXITING => {
+                        let e = Exiting::dec(&payload).expect("exiting frame");
+                        retired_sums.0 += e.created;
+                        retired_sums.1 += e.finished;
+                        for &(dest, n) in &e.closed {
+                            *eos_to.entry(dest as usize).or_insert(0) += n as u64;
+                        }
+                        live.remove(&machine);
+                        links.lock().unwrap().remove(&machine);
+                        let mut child = children
+                            .remove(&machine)
+                            .unwrap_or_else(|| panic!("no child for machine {machine}"));
+                        let status = child.wait().expect("waitpid on worker");
+                        reaped.push(ReapRecord {
+                            machine,
+                            gen: e.gen,
+                            exit_code: status.code(),
+                            mid_run: !shutting_down,
+                        });
+                        assert!(
+                            status.success(),
+                            "worker {machine} (gen {}) exited with {status}",
+                            e.gen
+                        );
+                        if !shutting_down {
+                            // A mid-run retirement completes here: the
+                            // process is confirmed gone.
+                            provisioned -= 1;
+                            assert!(
+                                matches!(busy, Some(Op::Retire { machine: m, .. }) if m == machine),
+                                "unexpected mid-run exit of worker {machine}"
+                            );
+                            busy = None;
+                        }
+                    }
+                    other => panic!("unexpected control frame kind {other} from worker {machine}"),
+                },
+            }
+
+            if shutting_down && live.is_empty() && children.is_empty() {
+                break;
+            }
+        }
+
+        // ---- teardown -------------------------------------------------
+        accept_done.store(true, Ordering::SeqCst);
+        done.store(true, Ordering::SeqCst);
+        mailbox.wake_all();
+        let (shard, tasks) = loop_handle.join().expect("coordinator node panicked");
+        self.topo.restore_tasks(tasks);
+        self.topo.metrics.absorb(&shard);
+        let end = SimTime(clock.now_us());
+        self.final_provisioned = Some(provisioned);
+        self.final_peak = Some(peak);
+        crate::record_run(RunSummary {
+            spawned,
+            peak_provisioned: peak,
+            reaped,
+        });
+        end
+    }
+}
+
+/// Dispatch helper for `DrainDone` (kept out of the giant match for
+/// borrow clarity): fold the closed-count into the retiree's
+/// end-of-stream tally and fire `RetireNow` once every peer reported.
+fn handle_drain_done(
+    payload: &[u8],
+    from: usize,
+    busy: &mut Option<Op>,
+    eos_to: &mut HashMap<usize, u64>,
+    links: &ControlLinks,
+    send_to: &SendFn,
+) {
+    let dd = DrainDone::dec(payload).expect("drain done");
+    let target = dd.machine as usize;
+    *eos_to.entry(target).or_insert(0) += dd.closed as u64;
+    match busy {
+        Some(Op::Retire { machine, pending }) if *machine == target => {
+            pending.remove(&from);
+            if pending.is_empty() {
+                send_to(links, target, K_RETIRE_NOW, &wire::enc_u64(eos_to[&target]));
+            }
+        }
+        _ => panic!("DrainDone for machine {target} outside its retire op"),
+    }
+}
+
+/// Accept control connections, run the plan handshake on each, and pump
+/// subsequent frames into the reactor.
+fn spawn_control_acceptor(
+    listener: TcpListener,
+    tx: mpsc::Sender<Ev>,
+    links: Arc<ControlLinks>,
+    done: Arc<AtomicBool>,
+    plan_template: Plan,
+    clock: Clock,
+) {
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+    std::thread::Builder::new()
+        .name("aoj-net-ctrl-accept".into())
+        .spawn(move || loop {
+            if done.load(Ordering::Relaxed) {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false).expect("blocking conn");
+                    stream.set_nodelay(true).ok();
+                    let tx = tx.clone();
+                    let links = Arc::clone(&links);
+                    let mut plan = plan_template.clone();
+                    std::thread::Builder::new()
+                        .name("aoj-net-ctrl-rx".into())
+                        .spawn(move || {
+                            let mut read = stream.try_clone().expect("clone control stream");
+                            let hello = match read_frame(&mut read) {
+                                Ok((K_HELLO, p)) => Hello::dec(&p).expect("hello frame"),
+                                Ok((k, _)) => panic!("expected hello, got frame kind {k}"),
+                                Err(e) => panic!("read hello: {e}"),
+                            };
+                            assert_eq!(hello.version, WIRE_VERSION, "wire version mismatch");
+                            let machine = hello.machine as usize;
+                            let out = Arc::new(ControlOut::new(stream));
+                            // Anchor the worker's clock as late as
+                            // possible: skew is one loopback hop.
+                            plan.clock_anchor_us = clock.now_us();
+                            out.send(K_PLAN, &plan.enc());
+                            links.lock().unwrap().insert(machine, out);
+                            loop {
+                                match read_frame(&mut read) {
+                                    Ok((kind, payload)) => {
+                                        if tx
+                                            .send(Ev::Frame {
+                                                machine,
+                                                kind,
+                                                payload,
+                                            })
+                                            .is_err()
+                                        {
+                                            return;
+                                        }
+                                    }
+                                    Err(_) => {
+                                        let _ = tx.send(Ev::Gone { machine });
+                                        return;
+                                    }
+                                }
+                            }
+                        })
+                        .expect("spawn control rx");
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => {
+                    if !done.load(Ordering::Relaxed) {
+                        panic!("control accept failed: {e}");
+                    }
+                    return;
+                }
+            }
+        })
+        .expect("spawn control acceptor");
+}
+
+/// Self-execute one worker process for `machine` at incarnation `gen`.
+fn spawn_worker(children: &mut HashMap<usize, Child>, coord_addr: &str, machine: usize, gen: u32) {
+    let exe = std::env::current_exe().expect("resolve current executable");
+    let child = Command::new(exe)
+        // Under the libtest harness these arguments select the
+        // `worker_entry!` test; plain binaries ignore them because
+        // `init_worker` diverts before argument parsing.
+        .args(["aoj_net_worker_entry", "--exact", "--nocapture"])
+        .env(ENV_WORKER, "1")
+        .env(ENV_COORD, coord_addr)
+        .env(ENV_MACHINE, machine.to_string())
+        .env(ENV_GEN, gen.to_string())
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn worker process");
+    let prev = children.insert(machine, child);
+    assert!(prev.is_none(), "machine {machine} spawned twice");
+}
+
+/// Fold one worker's finals into the coordinator's parked receptacle
+/// tasks and global metrics. Counters **sum** across incarnations of a
+/// machine slot; latest-state fields (the controller's assignment)
+/// overwrite.
+fn install_finals(topo: &mut TopoRecorder, bundle: &FinalsBundle) {
+    for jf in &bundle.joiners {
+        let slot = topo.tasks[jf.task as usize]
+            .1
+            .as_mut()
+            .expect("receptacle task parked");
+        let j = slot
+            .as_any_mut()
+            .downcast_mut::<JoinerTask>()
+            .expect("joiner final targets a joiner receptacle");
+        j.matches += jf.matches;
+        j.latency.merge(&LatencyStats::from_parts(
+            jf.latency.sum_us,
+            jf.latency.count,
+            jf.latency.max_us,
+            jf.latency.buckets,
+        ));
+        j.migration_tuples_in += jf.migration_tuples_in;
+        j.migration_bytes_in += jf.migration_bytes_in;
+        j.expand_stored_tuples += jf.expand_stored_tuples;
+        j.expand_sent_tuples += jf.expand_sent_tuples;
+        j.contract_stored_tuples += jf.contract_stored_tuples;
+        j.contract_sent_tuples += jf.contract_sent_tuples;
+        j.retirements += jf.retirements;
+        j.evicted_tuples += jf.evicted_tuples;
+        j.evicted_bytes += jf.evicted_bytes;
+        j.match_log.extend_from_slice(&jf.match_log);
+    }
+    if let Some(cf) = &bundle.controller {
+        let slot = topo.tasks[cf.task as usize]
+            .1
+            .as_mut()
+            .expect("receptacle task parked");
+        let r = slot
+            .as_any_mut()
+            .downcast_mut::<ReshufflerTask>()
+            .expect("controller final targets a reshuffler receptacle");
+        r.assign = clone_assign(&cf.assign);
+        let ctrl = r
+            .controller
+            .as_mut()
+            .expect("controller receptacle has controller state");
+        ctrl.events = cf.events.clone();
+        ctrl.recorder.samples = cf.samples.clone();
+    }
+    for sf in &bundle.shj {
+        let slot = topo.tasks[sf.task as usize]
+            .1
+            .as_mut()
+            .expect("receptacle task parked");
+        let s = slot
+            .as_any_mut()
+            .downcast_mut::<ShjJoiner>()
+            .expect("shj final targets an shj receptacle");
+        s.matches += sf.matches;
+        s.latency.merge(&LatencyStats::from_parts(
+            sf.latency.sum_us,
+            sf.latency.count,
+            sf.latency.max_us,
+            sf.latency.buckets,
+        ));
+        s.match_log.extend_from_slice(&sf.match_log);
+    }
+    // Rebuild the shard as a Metrics and fold it into the global sink.
+    let mut m = Metrics::default();
+    for _ in 0..bundle.shard.machines.len() {
+        m.add_machine();
+    }
+    for (i, row) in bundle.shard.machines.iter().enumerate() {
+        let mm = m.machine_mut(MachineId(i));
+        mm.messages_in = row.messages_in;
+        mm.messages_out = row.messages_out;
+        mm.bytes_in = row.bytes_in;
+        mm.bytes_out = row.bytes_out;
+        mm.busy = SimDuration::from_micros(row.busy_us);
+        mm.stored_bytes = row.stored_bytes;
+        mm.peak_stored_bytes = row.peak_stored_bytes;
+        mm.spilled_bytes = row.spilled_bytes;
+        mm.evicted_bytes = row.evicted_bytes;
+        mm.window_tuples = row.window_tuples;
+    }
+    m.events = bundle.shard.events;
+    m.last_event_at = SimTime(bundle.shard.last_event_at_us);
+    m.data_processed = bundle.shard.data_processed;
+    topo.metrics.absorb(&m);
+}

@@ -1,0 +1,771 @@
+//! Per-process node machinery shared by workers and the coordinator.
+//!
+//! Every process in a TCP session — the coordinator included — runs one
+//! **node**: a machine loop servicing an [`aoj_runtime::mailbox::Mailbox`] with
+//! the exact weighted-class semantics of the threaded runtime, an
+//! accept loop feeding inbound per-class connections into that mailbox,
+//! and a set of lazily-dialed writer threads carrying outbound traffic.
+//!
+//! The pieces:
+//!
+//! * [`Clock`] — wall microseconds anchored to the coordinator's session
+//!   clock, so timestamps from different processes are comparable;
+//! * [`Counters`] — created/finished work counts, the node's contribution
+//!   to the cluster-wide quiescence check (see `backend.rs`);
+//! * [`Directory`] — the machine → (generation, data port) table, updated
+//!   by `MachineUp` frames; writer threads block here until their
+//!   destination is reachable, which is what makes trigger-time
+//!   provisioning race-free (a send to a machine the controller just
+//!   provisioned simply waits for that machine's `Ready`);
+//! * [`Writers`] — one writer thread per (destination, class): each owns
+//!   one TCP connection, so per-class FIFO falls out of TCP's byte-stream
+//!   ordering, and a backed-up data stream cannot delay migration or
+//!   control traffic (the §4.3.2 service-rate property end-to-end);
+//! * [`spawn_reader`]/[`spawn_acceptor`] — inbound connections push into
+//!   the bounded mailbox, so TCP backpressure propagates into the same
+//!   tuple-unit accounting the threaded runtime uses;
+//! * [`run_machine_loop`] — the handler loop, a line-for-line mirror of
+//!   `aoj_runtime`'s worker loop (arrive/busy accounting, effect
+//!   application, per-item finish counting).
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use aoj_operators::messages::OpMsg;
+use aoj_runtime::mailbox::{Mailbox, Work};
+use aoj_simnet::{
+    Ctx, ExecBackend, MachineId, Metrics, NetworkConfig, Process, SimDuration, SimMessage, SimTime,
+    TaskId,
+};
+
+use crate::wire::{
+    self, enc_task_msg, read_frame, write_frame, Preamble, K_EOS, K_PREAMBLE, K_TASK_MSG,
+};
+
+/// A boxed operator task, as registered into the topology recorder and
+/// hosted by a node's machine loop.
+pub type BoxedTask = Box<dyn Process<OpMsg> + Send>;
+
+/// How long a writer waits for its destination to appear in the
+/// directory (or a retiree waits for its end-of-stream barrier) before
+/// declaring the cluster wedged. Generous: provisioning a worker is a
+/// process spawn plus a topology rebuild.
+pub const PEER_WAIT: Duration = Duration::from_secs(60);
+
+/// Wall-clock microseconds anchored to the coordinator's session clock.
+///
+/// The coordinator anchors at `run()` entry with base 0; workers anchor
+/// at handshake time with the base the plan carries. Cross-process skew
+/// is one loopback round-trip — microseconds — against latencies the
+/// cost model prices in the same unit.
+#[derive(Clone, Copy, Debug)]
+pub struct Clock {
+    base_us: u64,
+    started: Instant,
+}
+
+impl Clock {
+    /// Anchor now at `base_us`.
+    pub fn new(base_us: u64) -> Clock {
+        Clock {
+            base_us,
+            started: Instant::now(),
+        }
+    }
+
+    /// Microseconds on the shared session clock.
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        self.base_us + self.started.elapsed().as_micros() as u64
+    }
+}
+
+/// Created/finished work counters — this node's contribution to the
+/// cluster-wide quiescence check. `created` counts sends and scheduled
+/// timers (at the node that emitted them); `finished` counts serviced
+/// work items. The session is quiescent exactly when, simultaneously at
+/// every node, created equals finished cluster-wide — which the
+/// coordinator detects with a double probe (see `backend.rs`).
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Work items created (sends + timers).
+    pub created: AtomicU64,
+    /// Work items fully serviced.
+    pub finished: AtomicU64,
+}
+
+impl Counters {
+    /// Snapshot `(created, finished)`.
+    pub fn snapshot(&self) -> (u64, u64) {
+        // Finished first: reading it before created keeps the invariant
+        // finished ≤ created even if a handler completes between loads.
+        let finished = self.finished.load(Ordering::Acquire);
+        let created = self.created.load(Ordering::Acquire);
+        (created, finished)
+    }
+}
+
+/// A peer's reachability state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Peer {
+    /// Data listener up at this generation/port.
+    Live { gen: u32, port: u16 },
+    /// Draining toward process exit; new channels are a protocol error.
+    Retiring,
+}
+
+/// The machine directory: who is reachable, where, at which incarnation.
+#[derive(Default)]
+pub struct Directory {
+    state: Mutex<HashMap<usize, Peer>>,
+    cv: Condvar,
+}
+
+impl Directory {
+    /// An empty directory.
+    pub fn new() -> Arc<Directory> {
+        Arc::new(Directory::default())
+    }
+
+    /// Record a machine's data listener (from a `MachineUp` frame). A
+    /// re-provisioned machine overwrites its `Retiring` tombstone.
+    pub fn set_live(&self, machine: usize, gen: u32, port: u16) {
+        let mut st = self.state.lock().unwrap();
+        st.insert(machine, Peer::Live { gen, port });
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Mark a machine as draining: writer creation toward it becomes a
+    /// protocol error until a higher generation comes up.
+    pub fn set_retiring(&self, machine: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.insert(machine, Peer::Retiring);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Block until `machine` is live and return its `(gen, port)`.
+    ///
+    /// # Panics
+    ///
+    /// If the machine is marked retiring (sending to a retiring machine
+    /// is a protocol error, mirroring the threaded runtime's panics) or
+    /// does not come up within [`PEER_WAIT`].
+    pub fn wait_live(&self, machine: usize) -> (u32, u16) {
+        let deadline = Instant::now() + PEER_WAIT;
+        let mut st = self.state.lock().unwrap();
+        loop {
+            match st.get(&machine) {
+                Some(Peer::Live { gen, port }) => return (*gen, *port),
+                Some(Peer::Retiring) => {
+                    panic!("protocol error: send to retiring machine {machine}")
+                }
+                None => {}
+            }
+            let now = Instant::now();
+            assert!(
+                now < deadline,
+                "machine {machine} did not come up within {PEER_WAIT:?}"
+            );
+            st = self.cv.wait_timeout(st, deadline - now).unwrap().0;
+        }
+    }
+}
+
+/// Counts `Eos` frames received on inbound connections — the retirement
+/// barrier. A retiring worker is told how many connections its peers
+/// closed ([`wire::K_RETIRE_NOW`] carries the sum) and waits here until
+/// every one of them has delivered its end-of-stream marker, at which
+/// point nothing can be in flight toward it.
+#[derive(Default)]
+pub struct EosGate {
+    n: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl EosGate {
+    /// A zeroed gate.
+    pub fn new() -> Arc<EosGate> {
+        Arc::new(EosGate::default())
+    }
+
+    /// Record one end-of-stream marker.
+    pub fn arrived(&self) {
+        let mut n = self.n.lock().unwrap();
+        *n += 1;
+        drop(n);
+        self.cv.notify_all();
+    }
+
+    /// Block until at least `target` markers have arrived.
+    ///
+    /// # Panics
+    ///
+    /// If the barrier does not complete within [`PEER_WAIT`].
+    pub fn wait_for(&self, target: u64) {
+        let deadline = Instant::now() + PEER_WAIT;
+        let mut n = self.n.lock().unwrap();
+        while *n < target {
+            let now = Instant::now();
+            assert!(
+                now < deadline,
+                "eos barrier stuck at {}/{target} after {PEER_WAIT:?}",
+                *n
+            );
+            n = self.cv.wait_timeout(n, deadline - now).unwrap().0;
+        }
+    }
+}
+
+/// The write half of a control connection: small frames written under a
+/// lock, shared between a node's control loop and its machine loop
+/// (which sends lifecycle requests from inside handlers).
+pub struct ControlOut(Mutex<TcpStream>);
+
+impl ControlOut {
+    /// Wrap a connected control stream.
+    pub fn new(stream: TcpStream) -> ControlOut {
+        ControlOut(Mutex::new(stream))
+    }
+
+    /// Write one frame; control frames are small and immediate, so no
+    /// buffering.
+    pub fn send(&self, kind: u8, payload: &[u8]) {
+        let mut s = self.0.lock().unwrap();
+        write_frame(&mut *s, kind, payload).expect("control connection write");
+    }
+}
+
+enum WriteItem {
+    Msg(Vec<u8>),
+    Eos,
+}
+
+struct WriterQueue {
+    items: Mutex<VecDeque<WriteItem>>,
+    cv: Condvar,
+}
+
+struct WriterHandle {
+    queue: Arc<WriterQueue>,
+    thread: JoinHandle<()>,
+}
+
+/// Outbound connections: one lazily-dialed writer thread per
+/// (destination machine, message class).
+pub struct Writers {
+    inner: Mutex<HashMap<(usize, u8), WriterHandle>>,
+    directory: Arc<Directory>,
+    self_machine: usize,
+    self_gen: u32,
+}
+
+fn class_byte(class: aoj_simnet::MsgClass) -> u8 {
+    match class {
+        aoj_simnet::MsgClass::Control => 0,
+        aoj_simnet::MsgClass::Data => 1,
+        aoj_simnet::MsgClass::Migration => 2,
+    }
+}
+
+impl Writers {
+    /// A writer set for the node hosting `self_machine` at incarnation
+    /// `self_gen`.
+    pub fn new(directory: Arc<Directory>, self_machine: usize, self_gen: u32) -> Arc<Writers> {
+        Arc::new(Writers {
+            inner: Mutex::new(HashMap::new()),
+            directory,
+            self_machine,
+            self_gen,
+        })
+    }
+
+    /// Enqueue one already-encoded [`K_TASK_MSG`] payload toward `dest`
+    /// on the `class` connection, dialing it first if needed. The dial
+    /// happens on the writer thread, so a send to a machine that is
+    /// still provisioning never blocks the machine loop.
+    pub fn enqueue(&self, dest: usize, class: aoj_simnet::MsgClass, payload: Vec<u8>) {
+        let cb = class_byte(class);
+        let mut map = self.inner.lock().unwrap();
+        let handle = map.entry((dest, cb)).or_insert_with(|| {
+            let queue = Arc::new(WriterQueue {
+                items: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+            });
+            let q = Arc::clone(&queue);
+            let directory = Arc::clone(&self.directory);
+            let preamble = Preamble {
+                from_machine: self.self_machine as u64,
+                gen: self.self_gen,
+                class,
+            };
+            let thread = std::thread::Builder::new()
+                .name(format!("aoj-net-w{}m{dest}c{cb}", self.self_machine))
+                .spawn(move || writer_main(q, directory, dest, preamble))
+                .expect("spawn writer thread");
+            WriterHandle { queue, thread }
+        });
+        let mut items = handle.queue.items.lock().unwrap();
+        items.push_back(WriteItem::Msg(payload));
+        drop(items);
+        handle.queue.cv.notify_one();
+    }
+
+    fn close(handle: WriterHandle) {
+        let mut items = handle.queue.items.lock().unwrap();
+        items.push_back(WriteItem::Eos);
+        drop(items);
+        handle.queue.cv.notify_one();
+        handle.thread.join().expect("writer thread panicked");
+    }
+
+    /// Close every connection toward `dest` (flush + trailing
+    /// [`K_EOS`] + join), returning how many were closed — the count
+    /// the retirement barrier at `dest` will wait on.
+    pub fn close_to(&self, dest: usize) -> u32 {
+        let mut map = self.inner.lock().unwrap();
+        let keys: Vec<(usize, u8)> = map.keys().copied().filter(|(d, _)| *d == dest).collect();
+        let mut closed = 0;
+        for k in keys {
+            let handle = map.remove(&k).unwrap();
+            Writers::close(handle);
+            closed += 1;
+        }
+        closed
+    }
+
+    /// Close every connection (flush + trailing [`K_EOS`] + join); the
+    /// node's shutdown path. Returns how many connections were closed
+    /// toward each destination — a retiring worker reports these in its
+    /// `Exiting` frame so the coordinator's end-of-stream bookkeeping
+    /// stays exact for *later* retirement barriers.
+    pub fn close_all(&self) -> Vec<(usize, u32)> {
+        let mut map = self.inner.lock().unwrap();
+        let mut per_dest: HashMap<usize, u32> = HashMap::new();
+        for ((dest, _), handle) in map.drain() {
+            Writers::close(handle);
+            *per_dest.entry(dest).or_insert(0) += 1;
+        }
+        let mut out: Vec<(usize, u32)> = per_dest.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+fn writer_main(
+    queue: Arc<WriterQueue>,
+    directory: Arc<Directory>,
+    dest: usize,
+    preamble: Preamble,
+) {
+    let (_gen, port) = directory.wait_live(dest);
+    let stream = TcpStream::connect(("127.0.0.1", port))
+        .unwrap_or_else(|e| panic!("dial machine {dest} on port {port}: {e}"));
+    stream.set_nodelay(true).ok();
+    let mut w = BufWriter::new(stream);
+    write_frame(&mut w, K_PREAMBLE, &preamble.enc()).expect("write preamble");
+    loop {
+        let mut items = queue.items.lock().unwrap();
+        let item = loop {
+            match items.pop_front() {
+                Some(i) => break i,
+                None => {
+                    // Nothing queued: flush what we have, then sleep.
+                    drop(items);
+                    w.flush().expect("flush data connection");
+                    items = queue.items.lock().unwrap();
+                    if let Some(i) = items.pop_front() {
+                        break i;
+                    }
+                    items = queue.cv.wait(items).unwrap();
+                }
+            }
+        };
+        drop(items);
+        match item {
+            WriteItem::Msg(payload) => {
+                write_frame(&mut w, K_TASK_MSG, &payload).expect("write task msg");
+            }
+            WriteItem::Eos => {
+                write_frame(&mut w, K_EOS, &[]).expect("write eos");
+                w.flush().expect("flush eos");
+                return;
+            }
+        }
+    }
+}
+
+/// Service one accepted data-plane connection: read the [`Preamble`],
+/// then push every [`K_TASK_MSG`] into the mailbox under the sender's
+/// declared class (bounded for data, so TCP backpressure feeds the same
+/// tuple-unit accounting the threaded runtime uses). A [`K_EOS`] marks
+/// the channel closed and trips the retirement barrier.
+pub fn spawn_reader(
+    stream: TcpStream,
+    mailbox: Arc<Mailbox<OpMsg>>,
+    done: Arc<AtomicBool>,
+    eos: Arc<EosGate>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("aoj-net-reader".into())
+        .spawn(move || {
+            stream.set_nodelay(true).ok();
+            let mut r = BufReader::new(stream);
+            let preamble = match read_frame(&mut r) {
+                Ok((K_PREAMBLE, p)) => Preamble::dec(&p).expect("decode preamble"),
+                Ok((k, _)) => panic!("protocol error: first frame kind {k}, want preamble"),
+                Err(_) => return, // dialed and dropped before the preamble
+            };
+            loop {
+                match read_frame(&mut r) {
+                    Ok((K_TASK_MSG, p)) => {
+                        let (from, to, msg) = dec_or_die(&p);
+                        debug_assert_eq!(class_byte(msg.class()), class_byte(preamble.class));
+                        let units = msg.tuples();
+                        mailbox.push_msg(
+                            msg.class(),
+                            Work::Msg { from, to, msg },
+                            units,
+                            true,
+                            &done,
+                        );
+                    }
+                    Ok((K_EOS, _)) => {
+                        eos.arrived();
+                        return;
+                    }
+                    Ok((k, _)) => panic!("protocol error: frame kind {k} on data connection"),
+                    Err(e) => {
+                        // A reset is normal once the session is done (the
+                        // peer exits without per-connection goodbyes).
+                        if !done.load(Ordering::Relaxed) {
+                            eprintln!("aoj-net: data connection dropped: {e}");
+                        }
+                        return;
+                    }
+                }
+            }
+        })
+        .expect("spawn reader thread")
+}
+
+fn dec_or_die(p: &[u8]) -> (TaskId, TaskId, OpMsg) {
+    wire::dec_task_msg(p).expect("decode task msg")
+}
+
+/// Accept data-plane connections until `done`, handing each to
+/// [`spawn_reader`]. The listener is polled non-blocking so the thread
+/// exits promptly at shutdown.
+pub fn spawn_acceptor(
+    listener: TcpListener,
+    mailbox: Arc<Mailbox<OpMsg>>,
+    done: Arc<AtomicBool>,
+    eos: Arc<EosGate>,
+) -> JoinHandle<()> {
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+    std::thread::Builder::new()
+        .name("aoj-net-accept".into())
+        .spawn(move || loop {
+            if done.load(Ordering::Relaxed) {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false).expect("blocking conn");
+                    spawn_reader(
+                        stream,
+                        Arc::clone(&mailbox),
+                        Arc::clone(&done),
+                        Arc::clone(&eos),
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => {
+                    if !done.load(Ordering::Relaxed) {
+                        eprintln!("aoj-net: accept failed: {e}");
+                    }
+                    return;
+                }
+            }
+        })
+        .expect("spawn acceptor thread")
+}
+
+/// A lifecycle request surfaced by a handler on this node, to be acted
+/// on by the coordinator (locally, or via a control frame from a
+/// worker).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lifecycle {
+    /// `Effect::Provision` — spawn the machine's worker process.
+    Provision(usize),
+    /// `Effect::Retire` — run the drain barrier, then let it exit.
+    Retire(usize),
+    /// A task requested the run to stop.
+    Stopped,
+}
+
+/// Everything the machine loop shares with the rest of its node.
+pub struct NodeShared {
+    /// The machine this node hosts.
+    pub machine: usize,
+    /// The node's inbound queue set.
+    pub mailbox: Arc<Mailbox<OpMsg>>,
+    /// Global shutdown flag.
+    pub done: Arc<AtomicBool>,
+    /// The anchored session clock.
+    pub clock: Clock,
+    /// Quiescence counters.
+    pub counters: Arc<Counters>,
+    /// Outbound connections.
+    pub writers: Arc<Writers>,
+    /// Task index → hosting machine (identical in every process: it is
+    /// derived from the same plan).
+    pub task_machine: Arc<Vec<usize>>,
+}
+
+/// Run this node's machine loop to completion: service the mailbox
+/// batch-wise exactly like `aoj_runtime`'s worker loop, applying
+/// effects as they surface. Returns the metrics shard and the tasks
+/// (so finals can be harvested) once the node shuts down or its
+/// retirement drain completes.
+pub fn run_machine_loop(
+    shared: &NodeShared,
+    mut tasks: HashMap<usize, BoxedTask>,
+    mut shard: Metrics,
+    drain_batch: usize,
+    lifecycle: &(dyn Fn(Lifecycle) + Sync),
+) -> (Metrics, HashMap<usize, BoxedTask>) {
+    let mid = MachineId(shared.machine);
+    let mut batch: Vec<Work<OpMsg>> = Vec::with_capacity(drain_batch);
+    loop {
+        if !shared.mailbox.pop_batch(
+            drain_batch,
+            &mut batch,
+            || shared.clock.now_us(),
+            &shared.done,
+        ) {
+            if !shared.done.load(Ordering::Relaxed) {
+                // Retirement drain complete: the backlog (and every
+                // straggler behind the flush barrier) has been serviced.
+                shared.mailbox.release_storage();
+            }
+            return (shard, tasks);
+        }
+        for work in batch.drain(..) {
+            let now = SimTime(shared.clock.now_us());
+            let started = Instant::now();
+            let mut stopped = false;
+            let (self_task, effects) = match work {
+                Work::Msg { from, to, msg } => {
+                    shard.on_arrive(mid, msg.bytes());
+                    let task = tasks
+                        .get_mut(&to.index())
+                        .unwrap_or_else(|| panic!("message for non-local task {}", to.index()));
+                    let mut ctx = Ctx::new(now, to, &mut shard, &mut stopped);
+                    task.on_message(&mut ctx, from, msg);
+                    (to, ctx.take_effects())
+                }
+                Work::Timer { task: tid, key } => {
+                    let task = tasks
+                        .get_mut(&tid.index())
+                        .unwrap_or_else(|| panic!("timer for non-local task {}", tid.index()));
+                    let mut ctx = Ctx::new(now, tid, &mut shard, &mut stopped);
+                    task.on_timer(&mut ctx, key);
+                    (tid, ctx.take_effects())
+                }
+                Work::Flush { .. } => {
+                    // The TCP backend's drain barrier is connection-level
+                    // (EOS frames), not token-level.
+                    panic!("flush token on a TCP-backend mailbox")
+                }
+            };
+            shard.on_busy(
+                mid,
+                SimDuration::from_micros(started.elapsed().as_micros() as u64),
+            );
+            shard.events += 1;
+            shard.last_event_at = now;
+            for effect in effects {
+                apply_effect(shared, self_task, effect, &mut shard, lifecycle);
+            }
+            shared.counters.finished.fetch_add(1, Ordering::AcqRel);
+            if stopped {
+                lifecycle(Lifecycle::Stopped);
+            }
+        }
+    }
+}
+
+fn apply_effect(
+    shared: &NodeShared,
+    self_task: TaskId,
+    effect: aoj_simnet::Effect<OpMsg>,
+    shard: &mut Metrics,
+    lifecycle: &(dyn Fn(Lifecycle) + Sync),
+) {
+    match effect {
+        aoj_simnet::Effect::Send { to, msg } => {
+            shared.counters.created.fetch_add(1, Ordering::AcqRel);
+            let dest = shared.task_machine[to.index()];
+            if dest == shared.machine {
+                // Loopback: straight into our own mailbox, unbounded
+                // (blocking on our own full queue would self-deadlock)
+                // and without traffic accounting — same as the runtime.
+                let units = msg.tuples();
+                shared.mailbox.push_msg(
+                    msg.class(),
+                    Work::Msg {
+                        from: self_task,
+                        to,
+                        msg,
+                    },
+                    units,
+                    false,
+                    &shared.done,
+                );
+            } else {
+                shard.on_send(MachineId(shared.machine), msg.bytes());
+                shared
+                    .writers
+                    .enqueue(dest, msg.class(), enc_task_msg(self_task, to, &msg));
+            }
+        }
+        aoj_simnet::Effect::Timer { delay, key } => {
+            shared.counters.created.fetch_add(1, Ordering::AcqRel);
+            shared
+                .mailbox
+                .push_timer(shared.clock.now_us() + delay.as_micros(), self_task, key);
+        }
+        aoj_simnet::Effect::Provision { machine } => {
+            lifecycle(Lifecycle::Provision(machine.index()))
+        }
+        aoj_simnet::Effect::Retire { machine } => lifecycle(Lifecycle::Retire(machine.index())),
+    }
+}
+
+/// An [`ExecBackend`] that only records the topology: machines, tasks,
+/// bootstrap timers. Both sides of the wire build the session topology
+/// through `aoj_operators::assemble_topology` into one of these — the
+/// coordinator to park receptacle tasks it will fill with finals, the
+/// workers to extract their own machine's live tasks — so task ids and
+/// machine assignments agree across processes by construction.
+#[derive(Default)]
+pub struct TopoRecorder {
+    /// Per machine slot: was it registered deferred?
+    pub deferred: Vec<bool>,
+    /// Per machine slot: the explicit network config, if any (the
+    /// operator driver uses one only for the source machine, which is
+    /// how the coordinator knows which machine it hosts itself).
+    pub networked: Vec<Option<NetworkConfig>>,
+    /// Task id → (hosting machine, the task object). The box is taken
+    /// (`None`) while a live node runs it.
+    pub tasks: Vec<(usize, Option<BoxedTask>)>,
+    /// Bootstrap timers `(at_us, task, key)`.
+    pub timers: Vec<(u64, TaskId, u64)>,
+    /// The metrics sink (machines registered; counters filled post-run).
+    pub metrics: Metrics,
+}
+
+impl TopoRecorder {
+    /// Task index → hosting machine, for every registered task.
+    pub fn task_machine(&self) -> Vec<usize> {
+        self.tasks.iter().map(|(m, _)| *m).collect()
+    }
+
+    /// The machine registered with an explicit network config (the
+    /// operator driver's source machine), if any.
+    pub fn networked_machine(&self) -> Option<usize> {
+        self.networked.iter().position(|n| n.is_some())
+    }
+
+    /// Take the task boxes hosted on `machine`, keyed by task index.
+    pub fn take_machine_tasks(&mut self, machine: usize) -> HashMap<usize, BoxedTask> {
+        let mut out = HashMap::new();
+        for (idx, (m, slot)) in self.tasks.iter_mut().enumerate() {
+            if *m == machine {
+                out.insert(idx, slot.take().expect("task already taken"));
+            }
+        }
+        out
+    }
+
+    /// Put harvested task boxes back into their recorder slots.
+    pub fn restore_tasks(&mut self, tasks: HashMap<usize, BoxedTask>) {
+        for (idx, task) in tasks {
+            self.tasks[idx].1 = Some(task);
+        }
+    }
+}
+
+impl ExecBackend<OpMsg> for TopoRecorder {
+    fn backend_name(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn add_machine(&mut self) -> MachineId {
+        self.deferred.push(false);
+        self.networked.push(None);
+        self.metrics.add_machine();
+        MachineId(self.deferred.len() - 1)
+    }
+
+    fn add_machine_with_network(&mut self, network: NetworkConfig) -> MachineId {
+        let id = self.add_machine();
+        self.networked[id.index()] = Some(network);
+        id
+    }
+
+    fn add_deferred_machine(&mut self) -> MachineId {
+        let id = self.add_machine();
+        self.deferred[id.index()] = true;
+        id
+    }
+
+    fn provisioned_machines(&self) -> usize {
+        self.deferred.iter().filter(|d| !**d).count()
+    }
+
+    fn peak_provisioned_machines(&self) -> usize {
+        self.provisioned_machines()
+    }
+
+    fn add_task(&mut self, machine: MachineId, task: BoxedTask) -> TaskId {
+        self.tasks.push((machine.index(), Some(task)));
+        TaskId(self.tasks.len() - 1)
+    }
+
+    fn start_timer_at(&mut self, at: SimTime, task: TaskId, key: u64) {
+        self.timers.push((at.as_micros(), task, key));
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    fn run(&mut self) -> SimTime {
+        unreachable!("the topology recorder never executes")
+    }
+
+    fn task_any(&self, id: TaskId) -> &dyn std::any::Any {
+        self.tasks[id.index()]
+            .1
+            .as_ref()
+            .expect("task is live on a node")
+            .as_any()
+    }
+}

@@ -1,0 +1,491 @@
+//! The worker process: one machine of a TCP session.
+//!
+//! A worker is the same binary as the coordinator, re-executed with the
+//! `AOJ_NET_*` environment set (see [`crate::init_worker`]). Its life:
+//!
+//! 1. dial the coordinator's control port, send `Hello`, receive the
+//!    [`wire::Plan`];
+//! 2. rebuild the session topology from the plan's serialized builder
+//!    through `aoj_operators::assemble_topology` — identical task ids
+//!    fall out in every process — and keep only its own machine's tasks
+//!    (a reincarnated worker re-parks them dormant: its predecessor's
+//!    state left with the contraction that retired it);
+//! 3. bind a data listener, report `Ready`, and run the machine loop;
+//! 4. service the control connection: answer quiescence probes, stream
+//!    gauge samples and matches to the coordinator, apply gauge relays
+//!    (machine 0 hosts the controller, which reads cluster-wide
+//!    storage), and run the drain barrier when told to retire;
+//! 5. ship finals (joiner counters, controller log, metrics shard) and
+//!    exit — `0` for a clean retirement or shutdown, so the
+//!    coordinator's `waitpid` distinguishes clean teardown from a crash.
+
+use std::collections::HashMap;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aoj_operators::joiner_task::JoinerTask;
+use aoj_operators::messages::OpMsg;
+use aoj_operators::reshuffler::ReshufflerTask;
+use aoj_operators::{assemble_topology, IngestQueue, MatchHub, SessionBuilder};
+use aoj_runtime::mailbox::Mailbox;
+use aoj_runtime::RuntimeConfig;
+use aoj_simnet::{MachineId, Metrics, Process, SharedGauges, SimDuration};
+
+use crate::node::{
+    run_machine_loop, spawn_acceptor, Clock, ControlOut, Counters, Directory, EosGate, Lifecycle,
+    NodeShared, TopoRecorder, Writers,
+};
+use crate::wire::{
+    self, read_frame, DrainDone, Exiting, FinalsBundle, GaugeRelay, GaugeSample, Hello, MachineUp,
+    Plan, ProbeAck, Ready, K_DRAIN_DONE, K_DRAIN_FOR, K_EXITING, K_FINALS, K_GAUGES, K_GAUGE_RELAY,
+    K_HELLO, K_MACHINE_UP, K_MATCH_BATCH, K_PLAN, K_PROBE, K_PROBE_ACK, K_PROVISION_REQ, K_READY,
+    K_RETIRE_NOW, K_RETIRE_REQ, K_SHUTDOWN, WIRE_VERSION,
+};
+
+/// Environment: flag marking a process as a worker.
+pub const ENV_WORKER: &str = "AOJ_NET_WORKER";
+/// Environment: the coordinator's control address (`127.0.0.1:port`).
+pub const ENV_COORD: &str = "AOJ_NET_COORD";
+/// Environment: the machine index this worker hosts.
+pub const ENV_MACHINE: &str = "AOJ_NET_MACHINE";
+/// Environment: the machine's incarnation number.
+pub const ENV_GEN: &str = "AOJ_NET_GEN";
+
+/// How often the control loop ships gauge samples and buffered matches.
+const STATS_PERIOD: Duration = Duration::from_millis(5);
+
+fn env_num<T: std::str::FromStr>(key: &str) -> T
+where
+    T::Err: std::fmt::Debug,
+{
+    std::env::var(key)
+        .unwrap_or_else(|_| panic!("worker environment is missing {key}"))
+        .parse()
+        .unwrap_or_else(|e| panic!("bad {key}: {e:?}"))
+}
+
+/// Why the control loop stopped servicing frames.
+enum Exit {
+    /// Retirement drain complete — this process's machine left the
+    /// session mid-run.
+    Retired,
+    /// Session shutdown — the coordinator saw cluster quiescence.
+    Shutdown,
+}
+
+/// Run one worker to completion. Never returns: exits the process.
+pub fn worker_main() -> ! {
+    let coord: String =
+        std::env::var(ENV_COORD).expect("worker environment is missing AOJ_NET_COORD");
+    let machine: usize = env_num(ENV_MACHINE);
+    let gen: u32 = env_num(ENV_GEN);
+
+    let control = TcpStream::connect(&coord)
+        .unwrap_or_else(|e| panic!("worker {machine}: dial coordinator {coord}: {e}"));
+    control.set_nodelay(true).ok();
+    let mut control_read = control.try_clone().expect("clone control stream");
+    let ctrl = Arc::new(ControlOut::new(control));
+
+    ctrl.send(
+        K_HELLO,
+        &Hello {
+            version: WIRE_VERSION,
+            machine: machine as u64,
+            gen,
+        }
+        .enc(),
+    );
+    let plan = match read_frame(&mut control_read) {
+        Ok((K_PLAN, p)) => Plan::dec(&p).expect("decode plan"),
+        Ok((k, _)) => panic!("worker {machine}: expected plan, got frame kind {k}"),
+        Err(e) => panic!("worker {machine}: read plan: {e}"),
+    };
+    assert_eq!(
+        plan.version, WIRE_VERSION,
+        "worker {machine}: wire version mismatch"
+    );
+    let clock = Clock::new(plan.clock_anchor_us);
+    let builder: SessionBuilder = wire::decode_builder(&plan.builder).expect("decode session plan");
+    // Round-trip the decoded builder and fingerprint the re-encoding:
+    // proves the plan decoded losslessly, not just parseably.
+    let fp = wire::fingerprint(&wire::encode_builder(&builder));
+    assert_eq!(
+        fp, plan.fingerprint,
+        "worker {machine}: plan fingerprint mismatch after round-trip"
+    );
+
+    // Rebuild the topology. The ingest queue and match hub are local
+    // stand-ins: the real source runs in the coordinator, and matches
+    // are collected here and shipped over the control connection.
+    let hub = MatchHub::collector();
+    let mut rec = TopoRecorder::default();
+    let idle_poll = SimDuration::from_micros(builder.source.idle_poll_us.max(1));
+    assemble_topology(
+        &mut rec,
+        &builder,
+        IngestQueue::detached(),
+        Arc::clone(&hub),
+        Some(idle_poll),
+    );
+    let machine_count = rec.deferred.len();
+    assert_eq!(
+        machine_count as u64, plan.machines,
+        "worker {machine}: rebuilt machine count disagrees with the plan"
+    );
+    let slots = machine_count - 1; // joiner slots; the last machine is the source
+    let task_machine = Arc::new(rec.task_machine());
+    let was_deferred = rec.deferred[machine];
+    let mut tasks = rec.take_machine_tasks(machine);
+    if gen > 0 {
+        // A reincarnated machine starts dormant: its predecessor's state
+        // migrated away with the contraction that retired it, and the
+        // expansion protocol re-activates the fresh tasks explicitly.
+        for task in tasks.values_mut() {
+            if let Some(j) = task.as_any_mut().downcast_mut::<JoinerTask>() {
+                j.make_dormant(builder.predicate.clone(), slots);
+            } else if let Some(r) = task.as_any_mut().downcast_mut::<ReshufflerTask>() {
+                r.deactivated = true;
+            }
+        }
+    } else if was_deferred {
+        // A trigger-time spawn (first activation of a deferred slot).
+        // The builder leaves its reshuffler nominally active because on
+        // the in-process backends nothing can reach it before
+        // `Activate`. Over TCP that ordering is per-socket only: the
+        // source's first `IngestBatch` (data class) can outrun the
+        // controller's `Activate` (control class). Start deactivated so
+        // any early ingest bounces back to the source — the in-protocol
+        // path for traffic without a signal barrier — until `Activate`
+        // flips the flag.
+        for task in tasks.values_mut() {
+            if let Some(r) = task.as_any_mut().downcast_mut::<ReshufflerTask>() {
+                r.deactivated = true;
+            }
+        }
+    }
+
+    // Metrics shard with the session's gauge overlay: handler-side gauge
+    // writes land here and are shipped to the coordinator periodically;
+    // on machine 0 the overlay also receives the coordinator's relays,
+    // giving the elastic controller its cluster-wide storage view.
+    let gauges = SharedGauges::new(machine_count);
+    let mut shard = std::mem::take(&mut rec.metrics);
+    shard.install_shared(Arc::clone(&gauges));
+
+    let rt_defaults = RuntimeConfig::default();
+    let mut data_cap = rt_defaults.data_queue_capacity;
+    if builder.source.window_copies > 0 {
+        // Same rule as the threaded session launch: keep the mailbox
+        // bound above the flow-control window so backpressure binds at
+        // the source, not inside the data plane.
+        data_cap = data_cap.max(4 * builder.source.window_copies as usize);
+    }
+    let mailbox = Arc::new(Mailbox::new(data_cap, rt_defaults.migration_weight));
+    let done = Arc::new(AtomicBool::new(false));
+    let directory = Directory::new();
+    let writers = Writers::new(Arc::clone(&directory), machine, gen);
+    let eos = EosGate::new();
+    let counters = Arc::new(Counters::default());
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind data listener");
+    let data_port = listener.local_addr().unwrap().port();
+    spawn_acceptor(
+        listener,
+        Arc::clone(&mailbox),
+        Arc::clone(&done),
+        Arc::clone(&eos),
+    );
+
+    // Bootstrap timers for tasks we host (normally none: the only
+    // bootstrap timer is the source tick, which lives with the
+    // coordinator).
+    for &(at_us, task, key) in &rec.timers {
+        if task_machine[task.index()] == machine {
+            counters.created.fetch_add(1, Ordering::AcqRel);
+            mailbox.push_timer(at_us, task, key);
+        }
+    }
+
+    let shared = NodeShared {
+        machine,
+        mailbox: Arc::clone(&mailbox),
+        done: Arc::clone(&done),
+        clock,
+        counters: Arc::clone(&counters),
+        writers: Arc::clone(&writers),
+        task_machine,
+    };
+    let loop_handle = {
+        let ctrl = Arc::clone(&ctrl);
+        let drain_batch = rt_defaults.drain_batch;
+        std::thread::Builder::new()
+            .name(format!("aoj-net-m{machine}"))
+            .spawn(move || {
+                let lifecycle = move |ev: Lifecycle| match ev {
+                    Lifecycle::Provision(m) => ctrl.send(K_PROVISION_REQ, &wire::enc_u64(m as u64)),
+                    Lifecycle::Retire(m) => ctrl.send(K_RETIRE_REQ, &wire::enc_u64(m as u64)),
+                    // No operator task stops the run from a handler; the
+                    // coordinator owns session shutdown.
+                    Lifecycle::Stopped => {}
+                };
+                run_machine_loop(&shared, tasks, shard, drain_batch, &lifecycle)
+            })
+            .expect("spawn machine loop")
+    };
+
+    ctrl.send(
+        K_READY,
+        &Ready {
+            machine: machine as u64,
+            gen,
+            fingerprint: fp,
+            data_port,
+        }
+        .enc(),
+    );
+
+    // Control frames arrive through a dedicated blocking reader: the
+    // control loop multiplexes them with its periodic stats work via
+    // `recv_timeout`, keeping the framed stream free of read timeouts
+    // (a timed-out `read_exact` could consume a partial frame).
+    let (tx, rx) = mpsc::channel::<(u8, Vec<u8>)>();
+    std::thread::Builder::new()
+        .name("aoj-net-control-rx".into())
+        .spawn(move || loop {
+            match read_frame(&mut control_read) {
+                Ok(frame) => {
+                    if tx.send(frame).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => return, // coordinator gone; channel closes
+            }
+        })
+        .expect("spawn control reader");
+
+    let ship_stats = |fin: bool| {
+        let m = MachineId(machine);
+        ctrl.send(
+            K_GAUGES,
+            &GaugeSample {
+                machine: machine as u64,
+                stored: gauges.stored(m),
+                evicted: gauges.evicted(m),
+                occupancy: gauges.occupancy(m),
+                data_processed: gauges.data_processed(),
+            }
+            .enc(),
+        );
+        let matches = hub.drain_buffered();
+        if !matches.is_empty() || fin {
+            ctrl.send(K_MATCH_BATCH, &wire::enc_match_batch(&matches));
+        }
+    };
+
+    // Stats shipping is clocked by wall time, not by channel lulls: the
+    // coordinator's probe cadence keeps frames arriving faster than
+    // `STATS_PERIOD`, so a timeout-driven sender would starve.
+    let mut last_stats = Instant::now();
+    let exit = loop {
+        if last_stats.elapsed() >= STATS_PERIOD {
+            last_stats = Instant::now();
+            ship_stats(false);
+        }
+        match rx.recv_timeout(STATS_PERIOD) {
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                // The coordinator died under us. Nothing to report to.
+                std::process::exit(1);
+            }
+            Ok((K_PROBE, p)) => {
+                let nonce = wire::dec_u64(&p).expect("probe nonce");
+                let (created, finished) = counters.snapshot();
+                ctrl.send(
+                    K_PROBE_ACK,
+                    &ProbeAck {
+                        nonce,
+                        created,
+                        finished,
+                    }
+                    .enc(),
+                );
+            }
+            Ok((K_MACHINE_UP, p)) => {
+                let up = MachineUp::dec(&p).expect("machine-up frame");
+                directory.set_live(up.machine as usize, up.gen, up.port);
+            }
+            Ok((K_GAUGE_RELAY, p)) => {
+                let g = GaugeRelay::dec(&p).expect("gauge relay");
+                let m = MachineId(g.origin as usize);
+                gauges.set_stored(m, g.stored);
+                gauges.set_evicted(m, g.evicted);
+                gauges.set_occupancy(m, g.occupancy);
+            }
+            Ok((K_DRAIN_FOR, p)) => {
+                let target = wire::dec_u64(&p).expect("drain-for machine") as usize;
+                directory.set_retiring(target);
+                let closed = writers.close_to(target);
+                ctrl.send(
+                    K_DRAIN_DONE,
+                    &DrainDone {
+                        machine: target as u64,
+                        closed,
+                    }
+                    .enc(),
+                );
+            }
+            Ok((K_RETIRE_NOW, p)) => {
+                // Every peer has closed its channels toward us; once
+                // their end-of-stream markers are all in, nothing is in
+                // flight and the backlog is complete. Drain it and go.
+                let expect = wire::dec_u64(&p).expect("retire-now count");
+                eos.wait_for(expect);
+                mailbox.complete_drain();
+                break Exit::Retired;
+            }
+            Ok((K_SHUTDOWN, _)) => {
+                done.store(true, Ordering::SeqCst);
+                mailbox.wake_all();
+                break Exit::Shutdown;
+            }
+            Ok((k, _)) => panic!("worker {machine}: unexpected control frame kind {k}"),
+        }
+    };
+
+    // The machine loop exits on its own: after `complete_drain` it runs
+    // the backlog dry (retirement), or it observes `done` (shutdown).
+    let (shard, tasks) = loop_handle.join().expect("machine loop panicked");
+    let _ = exit; // both paths finalize identically; the exit code says which
+
+    // Final sequence: flush outbound channels, then ship authoritative
+    // finals. Ordering matters — gauges and matches before the finals
+    // bundle, the exit notice last.
+    let closed = writers.close_all();
+    ship_stats(true);
+    ctrl.send(
+        K_FINALS,
+        &harvest_finals(machine, gen, &tasks, &shard, &gauges).enc(),
+    );
+    let (created, finished) = counters.snapshot();
+    ctrl.send(
+        K_EXITING,
+        &Exiting {
+            machine: machine as u64,
+            gen,
+            created,
+            finished,
+            closed: closed.iter().map(|&(d, n)| (d as u64, n)).collect(),
+        }
+        .enc(),
+    );
+    std::process::exit(0);
+}
+
+/// Build the worker's [`FinalsBundle`] from its quiesced tasks and
+/// metrics shard.
+fn harvest_finals(
+    machine: usize,
+    gen: u32,
+    tasks: &HashMap<usize, Box<dyn Process<OpMsg> + Send>>,
+    shard: &Metrics,
+    gauges: &SharedGauges,
+) -> FinalsBundle {
+    let mut bundle = FinalsBundle {
+        machine: machine as u64,
+        gen,
+        joiners: Vec::new(),
+        controller: None,
+        shj: Vec::new(),
+        shard: wire::MetricsShard {
+            events: shard.events,
+            last_event_at_us: shard.last_event_at.as_micros(),
+            data_processed: gauges.data_processed(),
+            machines: shard
+                .machines()
+                .iter()
+                .map(|m| wire::MachineRow {
+                    messages_in: m.messages_in,
+                    messages_out: m.messages_out,
+                    bytes_in: m.bytes_in,
+                    bytes_out: m.bytes_out,
+                    busy_us: m.busy.as_micros(),
+                    stored_bytes: m.stored_bytes,
+                    peak_stored_bytes: m.peak_stored_bytes,
+                    spilled_bytes: m.spilled_bytes,
+                    evicted_bytes: m.evicted_bytes,
+                    window_tuples: m.window_tuples,
+                })
+                .collect(),
+        },
+    };
+    let mut ids: Vec<usize> = tasks.keys().copied().collect();
+    ids.sort_unstable();
+    for id in ids {
+        let task = &tasks[&id];
+        if let Some(j) = task.as_any().downcast_ref::<JoinerTask>() {
+            let (sum_us, count, max_us, buckets) = j.latency.to_parts();
+            bundle.joiners.push(wire::JoinerFinal {
+                task: id as u64,
+                matches: j.matches,
+                latency: wire::LatencyParts {
+                    count,
+                    sum_us,
+                    max_us,
+                    buckets,
+                },
+                migration_tuples_in: j.migration_tuples_in,
+                migration_bytes_in: j.migration_bytes_in,
+                expand_stored_tuples: j.expand_stored_tuples,
+                expand_sent_tuples: j.expand_sent_tuples,
+                contract_stored_tuples: j.contract_stored_tuples,
+                contract_sent_tuples: j.contract_sent_tuples,
+                retirements: j.retirements,
+                evicted_tuples: j.evicted_tuples,
+                evicted_bytes: j.evicted_bytes,
+                match_log: j.match_log.clone(),
+            });
+        } else if let Some(r) = task.as_any().downcast_ref::<ReshufflerTask>() {
+            if let Some(ctrl) = &r.controller {
+                bundle.controller = Some(wire::ControllerFinal {
+                    task: id as u64,
+                    assign: clone_assign(&r.assign),
+                    events: ctrl.events.clone(),
+                    samples: ctrl.recorder.samples.clone(),
+                });
+            }
+        } else if let Some(s) = task
+            .as_any()
+            .downcast_ref::<aoj_operators::shj::ShjJoiner>()
+        {
+            let (sum_us, count, max_us, buckets) = s.latency.to_parts();
+            bundle.shj.push(wire::ShjFinal {
+                task: id as u64,
+                matches: s.matches,
+                latency: wire::LatencyParts {
+                    count,
+                    sum_us,
+                    max_us,
+                    buckets,
+                },
+                match_log: s.match_log.clone(),
+            });
+        }
+    }
+    bundle
+}
+
+/// Copy a [`aoj_core::mapping::GridAssignment`] through its parts (it
+/// derives no `Clone`; the parts round-trip is exact).
+pub(crate) fn clone_assign(
+    a: &aoj_core::mapping::GridAssignment,
+) -> aoj_core::mapping::GridAssignment {
+    aoj_core::mapping::GridAssignment::from_parts(
+        a.mapping(),
+        a.pos_slice().to_vec(),
+        a.machines().map(|m| m as u32).collect(),
+    )
+    .expect("assignment parts round-trip")
+}

@@ -1,0 +1,291 @@
+//! Property tests for the aoj-net wire format: every [`OpMsg`] variant,
+//! across batch shapes, survives an encode → decode → re-encode loop
+//! byte-identically. `OpMsg` derives no `PartialEq` (it carries floats
+//! nowhere, but assignment tables and specs make a derive unattractive),
+//! so equality is checked on the canonical re-encoded bytes — which is
+//! also the stronger property: the codec must be a bijection on its own
+//! image.
+
+use aoj_core::elastic::{ContractRole, ContractSpec, ElasticLayout, ExpandSpec};
+use aoj_core::mapping::{GridAssignment, GridPos, Mapping, Step};
+use aoj_core::migration::MachineStepSpec;
+use aoj_core::tuple::{Rel, Tuple};
+use aoj_net::wire::{
+    self, dec_match_batch, dec_task_msg, decode_opmsg, enc_match_batch, enc_task_msg,
+    opmsg_to_bytes, Dec,
+};
+use aoj_operators::messages::{IngestItem, Match, OpMsg};
+use aoj_operators::{OperatorKind, SessionBuilder};
+use aoj_simnet::{SimTime, TaskId};
+use proptest::prelude::*;
+
+fn rel() -> impl Strategy<Value = Rel> {
+    prop_oneof![Just(Rel::R), Just(Rel::S)]
+}
+
+fn ingest_item() -> impl Strategy<Value = IngestItem> {
+    (
+        rel(),
+        any::<i64>(),
+        any::<i32>(),
+        any::<u32>(),
+        any::<u64>(),
+    )
+        .prop_map(|(rel, key, aux, bytes, seq)| IngestItem {
+            rel,
+            key,
+            aux,
+            bytes,
+            seq,
+        })
+}
+
+fn tuple() -> impl Strategy<Value = Tuple> {
+    (
+        any::<u64>(),
+        rel(),
+        any::<i64>(),
+        any::<i32>(),
+        any::<u32>(),
+        any::<u64>(),
+    )
+        .prop_map(|(seq, rel, key, aux, bytes, ticket)| Tuple {
+            seq,
+            rel,
+            key,
+            aux,
+            bytes,
+            ticket,
+        })
+}
+
+fn grid_pos() -> impl Strategy<Value = GridPos> {
+    (0u32..64, 0u32..64).prop_map(|(row, col)| GridPos { row, col })
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![Just(Step::HalveRows), Just(Step::HalveCols)]
+}
+
+fn mapping() -> impl Strategy<Value = Mapping> {
+    (0u32..4, 0u32..4).prop_map(|(en, em)| Mapping::new(1 << en, 1 << em))
+}
+
+/// An assignment at a proptest-chosen mapping; the canonical layout is
+/// enough for codec coverage (the codec ships the raw tables either way).
+fn assignment() -> impl Strategy<Value = GridAssignment> {
+    mapping().prop_map(GridAssignment::initial)
+}
+
+fn machine_step_spec() -> impl Strategy<Value = MachineStepSpec> {
+    (
+        0usize..256,
+        grid_pos(),
+        grid_pos(),
+        0usize..256,
+        rel(),
+        0u32..2,
+        0u32..6,
+    )
+        .prop_map(
+            |(machine, old_pos, new_pos, partner, exchange_rel, keep_bit, parts_exp)| {
+                MachineStepSpec {
+                    machine,
+                    old_pos,
+                    new_pos,
+                    partner,
+                    exchange_rel,
+                    refine_rel: exchange_rel.other(),
+                    keep_bit,
+                    refine_parts_before: 1 << parts_exp,
+                }
+            },
+        )
+}
+
+fn expand_spec() -> impl Strategy<Value = ExpandSpec> {
+    (
+        0usize..256,
+        grid_pos(),
+        (0usize..256, 0usize..256, 0usize..256).prop_map(|(a, b, c)| [a, b, c]),
+        0u32..6,
+        0u32..6,
+    )
+        .prop_map(|(machine, old_pos, children, ne, me)| ExpandSpec {
+            machine,
+            old_pos,
+            children,
+            n_before: 1 << ne,
+            m_before: 1 << me,
+        })
+}
+
+fn contract_spec() -> impl Strategy<Value = ContractSpec> {
+    let role = prop_oneof![
+        Just(ContractRole::Survive),
+        (
+            0usize..256,
+            prop_oneof![Just(None), Just(Some(Rel::R)), Just(Some(Rel::S))]
+        )
+            .prop_map(|(survivor, forward_rel)| ContractRole::Retire {
+                survivor,
+                forward_rel,
+            }),
+    ];
+    (0usize..256, role).prop_map(|(machine, role)| ContractSpec { machine, role })
+}
+
+fn elastic_layout() -> impl Strategy<Value = ElasticLayout> {
+    (0usize..64, proptest::collection::vec(0usize..64, 0..8))
+        .prop_map(|(next_fresh, dormant)| ElasticLayout::from_parts(next_fresh, dormant))
+}
+
+fn task_ids() -> impl Strategy<Value = Vec<TaskId>> {
+    proptest::collection::vec((0usize..1024).prop_map(TaskId), 0..12)
+}
+
+/// Every variant, with container sizes spanning empty / one / many so
+/// batch-shape edge cases (zero-length vectors, length prefixes) are hit.
+fn opmsg() -> impl Strategy<Value = OpMsg> {
+    let items = || proptest::collection::vec(ingest_item(), 0..20);
+    let tuples = proptest::collection::vec(tuple(), 0..20);
+    let data_batch = (
+        any::<u32>(),
+        any::<bool>(),
+        proptest::collection::vec((tuple(), any::<u64>()), 0..20),
+    )
+        .prop_map(|(tag, store, rows)| {
+            let (tuples, arrived): (Vec<_>, Vec<_>) =
+                rows.into_iter().map(|(t, at)| (t, SimTime(at))).unzip();
+            OpMsg::DataBatch {
+                tag,
+                store,
+                tuples,
+                arrived,
+            }
+        });
+    prop_oneof![
+        items().prop_map(|items| OpMsg::IngestBatch { items }),
+        items().prop_map(|items| OpMsg::IngestBounced { items }),
+        data_batch,
+        (any::<u32>(), step())
+            .prop_map(|(new_epoch, step)| OpMsg::MappingChange { new_epoch, step }),
+        any::<u32>().prop_map(|epoch| OpMsg::MigrationComplete { epoch }),
+        (0usize..256, any::<u32>(), any::<u32>(), machine_step_spec()).prop_map(
+            |(from_reshuffler, new_epoch, expected_signals, spec)| OpMsg::Signal {
+                from_reshuffler,
+                new_epoch,
+                expected_signals,
+                spec,
+            }
+        ),
+        any::<u32>().prop_map(|new_epoch| OpMsg::ExpandChange { new_epoch }),
+        (0usize..256, any::<u32>(), any::<u32>(), expand_spec()).prop_map(
+            |(from_reshuffler, new_epoch, expected_signals, spec)| OpMsg::ExpandSignal {
+                from_reshuffler,
+                new_epoch,
+                expected_signals,
+                spec,
+            }
+        ),
+        any::<u32>().prop_map(|new_epoch| OpMsg::ContractChange { new_epoch }),
+        (0usize..256, any::<u32>(), any::<u32>(), contract_spec()).prop_map(
+            |(from_reshuffler, new_epoch, expected_signals, spec)| OpMsg::ContractSignal {
+                from_reshuffler,
+                new_epoch,
+                expected_signals,
+                spec,
+            }
+        ),
+        (any::<u32>(), assignment(), elastic_layout()).prop_map(|(epoch, assign, layout)| {
+            OpMsg::Activate {
+                epoch,
+                assign,
+                layout,
+            }
+        }),
+        any::<u32>().prop_map(|epoch| OpMsg::ExpandDone { epoch }),
+        task_ids().prop_map(|reshufflers| OpMsg::SourceGrow { reshufflers }),
+        task_ids().prop_map(|reshufflers| OpMsg::SourceShrink { reshufflers }),
+        tuples.prop_map(|tuples| OpMsg::MigBatch { tuples }),
+        Just(OpMsg::MigDone),
+        (0usize..256, any::<u32>()).prop_map(|(joiner, epoch)| OpMsg::Ack { joiner, epoch }),
+        (any::<u32>(), any::<u32>()).prop_map(|(n, tuples)| OpMsg::RoutedCopies { n, tuples }),
+        any::<u32>().prop_map(|n| OpMsg::ProcessedCopies { n }),
+    ]
+}
+
+fn match_val() -> impl Strategy<Value = Match> {
+    (any::<u64>(), any::<u64>(), any::<i64>(), any::<i64>()).prop_map(
+        |(r_seq, s_seq, r_key, s_key)| Match {
+            r_seq,
+            s_seq,
+            r_key,
+            s_key,
+        },
+    )
+}
+
+proptest! {
+    /// encode → decode → re-encode is the identity on bytes, and the
+    /// decoder consumes the payload exactly.
+    #[test]
+    fn opmsg_roundtrip(msg in opmsg()) {
+        let bytes = opmsg_to_bytes(&msg);
+        let mut d = Dec::new(&bytes);
+        let back = decode_opmsg(&mut d).expect("decode");
+        d.finish().expect("no trailing bytes");
+        prop_assert_eq!(bytes, opmsg_to_bytes(&back));
+    }
+
+    /// The full task-message payload (from, to, msg) round-trips.
+    #[test]
+    fn task_msg_roundtrip(from in 0usize..4096, to in 0usize..4096, msg in opmsg()) {
+        let bytes = enc_task_msg(TaskId(from), TaskId(to), &msg);
+        let (f2, t2, m2) = dec_task_msg(&bytes).expect("decode");
+        prop_assert_eq!(f2, TaskId(from));
+        prop_assert_eq!(t2, TaskId(to));
+        prop_assert_eq!(enc_task_msg(f2, t2, &m2), bytes);
+    }
+
+    /// Match batches of any shape round-trip exactly.
+    #[test]
+    fn match_batch_roundtrip(ms in proptest::collection::vec(match_val(), 0..64)) {
+        let bytes = enc_match_batch(&ms);
+        let back = dec_match_batch(&bytes).expect("decode");
+        prop_assert_eq!(back, ms);
+    }
+
+    /// A truncated OpMsg payload errors instead of panicking or
+    /// fabricating a value.
+    #[test]
+    fn truncation_is_an_error(msg in opmsg(), cut in 0usize..64) {
+        let bytes = opmsg_to_bytes(&msg);
+        if bytes.is_empty() { return Ok(()); }
+        let cut = cut % bytes.len();
+        let mut d = Dec::new(&bytes[..cut]);
+        // Either the decode fails, or it succeeded on a prefix that is
+        // itself a complete message — in which case finish() must flag
+        // nothing left over and the prefix re-encodes to itself.
+        if let Ok(back) = decode_opmsg(&mut d) {
+            if d.finish().is_ok() {
+                prop_assert_eq!(opmsg_to_bytes(&back), &bytes[..cut]);
+            }
+        }
+    }
+}
+
+/// The session plan (a full `SessionBuilder`) survives the wire: the
+/// canonical bytes are a fixed point of encode ∘ decode, and the
+/// fingerprint workers verify against is stable.
+#[test]
+fn builder_roundtrip() {
+    let builder = SessionBuilder::new(4, OperatorKind::Dynamic)
+        .with_seed(0xF00D_2014)
+        .with_count_window(5_000);
+    let bytes = wire::encode_builder(&builder);
+    let back = wire::decode_builder(&bytes).expect("decode plan");
+    let bytes2 = wire::encode_builder(&back);
+    assert_eq!(bytes, bytes2, "plan bytes are a codec fixed point");
+    assert_eq!(wire::fingerprint(&bytes), wire::fingerprint(&bytes2));
+}

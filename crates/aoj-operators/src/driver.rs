@@ -81,6 +81,10 @@ pub enum BackendChoice {
     Sim,
     /// `aoj-runtime`: one OS thread per machine, wall-clock time.
     Threaded,
+    /// `aoj-net`: one OS **process** per machine, reached over loopback
+    /// TCP. Requires the backend crate to have registered itself —
+    /// call `aoj_net::install()` before opening the session.
+    Tcp,
 }
 
 /// Configuration of one run — the **legacy flat form** of

@@ -89,6 +89,31 @@ impl LatencyStats {
         }
     }
 
+    /// Decompose into raw parts — `(sum_us, count, max_us, buckets)` —
+    /// for wire transport between processes. [`from_parts`] inverts it
+    /// losslessly.
+    ///
+    /// [`from_parts`]: LatencyStats::from_parts
+    pub fn to_parts(&self) -> (u64, u64, u64, [u64; LATENCY_BUCKETS]) {
+        (self.sum_us, self.count, self.max_us, self.buckets)
+    }
+
+    /// Rebuild from the parts [`to_parts`](LatencyStats::to_parts)
+    /// produced.
+    pub fn from_parts(
+        sum_us: u64,
+        count: u64,
+        max_us: u64,
+        buckets: [u64; LATENCY_BUCKETS],
+    ) -> LatencyStats {
+        LatencyStats {
+            sum_us,
+            count,
+            max_us,
+            buckets,
+        }
+    }
+
     /// Approximate `q`-quantile (`0 < q <= 1`) in microseconds: the upper
     /// bound of the histogram bucket holding the rank, clamped to the
     /// observed maximum. Log₂ buckets bound the relative error at 2x.
@@ -233,9 +258,19 @@ impl JoinerTask {
     /// Turn this joiner into a dormant elastic child: provisioned but
     /// unborn, waking up when its parent's expansion reaches it.
     pub fn dormant(mut self, predicate: Predicate, n_reshufflers: usize) -> JoinerTask {
+        self.make_dormant(predicate, n_reshufflers);
+        self
+    }
+
+    /// In-place [`dormant`](JoinerTask::dormant), for callers holding the
+    /// task behind a trait object: a reincarnated worker **process**
+    /// rebuilds the topology (where `setup_grid` makes slot `i < j`
+    /// active) and must then demote its own freshly built joiner back to
+    /// dormant, because the live cluster's controller will re-activate it
+    /// through the usual `Activate`/expansion protocol.
+    pub fn make_dormant(&mut self, predicate: Predicate, n_reshufflers: usize) {
         let p = predicate;
         self.epoch = EpochJoiner::new_dormant(&move || index_for(&p), n_reshufflers);
-        self
     }
 
     /// Batch size for credit returns: small enough to keep the source's
@@ -292,15 +327,18 @@ impl JoinerTask {
     fn observe_window(
         &mut self,
         ctx: &mut Ctx<'_, OpMsg>,
-        seqs: &[u64],
+        seqs: &[(u64, i32)],
         arrived: &[aoj_simnet::SimTime],
     ) {
         let Some(w) = self.window.as_mut() else {
             return;
         };
+        // Time windows tick on the spec's extractor: the backend arrival
+        // clock, or real event time from the tuple `aux` column.
+        let spec = w.spec();
         let mut seal = false;
-        for (i, &seq) in seqs.iter().enumerate() {
-            if w.observe(seq, arrived[i].as_micros()) {
+        for (i, &(seq, aux)) in seqs.iter().enumerate() {
+            if w.observe(seq, spec.tick_of(arrived[i].as_micros(), aux)) {
                 seal = true;
             }
         }
@@ -405,9 +443,9 @@ impl Process<OpMsg> for JoinerTask {
                 // Window bookkeeping only ticks on stable-phase batches;
                 // capture the seqs up front because the per-tuple path
                 // consumes the batch.
-                let win_seqs: Option<Vec<u64>> =
+                let win_seqs: Option<Vec<(u64, i32)>> =
                     if self.window.is_some() && self.epoch.stable_for(tag) {
-                        Some(tuples.iter().map(|t| t.seq).collect())
+                        Some(tuples.iter().map(|t| (t.seq, t.aux)).collect())
                     } else {
                         None
                     };

@@ -44,7 +44,8 @@ pub use grouped::{run_grouped, GroupedReport};
 pub use messages::{Match, OpMsg};
 pub use report::{human_bytes, ContractTransfer, ExpandTransfer, RunReport};
 pub use session::{
-    IngestHandle, JoinSession, LifecycleSection, MatchSubscription, PushError, SessionBuilder,
-    SessionHandle, SessionStats,
+    assemble_topology, register_tcp_backend, IngestHandle, IngestQueue, JoinSession,
+    LifecycleSection, MatchHub, MatchSubscription, NetBackend, NetBackendFactory, PushError,
+    SessionBuilder, SessionHandle, SessionStats, SessionTopology,
 };
 pub use source::SourcePacing;

@@ -54,7 +54,7 @@ use std::collections::VecDeque;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 use aoj_core::decision::DecisionConfig;
@@ -184,6 +184,16 @@ impl IngestQueue {
             }
             st.closed = true;
         }
+        q
+    }
+
+    /// An empty, already-closed queue — the shape a remote worker's
+    /// topology rebuild needs. The worker's copy of the source task
+    /// never executes (the coordinator process hosts the real source),
+    /// so its queue only has to exist and read as drained.
+    pub fn detached() -> Arc<IngestQueue> {
+        let q = IngestQueue::bounded(1, false);
+        q.close();
         q
     }
 
@@ -332,14 +342,38 @@ impl MatchHub {
         })
     }
 
+    /// An unbounded hub with a collector attached: emitted matches are
+    /// buffered — never blocking the emitter — until
+    /// [`drain_buffered`](MatchHub::drain_buffered) takes them. Remote
+    /// worker processes feed their joiners' matches through one of these
+    /// and periodically drain it onto the wire.
+    pub fn collector() -> Arc<MatchHub> {
+        let hub = MatchHub::new(0);
+        hub.attach();
+        hub
+    }
+
+    /// Take every currently buffered match (collector hubs).
+    pub fn drain_buffered(&self) -> Vec<Match> {
+        let mut st = self.state.lock().unwrap();
+        let out: Vec<Match> = st.buf.drain(..).collect();
+        drop(st);
+        if !out.is_empty() {
+            self.space.notify_all();
+        }
+        out
+    }
+
     /// Total matches emitted by the joiners so far (counted whether or
     /// not anyone subscribed).
     pub fn emitted(&self) -> u64 {
         self.emitted.load(Ordering::Relaxed)
     }
 
-    /// Called by joiners for every produced pair.
-    pub(crate) fn emit(&self, m: Match) {
+    /// Called by joiners for every produced pair. Also the entry point
+    /// an out-of-process backend uses to re-emit matches received from
+    /// its workers into the session's stream.
+    pub fn emit(&self, m: Match) {
         self.emitted.fetch_add(1, Ordering::Relaxed);
         if !self.attached.load(Ordering::Relaxed) {
             return;
@@ -906,6 +940,30 @@ impl Wiring {
     }
 }
 
+/// An execution backend provided by another crate, launchable by the
+/// session layer like the built-ins. `aoj-net` registers its TCP
+/// process backend through [`register_tcp_backend`]; the indirection
+/// keeps the dependency arrow pointing outward (the backend crate
+/// depends on this one, not vice versa).
+pub trait NetBackend: ExecBackend<OpMsg> + Send {
+    /// The live gauge overlay [`SessionHandle::stats`] reads while the
+    /// backend runs on its own thread.
+    fn session_gauges(&mut self) -> Arc<SharedGauges>;
+}
+
+/// Factory building a [`BackendChoice::Tcp`] backend for one session.
+/// The hub is the session's match stream: the backend re-emits matches
+/// received from its workers into it ([`MatchHub::emit`]).
+pub type NetBackendFactory = fn(&SessionBuilder, Arc<MatchHub>) -> Box<dyn NetBackend>;
+
+static TCP_BACKEND: OnceLock<NetBackendFactory> = OnceLock::new();
+
+/// Register the factory [`BackendChoice::Tcp`] sessions launch with.
+/// Idempotent; the first registration wins.
+pub fn register_tcp_backend(factory: NetBackendFactory) {
+    let _ = TCP_BACKEND.set(factory);
+}
+
 enum Inner {
     /// The deterministic simulator, pumped inline by the owner.
     Sim {
@@ -915,6 +973,13 @@ enum Inner {
     /// The threaded runtime, running concurrently on its own threads.
     Threaded {
         runner: JoinHandle<(Runtime<OpMsg>, SimTime)>,
+        wiring: Wiring,
+        gauges: Arc<SharedGauges>,
+    },
+    /// An externally registered backend (the TCP process backend),
+    /// running concurrently like the threaded runtime.
+    External {
+        runner: JoinHandle<(Box<dyn NetBackend>, SimTime)>,
         wiring: Wiring,
         gauges: Arc<SharedGauges>,
     },
@@ -989,6 +1054,12 @@ impl JoinSession {
         path: &Path,
         replay_from: Option<u64>,
     ) -> io::Result<SessionHandle> {
+        if builder.backend.choice == BackendChoice::Tcp {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "checkpoint restore is not supported on the TCP process backend",
+            ));
+        }
         let ckpt = Checkpoint::read_from(path)?;
         let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
         if builder.kind == OperatorKind::Shj {
@@ -1080,6 +1151,37 @@ fn launch(
                 hub,
             )
         }
+        BackendChoice::Tcp => {
+            assert!(
+                restore_from.is_none(),
+                "checkpoint restore is gated off the TCP backend before launch"
+            );
+            let factory = TCP_BACKEND.get().expect(
+                "BackendChoice::Tcp needs a registered backend: \
+                 call aoj_net::install() before opening the session",
+            );
+            let hub = MatchHub::new(builder.backend.match_buffer);
+            let mut backend = factory(&builder, Arc::clone(&hub));
+            let idle_poll = SimDuration::from_micros(builder.source.idle_poll_us.max(1));
+            let wiring =
+                build_topology(&mut backend, &builder, &queue, &hub, Some(idle_poll), None);
+            let gauges = backend.session_gauges();
+            let runner = std::thread::Builder::new()
+                .name("aoj-session-net".to_string())
+                .spawn(move || {
+                    let end = backend.run();
+                    (backend, end)
+                })
+                .expect("failed to spawn session runner thread");
+            (
+                Inner::External {
+                    runner,
+                    wiring,
+                    gauges,
+                },
+                hub,
+            )
+        }
     };
     let (inner, hub) = inner;
     SessionHandle {
@@ -1110,6 +1212,41 @@ fn build_topology<B: ExecBackend<OpMsg>>(
     }
 }
 
+/// An assembled operator topology, opaque except for what an
+/// out-of-process backend needs to drive it.
+pub struct SessionTopology {
+    wiring: Wiring,
+}
+
+impl SessionTopology {
+    /// The source task's id (hosted on the last-registered machine).
+    pub fn source_id(&self) -> TaskId {
+        self.wiring.source_id()
+    }
+
+    /// Registered joiner machine slots (excluding the source machine).
+    pub fn machine_slots(&self) -> usize {
+        self.wiring.machine_slots()
+    }
+}
+
+/// Assemble `builder`'s operator topology on any backend — the hook a
+/// worker **process** uses to rebuild the coordinator's exact task
+/// layout on its own local backend. Registration order is a pure
+/// function of the builder, so identical `TaskId`s fall out on every
+/// process that runs this over an equal builder.
+pub fn assemble_topology<B: ExecBackend<OpMsg>>(
+    backend: &mut B,
+    builder: &SessionBuilder,
+    input: Arc<IngestQueue>,
+    sink: Arc<MatchHub>,
+    idle_poll: Option<SimDuration>,
+) -> SessionTopology {
+    SessionTopology {
+        wiring: build_topology(backend, builder, &input, &sink, idle_poll, None),
+    }
+}
+
 /// The caller's end of an open [`JoinSession`].
 ///
 /// Push tuples ([`push`](SessionHandle::push) /
@@ -1136,7 +1273,7 @@ impl SessionHandle {
     /// queue in virtual time before returning.
     pub fn push(&mut self, rel: Rel, item: StreamItem) -> Result<(), PushError> {
         match self.inner.as_mut().expect("session closed") {
-            Inner::Threaded { .. } => self.queue.push(rel, item),
+            Inner::Threaded { .. } | Inner::External { .. } => self.queue.push(rel, item),
             Inner::Sim { sim, wiring } => {
                 sim_push(&self.queue, sim, wiring, rel, item)?;
                 pump_sim(sim, wiring.source_id(), &self.queue);
@@ -1150,7 +1287,7 @@ impl SessionHandle {
     /// a pump drains the queue — so `Full` is retried once internally).
     pub fn try_push(&mut self, rel: Rel, item: StreamItem) -> Result<(), PushError> {
         match self.inner.as_mut().expect("session closed") {
-            Inner::Threaded { .. } => self.queue.try_push(rel, item),
+            Inner::Threaded { .. } | Inner::External { .. } => self.queue.try_push(rel, item),
             Inner::Sim { sim, wiring } => {
                 sim_push(&self.queue, sim, wiring, rel, item)?;
                 pump_sim(sim, wiring.source_id(), &self.queue);
@@ -1168,7 +1305,7 @@ impl SessionHandle {
     ) -> Result<u64, PushError> {
         let mut n = 0u64;
         match self.inner.as_mut().expect("session closed") {
-            Inner::Threaded { .. } => {
+            Inner::Threaded { .. } | Inner::External { .. } => {
                 for (rel, item) in items {
                     self.queue.push(rel, item)?;
                     n += 1;
@@ -1237,7 +1374,7 @@ impl SessionHandle {
                         .collect();
                     (stored, evicted, window, m.data_processed)
                 }
-                Inner::Threaded { gauges, wiring, .. } => {
+                Inner::Threaded { gauges, wiring, .. } | Inner::External { gauges, wiring, .. } => {
                     let slots = wiring.machine_slots();
                     let stored = (0..slots).map(|i| gauges.stored(MachineId(i))).collect();
                     let evicted = (0..slots).map(|i| gauges.evicted(MachineId(i))).collect();
@@ -1280,6 +1417,13 @@ impl SessionHandle {
                 };
                 collect(&rt, &self.builder, &wiring, pushed, end, &prefix)
             }
+            Inner::External { runner, wiring, .. } => {
+                let (backend, end) = match runner.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                };
+                collect(&backend, &self.builder, &wiring, pushed, end, &prefix)
+            }
         };
         self.hub.finish();
         report
@@ -1296,6 +1440,14 @@ impl SessionHandle {
     /// consumed — so the restored session's first batch behaves exactly
     /// like the next stable batch of the original run.
     pub fn checkpoint(mut self, path: impl AsRef<Path>) -> io::Result<RunReport> {
+        if matches!(self.inner, Some(Inner::External { .. })) {
+            // Dropping `self` drains the session cleanly (the Drop impl
+            // joins the runner); only the snapshot is refused.
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "checkpointing is not supported on the TCP process backend",
+            ));
+        }
         self.hub.lift_bound();
         self.queue.close();
         let pushed = self.queue.pushed();
@@ -1316,6 +1468,7 @@ impl SessionHandle {
                 let report = collect(&rt, &self.builder, &wiring, pushed, end, &prefix);
                 (report, ckpt)
             }
+            Inner::External { .. } => unreachable!("gated to Unsupported above"),
         };
         self.hub.finish();
         ckpt.write_to(path.as_ref())?;
@@ -1343,14 +1496,20 @@ impl Drop for SessionHandle {
         // could block another thread, in the same order close() uses.
         self.hub.lift_bound();
         self.queue.close();
-        if let Some(Inner::Threaded { runner, .. }) = self.inner.take() {
+        match self.inner.take() {
             // Wait for the runner to drain the (now closed) queue before
             // finishing the hub: joiners may still be emitting, and a
             // subscriber's iterator must not end while matches are in
             // flight. A worker panic is swallowed here — resuming a
             // panic inside drop (possibly during another unwind) would
             // abort; close() is the path that propagates it.
-            let _ = runner.join();
+            Some(Inner::Threaded { runner, .. }) => {
+                let _ = runner.join();
+            }
+            Some(Inner::External { runner, .. }) => {
+                let _ = runner.join();
+            }
+            _ => {}
         }
         self.hub.finish();
     }

@@ -17,6 +17,14 @@ use aoj_operators::{run, BackendChoice, ElasticConfig, OperatorKind, RunConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+// The TCP process backend re-executes this test binary as its workers;
+// this declares the re-exec entry point.
+aoj_net::worker_entry!();
+
+/// TCP runs record a process-global [`aoj_net::last_run_summary`], so
+/// the tests asserting on it must not interleave their runs.
+static TCP_RUNS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// A lopsided, moderately skewed workload: R dimension-like, S fact-like,
 /// overlapping key space so the join produces real output.
 fn workload(predicate: Predicate, nr: usize, ns: usize, seed: u64) -> Workload {
@@ -154,6 +162,171 @@ fn elastic_dynamic_expands_live_and_stays_exact_across_backends() {
                 t.stored_tuples
             );
         }
+    }
+}
+
+/// Sim vs the TCP **process** backend: same seeded workload, identical
+/// sorted join multisets. Every machine is a separate OS process here,
+/// so this exercises the wire codec, the per-class sockets, and the
+/// connection-level EOS/drain protocol end to end.
+fn run_sim_vs_tcp(kind: OperatorKind, predicate: Predicate, seed: u64) {
+    let _serial = TCP_RUNS.lock().unwrap();
+    aoj_net::install();
+    let w = workload(predicate, 400, 4_000, seed);
+    let arrivals = interleave(&w, seed ^ 0xA0A0);
+    let mut cfg = RunConfig::new(4, kind);
+    cfg.collect_matches = true;
+    cfg.seed = seed;
+
+    let sim = run(
+        &arrivals,
+        &w.predicate,
+        w.name,
+        &cfg.clone().with_backend(BackendChoice::Sim),
+    );
+    let tcp = run(
+        &arrivals,
+        &w.predicate,
+        w.name,
+        &cfg.with_backend(BackendChoice::Tcp),
+    );
+
+    assert_eq!(tcp.backend, "tcp");
+    assert!(sim.matches > 0, "vacuous workload");
+    assert_eq!(
+        sim.match_pairs, tcp.match_pairs,
+        "{kind:?}: join result multisets diverge between sim and tcp"
+    );
+    // Every worker process was reaped cleanly.
+    let summary = aoj_net::last_run_summary().expect("tcp run recorded a summary");
+    assert_eq!(summary.spawned as usize, summary.reaped.len());
+    for r in &summary.reaped {
+        assert_eq!(
+            r.exit_code,
+            Some(0),
+            "worker {} (gen {}) exited abnormally",
+            r.machine,
+            r.gen
+        );
+    }
+}
+
+#[test]
+fn tcp_dynamic_band_join_results_match_sim() {
+    run_sim_vs_tcp(
+        OperatorKind::Dynamic,
+        Predicate::Band { width: 2 },
+        0xBA_2014,
+    );
+}
+
+#[test]
+fn tcp_shj_join_results_match_sim() {
+    run_sim_vs_tcp(OperatorKind::Shj, Predicate::Equi, 0x54_2014);
+}
+
+/// The elastic Dynamic operator on the TCP backend: a live ×4 expansion
+/// must fire **mid-stream**, provisioning real worker processes at
+/// trigger time, and the join multiset must still be exactly the
+/// non-elastic simulator reference.
+#[test]
+fn tcp_elastic_expansion_provisions_processes_and_stays_exact() {
+    let _serial = TCP_RUNS.lock().unwrap();
+    aoj_net::install();
+    let seed = 0xE1A_2014;
+    let w = workload(Predicate::Equi, 400, 4_000, seed);
+    let arrivals = interleave(&w, seed ^ 0xA0A0);
+    let mut cfg = RunConfig::new(2, OperatorKind::Dynamic);
+    cfg.collect_matches = true;
+    cfg.seed = seed;
+    cfg.elastic = Some(ElasticConfig::new(64 << 10, 1));
+
+    let mut base_cfg = cfg.clone();
+    base_cfg.elastic = None;
+    let reference = run(&arrivals, &w.predicate, w.name, &base_cfg);
+    assert!(reference.matches > 0, "vacuous workload");
+
+    let report = run(
+        &arrivals,
+        &w.predicate,
+        w.name,
+        &cfg.with_backend(BackendChoice::Tcp),
+    );
+    assert!(report.expansions >= 1, "no live expansion fired");
+    assert_eq!(report.final_mapping.j(), 8, "cluster did not reach 4×J₀");
+    assert_eq!(
+        report.match_pairs, reference.match_pairs,
+        "elastic tcp run diverged from the non-elastic output"
+    );
+    // Trigger-time provisioning: the cluster started at 2 joiner
+    // machines and expanded ×4 live, so the peak must show the spawned
+    // processes (8 joiners + the coordinator-hosted source machine).
+    assert_eq!(
+        report.peak_provisioned_machines, 9,
+        "peak provisioning does not reflect the trigger-time spawns"
+    );
+    let summary = aoj_net::last_run_summary().expect("tcp run recorded a summary");
+    assert_eq!(
+        summary.spawned, 8,
+        "expected 2 eager + 6 trigger-time worker spawns"
+    );
+    assert_eq!(summary.spawned as usize, summary.reaped.len());
+    for r in &summary.reaped {
+        assert_eq!(r.exit_code, Some(0), "worker {} crashed", r.machine);
+    }
+}
+
+/// A forced elastic contraction on the TCP backend: retired machines'
+/// processes perform the quiesce-barrier teardown and **exit mid-run**
+/// (waitpid-confirmed), and the join multiset stays exact.
+#[test]
+fn tcp_contraction_retires_processes_and_stays_exact() {
+    let _serial = TCP_RUNS.lock().unwrap();
+    aoj_net::install();
+    let seed = 0xE1A_2014;
+    let w = workload(Predicate::Equi, 400, 4_000, seed);
+    let arrivals = interleave(&w, seed ^ 0xA0A0);
+    let mut cfg = RunConfig::new(2, OperatorKind::Dynamic);
+    cfg.collect_matches = true;
+    cfg.seed = seed;
+    // Expand once at 40 KB, then a permissive contraction threshold with
+    // a short holdoff pulls the cluster back 4→1 while traffic is live.
+    cfg.elastic = Some(
+        ElasticConfig::new(40 << 10, 2)
+            .with_contraction(1 << 40, 2)
+            .with_contract_holdoff(2_000),
+    );
+
+    let mut base_cfg = cfg.clone();
+    base_cfg.elastic = None;
+    let reference = run(&arrivals, &w.predicate, w.name, &base_cfg);
+
+    let report = run(
+        &arrivals,
+        &w.predicate,
+        w.name,
+        &cfg.with_backend(BackendChoice::Tcp),
+    );
+    assert!(report.expansions >= 1, "no expansion fired");
+    assert!(report.contractions >= 1, "no contraction fired");
+    assert_eq!(
+        report.match_pairs, reference.match_pairs,
+        "contracting tcp run diverged from the non-elastic output"
+    );
+    let summary = aoj_net::last_run_summary().expect("tcp run recorded a summary");
+    let mid_run: Vec<_> = summary.reaped.iter().filter(|r| r.mid_run).collect();
+    assert!(
+        !mid_run.is_empty(),
+        "contraction did not retire any worker process mid-run"
+    );
+    for r in &summary.reaped {
+        assert_eq!(
+            r.exit_code,
+            Some(0),
+            "worker {} (gen {}) exited abnormally",
+            r.machine,
+            r.gen
+        );
     }
 }
 

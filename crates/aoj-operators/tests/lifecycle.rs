@@ -203,6 +203,95 @@ fn eviction_never_drops_an_in_window_pair_fifo() {
     assert!(report.matches > 0, "vacuous workload");
 }
 
+/// Satellite: time windows can tick on real event time carried in the
+/// tuple `aux` column. The event clock here advances ~10 ms per arrival
+/// while the virtual arrival clock crosses the whole stream in a few
+/// milliseconds, so the same span evicts aggressively under
+/// `time_event_aux` ticks and not at all under arrival ticks — and the
+/// FIFO window guarantee holds in *event* time.
+#[test]
+fn event_time_windows_tick_on_the_aux_column() {
+    use aoj_core::tuple::Rel;
+    let seed = 0x11FE_0009;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let stride = 10_000u64; // 10 ms of event time per arrival
+    let span = 300_000u64; // a 300 ms window reaches back ~30 arrivals
+    let arrivals: Vec<(Rel, StreamItem)> = (0..1_200usize)
+        .map(|i| {
+            let rel = if i % 2 == 0 { Rel::R } else { Rel::S };
+            let item = StreamItem {
+                key: rng.gen_range(0..24i64),
+                aux: (i as u64 * stride) as i32,
+                bytes: 64,
+            };
+            (rel, item)
+        })
+        .collect();
+
+    let spec = WindowSpec::time_event_aux(span).with_sub_windows(6);
+    assert_eq!(spec.ticks, aoj_core::TickSource::AuxEventTime);
+    let run_with = |spec: WindowSpec| {
+        let builder = SessionBuilder::new(1, OperatorKind::Dynamic)
+            .with_predicate(Predicate::Equi)
+            .with_seed(seed)
+            .with_batch_tuples(1)
+            .with_window(spec)
+            .with_collect_matches(true);
+        let mut session = JoinSession::open(builder);
+        session.push_batch(arrivals.iter().copied()).unwrap();
+        let evicted = session.stats().total_evicted_bytes();
+        (session.close(), evicted)
+    };
+
+    let (report, evicted) = run_with(spec);
+    assert!(evicted > 0, "the event-time window never evicted");
+    let got: std::collections::BTreeSet<(u64, u64)> = report.match_pairs.iter().copied().collect();
+    let aux_gap = |a: u64, b: u64| a.abs_diff(b) * stride;
+    let mut must_have = 0usize;
+    for (i, (ri, a)) in arrivals.iter().enumerate() {
+        for (j, (rj, b)) in arrivals.iter().enumerate().skip(i + 1) {
+            if a.key != b.key || aux_gap(i as u64, j as u64) >= span {
+                continue;
+            }
+            let pair = match (ri, rj) {
+                (Rel::R, Rel::S) => (i as u64, j as u64),
+                (Rel::S, Rel::R) => (j as u64, i as u64),
+                _ => continue,
+            };
+            must_have += 1;
+            assert!(
+                got.contains(&pair),
+                "in-window pair {pair:?} (event gap < {span}) was dropped"
+            );
+        }
+    }
+    assert!(must_have > 0, "vacuous event-time workload");
+    // Nothing survives past the span plus the sub-window eviction lag,
+    // measured on the event clock the extractor supplies.
+    let max_gap = span + 2 * spec.sub_span();
+    for &(r, s) in &report.match_pairs {
+        let gap = aux_gap(r, s);
+        assert!(
+            gap <= max_gap,
+            "pair ({r},{s}) matched at event gap {gap} > {max_gap}"
+        );
+    }
+
+    // Control: the identical span on the *arrival* clock never evicts —
+    // the whole stream arrives in well under 300 virtual milliseconds —
+    // so the eviction above was demonstrably driven by the extractor.
+    let (control, control_evicted) = run_with(WindowSpec::time_micros(span).with_sub_windows(6));
+    assert_eq!(
+        control_evicted, 0,
+        "arrival-tick control evicted; the contrast is lost"
+    );
+    assert!(
+        control.match_pairs.len() > report.match_pairs.len(),
+        "the event-time window should emit strictly fewer pairs than the \
+         never-evicting arrival-tick control"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

@@ -73,15 +73,19 @@ struct Shared<M: SimMessage + Send + 'static> {
     sample_spacing: u64,
     machines: usize,
     drain_batch: usize,
-    /// Machines currently holding a worker thread (for accounting; a
-    /// retired machine's thread parks on its empty mailbox rather than
-    /// exiting, so stragglers still drain — see `Effect::Retire`).
+    /// Machines currently holding a worker thread.
     provisioned: AtomicUsize,
     peak_provisioned: AtomicUsize,
+    /// Retirement flush barrier: `flush_pending[m]` counts the live
+    /// peers that have not yet consumed their `Work::Flush { m }` token.
+    /// The worker consuming the last token completes machine `m`'s
+    /// mailbox drain, releasing its thread — see `Effect::Retire`.
+    flush_pending: Vec<AtomicUsize>,
     /// Per-machine provisioning state, mirroring the simulator's checks:
     /// 0 = deferred (never provisioned — delivering work to it panics,
     /// instead of silently wedging the termination counter), 1 = active,
-    /// 2 = retired (stragglers still drain).
+    /// 2 = retired (the worker drains its backlog behind the flush
+    /// barrier, then exits for real).
     machine_state: Vec<AtomicU8>,
 }
 
@@ -239,9 +243,36 @@ fn worker<M: SimMessage + Send + 'static>(
         // One lock acquisition drains up to `drain_batch` messages, in
         // exactly the order repeated single pops would have produced.
         if !mailbox.pop_batch(drain_batch, &mut batch, || shared.now_us(), &shared.done) {
-            break;
+            if shared.done.load(Ordering::SeqCst) {
+                break;
+            }
+            // This machine retired and its quiesce barrier completed:
+            // every live peer consumed its flush token (so none can
+            // send here again) and the backlog — stragglers included —
+            // has been fully serviced. Hard teardown: free the mailbox
+            // storage, park the tasks where a later re-provision finds
+            // them, and let the thread exit mid-run.
+            mailbox.release_storage();
+            let tasks = std::mem::take(&mut tasks);
+            shared.parked.lock().unwrap().insert(mid.index(), tasks);
+            drop(guard);
+            return (TaskMap::new(), shard);
         }
         for work in batch.drain(..) {
+            // Flush tokens are runtime-internal: consuming one marks
+            // this worker past the point where it could still send to
+            // the retiring machine; the last consumer completes that
+            // machine's drain.
+            let work = match work {
+                Work::Flush { machine } => {
+                    if shared.flush_pending[machine].fetch_sub(1, Ordering::SeqCst) == 1 {
+                        shared.mailboxes[machine].complete_drain();
+                    }
+                    shared.finish_item();
+                    continue;
+                }
+                other => other,
+            };
             let (self_task, effects, stopped) = {
                 let mut stopped = false;
                 let started = Instant::now();
@@ -266,6 +297,7 @@ fn worker<M: SimMessage + Send + 'static>(
                         let effects = ctx.take_effects();
                         (tid, effects)
                     }
+                    Work::Flush { .. } => unreachable!("flush tokens are consumed before dispatch"),
                 };
                 // Real CPU occupancy, not the modeled cost: this backend
                 // runs as fast as the hardware allows.
@@ -318,10 +350,9 @@ fn worker<M: SimMessage + Send + 'static>(
                         mailbox.push_timer(at, self_task, key);
                     }
                     Effect::Provision { machine } => {
-                        // Trigger-time provisioning: first activation of a
-                        // deferred machine spawns its worker thread here;
-                        // re-provisioning a retired machine is accounting
-                        // only (its parked thread never exited).
+                        // Trigger-time provisioning: activating a machine
+                        // spawns (or, after a retirement, re-spawns) its
+                        // worker thread over the parked task map.
                         let prev = shared.machine_state[machine.index()]
                             .swap(MACHINE_ACTIVE, Ordering::SeqCst);
                         assert_ne!(
@@ -330,6 +361,27 @@ fn worker<M: SimMessage + Send + 'static>(
                             "machine {} provisioned twice",
                             machine.index()
                         );
+                        if prev == MACHINE_RETIRED {
+                            // The retired worker deposits its tasks as its
+                            // very last act before exiting; the controller
+                            // can re-provision while that thread is still
+                            // winding down. No peer can send to the machine
+                            // until this effect completes (announcements
+                            // follow provisioning through this same
+                            // worker), so waiting here is safe — and
+                            // bounded, because the old worker's barrier
+                            // has long completed.
+                            let deadline = Instant::now() + std::time::Duration::from_secs(30);
+                            while !shared.parked.lock().unwrap().contains_key(&machine.index()) {
+                                assert!(
+                                    Instant::now() < deadline,
+                                    "re-provisioned machine {} never deposited its tasks",
+                                    machine.index()
+                                );
+                                thread::yield_now();
+                            }
+                            shared.mailboxes[machine.index()].reset_for_reuse();
+                        }
                         let parked = shared.parked.lock().unwrap().remove(&machine.index());
                         shared.note_provisioned();
                         if let Some(tasks) = parked {
@@ -338,11 +390,20 @@ fn worker<M: SimMessage + Send + 'static>(
                         }
                     }
                     Effect::Retire { machine } => {
-                        // Accounting-level release: the worker thread
-                        // parks on its drained mailbox (near-zero cost)
-                        // rather than exiting, so straggler control-plane
-                        // traffic still drains. A hard thread teardown
-                        // would need a data-plane quiesce barrier.
+                        // Hard release behind a quiesce barrier: flip the
+                        // state (no *new* sends may target the machine —
+                        // the elastic protocol already guarantees every
+                        // peer processed its mapping change before the
+                        // controller emits this effect), then post one
+                        // flush token into each live peer's control
+                        // queue. A peer consuming its token has, by
+                        // per-mailbox FIFO, already processed the change
+                        // that stops it sending here — and anything it
+                        // sent earlier was enqueued synchronously, so it
+                        // is already in the retiring mailbox. The last
+                        // token therefore completes the drain: the
+                        // retiring worker services what is left, frees
+                        // its mailbox storage and exits (see `worker`).
                         let prev = shared.machine_state[machine.index()]
                             .swap(MACHINE_RETIRED, Ordering::SeqCst);
                         assert_eq!(
@@ -352,6 +413,37 @@ fn worker<M: SimMessage + Send + 'static>(
                             machine.index()
                         );
                         shared.provisioned.fetch_sub(1, Ordering::SeqCst);
+                        // This worker vouches for itself without a token:
+                        // emitting Retire means its own machine's mapping
+                        // change was already processed (the controller
+                        // retires only at contraction quiescence), and
+                        // self-tokening could deadlock a later
+                        // re-provision wait on this same thread.
+                        let live: Vec<usize> = (0..shared.machines)
+                            .filter(|&i| {
+                                i != mid.index()
+                                    && shared.machine_state[i].load(Ordering::SeqCst)
+                                        == MACHINE_ACTIVE
+                            })
+                            .collect();
+                        if live.is_empty() {
+                            shared.mailboxes[machine.index()].complete_drain();
+                        } else {
+                            shared.flush_pending[machine.index()]
+                                .store(live.len(), Ordering::SeqCst);
+                            for peer in live {
+                                shared.outstanding.fetch_add(1, Ordering::SeqCst);
+                                shared.mailboxes[peer].push_msg(
+                                    aoj_simnet::MsgClass::Control,
+                                    Work::Flush {
+                                        machine: machine.index(),
+                                    },
+                                    1,
+                                    false,
+                                    &shared.done,
+                                );
+                            }
+                        }
                     }
                 }
             }
@@ -472,6 +564,7 @@ impl<M: SimMessage + Send + 'static> ExecBackend<M> for Runtime<M> {
             drain_batch: self.cfg.drain_batch.max(1),
             provisioned: AtomicUsize::new(eager),
             peak_provisioned: AtomicUsize::new(eager),
+            flush_pending: (0..self.machines).map(|_| AtomicUsize::new(0)).collect(),
             machine_state: self
                 .deferred
                 .iter()
@@ -504,17 +597,20 @@ impl<M: SimMessage + Send + 'static> ExecBackend<M> for Runtime<M> {
 
         // Trigger-time provisioning: deferred machines park their task
         // maps; a mid-run provision effect spawns their worker threads.
-        let handles: Vec<_> = per_machine
+        // Park them all *before* the first eager worker starts: a
+        // bootstrap handler may provision a deferred machine in its very
+        // first effects, and the provision must find the tasks parked.
+        let mut eager_machines = Vec::with_capacity(self.machines);
+        for (i, tasks) in per_machine.into_iter().enumerate() {
+            if self.deferred[i] {
+                shared.parked.lock().unwrap().insert(i, tasks);
+            } else {
+                eager_machines.push((i, tasks));
+            }
+        }
+        let handles: Vec<_> = eager_machines
             .into_iter()
-            .enumerate()
-            .filter_map(|(i, tasks)| {
-                if self.deferred[i] {
-                    shared.parked.lock().unwrap().insert(i, tasks);
-                    None
-                } else {
-                    Some(shared.spawn_worker(MachineId(i), tasks))
-                }
-            })
+            .map(|(i, tasks)| shared.spawn_worker(MachineId(i), tasks))
             .collect();
 
         let mut panic_payload: Option<Box<dyn Any + Send>> = None;

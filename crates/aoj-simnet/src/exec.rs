@@ -118,3 +118,61 @@ pub trait ExecBackend<M: SimMessage + 'static> {
             .expect("task type mismatch")
     }
 }
+
+/// Boxed backends are backends too, so drivers written against
+/// `impl ExecBackend<M>` also accept a `Box<dyn ExecBackend<M>>` (or a
+/// boxed sub-trait object) chosen at runtime — the session layer uses
+/// this to plug in backends registered from other crates.
+impl<M: SimMessage + 'static, T: ExecBackend<M> + ?Sized> ExecBackend<M> for Box<T> {
+    fn backend_name(&self) -> &'static str {
+        (**self).backend_name()
+    }
+
+    fn add_machine(&mut self) -> MachineId {
+        (**self).add_machine()
+    }
+
+    fn add_machine_with_network(&mut self, network: NetworkConfig) -> MachineId {
+        (**self).add_machine_with_network(network)
+    }
+
+    fn add_deferred_machine(&mut self) -> MachineId {
+        (**self).add_deferred_machine()
+    }
+
+    fn provisioned_machines(&self) -> usize {
+        (**self).provisioned_machines()
+    }
+
+    fn peak_provisioned_machines(&self) -> usize {
+        (**self).peak_provisioned_machines()
+    }
+
+    fn add_task(&mut self, machine: MachineId, task: Box<dyn Process<M> + Send>) -> TaskId {
+        (**self).add_task(machine, task)
+    }
+
+    fn start_timer_at(&mut self, at: SimTime, task: TaskId, key: u64) {
+        (**self).start_timer_at(at, task, key)
+    }
+
+    fn metrics(&self) -> &Metrics {
+        (**self).metrics()
+    }
+
+    fn has_global_metrics_view(&self) -> bool {
+        (**self).has_global_metrics_view()
+    }
+
+    fn metrics_mut(&mut self) -> &mut Metrics {
+        (**self).metrics_mut()
+    }
+
+    fn run(&mut self) -> SimTime {
+        (**self).run()
+    }
+
+    fn task_any(&self, id: TaskId) -> &dyn Any {
+        (**self).task_any(id)
+    }
+}

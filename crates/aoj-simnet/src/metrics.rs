@@ -76,6 +76,42 @@ impl SharedGauges {
     pub fn data_processed(&self) -> u64 {
         self.data_processed.load(Ordering::Relaxed)
     }
+
+    /// Overwrite machine `m`'s stored-byte gauge.
+    ///
+    /// Tasks never call this — they go through [`Metrics::set_stored`],
+    /// which keeps the local shard and the overlay in step. The direct
+    /// setters exist for backends whose gauge writers are in **another
+    /// process**: the TCP backend's coordinator applies the periodic
+    /// gauge frames its workers stream to the session overlay, and
+    /// relays remote machines' values into the controller worker's
+    /// overlay so the elastic trigger sees the whole cluster.
+    #[inline]
+    pub fn set_stored(&self, m: MachineId, bytes: u64) {
+        self.stored[m.index()].store(bytes, Ordering::Relaxed);
+    }
+
+    /// Overwrite machine `m`'s evicted-byte gauge (see
+    /// [`set_stored`](SharedGauges::set_stored)).
+    #[inline]
+    pub fn set_evicted(&self, m: MachineId, bytes: u64) {
+        self.evicted[m.index()].store(bytes, Ordering::Relaxed);
+    }
+
+    /// Overwrite machine `m`'s window-occupancy gauge (see
+    /// [`set_stored`](SharedGauges::set_stored)).
+    #[inline]
+    pub fn set_occupancy(&self, m: MachineId, tuples: u64) {
+        self.occupancy[m.index()].store(tuples, Ordering::Relaxed);
+    }
+
+    /// Overwrite the cluster-wide data-processed counter (see
+    /// [`set_stored`](SharedGauges::set_stored); the coordinator sets it
+    /// to the sum of its workers' reported counts).
+    #[inline]
+    pub fn set_data_processed(&self, n: u64) {
+        self.data_processed.store(n, Ordering::Relaxed);
+    }
 }
 
 /// A point on the cluster-wide progress timeline, recorded by worker

@@ -112,10 +112,13 @@ pub enum Effect<M> {
         /// The machine to bring up.
         machine: crate::machine::MachineId,
     },
-    /// Release a machine's execution resources (accounting-level: queued
-    /// and straggler work is still drained — a hard release would need a
-    /// full data-plane quiesce barrier). The machine may be re-provisioned
-    /// later.
+    /// Release a machine's execution resources. Backends first drain the
+    /// machine behind a quiesce barrier — queued and straggler work is
+    /// still serviced — and then release for real: the threaded runtime
+    /// lets the worker thread exit, the TCP backend ends the worker
+    /// process. Emit only when the protocol guarantees no peer will send
+    /// to the machine again (in the operator layer: after the
+    /// contraction's final ack). The machine may be re-provisioned later.
     Retire {
         /// The machine to hand back.
         machine: crate::machine::MachineId,

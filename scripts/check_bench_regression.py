@@ -15,12 +15,15 @@ The simulator backend runs in deterministic virtual time, so its
 throughput is machine-independent and gets the tight floor. The
 threaded backend measures real wall clock on whatever hardware CI
 happens to give us, so the workflow passes it a coarser floor via
---min-ratio-threaded.
+--min-ratio-threaded. The tcp backend additionally pays process
+spawns and kernel socket scheduling on shared CI runners — the
+noisiest of the three — so it gets the coarsest floor via
+--min-ratio-tcp.
 
 Usage:
   check_bench_regression.py BASELINE.json NEW.json [NEW2.json ...] \
       [--match-on batch_tuples|name] \
-      [--min-ratio 0.8] [--min-ratio-threaded 0.5]
+      [--min-ratio 0.8] [--min-ratio-threaded 0.5] [--min-ratio-tcp 0.25]
 """
 
 import argparse
@@ -43,7 +46,8 @@ def load_runs(path, match_on):
     return runs
 
 
-def check(base, new, min_ratio, min_ratio_threaded=None, out=print):
+def check(base, new, min_ratio, min_ratio_threaded=None, min_ratio_tcp=None,
+          out=print):
     """Compare `new` against `base` (both (backend, key) -> run dicts).
 
     Returns the list of (backend, key) pairs that regressed below their
@@ -60,6 +64,8 @@ def check(base, new, min_ratio, min_ratio_threaded=None, out=print):
         floor = min_ratio
         if backend == "threaded" and min_ratio_threaded is not None:
             floor = min_ratio_threaded
+        elif backend == "tcp" and min_ratio_tcp is not None:
+            floor = min_ratio_tcp
         ratio = nr["throughput_tps"] / max(br["throughput_tps"], 1e-9)
         verdict = "ok" if ratio >= floor else "REGRESSION"
         out(f"  [{verdict}] {backend} {label}: "
@@ -89,13 +95,18 @@ def main(argv=None):
     ap.add_argument("--min-ratio-threaded", type=float, default=None,
                     help="override floor for the threaded backend "
                          "(wall-clock numbers vary across CI hardware)")
+    ap.add_argument("--min-ratio-tcp", type=float, default=None,
+                    help="override floor for the multi-process tcp backend "
+                         "(process spawn + socket scheduling jitter on top "
+                         "of the wall-clock variance)")
     args = ap.parse_args(argv)
 
     base = load_runs(args.baseline, args.match_on)
     new = {}
     for path in args.new:
         new.update(load_runs(path, args.match_on))
-    failures = check(base, new, args.min_ratio, args.min_ratio_threaded)
+    failures = check(base, new, args.min_ratio, args.min_ratio_threaded,
+                     args.min_ratio_tcp)
     if failures:
         print(f"FAILED: throughput regressed past the floor for {failures}")
         return 1

@@ -95,6 +95,24 @@ class Check(unittest.TestCase):
                       out=self.quiet),
             [])
 
+    def test_tcp_gets_the_coarsest_floor(self):
+        base = {("sim", 64): run("sim", 100.0, batch=64),
+                ("tcp", 64): run("tcp", 100.0, batch=64)}
+        new = {("sim", 64): run("sim", 90.0, batch=64),
+               ("tcp", 64): run("tcp", 30.0, batch=64)}
+        # Tight gate alone would fail the tcp entry...
+        self.assertEqual(cbr.check(base, new, 0.8, out=self.quiet),
+                         [("tcp", 64)])
+        # ...and the threaded override does not apply to it...
+        self.assertEqual(
+            cbr.check(base, new, 0.8, min_ratio_threaded=0.25,
+                      out=self.quiet),
+            [("tcp", 64)])
+        # ...only the tcp floor admits it.
+        self.assertEqual(
+            cbr.check(base, new, 0.8, min_ratio_tcp=0.25, out=self.quiet),
+            [])
+
     def test_threaded_floor_does_not_loosen_the_sim_gate(self):
         base = {("sim", "a"): run("sim", 100.0, name="a")}
         new = {("sim", "a"): run("sim", 40.0, name="a")}
@@ -120,16 +138,20 @@ class Main(unittest.TestCase):
         with tempfile.TemporaryDirectory() as d:
             base = write(d, "base.json",
                          doc(run("sim", 100.0, name="a"),
-                             run("threaded", 100.0, name="a")))
+                             run("threaded", 100.0, name="a"),
+                             run("tcp", 100.0, name="a")))
             sim = write(d, "sim.json", doc(run("sim", 95.0, name="a")))
             thr = write(d, "thr.json", doc(run("threaded", 50.0, name="a")))
-            ok = cbr.main([base, sim, thr, "--match-on", "name",
+            tcp = write(d, "tcp.json", doc(run("tcp", 30.0, name="a")))
+            ok = cbr.main([base, sim, thr, tcp, "--match-on", "name",
                            "--min-ratio", "0.8",
-                           "--min-ratio-threaded", "0.35"])
+                           "--min-ratio-threaded", "0.35",
+                           "--min-ratio-tcp", "0.25"])
             self.assertEqual(ok, 0)
-            bad = cbr.main([base, sim, thr, "--match-on", "name",
+            bad = cbr.main([base, sim, thr, tcp, "--match-on", "name",
                             "--min-ratio", "0.8",
-                            "--min-ratio-threaded", "0.6"])
+                            "--min-ratio-threaded", "0.6",
+                            "--min-ratio-tcp", "0.25"])
             self.assertEqual(bad, 1)
 
     def test_default_match_key_is_batch_tuples(self):
