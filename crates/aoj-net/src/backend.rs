@@ -37,6 +37,7 @@ use std::time::{Duration, Instant};
 
 use aoj_operators::joiner_task::{JoinerTask, LatencyStats};
 use aoj_operators::messages::OpMsg;
+use aoj_operators::report::MatchDigest;
 use aoj_operators::reshuffler::ReshufflerTask;
 use aoj_operators::shj::ShjJoiner;
 use aoj_operators::{MatchHub, NetBackend, SessionBuilder};
@@ -54,8 +55,8 @@ use crate::node::{
 use crate::wire::{
     self, read_frame, DrainDone, Exiting, FinalsBundle, GaugeRelay, GaugeSample, Hello, MachineUp,
     Plan, ProbeAck, Ready, K_DRAIN_DONE, K_DRAIN_FOR, K_EXITING, K_FINALS, K_GAUGES, K_GAUGE_RELAY,
-    K_HELLO, K_MACHINE_UP, K_MATCH_BATCH, K_PLAN, K_PROBE, K_PROBE_ACK, K_PROVISION_REQ, K_READY,
-    K_RETIRE_NOW, K_RETIRE_REQ, K_SHUTDOWN, WIRE_VERSION,
+    K_HELLO, K_MACHINE_UP, K_MATCH_BATCH, K_MATCH_TAP, K_PLAN, K_PROBE, K_PROBE_ACK,
+    K_PROVISION_REQ, K_READY, K_RETIRE_NOW, K_RETIRE_REQ, K_SHUTDOWN, WIRE_VERSION,
 };
 use crate::worker::{clone_assign, ENV_COORD, ENV_GEN, ENV_MACHINE, ENV_WORKER};
 use crate::{ReapRecord, RunSummary};
@@ -68,8 +69,16 @@ type ControlLinks = Mutex<HashMap<usize, Arc<ControlOut>>>;
 /// `run_cluster`).
 type SendFn = dyn Fn(&ControlLinks, usize, u8, &[u8]);
 
-/// How often the coordinator launches a quiescence probe round.
-const PROBE_PERIOD: Duration = Duration::from_millis(2);
+/// Probe cadence while the cluster has work in flight. Relaxed: on a
+/// small host every probe round is a cross-process wakeup times the
+/// cluster size, and those wakeups preempt the data path it is probing.
+const PROBE_PERIOD_BUSY: Duration = Duration::from_millis(20);
+
+/// Probe cadence once a round comes back all-settled: tight, so the
+/// confirming second round — and the shutdown it triggers — lands with
+/// millisecond teardown latency. Sessions start here too, keeping
+/// trivial sessions (most tests) quick.
+const PROBE_PERIOD_SETTLED: Duration = Duration::from_millis(2);
 
 /// The multi-process TCP execution backend (see the module docs).
 pub struct TcpBackend {
@@ -263,6 +272,7 @@ impl TcpBackend {
                 machines: machines as u64,
                 source_machine: source_machine as u64,
                 clock_anchor_us: 0, // rewritten per handshake
+                stream_matches: self.hub.attached(),
                 builder: self.builder_bytes.clone(),
             },
             clock,
@@ -356,7 +366,13 @@ impl TcpBackend {
         let mut last_round: Option<Vec<(usize, u64, u64)>> = None;
         let mut nonce = 0u64;
         let mut last_probe = Instant::now();
+        let mut probe_period = PROBE_PERIOD_SETTLED;
         let mut shutting_down = false;
+        // Live match streaming follows the session hub's attach state:
+        // workers start from the Plan's snapshot and get a K_MATCH_TAP
+        // whenever a subscriber attaches or detaches mid-session.
+        let stream0 = self.hub.attached();
+        let mut tap_state = stream0;
 
         let send_to = |links: &ControlLinks, m: usize, kind: u8, payload: &[u8]| {
             let link = links.lock().unwrap().get(&m).cloned();
@@ -409,6 +425,14 @@ impl TcpBackend {
                 }
             }
 
+            let want_stream = self.hub.attached();
+            if want_stream != tap_state {
+                tap_state = want_stream;
+                for &w in live.keys() {
+                    send_to(&links, w, K_MATCH_TAP, &[tap_state as u8]);
+                }
+            }
+
             // Periodic quiescence probe, skipped while topology is in
             // motion (a probe during a spawn or drain would read a
             // cluster that is legitimately mid-flight).
@@ -417,7 +441,7 @@ impl TcpBackend {
                 && awaiting_ready.is_empty()
                 && probe.is_none()
                 && !shutting_down;
-            if idle_topology && last_probe.elapsed() >= PROBE_PERIOD {
+            if idle_topology && last_probe.elapsed() >= probe_period {
                 last_probe = Instant::now();
                 nonce += 1;
                 let pending: HashSet<usize> = live.keys().copied().collect();
@@ -432,7 +456,7 @@ impl TcpBackend {
                 });
             }
 
-            let ev = match rx.recv_timeout(PROBE_PERIOD) {
+            let ev = match rx.recv_timeout(probe_period) {
                 Ok(ev) => ev,
                 Err(RecvTimeoutError::Timeout) => continue,
                 Err(RecvTimeoutError::Disconnected) => {
@@ -502,6 +526,9 @@ impl TcpBackend {
                                 .enc(),
                             );
                         }
+                        if tap_state != stream0 {
+                            send_to(&links, machine, K_MATCH_TAP, &[tap_state as u8]);
+                        }
                         live.insert(machine, gen);
                         awaiting_ready.remove(&machine);
                         if matches!(busy, Some(Op::Provision { machine: m }) if m == machine) {
@@ -523,6 +550,15 @@ impl TcpBackend {
                                     round.push((usize::MAX, retired_sums.0, retired_sums.1));
                                     let created: u64 = round.iter().map(|r| r.1).sum();
                                     let finished: u64 = round.iter().map(|r| r.2).sum();
+                                    // Adapt the cadence to what the round
+                                    // saw: settled clusters get probed
+                                    // hard (to shut down fast), busy ones
+                                    // get left alone to work.
+                                    probe_period = if created == finished {
+                                        PROBE_PERIOD_SETTLED
+                                    } else {
+                                        PROBE_PERIOD_BUSY
+                                    };
                                     if created == finished && last_round.as_ref() == Some(&round) {
                                         // Second identical all-settled
                                         // round: the cluster is done.
@@ -752,7 +788,7 @@ fn spawn_control_acceptor(
                         .expect("spawn control rx");
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(2));
+                    std::thread::sleep(Duration::from_millis(50));
                 }
                 Err(e) => {
                     if !done.load(Ordering::Relaxed) {
@@ -817,6 +853,11 @@ fn install_finals(topo: &mut TopoRecorder, bundle: &FinalsBundle) {
         j.evicted_tuples += jf.evicted_tuples;
         j.evicted_bytes += jf.evicted_bytes;
         j.match_log.extend_from_slice(&jf.match_log);
+        j.match_digest.merge(&MatchDigest {
+            count: jf.match_digest.0,
+            sum: jf.match_digest.1,
+            xor: jf.match_digest.2,
+        });
     }
     if let Some(cf) = &bundle.controller {
         let slot = topo.tasks[cf.task as usize]
@@ -852,6 +893,11 @@ fn install_finals(topo: &mut TopoRecorder, bundle: &FinalsBundle) {
             sf.latency.buckets,
         ));
         s.match_log.extend_from_slice(&sf.match_log);
+        s.match_digest.merge(&MatchDigest {
+            count: sf.match_digest.0,
+            sum: sf.match_digest.1,
+            xor: sf.match_digest.2,
+        });
     }
     // Rebuild the shard as a Metrics and fold it into the global sink.
     let mut m = Metrics::default();

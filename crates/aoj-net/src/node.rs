@@ -45,7 +45,7 @@ use aoj_simnet::{
 };
 
 use crate::wire::{
-    self, enc_task_msg, read_frame, write_frame, Preamble, K_EOS, K_PREAMBLE, K_TASK_MSG,
+    self, read_frame, write_frame, BufPool, Preamble, K_EOS, K_PREAMBLE, K_TASK_MSG,
 };
 
 /// A boxed operator task, as registered into the topology recorder and
@@ -243,26 +243,42 @@ impl ControlOut {
     }
 }
 
-enum WriteItem {
-    Msg(Vec<u8>),
-    Eos,
+/// One outbound connection's state, behind a mutex shared by the sender
+/// (the machine loop, writing inline) and the dialer thread.
+struct Conn {
+    /// `Some` once the dialer has connected and written the preamble;
+    /// from then on senders write directly, with no thread handoff.
+    stream: Option<BufWriter<TcpStream>>,
+    /// Pre-framed buffers staged before the connection came up; the
+    /// dialer drains them, in order, ahead of any inline write.
+    backlog: VecDeque<Vec<u8>>,
+    /// Set when the channel was closed before the dial finished; the
+    /// dialer appends the end-of-stream frame after the backlog.
+    eos: bool,
 }
 
-struct WriterQueue {
-    items: Mutex<VecDeque<WriteItem>>,
-    cv: Condvar,
+struct WriterState {
+    conn: Mutex<Conn>,
 }
 
 struct WriterHandle {
-    queue: Arc<WriterQueue>,
-    thread: JoinHandle<()>,
+    state: Arc<WriterState>,
+    /// The dialer; joined on close so the backlog + EOS handover is
+    /// complete before the close is reported upstream.
+    dialer: JoinHandle<()>,
 }
 
-/// Outbound connections: one lazily-dialed writer thread per
-/// (destination machine, message class).
+/// Outbound connections: one per (destination machine, message class),
+/// dialed lazily by a short-lived dialer thread. Once a connection is
+/// up, senders write to it inline — the per-message writer-thread
+/// wakeup is gone from the steady-state path, which matters enormously
+/// on a host where every wakeup is a contended scheduler handoff. All
+/// connections on a node share one [`BufPool`], closing the encode →
+/// socket → return recycling loop.
 pub struct Writers {
     inner: Mutex<HashMap<(usize, u8), WriterHandle>>,
     directory: Arc<Directory>,
+    pool: Arc<BufPool>,
     self_machine: usize,
     self_gen: u32,
 }
@@ -275,6 +291,14 @@ fn class_byte(class: aoj_simnet::MsgClass) -> u8 {
     }
 }
 
+fn class_of(cb: u8) -> aoj_simnet::MsgClass {
+    match cb {
+        0 => aoj_simnet::MsgClass::Control,
+        1 => aoj_simnet::MsgClass::Data,
+        _ => aoj_simnet::MsgClass::Migration,
+    }
+}
+
 impl Writers {
     /// A writer set for the node hosting `self_machine` at incarnation
     /// `self_gen`.
@@ -282,48 +306,75 @@ impl Writers {
         Arc::new(Writers {
             inner: Mutex::new(HashMap::new()),
             directory,
+            pool: Arc::new(BufPool::new()),
             self_machine,
             self_gen,
         })
     }
 
-    /// Enqueue one already-encoded [`K_TASK_MSG`] payload toward `dest`
-    /// on the `class` connection, dialing it first if needed. The dial
-    /// happens on the writer thread, so a send to a machine that is
-    /// still provisioning never blocks the machine loop.
-    pub fn enqueue(&self, dest: usize, class: aoj_simnet::MsgClass, payload: Vec<u8>) {
+    /// The node's shared frame-buffer pool.
+    pub fn pool(&self) -> Arc<BufPool> {
+        Arc::clone(&self.pool)
+    }
+
+    /// Send a buffer of pre-framed [`K_TASK_MSG`] bytes toward `dest` on
+    /// the `class` connection, dialing it first if needed. An
+    /// established connection is written inline — one `write` plus one
+    /// flush per call, no thread handoff; one call may carry a whole
+    /// mailbox batch's frames. While the dial is still in flight the
+    /// buffer parks in the connection's backlog, so a send to a machine
+    /// that is still provisioning never blocks the sender.
+    pub fn enqueue(&self, dest: usize, class: aoj_simnet::MsgClass, frames: Vec<u8>) {
         let cb = class_byte(class);
         let mut map = self.inner.lock().unwrap();
         let handle = map.entry((dest, cb)).or_insert_with(|| {
-            let queue = Arc::new(WriterQueue {
-                items: Mutex::new(VecDeque::new()),
-                cv: Condvar::new(),
+            let state = Arc::new(WriterState {
+                conn: Mutex::new(Conn {
+                    stream: None,
+                    backlog: VecDeque::new(),
+                    eos: false,
+                }),
             });
-            let q = Arc::clone(&queue);
+            let st = Arc::clone(&state);
             let directory = Arc::clone(&self.directory);
+            let pool = Arc::clone(&self.pool);
             let preamble = Preamble {
                 from_machine: self.self_machine as u64,
                 gen: self.self_gen,
                 class,
             };
-            let thread = std::thread::Builder::new()
+            let dialer = std::thread::Builder::new()
                 .name(format!("aoj-net-w{}m{dest}c{cb}", self.self_machine))
-                .spawn(move || writer_main(q, directory, dest, preamble))
-                .expect("spawn writer thread");
-            WriterHandle { queue, thread }
+                .spawn(move || dialer_main(st, directory, pool, dest, preamble))
+                .expect("spawn dialer thread");
+            WriterHandle { state, dialer }
         });
-        let mut items = handle.queue.items.lock().unwrap();
-        items.push_back(WriteItem::Msg(payload));
-        drop(items);
-        handle.queue.cv.notify_one();
+        let state = Arc::clone(&handle.state);
+        drop(map);
+        let mut conn = state.conn.lock().unwrap();
+        match conn.stream.as_mut() {
+            Some(w) => {
+                w.write_all(&frames).expect("write task frames");
+                w.flush().expect("flush data connection");
+                drop(conn);
+                self.pool.put(frames);
+            }
+            None => conn.backlog.push_back(frames),
+        }
     }
 
     fn close(handle: WriterHandle) {
-        let mut items = handle.queue.items.lock().unwrap();
-        items.push_back(WriteItem::Eos);
-        drop(items);
-        handle.queue.cv.notify_one();
-        handle.thread.join().expect("writer thread panicked");
+        let mut conn = handle.state.conn.lock().unwrap();
+        if let Some(w) = conn.stream.as_mut() {
+            write_frame(w, K_EOS, &[]).expect("write eos");
+            w.flush().expect("flush eos");
+        } else {
+            conn.eos = true;
+        }
+        drop(conn);
+        // The dialer exits once the connection is up (or, when `eos` was
+        // set first, once it has delivered the backlog and the marker).
+        handle.dialer.join().expect("dialer thread panicked");
     }
 
     /// Close every connection toward `dest` (flush + trailing
@@ -359,9 +410,15 @@ impl Writers {
     }
 }
 
-fn writer_main(
-    queue: Arc<WriterQueue>,
+/// Establish one outbound connection, then get out of the way: wait for
+/// the destination to appear in the directory, dial, send the preamble,
+/// drain whatever the senders staged in the meantime, and publish the
+/// stream for inline writing. The thread's whole life is the dial — it
+/// plays no part in steady-state traffic.
+fn dialer_main(
+    state: Arc<WriterState>,
     directory: Arc<Directory>,
+    pool: Arc<BufPool>,
     dest: usize,
     preamble: Preamble,
 ) {
@@ -371,33 +428,74 @@ fn writer_main(
     stream.set_nodelay(true).ok();
     let mut w = BufWriter::new(stream);
     write_frame(&mut w, K_PREAMBLE, &preamble.enc()).expect("write preamble");
-    loop {
-        let mut items = queue.items.lock().unwrap();
-        let item = loop {
-            match items.pop_front() {
-                Some(i) => break i,
-                None => {
-                    // Nothing queued: flush what we have, then sleep.
-                    drop(items);
-                    w.flush().expect("flush data connection");
-                    items = queue.items.lock().unwrap();
-                    if let Some(i) = items.pop_front() {
-                        break i;
-                    }
-                    items = queue.cv.wait(items).unwrap();
-                }
+    // Backlog drain and stream publication happen in one critical
+    // section, so a sender blocked on the lock either lands in the
+    // backlog (and is drained here, in order) or writes inline strictly
+    // after everything drained.
+    let mut conn = state.conn.lock().unwrap();
+    while let Some(frames) = conn.backlog.pop_front() {
+        w.write_all(&frames).expect("write task frames");
+        pool.put(frames);
+    }
+    if conn.eos {
+        // Closed before the dial finished: deliver the marker and leave
+        // the stream unpublished.
+        write_frame(&mut w, K_EOS, &[]).expect("write eos");
+        w.flush().expect("flush eos");
+        return;
+    }
+    w.flush().expect("flush data connection");
+    conn.stream = Some(w);
+}
+
+/// Per-batch outbound staging: while the machine loop works through one
+/// mailbox batch, frames bound for the same (destination, class) are
+/// encoded back to back into one pooled buffer, then handed to the
+/// socket writer as a single queue item at batch end. One map lock, one
+/// queue lock, one condvar wakeup, and one socket write cover the whole
+/// batch — and in steady state the buffers cycle through the
+/// [`BufPool`] without touching the allocator.
+pub struct OutStage {
+    pool: Arc<BufPool>,
+    slots: HashMap<(usize, u8), Vec<u8>>,
+}
+
+impl OutStage {
+    /// A staging area drawing buffers from `pool` (normally the writer
+    /// set's own pool, so returned buffers come back here).
+    pub fn new(pool: Arc<BufPool>) -> OutStage {
+        OutStage {
+            pool,
+            slots: HashMap::new(),
+        }
+    }
+
+    /// Append one task message, framed, to the staging buffer for
+    /// `(dest, class)`.
+    pub fn push(
+        &mut self,
+        dest: usize,
+        class: aoj_simnet::MsgClass,
+        from: TaskId,
+        to: TaskId,
+        msg: &OpMsg,
+    ) {
+        let pool = &self.pool;
+        let buf = self.slots.entry((dest, class_byte(class))).or_default();
+        if buf.capacity() == 0 {
+            *buf = pool.get();
+        }
+        wire::append_task_msg_frame(buf, from, to, msg);
+    }
+
+    /// Hand every dirty staging buffer to its writer. Buffers leave by
+    /// value and come back through the pool once written.
+    pub fn flush(&mut self, writers: &Writers) {
+        for (&(dest, cb), buf) in self.slots.iter_mut() {
+            if buf.is_empty() {
+                continue;
             }
-        };
-        drop(items);
-        match item {
-            WriteItem::Msg(payload) => {
-                write_frame(&mut w, K_TASK_MSG, &payload).expect("write task msg");
-            }
-            WriteItem::Eos => {
-                write_frame(&mut w, K_EOS, &[]).expect("write eos");
-                w.flush().expect("flush eos");
-                return;
-            }
+            writers.enqueue(dest, class_of(cb), std::mem::take(buf));
         }
     }
 }
@@ -423,10 +521,13 @@ pub fn spawn_reader(
                 Ok((k, _)) => panic!("protocol error: first frame kind {k}, want preamble"),
                 Err(_) => return, // dialed and dropped before the preamble
             };
+            // One payload buffer serves the whole connection; frames are
+            // decoded out of it in place.
+            let mut payload = Vec::new();
             loop {
-                match read_frame(&mut r) {
-                    Ok((K_TASK_MSG, p)) => {
-                        let (from, to, msg) = dec_or_die(&p);
+                match wire::read_frame_into(&mut r, &mut payload) {
+                    Ok(K_TASK_MSG) => {
+                        let (from, to, msg) = dec_or_die(&payload);
                         debug_assert_eq!(class_byte(msg.class()), class_byte(preamble.class));
                         let units = msg.tuples();
                         mailbox.push_msg(
@@ -437,11 +538,11 @@ pub fn spawn_reader(
                             &done,
                         );
                     }
-                    Ok((K_EOS, _)) => {
+                    Ok(K_EOS) => {
                         eos.arrived();
                         return;
                     }
-                    Ok((k, _)) => panic!("protocol error: frame kind {k} on data connection"),
+                    Ok(k) => panic!("protocol error: frame kind {k} on data connection"),
                     Err(e) => {
                         // A reset is normal once the session is done (the
                         // peer exits without per-connection goodbyes).
@@ -489,7 +590,7 @@ pub fn spawn_acceptor(
                     );
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(2));
+                    std::thread::sleep(Duration::from_millis(50));
                 }
                 Err(e) => {
                     if !done.load(Ordering::Relaxed) {
@@ -548,6 +649,7 @@ pub fn run_machine_loop(
 ) -> (Metrics, HashMap<usize, BoxedTask>) {
     let mid = MachineId(shared.machine);
     let mut batch: Vec<Work<OpMsg>> = Vec::with_capacity(drain_batch);
+    let mut stage = OutStage::new(shared.writers.pool());
     loop {
         if !shared.mailbox.pop_batch(
             drain_batch,
@@ -555,6 +657,7 @@ pub fn run_machine_loop(
             || shared.clock.now_us(),
             &shared.done,
         ) {
+            stage.flush(&shared.writers);
             if !shared.done.load(Ordering::Relaxed) {
                 // Retirement drain complete: the backlog (and every
                 // straggler behind the flush barrier) has been serviced.
@@ -597,13 +700,17 @@ pub fn run_machine_loop(
             shard.events += 1;
             shard.last_event_at = now;
             for effect in effects {
-                apply_effect(shared, self_task, effect, &mut shard, lifecycle);
+                apply_effect(shared, self_task, effect, &mut shard, &mut stage, lifecycle);
             }
             shared.counters.finished.fetch_add(1, Ordering::AcqRel);
             if stopped {
                 lifecycle(Lifecycle::Stopped);
             }
         }
+        // One handoff to the socket writers per mailbox batch, not per
+        // message: everything the batch staged goes out now, before the
+        // loop can block in pop_batch.
+        stage.flush(&shared.writers);
     }
 }
 
@@ -612,6 +719,7 @@ fn apply_effect(
     self_task: TaskId,
     effect: aoj_simnet::Effect<OpMsg>,
     shard: &mut Metrics,
+    stage: &mut OutStage,
     lifecycle: &(dyn Fn(Lifecycle) + Sync),
 ) {
     match effect {
@@ -636,9 +744,7 @@ fn apply_effect(
                 );
             } else {
                 shard.on_send(MachineId(shared.machine), msg.bytes());
-                shared
-                    .writers
-                    .enqueue(dest, msg.class(), enc_task_msg(self_task, to, &msg));
+                stage.push(dest, msg.class(), self_task, to, &msg);
             }
         }
         aoj_simnet::Effect::Timer { delay, key } => {

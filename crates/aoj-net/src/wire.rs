@@ -39,7 +39,7 @@ use aoj_simnet::{MsgClass, SimDuration, SimTime, TaskId};
 
 /// Protocol version; bumped on any layout change. Checked in both
 /// directions during the handshake.
-pub const WIRE_VERSION: u8 = 1;
+pub const WIRE_VERSION: u8 = 2;
 
 /// Upper bound on a single frame's payload (a corrupt length prefix must
 /// not turn into a multi-gigabyte allocation).
@@ -90,6 +90,11 @@ pub const K_TASK_MSG: u8 = 19;
 /// Data-plane / drain marker: no more frames will follow on this
 /// connection (the TCP analogue of the runtime's flush token).
 pub const K_EOS: u8 = 20;
+/// Coordinator → worker (control): toggle live match streaming. Payload
+/// is one byte, 0 = off, 1 = on. While off (the default for sessions
+/// opened without a subscriber) workers count matches but never buffer
+/// or ship pair identities.
+pub const K_MATCH_TAP: u8 = 21;
 
 fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("wire: {}", msg.into()))
@@ -115,15 +120,73 @@ pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> io::Result<(
 
 /// Read one frame, returning `(kind, payload)`.
 pub fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>)> {
+    let mut payload = Vec::new();
+    let kind = read_frame_into(r, &mut payload)?;
+    Ok((kind, payload))
+}
+
+/// Read one frame into a caller-owned payload buffer, returning the
+/// frame kind. The buffer is cleared and refilled in place, so a reader
+/// loop that hands the payload off between frames can recycle one
+/// allocation across the whole connection.
+pub fn read_frame_into(r: &mut impl Read, payload: &mut Vec<u8>) -> io::Result<u8> {
     let mut hdr = [0u8; 5];
     r.read_exact(&mut hdr)?;
     let len = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]) as usize;
     if len > MAX_FRAME {
         return Err(bad(format!("frame length {len} exceeds cap")));
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok((hdr[4], payload))
+    payload.clear();
+    payload.resize(len, 0);
+    r.read_exact(payload)?;
+    Ok(hdr[4])
+}
+
+// ---------------------------------------------------------------------------
+// Buffer pool
+
+/// Largest buffer the pool will retain. A migration burst can briefly
+/// inflate a frame buffer to megabytes; holding that capacity for the
+/// rest of the session would be a leak wearing a cache costume.
+const POOL_MAX_CAPACITY: usize = 1 << 20;
+
+/// How many free buffers the pool keeps before dropping extras.
+const POOL_MAX_FREE: usize = 64;
+
+/// A free-list of `Vec<u8>` frame buffers, shared between the encode
+/// side (machine loop staging) and the socket writers: the machine loop
+/// checks out a buffer, appends framed messages into it, hands it to a
+/// writer thread, and the writer returns it after the syscall. In steady
+/// state no frame encode touches the allocator.
+#[derive(Default)]
+pub struct BufPool {
+    free: std::sync::Mutex<Vec<Vec<u8>>>,
+}
+
+impl BufPool {
+    /// New empty pool.
+    pub fn new() -> BufPool {
+        BufPool::default()
+    }
+
+    /// Check out a cleared buffer (freshly allocated if the list is dry).
+    pub fn get(&self) -> Vec<u8> {
+        let mut buf = self.free.lock().unwrap().pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Return a buffer to the free list. Oversized or surplus buffers are
+    /// dropped so the pool's footprint stays bounded.
+    pub fn put(&self, buf: Vec<u8>) {
+        if buf.capacity() == 0 || buf.capacity() > POOL_MAX_CAPACITY {
+            return;
+        }
+        let mut free = self.free.lock().unwrap();
+        if free.len() < POOL_MAX_FREE {
+            free.push(buf);
+        }
+    }
 }
 
 /// FNV-1a over the encoded plan bytes; the handshake fingerprint.
@@ -1054,6 +1117,10 @@ pub struct Plan {
     /// handshake time, in microseconds. Workers offset their own
     /// monotonic clock by this so timestamps are comparable.
     pub clock_anchor_us: u64,
+    /// Whether workers should buffer and ship match identities from the
+    /// start (a subscriber or collector was attached at session open).
+    /// Toggled live by [`K_MATCH_TAP`].
+    pub stream_matches: bool,
     /// [`encode_builder`] bytes.
     pub builder: Vec<u8>,
 }
@@ -1067,6 +1134,7 @@ impl Plan {
         put_u64(&mut out, self.machines);
         put_u64(&mut out, self.source_machine);
         put_u64(&mut out, self.clock_anchor_us);
+        put_bool(&mut out, self.stream_matches);
         put_len(&mut out, self.builder.len());
         out.extend_from_slice(&self.builder);
         out
@@ -1079,6 +1147,7 @@ impl Plan {
         let machines = d.u64()?;
         let source_machine = d.u64()?;
         let clock_anchor_us = d.u64()?;
+        let stream_matches = d.bool()?;
         let n = d.len(1)?;
         let builder = d.take(n)?.to_vec();
         d.finish()?;
@@ -1088,6 +1157,7 @@ impl Plan {
             machines,
             source_machine,
             clock_anchor_us,
+            stream_matches,
             builder,
         })
     }
@@ -1199,8 +1269,10 @@ impl ProbeAck {
 
 /// A payload that is just one machine index ([`K_PROVISION_REQ`],
 /// [`K_RETIRE_REQ`], [`K_DRAIN_FOR`]) — or one nonce ([`K_PROBE`]).
-pub fn enc_u64(v: u64) -> Vec<u8> {
-    v.to_le_bytes().to_vec()
+/// Returns the bytes by value; `&enc_u64(x)` coerces to the `&[u8]`
+/// every frame writer takes, with no heap round-trip.
+pub fn enc_u64(v: u64) -> [u8; 8] {
+    v.to_le_bytes()
 }
 
 /// Decode a bare `u64` payload.
@@ -1263,12 +1335,18 @@ impl GaugeSample {
     /// Encode.
     pub fn enc(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        put_u64(&mut out, self.machine);
-        put_u64(&mut out, self.stored);
-        put_u64(&mut out, self.evicted);
-        put_u64(&mut out, self.occupancy);
-        put_u64(&mut out, self.data_processed);
+        self.enc_into(&mut out);
         out
+    }
+    /// Append the encoding to a caller-owned buffer (cleared first), so a
+    /// periodic stats loop reuses one allocation across samples.
+    pub fn enc_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        put_u64(out, self.machine);
+        put_u64(out, self.stored);
+        put_u64(out, self.evicted);
+        put_u64(out, self.occupancy);
+        put_u64(out, self.data_processed);
     }
     /// Decode.
     pub fn dec(bytes: &[u8]) -> io::Result<GaugeSample> {
@@ -1422,10 +1500,30 @@ impl Preamble {
 /// Encode a [`K_TASK_MSG`] payload: sender task, receiver task, message.
 pub fn enc_task_msg(from: TaskId, to: TaskId, msg: &OpMsg) -> Vec<u8> {
     let mut out = Vec::new();
-    put_task(&mut out, from);
-    put_task(&mut out, to);
-    encode_opmsg(msg, &mut out);
+    enc_task_msg_into(from, to, msg, &mut out);
     out
+}
+
+/// Append a [`K_TASK_MSG`] payload to a caller-owned buffer.
+pub fn enc_task_msg_into(from: TaskId, to: TaskId, msg: &OpMsg, out: &mut Vec<u8>) {
+    put_task(out, from);
+    put_task(out, to);
+    encode_opmsg(msg, out);
+}
+
+/// Append one complete `[len][K_TASK_MSG][payload]` frame to `buf`,
+/// encoding the payload in place: a five-byte header placeholder goes
+/// down first, the payload is written directly after it, and the length
+/// is patched once the payload's size is known. The staging buffer is
+/// the only storage the message ever occupies — no intermediate payload
+/// `Vec`, no copy.
+pub fn append_task_msg_frame(buf: &mut Vec<u8>, from: TaskId, to: TaskId, msg: &OpMsg) {
+    let hdr = buf.len();
+    buf.extend_from_slice(&[0, 0, 0, 0, K_TASK_MSG]);
+    enc_task_msg_into(from, to, msg, buf);
+    let len = buf.len() - hdr - 5;
+    assert!(len <= MAX_FRAME, "task message frame too large: {len}");
+    buf[hdr..hdr + 4].copy_from_slice(&(len as u32).to_le_bytes());
 }
 
 /// Decode a [`K_TASK_MSG`] payload.
@@ -1441,11 +1539,18 @@ pub fn dec_task_msg(bytes: &[u8]) -> io::Result<(TaskId, TaskId, OpMsg)> {
 /// Encode a [`K_MATCH_BATCH`] payload.
 pub fn enc_match_batch(matches: &[Match]) -> Vec<u8> {
     let mut out = Vec::new();
-    put_len(&mut out, matches.len());
-    for m in matches {
-        put_match(&mut out, m);
-    }
+    enc_match_batch_into(matches, &mut out);
     out
+}
+
+/// Encode a [`K_MATCH_BATCH`] payload into a caller-owned buffer
+/// (cleared first).
+pub fn enc_match_batch_into(matches: &[Match], out: &mut Vec<u8>) {
+    out.clear();
+    put_len(out, matches.len());
+    for m in matches {
+        put_match(out, m);
+    }
 }
 
 /// Decode a [`K_MATCH_BATCH`] payload.
@@ -1530,6 +1635,9 @@ pub struct JoinerFinal {
     /// Emitted pair identities `(R seq, S seq)` (only when
     /// `collect_matches`).
     pub match_log: Vec<(u64, u64)>,
+    /// Order-independent `(count, sum, xor)` digest of every pair this
+    /// joiner emitted — the always-on exactness witness.
+    pub match_digest: (u64, u64, u64),
 }
 
 /// Final control-plane state of the controller (reshuffler 0).
@@ -1557,6 +1665,8 @@ pub struct ShjFinal {
     /// Emitted pair identities `(R seq, S seq)` (only when
     /// `collect_matches`).
     pub match_log: Vec<(u64, u64)>,
+    /// Order-independent `(count, sum, xor)` match-multiset digest.
+    pub match_digest: (u64, u64, u64),
 }
 
 /// One machine row of a worker's private metrics shard.
@@ -1738,6 +1848,9 @@ fn put_joiner_final(out: &mut Vec<u8>, f: &JoinerFinal) {
         put_u64(out, r);
         put_u64(out, s);
     }
+    put_u64(out, f.match_digest.0);
+    put_u64(out, f.match_digest.1);
+    put_u64(out, f.match_digest.2);
 }
 fn dec_joiner_final(d: &mut Dec) -> io::Result<JoinerFinal> {
     let task = d.u64()?;
@@ -1757,6 +1870,7 @@ fn dec_joiner_final(d: &mut Dec) -> io::Result<JoinerFinal> {
     for _ in 0..n {
         match_log.push((d.u64()?, d.u64()?));
     }
+    let match_digest = (d.u64()?, d.u64()?, d.u64()?);
     Ok(JoinerFinal {
         task,
         matches,
@@ -1771,6 +1885,7 @@ fn dec_joiner_final(d: &mut Dec) -> io::Result<JoinerFinal> {
         evicted_tuples,
         evicted_bytes,
         match_log,
+        match_digest,
     })
 }
 
@@ -1813,6 +1928,9 @@ impl FinalsBundle {
                 put_u64(&mut out, r);
                 put_u64(&mut out, s);
             }
+            put_u64(&mut out, f.match_digest.0);
+            put_u64(&mut out, f.match_digest.1);
+            put_u64(&mut out, f.match_digest.2);
         }
         put_u64(&mut out, self.shard.events);
         put_u64(&mut out, self.shard.last_event_at_us);
@@ -1887,11 +2005,13 @@ impl FinalsBundle {
             for _ in 0..n {
                 match_log.push((d.u64()?, d.u64()?));
             }
+            let match_digest = (d.u64()?, d.u64()?, d.u64()?);
             shj.push(ShjFinal {
                 task,
                 matches,
                 latency,
                 match_log,
+                match_digest,
             });
         }
         let events = d.u64()?;
@@ -1944,6 +2064,56 @@ mod tests {
         assert_eq!((k1, dec_u64(&p1).unwrap()), (K_PROBE, 7));
         let (k2, p2) = read_frame(&mut r).unwrap();
         assert_eq!((k2, p2.len()), (K_EOS, 0));
+    }
+
+    #[test]
+    fn appended_frames_match_write_frame_bytes() {
+        let msgs = [
+            OpMsg::ProcessedCopies { n: 9 },
+            OpMsg::MigDone,
+            OpMsg::IngestBatch {
+                items: vec![IngestItem {
+                    rel: Rel::R,
+                    key: -3,
+                    aux: 7,
+                    bytes: 64,
+                    seq: 11,
+                }],
+            },
+        ];
+        let mut staged = vec![0xAA, 0xBB]; // dirty prefix survives untouched
+        let mut reference = vec![0xAA, 0xBB];
+        for (i, msg) in msgs.iter().enumerate() {
+            let (from, to) = (TaskId(i), TaskId(i + 1));
+            append_task_msg_frame(&mut staged, from, to, msg);
+            write_frame(&mut reference, K_TASK_MSG, &enc_task_msg(from, to, msg)).unwrap();
+        }
+        assert_eq!(staged, reference);
+        // And the coalesced buffer decodes back frame by frame.
+        let mut r = &staged[2..];
+        let mut payload = Vec::new();
+        for msg in &msgs {
+            let kind = read_frame_into(&mut r, &mut payload).unwrap();
+            assert_eq!(kind, K_TASK_MSG);
+            let (_, _, back) = dec_task_msg(&payload).unwrap();
+            assert_eq!(opmsg_to_bytes(&back), opmsg_to_bytes(msg));
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn buf_pool_recycles_and_bounds() {
+        let pool = BufPool::new();
+        let mut a = pool.get();
+        a.extend_from_slice(b"hello");
+        let cap = a.capacity();
+        pool.put(a);
+        let b = pool.get();
+        assert!(b.is_empty(), "pooled buffers come back cleared");
+        assert_eq!(b.capacity(), cap, "capacity is recycled");
+        // Oversized buffers are dropped, not retained.
+        pool.put(Vec::with_capacity(POOL_MAX_CAPACITY + 1));
+        assert_eq!(pool.get().capacity(), 0);
     }
 
     #[test]

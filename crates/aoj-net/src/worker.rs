@@ -41,8 +41,8 @@ use crate::node::{
 use crate::wire::{
     self, read_frame, DrainDone, Exiting, FinalsBundle, GaugeRelay, GaugeSample, Hello, MachineUp,
     Plan, ProbeAck, Ready, K_DRAIN_DONE, K_DRAIN_FOR, K_EXITING, K_FINALS, K_GAUGES, K_GAUGE_RELAY,
-    K_HELLO, K_MACHINE_UP, K_MATCH_BATCH, K_PLAN, K_PROBE, K_PROBE_ACK, K_PROVISION_REQ, K_READY,
-    K_RETIRE_NOW, K_RETIRE_REQ, K_SHUTDOWN, WIRE_VERSION,
+    K_HELLO, K_MACHINE_UP, K_MATCH_BATCH, K_MATCH_TAP, K_PLAN, K_PROBE, K_PROBE_ACK,
+    K_PROVISION_REQ, K_READY, K_RETIRE_NOW, K_RETIRE_REQ, K_SHUTDOWN, WIRE_VERSION,
 };
 
 /// Environment: flag marking a process as a worker.
@@ -55,6 +55,9 @@ pub const ENV_MACHINE: &str = "AOJ_NET_MACHINE";
 pub const ENV_GEN: &str = "AOJ_NET_GEN";
 
 /// How often the control loop ships gauge samples and buffered matches.
+/// Kept tight so short runs still deliver enough ILF samples for the
+/// controller to trigger mid-stream migrations/expansions; the
+/// ship-on-change dedup keeps the idle cost of the fast cadence at zero.
 const STATS_PERIOD: Duration = Duration::from_millis(5);
 
 fn env_num<T: std::str::FromStr>(key: &str) -> T
@@ -120,7 +123,14 @@ pub fn worker_main() -> ! {
     // Rebuild the topology. The ingest queue and match hub are local
     // stand-ins: the real source runs in the coordinator, and matches
     // are collected here and shipped over the control connection.
-    let hub = MatchHub::collector();
+    let hub = if plan.stream_matches {
+        MatchHub::collector()
+    } else {
+        // No subscriber at session open: count matches locally and ship
+        // only the digest in the finals. The coordinator flips the tap
+        // with K_MATCH_TAP if a subscriber attaches mid-session.
+        MatchHub::counter()
+    };
     let mut rec = TopoRecorder::default();
     let idle_poll = SimDuration::from_micros(builder.source.idle_poll_us.max(1));
     assemble_topology(
@@ -266,22 +276,30 @@ pub fn worker_main() -> ! {
         })
         .expect("spawn control reader");
 
-    let ship_stats = |fin: bool| {
+    // The stats loop reuses two encode buffers across its whole life and
+    // skips gauge frames whose values haven't moved since the last ship:
+    // an idle worker costs the control plane nothing but the timer tick.
+    let mut gauge_buf: Vec<u8> = Vec::new();
+    let mut match_buf: Vec<u8> = Vec::new();
+    let mut last_gauges: Option<GaugeSample> = None;
+    let mut ship_stats = |fin: bool| {
         let m = MachineId(machine);
-        ctrl.send(
-            K_GAUGES,
-            &GaugeSample {
-                machine: machine as u64,
-                stored: gauges.stored(m),
-                evicted: gauges.evicted(m),
-                occupancy: gauges.occupancy(m),
-                data_processed: gauges.data_processed(),
-            }
-            .enc(),
-        );
+        let sample = GaugeSample {
+            machine: machine as u64,
+            stored: gauges.stored(m),
+            evicted: gauges.evicted(m),
+            occupancy: gauges.occupancy(m),
+            data_processed: gauges.data_processed(),
+        };
+        if fin || last_gauges != Some(sample) {
+            last_gauges = Some(sample);
+            sample.enc_into(&mut gauge_buf);
+            ctrl.send(K_GAUGES, &gauge_buf);
+        }
         let matches = hub.drain_buffered();
         if !matches.is_empty() || fin {
-            ctrl.send(K_MATCH_BATCH, &wire::enc_match_batch(&matches));
+            wire::enc_match_batch_into(&matches, &mut match_buf);
+            ctrl.send(K_MATCH_BATCH, &match_buf);
         }
     };
 
@@ -316,6 +334,9 @@ pub fn worker_main() -> ! {
             Ok((K_MACHINE_UP, p)) => {
                 let up = MachineUp::dec(&p).expect("machine-up frame");
                 directory.set_live(up.machine as usize, up.gen, up.port);
+            }
+            Ok((K_MATCH_TAP, p)) => {
+                hub.set_streaming(p.first().copied() == Some(1));
             }
             Ok((K_GAUGE_RELAY, p)) => {
                 let g = GaugeRelay::dec(&p).expect("gauge relay");
@@ -446,6 +467,7 @@ fn harvest_finals(
                 evicted_tuples: j.evicted_tuples,
                 evicted_bytes: j.evicted_bytes,
                 match_log: j.match_log.clone(),
+                match_digest: (j.match_digest.count, j.match_digest.sum, j.match_digest.xor),
             });
         } else if let Some(r) = task.as_any().downcast_ref::<ReshufflerTask>() {
             if let Some(ctrl) = &r.controller {
@@ -471,6 +493,7 @@ fn harvest_finals(
                     buckets,
                 },
                 match_log: s.match_log.clone(),
+                match_digest: (s.match_digest.count, s.match_digest.sum, s.match_digest.xor),
             });
         }
     }

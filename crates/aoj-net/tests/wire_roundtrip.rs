@@ -12,7 +12,7 @@ use aoj_core::migration::MachineStepSpec;
 use aoj_core::tuple::{Rel, Tuple};
 use aoj_net::wire::{
     self, dec_match_batch, dec_task_msg, decode_opmsg, enc_match_batch, enc_task_msg,
-    opmsg_to_bytes, Dec,
+    enc_task_msg_into, opmsg_to_bytes, Dec,
 };
 use aoj_operators::messages::{IngestItem, Match, OpMsg};
 use aoj_operators::{OperatorKind, SessionBuilder};
@@ -254,6 +254,28 @@ proptest! {
         let bytes = enc_match_batch(&ms);
         let back = dec_match_batch(&bytes).expect("decode");
         prop_assert_eq!(back, ms);
+    }
+
+    /// Encoding into a dirty reused buffer — one still carrying the
+    /// bytes of an unrelated message, cleared as the `BufPool`
+    /// check-out discipline does — is byte-identical to encoding into
+    /// a fresh allocation, for every `OpMsg` variant. This is the
+    /// property that makes the pooled zero-allocation hot path safe:
+    /// no encoder may ever read, skip over, or depend on what a buffer
+    /// held before.
+    #[test]
+    fn dirty_buffer_reuse_is_byte_identical(
+        prev in opmsg(),
+        msg in opmsg(),
+        from in 0usize..4096,
+        to in 0usize..4096,
+    ) {
+        let fresh = enc_task_msg(TaskId(from), TaskId(to), &msg);
+        let mut buf = Vec::new();
+        enc_task_msg_into(TaskId(to), TaskId(from), &prev, &mut buf);
+        buf.clear();
+        enc_task_msg_into(TaskId(from), TaskId(to), &msg, &mut buf);
+        prop_assert_eq!(&buf, &fresh);
     }
 
     /// A truncated OpMsg payload errors instead of panicking or

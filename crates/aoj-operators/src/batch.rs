@@ -67,6 +67,77 @@ struct Pending {
     arrived: Vec<SimTime>,
 }
 
+/// A capped free-list of batch storage whose heap capacity survives the
+/// flush → ship → consume cycle.
+///
+/// Batch vectors travel *inside* messages, so their storage leaves the
+/// sender for good — but every batch a task receives off its mailbox
+/// delivers equivalent storage in return. Consumers hand consumed
+/// vectors back with [`put_pair`](BatchPool::put_pair) /
+/// [`put_tuples`](BatchPool::put_tuples) and producers draw replacements
+/// with the `get_*` methods, so in steady state batch traffic recycles
+/// a fixed working set instead of allocating per flush. A `get` against
+/// an empty pool falls back to one exact-capacity allocation — still
+/// cheaper than the doubling growth of pushing into `Vec::new()`.
+#[derive(Debug, Default)]
+pub struct BatchPool {
+    tuples: Vec<Vec<Tuple>>,
+    times: Vec<Vec<SimTime>>,
+    cap: usize,
+}
+
+impl BatchPool {
+    /// A pool retaining at most `cap` spare vectors of each kind.
+    pub fn new(cap: usize) -> BatchPool {
+        BatchPool {
+            tuples: Vec::new(),
+            times: Vec::new(),
+            cap,
+        }
+    }
+
+    /// An empty tuple vector with at least `reserve` slots.
+    pub fn get_tuples(&mut self, reserve: usize) -> Vec<Tuple> {
+        let mut v = self.tuples.pop().unwrap_or_default();
+        v.clear();
+        v.reserve(reserve);
+        v
+    }
+
+    /// An empty (tuples, arrivals) pair, each with at least `reserve`
+    /// slots.
+    pub fn get_pair(&mut self, reserve: usize) -> (Vec<Tuple>, Vec<SimTime>) {
+        let mut a = self.times.pop().unwrap_or_default();
+        a.clear();
+        a.reserve(reserve);
+        (self.get_tuples(reserve), a)
+    }
+
+    /// Return a consumed tuple vector (typically one that arrived in a
+    /// message) for reuse. Dropped when the pool is full or the vector
+    /// never allocated.
+    pub fn put_tuples(&mut self, mut v: Vec<Tuple>) {
+        if self.tuples.len() < self.cap && v.capacity() > 0 {
+            v.clear();
+            self.tuples.push(v);
+        }
+    }
+
+    /// Return a consumed (tuples, arrivals) pair for reuse.
+    pub fn put_pair(&mut self, tuples: Vec<Tuple>, mut arrived: Vec<SimTime>) {
+        self.put_tuples(tuples);
+        if self.times.len() < self.cap && arrived.capacity() > 0 {
+            arrived.clear();
+            self.times.push(arrived);
+        }
+    }
+
+    /// Spare vectors currently pooled, `(tuples, arrivals)`.
+    pub fn spares(&self) -> (usize, usize) {
+        (self.tuples.len(), self.times.len())
+    }
+}
+
 /// Per-destination coalescing buffers for routed data tuples.
 ///
 /// Slots are caller-defined destinations (a joiner machine, or a
@@ -78,11 +149,21 @@ pub struct DataCoalescer {
     cfg: BatchConfig,
     slots: Vec<Pending>,
     buffered: usize,
+    /// Recycled batch storage: [`take`](DataCoalescer::take) swaps
+    /// pooled vectors in for the shipped ones, and owners that receive
+    /// batches back off the mailbox refill it via
+    /// [`recycle`](DataCoalescer::recycle).
+    pool: BatchPool,
     /// True while an age-flush timer is scheduled on the owning task.
     timer_pending: bool,
 }
 
 impl DataCoalescer {
+    /// Spare vectors the pool retains per coalescer: enough to cover a
+    /// few in-flight flushes without holding a slot's worth of dead
+    /// capacity on wide fan-outs.
+    const POOL_SPARES: usize = 8;
+
     /// An empty coalescer with `slots` destinations.
     pub fn new(cfg: BatchConfig, slots: usize) -> DataCoalescer {
         DataCoalescer {
@@ -92,6 +173,7 @@ impl DataCoalescer {
             },
             slots: (0..slots).map(|_| Pending::default()).collect(),
             buffered: 0,
+            pool: BatchPool::new(Self::POOL_SPARES),
             timer_pending: false,
         }
     }
@@ -153,17 +235,26 @@ impl DataCoalescer {
     }
 
     /// Take `slot`'s pending batch, leaving the slot empty. `None` if the
-    /// slot holds nothing.
+    /// slot holds nothing. The slot's replacement storage comes from the
+    /// recycling pool (or one exact-capacity allocation), so refilling it
+    /// never pays `Vec::new()`'s doubling growth.
     pub fn take(&mut self, slot: usize) -> Option<(Vec<Tuple>, Vec<SimTime>)> {
-        let p = &mut self.slots[slot];
-        if p.tuples.is_empty() {
+        if self.slots[slot].tuples.is_empty() {
             return None;
         }
+        let (et, ea) = self.pool.get_pair(self.cfg.batch_tuples);
+        let p = &mut self.slots[slot];
         self.buffered -= p.tuples.len();
         Some((
-            std::mem::take(&mut p.tuples),
-            std::mem::take(&mut p.arrived),
+            std::mem::replace(&mut p.tuples, et),
+            std::mem::replace(&mut p.arrived, ea),
         ))
+    }
+
+    /// Hand consumed batch storage (a batch received off the mailbox)
+    /// back for the next flush.
+    pub fn recycle(&mut self, tuples: Vec<Tuple>, arrived: Vec<SimTime>) {
+        self.pool.put_pair(tuples, arrived);
     }
 
     /// Drain every non-empty slot in slot order: `(slot, tuples, arrived)`.
@@ -203,6 +294,47 @@ mod tests {
         );
         assert_eq!(c.buffered(), 1);
         assert!(c.take(0).is_none());
+    }
+
+    #[test]
+    fn pool_recycles_capacity_and_respects_cap() {
+        let mut pool = BatchPool::new(1);
+        let (mut t, mut a) = pool.get_pair(64);
+        assert!(t.capacity() >= 64 && a.capacity() >= 64);
+        t.push(super::Tuple::new(aoj_core::tuple::Rel::R, 0, 0, 0));
+        a.push(SimTime(1));
+        let (cap_t, cap_a) = (t.capacity(), a.capacity());
+        pool.put_pair(t, a);
+        assert_eq!(pool.spares(), (1, 1));
+        let (t2, a2) = pool.get_pair(8);
+        assert!(
+            t2.is_empty() && a2.is_empty(),
+            "recycled storage is cleared"
+        );
+        assert_eq!(t2.capacity(), cap_t, "capacity survives the cycle");
+        assert_eq!(a2.capacity(), cap_a);
+        // Over-cap returns are dropped, zero-capacity returns ignored.
+        pool.put_pair(t2, a2);
+        pool.put_pair(Vec::with_capacity(4), Vec::with_capacity(4));
+        assert_eq!(pool.spares(), (1, 1));
+        pool.put_pair(Vec::new(), Vec::new());
+        assert_eq!(pool.spares(), (1, 1));
+    }
+
+    #[test]
+    fn take_leaves_presized_storage_and_recycle_feeds_it() {
+        let mut c = DataCoalescer::new(BatchConfig::new(4), 1);
+        for i in 0..4u64 {
+            c.push(0, t(i), SimTime(i));
+        }
+        let (tuples, arrived) = c.take(0).unwrap();
+        // The shipped vectors' replacements are pre-sized: refilling the
+        // slot to the threshold must not grow.
+        c.push(0, t(9), SimTime(9));
+        c.recycle(tuples, arrived);
+        let (tuples2, _) = c.take(0).unwrap();
+        assert_eq!(tuples2.len(), 1);
+        assert!(tuples2.capacity() >= 4, "slot refill storage is pre-sized");
     }
 
     #[test]

@@ -39,7 +39,7 @@ use crate::batch::{BatchConfig, DataCoalescer};
 use crate::elastic_runtime::{provisioned_joiners, ElasticConfig};
 use crate::joiner_task::{JoinerTask, LatencyStats};
 use crate::messages::OpMsg;
-use crate::report::{ContractTransfer, ExpandTransfer, RunReport};
+use crate::report::{ContractTransfer, ExpandTransfer, MatchDigest, RunReport};
 use crate::reshuffler::{
     ControlEvent, ControllerState, ProgressRecorder, ProgressSample, ReshufflerTask,
 };
@@ -632,6 +632,7 @@ pub(crate) fn collect_grid<B: ExecBackend<OpMsg>>(
     let mut latency = LatencyStats::default();
     let mut migration_bytes = 0u64;
     let mut match_pairs: Vec<(u64, u64)> = Vec::new();
+    let mut match_digest = MatchDigest::default();
     let mut expand_transfers: Vec<ExpandTransfer> = Vec::new();
     let mut contract_transfers: Vec<ContractTransfer> = Vec::new();
     for &jid in &wiring.joiner_ids {
@@ -640,6 +641,7 @@ pub(crate) fn collect_grid<B: ExecBackend<OpMsg>>(
         latency.merge(&jt.latency);
         migration_bytes += jt.migration_bytes_in;
         match_pairs.extend_from_slice(&jt.match_log);
+        match_digest.merge(&jt.match_digest);
         if jt.expand_stored_tuples > 0 {
             expand_transfers.push(ExpandTransfer {
                 joiner: jt.index,
@@ -749,6 +751,7 @@ pub(crate) fn collect_grid<B: ExecBackend<OpMsg>>(
         events,
         competitive,
         match_pairs,
+        match_digest,
     }
 }
 
@@ -1087,11 +1090,13 @@ pub(crate) fn collect_shj<B: ExecBackend<OpMsg>>(
     let mut matches = 0u64;
     let mut latency = LatencyStats::default();
     let mut match_pairs: Vec<(u64, u64)> = Vec::new();
+    let mut match_digest = MatchDigest::default();
     for &jid in &wiring.joiner_ids {
         let jt = backend.task_ref::<ShjJoiner>(jid);
         matches += jt.matches;
         latency.merge(&jt.latency);
         match_pairs.extend_from_slice(&jt.match_log);
+        match_digest.merge(&jt.match_digest);
     }
     match_pairs.sort_unstable();
     let samples = progress_samples(backend);
@@ -1138,6 +1143,7 @@ pub(crate) fn collect_shj<B: ExecBackend<OpMsg>>(
         events: Vec::new(),
         competitive: Vec::new(),
         match_pairs,
+        match_digest,
     }
 }
 

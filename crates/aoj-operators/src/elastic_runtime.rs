@@ -236,6 +236,8 @@ pub fn contraction_due(
 pub struct ExpandOutbox {
     children: [TaskId; 3],
     batches: [Vec<Tuple>; 3],
+    /// Recycled batch storage for the shipped vectors' replacements.
+    pool: crate::batch::BatchPool,
 }
 
 impl ExpandOutbox {
@@ -245,6 +247,7 @@ impl ExpandOutbox {
         ExpandOutbox {
             children,
             batches: [Vec::new(), Vec::new(), Vec::new()],
+            pool: crate::batch::BatchPool::new(3),
         }
     }
 
@@ -272,7 +275,8 @@ impl ExpandOutbox {
     pub fn flush(&mut self, ctx: &mut Ctx<'_, OpMsg>, force: bool) {
         for (idx, batch) in self.batches.iter_mut().enumerate() {
             if !batch.is_empty() && (force || batch.len() >= MIG_BATCH_TUPLES) {
-                let tuples = std::mem::take(batch);
+                let spare = self.pool.get_tuples(MIG_BATCH_TUPLES);
+                let tuples = std::mem::replace(batch, spare);
                 ctx.send(self.children[idx], OpMsg::MigBatch { tuples });
             }
         }

@@ -3,6 +3,7 @@
 
 use aoj_core::competitive::RatioSample;
 use aoj_core::mapping::Mapping;
+use aoj_core::ticket::mix64;
 use aoj_simnet::SimDuration;
 
 use crate::reshuffler::{ControlEvent, ProgressSample};
@@ -33,6 +34,47 @@ pub struct ContractTransfer {
     /// (each tuple is sent at most once; the diagonal retiree sends
     /// none).
     pub sent_tuples: u64,
+}
+
+/// An order-independent digest of the emitted match multiset.
+///
+/// Each `(R seq, S seq)` pair identity is hashed through a SplitMix64
+/// finalizer and folded into a commutative accumulator (count, wrapping
+/// sum, xor), so two runs emitted the same multiset of pairs — in any
+/// order, across any partitioning — iff their digests are equal (up to
+/// hash collisions, which would have to be engineered). This is the
+/// cross-backend exactness witness that wall-clock benchmarks compare
+/// against the simulator without shipping every pair identity over the
+/// control plane; the full `match_pairs` log (`collect_matches`) remains
+/// available for bit-for-bit equivalence tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MatchDigest {
+    /// Pairs folded in.
+    pub count: u64,
+    /// Wrapping sum of the per-pair hashes.
+    pub sum: u64,
+    /// Xor of the per-pair hashes.
+    pub xor: u64,
+}
+
+impl MatchDigest {
+    /// Fold one `(R seq, S seq)` pair identity into the digest.
+    #[inline]
+    pub fn fold(&mut self, r_seq: u64, s_seq: u64) {
+        // Mix the S side before combining so (r, s) and (s, r) — and any
+        // linear combination of seqs — hash apart.
+        let h = mix64(r_seq ^ mix64(s_seq));
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(h);
+        self.xor ^= h;
+    }
+
+    /// Merge another digest (a disjoint partition of the multiset) in.
+    pub fn merge(&mut self, other: &MatchDigest) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.xor ^= other.xor;
+    }
 }
 
 /// The measurements of one operator run.
@@ -121,6 +163,10 @@ pub struct RunReport {
     /// Emitted pair identities `(R seq, S seq)`, sorted — only filled
     /// when `RunConfig::collect_matches` is set (equivalence testing).
     pub match_pairs: Vec<(u64, u64)>,
+    /// Order-independent digest of the emitted match multiset — always
+    /// filled, on every backend, whether or not `collect_matches` is
+    /// set. Two runs joined identically iff their digests agree.
+    pub match_digest: MatchDigest,
 }
 
 impl RunReport {

@@ -353,6 +353,32 @@ impl MatchHub {
         hub
     }
 
+    /// A hub that counts emitted matches but never buffers them: the
+    /// per-pair cost is one relaxed counter increment, with no lock and
+    /// no allocation. Remote workers use one of these when the session
+    /// has no match subscriber, so match identities never touch the
+    /// control plane.
+    pub fn counter() -> Arc<MatchHub> {
+        MatchHub::new(0)
+    }
+
+    /// Is a consumer currently attached (emitted matches are buffered)?
+    pub fn attached(&self) -> bool {
+        self.attached.load(Ordering::Relaxed)
+    }
+
+    /// Switch buffering on or off — the remote worker's mirror of the
+    /// session hub's attach state. While off, emitted matches are
+    /// counted but dropped (exactly the detached-subscriber contract);
+    /// switching off also discards anything still buffered.
+    pub fn set_streaming(&self, on: bool) {
+        if on {
+            self.attach();
+        } else {
+            self.detach();
+        }
+    }
+
     /// Take every currently buffered match (collector hubs).
     pub fn drain_buffered(&self) -> Vec<Match> {
         let mut st = self.state.lock().unwrap();

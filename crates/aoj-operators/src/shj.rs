@@ -16,6 +16,7 @@ use std::sync::Arc;
 use crate::batch::DataCoalescer;
 use crate::joiner_task::{pair_key, LatencyStats};
 use crate::messages::{Match, OpMsg};
+use crate::report::MatchDigest;
 use crate::reshuffler::ProgressRecorder;
 use crate::session::MatchHub;
 
@@ -136,6 +137,9 @@ pub struct ShjJoiner {
     pub collect_matches: bool,
     /// Emitted pair identities, `(R seq, S seq)`, when collection is on.
     pub match_log: Vec<(u64, u64)>,
+    /// Order-independent digest of every emitted pair (see
+    /// [`JoinerTask::match_digest`](crate::joiner_task::JoinerTask::match_digest)).
+    pub match_digest: MatchDigest,
     /// Live match-emission path (see
     /// [`JoinerTask::match_sink`](crate::joiner_task::JoinerTask::match_sink)).
     pub match_sink: Option<Arc<MatchHub>>,
@@ -162,6 +166,7 @@ impl ShjJoiner {
             matches: 0,
             collect_matches: false,
             match_log: Vec::new(),
+            match_digest: MatchDigest::default(),
             match_sink: None,
             latency: LatencyStats::default(),
             unacked_credits: 0,
@@ -182,11 +187,14 @@ impl Process<OpMsg> for ShjJoiner {
                 let mut per_tuple = vec![0u32; tuples.len()];
                 let stats: ProbeStats = {
                     let match_log = &mut self.match_log;
+                    let digest = &mut self.match_digest;
                     let sink = self.match_sink.as_deref();
                     process_stream_batch(&mut self.index, &tuples, &mut |i, stored| {
                         per_tuple[i] += 1;
+                        let key = pair_key(&tuples[i], stored);
+                        digest.fold(key.0, key.1);
                         if collect {
-                            match_log.push(pair_key(&tuples[i], stored));
+                            match_log.push(key);
                         }
                         if let Some(hub) = sink {
                             hub.emit(Match::of(&tuples[i], stored));

@@ -113,6 +113,22 @@ class Check(unittest.TestCase):
             cbr.check(base, new, 0.8, min_ratio_tcp=0.25, out=self.quiet),
             [])
 
+    def test_tcp_floor_catches_a_relapse_into_the_old_hot_path(self):
+        # The 0.40 floor CI runs with must reject the pre-zero-alloc
+        # TCP throughput (~10.9k t/s against the committed ~66k t/s
+        # baseline, x0.17) while admitting ordinary runner jitter.
+        base = {("tcp", 64): run("tcp", 65719.0, batch=64)}
+        relapse = {("tcp", 64): run("tcp", 10917.0, batch=64)}
+        self.assertEqual(
+            cbr.check(base, relapse, 0.8, min_ratio_tcp=0.40,
+                      out=self.quiet),
+            [("tcp", 64)])
+        jitter = {("tcp", 64): run("tcp", 30000.0, batch=64)}
+        self.assertEqual(
+            cbr.check(base, jitter, 0.8, min_ratio_tcp=0.40,
+                      out=self.quiet),
+            [])
+
     def test_threaded_floor_does_not_loosen_the_sim_gate(self):
         base = {("sim", "a"): run("sim", 100.0, name="a")}
         new = {("sim", "a"): run("sim", 40.0, name="a")}
