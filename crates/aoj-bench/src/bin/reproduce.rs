@@ -14,17 +14,18 @@
 //! `fig7`, `fig8a`..`fig8d`, `fig8`, `ablation-migration`,
 //! `ablation-epsilon`, `ablation-blocking`, `ablation-elastic`,
 //! `ablation-groups`, `ablations`, `wallclock`, `elastic`, `contract`,
-//! `lifecycle`, or `all`.
+//! `lifecycle`, `skew`, or `all`.
 //!
 //! `lifecycle` exercises the state lifecycle subsystem — windowed
 //! eviction and a checkpoint→restore→verify round-trip — on **both**
 //! backends in one invocation and writes `BENCH_lifecycle[_smoke].json`.
 //!
 //! `--backend threaded` selects the multi-threaded runtime, which hosts
-//! the wall-clock benchmark (`wallclock`) and the live `elastic` /
-//! `contract` scale-out and scale-in experiments; `--backend tcp`
-//! selects the multi-process TCP backend (`aoj-net`), which hosts the
-//! `wallclock` smoke point (the binary re-execs itself as the worker
+//! the wall-clock benchmark (`wallclock`), the live `elastic` /
+//! `contract` scale-out and scale-in experiments, and the `skew`
+//! routing comparison; `--backend tcp` selects the multi-process TCP
+//! backend (`aoj-net`), which hosts the `wallclock` smoke point and
+//! the `skew` comparison (the binary re-execs itself as the worker
 //! processes); the paper-figure experiments are simulator-only
 //! because their figures are defined in virtual time. `--smoke` shrinks
 //! the `elastic` workload (and the `wallclock` sweep) to a CI-sized run.
@@ -33,7 +34,7 @@
 //! `BENCH_wallclock.json`).
 
 use aoj_bench::experiments::{
-    ablation, contract, elastic, fig6, fig7, fig8, lifecycle, table2, wallclock,
+    ablation, contract, elastic, fig6, fig7, fig8, lifecycle, skew, table2, wallclock,
 };
 use aoj_operators::BackendChoice;
 
@@ -78,11 +79,12 @@ fn main() {
             "unknown backend `{other}`; use sim | threaded | tcp"
         )),
     };
-    if backend_choice == BackendChoice::Tcp {
-        // The process backend registers itself into the session layer;
-        // every tcp session opened below resolves through this factory.
-        aoj_net::install();
-    }
+    // The process backend registers itself into the session layer; every
+    // tcp session opened below resolves through this factory. Registered
+    // unconditionally: experiments that sweep both live backends in one
+    // invocation (skew's full mode) open tcp sessions without
+    // `--backend tcp`, and registration alone costs nothing.
+    aoj_net::install();
     let what = match backend_choice {
         BackendChoice::Sim => positional
             .first()
@@ -98,9 +100,10 @@ fn main() {
                 Some("elastic") => "elastic".to_string(),
                 Some("contract") => "contract".to_string(),
                 Some("lifecycle") => "lifecycle".to_string(),
+                Some("skew") => "skew".to_string(),
                 Some(other) => die(&format!(
                     "experiment `{other}` is simulator-only; `--backend threaded` \
-                     runs `wallclock`, `elastic`, `contract` or `lifecycle`"
+                     runs `wallclock`, `elastic`, `contract`, `lifecycle` or `skew`"
                 )),
             }
         }
@@ -110,8 +113,9 @@ fn main() {
             // process-lifecycle coverage in the equivalence suite.
             match positional.first().map(|s| s.as_str()) {
                 None | Some("wallclock") | Some("all") => "wallclock".to_string(),
+                Some("skew") => "skew".to_string(),
                 Some(other) => die(&format!(
-                    "`--backend tcp` runs `wallclock` only; experiment `{other}` \
+                    "`--backend tcp` runs `wallclock` or `skew`; experiment `{other}` \
                      is not wired to the process backend"
                 )),
             }
@@ -161,6 +165,14 @@ fn main() {
         "elastic" => elastic::run_elastic(backend_choice, smoke),
         "contract" => contract::run_contract(backend_choice, smoke),
         "lifecycle" => lifecycle::run_lifecycle(smoke),
+        "skew" => skew::run_skew(
+            if backend_choice == BackendChoice::Tcp {
+                BackendChoice::Tcp
+            } else {
+                BackendChoice::Threaded
+            },
+            smoke,
+        ),
         "all" => {
             table2::run_table2();
             fig6::run_fig6();
@@ -171,6 +183,7 @@ fn main() {
             elastic::run_elastic(backend_choice, smoke);
             contract::run_contract(backend_choice, smoke);
             lifecycle::run_lifecycle(smoke);
+            skew::run_skew(wallclock_backend, smoke);
         }
         other => {
             eprintln!("unknown experiment `{other}`; see --help in the module docs");

@@ -144,9 +144,9 @@ pub fn run_contract_pair(backend: BackendChoice, n_each: usize) -> (RunReport, R
     // Every machine outside the final active set must be empty.
     let final_j = sawtooth.final_mapping.j() as usize;
     let live: u64 = sawtooth
-        .stored_bytes_by_machine
+        .machines
         .iter()
-        .filter(|&&b| b > 0)
+        .filter(|m| m.stored_bytes > 0)
         .count() as u64;
     assert!(
         live <= final_j as u64,

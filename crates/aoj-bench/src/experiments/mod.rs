@@ -8,6 +8,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod lifecycle;
+pub mod skew;
 pub mod table2;
 pub mod wallclock;
 

@@ -1,0 +1,332 @@
+//! The `skew` experiment: what hot-key handling buys on a live backend.
+//!
+//! The paper's grid makes tuple placement a pure policy choice (§4): any
+//! row×column pair meets in exactly one cell, so the reshufflers can
+//! route a hot key's build tuples across whole joiner *rows* and
+//! round-robin its probe tuples across *columns* without changing the
+//! output multiset. This experiment measures that claim's payoff. For
+//! each Zipf exponent z ∈ {1.0, 1.4} it runs the same seeded band-join
+//! twice on the chosen wall-clock backend:
+//!
+//! * **keyed** — skew-blind keyed routing: every tuple of a key lands in
+//!   one grid cell, so the Zipf head piles onto one joiner;
+//! * **split** — [`RoutingMode::KeyedHotSplit`]: the reshufflers'
+//!   mergeable SpaceSaving sketches flag the head keys online and spread
+//!   them across the grid.
+//!
+//! Every run is verified against a simulator replay through the
+//! order-independent match digest — routing policy must never change
+//! the join result. Reported per run:
+//!
+//! * wall-clock throughput on the live backend. **Caveat:** spreading a
+//!   hot key is a *parallelism* win; it converts the hot joiner's serial
+//!   match backlog into concurrent work on idle peers. The wall-clock
+//!   gain therefore tracks the host's spare hardware threads — on a
+//!   single-core CI runner both routings measure within noise of each
+//!   other, because the total match work is identical by construction.
+//! * **processing imbalance** `max(matches) / mean(matches)` over the
+//!   joiner machines (1.0 = perfectly even, `J` = one joiner emitted
+//!   everything) plus the same ratio over stored bytes. This is the
+//!   hardware-independent signal: it measures where the work sat.
+//! * the **modeled makespan** from the simulator running the same two
+//!   routings under its cost model, where the `J` machines genuinely
+//!   overlap in virtual time — what the wall-clock gain converges to as
+//!   hardware parallelism becomes available.
+//! * sketch skew ratio, hot-key count, and p50/p99 tuple latency (a hot
+//!   joiner's queue backlog shows up directly in p99).
+//!
+//! Results go to `BENCH_skew[_smoke].json`; CI gates throughput via
+//! `scripts/check_bench_regression.py --match-on name`.
+
+use aoj_core::predicate::Predicate;
+use aoj_core::RoutingMode;
+use aoj_datagen::queries::{StreamItem, Workload};
+use aoj_datagen::stream::interleave;
+use aoj_datagen::zipf::ZipfSampler;
+use aoj_operators::{BackendChoice, JoinSession, OperatorKind, RunReport, SessionBuilder};
+
+use super::common::{banner, Table, SEED};
+
+/// The Zipf exponents swept: the paper's moderate setting and a hard
+/// head-heavy one where a single key carries ~20% of the stream.
+pub const ZIPF_SWEEP: [f64; 2] = [1.0, 1.4];
+
+const J: u32 = 4;
+
+/// Zipf band-join workload at exponent `z` (key space 1 000, 96 B
+/// tuples — the wall-clock benchmark's shape with a tunable head).
+fn zipf_band_workload(z: f64, nr: usize, ns: usize, seed: u64) -> Workload {
+    let mut zr = ZipfSampler::new(1_000, z, seed);
+    let mut zs = ZipfSampler::new(1_000, z, seed ^ 0x5A5A);
+    let item = |zs: &mut ZipfSampler| StreamItem {
+        key: zs.next() as i64,
+        aux: 0,
+        bytes: 96,
+    };
+    Workload {
+        name: "zipf-band-skew",
+        predicate: Predicate::Band { width: 2 },
+        r_items: (0..nr).map(|_| item(&mut zr)).collect(),
+        s_items: (0..ns).map(|_| item(&mut zs)).collect(),
+    }
+}
+
+fn session_builder(
+    w: &Workload,
+    n_arrivals: usize,
+    backend: BackendChoice,
+    routing: RoutingMode,
+) -> SessionBuilder {
+    SessionBuilder::new(J, OperatorKind::Dynamic)
+        .with_predicate(w.predicate.clone())
+        .with_workload(w.name)
+        .with_seed(SEED)
+        .with_backend(backend)
+        .with_routing(routing)
+        // Offline harness semantics: the whole stream is materialized up
+        // front, so the source's queue must hold all of it and the
+        // flow-control window (a liveness knob for open-ended sessions)
+        // only adds credit-return stalls to the measurement.
+        .with_window_copies(0)
+        .with_queue_tuples(n_arrivals.max(1))
+}
+
+fn run_once(
+    w: &Workload,
+    arrivals: &[(aoj_core::tuple::Rel, StreamItem)],
+    backend: BackendChoice,
+    routing: RoutingMode,
+) -> RunReport {
+    let mut session = JoinSession::open(session_builder(w, arrivals.len(), backend, routing));
+    session
+        .push_batch(arrivals.iter().copied())
+        .expect("fresh session rejected input");
+    session.close()
+}
+
+/// A simulator run of the same workload under `routing` — virtual time,
+/// so the `J` machines overlap perfectly and the modeled makespan shows
+/// the parallel payoff of balanced placement independent of how many
+/// hardware threads this host happens to have.
+fn sim_run(
+    w: &Workload,
+    arrivals: &[(aoj_core::tuple::Rel, StreamItem)],
+    routing: RoutingMode,
+) -> RunReport {
+    run_once(w, arrivals, BackendChoice::Sim, routing)
+}
+
+/// `max / mean` of a per-machine load gauge over the `J` joiner
+/// machines: 1.0 is a perfectly balanced grid, `J` means one joiner
+/// carries everything.
+fn imbalance(r: &RunReport, load: impl Fn(&aoj_operators::MachineStats) -> u64) -> f64 {
+    let j = r.final_mapping.j() as usize;
+    let loads: Vec<u64> = r
+        .machines
+        .iter()
+        .filter(|m| m.machine < j)
+        .map(load)
+        .collect();
+    let total: u64 = loads.iter().sum();
+    if total == 0 || loads.is_empty() {
+        return 1.0;
+    }
+    let mean = total as f64 / loads.len() as f64;
+    *loads.iter().max().unwrap() as f64 / mean
+}
+
+/// Processing imbalance: `max(matches) / mean(matches)` over the joiner
+/// machines — where the match work actually sat.
+pub fn processing_imbalance(r: &RunReport) -> f64 {
+    imbalance(r, |m| m.matches)
+}
+
+/// Storage imbalance: the same ratio over stored bytes.
+pub fn storage_imbalance(r: &RunReport) -> f64 {
+    imbalance(r, |m| m.stored_bytes)
+}
+
+/// Median-of-`reps` measurement of one `(z, routing)` cell on `backend`,
+/// digest-verified against the simulator witness `sim`.
+fn measure_cell(
+    w: &Workload,
+    arrivals: &[(aoj_core::tuple::Rel, StreamItem)],
+    backend: BackendChoice,
+    routing: RoutingMode,
+    reps: usize,
+    sim: &RunReport,
+) -> RunReport {
+    let mut runs: Vec<RunReport> = (0..reps.max(1))
+        .map(|_| {
+            let r = run_once(w, arrivals, backend, routing);
+            assert_eq!(
+                r.matches, sim.matches,
+                "{} {routing:?}: match count diverged from the simulator witness",
+                r.backend
+            );
+            assert_eq!(
+                r.match_digest, sim.match_digest,
+                "{} {routing:?}: join multiset diverged from the simulator witness \
+                 — routing must be placement-only",
+                r.backend
+            );
+            r
+        })
+        .collect();
+    runs.sort_by(|a, b| a.throughput.total_cmp(&b.throughput));
+    runs.swap_remove(runs.len() / 2)
+}
+
+fn json_entry(name: &str, r: &RunReport, sim: &RunReport) -> String {
+    format!(
+        concat!(
+            "{{\"name\":\"{}\",\"backend\":\"{}\",\"exec_s\":{:.6},",
+            "\"throughput_tps\":{:.1},\"matches\":{},\"imbalance\":{:.4},",
+            "\"storage_imbalance\":{:.4},\"modeled_exec_s\":{:.6},",
+            "\"skew_ratio\":{:.4},\"hot_keys\":{},\"p50_latency_us\":{},",
+            "\"p99_latency_us\":{},\"network_bytes\":{}}}"
+        ),
+        name,
+        r.backend,
+        r.exec_secs(),
+        r.throughput,
+        r.matches,
+        processing_imbalance(r),
+        storage_imbalance(r),
+        sim.exec_secs(),
+        r.skew.skew_ratio,
+        r.skew.hot_keys.len(),
+        r.p50_latency_us,
+        r.p99_latency_us,
+        r.network_bytes,
+    )
+}
+
+/// The `reproduce skew [--backend tcp] [--smoke]` entry point.
+///
+/// Smoke mode measures the one requested live backend (CI runs the two
+/// backends as separate steps and gates both against the committed
+/// baseline). Full mode sweeps **both** live backends into
+/// `BENCH_skew.json` so that baseline has an entry for every
+/// `(backend, run)` the smoke steps produce.
+pub fn run_skew(backend: BackendChoice, smoke: bool) {
+    assert!(
+        matches!(backend, BackendChoice::Threaded | BackendChoice::Tcp),
+        "run_skew measures a wall-clock backend; the simulator is its witness"
+    );
+    let tcp = backend == BackendChoice::Tcp;
+    let backend_label = if tcp { "tcp" } else { "threaded" };
+    let backends: &[(BackendChoice, &str)] = if smoke {
+        if tcp {
+            &[(BackendChoice::Tcp, "tcp")]
+        } else {
+            &[(BackendChoice::Threaded, "threaded")]
+        }
+    } else {
+        &[
+            (BackendChoice::Threaded, "threaded"),
+            (BackendChoice::Tcp, "tcp"),
+        ]
+    };
+    let (nr, ns) = if smoke {
+        (600, 5_400)
+    } else {
+        (10_000, 10_000)
+    };
+    let reps = if smoke { 1 } else { 3 };
+    banner(&format!(
+        "skew handling ({}{}): Zipf band-join J={J}, keyed vs hot-split routing, \
+         z in {ZIPF_SWEEP:?}",
+        if smoke { backend_label } else { "threaded+tcp" },
+        if smoke { ", smoke" } else { "" },
+    ));
+
+    let mut table = Table::new(&[
+        "run",
+        "backend",
+        "routing",
+        "tuples/s",
+        "imbalance",
+        "modeled (s)",
+        "sketch p99/p50",
+        "hot keys",
+        "p99 lat (us)",
+    ]);
+    let mut entries: Vec<String> = Vec::new();
+    for &z in &ZIPF_SWEEP {
+        let w = zipf_band_workload(z, nr, ns, SEED);
+        let arrivals = interleave(&w, SEED ^ 0x57AE);
+        // The exactness witness doubles as the modeled keyed baseline:
+        // same seed, same routing, virtual time.
+        let sim_keyed = sim_run(&w, &arrivals, RoutingMode::Keyed);
+        assert!(sim_keyed.matches > 0, "z={z}: workload produced no matches");
+        let sim_split = sim_run(&w, &arrivals, RoutingMode::KeyedHotSplit);
+        assert_eq!(
+            sim_split.match_digest, sim_keyed.match_digest,
+            "simulator: hot-split changed the join multiset"
+        );
+
+        for &(be, be_label) in backends {
+            let mut cell = |routing: RoutingMode, tag: &str, sim: &RunReport| -> RunReport {
+                let r = measure_cell(&w, &arrivals, be, routing, reps, sim);
+                let name = format!("z{z}-{tag}");
+                table.row(vec![
+                    name.clone(),
+                    be_label.to_string(),
+                    tag.to_string(),
+                    format!("{:.0}", r.throughput),
+                    format!("{:.2}", processing_imbalance(&r)),
+                    format!("{:.3}", sim.exec_secs()),
+                    format!("{:.2}", r.skew.skew_ratio),
+                    r.skew.hot_keys.len().to_string(),
+                    r.p99_latency_us.to_string(),
+                ]);
+                entries.push(json_entry(&name, &r, sim));
+                r
+            };
+            let keyed = cell(RoutingMode::Keyed, "keyed", &sim_keyed);
+            let split = cell(RoutingMode::KeyedHotSplit, "split", &sim_split);
+            let keyed_imb = processing_imbalance(&keyed);
+            let split_imb = processing_imbalance(&split);
+            println!(
+                "  z={z} ({be_label}): processing imbalance {:.2} -> {:.2} ({:.1}x reduction), \
+                 modeled makespan {:.3}s -> {:.3}s ({:+.1}% modeled, {:+.1}% measured \
+                 on this host), p99 latency {} -> {} us; sketches flagged {} hot keys",
+                keyed_imb,
+                split_imb,
+                keyed_imb / split_imb.max(1.0),
+                sim_keyed.exec_secs(),
+                sim_split.exec_secs(),
+                100.0 * (sim_keyed.exec_secs() / sim_split.exec_secs() - 1.0),
+                100.0 * (split.throughput / keyed.throughput - 1.0),
+                keyed.p99_latency_us,
+                split.p99_latency_us,
+                split.skew.hot_keys.len(),
+            );
+        }
+    }
+    table.print();
+    println!("  verified: every run's multiset digest matches the simulator witness");
+
+    // Smoke runs (CI) write to a side file so they never clobber the
+    // committed full baseline; the TCP smoke gets its own file so both
+    // live-backend smoke steps can upload their results.
+    let path = match (smoke, tcp) {
+        (true, true) => "BENCH_skew_tcp_smoke.json",
+        (true, false) => "BENCH_skew_smoke.json",
+        (false, _) => "BENCH_skew.json",
+    };
+    let json = format!(
+        "{{\"experiment\":\"skew\",\"backend\":\"{}\",\"smoke\":{},\"workload\":\"zipf-band-skew\",\
+         \"j\":{},\"input_tuples\":{},\"runs\":[{}]}}\n",
+        if smoke { backend_label } else { "threaded+tcp" },
+        smoke,
+        J,
+        nr + ns,
+        entries.join(","),
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("  wrote {path}"),
+        Err(e) => eprintln!("  could not write {path}: {e}"),
+    }
+}

@@ -18,6 +18,11 @@
 //! | §4.2.2 elasticity, Fig. 5, Theorem 4.3 | [`elastic`] |
 //! | §5.4 `ILF/ILF*` instrumentation (Fig. 8c) | [`competitive`] |
 //!
+//! Beyond the paper, [`sketch`] adds mergeable streaming summaries
+//! (SpaceSaving heavy hitters + t-digest load quantiles) that make the
+//! routing and elasticity layers skew-aware — a capability the original
+//! operator lacked.
+//!
 //! The local join algorithm is pluggable through [`index::JoinIndex`]
 //! (§3.2: "any flavor of non-blocking join algorithm can be independently
 //! adopted at each joiner task"); `aoj-joinalg` ships hash, B-tree and
@@ -34,6 +39,7 @@ pub mod lifecycle;
 pub mod mapping;
 pub mod migration;
 pub mod predicate;
+pub mod sketch;
 pub mod stats;
 pub mod ticket;
 pub mod tuple;
@@ -50,4 +56,6 @@ pub use lifecycle::{
 pub use mapping::{GridAssignment, GridPos, Mapping, Step};
 pub use migration::{plan_step, MachineStepSpec, MigrationPlan, StateClass};
 pub use predicate::Predicate;
+pub use sketch::{HeavyHitter, SkewConfig, SkewRel, SkewSketch, SpaceSaving, TDigest};
+pub use ticket::RoutingMode;
 pub use tuple::{Rel, Tuple};

@@ -40,7 +40,7 @@ use aoj_operators::messages::OpMsg;
 use aoj_operators::report::MatchDigest;
 use aoj_operators::reshuffler::ReshufflerTask;
 use aoj_operators::shj::ShjJoiner;
-use aoj_operators::{MatchHub, NetBackend, SessionBuilder};
+use aoj_operators::{KeyFilter, MatchHub, NetBackend, SessionBuilder, SkewBoard};
 use aoj_runtime::mailbox::Mailbox;
 use aoj_runtime::RuntimeConfig;
 use aoj_simnet::{
@@ -94,6 +94,10 @@ pub struct TcpBackend {
     builder: SessionBuilder,
     hub: Arc<MatchHub>,
     gauges: Option<Arc<SharedGauges>>,
+    /// Coordinator-side skew board (one slot per worker), fed from the
+    /// `skew_parts` of incoming gauge frames. Installed by the session
+    /// layer; `None` when the session never asks for skew summaries.
+    skew_board: Option<Arc<SkewBoard>>,
     /// Machine-count bookkeeping frozen at the end of `run()`.
     final_provisioned: Option<usize>,
     final_peak: Option<usize>,
@@ -119,6 +123,7 @@ impl TcpBackend {
             builder,
             hub,
             gauges: None,
+            skew_board: None,
             final_provisioned: None,
             final_peak: None,
         })
@@ -233,6 +238,10 @@ impl NetBackend for TcpBackend {
         }
         Arc::clone(self.gauges.as_ref().unwrap())
     }
+
+    fn install_skew_board(&mut self, board: Arc<SkewBoard>) {
+        self.skew_board = Some(board);
+    }
 }
 
 impl TcpBackend {
@@ -258,6 +267,12 @@ impl TcpBackend {
             "127.0.0.1:{}",
             control_listener.local_addr().unwrap().port()
         );
+        // One attach-state snapshot serves both the Plan (what every
+        // worker is told at handshake) and the reactor's tap baseline:
+        // reading `hub.attached()` twice would race a subscriber
+        // attaching in between, leaving the reactor convinced the tap is
+        // already on while the workers were told it is off.
+        let stream0 = self.hub.attached();
         let (tx, rx) = mpsc::channel::<Ev>();
         let links: Arc<ControlLinks> = Arc::new(Mutex::new(HashMap::new()));
         let accept_done = Arc::new(AtomicBool::new(false));
@@ -272,7 +287,7 @@ impl TcpBackend {
                 machines: machines as u64,
                 source_machine: source_machine as u64,
                 clock_anchor_us: 0, // rewritten per handshake
-                stream_matches: self.hub.attached(),
+                stream_matches: stream0,
                 builder: self.builder_bytes.clone(),
             },
             clock,
@@ -371,8 +386,10 @@ impl TcpBackend {
         // Live match streaming follows the session hub's attach state:
         // workers start from the Plan's snapshot and get a K_MATCH_TAP
         // whenever a subscriber attaches or detaches mid-session.
-        let stream0 = self.hub.attached();
         let mut tap_state = stream0;
+        let mut tap_filters: Vec<KeyFilter> = Vec::new();
+        let mut tap_epoch = self.hub.filter_epoch();
+        let skew_board = self.skew_board.clone();
 
         let send_to = |links: &ControlLinks, m: usize, kind: u8, payload: &[u8]| {
             let link = links.lock().unwrap().get(&m).cloned();
@@ -425,11 +442,18 @@ impl TcpBackend {
                 }
             }
 
-            let want_stream = self.hub.attached();
-            if want_stream != tap_state {
+            // Re-broadcast the tap whenever the subscriber set (or any
+            // subscriber's filter) changes: workers then drop pairs no
+            // subscriber wants before they ever touch the wire.
+            let epoch = self.hub.filter_epoch();
+            let (want_stream, filters) = self.hub.ship_spec();
+            if want_stream != tap_state || epoch != tap_epoch {
                 tap_state = want_stream;
+                tap_epoch = epoch;
+                tap_filters = filters;
+                let payload = wire::encode_match_tap(tap_state, &tap_filters);
                 for &w in live.keys() {
-                    send_to(&links, w, K_MATCH_TAP, &[tap_state as u8]);
+                    send_to(&links, w, K_MATCH_TAP, &payload);
                 }
             }
 
@@ -526,8 +550,13 @@ impl TcpBackend {
                                 .enc(),
                             );
                         }
-                        if tap_state != stream0 {
-                            send_to(&links, machine, K_MATCH_TAP, &[tap_state as u8]);
+                        if tap_state != stream0 || !tap_filters.is_empty() {
+                            send_to(
+                                &links,
+                                machine,
+                                K_MATCH_TAP,
+                                &wire::encode_match_tap(tap_state, &tap_filters),
+                            );
                         }
                         live.insert(machine, gen);
                         awaiting_ready.remove(&machine);
@@ -586,6 +615,11 @@ impl TcpBackend {
                         let gen = live.get(&machine).copied().unwrap_or(0);
                         data_proc.insert((machine, gen), g.data_processed);
                         gauges.set_data_processed(data_proc.values().sum());
+                        if let Some(board) = &skew_board {
+                            if !g.skew_parts.is_empty() {
+                                board.publish(machine, g.skew_parts.clone());
+                            }
+                        }
                         // The controller machine needs the cluster view.
                         // (Not during shutdown: worker 0 may already have
                         // closed its control socket by the time a peer's

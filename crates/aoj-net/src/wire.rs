@@ -30,16 +30,17 @@ use aoj_core::lifecycle::{TickSource, WindowMode, WindowSpec};
 use aoj_core::mapping::{GridAssignment, GridPos, Mapping, Step};
 use aoj_core::migration::MachineStepSpec;
 use aoj_core::predicate::Predicate;
+use aoj_core::ticket::RoutingMode;
 use aoj_core::tuple::{Rel, Tuple};
 use aoj_operators::driver::{BackendChoice, OperatorKind};
 use aoj_operators::messages::{IngestItem, Match, OpMsg};
 use aoj_operators::reshuffler::{ControlEvent, ProgressSample};
-use aoj_operators::session::SessionBuilder;
+use aoj_operators::session::{KeyFilter, SessionBuilder};
 use aoj_simnet::{MsgClass, SimDuration, SimTime, TaskId};
 
 /// Protocol version; bumped on any layout change. Checked in both
 /// directions during the handshake.
-pub const WIRE_VERSION: u8 = 2;
+pub const WIRE_VERSION: u8 = 3;
 
 /// Upper bound on a single frame's payload (a corrupt length prefix must
 /// not turn into a multi-gigabyte allocation).
@@ -934,6 +935,7 @@ pub fn encode_builder(b: &SessionBuilder) -> Vec<u8> {
             put_u32(&mut out, e.max_contractions);
             put_u64(&mut out, e.contract_holdoff_tuples);
             put_bool(&mut out, e.drain_driven);
+            put_u64(&mut out, e.skew_expand_ratio.to_bits());
         }
     }
     put_bool(&mut out, b.elasticity.blocking_migrations);
@@ -961,6 +963,22 @@ pub fn encode_builder(b: &SessionBuilder) -> Vec<u8> {
     put_bool(&mut out, b.backend.collect_matches);
     put_usize(&mut out, b.backend.match_buffer);
     put_bool(&mut out, b.backend.track_competitive);
+    // Skew section.
+    put_u8(
+        &mut out,
+        match b.skew.routing {
+            RoutingMode::Random => 0,
+            RoutingMode::Keyed => 1,
+            RoutingMode::KeyedHotSplit => 2,
+        },
+    );
+    put_usize(&mut out, b.skew.sketch.keys);
+    put_usize(&mut out, b.skew.sketch.centroids);
+    put_u32(&mut out, b.skew.sketch.hot_num);
+    put_u32(&mut out, b.skew.sketch.hot_den);
+    put_u64(&mut out, b.skew.sketch.min_total);
+    put_u64(&mut out, b.skew.decision_gate_ratio.to_bits());
+    put_u64(&mut out, b.skew.publish_every);
     out
 }
 
@@ -1029,6 +1047,7 @@ pub fn decode_builder(bytes: &[u8]) -> io::Result<SessionBuilder> {
             max_contractions: d.u32()?,
             contract_holdoff_tuples: d.u64()?,
             drain_driven: d.bool()?,
+            skew_expand_ratio: f64::from_bits(d.u64()?),
         }),
         t => return Err(bad(format!("bad elastic tag {t}"))),
     };
@@ -1061,6 +1080,19 @@ pub fn decode_builder(bytes: &[u8]) -> io::Result<SessionBuilder> {
     b.backend.collect_matches = d.bool()?;
     b.backend.match_buffer = d.usize()?;
     b.backend.track_competitive = d.bool()?;
+    b.skew.routing = match d.u8()? {
+        0 => RoutingMode::Random,
+        1 => RoutingMode::Keyed,
+        2 => RoutingMode::KeyedHotSplit,
+        t => return Err(bad(format!("bad RoutingMode byte {t}"))),
+    };
+    b.skew.sketch.keys = d.usize()?;
+    b.skew.sketch.centroids = d.usize()?;
+    b.skew.sketch.hot_num = d.u32()?;
+    b.skew.sketch.hot_den = d.u32()?;
+    b.skew.sketch.min_total = d.u64()?;
+    b.skew.decision_gate_ratio = f64::from_bits(d.u64()?);
+    b.skew.publish_every = d.u64()?;
     d.finish()?;
     Ok(b)
 }
@@ -1316,7 +1348,7 @@ impl DrainDone {
 
 /// Worker → coordinator: a periodic (or final) gauge sample for this
 /// worker's machine ([`K_GAUGES`]).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GaugeSample {
     /// The reporting machine.
     pub machine: u64,
@@ -1329,6 +1361,11 @@ pub struct GaugeSample {
     /// Data items processed by this worker so far (absolute, per-worker;
     /// the coordinator sums across workers).
     pub data_processed: u64,
+    /// The worker's merged skew sketch as
+    /// [`SkewSketch::to_parts`](aoj_core::sketch::SkewSketch::to_parts)
+    /// words (empty until the worker's reshufflers first publish). The
+    /// coordinator folds one board slot per worker from these.
+    pub skew_parts: Vec<u64>,
 }
 
 impl GaugeSample {
@@ -1347,6 +1384,10 @@ impl GaugeSample {
         put_u64(out, self.evicted);
         put_u64(out, self.occupancy);
         put_u64(out, self.data_processed);
+        put_usize(out, self.skew_parts.len());
+        for &w in &self.skew_parts {
+            put_u64(out, w);
+        }
     }
     /// Decode.
     pub fn dec(bytes: &[u8]) -> io::Result<GaugeSample> {
@@ -1357,10 +1398,64 @@ impl GaugeSample {
             evicted: d.u64()?,
             occupancy: d.u64()?,
             data_processed: d.u64()?,
+            skew_parts: {
+                let n = d.usize()?;
+                let mut v = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    v.push(d.u64()?);
+                }
+                v
+            },
         };
         d.finish()?;
         Ok(g)
     }
+}
+
+/// Encode a [`K_MATCH_TAP`] payload: whether workers should stream
+/// matches at all, plus the union of the session's subscriber
+/// [`KeyFilter`]s (empty with `on` = ship everything). Pairs failing
+/// every filter are dropped at the joiner's emit path, before they ever
+/// touch the wire.
+pub fn encode_match_tap(on: bool, filters: &[KeyFilter]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u8(&mut out, on as u8);
+    put_u32(&mut out, filters.len() as u32);
+    for f in filters {
+        match *f {
+            KeyFilter::All => {
+                put_u8(&mut out, 0);
+                put_i64(&mut out, 0);
+                put_i64(&mut out, 0);
+            }
+            KeyFilter::Range { lo, hi } => {
+                put_u8(&mut out, 1);
+                put_i64(&mut out, lo);
+                put_i64(&mut out, hi);
+            }
+        }
+    }
+    out
+}
+
+/// Decode a [`K_MATCH_TAP`] payload.
+pub fn decode_match_tap(bytes: &[u8]) -> io::Result<(bool, Vec<KeyFilter>)> {
+    let d = &mut Dec::new(bytes);
+    let on = d.u8()? != 0;
+    let n = d.u32()? as usize;
+    let mut filters = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        let tag = d.u8()?;
+        let lo = d.i64()?;
+        let hi = d.i64()?;
+        filters.push(match tag {
+            0 => KeyFilter::All,
+            1 => KeyFilter::Range { lo, hi },
+            t => return Err(bad(format!("bad KeyFilter tag {t}"))),
+        });
+    }
+    d.finish()?;
+    Ok((on, filters))
 }
 
 /// Coordinator → controller worker: another machine's gauges

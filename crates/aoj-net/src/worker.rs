@@ -133,13 +133,16 @@ pub fn worker_main() -> ! {
     };
     let mut rec = TopoRecorder::default();
     let idle_poll = SimDuration::from_micros(builder.source.idle_poll_us.max(1));
-    assemble_topology(
+    let topo = assemble_topology(
         &mut rec,
         &builder,
         IngestQueue::detached(),
         Arc::clone(&hub),
         Some(idle_poll),
     );
+    // The board this worker's reshufflers publish their sketches into;
+    // its merged parts ride every gauge frame to the coordinator.
+    let skew_board = topo.skew_board();
     let machine_count = rec.deferred.len();
     assert_eq!(
         machine_count as u64, plan.machines,
@@ -290,10 +293,14 @@ pub fn worker_main() -> ! {
             evicted: gauges.evicted(m),
             occupancy: gauges.occupancy(m),
             data_processed: gauges.data_processed(),
+            skew_parts: skew_board
+                .as_ref()
+                .map(|b| b.merged_parts())
+                .unwrap_or_default(),
         };
-        if fin || last_gauges != Some(sample) {
-            last_gauges = Some(sample);
+        if fin || last_gauges.as_ref() != Some(&sample) {
             sample.enc_into(&mut gauge_buf);
+            last_gauges = Some(sample);
             ctrl.send(K_GAUGES, &gauge_buf);
         }
         let matches = hub.drain_buffered();
@@ -336,7 +343,12 @@ pub fn worker_main() -> ! {
                 directory.set_live(up.machine as usize, up.gen, up.port);
             }
             Ok((K_MATCH_TAP, p)) => {
-                hub.set_streaming(p.first().copied() == Some(1));
+                let (on, filters) = wire::decode_match_tap(&p).expect("match tap frame");
+                // Filters first, then the stream toggle: a pair emitted
+                // between the two sees either the old complete spec or
+                // the new one, never "on with stale filters".
+                hub.set_ship_filters(filters);
+                hub.set_streaming(on);
             }
             Ok((K_GAUGE_RELAY, p)) => {
                 let g = GaugeRelay::dec(&p).expect("gauge relay");

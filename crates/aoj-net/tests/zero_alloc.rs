@@ -96,6 +96,10 @@ fn steady_state_frame_encode_is_allocation_free() {
         evicted: 45,
         occupancy: 678,
         data_processed: 9_000,
+        // Empty on most samples: a worker only carries parts once its
+        // reshufflers have published a sketch, and an idle steady state
+        // ships the same (possibly empty) parts each round.
+        skew_parts: Vec::new(),
     };
     gauge.enc_into(&mut gauge_buf);
 

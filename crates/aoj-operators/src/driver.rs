@@ -39,12 +39,14 @@ use crate::batch::{BatchConfig, DataCoalescer};
 use crate::elastic_runtime::{provisioned_joiners, ElasticConfig};
 use crate::joiner_task::{JoinerTask, LatencyStats};
 use crate::messages::OpMsg;
-use crate::report::{ContractTransfer, ExpandTransfer, MatchDigest, RunReport};
+use crate::report::SkewSummary;
+use crate::report::{ContractTransfer, ExpandTransfer, MachineStats, MatchDigest, RunReport};
 use crate::reshuffler::{
     ControlEvent, ControllerState, ProgressRecorder, ProgressSample, ReshufflerTask,
 };
 use crate::session::{IngestQueue, JoinSession, MatchHub, SessionBuilder};
 use crate::shj::{ShjJoiner, ShjReshuffler};
+use crate::skew::{SkewBoard, SkewState};
 use crate::source::{SourcePacing, SourceTask};
 
 /// The four operators of §5.
@@ -437,6 +439,11 @@ pub(crate) struct GridWiring {
     pub source_id: TaskId,
     /// The initial mapping the run started with.
     pub initial: Mapping,
+    /// The shared skew board the reshufflers publish their sketches to
+    /// (one slot per reshuffler on in-process backends; on the TCP
+    /// backend the session layer swaps in a coordinator board fed by
+    /// worker gauge frames).
+    pub skew_board: Arc<SkewBoard>,
 }
 
 /// Task/machine layout of an assembled SHJ operator.
@@ -510,19 +517,21 @@ pub(crate) fn setup_grid<B: ExecBackend<OpMsg>>(
     let reshuffler_ids: Vec<TaskId> = (0..total).map(TaskId).collect();
     let joiner_ids: Vec<TaskId> = (total..2 * total).map(TaskId).collect();
     let source_id = TaskId(2 * total);
+    let skew_board = SkewBoard::new(total);
+    let skew_salt = skew_salt(b.seed);
 
     for i in 0..total {
         let controller = if i == 0 {
-            Some(
-                ControllerState::new(
-                    b.j,
-                    initial,
-                    b.elasticity.decision,
-                    adaptive,
-                    sample_spacing,
-                )
-                .with_elastic(elastic_cfg),
+            let mut cs = ControllerState::new(
+                b.j,
+                initial,
+                b.elasticity.decision,
+                adaptive,
+                sample_spacing,
             )
+            .with_elastic(elastic_cfg);
+            cs.decider.set_skew_gate(b.skew.decision_gate_ratio);
+            Some(cs)
         } else {
             None
         };
@@ -547,6 +556,7 @@ pub(crate) fn setup_grid<B: ExecBackend<OpMsg>>(
             // Machines 0..j are live; expansions allocate dormant-pool
             // slots first, fresh slots after.
             layout: aoj_core::elastic::ElasticLayout::new(j),
+            skew: SkewState::new(b.skew, skew_salt).with_board(Arc::clone(&skew_board), i),
         };
         let id = backend.add_task(machines[i], Box::new(task));
         debug_assert_eq!(id, reshuffler_ids[i]);
@@ -596,7 +606,15 @@ pub(crate) fn setup_grid<B: ExecBackend<OpMsg>>(
         joiner_ids,
         source_id,
         initial,
+        skew_board,
     }
+}
+
+/// The salt every reshuffler hashes keys with under keyed routing —
+/// derived from the session seed so distinct sessions place keys
+/// differently, shared across shards so they place keys identically.
+pub(crate) fn skew_salt(seed: u64) -> u64 {
+    aoj_core::ticket::mix64(seed ^ 0x5EED_5CA1_E5A1_7AB1)
 }
 
 /// Drain check shared by both collect phases: a quiesced run must have
@@ -629,6 +647,7 @@ pub(crate) fn collect_grid<B: ExecBackend<OpMsg>>(
     // Collect joiner-side stats (dormant children that never activated
     // contribute zeroes).
     let mut matches = 0u64;
+    let mut matches_by_slot = vec![0u64; total];
     let mut latency = LatencyStats::default();
     let mut migration_bytes = 0u64;
     let mut match_pairs: Vec<(u64, u64)> = Vec::new();
@@ -638,6 +657,7 @@ pub(crate) fn collect_grid<B: ExecBackend<OpMsg>>(
     for &jid in &wiring.joiner_ids {
         let jt = backend.task_ref::<JoinerTask>(jid);
         matches += jt.matches;
+        matches_by_slot[jt.index] = jt.matches;
         latency.merge(&jt.latency);
         migration_bytes += jt.migration_bytes_in;
         match_pairs.extend_from_slice(&jt.match_log);
@@ -702,17 +722,18 @@ pub(crate) fn collect_grid<B: ExecBackend<OpMsg>>(
         .map(|m| m.spilled_bytes)
         .max()
         .unwrap_or(0);
-    // Per-joiner-machine stored bytes at quiescence (index = machine):
+    // Per-joiner-machine gauges at quiescence (index = machine):
     // retired machines must read zero here.
-    let stored_bytes_by_machine: Vec<u64> = (0..total)
-        .map(|i| metrics.stored_bytes_of(aoj_simnet::MachineId(i)))
+    let machines: Vec<MachineStats> = (0..total)
+        .map(|i| MachineStats {
+            machine: i,
+            stored_bytes: metrics.stored_bytes_of(aoj_simnet::MachineId(i)),
+            evicted_bytes: metrics.evicted_bytes_of(aoj_simnet::MachineId(i)),
+            window_tuples: metrics.window_tuples_of(aoj_simnet::MachineId(i)),
+            matches: matches_by_slot[i],
+        })
         .collect();
-    let evicted_bytes_by_machine: Vec<u64> = (0..total)
-        .map(|i| metrics.evicted_bytes_of(aoj_simnet::MachineId(i)))
-        .collect();
-    let window_tuples_by_machine: Vec<u64> = (0..total)
-        .map(|i| metrics.window_tuples_of(aoj_simnet::MachineId(i)))
-        .collect();
+    let skew = SkewSummary::from_sketch(wiring.skew_board.merged());
 
     let competitive = competitive_trace(b.j, prefix, &events, &routing_samples, wiring.initial);
 
@@ -738,9 +759,8 @@ pub(crate) fn collect_grid<B: ExecBackend<OpMsg>>(
         contract_transfers,
         provisioned_machines,
         peak_provisioned_machines,
-        stored_bytes_by_machine,
-        evicted_bytes_by_machine,
-        window_tuples_by_machine,
+        machines,
+        skew,
         max_spilled_bytes: max_spilled,
         avg_latency_us: latency.avg_us(),
         p50_latency_us: latency.percentile_us(0.50),
@@ -882,6 +902,8 @@ pub(crate) fn restore_grid<B: ExecBackend<OpMsg>>(
     let reshuffler_ids: Vec<TaskId> = (0..total).map(TaskId).collect();
     let joiner_ids: Vec<TaskId> = (total..2 * total).map(TaskId).collect();
     let source_id = TaskId(2 * total);
+    let skew_board = SkewBoard::new(total);
+    let skew_salt = skew_salt(b.seed);
 
     for i in 0..total {
         let controller = (i == 0).then(|| {
@@ -897,6 +919,9 @@ pub(crate) fn restore_grid<B: ExecBackend<OpMsg>>(
             .with_elastic(elastic_cfg);
             cs.decider.restore(ckpt.decider);
             cs.decider.set_grid(ckpt.assign.mapping());
+            // The skew gate is runtime config, not checkpointed state:
+            // re-arm it from the builder; the ratio is re-learned live.
+            cs.decider.set_skew_gate(b.skew.decision_gate_ratio);
             cs.last_seq = ckpt.source_cursor;
             if let (Some(ec), Some((e, c))) = (cs.elastic.as_mut(), ckpt.elastic) {
                 ec.expansions_done = e;
@@ -921,6 +946,7 @@ pub(crate) fn restore_grid<B: ExecBackend<OpMsg>>(
             batch: DataCoalescer::new(b.batch_config(), total),
             deactivated: !active.contains(&i),
             layout: ckpt.layout.clone(),
+            skew: SkewState::new(b.skew, skew_salt).with_board(Arc::clone(&skew_board), i),
         };
         let id = backend.add_task(machines[i], Box::new(task));
         debug_assert_eq!(id, reshuffler_ids[i]);
@@ -1011,6 +1037,7 @@ pub(crate) fn restore_grid<B: ExecBackend<OpMsg>>(
         joiner_ids,
         source_id,
         initial: ckpt.assign.mapping(),
+        skew_board,
     }
 }
 
@@ -1130,9 +1157,8 @@ pub(crate) fn collect_shj<B: ExecBackend<OpMsg>>(
         contract_transfers: Vec::new(),
         provisioned_machines: backend.provisioned_machines() as u64,
         peak_provisioned_machines: backend.peak_provisioned_machines() as u64,
-        stored_bytes_by_machine: Vec::new(),
-        evicted_bytes_by_machine: Vec::new(),
-        window_tuples_by_machine: Vec::new(),
+        machines: Vec::new(),
+        skew: SkewSummary::default(),
         max_spilled_bytes: max_spilled,
         avg_latency_us: latency.avg_us(),
         p50_latency_us: latency.percentile_us(0.50),

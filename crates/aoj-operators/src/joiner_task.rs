@@ -471,10 +471,19 @@ impl Process<OpMsg> for JoinerTask {
                     // bulk insert) — semantically identical to per-tuple
                     // processing, including intra-batch pairs.
                     let mut per_tuple = vec![0u32; tuples.len()];
+                    // Per-match `emit` only while a consumer is attached;
+                    // otherwise the whole batch is counted with one
+                    // atomic add below (the shared counter is a serial
+                    // bottleneck at millions of matches per second).
+                    let live = self.match_sink.as_deref().is_some_and(|h| h.attached());
                     {
                         let match_log = &mut self.match_log;
                         let digest = &mut self.match_digest;
-                        let sink = self.match_sink.as_deref();
+                        let sink = if live {
+                            self.match_sink.as_deref()
+                        } else {
+                            None
+                        };
                         stats = self.epoch.on_data_batch(tag, &tuples, &mut |i, stored| {
                             per_tuple[i] += 1;
                             let key = pair_key(&tuples[i], stored);
@@ -486,6 +495,11 @@ impl Process<OpMsg> for JoinerTask {
                                 hub.emit(Match::of(&tuples[i], stored));
                             }
                         });
+                    }
+                    if !live {
+                        if let Some(hub) = self.match_sink.as_deref() {
+                            hub.add_emitted(stats.matches);
+                        }
                     }
                     // Latency samples come from each tuple's own arrival
                     // time, so time spent coalescing is measured, not
@@ -500,11 +514,17 @@ impl Process<OpMsg> for JoinerTask {
                 } else {
                     // Mid-migration (or a batch of one): per-tuple Alg. 3
                     // handling, with Δ forwarding to the outbox streams.
+                    let live = self.match_sink.as_deref().is_some_and(|h| h.attached());
+                    let mut unshipped = 0u64;
                     for (i, t) in tuples.drain(..).enumerate() {
                         let mut matches = 0u64;
                         let match_log = &mut self.match_log;
                         let digest = &mut self.match_digest;
-                        let sink = self.match_sink.as_deref();
+                        let sink = if live {
+                            self.match_sink.as_deref()
+                        } else {
+                            None
+                        };
                         let outcome = self.epoch.on_data(tag, t, &mut |a, b| {
                             matches += 1;
                             let key = pair_key(a, b);
@@ -518,6 +538,7 @@ impl Process<OpMsg> for JoinerTask {
                         });
                         stats += outcome.stats;
                         self.matches += matches;
+                        unshipped += matches;
                         if matches > 0 {
                             self.latency.record(ctx.now().since(arrived[i]).as_micros());
                         }
@@ -546,6 +567,11 @@ impl Process<OpMsg> for JoinerTask {
                                 ob.route(t, d);
                             }
                             self.flush_batch(ctx, false);
+                        }
+                    }
+                    if !live {
+                        if let Some(hub) = self.match_sink.as_deref() {
+                            hub.add_emitted(unshipped);
                         }
                     }
                 }
@@ -684,12 +710,17 @@ impl Process<OpMsg> for JoinerTask {
                 let mut stats = ProbeStats::default();
                 let mut matches = 0u64;
                 let collect = self.collect_matches;
+                let live = self.match_sink.as_deref().is_some_and(|h| h.attached());
                 for t in tuples.drain(..) {
                     self.migration_tuples_in += 1;
                     self.migration_bytes_in += t.bytes as u64;
                     let match_log = &mut self.match_log;
                     let digest = &mut self.match_digest;
-                    let sink = self.match_sink.as_deref();
+                    let sink = if live {
+                        self.match_sink.as_deref()
+                    } else {
+                        None
+                    };
                     stats += self.epoch.on_migration_tuple(t, &mut |a, b| {
                         matches += 1;
                         let key = pair_key(a, b);
@@ -703,6 +734,11 @@ impl Process<OpMsg> for JoinerTask {
                     });
                 }
                 self.matches += matches;
+                if !live {
+                    if let Some(hub) = self.match_sink.as_deref() {
+                        hub.add_emitted(matches);
+                    }
+                }
                 self.pool.put_tuples(tuples);
                 self.refresh_storage_metrics(ctx);
                 // Probe work plus one store per batched tuple, all through

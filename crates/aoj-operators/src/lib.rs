@@ -35,6 +35,7 @@ pub mod report;
 pub mod reshuffler;
 pub mod session;
 pub mod shj;
+pub mod skew;
 pub mod source;
 
 pub use batch::BatchConfig;
@@ -43,9 +44,11 @@ pub use elastic_runtime::ElasticConfig;
 pub use grouped::{run_grouped, GroupedReport};
 pub use messages::{Match, OpMsg};
 pub use report::{human_bytes, ContractTransfer, ExpandTransfer, RunReport};
+pub use report::{MachineStats, SkewSummary};
 pub use session::{
-    assemble_topology, register_tcp_backend, IngestHandle, IngestQueue, JoinSession,
+    assemble_topology, register_tcp_backend, IngestHandle, IngestQueue, JoinSession, KeyFilter,
     LifecycleSection, MatchHub, MatchSubscription, NetBackend, NetBackendFactory, PushError,
     SessionBuilder, SessionHandle, SessionStats, SessionTopology,
 };
+pub use skew::{SkewBoard, SkewPolicy, SkewState};
 pub use source::SourcePacing;

@@ -3,10 +3,68 @@
 
 use aoj_core::competitive::RatioSample;
 use aoj_core::mapping::Mapping;
+use aoj_core::sketch::{HeavyHitter, SkewSketch};
 use aoj_core::ticket::mix64;
 use aoj_simnet::SimDuration;
 
 use crate::reshuffler::{ControlEvent, ProgressSample};
+
+/// Per-machine-slot gauges at quiescence — the typed replacement for the
+/// former `*_by_machine` vec fields (index = machine slot; retired
+/// machines read zero).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// The joiner machine slot this row describes.
+    pub machine: usize,
+    /// Stored bytes at quiescence.
+    pub stored_bytes: u64,
+    /// Cumulative bytes dropped by windowed eviction (0 with no window;
+    /// a restored session carries the checkpoint's totals forward).
+    pub evicted_bytes: u64,
+    /// Window occupancy in stored tuples (0 with no window).
+    pub window_tuples: u64,
+    /// Matches this machine's joiner emitted — the per-machine
+    /// *processing* load, which storage bytes understate under skew
+    /// (a hot key's quadratic match work concentrates wherever its
+    /// tuples meet). Populated in final [`RunReport`]s on every
+    /// backend; live [`SessionStats`](crate::SessionStats) snapshots
+    /// read 0 here (per-joiner totals are only collected at
+    /// quiescence).
+    pub matches: u64,
+}
+
+/// Session-wide skew summary, merged from the per-reshuffler sketches in
+/// deterministic slot order (see [`crate::skew::SkewBoard`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SkewSummary {
+    /// Keys above the heavy-hitter threshold, heaviest first.
+    pub hot_keys: Vec<HeavyHitter>,
+    /// Median per-key load estimate (bytes).
+    pub load_p50: f64,
+    /// 99th-percentile per-key load estimate (bytes).
+    pub load_p99: f64,
+    /// `p99 / max(p50, 1)` — the trigger signal; 1.0 on uniform keys.
+    pub skew_ratio: f64,
+    /// Total weight the merged sketches observed (0 = no shard has
+    /// published yet, e.g. a run too short to reach a publish point).
+    pub observed_bytes: u64,
+}
+
+impl SkewSummary {
+    /// Summarise a merged sketch (or an empty summary for `None`).
+    pub fn from_sketch(sketch: Option<SkewSketch>) -> SkewSummary {
+        let Some(mut sk) = sketch else {
+            return SkewSummary::default();
+        };
+        SkewSummary {
+            hot_keys: sk.hot_keys(),
+            load_p50: sk.load_quantile(0.5),
+            load_p99: sk.load_quantile(0.99),
+            skew_ratio: sk.skew_ratio(),
+            observed_bytes: sk.total(),
+        }
+    }
+}
 
 /// One expansion parent's state-transfer accounting (Theorem 4.3).
 #[derive(Clone, Copy, Debug)]
@@ -130,17 +188,16 @@ pub struct RunReport {
     /// `J₀ · 4^max_expansions` slot bound it never touches unless the
     /// load does.
     pub peak_provisioned_machines: u64,
-    /// Stored bytes per joiner machine slot at quiescence (index =
-    /// machine). Retired machines must read zero. Empty for SHJ runs.
-    pub stored_bytes_by_machine: Vec<u64>,
-    /// Cumulative bytes dropped by windowed eviction, per joiner machine
-    /// slot (all zero when no window is configured; a restored session
-    /// carries the checkpoint's totals forward). Empty for SHJ runs.
-    pub evicted_bytes_by_machine: Vec<u64>,
-    /// Window occupancy in stored tuples per joiner machine slot at
-    /// quiescence (all zero when no window is configured). Empty for
-    /// SHJ runs.
-    pub window_tuples_by_machine: Vec<u64>,
+    /// Per-machine-slot gauges at quiescence (index = machine slot;
+    /// retired machines read zero). Empty for SHJ runs. Replaces the old
+    /// `stored_bytes_by_machine` / `evicted_bytes_by_machine` /
+    /// `window_tuples_by_machine` vec fields, which survive one release
+    /// as deprecated delegating accessors.
+    pub machines: Vec<MachineStats>,
+    /// Heavy-hitter and load-quantile summary merged from the
+    /// reshufflers' published sketches. Default (empty) for SHJ runs and
+    /// runs too short to publish.
+    pub skew: SkewSummary,
     /// Peak spilled bytes on the worst machine (0 = fully in memory).
     pub max_spilled_bytes: u64,
     /// Average match latency in microseconds (paper Fig. 7b).
@@ -183,13 +240,31 @@ impl RunReport {
     /// Total bytes dropped by windowed eviction across the cluster
     /// (0 when no window is configured).
     pub fn total_evicted_bytes(&self) -> u64 {
-        self.evicted_bytes_by_machine.iter().sum()
+        self.machines.iter().map(|m| m.evicted_bytes).sum()
     }
 
     /// Total window occupancy in tuples at quiescence (0 when no window
     /// is configured).
     pub fn total_window_tuples(&self) -> u64 {
-        self.window_tuples_by_machine.iter().sum()
+        self.machines.iter().map(|m| m.window_tuples).sum()
+    }
+
+    /// Stored bytes per machine slot.
+    #[deprecated(since = "0.1.0", note = "use `machines[i].stored_bytes`")]
+    pub fn stored_bytes_by_machine(&self) -> Vec<u64> {
+        self.machines.iter().map(|m| m.stored_bytes).collect()
+    }
+
+    /// Evicted bytes per machine slot.
+    #[deprecated(since = "0.1.0", note = "use `machines[i].evicted_bytes`")]
+    pub fn evicted_bytes_by_machine(&self) -> Vec<u64> {
+        self.machines.iter().map(|m| m.evicted_bytes).collect()
+    }
+
+    /// Window occupancy per machine slot.
+    #[deprecated(since = "0.1.0", note = "use `machines[i].window_tuples`")]
+    pub fn window_tuples_by_machine(&self) -> Vec<u64> {
+        self.machines.iter().map(|m| m.window_tuples).collect()
     }
 
     /// The progress sample closest below `frac` (0..=1) of total

@@ -19,6 +19,7 @@ use aoj_simnet::{Ctx, MachineId, Process, SimDuration, SimTime, TaskId};
 use crate::batch::DataCoalescer;
 use crate::elastic_runtime::{contraction_due, expansion_due, ElasticConfig, ElasticControl};
 use crate::messages::OpMsg;
+use crate::skew::SkewState;
 
 /// A controller-side event, for post-run analysis (Fig. 8c's migration
 /// shading, EXPERIMENTS.md narratives).
@@ -216,6 +217,9 @@ pub struct ReshufflerTask {
     /// active reshuffler evolves an identical copy (same change
     /// sequence), so expansion child allocation needs no coordination.
     pub layout: ElasticLayout,
+    /// Routing policy plus the per-relation skew sketch this reshuffler
+    /// maintains as it routes (published to the session's `SkewBoard`).
+    pub skew: SkewState,
 }
 
 impl ControllerState {
@@ -267,7 +271,11 @@ impl ReshufflerTask {
         seq: u64,
         arrived: SimTime,
     ) -> u32 {
-        let ticket = self.tickets.next();
+        let mp = self.assign.mapping();
+        // The only policy decision in the hot path: the ticket. Anything
+        // the policy picks is exact — every row × column pair meets in
+        // exactly one cell — so hot keys can switch placement mid-stream.
+        let ticket = self.skew.ticket(&mut self.tickets, rel, key, bytes, mp.m);
         let t = Tuple {
             seq,
             rel,
@@ -276,7 +284,6 @@ impl ReshufflerTask {
             bytes,
             ticket,
         };
-        let mp = self.assign.mapping();
         let copies = match rel {
             Rel::R => {
                 let row = partition(ticket, mp.n);
@@ -323,6 +330,9 @@ impl ReshufflerTask {
     /// before adopting a new mapping or expansion, so the epoch-change
     /// signals sent afterwards stay FIFO behind all old-epoch data.
     fn flush_all(&mut self, ctx: &mut Ctx<'_, OpMsg>) {
+        // Flush points also publish the sketch, so close-time summaries
+        // include the stream's tail.
+        self.skew.publish();
         for (mach, tuples, arrived) in self.batch.drain_all() {
             ctx.send(
                 self.joiner_tasks[mach],
@@ -343,9 +353,17 @@ impl ReshufflerTask {
     /// one where every active joiner sits below the low-water mark fires
     /// the reverse 4→1 contraction.
     fn maybe_trigger(&mut self, ctx: &mut Ctx<'_, OpMsg>) {
+        if self.controller.is_none() {
+            return;
+        }
+        // The controller's own shard sees a uniform 1/J sample of the
+        // stream and p99/p50 is a ratio, so its local sketch is the skew
+        // signal — no cross-machine relay on the decision path.
+        let skew_ratio = self.skew.local_ratio();
         let Some(ctrl) = self.controller.as_mut() else {
             return;
         };
+        ctrl.decider.note_skew(skew_ratio);
         if !ctrl.adaptive || ctrl.in_flight {
             return;
         }
@@ -365,7 +383,14 @@ impl ReshufflerTask {
                 // are no longer a prefix of the slot space, hence the
                 // explicit set.)
                 if el.armed_expand()
-                    && expansion_due(ctx.metrics(), self.assign.machines(), el.cfg.capacity_bytes)
+                    && expansion_due(
+                        ctx.metrics(),
+                        self.assign.machines(),
+                        // Skewed load quarters the effective capacity so a
+                        // melting hot cell expands before the byte gauges
+                        // look full.
+                        el.effective_capacity(skew_ratio),
+                    )
                 {
                     let mut active: Vec<usize> = self.assign.machines().collect();
                     active.sort_unstable();

@@ -76,7 +76,8 @@ use crate::driver::{
 };
 use crate::elastic_runtime::ElasticConfig;
 use crate::messages::{Match, OpMsg};
-use crate::report::RunReport;
+use crate::report::{MachineStats, RunReport, SkewSummary};
+use crate::skew::{SkewBoard, SkewPolicy};
 use crate::source::{SourcePacing, SourceTask};
 
 /// Why a push was refused.
@@ -294,35 +295,147 @@ impl QueueState {
     }
 }
 
-struct HubState {
-    buf: VecDeque<Match>,
-    finished: bool,
-    /// Set by `close()` before the drain: emitters stop honouring the
-    /// bound so the drain can never wedge behind a slow subscriber.
-    draining: bool,
+/// Which matches a subscriber wants (and, pushed down to the joiner emit
+/// path and over the TCP match tap, which pairs are worth shipping at
+/// all).
+///
+/// A pair passes a range filter when **either** side's join key falls in
+/// the inclusive range — the natural contract for band joins, where the
+/// two keys differ by at most the band width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KeyFilter {
+    /// Every match (the plain [`SessionHandle::subscribe`]).
+    All,
+    /// Matches where `r_key` or `s_key` lies in `lo..=hi`.
+    Range {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
 }
 
-/// The bounded match channel between the joiners and the subscriber.
+impl KeyFilter {
+    /// A single-key filter (`lo == hi == key`).
+    pub fn key(key: i64) -> KeyFilter {
+        KeyFilter::Range { lo: key, hi: key }
+    }
+
+    /// An inclusive key-range filter.
+    pub fn range(lo: i64, hi: i64) -> KeyFilter {
+        assert!(lo <= hi, "empty key range");
+        KeyFilter::Range { lo, hi }
+    }
+
+    /// Does `m` pass this filter?
+    #[inline]
+    pub fn passes(&self, m: &Match) -> bool {
+        match *self {
+            KeyFilter::All => true,
+            KeyFilter::Range { lo, hi } => {
+                (m.r_key >= lo && m.r_key <= hi) || (m.s_key >= lo && m.s_key <= hi)
+            }
+        }
+    }
+}
+
+/// One subscriber's cursor into the hub's shared buffer.
+struct SubSlot {
+    /// Absolute position (monotonic stream offset) of the next match this
+    /// subscriber reads.
+    cursor: u64,
+    /// This subscriber's lag bound: emitters wait once
+    /// `write head - cursor >= bound`. 0 = unbounded.
+    bound: usize,
+    /// False once the subscription dropped; the slot is recycled.
+    active: bool,
+    /// Only matches passing this filter are delivered to (or held for)
+    /// this subscriber.
+    filter: KeyFilter,
+}
+
+struct HubState {
+    /// Shared match buffer; entry `i` has absolute position `base + i`.
+    buf: VecDeque<Match>,
+    /// Absolute position of `buf[0]` (positions below `base` were
+    /// consumed by every subscriber and trimmed).
+    base: u64,
+    finished: bool,
+    /// Set by `close()` before the drain: emitters stop honouring every
+    /// bound so the drain can never wedge behind a slow subscriber.
+    draining: bool,
+    /// Collector mode (remote workers): buffer everything that passes
+    /// the ship filters, never block, wait for `drain_buffered`.
+    collecting: bool,
+    /// Collector-side ship filters (the union of the session's
+    /// subscriber filters, forwarded over the TCP match tap). Empty =
+    /// pass everything.
+    ship: Vec<KeyFilter>,
+    /// Fan-out subscribers, each with an independent cursor and bound.
+    subs: Vec<SubSlot>,
+}
+
+impl HubState {
+    /// Absolute position one past the newest buffered match.
+    fn head(&self) -> u64 {
+        self.base + self.buf.len() as u64
+    }
+
+    /// Would buffering one more match overrun some active subscriber's
+    /// bound? (Slowest-subscriber backpressure.)
+    fn bound_reached(&self) -> bool {
+        let head = self.head();
+        self.subs
+            .iter()
+            .any(|s| s.active && s.bound > 0 && (head - s.cursor) as usize >= s.bound)
+    }
+
+    /// Does any attached consumer want `m`?
+    fn wanted(&self, m: &Match) -> bool {
+        if self.collecting && (self.ship.is_empty() || self.ship.iter().any(|f| f.passes(m))) {
+            return true;
+        }
+        self.subs.iter().any(|s| s.active && s.filter.passes(m))
+    }
+
+    /// Is any consumer attached at all?
+    fn any_attached(&self) -> bool {
+        self.collecting || self.subs.iter().any(|s| s.active)
+    }
+}
+
+/// The fan-out match channel between the joiners and the subscribers.
 ///
-/// Joiners `emit` every produced pair; a
-/// [`MatchSubscription`] consumes them. While no subscriber is attached
-/// the hub only counts (so sessions — including the legacy `run()`
-/// wrapper — pay one atomic add per match, nothing more). With a
-/// subscriber attached and the buffer at capacity, emitters wait for the
-/// subscriber: match backpressure propagates into the data plane, which
-/// in turn closes the ingest window — the whole pipeline throttles to
-/// the consumer. [`close`](SessionHandle::close) lifts the bound before
-/// draining, so the shutdown path never deadlocks.
+/// Joiners `emit` every produced pair; any number of independent
+/// [`MatchSubscription`]s consume them, each with its own cursor into
+/// the shared buffer, its own lag bound, and its own [`KeyFilter`].
+/// While no consumer is attached the hub only counts (so sessions —
+/// including the legacy `run()` wrapper — pay one atomic add per match,
+/// nothing more), and a match no attached consumer's filter passes is
+/// never buffered at all — on the joiner's thread, before any copy.
+///
+/// Backpressure follows the **slowest subscriber**: once any active
+/// subscriber lags by its bound, emitters wait — match backpressure
+/// propagates into the data plane, which in turn closes the ingest
+/// window, so the whole pipeline throttles to the slowest consumer.
+/// [`close`](SessionHandle::close) lifts every bound before draining, so
+/// a stalled subscriber can never deadlock the shutdown path.
 pub struct MatchHub {
     state: Mutex<HubState>,
     /// Subscriber-side wakeups (new matches, finish).
     ready: Condvar,
     /// Emitter-side wakeups (space freed, bound lifted, detach).
     space: Condvar,
+    /// Cache of `HubState::any_attached`, readable without the lock on
+    /// the per-match fast path.
     attached: AtomicBool,
     emitted: AtomicU64,
-    /// 0 = unbounded (the simulator's single-threaded sessions, where a
-    /// blocking emit could only deadlock).
+    /// Bumped whenever the subscriber set (or its filters) changes; the
+    /// TCP backend polls it to re-broadcast the match tap.
+    filter_epoch: AtomicU64,
+    /// Default lag bound for new subscribers. 0 = unbounded (the
+    /// simulator's single-threaded sessions, where a blocking emit could
+    /// only deadlock).
     capacity: usize,
 }
 
@@ -331,25 +444,31 @@ impl MatchHub {
         Arc::new(MatchHub {
             state: Mutex::new(HubState {
                 buf: VecDeque::new(),
+                base: 0,
                 finished: false,
                 draining: false,
+                collecting: false,
+                ship: Vec::new(),
+                subs: Vec::new(),
             }),
             ready: Condvar::new(),
             space: Condvar::new(),
             attached: AtomicBool::new(false),
             emitted: AtomicU64::new(0),
+            filter_epoch: AtomicU64::new(0),
             capacity,
         })
     }
 
-    /// An unbounded hub with a collector attached: emitted matches are
-    /// buffered — never blocking the emitter — until
+    /// An unbounded hub in collector mode: emitted matches are buffered —
+    /// never blocking the emitter — until
     /// [`drain_buffered`](MatchHub::drain_buffered) takes them. Remote
     /// worker processes feed their joiners' matches through one of these
     /// and periodically drain it onto the wire.
     pub fn collector() -> Arc<MatchHub> {
         let hub = MatchHub::new(0);
-        hub.attach();
+        hub.state.lock().unwrap().collecting = true;
+        hub.attached.store(true, Ordering::Relaxed);
         hub
     }
 
@@ -362,27 +481,46 @@ impl MatchHub {
         MatchHub::new(0)
     }
 
-    /// Is a consumer currently attached (emitted matches are buffered)?
+    /// Is any consumer currently attached (emitted matches may be
+    /// buffered)?
     pub fn attached(&self) -> bool {
         self.attached.load(Ordering::Relaxed)
     }
 
-    /// Switch buffering on or off — the remote worker's mirror of the
-    /// session hub's attach state. While off, emitted matches are
-    /// counted but dropped (exactly the detached-subscriber contract);
-    /// switching off also discards anything still buffered.
+    /// Switch collector-mode buffering on or off — the remote worker's
+    /// mirror of the session hub's attach state. While off, emitted
+    /// matches are counted but dropped (exactly the detached-subscriber
+    /// contract); switching off also discards anything buffered that no
+    /// remaining consumer needs.
     pub fn set_streaming(&self, on: bool) {
-        if on {
-            self.attach();
-        } else {
-            self.detach();
+        let mut st = self.state.lock().unwrap();
+        st.collecting = on;
+        if !on {
+            self.trim_locked(&mut st);
         }
+        self.attached.store(st.any_attached(), Ordering::Relaxed);
+        drop(st);
+        self.space.notify_all();
+    }
+
+    /// Install the collector-side ship filters (the union of the
+    /// session's subscriber filters, as forwarded over the TCP match
+    /// tap). Empty = ship everything.
+    pub fn set_ship_filters(&self, filters: Vec<KeyFilter>) {
+        self.state.lock().unwrap().ship = filters;
     }
 
     /// Take every currently buffered match (collector hubs).
     pub fn drain_buffered(&self) -> Vec<Match> {
         let mut st = self.state.lock().unwrap();
         let out: Vec<Match> = st.buf.drain(..).collect();
+        st.base += out.len() as u64;
+        // Any subscriber cursor (none exist on collector hubs in
+        // practice) snaps forward past the drained region.
+        let base = st.base;
+        for s in &mut st.subs {
+            s.cursor = s.cursor.max(base);
+        }
         drop(st);
         if !out.is_empty() {
             self.space.notify_all();
@@ -391,9 +529,20 @@ impl MatchHub {
     }
 
     /// Total matches emitted by the joiners so far (counted whether or
-    /// not anyone subscribed).
+    /// not anyone subscribed, filtered or not).
     pub fn emitted(&self) -> u64 {
         self.emitted.load(Ordering::Relaxed)
+    }
+
+    /// Bulk-count `n` matches that were produced but not shipped (no
+    /// consumer was attached when their batch was processed). The
+    /// joiners' hot path folds a whole batch into one atomic add here
+    /// instead of contending on [`MatchHub::emit`]'s counter per pair —
+    /// with millions of matches per second across every joiner thread,
+    /// that shared cache line is otherwise the operator's serial
+    /// bottleneck.
+    pub fn add_emitted(&self, n: u64) {
+        self.emitted.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Called by joiners for every produced pair. Also the entry point
@@ -405,35 +554,85 @@ impl MatchHub {
             return;
         }
         let mut st = self.state.lock().unwrap();
-        if self.capacity > 0 {
-            while st.buf.len() >= self.capacity
-                && !st.draining
-                && self.attached.load(Ordering::Relaxed)
-            {
-                st = self.space.wait(st).unwrap();
+        loop {
+            // Re-evaluated after every wakeup: the subscriber set (and
+            // with it both the filter verdict and the bound) may have
+            // changed while we slept.
+            if !st.wanted(&m) {
+                return;
             }
-            if !self.attached.load(Ordering::Relaxed) {
-                return; // subscriber went away; no one will read this
+            if st.draining || !st.bound_reached() {
+                break;
             }
+            st = self.space.wait(st).unwrap();
         }
         st.buf.push_back(m);
         drop(st);
-        self.ready.notify_one();
+        self.ready.notify_all();
     }
 
-    fn attach(&self) {
-        self.attached.store(true, Ordering::Relaxed);
-    }
-
-    fn detach(&self) {
-        self.attached.store(false, Ordering::Relaxed);
+    /// Attach a new subscriber with its own cursor (starting at the
+    /// current write head: only future matches are delivered), lag bound
+    /// and filter. Returns the slot index.
+    fn subscribe_slot(&self, filter: KeyFilter, bound: usize) -> usize {
         let mut st = self.state.lock().unwrap();
-        st.buf.clear();
+        let slot = SubSlot {
+            cursor: st.head(),
+            bound,
+            active: true,
+            filter,
+        };
+        // Recycle a detached slot so long sessions with subscriber churn
+        // don't grow the table.
+        let idx = match st.subs.iter().position(|s| !s.active) {
+            Some(i) => {
+                st.subs[i] = slot;
+                i
+            }
+            None => {
+                st.subs.push(slot);
+                st.subs.len() - 1
+            }
+        };
+        self.attached.store(true, Ordering::Relaxed);
+        self.filter_epoch.fetch_add(1, Ordering::Relaxed);
+        idx
+    }
+
+    fn detach_slot(&self, idx: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.subs[idx].active = false;
+        self.trim_locked(&mut st);
+        self.attached.store(st.any_attached(), Ordering::Relaxed);
+        self.filter_epoch.fetch_add(1, Ordering::Relaxed);
         drop(st);
+        // The departed subscriber may have been the one emitters were
+        // waiting for.
         self.space.notify_all();
     }
 
-    /// Emitters stop honouring the capacity bound (shutdown path).
+    /// Drop every buffered match all active subscribers have consumed
+    /// (and everything, if none remain and the hub is not collecting).
+    /// Returns whether space was freed; callers holding the lock notify
+    /// `space` after releasing it.
+    fn trim_locked(&self, st: &mut HubState) -> bool {
+        if st.collecting {
+            return false;
+        }
+        let min = st.subs.iter().filter(|s| s.active).map(|s| s.cursor).min();
+        let upto = min.unwrap_or_else(|| st.head());
+        let advance = (upto - st.base) as usize;
+        if advance == 0 {
+            return false;
+        }
+        st.buf.drain(..advance);
+        st.base = upto;
+        true
+    }
+
+    /// Every bound stops being honoured (shutdown path): a stalled
+    /// subscriber can no longer block emitters, so the drain always
+    /// completes.
     fn lift_bound(&self) {
         self.state.lock().unwrap().draining = true;
         self.space.notify_all();
@@ -445,13 +644,61 @@ impl MatchHub {
         self.ready.notify_all();
     }
 
-    fn recv(&self) -> Option<Match> {
+    /// Monotonic counter of subscriber-set changes (the TCP backend's
+    /// cue to re-broadcast the match tap with fresh filters).
+    pub fn filter_epoch(&self) -> u64 {
+        self.filter_epoch.load(Ordering::Relaxed)
+    }
+
+    /// What remote workers should ship for the current subscriber set:
+    /// `(any subscriber attached, union of their filters)`. An empty
+    /// filter list with `true` means ship everything.
+    pub fn ship_spec(&self) -> (bool, Vec<KeyFilter>) {
+        let st = self.state.lock().unwrap();
+        let active: Vec<KeyFilter> = st
+            .subs
+            .iter()
+            .filter(|s| s.active)
+            .map(|s| s.filter)
+            .collect();
+        if active.is_empty() {
+            return (false, Vec::new());
+        }
+        if active.contains(&KeyFilter::All) {
+            return (true, Vec::new());
+        }
+        let mut filters = Vec::new();
+        for f in active {
+            if !filters.contains(&f) {
+                filters.push(f);
+            }
+        }
+        (true, filters)
+    }
+
+    /// Blocking receive for `slot`: the next buffered match passing its
+    /// filter, or `None` once the session finished and the slot consumed
+    /// everything it wanted.
+    fn recv(&self, idx: usize) -> Option<Match> {
         let mut st = self.state.lock().unwrap();
         loop {
-            if let Some(m) = st.buf.pop_front() {
-                drop(st);
-                self.space.notify_all();
-                return Some(m);
+            while st.subs[idx].cursor < st.head() {
+                let at = (st.subs[idx].cursor - st.base) as usize;
+                let m = st.buf[at];
+                st.subs[idx].cursor += 1;
+                let pass = st.subs[idx].filter.passes(&m);
+                let freed = self.trim_locked(&mut st);
+                if pass {
+                    drop(st);
+                    if freed {
+                        self.space.notify_all();
+                    }
+                    return Some(m);
+                }
+                if freed {
+                    // Skipping non-matching entries can free space too.
+                    self.space.notify_all();
+                }
             }
             if st.finished {
                 return None;
@@ -460,19 +707,34 @@ impl MatchHub {
         }
     }
 
-    fn try_recv(&self) -> Option<Match> {
+    /// Non-blocking receive for `slot`.
+    fn try_recv(&self, idx: usize) -> Option<Match> {
         let mut st = self.state.lock().unwrap();
-        let m = st.buf.pop_front();
+        let mut out = None;
+        let mut freed = false;
+        while st.subs[idx].cursor < st.head() {
+            let at = (st.subs[idx].cursor - st.base) as usize;
+            let m = st.buf[at];
+            st.subs[idx].cursor += 1;
+            let pass = st.subs[idx].filter.passes(&m);
+            freed |= self.trim_locked(&mut st);
+            if pass {
+                out = Some(m);
+                break;
+            }
+        }
         drop(st);
-        if m.is_some() {
+        if freed {
             self.space.notify_all();
         }
-        m
+        out
     }
 }
 
-/// The subscriber's end of the match stream, returned by
-/// [`SessionHandle::subscribe`].
+/// One subscriber's end of the match stream, returned by
+/// [`SessionHandle::subscribe`] /
+/// [`SessionHandle::subscribe_filtered`]. Any number may be live at
+/// once; each consumes independently at its own pace.
 ///
 /// As an [`Iterator`] it blocks until the next match or the end of the
 /// session (`None` after [`close`](SessionHandle::close) drains) — the
@@ -482,16 +744,19 @@ impl MatchHub {
 /// simulator only advances inside the pushing thread, so a blocking
 /// `next()` with nothing queued would wait forever.
 ///
-/// Dropping the subscription detaches it: subsequent matches are
-/// counted but no longer buffered.
+/// Dropping the subscription detaches its slot: matches it would have
+/// received are counted, and still delivered to the remaining
+/// subscribers.
 pub struct MatchSubscription {
     hub: Arc<MatchHub>,
+    slot: usize,
 }
 
 impl MatchSubscription {
-    /// The next already-emitted match, without blocking.
+    /// The next already-emitted match passing this subscription's
+    /// filter, without blocking.
     pub fn try_next(&mut self) -> Option<Match> {
-        self.hub.try_recv()
+        self.hub.try_recv(self.slot)
     }
 }
 
@@ -499,13 +764,13 @@ impl Iterator for MatchSubscription {
     type Item = Match;
 
     fn next(&mut self) -> Option<Match> {
-        self.hub.recv()
+        self.hub.recv(self.slot)
     }
 }
 
 impl Drop for MatchSubscription {
     fn drop(&mut self) {
-        self.hub.detach();
+        self.hub.detach_slot(self.slot);
     }
 }
 
@@ -686,6 +951,8 @@ pub struct SessionBuilder {
     pub lifecycle: LifecycleSection,
     /// Backend choice and observability.
     pub backend: BackendSection,
+    /// Routing policy and skew detection (see [`SkewPolicy`]).
+    pub skew: SkewPolicy,
 }
 
 impl SessionBuilder {
@@ -726,6 +993,7 @@ impl SessionBuilder {
                 match_buffer: DEFAULT_MATCH_BUFFER,
                 track_competitive: false,
             },
+            skew: SkewPolicy::default(),
         }
     }
 
@@ -858,6 +1126,21 @@ impl SessionBuilder {
         self
     }
 
+    /// Builder: the routing policy and skew-detection knobs (see
+    /// [`SkewPolicy`]). The default — random tickets, detection on but
+    /// consequence-free — reproduces pre-skew sessions bit for bit.
+    pub fn with_skew(mut self, skew: SkewPolicy) -> SessionBuilder {
+        self.skew = skew;
+        self
+    }
+
+    /// Builder: just the routing mode, keeping the default sketch
+    /// configuration.
+    pub fn with_routing(mut self, routing: aoj_core::RoutingMode) -> SessionBuilder {
+        self.skew.routing = routing;
+        self
+    }
+
     /// Builder: keep per-sequence stream statistics for the offline
     /// `ILF/ILF*` competitive trace (16 bytes per pushed tuple for the
     /// session lifetime — leave off for long-lived serving sessions).
@@ -907,41 +1190,56 @@ pub struct SessionStats {
     pub processed_copies: u64,
     /// Join matches emitted so far.
     pub matches: u64,
-    /// Stored bytes per joiner machine slot (index = machine; dormant
-    /// and retired slots read zero).
-    pub stored_bytes_by_machine: Vec<u64>,
-    /// Cumulative bytes dropped by windowed eviction, per machine slot
-    /// (all zero when no window is configured). Survives restore: a
-    /// restored session resumes from the checkpoint's totals.
-    pub evicted_bytes_by_machine: Vec<u64>,
-    /// Window occupancy in stored tuples, per machine slot (all zero
-    /// when no window is configured).
-    pub window_tuples_by_machine: Vec<u64>,
+    /// Per-joiner-machine gauges, one entry per machine slot (dormant
+    /// and retired slots read zero; eviction totals survive restore).
+    pub machines: Vec<MachineStats>,
+    /// The live skew picture merged from every reshuffler's sketch:
+    /// heavy hitters, per-key load quantiles and the trigger ratio.
+    /// Empty until the first sketch publish (~4k routed tuples).
+    pub skew: SkewSummary,
 }
 
 impl SessionStats {
     /// Total stored bytes across the cluster.
     pub fn total_stored_bytes(&self) -> u64 {
-        self.stored_bytes_by_machine.iter().sum()
+        self.machines.iter().map(|m| m.stored_bytes).sum()
     }
 
     /// The fullest joiner's stored bytes (the live max ILF).
     pub fn max_stored_bytes(&self) -> u64 {
-        self.stored_bytes_by_machine
+        self.machines
             .iter()
-            .copied()
+            .map(|m| m.stored_bytes)
             .max()
             .unwrap_or(0)
     }
 
     /// Total bytes dropped by windowed eviction across the cluster.
     pub fn total_evicted_bytes(&self) -> u64 {
-        self.evicted_bytes_by_machine.iter().sum()
+        self.machines.iter().map(|m| m.evicted_bytes).sum()
     }
 
     /// Total window occupancy in tuples across the cluster.
     pub fn total_window_tuples(&self) -> u64 {
-        self.window_tuples_by_machine.iter().sum()
+        self.machines.iter().map(|m| m.window_tuples).sum()
+    }
+
+    /// Stored bytes per machine slot.
+    #[deprecated(since = "0.1.0", note = "use `machines[i].stored_bytes`")]
+    pub fn stored_bytes_by_machine(&self) -> Vec<u64> {
+        self.machines.iter().map(|m| m.stored_bytes).collect()
+    }
+
+    /// Evicted bytes per machine slot.
+    #[deprecated(since = "0.1.0", note = "use `machines[i].evicted_bytes`")]
+    pub fn evicted_bytes_by_machine(&self) -> Vec<u64> {
+        self.machines.iter().map(|m| m.evicted_bytes).collect()
+    }
+
+    /// Window occupancy per machine slot.
+    #[deprecated(since = "0.1.0", note = "use `machines[i].window_tuples`")]
+    pub fn window_tuples_by_machine(&self) -> Vec<u64> {
+        self.machines.iter().map(|m| m.window_tuples).collect()
     }
 }
 
@@ -964,6 +1262,13 @@ impl Wiring {
             Wiring::Shj(w) => w.j,
         }
     }
+
+    fn skew_board(&self) -> Option<&Arc<SkewBoard>> {
+        match self {
+            Wiring::Grid(w) => Some(&w.skew_board),
+            Wiring::Shj(_) => None,
+        }
+    }
 }
 
 /// An execution backend provided by another crate, launchable by the
@@ -975,6 +1280,14 @@ pub trait NetBackend: ExecBackend<OpMsg> + Send {
     /// The live gauge overlay [`SessionHandle::stats`] reads while the
     /// backend runs on its own thread.
     fn session_gauges(&mut self) -> Arc<SharedGauges>;
+
+    /// Install the coordinator-side [`SkewBoard`] the backend should
+    /// publish worker sketch summaries into (slot = worker index). The
+    /// default ignores it — a backend without sketch transport simply
+    /// reports an empty skew summary.
+    fn install_skew_board(&mut self, board: Arc<SkewBoard>) {
+        let _ = board;
+    }
 }
 
 /// Factory building a [`BackendChoice::Tcp`] backend for one session.
@@ -1189,8 +1502,16 @@ fn launch(
             let hub = MatchHub::new(builder.backend.match_buffer);
             let mut backend = factory(&builder, Arc::clone(&hub));
             let idle_poll = SimDuration::from_micros(builder.source.idle_poll_us.max(1));
-            let wiring =
+            let mut wiring =
                 build_topology(&mut backend, &builder, &queue, &hub, Some(idle_poll), None);
+            // The coordinator's locally-built reshuffler tasks never
+            // run, so their board never fills. Swap in a board the
+            // backend feeds from worker gauge frames (slot = worker).
+            if let Wiring::Grid(w) = &mut wiring {
+                let board = SkewBoard::new(w.total);
+                backend.install_skew_board(Arc::clone(&board));
+                w.skew_board = board;
+            }
             let gauges = backend.session_gauges();
             let runner = std::thread::Builder::new()
                 .name("aoj-session-net".to_string())
@@ -1214,7 +1535,6 @@ fn launch(
         builder,
         queue,
         hub,
-        subscribed: false,
         inner: Some(inner),
     }
 }
@@ -1254,6 +1574,14 @@ impl SessionTopology {
     pub fn machine_slots(&self) -> usize {
         self.wiring.machine_slots()
     }
+
+    /// The skew board this topology's reshufflers publish into (grid
+    /// operators only). A worker process ships the board's merged parts
+    /// in its gauge frames so the coordinator sees the cluster-wide
+    /// sketch.
+    pub fn skew_board(&self) -> Option<Arc<SkewBoard>> {
+        self.wiring.skew_board().cloned()
+    }
 }
 
 /// Assemble `builder`'s operator topology on any backend — the hook a
@@ -1287,7 +1615,6 @@ pub struct SessionHandle {
     builder: SessionBuilder,
     queue: Arc<IngestQueue>,
     hub: Arc<MatchHub>,
-    subscribed: bool,
     inner: Option<Inner>,
 }
 
@@ -1355,18 +1682,25 @@ impl SessionHandle {
         }
     }
 
-    /// Subscribe to the match stream. Call **before** pushing — matches
-    /// emitted while nobody is attached are counted but not buffered.
-    /// One subscription per session.
+    /// Subscribe to the match stream. Any number of subscriptions may be
+    /// live at once; each consumes independently from its attach point
+    /// onward (matches emitted while nobody was attached are counted but
+    /// not buffered), and the pipeline throttles to the slowest one.
     pub fn subscribe(&mut self) -> MatchSubscription {
-        assert!(
-            !self.subscribed,
-            "subscribe() may be called once per session"
-        );
-        self.subscribed = true;
-        self.hub.attach();
+        self.subscribe_filtered(KeyFilter::All)
+    }
+
+    /// Subscribe to the subset of matches passing `filter`. The filter
+    /// is pushed down to the emit path: a match no attached subscriber
+    /// wants is never buffered, and on the TCP backend never shipped
+    /// from the worker processes at all.
+    pub fn subscribe_filtered(&mut self, filter: KeyFilter) -> MatchSubscription {
+        // The TCP backend's runner polls `MatchHub::filter_epoch` and
+        // re-broadcasts the match tap when the subscriber set changes.
+        let slot = self.hub.subscribe_slot(filter, self.hub.capacity);
         MatchSubscription {
             hub: Arc::clone(&self.hub),
+            slot,
         }
     }
 
@@ -1384,38 +1718,47 @@ impl SessionHandle {
     /// per-machine stored bytes, processed-copy counts, and the match
     /// total.
     pub fn stats(&self) -> SessionStats {
-        let (stored, evicted, window, processed) =
-            match self.inner.as_ref().expect("session closed") {
-                Inner::Sim { sim, wiring } => {
-                    let m = sim.metrics();
-                    let slots = wiring.machine_slots();
-                    let stored = (0..slots)
-                        .map(|i| m.stored_bytes_of(MachineId(i)))
-                        .collect();
-                    let evicted = (0..slots)
-                        .map(|i| m.evicted_bytes_of(MachineId(i)))
-                        .collect();
-                    let window = (0..slots)
-                        .map(|i| m.window_tuples_of(MachineId(i)))
-                        .collect();
-                    (stored, evicted, window, m.data_processed)
-                }
-                Inner::Threaded { gauges, wiring, .. } | Inner::External { gauges, wiring, .. } => {
-                    let slots = wiring.machine_slots();
-                    let stored = (0..slots).map(|i| gauges.stored(MachineId(i))).collect();
-                    let evicted = (0..slots).map(|i| gauges.evicted(MachineId(i))).collect();
-                    let window = (0..slots).map(|i| gauges.occupancy(MachineId(i))).collect();
-                    (stored, evicted, window, gauges.data_processed())
-                }
-            };
+        let inner = self.inner.as_ref().expect("session closed");
+        let (machines, processed) = match inner {
+            Inner::Sim { sim, wiring } => {
+                let m = sim.metrics();
+                let machines = (0..wiring.machine_slots())
+                    .map(|i| MachineStats {
+                        machine: i,
+                        stored_bytes: m.stored_bytes_of(MachineId(i)),
+                        evicted_bytes: m.evicted_bytes_of(MachineId(i)),
+                        window_tuples: m.window_tuples_of(MachineId(i)),
+                        matches: 0,
+                    })
+                    .collect();
+                (machines, m.data_processed)
+            }
+            Inner::Threaded { gauges, wiring, .. } | Inner::External { gauges, wiring, .. } => {
+                let machines = (0..wiring.machine_slots())
+                    .map(|i| MachineStats {
+                        machine: i,
+                        stored_bytes: gauges.stored(MachineId(i)),
+                        evicted_bytes: gauges.evicted(MachineId(i)),
+                        window_tuples: gauges.occupancy(MachineId(i)),
+                        matches: 0,
+                    })
+                    .collect();
+                (machines, gauges.data_processed())
+            }
+        };
+        let wiring = match inner {
+            Inner::Sim { wiring, .. }
+            | Inner::Threaded { wiring, .. }
+            | Inner::External { wiring, .. } => wiring,
+        };
+        let skew = SkewSummary::from_sketch(wiring.skew_board().and_then(|b| b.merged()));
         SessionStats {
             pushed_tuples: self.queue.pushed(),
             queued_tuples: self.queue.queued(),
             processed_copies: processed,
             matches: self.hub.emitted(),
-            stored_bytes_by_machine: stored,
-            evicted_bytes_by_machine: evicted,
-            window_tuples_by_machine: window,
+            machines,
+            skew,
         }
     }
 
@@ -1643,24 +1986,107 @@ mod tests {
         assert_eq!(q.status(), (true, true));
     }
 
+    fn pair(r_key: i64, s_key: i64) -> Match {
+        Match {
+            r_seq: 1,
+            s_seq: 2,
+            r_key,
+            s_key,
+        }
+    }
+
     #[test]
     fn hub_counts_without_subscriber_and_buffers_with_one() {
         let hub = MatchHub::new(4);
-        let m = Match {
-            r_seq: 1,
-            s_seq: 2,
-            r_key: 0,
-            s_key: 0,
-        };
+        let m = pair(0, 0);
         hub.emit(m);
         assert_eq!(hub.emitted(), 1);
-        assert!(hub.try_recv().is_none(), "unattached hubs only count");
-        hub.attach();
+        assert!(!hub.attached(), "unattached hubs only count");
+        let slot = hub.subscribe_slot(KeyFilter::All, 4);
         hub.emit(m);
         assert_eq!(hub.emitted(), 2);
-        assert_eq!(hub.try_recv(), Some(m));
+        assert_eq!(hub.try_recv(slot), Some(m));
         hub.finish();
-        assert_eq!(hub.recv(), None);
+        assert_eq!(hub.recv(slot), None);
+    }
+
+    #[test]
+    fn hub_fans_out_to_independent_cursors() {
+        let hub = MatchHub::new(0);
+        let a = hub.subscribe_slot(KeyFilter::All, 0);
+        let b = hub.subscribe_slot(KeyFilter::All, 0);
+        hub.emit(pair(1, 1));
+        hub.emit(pair(2, 2));
+        // Both subscribers see both matches, at their own pace.
+        assert_eq!(hub.try_recv(a).unwrap().r_key, 1);
+        assert_eq!(hub.try_recv(b).unwrap().r_key, 1);
+        assert_eq!(hub.try_recv(b).unwrap().r_key, 2);
+        assert_eq!(hub.try_recv(a).unwrap().r_key, 2);
+        assert!(hub.try_recv(a).is_none());
+        // A third subscriber attaches at the head: only future matches.
+        let c = hub.subscribe_slot(KeyFilter::All, 0);
+        hub.emit(pair(3, 3));
+        assert_eq!(hub.try_recv(c).unwrap().r_key, 3);
+        assert_eq!(hub.try_recv(a).unwrap().r_key, 3);
+        assert_eq!(hub.try_recv(b).unwrap().r_key, 3);
+    }
+
+    #[test]
+    fn hub_filter_skips_unwanted_pairs_and_never_buffers_them() {
+        let hub = MatchHub::new(0);
+        let slot = hub.subscribe_slot(KeyFilter::range(10, 19), 0);
+        hub.emit(pair(5, 5)); // no subscriber wants it: dropped at emit
+        hub.emit(pair(12, 12));
+        hub.emit(pair(42, 42));
+        assert_eq!(hub.emitted(), 3, "counting is filter-blind");
+        assert_eq!(hub.state.lock().unwrap().buf.len(), 1);
+        assert_eq!(hub.try_recv(slot), Some(pair(12, 12)));
+        assert!(hub.try_recv(slot).is_none());
+    }
+
+    #[test]
+    fn hub_trims_to_the_slowest_active_cursor() {
+        let hub = MatchHub::new(0);
+        let fast = hub.subscribe_slot(KeyFilter::All, 0);
+        let slow = hub.subscribe_slot(KeyFilter::All, 0);
+        for k in 0..4 {
+            hub.emit(pair(k, k));
+        }
+        for _ in 0..4 {
+            hub.try_recv(fast);
+        }
+        assert_eq!(
+            hub.state.lock().unwrap().buf.len(),
+            4,
+            "the slow subscriber still owns the backlog"
+        );
+        // Detaching the straggler frees everything the fast one consumed.
+        hub.detach_slot(slow);
+        assert_eq!(hub.state.lock().unwrap().buf.len(), 0);
+        assert!(hub.attached());
+        hub.detach_slot(fast);
+        assert!(!hub.attached());
+    }
+
+    #[test]
+    fn hub_ship_spec_unions_subscriber_filters() {
+        let hub = MatchHub::new(0);
+        assert_eq!(hub.ship_spec(), (false, Vec::new()));
+        let e0 = hub.filter_epoch();
+        let a = hub.subscribe_slot(KeyFilter::range(0, 9), 0);
+        let b = hub.subscribe_slot(KeyFilter::key(42), 0);
+        assert!(hub.filter_epoch() > e0, "subscribing bumps the epoch");
+        let (on, filters) = hub.ship_spec();
+        assert!(on);
+        assert_eq!(filters, vec![KeyFilter::range(0, 9), KeyFilter::key(42)]);
+        // One pass-all subscriber collapses the union to "everything".
+        let c = hub.subscribe_slot(KeyFilter::All, 0);
+        assert_eq!(hub.ship_spec(), (true, Vec::new()));
+        hub.detach_slot(c);
+        hub.detach_slot(b);
+        assert_eq!(hub.ship_spec(), (true, vec![KeyFilter::range(0, 9)]));
+        hub.detach_slot(a);
+        assert_eq!(hub.ship_spec(), (false, Vec::new()));
     }
 
     #[test]

@@ -185,10 +185,18 @@ impl Process<OpMsg> for ShjJoiner {
                 // One bulk pass: grouped probes against the hash state,
                 // intra-batch pairs included (stream semantics).
                 let mut per_tuple = vec![0u32; tuples.len()];
+                // Per-match `emit` only while a consumer is attached; a
+                // detached hub gets the batch total in one atomic add
+                // (see `MatchHub::add_emitted`).
+                let live = self.match_sink.as_deref().is_some_and(|h| h.attached());
                 let stats: ProbeStats = {
                     let match_log = &mut self.match_log;
                     let digest = &mut self.match_digest;
-                    let sink = self.match_sink.as_deref();
+                    let sink = if live {
+                        self.match_sink.as_deref()
+                    } else {
+                        None
+                    };
                     process_stream_batch(&mut self.index, &tuples, &mut |i, stored| {
                         per_tuple[i] += 1;
                         let key = pair_key(&tuples[i], stored);
@@ -201,6 +209,11 @@ impl Process<OpMsg> for ShjJoiner {
                         }
                     })
                 };
+                if !live {
+                    if let Some(hub) = self.match_sink.as_deref() {
+                        hub.add_emitted(stats.matches);
+                    }
+                }
                 let now = ctx.now();
                 for (i, &m) in per_tuple.iter().enumerate() {
                     self.matches += m as u64;

@@ -1,0 +1,371 @@
+//! Skew-aware routing state and the cross-shard sketch board.
+//!
+//! Each reshuffler owns a [`SkewState`]: the run's routing policy, a
+//! per-relation [`SkewSketch`] it feeds as it routes, and a slot on the
+//! shared [`SkewBoard`] where it periodically publishes its sketch in
+//! wire form. The board is how the rest of the system sees skew:
+//!
+//! * `stats()` / `RunReport` merge the published shards (deterministic
+//!   slot order) into the session-wide heavy-hitter and load-quantile
+//!   summaries;
+//! * on the TCP backend the worker attaches each machine's published
+//!   parts to its gauge-sample frames, and the coordinator republishes
+//!   them into its own board — the same path `SharedGauges` travel.
+//!
+//! The controller does **not** read the board to trigger: its own local
+//! sketch sees a uniform `1/J` sample of the stream and the trigger
+//! signal (`p99/p50` per-key load) is a scale-free ratio, so no
+//! cross-machine relay sits on the decision path.
+//!
+//! Routing policy never affects exactness. In the matrix assignment any
+//! row and any column intersect in exactly one cell, so the ticket choice
+//! — uniform, key-derived, or hot-split — only moves *where* state lands,
+//! never *whether* a pair meets. That is why [`SkewState::ticket`] can
+//! flip a key from keyed to hot-split placement mid-stream with no
+//! transition protocol, and why the cross-backend multiset tests pin
+//! bit-identical join outputs across routing modes' backends.
+
+use std::sync::{Arc, Mutex};
+
+use aoj_core::sketch::{SkewConfig, SkewRel, SkewSketch};
+use aoj_core::ticket::{column_ticket, keyed_ticket, RoutingMode, TicketGen};
+use aoj_core::tuple::Rel;
+
+/// Run-level skew-handling knobs (the `skew` section of
+/// [`SessionBuilder`](crate::session::SessionBuilder)).
+#[derive(Clone, Copy, Debug)]
+pub struct SkewPolicy {
+    /// How reshufflers pick tickets (default [`RoutingMode::Random`], the
+    /// paper's content-insensitive operator — bit-identical to runs
+    /// predating this module).
+    pub routing: RoutingMode,
+    /// Sketch sizing and the heavy-hitter threshold.
+    pub sketch: SkewConfig,
+    /// Arm the [`MigrationDecider`](aoj_core::decision::MigrationDecider)
+    /// skew gate at this p99/p50 load ratio (`0.0` = off): a skewed load
+    /// divides the decider's warm-up threshold by 8.
+    pub decision_gate_ratio: f64,
+    /// Publish the local sketch to the board every this many routed
+    /// tuples (flush points always publish).
+    pub publish_every: u64,
+}
+
+impl Default for SkewPolicy {
+    fn default() -> SkewPolicy {
+        SkewPolicy {
+            routing: RoutingMode::Random,
+            sketch: SkewConfig::default(),
+            decision_gate_ratio: 0.0,
+            publish_every: 4096,
+        }
+    }
+}
+
+impl SkewPolicy {
+    /// Builder: set the routing mode.
+    pub fn with_routing(mut self, routing: RoutingMode) -> SkewPolicy {
+        self.routing = routing;
+        self
+    }
+
+    /// Builder: set the sketch configuration.
+    pub fn with_sketch(mut self, sketch: SkewConfig) -> SkewPolicy {
+        self.sketch = sketch;
+        self
+    }
+
+    /// Builder: arm the decider's skew gate at the given load ratio.
+    pub fn with_decision_gate(mut self, ratio: f64) -> SkewPolicy {
+        self.decision_gate_ratio = ratio.max(0.0);
+        self
+    }
+}
+
+/// Shared board of per-machine published sketches (wire `parts` form).
+///
+/// One slot per machine slot; a reshuffler publishes into its own slot
+/// only, so contention is negligible and [`SkewBoard::merged`] folds the
+/// slots in index order — deterministic across runs and backends.
+#[derive(Debug)]
+pub struct SkewBoard {
+    slots: Mutex<Vec<Option<Vec<u64>>>>,
+}
+
+impl SkewBoard {
+    /// A board with `slots` empty machine slots.
+    pub fn new(slots: usize) -> Arc<SkewBoard> {
+        Arc::new(SkewBoard {
+            slots: Mutex::new(vec![None; slots]),
+        })
+    }
+
+    /// Number of machine slots.
+    pub fn len(&self) -> usize {
+        self.slots.lock().unwrap().len()
+    }
+
+    /// Whether the board has any slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Replace `slot`'s published sketch. Out-of-range slots are ignored
+    /// (a late frame from a retired machine must not panic the session).
+    pub fn publish(&self, slot: usize, parts: Vec<u64>) {
+        let mut slots = self.slots.lock().unwrap();
+        if let Some(s) = slots.get_mut(slot) {
+            *s = Some(parts);
+        }
+    }
+
+    /// The latest published parts for `slot`, if any.
+    pub fn parts(&self, slot: usize) -> Option<Vec<u64>> {
+        self.slots.lock().unwrap().get(slot).cloned().flatten()
+    }
+
+    /// Merge every published shard in slot order. `None` until at least
+    /// one shard has published.
+    pub fn merged(&self) -> Option<SkewSketch> {
+        let slots = self.slots.lock().unwrap();
+        let mut acc: Option<SkewSketch> = None;
+        for parts in slots.iter().flatten() {
+            let Some(shard) = SkewSketch::from_parts(parts) else {
+                continue;
+            };
+            match &mut acc {
+                Some(a) => a.merge(&shard),
+                None => acc = Some(shard),
+            }
+        }
+        acc
+    }
+
+    /// The merged sketch as transportable parts (empty until at least
+    /// one shard has published) — what a worker process ships in its
+    /// gauge frames so the coordinator sees a cluster-wide merge.
+    pub fn merged_parts(&self) -> Vec<u64> {
+        self.merged().map(|s| s.to_parts()).unwrap_or_default()
+    }
+}
+
+/// Per-reshuffler skew state: the routing policy plus the sketch it
+/// maintains while routing.
+#[derive(Debug)]
+pub struct SkewState {
+    mode: RoutingMode,
+    salt: u64,
+    /// The local per-relation sketch (public for checkpoint inspection
+    /// and tests; routing consults it through [`SkewState::ticket`]).
+    pub sketch: SkewSketch,
+    rr: u64,
+    publish_every: u64,
+    since_publish: u64,
+    board: Option<(Arc<SkewBoard>, usize)>,
+}
+
+impl SkewState {
+    /// Fresh state under `policy`. `salt` keys the deterministic
+    /// key→ticket placement and must be identical across the run's
+    /// reshufflers (derive it from the run seed).
+    pub fn new(policy: SkewPolicy, salt: u64) -> SkewState {
+        SkewState {
+            mode: policy.routing,
+            salt,
+            sketch: SkewSketch::new(policy.sketch),
+            rr: 0,
+            publish_every: policy.publish_every.max(1),
+            since_publish: 0,
+            board: None,
+        }
+    }
+
+    /// Builder: publish into `slot` of `board`.
+    pub fn with_board(mut self, board: Arc<SkewBoard>, slot: usize) -> SkewState {
+        self.board = Some((board, slot));
+        self
+    }
+
+    /// The active routing mode.
+    pub fn mode(&self) -> RoutingMode {
+        self.mode
+    }
+
+    /// Observe one routed tuple and choose its ticket under the active
+    /// policy. `m` is the current mapping's column count (the round-robin
+    /// span for hot probe-side tuples).
+    ///
+    /// [`RoutingMode::Random`] draws exactly one ticket from `tickets`
+    /// per call, preserving bit-identical placement with runs that
+    /// predate skew handling.
+    pub fn ticket(
+        &mut self,
+        tickets: &mut TicketGen,
+        rel: Rel,
+        key: i64,
+        bytes: u32,
+        m: u32,
+    ) -> u64 {
+        let srel = match rel {
+            Rel::R => SkewRel::R,
+            Rel::S => SkewRel::S,
+        };
+        self.sketch.observe(srel, key, bytes as u64);
+        self.since_publish += 1;
+        if self.since_publish >= self.publish_every {
+            self.publish();
+        }
+        match self.mode {
+            RoutingMode::Random => tickets.next(),
+            RoutingMode::Keyed => keyed_ticket(key, self.salt),
+            RoutingMode::KeyedHotSplit => {
+                if self.sketch.is_hot(key) {
+                    match rel {
+                        // Hot build side: spread replicas over every row
+                        // (a fresh uniform ticket), so no single row
+                        // stores the whole hot key.
+                        Rel::R => tickets.next(),
+                        // Hot probe side: round-robin the columns; the
+                        // sub-column bits stay uniform so refinement
+                        // (elastic expansion) still splits evenly.
+                        Rel::S => {
+                            let col = (self.rr % m.max(1) as u64) as u32;
+                            self.rr += 1;
+                            column_ticket(col, m, tickets.next())
+                        }
+                    }
+                } else {
+                    keyed_ticket(key, self.salt)
+                }
+            }
+        }
+    }
+
+    /// The local p99/p50 per-key load ratio (the controller's trigger
+    /// signal — scale-free, so its `1/J` sample needs no rescaling).
+    pub fn local_ratio(&mut self) -> f64 {
+        self.sketch.skew_ratio()
+    }
+
+    /// Publish the local sketch to the board now (also called on flush
+    /// points so close-time summaries include the stream's tail).
+    pub fn publish(&mut self) {
+        self.since_publish = 0;
+        if let Some((board, slot)) = &self.board {
+            board.publish(*slot, self.sketch.to_parts());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aoj_core::sketch::HeavyHitter;
+    use aoj_core::ticket::partition;
+
+    fn hot_policy() -> SkewPolicy {
+        SkewPolicy::default()
+            .with_routing(RoutingMode::KeyedHotSplit)
+            .with_sketch(SkewConfig {
+                min_total: 1000,
+                ..SkewConfig::default()
+            })
+    }
+
+    #[test]
+    fn random_mode_matches_bare_ticketgen() {
+        let mut st = SkewState::new(SkewPolicy::default(), 7);
+        let mut gen_a = TicketGen::new(42);
+        let mut gen_b = TicketGen::new(42);
+        for i in 0..100 {
+            let t = st.ticket(&mut gen_a, Rel::R, i, 64, 2);
+            assert_eq!(t, gen_b.next(), "Random mode must stay bit-identical");
+        }
+    }
+
+    #[test]
+    fn keyed_mode_concentrates_and_hot_split_spreads() {
+        let policy = hot_policy();
+        let mut st = SkewState::new(policy, 99);
+        let mut gen = TicketGen::new(1);
+        let (n, m) = (2u32, 2u32);
+        // Warm up far past min_total with a hot key taking half the
+        // stream: is_hot(0) flips on.
+        for i in 0..2000i64 {
+            st.ticket(&mut gen, Rel::S, i % 2 * i, 64, m);
+        }
+        assert!(st.sketch.is_hot(0));
+        // Cold keys stay keyed: same key, same ticket, one column.
+        let a = st.ticket(&mut gen, Rel::S, 12345, 64, m);
+        let b = st.ticket(&mut gen, Rel::S, 12345, 64, m);
+        assert_eq!(a, b);
+        // Hot probe tuples round-robin every column.
+        let mut cols = std::collections::HashSet::new();
+        for _ in 0..8 {
+            cols.insert(partition(st.ticket(&mut gen, Rel::S, 0, 64, m), m));
+        }
+        assert_eq!(cols.len(), m as usize, "hot S must cover all columns");
+        // Hot build tuples draw fresh tickets: rows vary.
+        let mut rows = std::collections::HashSet::new();
+        for _ in 0..64 {
+            rows.insert(partition(st.ticket(&mut gen, Rel::R, 0, 64, m), n));
+        }
+        assert!(rows.len() > 1, "hot R must spread across rows");
+    }
+
+    #[test]
+    fn board_merges_shards_in_slot_order() {
+        let board = SkewBoard::new(3);
+        assert!(board.merged().is_none());
+        let mk = |key: i64| {
+            let mut sk = SkewSketch::new(SkewConfig {
+                min_total: 0,
+                ..SkewConfig::default()
+            });
+            for _ in 0..100 {
+                sk.observe(SkewRel::R, key, 64);
+            }
+            sk
+        };
+        board.publish(2, mk(7).to_parts());
+        board.publish(0, mk(7).to_parts());
+        // Publishing to a slot the board does not have must be a no-op.
+        board.publish(99, mk(1).to_parts());
+        let merged = board.merged().expect("two shards published");
+        assert_eq!(merged.total(), 2 * 100 * 64);
+        assert_eq!(
+            merged.hot_keys(),
+            vec![HeavyHitter {
+                key: 7,
+                estimate: 2 * 100 * 64,
+                err: 0
+            }]
+        );
+        assert!(board.parts(1).is_none());
+        assert!(board.parts(0).is_some());
+    }
+
+    #[test]
+    fn state_publishes_on_interval_and_on_demand() {
+        let board = SkewBoard::new(1);
+        let mut st = SkewState::new(
+            SkewPolicy {
+                publish_every: 10,
+                ..SkewPolicy::default()
+            },
+            0,
+        )
+        .with_board(board.clone(), 0);
+        let mut gen = TicketGen::new(0);
+        for i in 0..9 {
+            st.ticket(&mut gen, Rel::R, i, 64, 2);
+        }
+        assert!(board.parts(0).is_none(), "below the publish interval");
+        st.ticket(&mut gen, Rel::R, 9, 64, 2);
+        let auto = board.parts(0).expect("interval publish");
+        assert_eq!(SkewSketch::from_parts(&auto).unwrap().total(), 10 * 64);
+        st.ticket(&mut gen, Rel::R, 10, 64, 2);
+        st.publish();
+        let forced = board.parts(0).expect("forced publish");
+        assert_eq!(SkewSketch::from_parts(&forced).unwrap().total(), 11 * 64);
+    }
+}

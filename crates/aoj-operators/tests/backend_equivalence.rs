@@ -367,3 +367,93 @@ fn threaded_runtime_reports_wall_clock_metrics() {
         "threaded run lost or duplicated matches"
     );
 }
+
+/// A workload with one genuinely hot key: ~30% of both streams land on
+/// key 0, the rest spread over the quadratic-skew tail. Hot enough that
+/// the SpaceSaving sketch must flag it and `KeyedHotSplit` must actually
+/// replicate it across the grid.
+fn hot_key_workload(nr: usize, ns: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut item = |key_space: i64| StreamItem {
+        key: if rng.gen_range(0..10) < 3 {
+            0
+        } else {
+            1 + rng.gen_range(0..key_space).min(rng.gen_range(0..key_space))
+        },
+        aux: rng.gen_range(0..1_000i32),
+        bytes: 64,
+    };
+    Workload {
+        name: "hot-key",
+        predicate: Predicate::Equi,
+        r_items: (0..nr).map(|_| item(400)).collect(),
+        s_items: (0..ns).map(|_| item(400)).collect(),
+    }
+}
+
+fn hot_split_session(
+    arrivals: &[(aoj_core::tuple::Rel, StreamItem)],
+    w: &Workload,
+    seed: u64,
+    backend: BackendChoice,
+) -> aoj_operators::RunReport {
+    let builder = aoj_operators::SessionBuilder::new(2, OperatorKind::Dynamic)
+        .with_predicate(w.predicate.clone())
+        .with_workload(w.name)
+        .with_seed(seed)
+        .with_backend(backend)
+        .with_routing(aoj_core::RoutingMode::KeyedHotSplit)
+        // Same capacity target as the elastic equivalence pin: one ×4
+        // expansion (J 2 → 8) fires mid-stream on every backend.
+        .with_elastic(ElasticConfig::new(64 << 10, 1))
+        .with_collect_matches(true);
+    let mut session = aoj_operators::JoinSession::open(builder);
+    session.push_batch(arrivals.iter().copied()).unwrap();
+    session.close()
+}
+
+/// The tentpole exactness pin: hot-key replication (`KeyedHotSplit`
+/// routing — hot build tuples spread across joiner rows, hot probe
+/// tuples round-robined across columns) changes only *placement*, never
+/// the output. Across a live ×4 expansion, on all three backends, the
+/// join multiset is bit-identical to the skew-blind simulator reference.
+#[test]
+fn hot_key_replication_stays_exact_across_backends_and_expansion() {
+    let _serial = TCP_RUNS.lock().unwrap();
+    aoj_net::install();
+    let seed = 0x407_2014;
+    let w = hot_key_workload(500, 5_000, seed);
+    let arrivals = interleave(&w, seed ^ 0xA0A0);
+
+    // Reference: default Random routing, no elastic, simulator.
+    let mut base_cfg = RunConfig::new(2, OperatorKind::Dynamic);
+    base_cfg.collect_matches = true;
+    base_cfg.seed = seed;
+    let reference = run(&arrivals, &w.predicate, w.name, &base_cfg);
+    assert!(reference.matches > 0, "vacuous workload");
+
+    for backend in [
+        BackendChoice::Sim,
+        BackendChoice::Threaded,
+        BackendChoice::Tcp,
+    ] {
+        let report = hot_split_session(&arrivals, &w, seed, backend);
+        assert!(
+            report.expansions >= 1,
+            "{backend:?}: no live expansion fired — the test is vacuous"
+        );
+        assert_eq!(
+            report.match_pairs, reference.match_pairs,
+            "{backend:?}: hot-key split routing changed the join multiset"
+        );
+        // The sketches must actually have seen the skew: key 0 carries
+        // ~30% of the load, far above the 5% heavy-hitter threshold.
+        assert!(
+            report.skew.hot_keys.iter().any(|h| h.key == 0),
+            "{backend:?}: merged sketch failed to flag the hot key \
+             (hot: {:?}, observed {} bytes)",
+            report.skew.hot_keys,
+            report.skew.observed_bytes
+        );
+    }
+}

@@ -25,6 +25,7 @@ use aoj_datagen::stream::interleave;
 use aoj_operators::batch::{BatchConfig, DataCoalescer};
 use aoj_operators::messages::IngestItem;
 use aoj_operators::reshuffler::ReshufflerTask;
+use aoj_operators::skew::{SkewPolicy, SkewState};
 use aoj_operators::{run, ElasticConfig, OpMsg, OperatorKind, RunConfig};
 use aoj_simnet::{Ctx, Effect, Metrics, Process, SimTime, TaskId};
 use proptest::prelude::*;
@@ -60,6 +61,9 @@ fn reshuffler(seed: u64, batch_tuples: usize) -> ReshufflerTask {
         batch: DataCoalescer::new(BatchConfig::new(batch_tuples), 16),
         deactivated: false,
         layout: aoj_core::elastic::ElasticLayout::new(4),
+        // Default policy: random tickets, so routing stays bit-identical
+        // to the pre-sketch plane this property pins.
+        skew: SkewState::new(SkewPolicy::default(), 0),
     }
 }
 

@@ -71,9 +71,13 @@ fn sawtooth_grow_then_drain_is_exact_and_retires_clean() {
 
     // Retired machines hold zero stored bytes; the lone survivor —
     // machine 0, the group minimum at every merge — holds everything.
-    assert!(report.stored_bytes_by_machine[0] > 0);
-    for (m, &bytes) in report.stored_bytes_by_machine.iter().enumerate().skip(1) {
-        assert_eq!(bytes, 0, "retired machine {m} still stores bytes");
+    assert!(report.machines[0].stored_bytes > 0);
+    for ms in report.machines.iter().skip(1) {
+        assert_eq!(
+            ms.stored_bytes, 0,
+            "retired machine {} still stores bytes",
+            ms.machine
+        );
     }
 
     // Every retiree respects the contraction transfer bound: at most one
@@ -194,7 +198,8 @@ fn later_burst_reexpands_into_retired_machines() {
         report.peak_provisioned_machines, 5,
         "re-expansion must draw from the dormant pool, not fresh slots"
     );
-    for (m, &bytes) in report.stored_bytes_by_machine.iter().enumerate() {
+    for ms in report.machines.iter() {
+        let (m, bytes) = (ms.machine, ms.stored_bytes);
         assert_eq!(
             bytes > 0,
             m < 4,
@@ -288,9 +293,9 @@ fn migration_after_contraction_is_exact() {
     assert_eq!(report.final_mapping.j(), 4);
     assert_eq!(report.matches, reference_match_count(&w));
     let live = report
-        .stored_bytes_by_machine
+        .machines
         .iter()
-        .filter(|&&b| b > 0)
+        .filter(|m| m.stored_bytes > 0)
         .count();
     assert_eq!(live, 4, "exactly the surviving grid holds state");
 }

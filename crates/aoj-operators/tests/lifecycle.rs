@@ -118,9 +118,9 @@ fn count_window_bounds_steady_state_storage_j4() {
     // The per-machine breakdown is live: every active joiner both holds
     // and has evicted state.
     let active_evictors = stats
-        .evicted_bytes_by_machine
+        .machines
         .iter()
-        .filter(|&&b| b > 0)
+        .filter(|m| m.evicted_bytes > 0)
         .count();
     assert!(
         active_evictors >= 2,

@@ -16,8 +16,15 @@ use aoj_core::predicate::Predicate;
 use aoj_datagen::queries::{reference_match_count, StreamItem, Workload};
 use aoj_datagen::stream::interleave;
 use aoj_operators::{
-    BackendChoice, ElasticConfig, JoinSession, OperatorKind, PushError, SessionBuilder,
+    BackendChoice, ElasticConfig, JoinSession, KeyFilter, OperatorKind, PushError, SessionBuilder,
 };
+
+// TCP session tests re-exec this binary as the worker process.
+aoj_net::worker_entry!();
+
+/// TCP runs record a process-global [`aoj_net::last_run_summary`], so
+/// they must not interleave within this binary.
+static TCP_RUNS: std::sync::Mutex<()> = std::sync::Mutex::new(());
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -401,4 +408,244 @@ fn closed_queue_rejects_pushes_and_stats_count_without_subscriber() {
         ),
         Err(PushError::Closed)
     );
+}
+
+/// The expected filtered pair multiset: every reference match whose R or
+/// S key falls in `[lo, hi]`. Computed by brute force over the workload.
+fn reference_filtered_pairs(w: &Workload, lo: i64, hi: i64) -> usize {
+    let mut n = 0;
+    for r in &w.r_items {
+        for s in &w.s_items {
+            if r.key == s.key && ((lo..=hi).contains(&r.key) || (lo..=hi).contains(&s.key)) {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Fan-out on the simulator: two independent full subscribers and one
+/// filtered subscriber consume the same live stream. Both full streams
+/// see the complete multiset, the filtered one exactly the pairs its
+/// `KeyFilter` passes — and each advances at its own pace.
+#[test]
+fn multiple_subscribers_fan_out_on_sim() {
+    let seed = 0xFA_0001;
+    let w = workload(200, 1_800, 150, seed);
+    let arrivals = interleave(&w, seed);
+    let builder = SessionBuilder::new(4, OperatorKind::Dynamic)
+        .with_predicate(w.predicate.clone())
+        .with_seed(seed);
+    let mut session = JoinSession::open(builder);
+    let mut full_a = session.subscribe();
+    let mut full_b = session.subscribe();
+    let mut narrow = session.subscribe_filtered(KeyFilter::range(0, 19));
+
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    let mut n = Vec::new();
+    for chunk in arrivals.chunks(256) {
+        session.push_batch(chunk.iter().copied()).unwrap();
+        // Deliberately lag subscriber B: it drains only every other
+        // chunk, and must still miss nothing.
+        while let Some(m) = full_a.try_next() {
+            a.push(m.pair());
+        }
+        if a.len() % 2 == 0 {
+            while let Some(m) = full_b.try_next() {
+                b.push(m.pair());
+            }
+        }
+        while let Some(m) = narrow.try_next() {
+            assert!(
+                (0..20).contains(&m.r_key) || (0..20).contains(&m.s_key),
+                "filtered subscription leaked pair with keys ({}, {})",
+                m.r_key,
+                m.s_key
+            );
+            n.push(m.pair());
+        }
+    }
+    let report = session.close();
+    for m in full_a.by_ref() {
+        a.push(m.pair());
+    }
+    for m in full_b.by_ref() {
+        b.push(m.pair());
+    }
+    for m in narrow.by_ref() {
+        n.push(m.pair());
+    }
+    assert_eq!(report.matches, reference_match_count(&w));
+    assert_eq!(
+        a.len() as u64,
+        report.matches,
+        "full subscriber A lost pairs"
+    );
+    assert_eq!(
+        b.len() as u64,
+        report.matches,
+        "lagging subscriber B lost pairs"
+    );
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "independent subscribers saw different multisets");
+    assert_eq!(
+        n.len(),
+        reference_filtered_pairs(&w, 0, 19),
+        "filtered subscription multiset is not exactly the passing pairs"
+    );
+}
+
+/// Fan-out on real threads: two full consumers and one filtered consumer
+/// run on their own threads against a producer thread. Slowest-consumer
+/// backpressure applies (small match buffer), yet every stream stays
+/// exact and `close()` ends all three.
+#[test]
+fn multiple_subscribers_fan_out_on_threaded() {
+    let seed = 0xFA_0002;
+    let w = workload(200, 1_800, 150, seed);
+    let arrivals = interleave(&w, seed);
+    let builder = SessionBuilder::new(2, OperatorKind::Dynamic)
+        .with_predicate(w.predicate.clone())
+        .with_seed(seed)
+        .with_backend(BackendChoice::Threaded)
+        .with_match_buffer(64);
+    let mut session = JoinSession::open(builder);
+    let full_a = session.subscribe();
+    let full_b = session.subscribe();
+    let narrow = session.subscribe_filtered(KeyFilter::range(0, 19));
+    let ingest = session.ingest();
+
+    let producer = std::thread::spawn({
+        let arrivals = arrivals.clone();
+        move || ingest.push_batch(arrivals).unwrap()
+    });
+    let consume = |sub: aoj_operators::MatchSubscription| {
+        std::thread::spawn(move || {
+            let mut out: Vec<(u64, u64)> = Vec::new();
+            for m in sub {
+                out.push(m.pair());
+            }
+            out
+        })
+    };
+    let ta = consume(full_a);
+    let tb = consume(full_b);
+    let tn = std::thread::spawn(move || {
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        for m in narrow {
+            assert!((0..20).contains(&m.r_key) || (0..20).contains(&m.s_key));
+            out.push(m.pair());
+            // The slowest subscriber: the pipeline must throttle to it,
+            // not drop for it.
+            if out.len().is_multiple_of(64) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        out
+    });
+    producer.join().unwrap();
+    let report = session.close();
+    let mut a = ta.join().unwrap();
+    let mut b = tb.join().unwrap();
+    let n = tn.join().unwrap();
+    assert_eq!(report.matches, reference_match_count(&w));
+    assert_eq!(a.len() as u64, report.matches);
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "independent subscribers saw different multisets");
+    assert_eq!(n.len(), reference_filtered_pairs(&w, 0, 19));
+}
+
+/// Dropping one subscriber mid-stream must not disturb the others: the
+/// survivor still receives the complete multiset.
+#[test]
+fn dropping_one_subscriber_leaves_the_rest_exact() {
+    let seed = 0xFA_0003;
+    let w = workload(150, 1_350, 120, seed);
+    let arrivals = interleave(&w, seed);
+    let builder = SessionBuilder::new(2, OperatorKind::Dynamic)
+        .with_predicate(w.predicate.clone())
+        .with_seed(seed);
+    let mut session = JoinSession::open(builder);
+    let mut keeper = session.subscribe();
+    let doomed = session.subscribe();
+
+    let half = arrivals.len() / 2;
+    session
+        .push_batch(arrivals[..half].iter().copied())
+        .unwrap();
+    drop(doomed);
+    session
+        .push_batch(arrivals[half..].iter().copied())
+        .unwrap();
+    let report = session.close();
+    let mut seen = 0u64;
+    for _ in keeper.by_ref() {
+        seen += 1;
+    }
+    assert_eq!(seen, report.matches);
+    assert_eq!(report.matches, reference_match_count(&w));
+}
+
+/// Fan-out over real TCP: two full subscribers and one filtered
+/// subscriber against worker processes. The filtered stream is pruned
+/// worker-side (the tap ships only passing pairs), yet remains exactly
+/// the passing subset; the full streams stay exact.
+#[test]
+fn multiple_subscribers_fan_out_on_tcp() {
+    let _serial = TCP_RUNS.lock().unwrap();
+    aoj_net::install();
+    let seed = 0xFA_0004;
+    let w = workload(150, 1_350, 120, seed);
+    let arrivals = interleave(&w, seed);
+    let builder = SessionBuilder::new(2, OperatorKind::Dynamic)
+        .with_predicate(w.predicate.clone())
+        .with_seed(seed)
+        .with_backend(BackendChoice::Tcp);
+    let mut session = JoinSession::open(builder);
+    let mut full_a = session.subscribe();
+    let mut full_b = session.subscribe();
+    let mut narrow = session.subscribe_filtered(KeyFilter::range(0, 19));
+
+    let mut a = Vec::new();
+    for chunk in arrivals.chunks(256) {
+        session.push_batch(chunk.iter().copied()).unwrap();
+        while let Some(m) = full_a.try_next() {
+            a.push(m.pair());
+        }
+    }
+    let report = session.close();
+    for m in full_a.by_ref() {
+        a.push(m.pair());
+    }
+    let mut b: Vec<(u64, u64)> = full_b.by_ref().map(|m| m.pair()).collect();
+    let mut n = Vec::new();
+    for m in narrow.by_ref() {
+        assert!(
+            (0..20).contains(&m.r_key) || (0..20).contains(&m.s_key),
+            "TCP filtered subscription leaked pair with keys ({}, {})",
+            m.r_key,
+            m.s_key
+        );
+        n.push(m.pair());
+    }
+    assert_eq!(report.matches, reference_match_count(&w));
+    assert_eq!(a.len() as u64, report.matches);
+    assert_eq!(b.len() as u64, report.matches);
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "TCP subscribers saw different multisets");
+    assert_eq!(n.len(), reference_filtered_pairs(&w, 0, 19));
+    let summary = aoj_net::last_run_summary().expect("tcp run recorded a summary");
+    assert_eq!(summary.spawned as usize, summary.reaped.len());
+    for r in &summary.reaped {
+        assert_eq!(
+            r.exit_code,
+            Some(0),
+            "worker {} exited abnormally",
+            r.machine
+        );
+    }
 }

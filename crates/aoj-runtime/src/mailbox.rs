@@ -24,17 +24,30 @@
 //! tuple this degenerates to the original per-message scheme exactly.
 //!
 //! Only the Data queue is bounded, and the bound is **backpressure, not
-//! a hard guarantee**: a producer facing a full data queue waits up to
-//! `BACKPRESSURE_WAIT` for space and then enqueues anyway. The bounded
-//! wait is what makes the design deadlock-free by construction. A hard
-//! block would be unsafe here, because a machine can host both data
-//! producers and data consumers (in the operator topology every machine
-//! runs a reshuffler *and* a joiner), so two workers stalled on each
-//! other's full data queues would never return to drain their own —
-//! a cyclic deadlock whenever the in-flight data volume exceeds the
-//! queue capacity (e.g. flow control disabled via `window_copies = 0`).
-//! With the bounded wait, steady-state producers are throttled to the
-//! consumers' rate while cyclic waits always resolve.
+//! a hard guarantee**: an *otherwise idle* producer facing a full data
+//! queue waits up to `BACKPRESSURE_WAIT` for space and then enqueues
+//! anyway. A producer whose own mailbox holds unserviced work skips the
+//! wait entirely (the runtime checks [`Mailbox::has_queued_work`] on the
+//! sender's mailbox before a bounded push) — a machine can host both
+//! data producers and data consumers (in the operator topology every
+//! machine runs a reshuffler *and* a joiner), and a worker stalled as a
+//! producer cannot drain its own queues as a consumer. Without the
+//! busy-sender exemption the backlogged regime degenerates into a convoy
+//! of full-duration waits: every worker blocks pushing into some full
+//! peer queue, so no worker pops, so every wait runs to its timeout and
+//! aggregate throughput collapses to one timeout quantum of work per
+//! machine per `BACKPRESSURE_WAIT`.
+//!
+//! The exemption also makes the design deadlock-free on its own: a
+//! waiting producer has an empty mailbox, so any wait-for cycle would
+//! have to include the machine whose data queue is full — and *that*
+//! machine's worker has queued work, never waits, and eventually drains
+//! the queue the cycle is stuck on. The bounded timeout stays as
+//! belt-and-braces (the busy check is a snapshot, not a lock-step
+//! invariant). Net effect: a pure producer (the stream source) is
+//! throttled to its consumers' rate, while pipeline-interior workers
+//! always prefer servicing their own backlog over sleeping on a full
+//! downstream queue.
 //!
 //! The wait is paid **once per overflow episode**, not per message: after
 //! a push times out, the mailbox stays in overflow mode — subsequent
@@ -338,6 +351,16 @@ impl<M> Mailbox<M> {
         }
     }
 
+    /// True while any queue holds unserviced work (pending-but-undue
+    /// timers do not count: a worker waiting out a timer deadline is
+    /// genuinely idle). Producers consult their **own** mailbox through
+    /// this before paying the backpressure wait on a full destination —
+    /// see the module docs for the progress argument.
+    pub fn has_queued_work(&self) -> bool {
+        let st = self.state.lock().unwrap();
+        !st.control.is_empty() || !st.data.is_empty() || !st.migration.is_empty()
+    }
+
     /// Wake every waiter (consumer and producers) — used at shutdown.
     pub fn wake_all(&self) {
         let _guard = self.state.lock().unwrap();
@@ -575,6 +598,23 @@ mod tests {
         mb.reset_for_reuse();
         mb.push_msg(MsgClass::Control, msg(7), 1, true, &done);
         assert_eq!(val(mb.pop(|| 60, &done).unwrap()), 7);
+    }
+
+    #[test]
+    fn has_queued_work_sees_messages_but_not_undue_timers() {
+        let mb: Mailbox<u64> = Mailbox::new(1024, 2);
+        let done = AtomicBool::new(false);
+        assert!(!mb.has_queued_work(), "fresh mailbox is idle");
+        // A pending-but-undue timer is not work: a worker sleeping one
+        // out must still pay the backpressure wait as a producer.
+        mb.push_timer(1_000_000, TaskId(0), 1);
+        assert!(!mb.has_queued_work());
+        mb.push_msg(MsgClass::Data, msg(7), 1, true, &done);
+        assert!(mb.has_queued_work(), "queued data is work");
+        assert_eq!(val(mb.pop(|| 0, &done).unwrap()), 7);
+        assert!(!mb.has_queued_work(), "drained mailbox is idle again");
+        mb.push_msg(MsgClass::Control, msg(8), 1, true, &done);
+        assert!(mb.has_queued_work(), "control traffic counts too");
     }
 
     #[test]

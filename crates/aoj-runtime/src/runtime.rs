@@ -332,6 +332,14 @@ fn worker<M: SimMessage + Send + 'static>(
                             // network accounting.
                             shard.on_send(mid, msg.bytes());
                         }
+                        // Pay the backpressure wait only when this worker
+                        // has nothing of its own to service: a worker
+                        // with a backlog must keep consuming (it may be
+                        // the very machine its peers are blocked on).
+                        // The local check comes before the destination
+                        // lock — taking both would invert order against
+                        // a peer pushing the opposite way.
+                        let bounded = !loopback && !mailbox.has_queued_work();
                         shared.mailboxes[dst_machine.index()].push_msg(
                             class,
                             Work::Msg {
@@ -340,7 +348,7 @@ fn worker<M: SimMessage + Send + 'static>(
                                 msg,
                             },
                             units,
-                            !loopback,
+                            bounded,
                             &shared.done,
                         );
                     }

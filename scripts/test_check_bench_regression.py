@@ -170,6 +170,35 @@ class Main(unittest.TestCase):
                             "--min-ratio-tcp", "0.25"])
             self.assertEqual(bad, 1)
 
+    def test_skew_gate_invocation_shape(self):
+        # Mirrors CI's skew gate: a committed baseline holding BOTH live
+        # backends' full-sweep entries, one smoke file per backend,
+        # name-keyed matching, coarse per-backend floors (the smoke
+        # input is far smaller than the baseline's, so the tcp smoke
+        # legitimately sits well below 1.0x — fixed per-session costs
+        # dominate the shorter stream).
+        with tempfile.TemporaryDirectory() as d:
+            base = write(d, "BENCH_skew.json",
+                         doc(run("threaded", 74207.0, name="z1.4-keyed"),
+                             run("threaded", 73059.0, name="z1.4-split"),
+                             run("tcp", 44115.0, name="z1.4-keyed"),
+                             run("tcp", 46236.0, name="z1.4-split")))
+            thr = write(d, "smoke.json",
+                        doc(run("threaded", 280636.0, name="z1.4-keyed"),
+                            run("threaded", 358316.0, name="z1.4-split")))
+            tcp = write(d, "tcp_smoke.json",
+                        doc(run("tcp", 25362.0, name="z1.4-keyed"),
+                            run("tcp", 21452.0, name="z1.4-split")))
+            floors = ["--match-on", "name",
+                      "--min-ratio-threaded", "0.3",
+                      "--min-ratio-tcp", "0.15"]
+            self.assertEqual(cbr.main([base, thr, tcp] + floors), 0)
+            # A tcp hot-path relapse (order-of-magnitude drop) still
+            # trips the coarse floor.
+            stalled = write(d, "stalled.json",
+                            doc(run("tcp", 5000.0, name="z1.4-split")))
+            self.assertEqual(cbr.main([base, thr, stalled] + floors), 1)
+
     def test_default_match_key_is_batch_tuples(self):
         with tempfile.TemporaryDirectory() as d:
             base = write(d, "base.json", doc(run("sim", 100.0, batch=64)))
