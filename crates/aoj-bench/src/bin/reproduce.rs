@@ -14,11 +14,17 @@
 //! `fig7`, `fig8a`..`fig8d`, `fig8`, `ablation-migration`,
 //! `ablation-epsilon`, `ablation-blocking`, `ablation-elastic`,
 //! `ablation-groups`, `ablations`, `wallclock`, `elastic`, `contract`,
-//! `lifecycle`, `skew`, or `all`.
+//! `lifecycle`, `skew`, `faults`, or `all`.
 //!
 //! `lifecycle` exercises the state lifecycle subsystem — windowed
 //! eviction and a checkpoint→restore→verify round-trip — on **both**
 //! backends in one invocation and writes `BENCH_lifecycle[_smoke].json`.
+//!
+//! `faults` is the chaos experiment: on **all three** backends it kills
+//! a live worker mid-stream (simulator event kill, thread abort, process
+//! SIGKILL), lets the supervised session detect and recover it, verifies
+//! the delivered match multiset against the fault-free simulator witness
+//! exactly, and writes `BENCH_faults[_smoke].json`.
 //!
 //! `--backend threaded` selects the multi-threaded runtime, which hosts
 //! the wall-clock benchmark (`wallclock`), the live `elastic` /
@@ -34,7 +40,7 @@
 //! `BENCH_wallclock.json`).
 
 use aoj_bench::experiments::{
-    ablation, contract, elastic, fig6, fig7, fig8, lifecycle, skew, table2, wallclock,
+    ablation, contract, elastic, faults, fig6, fig7, fig8, lifecycle, skew, table2, wallclock,
 };
 use aoj_operators::BackendChoice;
 
@@ -101,9 +107,10 @@ fn main() {
                 Some("contract") => "contract".to_string(),
                 Some("lifecycle") => "lifecycle".to_string(),
                 Some("skew") => "skew".to_string(),
+                Some("faults") => "faults".to_string(),
                 Some(other) => die(&format!(
                     "experiment `{other}` is simulator-only; `--backend threaded` \
-                     runs `wallclock`, `elastic`, `contract`, `lifecycle` or `skew`"
+                     runs `wallclock`, `elastic`, `contract`, `lifecycle`, `skew` or `faults`"
                 )),
             }
         }
@@ -114,9 +121,10 @@ fn main() {
             match positional.first().map(|s| s.as_str()) {
                 None | Some("wallclock") | Some("all") => "wallclock".to_string(),
                 Some("skew") => "skew".to_string(),
+                Some("faults") => "faults".to_string(),
                 Some(other) => die(&format!(
-                    "`--backend tcp` runs `wallclock` or `skew`; experiment `{other}` \
-                     is not wired to the process backend"
+                    "`--backend tcp` runs `wallclock`, `skew` or `faults`; experiment \
+                     `{other}` is not wired to the process backend"
                 )),
             }
         }
@@ -165,6 +173,7 @@ fn main() {
         "elastic" => elastic::run_elastic(backend_choice, smoke),
         "contract" => contract::run_contract(backend_choice, smoke),
         "lifecycle" => lifecycle::run_lifecycle(smoke),
+        "faults" => faults::run_faults(smoke),
         "skew" => skew::run_skew(
             if backend_choice == BackendChoice::Tcp {
                 BackendChoice::Tcp
@@ -184,6 +193,7 @@ fn main() {
             contract::run_contract(backend_choice, smoke);
             lifecycle::run_lifecycle(smoke);
             skew::run_skew(wallclock_backend, smoke);
+            faults::run_faults(smoke);
         }
         other => {
             eprintln!("unknown experiment `{other}`; see --help in the module docs");

@@ -1,0 +1,289 @@
+//! The `faults` experiment: the fault-tolerance subsystem, measured.
+//!
+//! One fault-free simulator witness fixes the exact join multiset for a
+//! seeded Zipf equi-join stream; then every backend (simulator, threaded
+//! runtime, TCP process cluster) runs the same stream **under chaos**
+//! through a [`SupervisedSession`], two legs each:
+//!
+//! * **ckpt-replay** — automatic checkpoints on a tuple cadence, one
+//!   worker killed right after the second checkpoint adoption (the
+//!   supervisor fires the backend's native kill primitive: simulator
+//!   event kill, thread abort, process SIGKILL): recovery rolls back
+//!   to that checkpoint and replays the suffix;
+//! * **scratch-replay** — no checkpoint cadence at all, a worker killed
+//!   on a processed-tuple threshold mid-stream: the degenerate rollback
+//!   base, a fresh incarnation replaying from sequence 0.
+//!
+//! Every leg **aborts unless** the delivered match multiset equals the
+//! fault-free witness exactly — no loss, no duplicates — so the numbers
+//! below are only ever printed for runs that survived chaos correctly.
+//! Reported per leg: end-to-end throughput under the crash, failure
+//! detection latency, recovery (rollback + respawn + replay) time,
+//! replayed tuples, and matches suppressed by the exactly-once dedup.
+//!
+//! Results go to stdout and to machine-readable
+//! `BENCH_faults[_smoke].json`.
+
+use std::time::Instant;
+
+use aoj_core::fault::FaultPlan;
+use aoj_core::predicate::Predicate;
+use aoj_datagen::queries::{StreamItem, Workload};
+use aoj_datagen::stream::{interleave, Arrivals};
+use aoj_datagen::zipf::ZipfSampler;
+use aoj_operators::{
+    BackendChoice, JoinSession, OperatorKind, RecoveryStats, SessionBuilder, SupervisedSession,
+};
+
+use super::common::{banner, Table, SEED};
+
+/// Zipf-skewed equi-join, equal stream sizes — the `lifecycle` shape,
+/// sized so the kill lands well after the first checkpoint rotation.
+fn faults_workload(n_each: usize, key_space: u64, seed: u64) -> Workload {
+    let mut zr = ZipfSampler::new(key_space, 0.8, seed);
+    let mut zs = ZipfSampler::new(key_space, 0.8, seed ^ 0xFA17);
+    let item = |z: &mut ZipfSampler| StreamItem {
+        key: z.next() as i64,
+        aux: 0,
+        bytes: 64,
+    };
+    Workload {
+        name: "zipf-faults",
+        predicate: Predicate::Equi,
+        r_items: (0..n_each).map(|_| item(&mut zr)).collect(),
+        s_items: (0..n_each).map(|_| item(&mut zs)).collect(),
+    }
+}
+
+fn builder(w: &Workload, seed: u64, backend: BackendChoice) -> SessionBuilder {
+    SessionBuilder::new(4, OperatorKind::Dynamic)
+        .with_predicate(w.predicate.clone())
+        .with_workload(w.name)
+        .with_seed(seed)
+        .with_backend(backend)
+}
+
+fn backend_label(backend: BackendChoice) -> &'static str {
+    match backend {
+        BackendChoice::Sim => "sim",
+        BackendChoice::Threaded => "threaded",
+        BackendChoice::Tcp => "tcp",
+    }
+}
+
+/// The fault-free simulator witness: the exact `(R seq, S seq)` match
+/// multiset every chaos leg must reproduce.
+fn witness(w: &Workload, arrivals: &Arrivals) -> Vec<(u64, u64)> {
+    let mut session = JoinSession::open(builder(w, SEED, BackendChoice::Sim));
+    let mut sub = session.subscribe();
+    session.push_batch(arrivals.iter().copied()).unwrap();
+    let _ = session.close();
+    let mut ids = Vec::new();
+    while let Some(m) = sub.try_next() {
+        ids.push((m.r_seq, m.s_seq));
+    }
+    ids.sort_unstable();
+    ids
+}
+
+struct ChaosLeg {
+    name: &'static str,
+    backend: &'static str,
+    exec_s: f64,
+    throughput_tps: f64,
+    matches: usize,
+    stats: RecoveryStats,
+}
+
+/// One supervised run under the given fault plan; panics unless the
+/// delivered multiset equals the witness and the kill actually fired.
+fn run_chaos(
+    name: &'static str,
+    b: SessionBuilder,
+    arrivals: &Arrivals,
+    expect: &[(u64, u64)],
+) -> ChaosLeg {
+    let backend = backend_label(b.backend.choice);
+    let dir = std::env::temp_dir().join(format!(
+        "aoj-bench-faults-{backend}-{name}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let start = Instant::now();
+    let mut session = SupervisedSession::open(b, &dir);
+    for &(rel, item) in arrivals.iter() {
+        session.push(rel, item);
+    }
+    let outcome = session.close();
+    let exec_s = start.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut got: Vec<(u64, u64)> = outcome.matches.iter().map(|m| (m.r_seq, m.s_seq)).collect();
+    got.sort_unstable();
+    assert!(
+        outcome.stats.crashes >= 1,
+        "{backend} {name}: the injected kill never fired"
+    );
+    assert_eq!(
+        got, expect,
+        "{backend} {name}: chaos run lost or duplicated matches"
+    );
+
+    ChaosLeg {
+        name,
+        backend,
+        exec_s,
+        throughput_tps: arrivals.len() as f64 / exec_s,
+        matches: got.len(),
+        stats: outcome.stats,
+    }
+}
+
+fn row(table: &mut Table, leg: &ChaosLeg) {
+    table.row(vec![
+        leg.name.to_string(),
+        leg.backend.to_string(),
+        format!("{:.3}", leg.exec_s),
+        format!("{:.0}", leg.throughput_tps),
+        leg.matches.to_string(),
+        leg.stats.crashes.to_string(),
+        leg.stats.detection_latency_us.to_string(),
+        leg.stats.recovery_time_us.to_string(),
+        leg.stats.replayed_tuples.to_string(),
+        leg.stats.deduped_matches.to_string(),
+        leg.stats.checkpoints.to_string(),
+    ]);
+}
+
+fn json_run(leg: &ChaosLeg) -> String {
+    format!(
+        concat!(
+            "{{\"name\":\"{}\",\"backend\":\"{}\",\"exec_s\":{:.6},",
+            "\"throughput_tps\":{:.1},\"matches\":{},\"crashes\":{},",
+            "\"detection_latency_us\":{},\"recovery_time_us\":{},",
+            "\"replayed_tuples\":{},\"deduped_matches\":{},",
+            "\"checkpoints\":{},\"verified\":true}}"
+        ),
+        leg.name,
+        leg.backend,
+        leg.exec_s,
+        leg.throughput_tps,
+        leg.matches,
+        leg.stats.crashes,
+        leg.stats.detection_latency_us,
+        leg.stats.recovery_time_us,
+        leg.stats.replayed_tuples,
+        leg.stats.deduped_matches,
+        leg.stats.checkpoints,
+    )
+}
+
+/// The `reproduce faults [--smoke]` entry point: runs **all three**
+/// backends regardless of `--backend` (the cross-backend recovery
+/// equivalence is the point). The TCP legs re-exec this binary as the
+/// worker processes and SIGKILL one of them for real.
+pub fn run_faults(smoke: bool) {
+    let n_each = if smoke { 2_000 } else { 6_000 };
+    let total = 2 * n_each as u64;
+    let every = total / 6;
+    // The scratch leg's kill lands just before mid-stream. (The
+    // threaded runtime's native threshold counts joiner-processed
+    // tuples — replicated across the join-matrix row — so its crash
+    // point sits earlier in the pushed stream than the simulator's;
+    // the verified multiset is crash-point independent.)
+    let kill_at = (total * 2) / 5;
+    banner(&format!(
+        "fault tolerance{}: injected worker kills + automatic recovery, J=4, all backends",
+        if smoke { " (smoke)" } else { "" },
+    ));
+    let w = faults_workload(n_each, 2_000, SEED);
+    let arrivals = interleave(&w, SEED ^ 0xFA17);
+    let expect = witness(&w, &arrivals);
+    assert!(!expect.is_empty(), "vacuous chaos workload");
+    println!(
+        "  witness: {} matches over {} tuples; checkpoint every {every} tuples, \
+         kill on the 2nd adoption (ckpt-replay) / near tuple {kill_at} (scratch-replay)",
+        expect.len(),
+        arrivals.len()
+    );
+
+    let mut table = Table::new(&[
+        "leg",
+        "backend",
+        "exec (s)",
+        "t/s",
+        "matches",
+        "crashes",
+        "detect (us)",
+        "recover (us)",
+        "replayed",
+        "deduped",
+        "ckpts",
+    ]);
+    let mut runs = Vec::new();
+    for backend in [
+        BackendChoice::Sim,
+        BackendChoice::Threaded,
+        BackendChoice::Tcp,
+    ] {
+        let ckpt = run_chaos(
+            "ckpt-replay",
+            builder(&w, SEED, backend)
+                .with_checkpoint_every(every)
+                .with_fault_plan(FaultPlan::new().kill_on_checkpoint(1, 2)),
+            &arrivals,
+            &expect,
+        );
+        assert!(
+            ckpt.stats.checkpoints >= 2,
+            "{}: the kill's rollback base (2nd checkpoint) was never adopted",
+            ckpt.backend
+        );
+        let scratch = run_chaos(
+            "scratch-replay",
+            builder(&w, SEED, backend)
+                .with_fault_plan(FaultPlan::new().kill_after_tuples(2, kill_at)),
+            &arrivals,
+            &expect,
+        );
+        assert_eq!(
+            scratch.stats.checkpoints, 0,
+            "{}: the no-cadence leg unexpectedly checkpointed",
+            scratch.backend
+        );
+        row(&mut table, &ckpt);
+        row(&mut table, &scratch);
+        runs.push(json_run(&ckpt));
+        runs.push(json_run(&scratch));
+    }
+    table.print();
+    println!(
+        "  verified on all three backends: every chaos leg delivered the \
+         fault-free witness multiset exactly (no loss, no duplicates)"
+    );
+
+    let json = format!(
+        "{{\"experiment\":\"faults\",\"smoke\":{},\"workload\":\"{}\",\
+         \"input_tuples\":{},\"kill_at\":{},\"checkpoint_every\":{},\
+         \"witness_matches\":{},\"runs\":[{}]}}\n",
+        smoke,
+        w.name,
+        arrivals.len(),
+        kill_at,
+        every,
+        expect.len(),
+        runs.join(","),
+    );
+    // Smoke runs (CI) write to a side file so they never clobber the
+    // committed baseline.
+    let path = if smoke {
+        "BENCH_faults_smoke.json"
+    } else {
+        "BENCH_faults.json"
+    };
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("  wrote {path}"),
+        Err(e) => eprintln!("  could not write {path}: {e}"),
+    }
+}

@@ -4,6 +4,7 @@ pub mod ablation;
 pub mod common;
 pub mod contract;
 pub mod elastic;
+pub mod faults;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;

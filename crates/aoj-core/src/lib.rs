@@ -21,7 +21,9 @@
 //! Beyond the paper, [`sketch`] adds mergeable streaming summaries
 //! (SpaceSaving heavy hitters + t-digest load quantiles) that make the
 //! routing and elasticity layers skew-aware — a capability the original
-//! operator lacked.
+//! operator lacked — and [`fault`] adds the deterministic
+//! fault-injection plan, failure detector, and recovery bookkeeping
+//! behind the self-healing session layer.
 //!
 //! The local join algorithm is pluggable through [`index::JoinIndex`]
 //! (§3.2: "any flavor of non-blocking join algorithm can be independently
@@ -32,6 +34,7 @@ pub mod competitive;
 pub mod decision;
 pub mod elastic;
 pub mod epoch;
+pub mod fault;
 pub mod groups;
 pub mod ilf;
 pub mod index;
@@ -47,11 +50,15 @@ pub mod tuple;
 pub use competitive::CompetitiveTracker;
 pub use decision::{DeciderSnapshot, Decision, DecisionConfig, MigrationDecider};
 pub use epoch::{DataOutcome, Epoch, EpochJoiner, FinalizeSummary, SignalOutcome};
+pub use fault::{
+    DeathCause, DetectorConfig, FailureDetector, FaultInjection, FaultLog, FaultPlan, FaultTrigger,
+    RecoveryStats, WorkerDeath,
+};
 pub use ilf::{ilf, optimal_ilf, optimal_mapping};
 pub use index::{JoinIndex, ProbeStats, VecIndex};
 pub use lifecycle::{
-    Checkpoint, EvictStats, JoinerCheckpoint, TickSource, WindowMode, WindowOccupancy, WindowSpec,
-    WindowTracker,
+    Checkpoint, CheckpointFormat, EvictStats, JoinerCheckpoint, TickSource, WindowMode,
+    WindowOccupancy, WindowSpec, WindowTracker,
 };
 pub use mapping::{GridAssignment, GridPos, Mapping, Step};
 pub use migration::{plan_step, MachineStepSpec, MigrationPlan, StateClass};

@@ -46,11 +46,21 @@
 //! [`Checkpoint`] is a versioned snapshot of everything a quiesced grid
 //! session needs to resume: per-joiner live state, the grid/elastic
 //! layout, the decision-maker's counters, and the source's ingest
-//! cursor + flow-control window. The on-disk format is a line-oriented
-//! text file (`aoj-checkpoint v1`, see [`Checkpoint::write_to`]) —
-//! self-describing, diff-able, and dependency-free. Restore semantics
-//! (exactly-once match delivery) are implemented by the session layer;
-//! this module owns the data model and its (de)serialisation.
+//! cursor + flow-control window. Two on-disk formats exist:
+//!
+//! * **v2 binary** (the default, [`CheckpointFormat::Binary`]): a
+//!   length-prefixed little-endian frame in the same codec convention
+//!   as the `aoj-net` wire protocol — compact enough that large joiner
+//!   states don't pay text encoding, and embeddable verbatim in a wire
+//!   frame ([`Checkpoint::to_bytes`] / [`Checkpoint::from_bytes`]).
+//! * **v1 text** (`aoj-checkpoint v1`, kept behind
+//!   [`CheckpointFormat::Text`]): line-oriented, self-describing and
+//!   diff-able — handy for debugging a snapshot by eye.
+//!
+//! [`Checkpoint::read_from`] sniffs the leading magic and accepts
+//! either. Restore semantics (exactly-once match delivery) are
+//! implemented by the session layer; this module owns the data model
+//! and its (de)serialisation.
 
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufWriter, Write as _};
@@ -333,9 +343,25 @@ impl WindowTracker {
 // Checkpoint model + versioned serialisation
 // ---------------------------------------------------------------------
 
-/// On-disk format magic + version. Bump the version on any layout
+/// Text format magic + version. Bump the version on any layout
 /// change; [`Checkpoint::read_from`] rejects anything else.
 pub const CHECKPOINT_HEADER: &str = "aoj-checkpoint v1";
+
+/// Binary format magic (first 8 bytes of a v2 snapshot file or of a
+/// [`Checkpoint::to_bytes`] image). Deliberately not valid UTF-8 text
+/// headers can start with, so format sniffing is unambiguous.
+pub const CHECKPOINT_MAGIC_V2: &[u8; 8] = b"AOJCKPT2";
+
+/// Which on-disk encoding [`Checkpoint::write_to_with`] emits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CheckpointFormat {
+    /// v2 length-prefixed little-endian binary (the default): compact,
+    /// wire-embeddable, cheap to parse.
+    #[default]
+    Binary,
+    /// v1 line-oriented text: human-readable and diff-able.
+    Text,
+}
 
 /// One joiner's checkpointed state.
 #[derive(Clone, Debug, PartialEq)]
@@ -405,8 +431,91 @@ fn parse<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> io::Result<T> {
         .map_err(|_| bad(format!("checkpoint: malformed {what}")))
 }
 
+// Binary body primitives. The outer frame (magic + u32 LE body
+// length) matches the aoj-net wire codec convention; inside the body,
+// integers are LEB128 varints and signed values are zigzag-folded, so
+// a checkpoint full of small sequence numbers is *smaller* than its
+// decimal text rendering, not 8 bytes a field. (aoj-core stays
+// dependency-free, so the few lines live here rather than being
+// imported.)
+
+fn put_var(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn put_ivar(out: &mut Vec<u8>, v: i64) {
+    put_var(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_var(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked cursor over a binary checkpoint body.
+struct Bin<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Bin<'_> {
+    fn take(&mut self, n: usize, what: &str) -> io::Result<&[u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(bad(format!("checkpoint: truncated binary {what}")));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> io::Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn var(&mut self, what: &str) -> io::Result<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8(what)?;
+            if shift >= 64 {
+                return Err(bad(format!("checkpoint: overlong varint {what}")));
+            }
+            v |= ((b & 0x7F) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn ivar(&mut self, what: &str) -> io::Result<i64> {
+        let z = self.var(what)?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    fn str(&mut self, what: &str) -> io::Result<String> {
+        let n = self.var(what)? as usize;
+        let raw = self.take(n, what)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| bad(format!("checkpoint: non-UTF-8 {what}")))
+    }
+}
+
 impl Checkpoint {
-    /// Serialise to `path` in the line-oriented v1 text format:
+    /// Serialise to `path` in the default format (v2 binary).
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        self.write_to_with(path, CheckpointFormat::default())
+    }
+
+    /// Serialise to `path` in an explicit format: the v2 binary frame
+    /// ([`Checkpoint::to_bytes`]) or the readable v1 text layout:
     ///
     /// ```text
     /// aoj-checkpoint v1
@@ -423,7 +532,14 @@ impl Checkpoint {
     /// t <seq> <rel> <key> <aux> <bytes> <ticket>   # n of these
     /// end
     /// ```
-    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+    pub fn write_to_with(&self, path: &Path, format: CheckpointFormat) -> io::Result<()> {
+        match format {
+            CheckpointFormat::Binary => std::fs::write(path, self.to_bytes()),
+            CheckpointFormat::Text => self.write_text(path),
+        }
+    }
+
+    fn write_text(&self, path: &Path) -> io::Result<()> {
         let mut w = BufWriter::new(std::fs::File::create(path)?);
         writeln!(w, "{CHECKPOINT_HEADER}")?;
         writeln!(w, "session {} {} {}", self.j, self.kind, self.seed)?;
@@ -493,10 +609,200 @@ impl Checkpoint {
         w.flush()
     }
 
-    /// Read and validate a v1 checkpoint.
+    /// Encode as a self-contained v2 binary image: the 8-byte magic, a
+    /// little-endian `u32` body length, then the length-prefixed body —
+    /// the same codec convention as the `aoj-net` wire frames, so a
+    /// snapshot can ride inside one without re-encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(64 + self.joiners.len() * 64);
+        put_var(&mut body, self.j as u64);
+        put_str(&mut body, &self.kind);
+        put_var(&mut body, self.seed);
+        put_var(&mut body, self.epoch as u64);
+        let mapping = self.assign.mapping();
+        put_var(&mut body, mapping.n as u64);
+        put_var(&mut body, mapping.m as u64);
+        let pos = self.assign.pos_slice();
+        put_var(&mut body, pos.len() as u64);
+        for p in pos {
+            put_var(&mut body, p.row as u64);
+            put_var(&mut body, p.col as u64);
+        }
+        let cells: Vec<usize> = self.assign.machines().collect();
+        put_var(&mut body, cells.len() as u64);
+        for m in &cells {
+            put_var(&mut body, *m as u64);
+        }
+        put_var(&mut body, self.layout.high_water() as u64);
+        put_var(&mut body, self.layout.dormant().len() as u64);
+        for d in self.layout.dormant() {
+            put_var(&mut body, *d as u64);
+        }
+        match self.elastic {
+            Some((e, c)) => {
+                body.push(1);
+                put_var(&mut body, e as u64);
+                put_var(&mut body, c as u64);
+            }
+            None => body.push(0),
+        }
+        let d = &self.decider;
+        for v in [d.r, d.s, d.dr, d.ds, d.decisions, d.migrations] {
+            put_var(&mut body, v);
+        }
+        put_var(&mut body, self.source_cursor);
+        put_var(&mut body, self.window_copies);
+        put_var(&mut body, self.joiners.len() as u64);
+        for j in &self.joiners {
+            put_var(&mut body, j.machine as u64);
+            put_var(&mut body, j.evicted_tuples);
+            put_var(&mut body, j.evicted_bytes);
+            put_var(&mut body, j.latest_seq);
+            put_var(&mut body, j.latest_tick);
+            put_var(&mut body, j.tuples.len() as u64);
+            for t in &j.tuples {
+                put_var(&mut body, t.seq);
+                body.push(match t.rel {
+                    Rel::R => 0,
+                    Rel::S => 1,
+                });
+                put_ivar(&mut body, t.key);
+                put_ivar(&mut body, t.aux as i64);
+                put_var(&mut body, t.bytes as u64);
+                put_var(&mut body, t.ticket);
+            }
+        }
+        let mut out = Vec::with_capacity(12 + body.len());
+        out.extend_from_slice(CHECKPOINT_MAGIC_V2);
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decode a v2 binary image produced by [`Checkpoint::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<Checkpoint> {
+        if bytes.len() < 12 || &bytes[..8] != CHECKPOINT_MAGIC_V2 {
+            return Err(bad("checkpoint: missing v2 binary magic"));
+        }
+        let body_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let body = &bytes[12..];
+        if body.len() != body_len {
+            return Err(bad(format!(
+                "checkpoint: binary frame length mismatch (header {body_len}, have {})",
+                body.len()
+            )));
+        }
+        let mut b = Bin { buf: body, pos: 0 };
+        let j = b.var("j")? as u32;
+        let kind = b.str("kind")?;
+        let seed = b.var("seed")?;
+        let epoch = b.var("epoch")? as u32;
+        let n = b.var("mapping n")? as u32;
+        let m = b.var("mapping m")? as u32;
+        let mapping = Mapping::new(n, m);
+        let pos: Vec<GridPos> = (0..b.var("pos count")?)
+            .map(|_| {
+                Ok(GridPos {
+                    row: b.var("pos row")? as u32,
+                    col: b.var("pos col")? as u32,
+                })
+            })
+            .collect::<io::Result<_>>()?;
+        let cells: Vec<u32> = (0..b.var("cell count")?)
+            .map(|_| Ok(b.var("cell machine")? as u32))
+            .collect::<io::Result<_>>()?;
+        let next_fresh = b.var("layout next_fresh")? as usize;
+        let dormant: Vec<usize> = (0..b.var("layout dormant count")?)
+            .map(|_| Ok(b.var("layout dormant")? as usize))
+            .collect::<io::Result<_>>()?;
+        let layout = ElasticLayout::from_parts(next_fresh, dormant);
+        let elastic = match b.u8("elastic flag")? {
+            0 => None,
+            1 => Some((b.var("expansions")? as u32, b.var("contractions")? as u32)),
+            other => return Err(bad(format!("checkpoint: bad elastic flag {other}"))),
+        };
+        let decider = DeciderSnapshot {
+            r: b.var("decider r")?,
+            s: b.var("decider s")?,
+            dr: b.var("decider dr")?,
+            ds: b.var("decider ds")?,
+            decisions: b.var("decider decisions")?,
+            migrations: b.var("decider migrations")?,
+        };
+        let source_cursor = b.var("source cursor")?;
+        let window_copies = b.var("window copies")?;
+        let joiners: Vec<JoinerCheckpoint> = (0..b.var("joiner count")?)
+            .map(|_| {
+                let machine = b.var("joiner machine")? as usize;
+                let evicted_tuples = b.var("evicted tuples")?;
+                let evicted_bytes = b.var("evicted bytes")?;
+                let latest_seq = b.var("latest seq")?;
+                let latest_tick = b.var("latest tick")?;
+                let tuples: Vec<Tuple> = (0..b.var("tuple count")?)
+                    .map(|_| {
+                        Ok(Tuple {
+                            seq: b.var("tuple seq")?,
+                            rel: match b.u8("tuple rel")? {
+                                0 => Rel::R,
+                                1 => Rel::S,
+                                other => {
+                                    return Err(bad(format!("checkpoint: bad relation {other}")))
+                                }
+                            },
+                            key: b.ivar("tuple key")?,
+                            aux: b.ivar("tuple aux")? as i32,
+                            bytes: b.var("tuple bytes")? as u32,
+                            ticket: b.var("tuple ticket")?,
+                        })
+                    })
+                    .collect::<io::Result<_>>()?;
+                Ok(JoinerCheckpoint {
+                    machine,
+                    evicted_tuples,
+                    evicted_bytes,
+                    latest_seq,
+                    latest_tick,
+                    tuples,
+                })
+            })
+            .collect::<io::Result<_>>()?;
+        if b.pos != body.len() {
+            return Err(bad(format!(
+                "checkpoint: {} trailing bytes after binary body",
+                body.len() - b.pos
+            )));
+        }
+        let assign = GridAssignment::from_parts(mapping, pos, cells)
+            .map_err(|e| bad(format!("checkpoint: {e}")))?;
+        Ok(Checkpoint {
+            j,
+            kind,
+            seed,
+            epoch,
+            assign,
+            layout,
+            elastic,
+            decider,
+            source_cursor,
+            window_copies,
+            joiners,
+        })
+    }
+
+    /// Read and validate a checkpoint in either format: the leading
+    /// magic decides (v2 binary [`CHECKPOINT_MAGIC_V2`] vs v1 text
+    /// [`CHECKPOINT_HEADER`]).
     pub fn read_from(path: &Path) -> io::Result<Checkpoint> {
-        let f = std::fs::File::open(path)?;
-        let mut lines = io::BufReader::new(f).lines();
+        let bytes = std::fs::read(path)?;
+        if bytes.starts_with(CHECKPOINT_MAGIC_V2) {
+            Checkpoint::from_bytes(&bytes)
+        } else {
+            Checkpoint::read_text(&bytes[..])
+        }
+    }
+
+    fn read_text(r: impl BufRead) -> io::Result<Checkpoint> {
+        let mut lines = r.lines();
         let mut next = || -> io::Result<String> {
             lines
                 .next()
@@ -762,10 +1068,9 @@ mod tests {
         assert!(bound <= (260 + 1u64).saturating_sub(spec.span));
     }
 
-    #[test]
-    fn checkpoint_roundtrips_through_disk() {
+    fn sample_checkpoint() -> Checkpoint {
         let assign = GridAssignment::initial(Mapping::new(2, 2));
-        let ck = Checkpoint {
+        Checkpoint {
             j: 4,
             kind: "Dynamic".to_string(),
             seed: 0x5EED,
@@ -794,14 +1099,70 @@ mod tests {
                     Tuple::new(Rel::S, 2, 7, u64::MAX).with_bytes(100),
                 ],
             }],
-        };
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_disk_in_both_formats() {
+        let ck = sample_checkpoint();
         let dir = std::env::temp_dir().join("aoj-lifecycle-test");
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("roundtrip.ckpt");
-        ck.write_to(&path).unwrap();
-        let back = Checkpoint::read_from(&path).unwrap();
-        assert_eq!(ck, back);
+        for (name, format) in [
+            ("roundtrip-bin.ckpt", CheckpointFormat::Binary),
+            ("roundtrip-txt.ckpt", CheckpointFormat::Text),
+        ] {
+            let path = dir.join(name);
+            ck.write_to_with(&path, format).unwrap();
+            // read_from sniffs the format from the leading magic.
+            let back = Checkpoint::read_from(&path).unwrap();
+            assert_eq!(ck, back, "{format:?} round-trip");
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn binary_checkpoint_roundtrips_in_memory_and_is_compact() {
+        let mut ck = sample_checkpoint();
+        // Negative keys/aux and a large state must survive the cast
+        // round-trip, and the binary image must actually be smaller
+        // than the text rendering (the point of the format).
+        for seq in 0..500u64 {
+            ck.joiners[0]
+                .tuples
+                .push(Tuple::new(Rel::R, seq, seq as i64 - 250, seq).with_aux(-(seq as i32)));
+        }
+        let bytes = ck.to_bytes();
+        assert_eq!(Checkpoint::from_bytes(&bytes).unwrap(), ck);
+        let dir = std::env::temp_dir().join("aoj-lifecycle-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("compact.ckpt");
+        ck.write_to_with(&path, CheckpointFormat::Text).unwrap();
+        let text_len = std::fs::metadata(&path).unwrap().len();
         std::fs::remove_file(&path).ok();
+        assert!(
+            (bytes.len() as u64) < text_len,
+            "binary {} >= text {text_len}",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn binary_checkpoint_rejects_corruption() {
+        let ck = sample_checkpoint();
+        let bytes = ck.to_bytes();
+        // Truncated body.
+        let err = Checkpoint::from_bytes(&bytes[..bytes.len() - 1]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Wrong magic.
+        let mut wrong = bytes.clone();
+        wrong[0] ^= 0xFF;
+        let err = Checkpoint::from_bytes(&wrong).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Trailing garbage past the declared body.
+        let mut long = bytes.clone();
+        long.push(0);
+        let err = Checkpoint::from_bytes(&long).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

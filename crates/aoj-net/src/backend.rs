@@ -35,12 +35,16 @@ use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use aoj_core::fault::{
+    DeathCause, FailureDetector, FaultInjection, FaultLog, FaultTrigger, WorkerDeath,
+};
+use aoj_core::lifecycle::Checkpoint;
 use aoj_operators::joiner_task::{JoinerTask, LatencyStats};
 use aoj_operators::messages::OpMsg;
 use aoj_operators::report::MatchDigest;
 use aoj_operators::reshuffler::ReshufflerTask;
 use aoj_operators::shj::ShjJoiner;
-use aoj_operators::{KeyFilter, MatchHub, NetBackend, SessionBuilder, SkewBoard};
+use aoj_operators::{FaultSection, KeyFilter, MatchHub, NetBackend, SessionBuilder, SkewBoard};
 use aoj_runtime::mailbox::Mailbox;
 use aoj_runtime::RuntimeConfig;
 use aoj_simnet::{
@@ -101,6 +105,21 @@ pub struct TcpBackend {
     /// Machine-count bookkeeping frozen at the end of `run()`.
     final_provisioned: Option<usize>,
     final_peak: Option<usize>,
+    /// The fault section of the *original* builder (deliberately not
+    /// wire-serialized — workers must not know they are scheduled to
+    /// die, or the injection would perturb the run it is testing).
+    fault: FaultSection,
+    /// Checkpoint installed by the session layer for a restore launch;
+    /// shipped to every worker in its Plan.
+    restore: Option<Checkpoint>,
+    /// Typed deaths surfaced to the session layer (`fault_log` hook).
+    fault_log: FaultLog,
+    /// Kill requests from the session layer (`kill_handle` hook),
+    /// drained by the reactor.
+    kill_requests: Arc<Mutex<Vec<usize>>>,
+    /// Abort flag from the session layer (`abort_handle` hook): tear
+    /// the cluster down without waiting for quiescence.
+    abort: Arc<AtomicBool>,
 }
 
 impl TcpBackend {
@@ -115,6 +134,9 @@ impl TcpBackend {
     pub fn factory(builder: &SessionBuilder, hub: Arc<MatchHub>) -> Box<dyn NetBackend> {
         let builder_bytes = wire::encode_builder(builder);
         let fingerprint = wire::fingerprint(&builder_bytes);
+        // The fault section rides outside the wire bytes (the decode
+        // round-trip drops it by design): take it from the original.
+        let fault = builder.fault.clone();
         let builder = wire::decode_builder(&builder_bytes).expect("session plan round-trip");
         Box::new(TcpBackend {
             topo: TopoRecorder::default(),
@@ -126,6 +148,11 @@ impl TcpBackend {
             skew_board: None,
             final_provisioned: None,
             final_peak: None,
+            fault,
+            restore: None,
+            fault_log: FaultLog::new(),
+            kill_requests: Arc::new(Mutex::new(Vec::new())),
+            abort: Arc::new(AtomicBool::new(false)),
         })
     }
 }
@@ -242,6 +269,27 @@ impl NetBackend for TcpBackend {
     fn install_skew_board(&mut self, board: Arc<SkewBoard>) {
         self.skew_board = Some(board);
     }
+
+    fn fault_log(&mut self) -> Option<FaultLog> {
+        Some(self.fault_log.clone())
+    }
+
+    fn kill_handle(&mut self) -> Option<Box<dyn Fn(usize) + Send + Sync>> {
+        let reqs = Arc::clone(&self.kill_requests);
+        Some(Box::new(move |machine| {
+            reqs.lock().unwrap().push(machine);
+        }))
+    }
+
+    fn abort_handle(&mut self) -> Option<Box<dyn Fn() + Send + Sync>> {
+        let abort = Arc::clone(&self.abort);
+        Some(Box::new(move || abort.store(true, Ordering::SeqCst)))
+    }
+
+    fn install_restore(&mut self, ckpt: &Checkpoint) -> bool {
+        self.restore = Some(ckpt.clone());
+        true
+    }
 }
 
 impl TcpBackend {
@@ -289,6 +337,11 @@ impl TcpBackend {
                 clock_anchor_us: 0, // rewritten per handshake
                 stream_matches: stream0,
                 builder: self.builder_bytes.clone(),
+                restore: self
+                    .restore
+                    .as_ref()
+                    .map(|c| c.to_bytes())
+                    .unwrap_or_default(),
             },
             clock,
         );
@@ -391,6 +444,31 @@ impl TcpBackend {
         let mut tap_epoch = self.hub.filter_epoch();
         let skew_board = self.skew_board.clone();
 
+        // ---- failure detection & fault injection ----------------------
+        // Every control frame is liveness evidence; workers heartbeat
+        // their gauge sample when idle, so a registered machine silent
+        // past the timeout is dead, not quiet.
+        let mut detector = FailureDetector::new(self.fault.detector);
+        // Clock- and tuple-count-triggered kills fire from the reactor
+        // (it owns the children); checkpoint-count triggers arrive as
+        // kill requests from the session driver.
+        let mut pending_kills: Vec<FaultInjection> = self
+            .fault
+            .plan
+            .kills
+            .iter()
+            .filter(|k| !matches!(k.trigger, FaultTrigger::OnCheckpoint { .. }))
+            .copied()
+            .collect();
+        // Machines we SIGKILLed on purpose: their deaths are classified
+        // `Injected`, not `ConnectionLost`.
+        let mut injected: HashSet<usize> = HashSet::new();
+        let mut injected_at: HashMap<usize, u64> = HashMap::new();
+        // Once a death is recorded (or the session layer aborts), the
+        // reactor stops the cluster instead of draining it: quiescence
+        // is unreachable with a worker's state gone.
+        let mut aborted = false;
+
         let send_to = |links: &ControlLinks, m: usize, kind: u8, payload: &[u8]| {
             let link = links.lock().unwrap().get(&m).cloned();
             link.unwrap_or_else(|| panic!("no control link to machine {m}"))
@@ -398,6 +476,73 @@ impl TcpBackend {
         };
 
         loop {
+            // Session-layer abort: stop the cluster, no deaths to record.
+            if self.abort.load(Ordering::SeqCst) {
+                aborted = true;
+                break;
+            }
+
+            // Deterministic fault injection: SIGKILL a victim whose
+            // trigger is due (once it is live — killing a worker that
+            // has not reached Ready would test the spawn path, not the
+            // crash path), plus any explicit session-layer request.
+            let now_us = clock.now_us();
+            let mut to_kill: Vec<usize> = Vec::new();
+            pending_kills.retain(|k| {
+                let due = match k.trigger {
+                    FaultTrigger::AtTime { at_us } => now_us >= at_us,
+                    FaultTrigger::AfterTuples { tuples } => {
+                        data_proc.values().sum::<u64>() >= tuples
+                    }
+                    FaultTrigger::OnCheckpoint { .. } => false,
+                };
+                if due && live.contains_key(&k.machine) {
+                    to_kill.push(k.machine);
+                    false
+                } else {
+                    true
+                }
+            });
+            to_kill.extend(self.kill_requests.lock().unwrap().drain(..));
+            for m in to_kill {
+                if let Some(child) = children.get_mut(&m) {
+                    injected.insert(m);
+                    injected_at.entry(m).or_insert_with(|| clock.now_us());
+                    // SIGKILL: no signal handler, no flush, no goodbye —
+                    // the death is noticed, never announced. Reaped when
+                    // the connection drop or heartbeat timeout lands.
+                    let _ = child.kill();
+                }
+            }
+
+            // Heartbeat timeouts (the detector deregisters what it
+            // reports, so each death surfaces exactly once).
+            for mut d in detector.poll(clock.now_us()) {
+                if injected.contains(&d.machine) {
+                    d.cause = DeathCause::Injected;
+                    d.detect_latency_us = d
+                        .at_us
+                        .saturating_sub(injected_at.get(&d.machine).copied().unwrap_or(d.at_us));
+                }
+                live.remove(&d.machine);
+                links.lock().unwrap().remove(&d.machine);
+                if let Some(mut child) = children.remove(&d.machine) {
+                    let _ = child.kill();
+                    let status = child.wait();
+                    reaped.push(ReapRecord {
+                        machine: d.machine,
+                        gen: d.gen,
+                        exit_code: status.ok().and_then(|s| s.code()),
+                        mid_run: true,
+                    });
+                }
+                self.fault_log.record(d);
+                aborted = true;
+            }
+            if aborted {
+                break;
+            }
+
             // Start a queued lifecycle op once the current one finished.
             if busy.is_none() {
                 if let Some(op) = queue.pop_front() {
@@ -495,229 +640,319 @@ impl TcpBackend {
                 }),
                 Ev::Local(Lifecycle::Stopped) => {}
                 Ev::Gone { machine } => {
-                    assert!(
-                        !live.contains_key(&machine),
-                        "worker {machine} dropped its control connection mid-session"
-                    );
+                    // A retired or shut-down worker's connection drop is
+                    // expected (its K_EXITING already removed it from
+                    // `live`). A *live* worker's drop is a crash: a
+                    // SIGKILL'd process resets its sockets immediately,
+                    // making this the fastest death signal.
+                    if let Some(&gen) = live.get(&machine) {
+                        live.remove(&machine);
+                        detector.deregister(machine);
+                        links.lock().unwrap().remove(&machine);
+                        let now_us = clock.now_us();
+                        let exit_code = children.remove(&machine).and_then(|mut child| {
+                            let _ = child.kill();
+                            let status = child.wait().ok();
+                            let code = status.and_then(|s| s.code());
+                            reaped.push(ReapRecord {
+                                machine,
+                                gen,
+                                exit_code: code,
+                                mid_run: true,
+                            });
+                            code
+                        });
+                        let (cause, detect_latency_us) = if injected.contains(&machine) {
+                            (
+                                DeathCause::Injected,
+                                now_us.saturating_sub(
+                                    injected_at.get(&machine).copied().unwrap_or(now_us),
+                                ),
+                            )
+                        } else {
+                            let _ = exit_code; // SIGKILL leaves no code; the cause says why
+                            (DeathCause::ConnectionLost, 0)
+                        };
+                        self.fault_log.record(WorkerDeath {
+                            machine,
+                            gen,
+                            at_us: now_us,
+                            cause,
+                            detect_latency_us,
+                        });
+                        aborted = true;
+                    }
                 }
                 Ev::Frame {
                     machine,
                     kind,
                     payload,
-                } => match kind {
-                    K_READY => {
-                        let ready = Ready::dec(&payload).expect("ready frame");
-                        assert_eq!(
-                            ready.fingerprint, self.fingerprint,
-                            "worker {machine} rebuilt a different plan"
-                        );
-                        let gen = ready.gen;
-                        // Introduce the newcomer to the cluster: it gets
-                        // the full current directory (coordinator
-                        // included); everyone else learns its port.
-                        directory.set_live(machine, gen, ready.data_port);
-                        let up = MachineUp {
-                            machine: machine as u64,
-                            gen,
-                            port: ready.data_port,
-                        }
-                        .enc();
-                        for (&w, _) in live.iter() {
-                            send_to(&links, w, K_MACHINE_UP, &up);
-                        }
-                        send_to(
-                            &links,
-                            machine,
-                            K_MACHINE_UP,
-                            &MachineUp {
-                                machine: source_machine as u64,
-                                gen: 0,
-                                port: own_port,
+                } => {
+                    // Any frame is proof of life.
+                    detector.note_alive(machine, clock.now_us());
+                    match kind {
+                        K_READY => {
+                            let ready = Ready::dec(&payload).expect("ready frame");
+                            assert_eq!(
+                                ready.fingerprint, self.fingerprint,
+                                "worker {machine} rebuilt a different plan"
+                            );
+                            let gen = ready.gen;
+                            detector.register(machine, gen, clock.now_us());
+                            // Introduce the newcomer to the cluster: it gets
+                            // the full current directory (coordinator
+                            // included); everyone else learns its port.
+                            directory.set_live(machine, gen, ready.data_port);
+                            let up = MachineUp {
+                                machine: machine as u64,
+                                gen,
+                                port: ready.data_port,
                             }
-                            .enc(),
-                        );
-                        for (&w, &wgen) in live.iter() {
-                            let (_, port) = directory.wait_live(w);
+                            .enc();
+                            for (&w, _) in live.iter() {
+                                send_to(&links, w, K_MACHINE_UP, &up);
+                            }
                             send_to(
                                 &links,
                                 machine,
                                 K_MACHINE_UP,
                                 &MachineUp {
-                                    machine: w as u64,
-                                    gen: wgen,
-                                    port,
+                                    machine: source_machine as u64,
+                                    gen: 0,
+                                    port: own_port,
                                 }
                                 .enc(),
                             );
+                            for (&w, &wgen) in live.iter() {
+                                let (_, port) = directory.wait_live(w);
+                                send_to(
+                                    &links,
+                                    machine,
+                                    K_MACHINE_UP,
+                                    &MachineUp {
+                                        machine: w as u64,
+                                        gen: wgen,
+                                        port,
+                                    }
+                                    .enc(),
+                                );
+                            }
+                            if tap_state != stream0 || !tap_filters.is_empty() {
+                                send_to(
+                                    &links,
+                                    machine,
+                                    K_MATCH_TAP,
+                                    &wire::encode_match_tap(tap_state, &tap_filters),
+                                );
+                            }
+                            live.insert(machine, gen);
+                            awaiting_ready.remove(&machine);
+                            if matches!(busy, Some(Op::Provision { machine: m }) if m == machine) {
+                                busy = None;
+                                provisioned += 1;
+                                peak = peak.max(provisioned);
+                            }
                         }
-                        if tap_state != stream0 || !tap_filters.is_empty() {
-                            send_to(
-                                &links,
-                                machine,
-                                K_MATCH_TAP,
-                                &wire::encode_match_tap(tap_state, &tap_filters),
-                            );
-                        }
-                        live.insert(machine, gen);
-                        awaiting_ready.remove(&machine);
-                        if matches!(busy, Some(Op::Provision { machine: m }) if m == machine) {
-                            busy = None;
-                            provisioned += 1;
-                            peak = peak.max(provisioned);
-                        }
-                    }
-                    K_PROBE_ACK => {
-                        let ack = ProbeAck::dec(&payload).expect("probe ack");
-                        if let Some(p) = probe.as_mut() {
-                            if ack.nonce == p.nonce && p.pending.remove(&machine) {
-                                p.acc.push((machine, ack.created, ack.finished));
-                                if p.pending.is_empty() {
-                                    let p = probe.take().unwrap();
-                                    let mut round = p.acc;
-                                    round.sort_unstable();
-                                    round.push((usize::MAX, p.own.0, p.own.1));
-                                    round.push((usize::MAX, retired_sums.0, retired_sums.1));
-                                    let created: u64 = round.iter().map(|r| r.1).sum();
-                                    let finished: u64 = round.iter().map(|r| r.2).sum();
-                                    // Adapt the cadence to what the round
-                                    // saw: settled clusters get probed
-                                    // hard (to shut down fast), busy ones
-                                    // get left alone to work.
-                                    probe_period = if created == finished {
-                                        PROBE_PERIOD_SETTLED
-                                    } else {
-                                        PROBE_PERIOD_BUSY
-                                    };
-                                    if created == finished && last_round.as_ref() == Some(&round) {
-                                        // Second identical all-settled
-                                        // round: the cluster is done.
-                                        shutting_down = true;
-                                        let flushed = writers.close_all();
-                                        for (dest, n) in flushed {
-                                            *eos_to.entry(dest).or_insert(0) += n as u64;
+                        K_PROBE_ACK => {
+                            let ack = ProbeAck::dec(&payload).expect("probe ack");
+                            if let Some(p) = probe.as_mut() {
+                                if ack.nonce == p.nonce && p.pending.remove(&machine) {
+                                    p.acc.push((machine, ack.created, ack.finished));
+                                    if p.pending.is_empty() {
+                                        let p = probe.take().unwrap();
+                                        let mut round = p.acc;
+                                        round.sort_unstable();
+                                        round.push((usize::MAX, p.own.0, p.own.1));
+                                        round.push((usize::MAX, retired_sums.0, retired_sums.1));
+                                        let created: u64 = round.iter().map(|r| r.1).sum();
+                                        let finished: u64 = round.iter().map(|r| r.2).sum();
+                                        // Adapt the cadence to what the round
+                                        // saw: settled clusters get probed
+                                        // hard (to shut down fast), busy ones
+                                        // get left alone to work.
+                                        probe_period = if created == finished {
+                                            PROBE_PERIOD_SETTLED
+                                        } else {
+                                            PROBE_PERIOD_BUSY
+                                        };
+                                        if created == finished
+                                            && last_round.as_ref() == Some(&round)
+                                        {
+                                            // Second identical all-settled
+                                            // round: the cluster is done.
+                                            shutting_down = true;
+                                            let flushed = writers.close_all();
+                                            for (dest, n) in flushed {
+                                                *eos_to.entry(dest).or_insert(0) += n as u64;
+                                            }
+                                            for (&w, _) in live.iter() {
+                                                send_to(&links, w, K_SHUTDOWN, &[]);
+                                            }
+                                        } else {
+                                            last_round = Some(round);
                                         }
-                                        for (&w, _) in live.iter() {
-                                            send_to(&links, w, K_SHUTDOWN, &[]);
-                                        }
-                                    } else {
-                                        last_round = Some(round);
                                     }
                                 }
                             }
                         }
-                    }
-                    K_GAUGES => {
-                        let g = GaugeSample::dec(&payload).expect("gauge sample");
-                        let m = MachineId(g.machine as usize);
-                        gauges.set_stored(m, g.stored);
-                        gauges.set_evicted(m, g.evicted);
-                        gauges.set_occupancy(m, g.occupancy);
-                        let gen = live.get(&machine).copied().unwrap_or(0);
-                        data_proc.insert((machine, gen), g.data_processed);
-                        gauges.set_data_processed(data_proc.values().sum());
-                        if let Some(board) = &skew_board {
-                            if !g.skew_parts.is_empty() {
-                                board.publish(machine, g.skew_parts.clone());
+                        K_GAUGES => {
+                            let g = GaugeSample::dec(&payload).expect("gauge sample");
+                            let m = MachineId(g.machine as usize);
+                            gauges.set_stored(m, g.stored);
+                            gauges.set_evicted(m, g.evicted);
+                            gauges.set_occupancy(m, g.occupancy);
+                            let gen = live.get(&machine).copied().unwrap_or(0);
+                            data_proc.insert((machine, gen), g.data_processed);
+                            gauges.set_data_processed(data_proc.values().sum());
+                            if let Some(board) = &skew_board {
+                                if !g.skew_parts.is_empty() {
+                                    board.publish(machine, g.skew_parts.clone());
+                                }
+                            }
+                            // The controller machine needs the cluster view.
+                            // (Not during shutdown: worker 0 may already have
+                            // closed its control socket by the time a peer's
+                            // last sample drains from the reactor queue.)
+                            if machine != 0 && live.contains_key(&0) && !shutting_down {
+                                send_to(
+                                    &links,
+                                    0,
+                                    K_GAUGE_RELAY,
+                                    &GaugeRelay {
+                                        origin: g.machine,
+                                        stored: g.stored,
+                                        evicted: g.evicted,
+                                        occupancy: g.occupancy,
+                                    }
+                                    .enc(),
+                                );
                             }
                         }
-                        // The controller machine needs the cluster view.
-                        // (Not during shutdown: worker 0 may already have
-                        // closed its control socket by the time a peer's
-                        // last sample drains from the reactor queue.)
-                        if machine != 0 && live.contains_key(&0) && !shutting_down {
-                            send_to(
-                                &links,
-                                0,
-                                K_GAUGE_RELAY,
-                                &GaugeRelay {
-                                    origin: g.machine,
-                                    stored: g.stored,
-                                    evicted: g.evicted,
-                                    occupancy: g.occupancy,
-                                }
-                                .enc(),
-                            );
+                        K_MATCH_BATCH => {
+                            for m in wire::dec_match_batch(&payload).expect("match batch") {
+                                self.hub.emit(m);
+                            }
                         }
-                    }
-                    K_MATCH_BATCH => {
-                        for m in wire::dec_match_batch(&payload).expect("match batch") {
-                            self.hub.emit(m);
+                        K_PROVISION_REQ => {
+                            let m = wire::dec_u64(&payload).expect("provision req") as usize;
+                            queue.push_back(Op::Provision { machine: m });
                         }
-                    }
-                    K_PROVISION_REQ => {
-                        let m = wire::dec_u64(&payload).expect("provision req") as usize;
-                        queue.push_back(Op::Provision { machine: m });
-                    }
-                    K_RETIRE_REQ => {
-                        let m = wire::dec_u64(&payload).expect("retire req") as usize;
-                        queue.push_back(Op::Retire {
-                            machine: m,
-                            pending: HashSet::new(),
-                        });
-                    }
-                    K_DRAIN_DONE => handle_drain_done(
-                        &payload,
-                        machine,
-                        &mut busy,
-                        &mut eos_to,
-                        &links,
-                        &send_to,
-                    ),
-                    K_FINALS => {
-                        let bundle = FinalsBundle::dec(&payload).expect("finals bundle");
-                        install_finals(&mut self.topo, &bundle);
-                    }
-                    K_EXITING => {
-                        let e = Exiting::dec(&payload).expect("exiting frame");
-                        retired_sums.0 += e.created;
-                        retired_sums.1 += e.finished;
-                        for &(dest, n) in &e.closed {
-                            *eos_to.entry(dest as usize).or_insert(0) += n as u64;
+                        K_RETIRE_REQ => {
+                            let m = wire::dec_u64(&payload).expect("retire req") as usize;
+                            queue.push_back(Op::Retire {
+                                machine: m,
+                                pending: HashSet::new(),
+                            });
                         }
-                        live.remove(&machine);
-                        links.lock().unwrap().remove(&machine);
-                        let mut child = children
-                            .remove(&machine)
-                            .unwrap_or_else(|| panic!("no child for machine {machine}"));
-                        let status = child.wait().expect("waitpid on worker");
-                        reaped.push(ReapRecord {
+                        K_DRAIN_DONE => handle_drain_done(
+                            &payload,
                             machine,
-                            gen: e.gen,
-                            exit_code: status.code(),
-                            mid_run: !shutting_down,
-                        });
-                        assert!(
-                            status.success(),
-                            "worker {machine} (gen {}) exited with {status}",
-                            e.gen
-                        );
-                        if !shutting_down {
-                            // A mid-run retirement completes here: the
-                            // process is confirmed gone.
-                            provisioned -= 1;
-                            assert!(
-                                matches!(busy, Some(Op::Retire { machine: m, .. }) if m == machine),
-                                "unexpected mid-run exit of worker {machine}"
-                            );
-                            busy = None;
+                            &mut busy,
+                            &mut eos_to,
+                            &links,
+                            &send_to,
+                        ),
+                        K_FINALS => {
+                            let bundle = FinalsBundle::dec(&payload).expect("finals bundle");
+                            install_finals(&mut self.topo, &bundle);
+                        }
+                        K_EXITING => {
+                            let e = Exiting::dec(&payload).expect("exiting frame");
+                            retired_sums.0 += e.created;
+                            retired_sums.1 += e.finished;
+                            for &(dest, n) in &e.closed {
+                                *eos_to.entry(dest as usize).or_insert(0) += n as u64;
+                            }
+                            let planned = shutting_down
+                                || matches!(busy, Some(Op::Retire { machine: m, .. }) if m == machine);
+                            live.remove(&machine);
+                            detector.deregister(machine);
+                            links.lock().unwrap().remove(&machine);
+                            let mut child = children
+                                .remove(&machine)
+                                .unwrap_or_else(|| panic!("no child for machine {machine}"));
+                            // waitpid confirms the process is gone — a
+                            // retirement is not complete (and a death not
+                            // diagnosed) while the pid still exists.
+                            let status = child.wait().expect("waitpid on worker");
+                            reaped.push(ReapRecord {
+                                machine,
+                                gen: e.gen,
+                                exit_code: status.code(),
+                                mid_run: !shutting_down,
+                            });
+                            if !planned || !status.success() {
+                                // A worker exited when nothing retired it,
+                                // or exited non-zero: a typed death naming
+                                // the machine and its exit status, never a
+                                // generic run failure — and never a hang,
+                                // since the abort below skips the
+                                // unreachable quiescence wait.
+                                self.fault_log.record(WorkerDeath {
+                                    machine,
+                                    gen: e.gen,
+                                    at_us: clock.now_us(),
+                                    cause: DeathCause::UnexpectedExit {
+                                        exit_code: status.code(),
+                                    },
+                                    detect_latency_us: 0,
+                                });
+                                aborted = true;
+                            } else if !shutting_down {
+                                // A mid-run retirement completes here: the
+                                // process is confirmed gone.
+                                provisioned -= 1;
+                                busy = None;
+                            }
+                        }
+                        other => {
+                            panic!("unexpected control frame kind {other} from worker {machine}")
                         }
                     }
-                    other => panic!("unexpected control frame kind {other} from worker {machine}"),
-                },
+                }
             }
 
+            if aborted {
+                break;
+            }
             if shutting_down && live.is_empty() && children.is_empty() {
                 break;
             }
         }
 
         // ---- teardown -------------------------------------------------
+        if aborted {
+            // Crash or session-layer abort: no finals are coming. Take
+            // the whole cluster down — every surviving worker holds
+            // state the recovery path will rebuild from a checkpoint
+            // anyway — and waitpid-confirm each one gone.
+            for (m, mut child) in children.drain() {
+                let _ = child.kill();
+                let status = child.wait();
+                reaped.push(ReapRecord {
+                    machine: m,
+                    gen: gens.get(&m).copied().unwrap_or(0),
+                    exit_code: status.ok().and_then(|s| s.code()),
+                    mid_run: true,
+                });
+            }
+            live.clear();
+            links.lock().unwrap().clear();
+        }
         accept_done.store(true, Ordering::SeqCst);
         done.store(true, Ordering::SeqCst);
         mailbox.wake_all();
-        let (shard, tasks) = loop_handle.join().expect("coordinator node panicked");
-        self.topo.restore_tasks(tasks);
-        self.topo.metrics.absorb(&shard);
+        match loop_handle.join() {
+            Ok((shard, tasks)) => {
+                self.topo.restore_tasks(tasks);
+                self.topo.metrics.absorb(&shard);
+            }
+            // On an aborted run the coordinator's own node may have died
+            // with a send into the torn-down cluster; its finals are
+            // abandoned along with everyone else's.
+            Err(payload) if aborted => drop(payload),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
         let end = SimTime(clock.now_us());
         self.final_provisioned = Some(provisioned);
         self.final_peak = Some(peak);

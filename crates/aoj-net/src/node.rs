@@ -58,6 +58,82 @@ pub type BoxedTask = Box<dyn Process<OpMsg> + Send>;
 /// process spawn plus a topology rebuild.
 pub const PEER_WAIT: Duration = Duration::from_secs(60);
 
+/// Total wall-clock budget one [`dial_with_retry`] spends before giving
+/// up with [`DialError::Timeout`]. A listener that is coming up accepts
+/// within milliseconds; ten seconds of refusals means the peer is gone,
+/// not slow.
+pub const DIAL_BUDGET: Duration = Duration::from_secs(10);
+
+/// A failed [`dial_with_retry`]: the typed form of "the peer never
+/// accepted", carrying everything a postmortem needs.
+#[derive(Debug)]
+pub enum DialError {
+    /// The retry budget ran out.
+    Timeout {
+        /// Loopback port dialed.
+        port: u16,
+        /// Connection attempts made.
+        attempts: u32,
+        /// Wall-clock time spent retrying.
+        waited: Duration,
+        /// The last connect error observed.
+        last: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for DialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DialError::Timeout {
+                port,
+                attempts,
+                waited,
+                last,
+            } => write!(
+                f,
+                "dial 127.0.0.1:{port} timed out after {attempts} attempts over {waited:?} \
+                 (last error: {last})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DialError {}
+
+/// Connect to a loopback `port` with bounded retry: exponential backoff
+/// from 1 ms to 100 ms with deterministic jitter (a xorshift over
+/// `seed`, so two workers dialing the same coordinator don't retry in
+/// lockstep), giving up after [`DIAL_BUDGET`]. A freshly-spawned peer's
+/// listener can lose the race with our first connect; one refused
+/// connect must not kill the cluster.
+pub fn dial_with_retry(port: u16, seed: u64) -> Result<TcpStream, DialError> {
+    let started = Instant::now();
+    let mut rng = seed | 1; // xorshift state must be non-zero
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        match TcpStream::connect(("127.0.0.1", port)) {
+            Ok(s) => return Ok(s),
+            Err(last) => {
+                if started.elapsed() >= DIAL_BUDGET {
+                    return Err(DialError::Timeout {
+                        port,
+                        attempts,
+                        waited: started.elapsed(),
+                        last,
+                    });
+                }
+                let backoff_us = (1_000u64 << attempts.min(7)).min(100_000);
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                let jitter_us = rng % (backoff_us / 2 + 1);
+                std::thread::sleep(Duration::from_micros(backoff_us + jitter_us));
+            }
+        }
+    }
+}
+
 /// Wall-clock microseconds anchored to the coordinator's session clock.
 ///
 /// The coordinator anchors at `run()` entry with base 0; workers anchor
@@ -236,10 +312,13 @@ impl ControlOut {
     }
 
     /// Write one frame; control frames are small and immediate, so no
-    /// buffering.
+    /// buffering. Best-effort: a write to a peer that died (SIGKILL,
+    /// crash) fails with a broken pipe, and the failure detector — not
+    /// this send path — is responsible for surfacing the death. A probe
+    /// broadcast racing a worker's demise must not panic the reactor.
     pub fn send(&self, kind: u8, payload: &[u8]) {
         let mut s = self.0.lock().unwrap();
-        write_frame(&mut *s, kind, payload).expect("control connection write");
+        let _ = write_frame(&mut *s, kind, payload);
     }
 }
 
@@ -255,6 +334,10 @@ struct Conn {
     /// Set when the channel was closed before the dial finished; the
     /// dialer appends the end-of-stream frame after the backlog.
     eos: bool,
+    /// Set when an inline write failed (the peer died): subsequent
+    /// frames are dropped silently — the failure detector owns the
+    /// death, the data path must neither panic nor accumulate backlog.
+    broken: bool,
 }
 
 struct WriterState {
@@ -333,6 +416,7 @@ impl Writers {
                     stream: None,
                     backlog: VecDeque::new(),
                     eos: false,
+                    broken: false,
                 }),
             });
             let st = Arc::clone(&state);
@@ -352,10 +436,22 @@ impl Writers {
         let state = Arc::clone(&handle.state);
         drop(map);
         let mut conn = state.conn.lock().unwrap();
+        if conn.broken {
+            drop(conn);
+            self.pool.put(frames);
+            return;
+        }
         match conn.stream.as_mut() {
             Some(w) => {
-                w.write_all(&frames).expect("write task frames");
-                w.flush().expect("flush data connection");
+                // A failed write means the peer is gone (SIGKILL mid-run
+                // lands here as a broken pipe). Mark the connection and
+                // carry on: crash surfacing is the failure detector's
+                // job, and a panic here would take the whole node down
+                // before the detector gets to report a typed death.
+                if w.write_all(&frames).and_then(|()| w.flush()).is_err() {
+                    conn.stream = None;
+                    conn.broken = true;
+                }
                 drop(conn);
                 self.pool.put(frames);
             }
@@ -366,9 +462,11 @@ impl Writers {
     fn close(handle: WriterHandle) {
         let mut conn = handle.state.conn.lock().unwrap();
         if let Some(w) = conn.stream.as_mut() {
-            write_frame(w, K_EOS, &[]).expect("write eos");
-            w.flush().expect("flush eos");
-        } else {
+            // Best-effort toward a possibly-dead peer: the EOS marker
+            // only matters to a live retirement barrier, and a live peer
+            // reliably receives it.
+            let _ = write_frame(w, K_EOS, &[]).and_then(|()| w.flush());
+        } else if !conn.broken {
             conn.eos = true;
         }
         drop(conn);
@@ -423,8 +521,8 @@ fn dialer_main(
     preamble: Preamble,
 ) {
     let (_gen, port) = directory.wait_live(dest);
-    let stream = TcpStream::connect(("127.0.0.1", port))
-        .unwrap_or_else(|e| panic!("dial machine {dest} on port {port}: {e}"));
+    let seed = (preamble.from_machine << 32) ^ (dest as u64) ^ (port as u64);
+    let stream = dial_with_retry(port, seed).unwrap_or_else(|e| panic!("dial machine {dest}: {e}"));
     stream.set_nodelay(true).ok();
     let mut w = BufWriter::new(stream);
     write_frame(&mut w, K_PREAMBLE, &preamble.enc()).expect("write preamble");

@@ -40,7 +40,7 @@ use aoj_simnet::{MsgClass, SimDuration, SimTime, TaskId};
 
 /// Protocol version; bumped on any layout change. Checked in both
 /// directions during the handshake.
-pub const WIRE_VERSION: u8 = 3;
+pub const WIRE_VERSION: u8 = 4;
 
 /// Upper bound on a single frame's payload (a corrupt length prefix must
 /// not turn into a multi-gigabyte allocation).
@@ -1155,6 +1155,10 @@ pub struct Plan {
     pub stream_matches: bool,
     /// [`encode_builder`] bytes.
     pub builder: Vec<u8>,
+    /// Checkpoint snapshot bytes (`Checkpoint::to_bytes`) every worker
+    /// restores its state from before going [`Ready`]. Empty for a
+    /// fresh session.
+    pub restore: Vec<u8>,
 }
 
 impl Plan {
@@ -1169,6 +1173,8 @@ impl Plan {
         put_bool(&mut out, self.stream_matches);
         put_len(&mut out, self.builder.len());
         out.extend_from_slice(&self.builder);
+        put_len(&mut out, self.restore.len());
+        out.extend_from_slice(&self.restore);
         out
     }
     /// Decode.
@@ -1182,6 +1188,8 @@ impl Plan {
         let stream_matches = d.bool()?;
         let n = d.len(1)?;
         let builder = d.take(n)?.to_vec();
+        let n = d.len(1)?;
+        let restore = d.take(n)?.to_vec();
         d.finish()?;
         Ok(Plan {
             version,
@@ -1191,6 +1199,7 @@ impl Plan {
             clock_anchor_us,
             stream_matches,
             builder,
+            restore,
         })
     }
 }

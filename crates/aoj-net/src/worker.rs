@@ -20,23 +20,26 @@
 //!    coordinator's `waitpid` distinguishes clean teardown from a crash.
 
 use std::collections::HashMap;
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use aoj_core::lifecycle::Checkpoint;
 use aoj_operators::joiner_task::JoinerTask;
 use aoj_operators::messages::OpMsg;
 use aoj_operators::reshuffler::ReshufflerTask;
-use aoj_operators::{assemble_topology, IngestQueue, MatchHub, SessionBuilder};
+use aoj_operators::{
+    assemble_topology, assemble_topology_restored, IngestQueue, MatchHub, SessionBuilder,
+};
 use aoj_runtime::mailbox::Mailbox;
 use aoj_runtime::RuntimeConfig;
 use aoj_simnet::{MachineId, Metrics, Process, SharedGauges, SimDuration};
 
 use crate::node::{
-    run_machine_loop, spawn_acceptor, Clock, ControlOut, Counters, Directory, EosGate, Lifecycle,
-    NodeShared, TopoRecorder, Writers,
+    dial_with_retry, run_machine_loop, spawn_acceptor, Clock, ControlOut, Counters, Directory,
+    EosGate, Lifecycle, NodeShared, TopoRecorder, Writers,
 };
 use crate::wire::{
     self, read_frame, DrainDone, Exiting, FinalsBundle, GaugeRelay, GaugeSample, Hello, MachineUp,
@@ -59,6 +62,13 @@ pub const ENV_GEN: &str = "AOJ_NET_GEN";
 /// controller to trigger mid-stream migrations/expansions; the
 /// ship-on-change dedup keeps the idle cost of the fast cadence at zero.
 const STATS_PERIOD: Duration = Duration::from_millis(5);
+
+/// Longest an idle worker stays silent before resending its (unchanged)
+/// gauge sample as a liveness heartbeat. The coordinator's failure
+/// detector declares a worker dead after `DetectorConfig::timeout_us`
+/// without a frame; this cadence keeps a healthy-but-idle worker an
+/// order of magnitude inside that deadline.
+const HEARTBEAT_PERIOD: Duration = Duration::from_millis(100);
 
 fn env_num<T: std::str::FromStr>(key: &str) -> T
 where
@@ -86,8 +96,16 @@ pub fn worker_main() -> ! {
     let machine: usize = env_num(ENV_MACHINE);
     let gen: u32 = env_num(ENV_GEN);
 
-    let control = TcpStream::connect(&coord)
-        .unwrap_or_else(|e| panic!("worker {machine}: dial coordinator {coord}: {e}"));
+    // The coordinator's listener is certainly up (it spawned us), but a
+    // loaded host can still refuse transiently; same bounded-retry dial
+    // as the data plane, failing with a typed timeout.
+    let coord_port: u16 = coord
+        .rsplit(':')
+        .next()
+        .and_then(|p| p.parse().ok())
+        .unwrap_or_else(|| panic!("worker {machine}: malformed AOJ_NET_COORD {coord}"));
+    let control = dial_with_retry(coord_port, (machine as u64) << 16 | gen as u64)
+        .unwrap_or_else(|e| panic!("worker {machine}: dial coordinator: {e}"));
     control.set_nodelay(true).ok();
     let mut control_read = control.try_clone().expect("clone control stream");
     let ctrl = Arc::new(ControlOut::new(control));
@@ -133,13 +151,30 @@ pub fn worker_main() -> ! {
     };
     let mut rec = TopoRecorder::default();
     let idle_poll = SimDuration::from_micros(builder.source.idle_poll_us.max(1));
-    let topo = assemble_topology(
-        &mut rec,
-        &builder,
-        IngestQueue::detached(),
-        Arc::clone(&hub),
-        Some(idle_poll),
-    );
+    let topo = if plan.restore.is_empty() {
+        assemble_topology(
+            &mut rec,
+            &builder,
+            IngestQueue::detached(),
+            Arc::clone(&hub),
+            Some(idle_poll),
+        )
+    } else {
+        // The plan carries a checkpoint: rebuild restored state instead
+        // of a fresh topology. Every process decodes the same snapshot,
+        // so the restored elastic layout — which decides task
+        // registration order — agrees cluster-wide.
+        let ckpt = Checkpoint::from_bytes(&plan.restore)
+            .unwrap_or_else(|e| panic!("worker {machine}: decode restore checkpoint: {e}"));
+        assemble_topology_restored(
+            &mut rec,
+            &builder,
+            &ckpt,
+            IngestQueue::detached(),
+            Arc::clone(&hub),
+            Some(idle_poll),
+        )
+    };
     // The board this worker's reshufflers publish their sketches into;
     // its merged parts ride every gauge frame to the coordinator.
     let skew_board = topo.skew_board();
@@ -285,6 +320,7 @@ pub fn worker_main() -> ! {
     let mut gauge_buf: Vec<u8> = Vec::new();
     let mut match_buf: Vec<u8> = Vec::new();
     let mut last_gauges: Option<GaugeSample> = None;
+    let mut last_beat = Instant::now();
     let mut ship_stats = |fin: bool| {
         let m = MachineId(machine);
         let sample = GaugeSample {
@@ -298,9 +334,14 @@ pub fn worker_main() -> ! {
                 .map(|b| b.merged_parts())
                 .unwrap_or_default(),
         };
-        if fin || last_gauges.as_ref() != Some(&sample) {
+        // An unchanged sample is normally skipped, but never for longer
+        // than the heartbeat period: the coordinator's failure detector
+        // reads any frame as proof of life, and an idle worker that goes
+        // fully silent is indistinguishable from a dead one.
+        if fin || last_gauges.as_ref() != Some(&sample) || last_beat.elapsed() >= HEARTBEAT_PERIOD {
             sample.enc_into(&mut gauge_buf);
             last_gauges = Some(sample);
+            last_beat = Instant::now();
             ctrl.send(K_GAUGES, &gauge_buf);
         }
         let matches = hub.drain_buffered();

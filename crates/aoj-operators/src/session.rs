@@ -56,14 +56,16 @@ use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use aoj_core::decision::DecisionConfig;
+use aoj_core::fault::{DeathCause, DetectorConfig, FaultLog, FaultPlan, FaultTrigger, WorkerDeath};
 use aoj_core::lifecycle::{Checkpoint, WindowSpec};
 use aoj_core::mapping::Mapping;
 use aoj_core::predicate::Predicate;
 use aoj_core::tuple::Rel;
 use aoj_datagen::queries::StreamItem;
-use aoj_runtime::{Runtime, RuntimeConfig};
+use aoj_runtime::{FaultArm, KillSwitch, KillWhen, Runtime, RuntimeConfig};
 use aoj_simnet::{
     CostModel, ExecBackend, MachineId, NetworkConfig, SharedGauges, Sim, SimConfig, SimDuration,
     SimTime, TaskId,
@@ -904,6 +906,30 @@ pub struct BackendSection {
     pub track_competitive: bool,
 }
 
+/// Fault-tolerance knobs: the deterministic fault-injection plan, the
+/// failure-detector timing, and the automatic-checkpoint cadence the
+/// recovery controller ([`crate::supervise::SupervisedSession`]) runs
+/// on.
+///
+/// Deliberately **not** part of the wire-encoded plan a TCP worker
+/// rebuilds from: faults are injected by the coordinator (it owns the
+/// worker processes), detection runs coordinator-side, and checkpoint
+/// cadence is a supervisor concern — a worker that knew its own
+/// execution was scripted could not crash *unexpectedly*.
+#[derive(Clone, Debug, Default)]
+pub struct FaultSection {
+    /// Scheduled kills, lowered onto backend-native primitives at
+    /// launch: simulator event-queue kills, threaded worker aborts, TCP
+    /// worker SIGKILLs.
+    pub plan: FaultPlan,
+    /// Failure-detector timing (TCP backend heartbeats).
+    pub detector: DetectorConfig,
+    /// Automatic background-checkpoint cadence for supervised sessions,
+    /// in pushed tuples (0 = no automatic checkpoints). Read by the
+    /// recovery controller, not by the session itself.
+    pub checkpoint_every_tuples: u64,
+}
+
 /// Default progress-sample spacing for live sessions, where the input
 /// size is unknowable up front.
 const LIVE_SAMPLE_EVERY: u64 = 1024;
@@ -953,6 +979,8 @@ pub struct SessionBuilder {
     pub backend: BackendSection,
     /// Routing policy and skew detection (see [`SkewPolicy`]).
     pub skew: SkewPolicy,
+    /// Fault injection, failure detection and recovery cadence.
+    pub fault: FaultSection,
 }
 
 impl SessionBuilder {
@@ -994,6 +1022,7 @@ impl SessionBuilder {
                 track_competitive: false,
             },
             skew: SkewPolicy::default(),
+            fault: FaultSection::default(),
         }
     }
 
@@ -1149,6 +1178,31 @@ impl SessionBuilder {
         self
     }
 
+    /// Builder: the deterministic fault-injection plan (see
+    /// [`FaultPlan`]). Lowered onto backend-native kill primitives at
+    /// launch; [`FaultTrigger::OnCheckpoint`] kills are lowered by the
+    /// recovery controller, which is the only layer counting
+    /// checkpoints.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> SessionBuilder {
+        self.fault.plan = plan;
+        self
+    }
+
+    /// Builder: the failure-detector heartbeat timeout, microseconds
+    /// (TCP backend).
+    pub fn with_detector_timeout_us(mut self, timeout_us: u64) -> SessionBuilder {
+        self.fault.detector.timeout_us = timeout_us;
+        self
+    }
+
+    /// Builder: automatic background-checkpoint cadence in pushed
+    /// tuples (0 = off). Honoured by
+    /// [`crate::supervise::SupervisedSession`], not by a bare session.
+    pub fn with_checkpoint_every(mut self, tuples: u64) -> SessionBuilder {
+        self.fault.checkpoint_every_tuples = tuples;
+        self
+    }
+
     /// The batching knobs as a [`BatchConfig`].
     pub(crate) fn batch_config(&self) -> BatchConfig {
         BatchConfig {
@@ -1288,6 +1342,35 @@ pub trait NetBackend: ExecBackend<OpMsg> + Send {
     fn install_skew_board(&mut self, board: Arc<SkewBoard>) {
         let _ = board;
     }
+
+    /// The typed death log the backend's failure detector records into,
+    /// read by [`SessionHandle::health`]. `None` (the default) means the
+    /// backend has no failure detection.
+    fn fault_log(&mut self) -> Option<FaultLog> {
+        None
+    }
+
+    /// A handle that kills the given machine's worker (SIGKILL or
+    /// equivalent) mid-run — the [`SessionHandle::inject_kill`] surface.
+    /// `None` (the default) means the backend cannot inject kills.
+    fn kill_handle(&mut self) -> Option<Box<dyn Fn(usize) + Send + Sync>> {
+        None
+    }
+
+    /// A handle that aborts the backend's run loop without waiting for
+    /// quiescence — the [`SessionHandle::abandon`] surface. `None` (the
+    /// default) means the run can only end by draining.
+    fn abort_handle(&mut self) -> Option<Box<dyn Fn() + Send + Sync>> {
+        None
+    }
+
+    /// Install a checkpoint the backend's workers should restore from
+    /// instead of building fresh state. Returns `false` (the default)
+    /// when the backend cannot ship restored state to its workers.
+    fn install_restore(&mut self, ckpt: &Checkpoint) -> bool {
+        let _ = ckpt;
+        false
+    }
 }
 
 /// Factory building a [`BackendChoice::Tcp`] backend for one session.
@@ -1393,12 +1476,6 @@ impl JoinSession {
         path: &Path,
         replay_from: Option<u64>,
     ) -> io::Result<SessionHandle> {
-        if builder.backend.choice == BackendChoice::Tcp {
-            return Err(io::Error::new(
-                io::ErrorKind::Unsupported,
-                "checkpoint restore is not supported on the TCP process backend",
-            ));
-        }
         let ckpt = Checkpoint::read_from(path)?;
         let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
         if builder.kind == OperatorKind::Shj {
@@ -1451,7 +1528,16 @@ fn launch(
                 deadline: None,
             }));
             let wiring = build_topology(&mut *sim, &builder, &queue, &hub, None, restore_from);
-            (Inner::Sim { sim, wiring }, hub)
+            // Clock-triggered kills become simulator events up front;
+            // tuple-count and checkpoint-count triggers are lowered to
+            // `kill_now` by the supervisor via `inject_kill` (only the
+            // session driver can observe those counters).
+            for k in &builder.fault.plan.kills {
+                if let FaultTrigger::AtTime { at_us } = k.trigger {
+                    sim.schedule_kill(MachineId(k.machine), SimTime(at_us));
+                }
+            }
+            (Inner::Sim { sim, wiring }, hub, FaultControls::default())
         }
         BackendChoice::Threaded => {
             let hub = MatchHub::new(builder.backend.match_buffer);
@@ -1474,6 +1560,32 @@ fn launch(
                 restore_from,
             );
             let gauges = rt.shared_gauges();
+            // Arm the fault plan before the runner thread takes the
+            // runtime. One armed kill per run: the victim thread
+            // vanishes and the run wedges until the kill switch fires,
+            // so a second injection could never trip.
+            let mut fault = FaultControls::default();
+            if !builder.fault.plan.kills.is_empty() {
+                assert!(
+                    builder.fault.plan.kills.len() == 1,
+                    "the threaded backend supports at most one fault injection per run \
+                     (a crashed run wedges until recovery; later kills cannot trip)"
+                );
+                let k = &builder.fault.plan.kills[0];
+                let when = match k.trigger {
+                    FaultTrigger::AtTime { at_us } => KillWhen::AtTime(at_us),
+                    FaultTrigger::AfterTuples { tuples } => KillWhen::AfterTuples(tuples),
+                    // Checkpoint counting lives in the session driver;
+                    // the supervisor fires this arm via `inject_kill`.
+                    FaultTrigger::OnCheckpoint { .. } => KillWhen::Explicit,
+                };
+                let log = FaultLog::new();
+                fault.arm = Some(rt.arm_fault(k.machine, when, log.clone()));
+                fault.log = Some(log);
+            }
+            // The unwedge lever: always created, so `abandon` works even
+            // on a run that crashed without an armed plan (e.g. a panic).
+            fault.kill_sw = Some(rt.kill_switch());
             let runner = std::thread::Builder::new()
                 .name("aoj-session".to_string())
                 .spawn(move || {
@@ -1488,22 +1600,34 @@ fn launch(
                     gauges,
                 },
                 hub,
+                fault,
             )
         }
         BackendChoice::Tcp => {
-            assert!(
-                restore_from.is_none(),
-                "checkpoint restore is gated off the TCP backend before launch"
-            );
             let factory = TCP_BACKEND.get().expect(
                 "BackendChoice::Tcp needs a registered backend: \
                  call aoj_net::install() before opening the session",
             );
             let hub = MatchHub::new(builder.backend.match_buffer);
             let mut backend = factory(&builder, Arc::clone(&hub));
+            if let Some(ckpt) = restore_from {
+                // The workers rebuild restored state from the snapshot
+                // shipped in their Plan; a backend that cannot carry it
+                // would silently restart from empty state instead.
+                assert!(
+                    backend.install_restore(ckpt),
+                    "the registered TCP backend does not support checkpoint restore"
+                );
+            }
             let idle_poll = SimDuration::from_micros(builder.source.idle_poll_us.max(1));
-            let mut wiring =
-                build_topology(&mut backend, &builder, &queue, &hub, Some(idle_poll), None);
+            let mut wiring = build_topology(
+                &mut backend,
+                &builder,
+                &queue,
+                &hub,
+                Some(idle_poll),
+                restore_from,
+            );
             // The coordinator's locally-built reshuffler tasks never
             // run, so their board never fills. Swap in a board the
             // backend feeds from worker gauge frames (slot = worker).
@@ -1513,6 +1637,16 @@ fn launch(
                 w.skew_board = board;
             }
             let gauges = backend.session_gauges();
+            // Capture the fault surfaces before the runner thread takes
+            // the backend: the death log its failure detector records
+            // into, plus the SIGKILL and reactor-abort levers.
+            let fault = FaultControls {
+                log: backend.fault_log(),
+                arm: None,
+                kill_sw: None,
+                kill_fn: backend.kill_handle(),
+                abort_fn: backend.abort_handle(),
+            };
             let runner = std::thread::Builder::new()
                 .name("aoj-session-net".to_string())
                 .spawn(move || {
@@ -1527,15 +1661,17 @@ fn launch(
                     gauges,
                 },
                 hub,
+                fault,
             )
         }
     };
-    let (inner, hub) = inner;
+    let (inner, hub, fault) = inner;
     SessionHandle {
         builder,
         queue,
         hub,
         inner: Some(inner),
+        fault,
     }
 }
 
@@ -1601,6 +1737,25 @@ pub fn assemble_topology<B: ExecBackend<OpMsg>>(
     }
 }
 
+/// Like [`assemble_topology`], but restoring from a [`Checkpoint`] — the
+/// hook a worker process uses when its launch plan carries a snapshot.
+/// Every process must restore from the *same* snapshot the coordinator
+/// laid its receptacle topology out from: the checkpoint's elastic
+/// layout decides which machines are provisioned and which deferred, so
+/// task registration order (and therefore `TaskId`s) depends on it.
+pub fn assemble_topology_restored<B: ExecBackend<OpMsg>>(
+    backend: &mut B,
+    builder: &SessionBuilder,
+    ckpt: &Checkpoint,
+    input: Arc<IngestQueue>,
+    sink: Arc<MatchHub>,
+    idle_poll: Option<SimDuration>,
+) -> SessionTopology {
+    SessionTopology {
+        wiring: build_topology(backend, builder, &input, &sink, idle_poll, Some(ckpt)),
+    }
+}
+
 /// The caller's end of an open [`JoinSession`].
 ///
 /// Push tuples ([`push`](SessionHandle::push) /
@@ -1616,6 +1771,26 @@ pub struct SessionHandle {
     queue: Arc<IngestQueue>,
     hub: Arc<MatchHub>,
     inner: Option<Inner>,
+    fault: FaultControls,
+}
+
+/// The per-backend levers `launch` collects for fault observation and
+/// recovery: the typed death log, the injection surfaces, and the
+/// abort/unwedge surfaces. Every field is optional — a backend without
+/// the capability simply leaves the lever out.
+#[derive(Default)]
+struct FaultControls {
+    /// Typed deaths recorded by the backend (threaded victim self-check,
+    /// TCP failure detector). The simulator reports via `Sim::deaths`.
+    log: Option<FaultLog>,
+    /// Threaded backend's armed fault, for explicit `inject_kill`.
+    arm: Option<Arc<FaultArm>>,
+    /// Threaded backend's run terminator, for `abandon`.
+    kill_sw: Option<Arc<KillSwitch>>,
+    /// TCP backend's SIGKILL surface, for explicit `inject_kill`.
+    kill_fn: Option<Box<dyn Fn(usize) + Send + Sync>>,
+    /// TCP backend's reactor abort, for `abandon`.
+    abort_fn: Option<Box<dyn Fn() + Send + Sync>>,
 }
 
 impl SessionHandle {
@@ -1714,6 +1889,107 @@ impl SessionHandle {
         }
     }
 
+    /// Worker deaths observed so far, in detection order. Empty on a
+    /// healthy session. A non-empty answer means the run is wedged (or
+    /// aborting): recover by [`abandon`](SessionHandle::abandon)ing the
+    /// handle and reopening from the latest checkpoint with
+    /// [`JoinSession::restore_with_replay`].
+    pub fn health(&self) -> Vec<WorkerDeath> {
+        match self.inner.as_ref() {
+            // The simulator's only death source is injection, applied
+            // synchronously between pumps: detection is immediate.
+            Some(Inner::Sim { sim, .. }) => sim
+                .deaths()
+                .iter()
+                .map(|&(m, at)| WorkerDeath {
+                    machine: m.index(),
+                    gen: 0,
+                    at_us: at.as_micros(),
+                    cause: DeathCause::Injected,
+                    detect_latency_us: 0,
+                })
+                .collect(),
+            _ => self
+                .fault
+                .log
+                .as_ref()
+                .map(|l| l.peek())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// A shared handle on the live backends' death log (`None` on the
+    /// simulator, whose deaths are read synchronously, and on runs with
+    /// no armed plan). The recovery controller holds this clone so a
+    /// crash that unwinds `close()`/`checkpoint()` — consuming the
+    /// session handle — can still be attributed to its machine.
+    pub fn fault_log(&self) -> Option<FaultLog> {
+        self.fault.log.clone()
+    }
+
+    /// Kill `machine`'s worker right now, whatever the armed plan says —
+    /// the lever the supervisor uses to lower tuple-count and
+    /// checkpoint-count fault triggers, which only the session driver
+    /// can observe. On the simulator the machine dies between pumps; on
+    /// the threaded backend the armed victim's thread vanishes on its
+    /// next quantum; on the TCP backend the worker process is SIGKILLed.
+    pub fn inject_kill(&mut self, machine: usize) {
+        match self.inner.as_mut().expect("session closed") {
+            Inner::Sim { sim, .. } => sim.kill_now(MachineId(machine)),
+            Inner::Threaded { .. } => {
+                let arm = self
+                    .fault
+                    .arm
+                    .as_ref()
+                    .expect("inject_kill on the threaded backend needs an armed fault plan");
+                assert_eq!(
+                    arm.victim(),
+                    machine,
+                    "the threaded backend's armed fault targets machine {}, not {machine}",
+                    arm.victim()
+                );
+                arm.fire_now();
+            }
+            Inner::External { .. } => {
+                let kill = self
+                    .fault
+                    .kill_fn
+                    .as_ref()
+                    .expect("the registered TCP backend exposes no kill surface");
+                kill(machine);
+            }
+        }
+    }
+
+    /// Tear the session down without draining — the only safe exit from
+    /// a crashed run, whose drain would never finish. Fires the
+    /// backend's abort levers first (threaded kill switch, TCP reactor
+    /// abort), then joins the runner, swallowing its panic: the caller
+    /// already knows the run died from [`health`](SessionHandle::health)
+    /// and is about to recover from a checkpoint.
+    pub fn abandon(mut self) {
+        if let Some(ks) = &self.fault.kill_sw {
+            ks.fire();
+        }
+        if let Some(abort) = &self.fault.abort_fn {
+            abort();
+        }
+        self.hub.lift_bound();
+        self.queue.close();
+        match self.inner.take() {
+            Some(Inner::Threaded { runner, .. }) => {
+                let _ = runner.join();
+            }
+            Some(Inner::External { runner, .. }) => {
+                let _ = runner.join();
+            }
+            // Nothing runs between pumps on the simulator.
+            _ => {}
+        }
+        // Drop finishes the hub (inner is already taken, so the drop
+        // path's join is a no-op).
+    }
+
     /// A live snapshot of the gauges the elastic controller reads:
     /// per-machine stored bytes, processed-copy counts, and the match
     /// total.
@@ -1768,6 +2044,23 @@ impl SessionHandle {
     /// bound is lifted first, so a slow subscriber cannot wedge the
     /// close.
     pub fn close(mut self) -> RunReport {
+        // A crashed run can never drain: joining the runner below would
+        // hang forever on the wedged quiescence counter. Surface the
+        // typed deaths instead (after an abandon, so the unwind cannot
+        // re-enter the wedged join via Drop).
+        let deaths = self.health();
+        if !deaths.is_empty() {
+            let msg = deaths
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("; ");
+            self.abandon();
+            panic!(
+                "close() on a crashed session ({msg}); \
+                 recover with JoinSession::restore_with_replay"
+            );
+        }
         // Lift the match bound *before* closing ingest: emitters blocked
         // on a full hub must never stall the drain.
         self.hub.lift_bound();
@@ -1777,17 +2070,25 @@ impl SessionHandle {
         let report = match self.inner.take().expect("session already closed") {
             Inner::Sim { mut sim, wiring } => {
                 let end = pump_sim(&mut sim, wiring.source_id(), &self.queue);
+                // A clock-scheduled kill can land inside this final
+                // pump, after the entry guard: refuse the partial
+                // output the same way.
+                assert!(
+                    sim.deaths().is_empty(),
+                    "close() drain crossed an injected kill; \
+                     recover with JoinSession::restore_with_replay"
+                );
                 collect(&*sim, &self.builder, &wiring, pushed, end, &prefix)
             }
             Inner::Threaded { runner, wiring, .. } => {
-                let (rt, end) = match runner.join() {
+                let (rt, end) = match join_watching(runner, &self.fault) {
                     Ok(v) => v,
                     Err(payload) => std::panic::resume_unwind(payload),
                 };
                 collect(&rt, &self.builder, &wiring, pushed, end, &prefix)
             }
             Inner::External { runner, wiring, .. } => {
-                let (backend, end) = match runner.join() {
+                let (backend, end) = match join_watching(runner, &self.fault) {
                     Ok(v) => v,
                     Err(payload) => std::panic::resume_unwind(payload),
                 };
@@ -1809,6 +2110,21 @@ impl SessionHandle {
     /// consumed — so the restored session's first batch behaves exactly
     /// like the next stable batch of the original run.
     pub fn checkpoint(mut self, path: impl AsRef<Path>) -> io::Result<RunReport> {
+        // Same guard as close(): a crashed run can never drain to the
+        // quiesced boundary the snapshot needs.
+        let deaths = self.health();
+        if !deaths.is_empty() {
+            let msg = deaths
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("; ");
+            self.abandon();
+            panic!(
+                "checkpoint() on a crashed session ({msg}); \
+                 recover with JoinSession::restore_with_replay"
+            );
+        }
         if matches!(self.inner, Some(Inner::External { .. })) {
             // Dropping `self` drains the session cleanly (the Drop impl
             // joins the runner); only the snapshot is refused.
@@ -1824,12 +2140,17 @@ impl SessionHandle {
         let (report, ckpt) = match self.inner.take().expect("session already closed") {
             Inner::Sim { mut sim, wiring } => {
                 let end = pump_sim(&mut sim, wiring.source_id(), &self.queue);
+                assert!(
+                    sim.deaths().is_empty(),
+                    "checkpoint() drain crossed an injected kill; \
+                     recover with JoinSession::restore_with_replay"
+                );
                 let ckpt = checkpoint_of(&*sim, &self.builder, &wiring)?;
                 let report = collect(&*sim, &self.builder, &wiring, pushed, end, &prefix);
                 (report, ckpt)
             }
             Inner::Threaded { runner, wiring, .. } => {
-                let (rt, end) = match runner.join() {
+                let (rt, end) = match join_watching(runner, &self.fault) {
                     Ok(v) => v,
                     Err(payload) => std::panic::resume_unwind(payload),
                 };
@@ -1842,6 +2163,73 @@ impl SessionHandle {
         self.hub.finish();
         ckpt.write_to(path.as_ref())?;
         Ok(report)
+    }
+}
+
+/// Join a runner thread, watching the fault log: a kill that trips
+/// *during* the drain (after close()/checkpoint()'s entry guard) would
+/// wedge this join forever on the dead worker's quiescence counter.
+/// On a recorded death the backend's abort levers fire, the runner is
+/// reaped, and the panic mirrors the entry guard's — the supervisor
+/// recovers from the rollback base either way. A death recorded in the
+/// drain's final instants (the runner already unwedged and returned,
+/// e.g. the TCP reactor's abort path) is refused the same way: the
+/// report would silently cover a partial run.
+fn join_watching<T>(
+    runner: std::thread::JoinHandle<T>,
+    fault: &FaultControls,
+) -> std::thread::Result<T> {
+    let deaths = loop {
+        let deaths = fault.log.as_ref().map(|l| l.peek()).unwrap_or_default();
+        if runner.is_finished() {
+            break deaths;
+        }
+        if !deaths.is_empty() {
+            if let Some(ks) = &fault.kill_sw {
+                ks.fire();
+            }
+            if let Some(abort) = &fault.abort_fn {
+                abort();
+            }
+            break deaths;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    };
+    let res = runner.join();
+    if !deaths.is_empty() {
+        drop(res);
+        let msg = deaths
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("; ");
+        panic!(
+            "session crashed during the drain ({msg}); \
+             recover with JoinSession::restore_with_replay"
+        );
+    }
+    res
+}
+
+/// Drop's non-panicking variant of [`join_watching`]: fire the abort
+/// levers on a recorded death, reap the runner, swallow its panic.
+fn join_or_abort<T>(runner: std::thread::JoinHandle<T>, fault: &FaultControls) {
+    loop {
+        if runner.is_finished() {
+            let _ = runner.join();
+            return;
+        }
+        if fault.log.as_ref().is_some_and(|l| !l.is_empty()) {
+            if let Some(ks) = &fault.kill_sw {
+                ks.fire();
+            }
+            if let Some(abort) = &fault.abort_fn {
+                abort();
+            }
+            let _ = runner.join();
+            return;
+        }
+        std::thread::sleep(Duration::from_micros(200));
     }
 }
 
@@ -1871,13 +2259,11 @@ impl Drop for SessionHandle {
             // subscriber's iterator must not end while matches are in
             // flight. A worker panic is swallowed here — resuming a
             // panic inside drop (possibly during another unwind) would
-            // abort; close() is the path that propagates it.
-            Some(Inner::Threaded { runner, .. }) => {
-                let _ = runner.join();
-            }
-            Some(Inner::External { runner, .. }) => {
-                let _ = runner.join();
-            }
+            // abort; close() is the path that propagates it. A recorded
+            // death fires the abort levers instead of wedging the join
+            // (panicking inside drop would abort too).
+            Some(Inner::Threaded { runner, .. }) => join_or_abort(runner, &self.fault),
+            Some(Inner::External { runner, .. }) => join_or_abort(runner, &self.fault),
             _ => {}
         }
         self.hub.finish();

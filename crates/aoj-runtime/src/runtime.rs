@@ -10,6 +10,7 @@ use std::thread;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use aoj_core::{DeathCause, FaultLog, WorkerDeath};
 use aoj_simnet::{
     Ctx, Effect, ExecBackend, MachineId, Metrics, NetworkConfig, Process, SharedGauges,
     SimDuration, SimMessage, SimTime, TaskId,
@@ -46,6 +47,84 @@ impl Default for RuntimeConfig {
             data_queue_capacity: 16 * 1024,
             migration_weight: 2,
             drain_batch: 32,
+        }
+    }
+}
+
+/// When an armed threaded-backend kill fires. The session layer lowers
+/// `aoj_core::FaultTrigger` onto this: the clock and data-progress
+/// variants are checked by the victim itself (once per drain batch, on
+/// its own thread — no cross-thread signalling, so the crash point is
+/// as reproducible as wall time allows); `Explicit` fires only through
+/// [`FaultArm::fire_now`].
+#[derive(Clone, Copy, Debug)]
+pub enum KillWhen {
+    /// Wall microseconds since `run()` started.
+    AtTime(u64),
+    /// Cluster-wide processed-data threshold (the shared gauge).
+    AfterTuples(u64),
+    /// Only when [`FaultArm::fire_now`] is called.
+    Explicit,
+}
+
+/// An armed deterministic kill of one worker thread.
+///
+/// When it trips, the victim records a [`WorkerDeath`] into the shared
+/// [`FaultLog`] and its thread returns **without** retiring its
+/// outstanding work or depositing its tasks — the run wedges exactly
+/// like a thread lost to a real crash would, until the recovery layer
+/// notices the log entry and fires the [`KillSwitch`].
+pub struct FaultArm {
+    victim: usize,
+    when: KillWhen,
+    now: AtomicBool,
+    log: FaultLog,
+}
+
+impl FaultArm {
+    /// The machine index this arm kills.
+    pub fn victim(&self) -> usize {
+        self.victim
+    }
+
+    /// Force the kill on the victim's next scheduling quantum,
+    /// whatever `when` says.
+    pub fn fire_now(&self) {
+        self.now.store(true, Ordering::SeqCst);
+    }
+
+    fn tripped(&self, now_us: u64, data_processed: u64) -> bool {
+        if self.now.load(Ordering::SeqCst) {
+            return true;
+        }
+        match self.when {
+            KillWhen::AtTime(at_us) => now_us >= at_us,
+            KillWhen::AfterTuples(tuples) => data_processed >= tuples,
+            KillWhen::Explicit => false,
+        }
+    }
+}
+
+/// Terminates a crashed run from outside.
+///
+/// A killed worker leaves the outstanding-work counter permanently
+/// positive, so [`ExecBackend::run`] would block in `join` forever.
+/// The caller that supervises the run holds this switch (obtained
+/// *before* `run`, via [`Runtime::kill_switch`]) and fires it once the
+/// death is confirmed: every surviving worker wakes, drains out, and
+/// `run` returns. Firing before `run` starts is remembered and applied
+/// at startup; firing twice is harmless.
+pub struct KillSwitch {
+    fired: AtomicBool,
+    action: Mutex<Option<Box<dyn Fn() + Send>>>,
+}
+
+impl KillSwitch {
+    /// End the run now (or at startup, if it has not begun).
+    pub fn fire(&self) {
+        self.fired.store(true, Ordering::SeqCst);
+        if let Some(f) = self.action.lock().unwrap().as_ref() {
+            f();
         }
     }
 }
@@ -87,6 +166,8 @@ struct Shared<M: SimMessage + Send + 'static> {
     /// 2 = retired (the worker drains its backlog behind the flush
     /// barrier, then exits for real).
     machine_state: Vec<AtomicU8>,
+    /// The armed deterministic kill, if any (see [`FaultArm`]).
+    fault: Option<Arc<FaultArm>>,
 }
 
 const MACHINE_DEFERRED: u8 = 0;
@@ -179,6 +260,10 @@ pub struct Runtime<M: SimMessage + Send + 'static> {
     /// Gauge overlay created ahead of `run` (live sessions read it from
     /// the caller thread while workers execute).
     pre_gauges: Option<Arc<SharedGauges>>,
+    /// Armed deterministic kill, installed into the next `run`.
+    fault: Option<Arc<FaultArm>>,
+    /// External run terminator, installed into the next `run`.
+    kill_sw: Option<Arc<KillSwitch>>,
 }
 
 impl<M: SimMessage + Send + 'static> Runtime<M> {
@@ -195,7 +280,38 @@ impl<M: SimMessage + Send + 'static> Runtime<M> {
             provisioned: 0,
             peak_provisioned: 0,
             pre_gauges: None,
+            fault: None,
+            kill_sw: None,
         }
+    }
+
+    /// Arm a deterministic kill: `victim`'s worker thread crashes when
+    /// `when` trips, recording a [`WorkerDeath`] into `log`. At most
+    /// one fault can be armed per run; the returned handle can force
+    /// the kill early ([`FaultArm::fire_now`]).
+    pub fn arm_fault(&mut self, victim: usize, when: KillWhen, log: FaultLog) -> Arc<FaultArm> {
+        let arm = Arc::new(FaultArm {
+            victim,
+            when,
+            now: AtomicBool::new(false),
+            log,
+        });
+        self.fault = Some(Arc::clone(&arm));
+        arm
+    }
+
+    /// The switch that can terminate a (possibly crash-wedged) run from
+    /// another thread; created on first call, installed by `run`.
+    pub fn kill_switch(&mut self) -> Arc<KillSwitch> {
+        if let Some(ks) = &self.kill_sw {
+            return Arc::clone(ks);
+        }
+        let ks = Arc::new(KillSwitch {
+            fired: AtomicBool::new(false),
+            action: Mutex::new(None),
+        });
+        self.kill_sw = Some(Arc::clone(&ks));
+        ks
     }
 
     /// Worker threads the run starts with (one per eagerly provisioned
@@ -240,6 +356,25 @@ fn worker<M: SimMessage + Send + 'static>(
     let mailbox = Arc::clone(&shared.mailboxes[mid.index()]);
     let mut batch = Vec::with_capacity(drain_batch);
     'run: loop {
+        if let Some(arm) = shared.fault.as_ref() {
+            if arm.victim == mid.index()
+                && arm.tripped(shared.now_us(), shared.gauges.data_processed())
+            {
+                // Crash, not shutdown: no finish_item, no task deposit.
+                // The run wedges exactly as if the thread were lost to
+                // a real crash, until the recovery layer reads the log
+                // entry and fires the kill switch.
+                arm.log.record(WorkerDeath {
+                    machine: mid.index(),
+                    gen: 0,
+                    at_us: shared.now_us(),
+                    cause: DeathCause::Injected,
+                    detect_latency_us: 0,
+                });
+                drop(guard);
+                return (TaskMap::new(), shard);
+            }
+        }
         // One lock acquisition drains up to `drain_batch` messages, in
         // exactly the order repeated single pops would have produced.
         if !mailbox.pop_batch(drain_batch, &mut batch, || shared.now_us(), &shared.done) {
@@ -578,7 +713,17 @@ impl<M: SimMessage + Send + 'static> ExecBackend<M> for Runtime<M> {
                 .iter()
                 .map(|&d| AtomicU8::new(if d { MACHINE_DEFERRED } else { MACHINE_ACTIVE }))
                 .collect(),
+            fault: self.fault.clone(),
         });
+
+        if let Some(ks) = &self.kill_sw {
+            let s = Arc::clone(&shared);
+            *ks.action.lock().unwrap() = Some(Box::new(move || s.shutdown()));
+            if ks.fired.load(Ordering::SeqCst) {
+                // Fired before the run began: honour it at startup.
+                shared.shutdown();
+            }
+        }
 
         // Partition tasks onto their machines.
         let mut per_machine: Vec<TaskMap<M>> = (0..self.machines).map(|_| HashMap::new()).collect();
@@ -645,6 +790,10 @@ impl<M: SimMessage + Send + 'static> ExecBackend<M> for Runtime<M> {
                 Some(h) => collect(h.join(), &mut self.tasks, &mut self.metrics),
                 None => break,
             }
+        }
+        if let Some(ks) = &self.kill_sw {
+            // Disarm: the closure holds the run's Shared alive.
+            *ks.action.lock().unwrap() = None;
         }
         if let Some(p) = panic_payload {
             std::panic::resume_unwind(p);

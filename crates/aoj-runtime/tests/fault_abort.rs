@@ -1,0 +1,123 @@
+//! Crash semantics of the threaded backend: an armed fault makes the
+//! victim worker vanish mid-run (recording a typed death), and the
+//! kill switch lets a supervisor terminate the wedged run.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use aoj_core::{DeathCause, FaultLog};
+use aoj_runtime::{KillWhen, Runtime, RuntimeConfig};
+use aoj_simnet::{Ctx, ExecBackend, MsgClass, Process, SimDuration, SimMessage, TaskId};
+
+#[derive(Clone, Debug)]
+struct Tick;
+
+impl SimMessage for Tick {
+    fn bytes(&self) -> u64 {
+        16
+    }
+    fn class(&self) -> MsgClass {
+        MsgClass::Data
+    }
+}
+
+/// Produces forever: the run can only end via the kill switch.
+struct Pump {
+    to: TaskId,
+}
+
+impl Process<Tick> for Pump {
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Tick>, _from: TaskId, _msg: Tick) -> SimDuration {
+        SimDuration::ZERO
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Tick>, _key: u64) -> SimDuration {
+        ctx.send(self.to, Tick);
+        ctx.schedule(SimDuration::from_micros(200), 0);
+        SimDuration::ZERO
+    }
+}
+
+struct Sink;
+
+impl Process<Tick> for Sink {
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Tick>, _from: TaskId, _msg: Tick) -> SimDuration {
+        SimDuration::ZERO
+    }
+}
+
+#[test]
+fn armed_fault_crashes_victim_and_kill_switch_unwedges_run() {
+    let mut rt: Runtime<Tick> = Runtime::new(RuntimeConfig::default());
+    let m0 = rt.add_machine();
+    let m1 = rt.add_machine();
+    let sink = rt.add_task(m1, Box::new(Sink));
+    let pump = rt.add_task(m0, Box::new(Pump { to: sink }));
+    rt.start_timer_at(aoj_simnet::SimTime::ZERO, pump, 0);
+
+    let log = FaultLog::new();
+    rt.arm_fault(m1.index(), KillWhen::AtTime(10_000), log.clone());
+    let ks = rt.kill_switch();
+
+    // The supervisor: once the death shows up in the log, end the run.
+    let watcher_log = log.clone();
+    let watcher_ks = Arc::clone(&ks);
+    let watcher = std::thread::spawn(move || {
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        while watcher_log.is_empty() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "armed fault never fired"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        watcher_ks.fire();
+    });
+
+    // Without the kill switch this would block forever: the pump never
+    // stops and the crashed sink never retires its outstanding work.
+    rt.run();
+    watcher.join().unwrap();
+
+    let deaths = log.drain();
+    assert_eq!(deaths.len(), 1);
+    assert_eq!(deaths[0].machine, m1.index());
+    assert_eq!(deaths[0].cause, DeathCause::Injected);
+    assert!(deaths[0].at_us >= 10_000);
+}
+
+#[test]
+fn fire_now_overrides_the_trigger_and_prefire_is_remembered() {
+    // fire_now: the victim dies on its next quantum even though the
+    // armed clock trigger is far in the future.
+    let mut rt: Runtime<Tick> = Runtime::new(RuntimeConfig::default());
+    let m0 = rt.add_machine();
+    let m1 = rt.add_machine();
+    let sink = rt.add_task(m1, Box::new(Sink));
+    let pump = rt.add_task(m0, Box::new(Pump { to: sink }));
+    rt.start_timer_at(aoj_simnet::SimTime::ZERO, pump, 0);
+    let log = FaultLog::new();
+    let arm = rt.arm_fault(m1.index(), KillWhen::AtTime(u64::MAX), log.clone());
+    arm.fire_now();
+    let ks = rt.kill_switch();
+    let watcher_log = log.clone();
+    let watcher_ks = Arc::clone(&ks);
+    let watcher = std::thread::spawn(move || {
+        while watcher_log.is_empty() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        watcher_ks.fire();
+    });
+    rt.run();
+    watcher.join().unwrap();
+    assert_eq!(log.drain().len(), 1);
+
+    // A switch fired before run() begins ends the run at startup.
+    let mut rt2: Runtime<Tick> = Runtime::new(RuntimeConfig::default());
+    let m = rt2.add_machine();
+    let sink2 = rt2.add_task(m, Box::new(Sink));
+    let pump2 = rt2.add_task(m, Box::new(Pump { to: sink2 }));
+    rt2.start_timer_at(aoj_simnet::SimTime::ZERO, pump2, 0);
+    rt2.kill_switch().fire();
+    rt2.run(); // returns promptly instead of pumping forever
+}

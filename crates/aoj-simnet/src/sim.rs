@@ -29,6 +29,11 @@ enum MachineState {
     /// Previously active, resources handed back; straggler work still
     /// drains (see [`Effect::Retire`]) and a later provision revives it.
     Retired,
+    /// Killed by a scheduled fault ([`Sim::schedule_kill`]): its queued
+    /// work is gone and anything later delivered to it is dropped on
+    /// the floor — the simulated analogue of a SIGKILL'd worker whose
+    /// peers keep writing into a dead socket.
+    Dead,
 }
 
 /// The simulator. See the crate docs for the model.
@@ -46,6 +51,7 @@ pub struct Sim<M: SimMessage> {
     metrics: Metrics,
     now: SimTime,
     stopped: bool,
+    deaths: Vec<(MachineId, SimTime)>,
 }
 
 impl<M: SimMessage + 'static> Sim<M> {
@@ -64,6 +70,7 @@ impl<M: SimMessage + 'static> Sim<M> {
             metrics: Metrics::default(),
             now: SimTime::ZERO,
             stopped: false,
+            deaths: Vec::new(),
         }
     }
 
@@ -148,6 +155,43 @@ impl<M: SimMessage + 'static> Sim<M> {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Schedule a deterministic fault: `machine` dies abruptly at
+    /// virtual time `at`. Like a real SIGKILL, the victim gets no
+    /// goodbye — its queued work vanishes and later deliveries to it
+    /// drop silently (no panic, no back-pressure). Idempotent per
+    /// machine; kills are ordered against all other events by the
+    /// `(time, sequence)` queue, so runs stay reproducible.
+    pub fn schedule_kill(&mut self, machine: MachineId, at: SimTime) {
+        self.queue.push(at, EventKind::Kill { machine });
+    }
+
+    /// Kill `machine` at the current virtual time (the between-pumps
+    /// form used to lower tuple-count and checkpoint-count fault
+    /// triggers, which only the session driver can observe).
+    pub fn kill_now(&mut self, machine: MachineId) {
+        self.apply_kill(machine);
+    }
+
+    /// Machines that died, in kill order, with their times of death.
+    pub fn deaths(&self) -> &[(MachineId, SimTime)] {
+        &self.deaths
+    }
+
+    fn apply_kill(&mut self, m: MachineId) {
+        let state = &mut self.machine_state[m.index()];
+        if *state == MachineState::Dead {
+            return;
+        }
+        if *state == MachineState::Active {
+            self.provisioned -= 1;
+        }
+        *state = MachineState::Dead;
+        // Queued work dies with the machine; a stale ProcessNext event
+        // is defused by the Dead check in `process_next`.
+        self.machines[m.index()] = Machine::new(self.cfg.machine);
+        self.deaths.push((m, self.now));
     }
 
     /// Accumulated metrics.
@@ -247,12 +291,20 @@ impl<M: SimMessage + 'static> Sim<M> {
                         },
                     );
                 }
+                EventKind::Kill { machine } => {
+                    self.apply_kill(machine);
+                }
             }
         }
         self.now
     }
 
     fn enqueue_work(&mut self, m: MachineId, class: MsgClass, item: Queued<Work<M>>) {
+        if self.machine_state[m.index()] == MachineState::Dead {
+            // Deliveries to a dead machine vanish, like bytes written
+            // into a SIGKILL'd worker's socket.
+            return;
+        }
         assert!(
             self.machine_state[m.index()] != MachineState::Deferred,
             "work delivered to machine {} before it was provisioned \
@@ -274,6 +326,9 @@ impl<M: SimMessage + 'static> Sim<M> {
     }
 
     fn process_next(&mut self, mid: MachineId) {
+        if self.machine_state[mid.index()] == MachineState::Dead {
+            return;
+        }
         let machine = &mut self.machines[mid.index()];
         let item = match machine.pop_next() {
             Some(item) => item,

@@ -247,6 +247,53 @@ fn deterministic_replay() {
 }
 
 #[test]
+fn scheduled_kill_silences_a_machine_deterministically() {
+    let run = || {
+        let (mut sim, sender, receiver) = two_node_sim();
+        sim.task_mut::<Recorder>(receiver).cost_us = 10;
+        sim.inject(
+            receiver,
+            sender,
+            Msg::Burst {
+                n: 50,
+                to: receiver,
+            },
+        );
+        // The victim dies mid-burst: everything it already processed
+        // stays recorded, everything after the kill evaporates.
+        let victim = sim.machine_of(receiver);
+        sim.schedule_kill(victim, SimTime(200));
+        sim.run();
+        assert_eq!(sim.deaths(), &[(victim, SimTime(200))]);
+        sim.task_ref::<Recorder>(receiver).seen.clone()
+    };
+    let seen1 = run();
+    let seen2 = run();
+    assert_eq!(seen1, seen2, "kills must not break deterministic replay");
+    assert!(!seen1.is_empty(), "victim processed nothing before death");
+    assert!(seen1.len() < 50, "kill arrived too late to matter");
+    assert!(seen1.iter().all(|&(_, at)| at <= 200));
+}
+
+#[test]
+fn dead_machine_drops_later_deliveries_and_timers() {
+    let (mut sim, sender, receiver) = two_node_sim();
+    let victim = sim.machine_of(receiver);
+    sim.kill_now(victim);
+    // Provisioned count reflects the death; the survivor is untouched.
+    assert_eq!(sim.provisioned_machines(), 1);
+    sim.inject(sender, receiver, Msg::Data(1));
+    sim.start_timer_at(SimTime(10), receiver, 7);
+    sim.inject(receiver, sender, Msg::Data(2));
+    sim.run();
+    assert_eq!(sim.task_ref::<Recorder>(receiver).seen.len(), 0);
+    assert_eq!(sim.task_ref::<Recorder>(sender).seen.len(), 1);
+    // Killing twice is idempotent.
+    sim.kill_now(victim);
+    assert_eq!(sim.deaths().len(), 1);
+}
+
+#[test]
 fn deadline_stops_the_run() {
     let cfg = SimConfig {
         deadline: Some(SimTime(150)),

@@ -199,6 +199,39 @@ class Main(unittest.TestCase):
                             doc(run("tcp", 5000.0, name="z1.4-split")))
             self.assertEqual(cbr.main([base, thr, stalled] + floors), 1)
 
+    def test_faults_gate_invocation_shape(self):
+        # Mirrors CI's fault-tolerance gate: one committed baseline with
+        # all THREE backends' chaos legs, one smoke file also holding
+        # all three (the faults experiment sweeps every backend in one
+        # invocation), name-keyed matching. Chaos throughput includes a
+        # detect-rollback-respawn-replay cycle, so every backend gets a
+        # coarse floor — but an order-of-magnitude recovery stall must
+        # still trip it.
+        with tempfile.TemporaryDirectory() as d:
+            base = write(d, "BENCH_faults.json",
+                         doc(run("sim", 59035.0, name="ckpt-replay"),
+                             run("sim", 50647.0, name="scratch-replay"),
+                             run("threaded", 42114.0, name="ckpt-replay"),
+                             run("threaded", 25735.0, name="scratch-replay"),
+                             run("tcp", 9936.0, name="ckpt-replay"),
+                             run("tcp", 17886.0, name="scratch-replay")))
+            smoke = write(d, "smoke.json",
+                          doc(run("sim", 40000.0, name="ckpt-replay"),
+                              run("sim", 35000.0, name="scratch-replay"),
+                              run("threaded", 20000.0, name="ckpt-replay"),
+                              run("threaded", 15000.0, name="scratch-replay"),
+                              run("tcp", 4000.0, name="ckpt-replay"),
+                              run("tcp", 5000.0, name="scratch-replay")))
+            floors = ["--match-on", "name", "--min-ratio", "0.5",
+                      "--min-ratio-threaded", "0.3",
+                      "--min-ratio-tcp", "0.15"]
+            self.assertEqual(cbr.main([base, smoke] + floors), 0)
+            # A recovery stall (detection hang dragging the whole leg
+            # down an order of magnitude) still trips the coarse floor.
+            stalled = write(d, "stalled.json",
+                            doc(run("tcp", 900.0, name="ckpt-replay")))
+            self.assertEqual(cbr.main([base, stalled] + floors), 1)
+
     def test_default_match_key_is_batch_tuples(self):
         with tempfile.TemporaryDirectory() as d:
             base = write(d, "base.json", doc(run("sim", 100.0, batch=64)))
